@@ -1,0 +1,79 @@
+// Ablation: outer-loop link adaptation vs static CQI-based MCS selection.
+// OLLA closes the loop on HARQ feedback, pinning first-transmission BLER
+// near the 10% target regardless of CQI staleness — at the cost of running
+// a few dB conservative right after fades.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+namespace {
+
+struct Row {
+  double harq_per_min;
+  double exhaust_per_min;
+  double ul_p50, ul_p99;
+  double bler;
+  double target_mbps;
+};
+
+Row RunVariant(bool olla, std::uint64_t seed) {
+  sim::SessionConfig cfg;
+  cfg.profile = sim::Amarisoft();
+  // Isolate the loop itself: drop the profile's hand-tuned conservative
+  // offset so both variants start from plain CQI-based selection.
+  cfg.profile.ul.mcs_offset = 0;
+  cfg.profile.dl.mcs_offset = 0;
+  cfg.profile.ul.olla.enabled = olla;
+  cfg.profile.ul.olla.target_bler = 0.08;
+  cfg.profile.dl.olla.enabled = olla;
+  cfg.profile.dl.olla.target_bler = 0.08;
+  cfg.duration = Seconds(120);
+  cfg.seed = seed;
+  sim::CallSession session(cfg);
+  telemetry::SessionDataset ds = session.Run();
+
+  Row r{};
+  double minutes = cfg.duration.seconds() / 60.0;
+  r.harq_per_min =
+      static_cast<double>(session.ul_link()->harq_retx_count()) / minutes;
+  r.exhaust_per_min =
+      static_cast<double>(session.ul_link()->harq_exhaust_count()) / minutes;
+  auto owd = MediaOwd(ds, Direction::kUplink);
+  r.ul_p50 = Percentile(owd, 50);
+  r.ul_p99 = Percentile(owd, 99);
+  r.bler = static_cast<double>(session.ul_link()->harq_retx_count()) /
+           static_cast<double>(session.ul_link()->tb_count());
+  auto tgt = StatsField(ds, telemetry::kUeClient, [](const auto& s) {
+    return s.target_bitrate_bps;
+  });
+  r.target_mbps = Percentile(tgt, 50) / 1e6;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: OLLA vs static link adaptation (Amarisoft UL) "
+              "===\n");
+  TextTable table({"Link adaptation", "HARQ retx/min", "HARQ exhausts/min",
+                   "UL p50(ms)", "UL p99(ms)", "retx/TB", "UL target(Mbps)"});
+  Row stat = RunVariant(false, 33);
+  Row olla = RunVariant(true, 33);
+  auto add = [&](const char* label, const Row& r) {
+    table.AddRow({label, TextTable::Num(r.harq_per_min, 0),
+                  TextTable::Num(r.exhaust_per_min, 1),
+                  TextTable::Num(r.ul_p50, 1), TextTable::Num(r.ul_p99, 0),
+                  TextTable::Pct(r.bler), TextTable::Num(r.target_mbps, 2)});
+  };
+  add("static (CQI only)", stat);
+  add("OLLA (HARQ-driven)", olla);
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nReading guide: with stale CQI on a fast-fading uplink the "
+              "static loop runs hot; OLLA pins the first-transmission error "
+              "rate at its configured target (8%% here) by biasing the "
+              "offset, trading a slightly lower MCS for fewer retx.\n");
+  return 0;
+}

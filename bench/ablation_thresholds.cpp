@@ -1,0 +1,75 @@
+// Ablation: sensitivity of the event conditions to their Appendix D
+// thresholds. Two knobs dominate the detector's operating point:
+//   * the HARQ-retx count per window (paper: > 10),
+//   * the delay-uptrend minimum peak (paper: 80 ms).
+// Sweeping them shows how the attributed-vs-unknown balance and the chain
+// volume respond — and why the paper's values are sensible defaults.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "domino/detector.h"
+#include "domino/statistics.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+namespace {
+
+struct Row {
+  long chains;
+  long chain_windows;
+  double unknown;
+};
+
+Row RunWith(const telemetry::DerivedTrace& trace,
+            analysis::EventThresholds th) {
+  analysis::DominoConfig cfg;
+  cfg.thresholds = th;
+  cfg.extract_features = false;
+  analysis::Detector det(analysis::CausalGraph::Default(th), cfg);
+  auto result = det.Analyze(trace);
+  auto stats = analysis::ComputeStatistics(result, det.graph());
+  double unknown = 0;
+  for (std::size_t k = 0; k < stats.consequences.size(); ++k) {
+    unknown += stats.conditional[k][stats.causes.size()];
+  }
+  return Row{static_cast<long>(result.AllChains().size()),
+             stats.windows_with_chain,
+             unknown / static_cast<double>(stats.consequences.size())};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: event-condition thresholds ===\n");
+  telemetry::SessionDataset ds = RunCall(sim::Amarisoft(), Seconds(120), 13);
+  telemetry::DerivedTrace trace = telemetry::BuildDerivedTrace(ds);
+
+  std::printf("\n-- HARQ retx count threshold (paper: >10) --\n");
+  TextTable t1({"threshold", "chain instances", "chain windows", "unknown"});
+  for (int thr : {1, 5, 10, 30, 100, 400}) {
+    analysis::EventThresholds th;
+    th.harq_retx_count = thr;
+    Row r = RunWith(trace, th);
+    t1.AddRow({std::to_string(thr), std::to_string(r.chains),
+               std::to_string(r.chain_windows), TextTable::Pct(r.unknown)});
+  }
+  std::printf("%s", t1.Render().c_str());
+
+  std::printf("\n-- delay-uptrend minimum peak (paper: 80 ms) --\n");
+  TextTable t2({"min peak (ms)", "chain instances", "chain windows",
+                "unknown"});
+  for (double ms : {20.0, 40.0, 80.0, 160.0, 320.0}) {
+    analysis::EventThresholds th;
+    th.delay_up_min_ms = ms;
+    Row r = RunWith(trace, th);
+    t2.AddRow({TextTable::Num(ms, 0), std::to_string(r.chains),
+               std::to_string(r.chain_windows), TextTable::Pct(r.unknown)});
+  }
+  std::printf("%s", t2.Render().c_str());
+  std::printf("\nReading guide: very low thresholds flood the detector with "
+              "background events (chains inflate, attribution blurs); very "
+              "high ones push consequences into 'unknown'. The paper's "
+              "values sit on the plateau between the regimes.\n");
+  return 0;
+}

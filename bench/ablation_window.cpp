@@ -1,0 +1,55 @@
+// Ablation: sensitivity of Domino's detection to the sliding-window length
+// and step (the paper fixes W = 5 s, step 0.5 s). Shorter windows miss
+// slow-building chains; longer windows blur distinct events together and
+// inflate co-occurrence.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "domino/detector.h"
+#include "domino/statistics.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+int main() {
+  std::printf("=== Ablation: window length / step sensitivity ===\n");
+  telemetry::SessionDataset ds = RunCall(sim::TMobileFdd15(), Seconds(120), 7);
+  telemetry::DerivedTrace trace = telemetry::BuildDerivedTrace(ds);
+
+  TextTable table({"window(s)", "step(s)", "windows", "chain windows",
+                   "chains/min", "consequence windows", "unknown %%"});
+  for (double window : {2.5, 5.0, 10.0}) {
+    for (double step : {0.25, 0.5, 1.0}) {
+      analysis::DominoConfig cfg;
+      cfg.window = Seconds(window);
+      cfg.step = Seconds(step);
+      cfg.extract_features = false;
+      analysis::Detector det(analysis::CausalGraph::Default(cfg.thresholds),
+                             cfg);
+      auto result = det.Analyze(trace);
+      auto stats = analysis::ComputeStatistics(result, det.graph());
+      double minutes = result.trace_duration.seconds() / 60.0;
+      long consequence_windows = 0;
+      double unknown = 0;
+      for (std::size_t k = 0; k < stats.consequences.size(); ++k) {
+        consequence_windows += static_cast<long>(
+            stats.consequence_per_min[k] * minutes);
+        unknown += stats.conditional[k][stats.causes.size()];
+      }
+      unknown /= static_cast<double>(stats.consequences.size());
+      table.AddRow({TextTable::Num(window, 2), TextTable::Num(step, 2),
+                    std::to_string(result.windows.size()),
+                    std::to_string(stats.windows_with_chain),
+                    TextTable::Num(
+                        static_cast<double>(result.AllChains().size()) /
+                            minutes, 1),
+                    std::to_string(consequence_windows),
+                    TextTable::Pct(unknown)});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nReading guide: the paper's W=5s/0.5s sits where the unknown "
+              "fraction has flattened (long enough to catch cause+effect in "
+              "one window) without the event blurring of W=10s.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/call_session.h"
+#include "sim/cell_config.h"
+#include "telemetry/dataset.h"
+
+namespace domino::bench {
+
+/// Runs one two-party call and returns the captured dataset.
+inline telemetry::SessionDataset RunCall(const sim::CellProfile& profile,
+                                         Duration duration,
+                                         std::uint64_t seed = 1) {
+  sim::SessionConfig cfg;
+  cfg.profile = profile;
+  cfg.duration = duration;
+  cfg.seed = seed;
+  sim::CallSession session(cfg);
+  return session.Run();
+}
+
+/// Media one-way delays (ms) for one direction.
+inline std::vector<double> MediaOwd(const telemetry::SessionDataset& ds,
+                                    Direction dir) {
+  std::vector<double> out;
+  for (const auto& p : ds.packets) {
+    if (p.dir != dir || p.is_rtcp || p.lost()) continue;
+    out.push_back(p.one_way_delay().millis());
+  }
+  return out;
+}
+
+/// RTCP one-way delays (ms) for one direction.
+inline std::vector<double> RtcpOwd(const telemetry::SessionDataset& ds,
+                                   Direction dir) {
+  std::vector<double> out;
+  for (const auto& p : ds.packets) {
+    if (p.dir != dir || !p.is_rtcp || p.lost()) continue;
+    out.push_back(p.one_way_delay().millis());
+  }
+  return out;
+}
+
+/// Prints a labelled CDF row at the standard quantiles.
+inline void PrintCdf(const std::string& label, std::vector<double> values,
+                     const std::string& unit = "ms") {
+  if (values.empty()) {
+    std::printf("%s: (no samples)\n", label.c_str());
+    return;
+  }
+  CdfSummary cdf = MakeCdf(std::move(values), {5, 25, 50, 75, 90, 95, 99});
+  std::printf("%s\n",
+              FormatCdfRow(label, cdf.quantiles, cdf.points, unit).c_str());
+}
+
+/// Pulls one stats field into a vector.
+template <typename Fn>
+std::vector<double> StatsField(const telemetry::SessionDataset& ds,
+                               int client, Fn fn) {
+  std::vector<double> out;
+  for (const auto& r : ds.stats[static_cast<std::size_t>(client)]) {
+    out.push_back(fn(r));
+  }
+  return out;
+}
+
+}  // namespace domino::bench

@@ -1,0 +1,88 @@
+// §6.2 reproduction: GCC rate recovery after overuse events.
+//
+// Default recovery is cautious additive increase (paper: 30+ s to restore
+// the pre-congestion rate). When an overuse is short-lived and the
+// acknowledged bitrate stays high, the estimator can snap back within ~2 s —
+// but such fast recoveries are rare (paper: ~1% of anomalies).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+namespace {
+
+struct Recovery {
+  double drop_kbps;
+  double recovery_s;  ///< Time back to 90% of pre-drop rate (-1 = never).
+};
+
+std::vector<Recovery> FindRecoveries(
+    const std::vector<telemetry::WebRtcStatsRecord>& stats) {
+  std::vector<Recovery> out;
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    double prev = stats[i - 1].target_bitrate_bps;
+    double cur = stats[i].target_bitrate_bps;
+    if (cur < prev * 0.90 && prev > 500e3) {
+      // Find return to 90% of the pre-drop rate.
+      double recovery = -1;
+      for (std::size_t j = i + 1; j < stats.size(); ++j) {
+        if (stats[j].target_bitrate_bps >= prev * 0.9) {
+          recovery = (stats[j].time - stats[i].time).seconds();
+          break;
+        }
+      }
+      out.push_back(Recovery{(prev - cur) / 1e3, recovery});
+      // Skip ahead past this event.
+      i += 20;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== §6.2: GCC rate recovery (additive vs fast) ===\n");
+  sim::SessionConfig cfg;
+  cfg.profile = sim::TMobileFdd15();
+  cfg.duration = Seconds(240);
+  cfg.seed = 77;
+  sim::CallSession session(cfg);
+  telemetry::SessionDataset ds = session.Run();
+
+  auto recoveries = FindRecoveries(ds.stats[telemetry::kUeClient]);
+  auto more = FindRecoveries(ds.stats[telemetry::kRemoteClient]);
+  recoveries.insert(recoveries.end(), more.begin(), more.end());
+
+  long fast = 0, slow = 0, never = 0;
+  std::vector<double> times;
+  for (const auto& r : recoveries) {
+    if (r.recovery_s < 0) {
+      ++never;
+    } else if (r.recovery_s <= 2.0) {
+      ++fast;
+    } else {
+      ++slow;
+      times.push_back(r.recovery_s);
+    }
+  }
+  std::printf("target-rate drop events: %zu\n", recoveries.size());
+  std::printf("  fast recoveries (<=2 s): %ld (%.1f%%)\n", fast,
+              recoveries.empty()
+                  ? 0.0
+                  : 100.0 * static_cast<double>(fast) /
+                        static_cast<double>(recoveries.size()));
+  std::printf("  slow (additive) recoveries: %ld, median %.1f s\n", slow,
+              Percentile(times, 50));
+  std::printf("  not recovered within trace: %ld\n", never);
+  std::printf("GCC fast-recovery path invocations (UE + remote): %ld\n",
+              session.ue_sender().gcc().fast_recovery_count() +
+                  session.remote_sender().gcc().fast_recovery_count());
+  std::printf("\nShape check (paper): most events recover via slow additive "
+              "increase (tens of seconds for deep drops); fast recovery is "
+              "the rare exception.\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Closed-loop mitigation experiment (the paper's §8 promise: Domino lets
+// operators and developers *address* the issues it diagnoses).
+//
+// Loop: (1) run a call and let Domino diagnose the dominant root cause,
+// (2) apply the advisor's top machine-usable action to the configuration,
+// (3) rerun the same workload (same seed) and compare QoE.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "domino/detector.h"
+#include "domino/mitigation.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+namespace {
+
+struct Qoe {
+  double owd_p99_ms;
+  double freeze_s;
+  double concealed_pct;
+  double target_p50_mbps;
+  long jb_drain_windows;
+};
+
+Qoe Measure(const sim::SessionConfig& cfg) {
+  sim::CallSession session(cfg);
+  telemetry::SessionDataset ds = session.Run();
+  Qoe q{};
+  q.owd_p99_ms = Percentile(MediaOwd(ds, Direction::kUplink), 99);
+  double frozen = 0, concealed = 0;
+  std::vector<double> tgt;
+  for (const auto& r : ds.stats[telemetry::kRemoteClient]) {
+    if (r.frozen) frozen += 1;
+    concealed += r.concealed_ratio;
+    // (remote receives the UL stream; sender-side target from the UE.)
+  }
+  for (const auto& r : ds.stats[telemetry::kUeClient]) {
+    tgt.push_back(r.target_bitrate_bps);
+  }
+  q.freeze_s = frozen * 0.05;
+  q.concealed_pct =
+      100.0 * concealed / std::max<std::size_t>(1,
+          ds.stats[telemetry::kRemoteClient].size());
+  q.target_p50_mbps = Percentile(tgt, 50) / 1e6;
+
+  analysis::DominoConfig dcfg;
+  dcfg.extract_features = false;
+  analysis::Detector det(analysis::CausalGraph::Default(dcfg.thresholds),
+                         dcfg);
+  auto result = det.Analyze(telemetry::BuildDerivedTrace(ds));
+  int jb = det.graph().FindNode("jitter_buffer_drain");
+  for (const auto& w : result.windows) {
+    bool drain = false;
+    for (int p = 0; p < 2; ++p) {
+      drain |= w.node_active[static_cast<std::size_t>(p)][
+          static_cast<std::size_t>(jb)];
+    }
+    if (drain) ++q.jb_drain_windows;
+  }
+  return q;
+}
+
+std::string Diagnose(const sim::SessionConfig& cfg,
+                     std::vector<analysis::Mitigation>* advice) {
+  sim::CallSession session(cfg);
+  telemetry::SessionDataset ds = session.Run();
+  analysis::DominoConfig dcfg;
+  dcfg.extract_features = false;
+  analysis::Detector det(analysis::CausalGraph::Default(dcfg.thresholds),
+                         dcfg);
+  auto result = det.Analyze(telemetry::BuildDerivedTrace(ds));
+  *advice = analysis::AdviseMitigations(result, det);
+  return advice->empty() ? "none" : advice->front().cause;
+}
+
+/// Applies a machine-usable advisor action to the session configuration.
+bool ApplyAction(const std::string& action, sim::SessionConfig& cfg) {
+  if (action == "cap_resolution") {
+    // Stay on the 360p rung: its comfort rate survives the poor channel.
+    cfg.ue_sender.encoder.ladder = {{360, 0, 500e3}};
+    cfg.ue_sender.gcc.aimd.max_bitrate_bps = 700e3;
+    return true;
+  }
+  if (action == "enable_olla") {
+    cfg.profile.ul.olla.enabled = true;
+    cfg.profile.ul.olla.target_bler = 0.08;
+    return true;
+  }
+  if (action == "bound_target_bitrate") {
+    cfg.ue_sender.gcc.aimd.max_bitrate_bps = 1.2e6;
+    cfg.remote_sender.gcc.aimd.max_bitrate_bps = 1.2e6;
+    return true;
+  }
+  if (action == "enable_proactive_grants") {
+    cfg.profile.ul.proactive_grant_bytes = 900;
+    return true;
+  }
+  if (action == "conservative_mcs_offset") {
+    cfg.profile.ul.mcs_offset -= 2;
+    return true;
+  }
+  if (action == "raise_harq_retx_limit") {
+    cfg.profile.ul.max_harq_retx += 2;
+    return true;
+  }
+  return false;  // app-internal actions not representable as config here
+}
+
+void RunScenario(const char* label, sim::SessionConfig cfg) {
+  std::printf("\n--- scenario: %s ---\n", label);
+  std::vector<analysis::Mitigation> advice;
+  std::string cause = Diagnose(cfg, &advice);
+  std::printf("diagnosed dominant cause: %s\n", cause.c_str());
+  if (!advice.empty()) {
+    std::printf("%s", analysis::FormatMitigations(advice).c_str());
+  }
+
+  sim::SessionConfig mitigated = cfg;
+  std::string applied = "(none applicable)";
+  for (const auto& m : advice) {
+    if (ApplyAction(m.action, mitigated)) {
+      applied = m.action;
+      break;
+    }
+  }
+  std::printf("applied: %s\n", applied.c_str());
+
+  Qoe before = Measure(cfg);
+  Qoe after = Measure(mitigated);
+  TextTable table({"", "UL OWD p99(ms)", "freeze(s)", "concealed %",
+                   "UL target p50(Mbps)", "JB-drain windows"});
+  auto row = [&](const char* name, const Qoe& q) {
+    table.AddRow({name, TextTable::Num(q.owd_p99_ms, 0),
+                  TextTable::Num(q.freeze_s, 1),
+                  TextTable::Num(q.concealed_pct, 1),
+                  TextTable::Num(q.target_p50_mbps, 2),
+                  std::to_string(q.jb_drain_windows)});
+  };
+  row("before", before);
+  row("after", after);
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Mitigation loop: diagnose -> act -> re-measure ===\n");
+
+  sim::SessionConfig amarisoft;
+  amarisoft.profile = sim::Amarisoft();
+  amarisoft.duration = Seconds(120);
+  amarisoft.seed = 21;
+  RunScenario("Amarisoft (persistent poor UL channel)", amarisoft);
+
+  sim::SessionConfig fdd;
+  fdd.profile = sim::TMobileFdd15();
+  fdd.profile.rrc.random_release_rate_per_min = 0;  // isolate cross traffic
+  fdd.duration = Seconds(120);
+  fdd.seed = 21;
+  RunScenario("T-Mobile FDD (heavy DL cross traffic)", fdd);
+
+  std::printf("\nReading guide: the advisor's first *applicable* action is "
+              "applied; the after-row should show the targeted symptom "
+              "(delay tail / freezes / drains) improving, possibly at a "
+              "bitrate cost.\n");
+  return 0;
+}

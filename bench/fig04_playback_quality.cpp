@@ -1,0 +1,47 @@
+// Fig. 4 reproduction: WebRTC playback quality over 5G vs wired — fraction
+// of concealed audio samples and total video freeze duration in a 5-minute
+// call. Paper: ~12% concealed and ~6 s frozen on 5G; near zero on wired.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+namespace {
+
+void Report(const char* label, const telemetry::SessionDataset& ds) {
+  // Concealment: mean of the 50 ms concealed ratios = fraction of samples
+  // concealed. Freeze: integrate the frozen flag over stats ticks.
+  for (int stream = 0; stream < 2; ++stream) {
+    // UL stream plays out at the remote client; DL at the UE.
+    int client = stream == 0 ? telemetry::kRemoteClient
+                             : telemetry::kUeClient;
+    auto concealed = StatsField(ds, client, [](const auto& r) {
+      return r.concealed_ratio;
+    });
+    auto frozen = StatsField(ds, client, [](const auto& r) {
+      return r.frozen ? 1.0 : 0.0;
+    });
+    double concealed_pct = Mean(concealed) * 100.0;
+    double freeze_s = Mean(frozen) * ds.duration().seconds();
+    std::printf("  [%s] %s stream: concealed audio %.1f%%, total freeze "
+                "%.1f s\n",
+                label, stream == 0 ? "UL" : "DL", concealed_pct, freeze_s);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 4: concealed audio and video freezes ===\n");
+  const Duration kDuration = Seconds(300);  // the paper's 5-minute experiment
+  telemetry::SessionDataset cell = RunCall(sim::TMobileFdd15(), kDuration, 9);
+  telemetry::SessionDataset wired =
+      RunCall(sim::WiredBaseline(), kDuration, 9);
+  Report(cell.cell_name.c_str(), cell);
+  Report("Wired", wired);
+  std::printf("\nShape check (paper): several %% concealed and seconds of "
+              "freezes on 5G; almost none on wired.\n");
+  return 0;
+}

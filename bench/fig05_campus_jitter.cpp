@@ -1,0 +1,35 @@
+// Fig. 5 reproduction: campus-wide Zoom dataset — network jitter per access
+// network type. Paper: cellular jitter consistently above Wi-Fi and wired,
+// for both inbound (downlink) and outbound (uplink) streams.
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/zoom_campus.h"
+
+using namespace domino;
+using namespace domino::sim;
+
+int main() {
+  std::printf("=== Fig. 5: campus Zoom dataset, network jitter ===\n");
+  auto records = GenerateCampusDataset(CampusConfig{}, Rng(2023));
+
+  for (AccessNetwork net : {AccessNetwork::kWired, AccessNetwork::kWifi,
+                            AccessNetwork::kCellular}) {
+    std::vector<double> in, out;
+    for (const auto& r : records) {
+      if (r.network != net) continue;
+      in.push_back(r.jitter_in_ms);
+      out.push_back(r.jitter_out_ms);
+    }
+    CdfSummary ci = MakeCdf(in, {25, 50, 75, 90, 99});
+    CdfSummary co = MakeCdf(out, {25, 50, 75, 90, 99});
+    std::printf("%-9s inbound : %s\n", ToString(net),
+                FormatCdfRow("", ci.quantiles, ci.points, "ms").c_str());
+    std::printf("%-9s outbound: %s\n", ToString(net),
+                FormatCdfRow("", co.quantiles, co.points, "ms").c_str());
+  }
+  std::printf("\nShape check (paper): cellular > wifi > wired at every "
+              "quantile.\n");
+  return 0;
+}

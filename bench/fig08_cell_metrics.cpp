@@ -1,0 +1,58 @@
+// Fig. 8 reproduction: WebRTC performance metrics across the four 5G cells —
+// (a-d) one-way delay, (e-h) target bitrate, (i-l) receiver frame rate,
+// (m-p) jitter-buffer delay, each for the UL and DL streams.
+//
+// Paper shapes:
+//  * UL median delay > DL everywhere except the T-Mobile FDD cell's DL tail
+//  * DL target bitrate > UL except T-Mobile FDD (DL cross traffic) ;
+//    Amarisoft UL far below DL (poor UL channel + conservative MCS)
+//  * DL frame rates >= UL frame rates
+//  * jitter-buffer medians ~200-250 ms, higher for T-Mobile FDD DL and
+//    Amarisoft UL
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+int main() {
+  std::printf("=== Fig. 8: WebRTC metrics across four 5G cells ===\n");
+  const Duration kDuration = Seconds(120);
+
+  for (const sim::CellProfile& profile : sim::AllCells()) {
+    telemetry::SessionDataset ds = RunCall(profile, kDuration, 17);
+    std::printf("\n--- %s ---\n", profile.name.c_str());
+
+    PrintCdf("  (a-d) UL one-way delay",
+             MediaOwd(ds, Direction::kUplink));
+    PrintCdf("  (a-d) DL one-way delay",
+             MediaOwd(ds, Direction::kDownlink));
+
+    auto tgt_ul = StatsField(ds, telemetry::kUeClient, [](const auto& r) {
+      return r.target_bitrate_bps / 1e6;
+    });
+    auto tgt_dl = StatsField(ds, telemetry::kRemoteClient, [](const auto& r) {
+      return r.target_bitrate_bps / 1e6;
+    });
+    PrintCdf("  (e-h) UL target bitrate", tgt_ul, "Mbps");
+    PrintCdf("  (e-h) DL target bitrate", tgt_dl, "Mbps");
+
+    // Receiver-side frame rate: the UL stream is received by the remote
+    // client; DL by the UE.
+    auto fps_ul = StatsField(ds, telemetry::kRemoteClient,
+                             [](const auto& r) { return r.inbound_fps; });
+    auto fps_dl = StatsField(ds, telemetry::kUeClient,
+                             [](const auto& r) { return r.inbound_fps; });
+    PrintCdf("  (i-l) UL recv frame rate", fps_ul, "fps");
+    PrintCdf("  (i-l) DL recv frame rate", fps_dl, "fps");
+
+    auto jb_ul = StatsField(ds, telemetry::kRemoteClient,
+                            [](const auto& r) { return r.jitter_buffer_ms; });
+    auto jb_dl = StatsField(ds, telemetry::kUeClient,
+                            [](const auto& r) { return r.jitter_buffer_ms; });
+    PrintCdf("  (m-p) UL jitter-buffer delay", jb_ul);
+    PrintCdf("  (m-p) DL jitter-buffer delay", jb_dl);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 9 reproduction: the causality graph of WebRTC quality degradations —
+// six root causes across the 5G stack, the delay intermediates, and three
+// application-layer consequences, with all 24 cause->consequence chains.
+#include <cstdio>
+
+#include "domino/graph.h"
+
+using namespace domino;
+using namespace domino::analysis;
+
+int main() {
+  std::printf("=== Fig. 9: causality graph ===\n\n");
+  CausalGraph g = CausalGraph::Default();
+
+  auto kind_name = [](NodeKind k) {
+    switch (k) {
+      case NodeKind::kCause:
+        return "cause       ";
+      case NodeKind::kIntermediate:
+        return "intermediate";
+      default:
+        return "consequence ";
+    }
+  };
+
+  std::printf("nodes (%zu):\n", g.node_count());
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const Node& n = g.node(static_cast<int>(i));
+    std::printf("  [%s] %s\n", kind_name(n.kind), n.name.c_str());
+  }
+
+  std::printf("\nedges:\n");
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    for (int t : g.adjacency()[i]) {
+      std::printf("  %s -> %s\n", g.node(static_cast<int>(i)).name.c_str(),
+                  g.node(t).name.c_str());
+    }
+  }
+
+  auto chains = g.EnumerateChains();
+  std::printf("\ncausal chains (%zu; paper: 24):\n", chains.size());
+  for (const auto& chain : chains) {
+    std::printf("  %s\n", FormatChain(g, chain).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 10 reproduction: absolute occurrence frequency of 5G causes and
+// WebRTC consequences, commercial vs private cells.
+//
+// Paper shape: UL scheduling and HARQ retx prevalent in both deployments;
+// cross traffic mainly commercial; poor channel more frequent on private
+// cells (Amarisoft UL); RLC retx only observable on private cells; jitter
+// buffer drains rarer than GCC-initiated bitrate/pushback reductions.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "domino/detector.h"
+#include "domino/statistics.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+namespace {
+
+analysis::ChainStatistics Analyze(const std::vector<sim::CellProfile>& cells,
+                                  Duration duration, std::uint64_t seed) {
+  analysis::DominoConfig cfg;
+  analysis::Detector detector(analysis::CausalGraph::Default(cfg.thresholds),
+                              cfg);
+  // Concatenate the analysis over all cells of the deployment type by
+  // merging window results (statistics are per-window, so this is exact).
+  analysis::AnalysisResult merged;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    telemetry::SessionDataset ds = RunCall(cells[i], duration, seed + i);
+    telemetry::DerivedTrace trace = telemetry::BuildDerivedTrace(ds);
+    analysis::AnalysisResult r = detector.Analyze(trace);
+    merged.trace_duration += r.trace_duration;
+    for (auto& w : r.windows) merged.windows.push_back(std::move(w));
+  }
+  analysis::CausalGraph graph = analysis::CausalGraph::Default(cfg.thresholds);
+  return analysis::ComputeStatistics(merged, graph);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 10: cause/consequence occurrence frequency ===\n");
+  const Duration kDuration = Seconds(120);
+
+  auto commercial = Analyze({sim::TMobileTdd100(), sim::TMobileFdd15()},
+                            kDuration, 41);
+  auto priv = Analyze({sim::Amarisoft(), sim::Mosolabs()}, kDuration, 43);
+
+  TextTable table({"Event", "Kind", "Commercial (/min)", "Private (/min)"});
+  for (std::size_t i = 0; i < commercial.causes.size(); ++i) {
+    table.AddRow({commercial.causes[i], "cause",
+                  TextTable::Num(commercial.cause_per_min[i], 1),
+                  TextTable::Num(priv.cause_per_min[i], 1)});
+  }
+  for (std::size_t i = 0; i < commercial.consequences.size(); ++i) {
+    table.AddRow({commercial.consequences[i], "consequence",
+                  TextTable::Num(commercial.consequence_per_min[i], 1),
+                  TextTable::Num(priv.consequence_per_min[i], 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\n(Occurrences are 5 s windows, step 0.5 s, in which the "
+              "event condition held, normalised per minute of trace.)\n");
+  std::printf("\nShape check (paper): UL scheduling & HARQ prevalent in "
+              "both; cross traffic commercial-heavy; poor channel and RLC "
+              "retx private-visible; JB drains rarer than rate drops.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 11 reproduction: Domino generates Python detection code from a
+// user's textual causal-chain definition.
+#include <cstdio>
+
+#include "domino/codegen.h"
+#include "domino/config_parser.h"
+
+using namespace domino;
+using namespace domino::analysis;
+
+int main() {
+  std::printf("=== Fig. 11: text config -> generated Python detector ===\n");
+
+  const std::string config = R"(
+# User-defined event: a severe forward-path delay surge.
+event delay_surge: max(fwd.owd_ms) > 200 and trend_up(fwd.owd_ms)
+
+# New causal chain wired into the detector from text alone.
+chain surge_drains_buffer: cross_traffic -> tbs_drop -> delay_surge -> jitter_buffer_drain
+)";
+
+  std::printf("\n--- input configuration ---\n%s\n", config.c_str());
+
+  DominoConfigFile parsed = ParseConfigText(config);
+  std::printf("--- parsed: %zu event(s), %zu chain(s) ---\n",
+              parsed.events.size(), parsed.chains.size());
+
+  std::string python = GeneratePython(parsed);
+  std::printf("\n--- generated Python (%zu bytes) ---\n%s\n", python.size(),
+              python.c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fig. 14 reproduction: per-frame packet/TB timelines across three cells.
+// A video frame's packet burst needs several transport blocks; the packets
+// arrive spread over time ("delay spread"). Paper shape:
+//   T-Mobile TDD 100 MHz — big TBs, small spread
+//   T-Mobile FDD 15 MHz  — small TBS, >10 TBs per frame, large spread
+//   Amarisoft            — poor UL forces low bitrate, spread persists
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+int main() {
+  std::printf("=== Fig. 14: uplink frame delay spread across cells ===\n");
+  const Duration kDuration = Seconds(60);
+
+  TextTable table({"Cell", "burst TBS(B)", "pkts/frame", "TBs/frame",
+                   "spread p50(ms)", "spread p90(ms)"});
+
+  for (const sim::CellProfile& profile :
+       {sim::TMobileTdd100(), sim::TMobileFdd15(), sim::Amarisoft()}) {
+    telemetry::SessionDataset ds = RunCall(profile, kDuration, 19);
+
+    // Per-frame UL packet arrival spread.
+    struct FrameInfo {
+      Time first_arrival = Time::max();
+      Time last_arrival{0};
+      long bytes = 0;
+      int packets = 0;
+    };
+    std::map<std::uint64_t, FrameInfo> frames;
+    for (const auto& p : ds.packets) {
+      if (p.dir != Direction::kUplink || p.is_rtcp || p.is_audio ||
+          p.lost()) {
+        continue;
+      }
+      FrameInfo& f = frames[p.frame_id];
+      f.first_arrival = std::min(f.first_arrival, p.received);
+      f.last_arrival = std::max(f.last_arrival, p.received);
+      f.bytes += p.size_bytes;
+      ++f.packets;
+    }
+    std::vector<double> spreads, pkts;
+    double total_bytes = 0;
+    for (const auto& [id, f] : frames) {
+      spreads.push_back((f.last_arrival - f.first_arrival).millis());
+      pkts.push_back(f.packets);
+      total_bytes += static_cast<double>(f.bytes);
+    }
+
+    // Burst-size TBS: the audio stream generates many tiny TBs between
+    // video bursts, so the p75 of initial-transmission TBS approximates the
+    // grant size serving a video frame burst.
+    std::vector<double> tbs;
+    for (const auto& d : ds.dci) {
+      if (d.dir != Direction::kUplink || d.is_retx || d.rnti < 0x4601) {
+        continue;
+      }
+      if (d.tbs_bytes > 0) tbs.push_back(d.tbs_bytes);
+    }
+    double med_tbs = Percentile(tbs, 75);
+    double bytes_per_frame =
+        frames.empty() ? 0 : total_bytes / static_cast<double>(frames.size());
+    double tbs_per_frame = med_tbs > 0 ? bytes_per_frame / med_tbs : 0;
+
+    table.AddRow({profile.name, TextTable::Num(med_tbs, 0),
+                  TextTable::Num(Percentile(pkts, 50), 1),
+                  TextTable::Num(tbs_per_frame, 1),
+                  TextTable::Num(Percentile(spreads, 50), 1),
+                  TextTable::Num(Percentile(spreads, 90), 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nShape check (paper): FDD 15 MHz needs the most TBs/frame "
+              "and shows the largest spread; TDD 100 MHz the least.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig. 16 reproduction: proactive uplink grants (Mosolabs) let the first
+// packets of a burst depart before the BSR-triggered grant arrives, cutting
+// first-packet latency (~10 ms in the paper's trace) — at the cost of wasted
+// grant capacity when no data is ready, and over-granting.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+namespace {
+
+struct Result {
+  double first_pkt_p50 = 0;
+  double last_pkt_p50 = 0;
+  double waste_kbps = 0;
+};
+
+Result RunVariant(int proactive_bytes, std::uint64_t seed) {
+  sim::SessionConfig cfg;
+  cfg.profile = sim::Mosolabs();
+  cfg.profile.ul.proactive_grant_bytes = proactive_bytes;
+  cfg.duration = Seconds(60);
+  cfg.seed = seed;
+  sim::CallSession session(cfg);
+  telemetry::SessionDataset ds = session.Run();
+
+  // First/last packet delay per UL frame burst.
+  struct F {
+    double first = 1e9;
+    double last = 0;
+  };
+  std::map<std::uint64_t, F> frames;
+  for (const auto& p : ds.packets) {
+    if (p.dir != Direction::kUplink || p.is_rtcp || p.is_audio ||
+        p.lost()) {
+      continue;
+    }
+    double owd = p.one_way_delay().millis();
+    F& f = frames[p.frame_id];
+    f.first = std::min(f.first, owd);
+    f.last = std::max(f.last, owd);
+  }
+  std::vector<double> firsts, lasts;
+  for (const auto& [id, f] : frames) {
+    firsts.push_back(f.first);
+    lasts.push_back(f.last);
+  }
+  Result r;
+  r.first_pkt_p50 = Percentile(firsts, 50);
+  r.last_pkt_p50 = Percentile(lasts, 50);
+  r.waste_kbps = static_cast<double>(session.ul_link()->granted_bytes_wasted()) *
+                 8.0 / 1e3 / cfg.duration.seconds();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 16: proactive uplink grants ===\n");
+  Result off = RunVariant(0, 31);
+  Result on = RunVariant(900, 31);
+
+  TextTable table({"Variant", "first-pkt p50(ms)", "last-pkt p50(ms)",
+                   "wasted grant (kbps)"});
+  table.AddRow({"BSR-only", TextTable::Num(off.first_pkt_p50, 1),
+                TextTable::Num(off.last_pkt_p50, 1),
+                TextTable::Num(off.waste_kbps, 0)});
+  table.AddRow({"proactive grants", TextTable::Num(on.first_pkt_p50, 1),
+                TextTable::Num(on.last_pkt_p50, 1),
+                TextTable::Num(on.waste_kbps, 0)});
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nShape check (paper): proactive grants cut first-packet "
+              "latency ~10 ms but barely improve the last packet (frame-"
+              "level delay), and waste grant capacity (%.0f -> %.0f kbps).\n",
+              off.waste_kbps, on.waste_kbps);
+  std::printf("first-packet improvement: %.1f ms\n",
+              off.first_pkt_p50 - on.first_pkt_p50);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 18 reproduction: RLC retransmissions. After four failed HARQ rounds
+// the RLC layer recovers the segment ~105 ms later; meanwhile in-order
+// delivery holds back every subsequent packet (head-of-line blocking), so a
+// burst of packets is released almost simultaneously when the
+// retransmission lands.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+int main() {
+  std::printf("=== Fig. 18: RLC retransmission + HoL blocking ===\n");
+  sim::SessionConfig cfg;
+  cfg.profile = sim::Amarisoft();
+  cfg.profile.fade_rate_per_min_ul = 0;
+  cfg.profile.fade_rate_per_min_dl = 0;
+  cfg.duration = Seconds(40);
+  cfg.seed = 7;
+  sim::CallSession session(cfg);
+  // A sharp 120 ms blackout at t=20s: stale link adaptation keeps a high
+  // MCS while the channel is gone, so in-flight TBs exhaust HARQ while the
+  // channel itself recovers quickly — isolating the RLC recovery delay.
+  session.ul_link()->channel().AddEpisode(phy::ChannelEpisode{
+      Time{0} + Seconds(20.0), Time{0} + Seconds(20.12), -25.0});
+  telemetry::SessionDataset ds = session.Run();
+
+  long rlc_events = 0;
+  for (const auto& g : ds.gnb_log) {
+    if (g.rlc_retx) ++rlc_events;
+  }
+  std::printf("RLC retransmission events logged by gNB: %ld\n", rlc_events);
+  std::printf("HARQ exhausts on UL link: %ld\n",
+              session.ul_link()->harq_exhaust_count());
+
+  // Find the HoL release burst: cluster of UL packets sharing a receive
+  // time right after the event window.
+  std::vector<const telemetry::PacketRecord*> ul;
+  for (const auto& p : ds.packets) {
+    if (p.dir == Direction::kUplink && !p.is_rtcp && !p.lost()) {
+      ul.push_back(&p);
+    }
+  }
+  std::sort(ul.begin(), ul.end(), [](const auto* a, const auto* b) {
+    return a->received < b->received;
+  });
+  // Largest same-5ms-receive-cluster in the 1.5 s after the fade.
+  Time lo = Time{0} + Seconds(20.0);
+  Time hi = Time{0} + Seconds(21.5);
+  std::size_t best_cluster = 0;
+  double burst_max_delay = 0;
+  for (std::size_t i = 0; i < ul.size(); ++i) {
+    if (ul[i]->received < lo || ul[i]->received >= hi) continue;
+    std::size_t j = i;
+    while (j < ul.size() && ul[j]->received - ul[i]->received < Millis(5)) {
+      ++j;
+    }
+    if (j - i > best_cluster) {
+      best_cluster = j - i;
+      burst_max_delay = 0;
+      for (std::size_t k = i; k < j; ++k) {
+        burst_max_delay =
+            std::max(burst_max_delay, ul[k]->one_way_delay().millis());
+      }
+    }
+  }
+  double baseline = Percentile(MediaOwd(ds, Direction::kUplink), 50);
+  std::printf("HoL release burst: %zu packets delivered within 5 ms of each "
+              "other; worst packet delayed %.0f ms (baseline p50 %.0f ms)\n",
+              best_cluster, burst_max_delay, baseline);
+  std::printf("\nShape check (paper): the RLC-recovered packet arrives "
+              "~105 ms late (4 HARQ rounds x %.0f ms + ~%.0f ms RLC status "
+              "delay) and a cluster of held-back packets is released at "
+              "once.\n",
+              cfg.profile.ul.harq_rtt.millis(),
+              cfg.profile.rlc.retx_delay.millis());
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Domino pipeline micro-benchmarks (google-benchmark): how fast the
+// analysis runs relative to trace time — the basis for the paper's claim
+// that operators can run it "on a continuous, near real-time basis" — plus
+// ablations over window/step parameters and the DSL overhead.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "domino/codegen.h"
+#include "domino/config_parser.h"
+#include "domino/detector.h"
+#include "domino/ranking.h"
+#include "domino/report.h"
+#include "domino/streaming.h"
+#include "domino/expr.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+namespace {
+
+/// One shared 60 s trace for all benchmarks (built once).
+const telemetry::DerivedTrace& SharedTrace() {
+  static const telemetry::DerivedTrace trace = [] {
+    telemetry::SessionDataset ds = RunCall(sim::TMobileFdd15(), Seconds(60), 5);
+    return telemetry::BuildDerivedTrace(ds);
+  }();
+  return trace;
+}
+
+void BM_BuildDerivedTrace(benchmark::State& state) {
+  telemetry::SessionDataset ds = RunCall(sim::TMobileFdd15(), Seconds(60), 5);
+  for (auto _ : state) {
+    auto trace = telemetry::BuildDerivedTrace(ds);
+    benchmark::DoNotOptimize(trace);
+  }
+}
+BENCHMARK(BM_BuildDerivedTrace);
+
+void BM_AnalyzeWindow(benchmark::State& state) {
+  analysis::DominoConfig cfg;
+  analysis::Detector detector(analysis::CausalGraph::Default(cfg.thresholds),
+                              cfg);
+  const auto& trace = SharedTrace();
+  for (auto _ : state) {
+    auto w = detector.AnalyzeWindow(trace, Time{0} + Seconds(30));
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_AnalyzeWindow);
+
+/// Full-trace analysis; the counter reports the real-time speedup
+/// (trace seconds analysed per wall-clock second).
+void BM_FullAnalysis(benchmark::State& state) {
+  analysis::DominoConfig cfg;
+  cfg.step = Millis(state.range(0));
+  analysis::Detector detector(analysis::CausalGraph::Default(cfg.thresholds),
+                              cfg);
+  const auto& trace = SharedTrace();
+  double trace_s = (trace.end - trace.begin).seconds();
+  for (auto _ : state) {
+    auto r = detector.Analyze(trace);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["realtime_x"] = benchmark::Counter(
+      trace_s * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullAnalysis)->Arg(500)->Arg(250)->Arg(100);
+
+void BM_FeatureVector(benchmark::State& state) {
+  analysis::EventThresholds th;
+  const auto& trace = SharedTrace();
+  for (auto _ : state) {
+    auto fv = analysis::ExtractFeatures(trace, Time{0} + Seconds(30),
+                                        Time{0} + Seconds(35), th);
+    benchmark::DoNotOptimize(fv);
+  }
+}
+BENCHMARK(BM_FeatureVector);
+
+void BM_DslParse(benchmark::State& state) {
+  const std::string expr =
+      "max(fwd.owd_ms) > 200 and trend_up(fwd.owd_ms) and "
+      "frac_gt(fwd.app_bitrate, fwd.tbs_bitrate) > 0.1";
+  for (auto _ : state) {
+    auto e = analysis::ParseExpression(expr);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_DslParse);
+
+void BM_DslEval(benchmark::State& state) {
+  auto expr = analysis::ParseExpression(
+      "max(fwd.owd_ms) > 200 and trend_up(fwd.owd_ms)");
+  const auto& trace = SharedTrace();
+  analysis::WindowContext ctx(trace, Time{0} + Seconds(30),
+                              Time{0} + Seconds(35), 0);
+  for (auto _ : state) {
+    bool v = analysis::EvalCondition(*expr, ctx);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_DslEval);
+
+void BM_PythonCodegen(benchmark::State& state) {
+  auto cfg = analysis::ParseConfigText(
+      "event surge: max(fwd.owd_ms) > 200\n"
+      "chain c: cross_traffic -> tbs_drop -> surge -> "
+      "target_bitrate_drop\n");
+  for (auto _ : state) {
+    auto py = analysis::GeneratePython(cfg);
+    benchmark::DoNotOptimize(py);
+  }
+}
+BENCHMARK(BM_PythonCodegen);
+
+void BM_StreamingAdvance(benchmark::State& state) {
+  analysis::DominoConfig cfg;
+  cfg.extract_features = false;
+  const auto& trace = SharedTrace();
+  for (auto _ : state) {
+    analysis::StreamingDetector stream(
+        analysis::CausalGraph::Default(cfg.thresholds), cfg);
+    int n = stream.Advance(trace, trace.end);
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_StreamingAdvance);
+
+void BM_RankAndReport(benchmark::State& state) {
+  analysis::DominoConfig cfg;
+  cfg.extract_features = false;
+  analysis::Detector detector(analysis::CausalGraph::Default(cfg.thresholds),
+                              cfg);
+  auto result = detector.Analyze(SharedTrace());
+  for (auto _ : state) {
+    auto ranked = analysis::RankRootCauses(result, detector);
+    auto report = analysis::BuildSummaryReport(result, detector);
+    benchmark::DoNotOptimize(ranked);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_RankAndReport);
+
+void BM_SimulateSecond(benchmark::State& state) {
+  // Cost of generating one second of cross-layer telemetry.
+  for (auto _ : state) {
+    auto ds = RunCall(sim::Amarisoft(), Seconds(1), 9);
+    benchmark::DoNotOptimize(ds);
+  }
+}
+BENCHMARK(BM_SimulateSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

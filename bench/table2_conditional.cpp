@@ -1,0 +1,49 @@
+// Table 2 reproduction: conditional probability of each 5G cause given each
+// WebRTC consequence, for commercial (top) and private (bottom) cells.
+//
+// Paper shape (commercial): cross traffic, UL scheduling, and HARQ dominate;
+// RLC retx is 0% (no gNB logs); RRC only on the T-Mobile FDD cell.
+// Paper shape (private): UL scheduling and poor channel dominate; cross
+// traffic ~0%.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "domino/detector.h"
+#include "domino/statistics.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+namespace {
+
+void Report(const char* label, const std::vector<sim::CellProfile>& cells,
+            Duration duration, std::uint64_t seed) {
+  analysis::DominoConfig cfg;
+  analysis::Detector detector(analysis::CausalGraph::Default(cfg.thresholds),
+                              cfg);
+  analysis::AnalysisResult merged;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    telemetry::SessionDataset ds = RunCall(cells[i], duration, seed + i);
+    telemetry::DerivedTrace trace = telemetry::BuildDerivedTrace(ds);
+    analysis::AnalysisResult r = detector.Analyze(trace);
+    merged.trace_duration += r.trace_duration;
+    for (auto& w : r.windows) merged.windows.push_back(std::move(w));
+  }
+  auto stats = analysis::ComputeStatistics(merged, detector.graph());
+  std::printf("\n[%s]\n%s", label,
+              analysis::FormatConditionalTable(stats).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 2: P(cause | consequence) ===\n");
+  const Duration kDuration = Seconds(150);
+  Report("Commercial cells", {sim::TMobileTdd100(), sim::TMobileFdd15()},
+         kDuration, 47);
+  Report("Private cells", {sim::Amarisoft(), sim::Mosolabs()}, kDuration, 53);
+  std::printf("\nShape check (paper): commercial dominated by cross "
+              "traffic/UL scheduling/HARQ; private by poor channel and UL "
+              "scheduling; RLC retx only on private cells.\n");
+  return 0;
+}

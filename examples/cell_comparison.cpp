@@ -1,0 +1,107 @@
+// Cell comparison example: run identical calls over all four modelled 5G
+// cells plus the wired baseline, and print a side-by-side report of network
+// QoS, application QoE, and Domino's root-cause profile for each — the view
+// a researcher would use to choose a deployment or debug a cell.
+//
+//   $ ./examples/cell_comparison
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "domino/detector.h"
+#include "domino/mitigation.h"
+#include "domino/statistics.h"
+#include "sim/call_session.h"
+#include "sim/cell_config.h"
+
+using namespace domino;
+
+namespace {
+
+struct CellReport {
+  std::string name;
+  double ul_p50 = 0, ul_p99 = 0, dl_p50 = 0, dl_p99 = 0;
+  double ul_bitrate_mbps = 0, freeze_s = 0;
+  std::string top_cause = "-";
+  std::string advice = "-";
+};
+
+CellReport Evaluate(const sim::CellProfile& profile) {
+  sim::SessionConfig cfg;
+  cfg.profile = profile;
+  cfg.duration = Seconds(90);
+  cfg.seed = 19;
+  sim::CallSession session(cfg);
+  telemetry::SessionDataset ds = session.Run();
+
+  CellReport r;
+  r.name = profile.name;
+  std::vector<double> ul, dl;
+  for (const auto& p : ds.packets) {
+    if (p.is_rtcp || p.lost()) continue;
+    (p.dir == Direction::kUplink ? ul : dl)
+        .push_back(p.one_way_delay().millis());
+  }
+  r.ul_p50 = Percentile(ul, 50);
+  r.ul_p99 = Percentile(ul, 99);
+  r.dl_p50 = Percentile(dl, 50);
+  r.dl_p99 = Percentile(dl, 99);
+
+  std::vector<double> tgt;
+  double frozen_ticks = 0;
+  for (const auto& s : ds.stats[telemetry::kUeClient]) {
+    tgt.push_back(s.target_bitrate_bps);
+    if (s.frozen) frozen_ticks += 1;
+  }
+  r.ul_bitrate_mbps = Percentile(tgt, 50) / 1e6;
+  r.freeze_s = frozen_ticks * 0.05;
+
+  // Root-cause profile via Domino.
+  analysis::DominoConfig dcfg;
+  analysis::Detector det(analysis::CausalGraph::Default(dcfg.thresholds),
+                         dcfg);
+  auto result = det.Analyze(telemetry::BuildDerivedTrace(ds));
+  auto stats = analysis::ComputeStatistics(result, det.graph());
+  auto advice = analysis::AdviseMitigations(result, det);
+  if (!advice.empty()) r.advice = advice.front().action;
+  // Top cause by total conditional attribution.
+  double best = 0;
+  for (std::size_t c = 0; c < stats.causes.size(); ++c) {
+    double total = 0;
+    for (const auto& row : stats.conditional) total += row[c];
+    // UL scheduling is ubiquitous background; prefer specific causes.
+    if (stats.causes[c] == "ul_scheduling") total *= 0.5;
+    if (total > best) {
+      best = total;
+      r.top_cause = stats.causes[c];
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("comparing a 90 s WebRTC call across deployments...\n\n");
+  TextTable table({"Cell", "UL p50/p99 (ms)", "DL p50/p99 (ms)",
+                   "UL target (Mbps)", "freeze (s)", "top root cause",
+                   "advised action"});
+  std::vector<sim::CellProfile> profiles = sim::AllCells();
+  profiles.push_back(sim::WiredBaseline());
+  for (const auto& profile : profiles) {
+    CellReport r = Evaluate(profile);
+    char delay_ul[48], delay_dl[48];
+    std::snprintf(delay_ul, sizeof(delay_ul), "%.0f / %.0f", r.ul_p50,
+                  r.ul_p99);
+    std::snprintf(delay_dl, sizeof(delay_dl), "%.0f / %.0f", r.dl_p50,
+                  r.dl_p99);
+    table.AddRow({r.name, delay_ul, delay_dl,
+                  TextTable::Num(r.ul_bitrate_mbps, 2),
+                  TextTable::Num(r.freeze_s, 1), r.top_cause, r.advice});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nReading guide: the wired row is the floor; commercial cells "
+              "add cross-traffic and RRC-induced tails, private cells expose "
+              "channel quality directly (see DESIGN.md experiment index).\n");
+  return 0;
+}

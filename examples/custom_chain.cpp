@@ -1,0 +1,87 @@
+// Extensibility example (paper §4.2, Fig. 11): define a brand-new event and
+// causal chain from a text configuration, extend the default graph, run the
+// detector — and emit the equivalent standalone Python module.
+//
+//   $ ./examples/custom_chain
+#include <cstdio>
+
+#include "domino/codegen.h"
+#include "domino/config_parser.h"
+#include "domino/detector.h"
+#include "sim/call_session.h"
+#include "sim/cell_config.h"
+
+using namespace domino;
+
+int main() {
+  // 1) A user-authored configuration: a "severe delay surge" event in the
+  //    expression DSL and two chains connecting it into the graph.
+  const std::string config_text = R"(
+# Severe forward-path delay: above 250 ms and still trending upward.
+event delay_surge: max(fwd.owd_ms) > 250 and trend_up(fwd.owd_ms)
+
+# Audio degradation proxy: concealment implies jitter-buffer starvation.
+event audio_degraded: max(receiver.jitter_buffer_ms) < 15 and count(receiver.jitter_buffer_ms) > 0
+
+chain surge_starves_buffer: harq_retx -> delay_surge -> jitter_buffer_drain
+chain surge_degrades_audio: poor_channel -> tbs_drop -> delay_surge -> audio_degraded
+)";
+  std::printf("--- user configuration ---\n%s\n", config_text.c_str());
+
+  analysis::DominoConfigFile parsed =
+      analysis::ParseConfigText(config_text);
+  std::printf("parsed %zu custom events, %zu chains\n\n",
+              parsed.events.size(), parsed.chains.size());
+
+  // 2) Extend the paper's default graph with the new chains.
+  analysis::EventThresholds thresholds;
+  analysis::CausalGraph graph = analysis::CausalGraph::Default(thresholds);
+  std::size_t before = graph.EnumerateChains().size();
+  analysis::ExtendGraph(graph, parsed, thresholds);
+  std::printf("causal graph: %zu -> %zu chains after extension\n", before,
+              graph.EnumerateChains().size());
+
+  // 3) Capture a session with a scripted deep fade and run the extended
+  //    detector over it.
+  sim::SessionConfig scfg;
+  scfg.profile = sim::Amarisoft();
+  scfg.duration = Seconds(40);
+  scfg.seed = 12;
+  sim::CallSession session(scfg);
+  session.ul_link()->channel().AddEpisode(
+      phy::ChannelEpisode{Time{0} + Seconds(20), Time{0} + Seconds(23),
+                          -10.0});
+  telemetry::SessionDataset ds = session.Run();
+  telemetry::DerivedTrace trace = telemetry::BuildDerivedTrace(ds);
+
+  analysis::Detector detector(std::move(graph), analysis::DominoConfig{});
+  analysis::AnalysisResult result = detector.Analyze(trace);
+
+  std::printf("\n--- detected chains involving custom nodes ---\n");
+  int shown = 0;
+  for (const auto& ci : result.AllChains()) {
+    const auto& path =
+        detector.chains()[static_cast<std::size_t>(ci.chain_index)];
+    std::string text = FormatChain(detector.graph(), path);
+    if (text.find("delay_surge") == std::string::npos &&
+        text.find("audio_degraded") == std::string::npos) {
+      continue;
+    }
+    if (shown++ < 8) {
+      std::printf("t=%5.1fs  %s\n", ci.window_begin.seconds(), text.c_str());
+    }
+  }
+  if (shown == 0) {
+    std::printf("(none this run — the fade may have been absorbed; try "
+                "another seed)\n");
+  } else {
+    std::printf("(%d instances total)\n", shown);
+  }
+
+  // 4) Emit the standalone Python module for the same configuration.
+  std::string python = analysis::GeneratePython(parsed, thresholds);
+  std::printf("\n--- generated Python module: %zu bytes; first lines ---\n",
+              python.size());
+  std::printf("%.300s...\n", python.c_str());
+  return 0;
+}

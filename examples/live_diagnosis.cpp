@@ -1,0 +1,81 @@
+// Near-real-time diagnosis example (paper §1: operators can run Domino "on a
+// continuous, near real-time basis").
+//
+// Simulates a call in one-second increments; after each increment the
+// detector analyses only the newly completed windows and prints alerts as
+// root causes emerge — the streaming workflow an operator dashboard would
+// use. Also demonstrates dataset export for offline reprocessing.
+//
+//   $ ./examples/live_diagnosis
+#include <cstdio>
+#include <set>
+
+#include "domino/streaming.h"
+#include "sim/call_session.h"
+#include "sim/cell_config.h"
+#include "telemetry/io.h"
+
+using namespace domino;
+
+int main() {
+  sim::SessionConfig cfg;
+  cfg.profile = sim::TMobileFdd15();
+  cfg.duration = Seconds(90);
+  cfg.seed = 31;
+  sim::CallSession session(cfg);
+  // Two incidents the operator should see appear live.
+  session.rrc()->ScheduleRelease(Time{0} + Seconds(30));
+  auto& cross = session.dl_link()->cross_traffic();
+  for (std::size_t i = 0; i < cross.source_count(); ++i) {
+    cross.source(i).ForceOn(Time{0} + Seconds(60), Time{0} + Seconds(65));
+  }
+  telemetry::SessionDataset ds = session.Run();
+  telemetry::DerivedTrace trace = telemetry::BuildDerivedTrace(ds);
+
+  analysis::DominoConfig dcfg;
+  dcfg.extract_features = false;  // chain alerts only: cheaper per window
+  analysis::StreamingDetector stream(
+      analysis::CausalGraph::Default(dcfg.thresholds), dcfg);
+
+  std::printf("live diagnosis of a %0.f s call over '%s' "
+              "(1 s analysis increments)\n\n",
+              cfg.duration.seconds(), cfg.profile.name.c_str());
+
+  // Alerts are deduplicated per (cause, consequence) pair per 5 s to avoid
+  // spamming the console.
+  std::set<std::pair<std::string, std::string>> recent;
+  Time recent_reset{0};
+  const auto& det = stream.detector();
+  stream.on_chain = [&](const analysis::ChainInstance& ci,
+                        const analysis::WindowResult&) {
+    const auto& path = det.chains()[static_cast<std::size_t>(ci.chain_index)];
+    std::string cause = det.graph().node(path.front()).name;
+    std::string consequence = det.graph().node(path.back()).name;
+    if (!recent.insert({cause, consequence}).second) return;
+    std::printf("[%6.1fs] ALERT %-9s media degraded: %-20s <- root "
+                "cause: %s\n",
+                (ci.window_begin + dcfg.window).seconds(),
+                ci.sender_client == 0 ? "UL" : "DL", consequence.c_str(),
+                cause.c_str());
+  };
+  for (Time now = Time{0} + Seconds(5); now <= ds.end; now += Seconds(1.0)) {
+    if (now - recent_reset >= Seconds(5.0)) {
+      recent.clear();
+      recent_reset = now;
+    }
+    stream.Advance(trace, now);
+  }
+  std::printf("\n%ld windows analysed, %ld chain instances\n",
+              stream.windows_processed(), stream.chains_detected());
+
+  // Persist the session for offline analysis / sharing.
+  const char* out_dir = "live_diagnosis_trace";
+  telemetry::SaveDataset(ds, out_dir);
+  std::printf("\nfull cross-layer trace exported to ./%s/ "
+              "(dci.csv, packets.csv, stats_*.csv, gnb_log.csv)\n",
+              out_dir);
+  telemetry::SessionDataset reloaded = telemetry::LoadDataset(out_dir);
+  std::printf("reloaded %zu DCIs, %zu packets — ready for re-analysis\n",
+              reloaded.dci.size(), reloaded.packets.size());
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "common/csv.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace domino {
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << Escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool in_quote = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quote) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quote = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quote = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quote) {
+    throw std::invalid_argument("ParseCsvLine: unterminated quote");
+  }
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+std::vector<std::vector<std::string>> ReadCsv(std::istream& is) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(ParseCsvLine(line));
+  }
+  return rows;
+}
+
+}  // namespace domino

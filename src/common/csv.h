@@ -1,0 +1,30 @@
+// Minimal CSV reading/writing for telemetry import/export. Values containing
+// commas, quotes, or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace domino {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  static std::string Escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+/// Parses one CSV line into cells, honouring quotes. Throws
+/// std::invalid_argument on an unterminated quote.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Reads all rows from a stream. Empty lines are skipped.
+std::vector<std::vector<std::string>> ReadCsv(std::istream& is);
+
+}  // namespace domino

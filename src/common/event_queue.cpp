@@ -1,0 +1,34 @@
+#include "common/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace domino {
+
+void EventQueue::ScheduleAt(Time t, Callback cb) {
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue::ScheduleAt: time in the past");
+  }
+  heap_.push(Entry{t, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunOne() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle instead (std::function copy is cheap enough
+  // at simulation scale).
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.time;
+  e.cb();
+  return true;
+}
+
+void EventQueue::RunUntil(Time end) {
+  while (!heap_.empty() && heap_.top().time <= end) {
+    RunOne();
+  }
+  if (now_ < end) now_ = end;
+}
+
+}  // namespace domino

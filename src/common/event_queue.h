@@ -1,0 +1,57 @@
+// Discrete-event simulation core.
+//
+// A single EventQueue drives the whole two-party call simulation: the MAC
+// schedulers tick per slot, the application/GCC tick at millisecond scale,
+// and packet deliveries are one-shot events. Events scheduled for the same
+// time fire in FIFO order of scheduling, which keeps component interactions
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace domino {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to run at absolute time `t` (>= now).
+  void ScheduleAt(Time t, Callback cb);
+  /// Schedules `cb` to run `d` after the current time.
+  void ScheduleAfter(Duration d, Callback cb) { ScheduleAt(now_ + d, std::move(cb)); }
+
+  /// Runs events until the queue is empty or the next event is after `end`.
+  /// The clock finishes at `end` even if the queue drains earlier.
+  void RunUntil(Time end);
+
+  /// Runs a single event if one exists; returns false when empty.
+  bool RunOne();
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;  // tie-break: FIFO within the same timestamp
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Time now_{0};
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace domino

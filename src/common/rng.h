@@ -1,0 +1,59 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic component takes an explicit Rng so that simulations are
+// reproducible from a single seed, and components can be given independent
+// streams (via Fork) without correlated draws.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace domino {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return uniform_(engine_); }
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  /// Exponential with the given mean (not rate).
+  double ExpMean(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+  /// Log-normal parameterised by the underlying normal's mu/sigma.
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+  /// Bernoulli trial.
+  bool Chance(double p) { return Uniform() < p; }
+  /// Poisson draw with the given mean.
+  int Poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Derives an independent child stream. The child's seed mixes the parent
+  /// stream state with a caller-provided tag so different subsystems seeded
+  /// from the same parent do not collide.
+  Rng Fork(std::uint64_t tag) {
+    std::uint64_t s = engine_() ^ (tag * 0x9E3779B97F4A7C15ull);
+    return Rng(s);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace domino

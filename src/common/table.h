@@ -1,0 +1,39 @@
+// Plain-text table rendering for the bench harnesses. Each bench prints the
+// same rows/series the paper's table or figure reports; this keeps the
+// formatting consistent and readable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace domino {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; it may have fewer cells than the header (padded blank).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  /// Formats a ratio as a percentage string, e.g. 0.123 -> "12.3%".
+  static std::string Pct(double ratio, int precision = 1);
+
+  /// Renders the table with aligned columns and a separator under the header.
+  [[nodiscard]] std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a one-line "series" row used for figure reproductions:
+/// `label: q50=12.3 q90=45.6 ...`
+std::string FormatCdfRow(const std::string& label,
+                         const std::vector<double>& quantiles,
+                         const std::vector<double>& points,
+                         const std::string& unit);
+
+}  // namespace domino

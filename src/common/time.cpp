@@ -1,0 +1,19 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace domino {
+
+std::string ToString(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", t.seconds());
+  return buf;
+}
+
+std::string ToString(Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fms", d.millis());
+  return buf;
+}
+
+}  // namespace domino

@@ -1,0 +1,111 @@
+// Time primitives used across the Domino codebase.
+//
+// All simulation and telemetry timestamps are integer microseconds since the
+// start of a session. We use strong types (wrapping int64_t) rather than raw
+// integers so that durations and absolute time points cannot be accidentally
+// mixed, and so call sites read naturally: `now + Millis(5)`.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace domino {
+
+/// A span of time, in integer microseconds. Negative durations are allowed
+/// (useful for clock offsets and signed deltas).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] constexpr double millis() const {
+    return static_cast<double>(micros_) / 1e3;
+  }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration{micros_ + o.micros_};
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration{micros_ - o.micros_};
+  }
+  constexpr Duration operator-() const { return Duration{-micros_}; }
+  constexpr Duration operator*(std::int64_t k) const {
+    return Duration{micros_ * k};
+  }
+  constexpr Duration operator/(std::int64_t k) const {
+    return Duration{micros_ / k};
+  }
+  /// Integer ratio of two durations (how many `o` fit in `*this`).
+  constexpr std::int64_t operator/(Duration o) const {
+    return micros_ / o.micros_;
+  }
+  constexpr Duration& operator+=(Duration o) {
+    micros_ += o.micros_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    micros_ -= o.micros_;
+    return *this;
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// An absolute point on the session timeline, in integer microseconds.
+/// Time{0} is the session start.
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] constexpr double millis() const {
+    return static_cast<double>(micros_) / 1e3;
+  }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Duration d) const {
+    return Time{micros_ + d.micros()};
+  }
+  constexpr Time operator-(Duration d) const {
+    return Time{micros_ - d.micros()};
+  }
+  constexpr Duration operator-(Time o) const {
+    return Duration{micros_ - o.micros_};
+  }
+  constexpr Time& operator+=(Duration d) {
+    micros_ += d.micros();
+    return *this;
+  }
+
+  /// Sentinel for "never" / unset timestamps.
+  static constexpr Time max() { return Time{INT64_MAX}; }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+constexpr Duration Micros(std::int64_t us) { return Duration{us}; }
+constexpr Duration Millis(std::int64_t ms) { return Duration{ms * 1000}; }
+constexpr Duration Seconds(double s) {
+  return Duration{static_cast<std::int64_t>(s * 1e6)};
+}
+
+/// Formats a time point as seconds with millisecond precision, e.g. "12.345s".
+std::string ToString(Time t);
+/// Formats a duration as milliseconds, e.g. "105.0ms".
+std::string ToString(Duration d);
+
+}  // namespace domino

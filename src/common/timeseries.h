@@ -1,0 +1,212 @@
+// Time-series container used by both the simulator's telemetry emitters and
+// the Domino analysis pipeline.
+//
+// A TimeSeries<T> is an append-only sequence of (Time, T) samples in
+// non-decreasing time order. WindowView is a cheap, non-owning slice of a
+// series restricted to a [begin, end) interval — the unit the Domino sliding
+// window operates on (paper §4.2: W = 5 s, Δt = 0.5 s).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/time.h"
+
+namespace domino {
+
+template <typename T>
+struct Sample {
+  Time time;
+  T value;
+};
+
+template <typename T>
+class WindowView;
+
+template <typename T>
+class TimeSeries {
+ public:
+  using value_type = Sample<T>;
+
+  /// Appends a sample. Times must be non-decreasing.
+  void Push(Time t, T value) {
+    if (!samples_.empty() && t < samples_.back().time) {
+      throw std::invalid_argument("TimeSeries::Push: time went backwards");
+    }
+    samples_.push_back({t, std::move(value)});
+  }
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] const Sample<T>& operator[](std::size_t i) const {
+    return samples_[i];
+  }
+  [[nodiscard]] const Sample<T>& front() const { return samples_.front(); }
+  [[nodiscard]] const Sample<T>& back() const { return samples_.back(); }
+
+  [[nodiscard]] auto begin() const { return samples_.begin(); }
+  [[nodiscard]] auto end() const { return samples_.end(); }
+
+  /// Returns the non-owning view of samples with time in [begin, end).
+  [[nodiscard]] WindowView<T> Window(Time begin, Time end) const {
+    auto lo = std::lower_bound(
+        samples_.begin(), samples_.end(), begin,
+        [](const Sample<T>& s, Time t) { return s.time < t; });
+    auto hi = std::lower_bound(
+        lo, samples_.end(), end,
+        [](const Sample<T>& s, Time t) { return s.time < t; });
+    return WindowView<T>(std::span<const Sample<T>>(&*samples_.begin(),
+                                                    samples_.size())
+                             .subspan(static_cast<std::size_t>(
+                                          lo - samples_.begin()),
+                                      static_cast<std::size_t>(hi - lo)));
+  }
+
+  /// Value of the last sample at or before `t`; `fallback` if none exists.
+  [[nodiscard]] T ValueAt(Time t, T fallback = T{}) const {
+    auto it = std::upper_bound(
+        samples_.begin(), samples_.end(), t,
+        [](Time tt, const Sample<T>& s) { return tt < s.time; });
+    if (it == samples_.begin()) return fallback;
+    return std::prev(it)->value;
+  }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<Sample<T>> samples_;
+};
+
+/// Non-owning slice of a TimeSeries. Invalidated by appends to the parent.
+template <typename T>
+class WindowView {
+ public:
+  WindowView() = default;
+  explicit WindowView(std::span<const Sample<T>> span) : span_(span) {}
+
+  [[nodiscard]] bool empty() const { return span_.empty(); }
+  [[nodiscard]] std::size_t size() const { return span_.size(); }
+  [[nodiscard]] const Sample<T>& operator[](std::size_t i) const {
+    return span_[i];
+  }
+  [[nodiscard]] auto begin() const { return span_.begin(); }
+  [[nodiscard]] auto end() const { return span_.end(); }
+
+  /// Minimum / maximum sample value; requires a non-empty window.
+  [[nodiscard]] T Min() const {
+    assert(!empty());
+    return std::min_element(begin(), end(), ValueLess)->value;
+  }
+  [[nodiscard]] T Max() const {
+    assert(!empty());
+    return std::max_element(begin(), end(), ValueLess)->value;
+  }
+  /// Time of the first minimal / maximal sample.
+  [[nodiscard]] Time ArgMin() const {
+    assert(!empty());
+    return std::min_element(begin(), end(), ValueLess)->time;
+  }
+  [[nodiscard]] Time ArgMax() const {
+    assert(!empty());
+    return std::max_element(begin(), end(), ValueLess)->time;
+  }
+
+  [[nodiscard]] double Mean() const {
+    assert(!empty());
+    double sum = 0;
+    for (const auto& s : span_) sum += static_cast<double>(s.value);
+    return sum / static_cast<double>(span_.size());
+  }
+
+  [[nodiscard]] double Sum() const {
+    double sum = 0;
+    for (const auto& s : span_) sum += static_cast<double>(s.value);
+    return sum;
+  }
+
+  /// True if any sample satisfies `pred(value)`.
+  template <typename Pred>
+  [[nodiscard]] bool Any(Pred pred) const {
+    return std::any_of(begin(), end(),
+                       [&](const Sample<T>& s) { return pred(s.value); });
+  }
+
+  /// Number of samples satisfying `pred(value)`.
+  template <typename Pred>
+  [[nodiscard]] std::size_t CountIf(Pred pred) const {
+    return static_cast<std::size_t>(std::count_if(
+        begin(), end(), [&](const Sample<T>& s) { return pred(s.value); }));
+  }
+
+  /// True if there exist consecutive samples with s[i+1] < s[i] (a downtrend
+  /// step), the primitive behind the paper's "there is a downtrend" events.
+  [[nodiscard]] bool HasDecreasingStep() const {
+    for (std::size_t i = 0; i + 1 < span_.size(); ++i) {
+      if (span_[i + 1].value < span_[i].value) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool HasIncreasingStep() const {
+    for (std::size_t i = 0; i + 1 < span_.size(); ++i) {
+      if (span_[i + 1].value > span_[i].value) return true;
+    }
+    return false;
+  }
+
+ private:
+  static bool ValueLess(const Sample<T>& a, const Sample<T>& b) {
+    return a.value < b.value;
+  }
+
+  std::span<const Sample<T>> span_;
+};
+
+/// Averages `view` into buckets of `bucket` samples each (the paper's
+/// "windowed" 10-sample averaging for trend detection, Appendix D #9/#11/#12).
+/// The trailing partial bucket, if any, is dropped.
+template <typename T>
+std::vector<double> BucketMeans(const WindowView<T>& view,
+                                std::size_t bucket) {
+  std::vector<double> out;
+  if (bucket == 0) return out;
+  std::size_t full = view.size() / bucket;
+  out.reserve(full);
+  for (std::size_t k = 0; k < full; ++k) {
+    double sum = 0;
+    for (std::size_t i = k * bucket; i < (k + 1) * bucket; ++i) {
+      sum += static_cast<double>(view[i].value);
+    }
+    out.push_back(sum / static_cast<double>(bucket));
+  }
+  return out;
+}
+
+/// Buckets `view` by fixed time intervals of `width`, returning the mean of
+/// each non-empty bucket (used for the 50 ms MCS grouping, Appendix D #16).
+template <typename T>
+std::vector<double> TimeBucketMeans(const WindowView<T>& view, Time window_begin,
+                                    Duration width) {
+  std::vector<double> out;
+  if (view.empty() || width.micros() <= 0) return out;
+  std::size_t i = 0;
+  Time edge = window_begin;
+  while (i < view.size()) {
+    Time next = edge + width;
+    double sum = 0;
+    std::size_t n = 0;
+    while (i < view.size() && view[i].time < next) {
+      sum += static_cast<double>(view[i].value);
+      ++n;
+      ++i;
+    }
+    if (n > 0) out.push_back(sum / static_cast<double>(n));
+    edge = next;
+  }
+  return out;
+}
+
+}  // namespace domino

@@ -1,0 +1,51 @@
+// Small shared vocabulary types used across layers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace domino {
+
+/// Direction of a transmission relative to the UE under test:
+/// uplink = UE -> gNB (the VCA client's outbound media),
+/// downlink = gNB -> UE (inbound media).
+enum class Direction : std::uint8_t { kUplink, kDownlink };
+
+inline const char* ToString(Direction d) {
+  return d == Direction::kUplink ? "UL" : "DL";
+}
+
+inline Direction Opposite(Direction d) {
+  return d == Direction::kUplink ? Direction::kDownlink : Direction::kUplink;
+}
+
+/// RRC connection state of the UE (simplified two-state machine plus the
+/// transition period during which the PHY is silent).
+enum class RrcState : std::uint8_t { kConnected, kIdle, kTransitioning };
+
+inline const char* ToString(RrcState s) {
+  switch (s) {
+    case RrcState::kConnected:
+      return "connected";
+    case RrcState::kIdle:
+      return "idle";
+    default:
+      return "transitioning";
+  }
+}
+
+/// GCC's view of the network, as estimated by the overuse detector.
+enum class NetworkState : std::uint8_t { kNormal, kOveruse, kUnderuse };
+
+inline const char* ToString(NetworkState s) {
+  switch (s) {
+    case NetworkState::kNormal:
+      return "normal";
+    case NetworkState::kOveruse:
+      return "overuse";
+    default:
+      return "underuse";
+  }
+}
+
+}  // namespace domino

@@ -1,0 +1,27 @@
+// Python code generation (Fig. 11): Domino turns a parsed text configuration
+// into a runnable, self-contained Python detector module.
+//
+// The generated module expects each window `w` as a dict mapping
+// "scope.series" names (see expr.h) to lists of floats, and exposes:
+//   DETECTORS      — {node name: detector function}
+//   CHAINS         — [(chain name, [node names...]), ...]
+//   detect_chain(w, nodes) / analyze(windows)
+#pragma once
+
+#include <string>
+
+#include "domino/config_parser.h"
+
+namespace domino::analysis {
+
+/// Generates the Python module for a parsed config. Built-in events
+/// referenced by chains are emitted as Python too, so the module runs
+/// without any C++ dependency.
+std::string GeneratePython(const DominoConfigFile& cfg,
+                           const EventThresholds& th = {});
+
+/// Python expression implementing one built-in event over window `w`
+/// (series scoped by the node's leg). Exposed for tests.
+std::string PythonForBuiltin(const EventRef& ref, const EventThresholds& th);
+
+}  // namespace domino::analysis

@@ -1,0 +1,162 @@
+#include "domino/config_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+namespace domino::analysis {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+bool ValidNodeName(const std::string& s) {
+  if (s.empty()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == '@';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Splits "name@rev" into (name, kRev); plain names get kFwd-by-default
+/// semantics at detection time (PathLeg::kFwd here).
+std::pair<std::string, PathLeg> SplitLeg(const std::string& name) {
+  auto pos = name.find("@rev");
+  if (pos != std::string::npos && pos + 4 == name.size()) {
+    return {name.substr(0, pos), PathLeg::kRev};
+  }
+  return {name, PathLeg::kFwd};
+}
+
+}  // namespace
+
+DominoConfigFile ParseConfigText(const std::string& text) {
+  DominoConfigFile cfg;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    throw DslError("config line " + std::to_string(lineno) + ": " + msg);
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    auto colon = line.find(':');
+    if (colon == std::string::npos) fail("expected 'event name:' or 'chain name:'");
+    std::string head = Trim(line.substr(0, colon));
+    std::string body = Trim(line.substr(colon + 1));
+
+    std::istringstream hs(head);
+    std::string keyword, name;
+    hs >> keyword >> name;
+    if (name.empty()) fail("missing name after '" + keyword + "'");
+
+    if (keyword == "event") {
+      if (!ValidNodeName(name) || name.find('@') != std::string::npos) {
+        fail("invalid event name '" + name + "'");
+      }
+      ConfigEventDef def;
+      def.name = name;
+      def.expr_text = body;
+      try {
+        def.expr = ParseExpression(body);
+      } catch (const DslError& e) {
+        fail(std::string("in event expression: ") + e.what());
+      }
+      cfg.events.push_back(std::move(def));
+    } else if (keyword == "chain") {
+      ConfigChainDef def;
+      def.name = name;
+      std::string rest = body;
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        auto arrow = rest.find("->", pos);
+        std::string node = Trim(arrow == std::string::npos
+                                    ? rest.substr(pos)
+                                    : rest.substr(pos, arrow - pos));
+        if (!ValidNodeName(node)) fail("invalid node name '" + node + "'");
+        def.nodes.push_back(node);
+        pos = arrow == std::string::npos ? std::string::npos : arrow + 2;
+      }
+      if (def.nodes.size() < 2) fail("a chain needs at least two nodes");
+      cfg.chains.push_back(std::move(def));
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  return cfg;
+}
+
+void ExtendGraph(CausalGraph& graph, const DominoConfigFile& cfg,
+                 const EventThresholds& th) {
+  auto find_event_def =
+      [&](const std::string& name) -> const ConfigEventDef* {
+    for (const auto& e : cfg.events) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  };
+
+  for (const auto& chain : cfg.chains) {
+    for (std::size_t i = 0; i < chain.nodes.size(); ++i) {
+      const std::string& name = chain.nodes[i];
+      if (graph.FindNode(name) >= 0) continue;
+
+      NodeKind kind = i == 0 ? NodeKind::kCause
+                     : i + 1 == chain.nodes.size() ? NodeKind::kConsequence
+                                                   : NodeKind::kIntermediate;
+      auto [base, leg] = SplitLeg(name);
+      if (const ConfigEventDef* def = find_event_def(base)) {
+        if (leg == PathLeg::kRev) {
+          throw DslError("custom event '" + base +
+                         "' cannot take @rev; scope the expression instead");
+        }
+        Node n;
+        n.name = name;
+        n.kind = kind;
+        n.detect = [expr = def->expr](const WindowContext& ctx) {
+          return EvalCondition(*expr, ctx);
+        };
+        graph.AddNode(std::move(n));
+      } else if (auto type = EventTypeFromName(base)) {
+        graph.AddBuiltinNode(name, kind, EventRef{*type, leg}, th);
+      } else {
+        throw DslError("chain '" + chain.name + "': unknown node '" + name +
+                       "' (not a built-in event, custom event, or existing "
+                       "graph node)");
+      }
+    }
+    for (std::size_t i = 0; i + 1 < chain.nodes.size(); ++i) {
+      // Avoid duplicate edges when chains share prefixes.
+      int f = graph.FindNode(chain.nodes[i]);
+      int t = graph.FindNode(chain.nodes[i + 1]);
+      const auto& out = graph.adjacency()[static_cast<std::size_t>(f)];
+      if (std::find(out.begin(), out.end(), t) == out.end()) {
+        graph.AddEdge(f, t);
+      }
+    }
+  }
+  graph.Validate();
+}
+
+CausalGraph BuildGraphFromConfig(const DominoConfigFile& cfg,
+                                 const EventThresholds& th) {
+  CausalGraph graph;
+  ExtendGraph(graph, cfg, th);
+  return graph;
+}
+
+}  // namespace domino::analysis

@@ -1,0 +1,55 @@
+// Text configuration API (§4.2, "Extensibility of Domino").
+//
+// A config file defines custom events and causal chains:
+//
+//     # events are boolean window conditions in the expression DSL
+//     event big_delay: max(fwd.owd_ms) > 200 and trend_up(fwd.owd_ms)
+//
+//     # chains connect causes, intermediates, and a consequence; names
+//     # resolve to built-in events (Table 5), custom events, or nodes that
+//     # already exist in the graph being extended. "@rev" evaluates a
+//     # built-in on the reverse (feedback) leg.
+//     chain my_chain: cross_traffic -> tbs_drop -> big_delay -> target_bitrate_drop
+//
+// The first node of a chain is its cause and the last its consequence; a
+// name's role is fixed by its first appearance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "domino/expr.h"
+#include "domino/graph.h"
+
+namespace domino::analysis {
+
+struct ConfigEventDef {
+  std::string name;
+  std::string expr_text;
+  ExprPtr expr;
+};
+
+struct ConfigChainDef {
+  std::string name;
+  std::vector<std::string> nodes;  ///< In cause -> consequence order.
+};
+
+struct DominoConfigFile {
+  std::vector<ConfigEventDef> events;
+  std::vector<ConfigChainDef> chains;
+};
+
+/// Parses config text. Throws DslError with a line reference on problems.
+DominoConfigFile ParseConfigText(const std::string& text);
+
+/// Adds the config's events and chains to `graph`. New nodes get detection
+/// predicates from custom expressions or built-in conditions; their kind is
+/// inferred from chain position. Existing nodes are reused as-is.
+void ExtendGraph(CausalGraph& graph, const DominoConfigFile& cfg,
+                 const EventThresholds& th);
+
+/// Builds a graph containing only the config's chains (fresh graph).
+CausalGraph BuildGraphFromConfig(const DominoConfigFile& cfg,
+                                 const EventThresholds& th);
+
+}  // namespace domino::analysis

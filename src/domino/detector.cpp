@@ -1,0 +1,64 @@
+#include "domino/detector.h"
+
+namespace domino::analysis {
+
+std::vector<ChainInstance> AnalysisResult::AllChains() const {
+  std::vector<ChainInstance> out;
+  for (const auto& w : windows) {
+    out.insert(out.end(), w.chains.begin(), w.chains.end());
+  }
+  return out;
+}
+
+Detector::Detector(CausalGraph graph, DominoConfig cfg)
+    : graph_(std::move(graph)), cfg_(cfg) {
+  graph_.Validate();
+  chains_ = graph_.EnumerateChains();
+}
+
+WindowResult Detector::AnalyzeWindow(const telemetry::DerivedTrace& trace,
+                                     Time begin) const {
+  WindowResult result;
+  result.begin = begin;
+  Time end = begin + cfg_.window;
+
+  if (cfg_.extract_features) {
+    result.features = ExtractFeatures(trace, begin, end, cfg_.thresholds);
+  }
+
+  for (int p = 0; p < 2; ++p) {
+    WindowContext ctx(trace, begin, end, p);
+    auto& active = result.node_active[static_cast<std::size_t>(p)];
+    active.resize(graph_.node_count());
+    for (std::size_t n = 0; n < graph_.node_count(); ++n) {
+      active[n] = graph_.node(static_cast<int>(n)).detect(ctx);
+    }
+    for (std::size_t c = 0; c < chains_.size(); ++c) {
+      bool all = true;
+      for (int node : chains_[c]) {
+        if (!active[static_cast<std::size_t>(node)]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        result.chains.push_back(
+            ChainInstance{begin, p, static_cast<int>(c)});
+      }
+    }
+  }
+  return result;
+}
+
+AnalysisResult Detector::Analyze(const telemetry::DerivedTrace& trace) const {
+  AnalysisResult result;
+  result.trace_duration = trace.end - trace.begin;
+  if (trace.end <= trace.begin + cfg_.window) return result;
+  for (Time t = trace.begin; t + cfg_.window <= trace.end;
+       t += cfg_.step) {
+    result.windows.push_back(AnalyzeWindow(trace, t));
+  }
+  return result;
+}
+
+}  // namespace domino::analysis

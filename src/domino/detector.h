@@ -1,0 +1,69 @@
+// The Domino detector: slides a window over a derived trace, evaluates the
+// causal graph's node conditions, extracts the feature vector, and reports
+// every complete cause->consequence chain active in each window (§4.2:
+// W = 5 s, step 0.5 s).
+#pragma once
+
+#include <vector>
+
+#include "domino/features.h"
+#include "domino/graph.h"
+
+namespace domino::analysis {
+
+struct DominoConfig {
+  Duration window = Seconds(5.0);
+  Duration step = Millis(500);
+  EventThresholds thresholds;
+  bool extract_features = true;  ///< Feature vectors cost ~40 detections per
+                                 ///< window; disable for chain-only runs.
+};
+
+/// One detected causal chain in one window, from one sender perspective.
+struct ChainInstance {
+  Time window_begin;
+  int sender_client = 0;   ///< 0 = UE outbound media, 1 = remote outbound.
+  int chain_index = 0;     ///< Index into Detector::chains().
+};
+
+struct WindowResult {
+  Time begin;
+  FeatureVector features{};
+  /// Active graph nodes per perspective: node_active[p][node].
+  std::array<std::vector<bool>, 2> node_active;
+  std::vector<ChainInstance> chains;
+};
+
+struct AnalysisResult {
+  std::vector<WindowResult> windows;
+  Duration trace_duration{0};
+  /// Flat list of every chain instance across windows.
+  [[nodiscard]] std::vector<ChainInstance> AllChains() const;
+};
+
+class Detector {
+ public:
+  Detector(CausalGraph graph, DominoConfig cfg);
+
+  /// Runs the full sliding-window analysis over the trace.
+  [[nodiscard]] AnalysisResult Analyze(
+      const telemetry::DerivedTrace& trace) const;
+
+  /// Evaluates one window at `begin` (both perspectives).
+  [[nodiscard]] WindowResult AnalyzeWindow(
+      const telemetry::DerivedTrace& trace, Time begin) const;
+
+  [[nodiscard]] const CausalGraph& graph() const { return graph_; }
+  /// Enumerated cause->consequence paths (fixed at construction).
+  [[nodiscard]] const std::vector<ChainPath>& chains() const {
+    return chains_;
+  }
+  [[nodiscard]] const DominoConfig& config() const { return cfg_; }
+
+ private:
+  CausalGraph graph_;
+  DominoConfig cfg_;
+  std::vector<ChainPath> chains_;
+};
+
+}  // namespace domino::analysis

@@ -1,0 +1,216 @@
+#include "domino/events.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace domino::analysis {
+
+namespace {
+
+struct NameEntry {
+  EventType type;
+  const char* name;
+};
+
+constexpr std::array<NameEntry, 20> kNames = {{
+    {EventType::kInboundFpsDrop, "inbound_fps_drop"},
+    {EventType::kOutboundFpsDrop, "outbound_fps_drop"},
+    {EventType::kResolutionDrop, "resolution_drop"},
+    {EventType::kJitterBufferDrain, "jitter_buffer_drain"},
+    {EventType::kTargetBitrateDrop, "target_bitrate_drop"},
+    {EventType::kGccOveruse, "gcc_overuse"},
+    {EventType::kPushbackDrop, "pushback_drop"},
+    {EventType::kCwndFull, "cwnd_full"},
+    {EventType::kOutstandingUp, "outstanding_up"},
+    {EventType::kPushbackNeqTarget, "pushback_neq_target"},
+    {EventType::kFwdDelayUp, "fwd_delay_up"},
+    {EventType::kRevDelayUp, "rev_delay_up"},
+    {EventType::kTbsDrop, "tbs_drop"},
+    {EventType::kRateGap, "rate_gap"},
+    {EventType::kCrossTraffic, "cross_traffic"},
+    {EventType::kChannelDegrade, "channel_degrade"},
+    {EventType::kHarqRetx, "harq_retx"},
+    {EventType::kRlcRetx, "rlc_retx"},
+    {EventType::kUlScheduling, "ul_scheduling"},
+    {EventType::kRrcChange, "rrc_change"},
+}};
+
+/// Downtrend with a relative threshold: some consecutive pair drops by more
+/// than `frac` of the earlier value.
+bool HasRelativeDrop(const WindowView<double>& v, double frac) {
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    if (v[i + 1].value < v[i].value * (1.0 - frac)) return true;
+  }
+  return false;
+}
+
+bool BucketedUptrend(const WindowView<double>& v, int bucket, double factor) {
+  auto means = BucketMeans(v, static_cast<std::size_t>(bucket));
+  for (std::size_t k = 0; k + 1 < means.size(); ++k) {
+    if (means[k + 1] > means[k] * factor) return true;
+  }
+  return false;
+}
+
+/// Frame-rate drop (conditions 1 & 2): max > high, min < low, and the
+/// maximum occurs before the minimum.
+bool FpsDrop(const WindowView<double>& v, const EventThresholds& th) {
+  if (v.empty()) return false;
+  if (v.Max() <= th.fps_high || v.Min() >= th.fps_low) return false;
+  return v.ArgMax() < v.ArgMin();
+}
+
+/// Paired element-wise comparison between two series sampled on the same
+/// ticks (e.g. outstanding bytes vs congestion window).
+template <typename Pred>
+bool AnyPaired(const WindowView<double>& a, const WindowView<double>& b,
+               Pred pred) {
+  std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred(a[i].value, b[i].value)) return true;
+  }
+  return false;
+}
+
+bool DelayUptrend(const WindowView<double>& v, const EventThresholds& th) {
+  if (v.empty()) return false;
+  if (v.Max() <= th.delay_up_min_ms) return false;
+  return BucketedUptrend(v, th.trend_bucket, 1.0);
+}
+
+bool ChannelDegrade(const WindowView<double>& mcs, Time begin,
+                    const EventThresholds& th) {
+  auto buckets = TimeBucketMeans(mcs, begin, th.mcs_bucket);
+  if (buckets.empty()) return false;
+  double p90 = Percentile(buckets, 90.0);
+  if (p90 >= th.mcs_p90_max) return false;
+  int low = 0;
+  for (double b : buckets) {
+    if (b < th.mcs_low) ++low;
+  }
+  return low > th.mcs_low_count;
+}
+
+bool RateGap(const WindowView<double>& app, const WindowView<double>& tbs,
+             const EventThresholds& th) {
+  std::size_t n = std::min(app.size(), tbs.size());
+  if (n == 0) return false;
+  std::size_t gap = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (app[i].value > tbs[i].value) ++gap;
+  }
+  return static_cast<double>(gap) > th.rate_gap_frac * static_cast<double>(n);
+}
+
+bool CrossTraffic(const WindowView<double>& self,
+                  const WindowView<double>& other,
+                  const EventThresholds& th) {
+  double other_sum = other.Sum();
+  if (other_sum < th.cross_traffic_min_prbs) return false;
+  return other_sum > th.cross_traffic_frac * self.Sum();
+}
+
+}  // namespace
+
+std::string ToString(EventType type) {
+  for (const auto& e : kNames) {
+    if (e.type == type) return e.name;
+  }
+  return "unknown";
+}
+
+std::string ToString(const EventRef& ref) {
+  std::string s = ToString(ref.type);
+  if (ref.leg == PathLeg::kRev) s += "@rev";
+  return s;
+}
+
+std::optional<EventType> EventTypeFromName(const std::string& name) {
+  for (const auto& e : kNames) {
+    if (name == e.name) return e.type;
+  }
+  return std::nullopt;
+}
+
+bool DetectEvent(const EventRef& ref, const WindowContext& ctx,
+                 const EventThresholds& th) {
+  // Direction-scoped events default to the forward leg when unqualified.
+  PathLeg leg = ref.leg == PathLeg::kNone ? PathLeg::kFwd : ref.leg;
+  const auto& dir = ctx.Dir(leg);
+  const auto& snd = ctx.Sender();
+  const auto& rcv = ctx.Receiver();
+
+  switch (ref.type) {
+    case EventType::kInboundFpsDrop:
+      return FpsDrop(ctx.View(rcv.inbound_fps), th);
+    case EventType::kOutboundFpsDrop:
+      return FpsDrop(ctx.View(snd.outbound_fps), th);
+    case EventType::kResolutionDrop:
+      return ctx.View(snd.outbound_resolution).HasDecreasingStep();
+    case EventType::kJitterBufferDrain:
+      return ctx.View(rcv.jitter_buffer_ms)
+          .Any([&](double v) { return v <= th.jb_drain_ms; });
+    case EventType::kTargetBitrateDrop:
+      return HasRelativeDrop(ctx.View(snd.target_bitrate_bps),
+                             th.bitrate_drop_frac);
+    case EventType::kGccOveruse:
+      return ctx.View(snd.overuse).Any([](double v) { return v > 0.5; });
+    case EventType::kPushbackDrop:
+      // A pushback-rate reduction distinct from the bandwidth estimator:
+      // the rate must both drop and diverge below the target bitrate
+      // (otherwise the pushback controller is just following the target).
+      return HasRelativeDrop(ctx.View(snd.pushback_bitrate_bps),
+                             th.bitrate_drop_frac) &&
+             AnyPaired(ctx.View(snd.target_bitrate_bps),
+                       ctx.View(snd.pushback_bitrate_bps),
+                       [](double t, double p) { return p < 0.99 * t; });
+    case EventType::kCwndFull:
+      return AnyPaired(ctx.View(snd.outstanding_bytes),
+                       ctx.View(snd.cwnd_bytes),
+                       [](double o, double w) { return w > 0 && o > w; });
+    case EventType::kOutstandingUp:
+      return BucketedUptrend(ctx.View(snd.outstanding_bytes),
+                             th.trend_bucket, th.outstanding_up_frac);
+    case EventType::kPushbackNeqTarget:
+      return AnyPaired(
+          ctx.View(snd.target_bitrate_bps),
+          ctx.View(snd.pushback_bitrate_bps),
+          [](double t, double p) { return std::fabs(t - p) > 1e-3 * t; });
+    case EventType::kFwdDelayUp:
+      return DelayUptrend(ctx.View(ctx.Dir(PathLeg::kFwd).owd_ms), th);
+    case EventType::kRevDelayUp:
+      return DelayUptrend(ctx.View(ctx.Dir(PathLeg::kRev).owd_ms), th);
+    case EventType::kTbsDrop: {
+      auto v = ctx.View(dir.tbs_bytes);
+      if (v.empty()) return false;
+      return v.Min() < th.tbs_drop_frac * v.Max();
+    }
+    case EventType::kRateGap:
+      return RateGap(ctx.View(dir.app_bitrate_bps),
+                     ctx.View(dir.tbs_bitrate_bps), th);
+    case EventType::kCrossTraffic:
+      return CrossTraffic(ctx.View(dir.prb_self), ctx.View(dir.prb_other),
+                          th);
+    case EventType::kChannelDegrade:
+      return ChannelDegrade(ctx.View(dir.mcs), ctx.begin(), th);
+    case EventType::kHarqRetx:
+      return static_cast<int>(ctx.View(dir.harq_retx).size()) >
+             th.harq_retx_count;
+    case EventType::kRlcRetx:
+      return ctx.trace().has_gnb_log && !ctx.View(dir.rlc_retx).empty();
+    case EventType::kUlScheduling:
+      // True when this leg rides the 5G uplink and actually carried data.
+      return ctx.DirIndex(leg) == 0 && !ctx.View(dir.prb_self).empty();
+    case EventType::kRrcChange: {
+      auto v = ctx.View(dir.rnti);
+      if (v.size() < 2) return false;
+      return v.Min() != v.Max();
+    }
+  }
+  return false;
+}
+
+}  // namespace domino::analysis

@@ -1,0 +1,141 @@
+// Domino event model: the 20 event types of Table 5 / Appendix D, their
+// scoping rules, and the built-in window detection conditions.
+//
+// Events are *typed conditions*; a concrete feature is an event type bound
+// to a scope (which client, or which 5G direction) and evaluated over one
+// sliding window of the derived trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/time.h"
+#include "common/timeseries.h"
+#include "telemetry/dataset.h"
+
+namespace domino::analysis {
+
+/// The 20 event/feature types of Table 5 (same numbering).
+enum class EventType : std::uint8_t {
+  kInboundFpsDrop = 1,
+  kOutboundFpsDrop = 2,
+  kResolutionDrop = 3,
+  kJitterBufferDrain = 4,
+  kTargetBitrateDrop = 5,
+  kGccOveruse = 6,
+  kPushbackDrop = 7,
+  kCwndFull = 8,
+  kOutstandingUp = 9,
+  kPushbackNeqTarget = 10,
+  kFwdDelayUp = 11,
+  kRevDelayUp = 12,
+  kTbsDrop = 13,
+  kRateGap = 14,
+  kCrossTraffic = 15,
+  kChannelDegrade = 16,
+  kHarqRetx = 17,
+  kRlcRetx = 18,
+  kUlScheduling = 19,
+  kRrcChange = 20,
+};
+
+/// Which leg of the media path a direction-scoped event refers to, relative
+/// to the current perspective (the sending client under analysis):
+/// forward = the media direction, reverse = the RTCP feedback direction.
+enum class PathLeg : std::uint8_t { kNone, kFwd, kRev };
+
+/// A scoped event: the unit Domino's causal graph nodes reference.
+struct EventRef {
+  EventType type;
+  PathLeg leg = PathLeg::kNone;
+
+  bool operator==(const EventRef&) const = default;
+};
+
+/// Canonical snake_case name (used by the config DSL and reports),
+/// e.g. "cross_traffic", "jitter_buffer_drain".
+std::string ToString(EventType type);
+std::string ToString(const EventRef& ref);
+/// Inverse of ToString(EventType); nullopt for unknown names.
+std::optional<EventType> EventTypeFromName(const std::string& name);
+
+/// Tunable thresholds for the built-in conditions (paper defaults).
+struct EventThresholds {
+  double fps_high = 27.0;
+  double fps_low = 25.0;
+  double jb_drain_ms = 0.5;          ///< "drops to 0 ms" (allow quantisation).
+  double bitrate_drop_frac = 0.02;   ///< Relative step treated as a drop.
+  double outstanding_up_frac = 1.05; ///< Bucketed uptrend factor.
+  int trend_bucket = 10;             ///< Samples per trend bucket (App. D).
+  double delay_up_min_ms = 80.0;     ///< Delay uptrend must exceed this peak.
+  double tbs_drop_frac = 0.8;        ///< min < frac x max.
+  double rate_gap_frac = 0.10;       ///< Fraction of bins with app > TBS.
+  double cross_traffic_frac = 0.20;  ///< Other PRBs vs ours.
+  double cross_traffic_min_prbs = 50;///< Absolute floor (guards empty self).
+  double mcs_p90_max = 20.0;         ///< Channel-degrade condition.
+  double mcs_low = 10.0;
+  int mcs_low_count = 10;
+  Duration mcs_bucket = Millis(50);
+  int harq_retx_count = 10;          ///< "> 10 HARQ retransmissions".
+};
+
+/// One sliding window over the derived trace, bound to a perspective.
+///
+/// Perspective: `sender_client` = 0 analyses the UE's outbound media (the
+/// forward leg is the 5G uplink); 1 analyses the remote client's outbound
+/// media (forward = downlink). Client-scoped series resolve to the sender
+/// (GCC-side signals) or the receiver (playback-side signals) accordingly.
+class WindowContext {
+ public:
+  WindowContext(const telemetry::DerivedTrace& trace, Time begin, Time end,
+                int sender_client)
+      : trace_(&trace),
+        begin_(begin),
+        end_(end),
+        sender_(sender_client) {}
+
+  [[nodiscard]] Time begin() const { return begin_; }
+  [[nodiscard]] Time end() const { return end_; }
+  [[nodiscard]] int sender_client() const { return sender_; }
+  [[nodiscard]] int receiver_client() const { return 1 - sender_; }
+  [[nodiscard]] const telemetry::DerivedTrace& trace() const {
+    return *trace_;
+  }
+
+  /// Direction index (0 = UL, 1 = DL) of the given path leg.
+  [[nodiscard]] int DirIndex(PathLeg leg) const {
+    // UE sender (client 0) sends its media on the uplink.
+    bool fwd_is_ul = sender_ == 0;
+    bool want_ul = (leg == PathLeg::kFwd) == fwd_is_ul;
+    return want_ul ? 0 : 1;
+  }
+
+  [[nodiscard]] const telemetry::DirectionSeries& Dir(PathLeg leg) const {
+    return trace_->dir[static_cast<std::size_t>(DirIndex(leg))];
+  }
+  [[nodiscard]] const telemetry::ClientSeries& Sender() const {
+    return trace_->client[static_cast<std::size_t>(sender_)];
+  }
+  [[nodiscard]] const telemetry::ClientSeries& Receiver() const {
+    return trace_->client[static_cast<std::size_t>(1 - sender_)];
+  }
+
+  /// Slices a series to this window.
+  [[nodiscard]] WindowView<double> View(const TimeSeries<double>& s) const {
+    return s.Window(begin_, end_);
+  }
+
+ private:
+  const telemetry::DerivedTrace* trace_;
+  Time begin_;
+  Time end_;
+  int sender_;
+};
+
+/// Evaluates the built-in condition for `ref` over the window. Implements
+/// Table 5 / Appendix D exactly (see EventThresholds for the constants).
+bool DetectEvent(const EventRef& ref, const WindowContext& ctx,
+                 const EventThresholds& th);
+
+}  // namespace domino::analysis

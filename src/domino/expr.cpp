@@ -1,0 +1,638 @@
+#include "domino/expr.h"
+
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/stats.h"
+
+namespace domino::analysis {
+
+WindowView<double> ExprNode::EvalSeries(const WindowContext&) const {
+  throw DslError("expression is scalar-valued where a series was expected");
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok {
+  kEnd, kNumber, kIdent, kDot, kComma, kLParen, kRParen,
+  kPlus, kMinus, kStar, kSlash,
+  kLt, kGt, kLe, kGe, kEq, kNe,
+  kAnd, kOr, kNot,
+};
+
+struct Token {
+  Tok kind;
+  double number = 0;
+  std::string text;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { Advance(); }
+
+  const Token& peek() const { return current_; }
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+ private:
+  void Advance() {
+    while (i_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[i_]))) {
+      ++i_;
+    }
+    current_.pos = i_;
+    if (i_ >= src_.size()) {
+      current_.kind = Tok::kEnd;
+      return;
+    }
+    char c = src_[i_];
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i_ + 1 < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[i_ + 1])))) {
+      std::size_t end = i_;
+      while (end < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[end])) ||
+              src_[end] == '.' || src_[end] == 'e' || src_[end] == 'E' ||
+              ((src_[end] == '+' || src_[end] == '-') && end > i_ &&
+               (src_[end - 1] == 'e' || src_[end - 1] == 'E')))) {
+        ++end;
+      }
+      current_.kind = Tok::kNumber;
+      try {
+        current_.number = std::stod(src_.substr(i_, end - i_));
+      } catch (const std::exception&) {
+        throw DslError("bad number at position " + std::to_string(i_));
+      }
+      i_ = end;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = i_;
+      while (end < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[end])) ||
+              src_[end] == '_')) {
+        ++end;
+      }
+      std::string word = src_.substr(i_, end - i_);
+      i_ = end;
+      if (word == "and") {
+        current_.kind = Tok::kAnd;
+      } else if (word == "or") {
+        current_.kind = Tok::kOr;
+      } else if (word == "not") {
+        current_.kind = Tok::kNot;
+      } else {
+        current_.kind = Tok::kIdent;
+        current_.text = word;
+      }
+      return;
+    }
+    auto two = [&](char next) {
+      return i_ + 1 < src_.size() && src_[i_ + 1] == next;
+    };
+    switch (c) {
+      case '.': current_.kind = Tok::kDot; ++i_; return;
+      case ',': current_.kind = Tok::kComma; ++i_; return;
+      case '(': current_.kind = Tok::kLParen; ++i_; return;
+      case ')': current_.kind = Tok::kRParen; ++i_; return;
+      case '+': current_.kind = Tok::kPlus; ++i_; return;
+      case '-': current_.kind = Tok::kMinus; ++i_; return;
+      case '*': current_.kind = Tok::kStar; ++i_; return;
+      case '/': current_.kind = Tok::kSlash; ++i_; return;
+      case '<':
+        if (two('=')) { current_.kind = Tok::kLe; i_ += 2; }
+        else { current_.kind = Tok::kLt; ++i_; }
+        return;
+      case '>':
+        if (two('=')) { current_.kind = Tok::kGe; i_ += 2; }
+        else { current_.kind = Tok::kGt; ++i_; }
+        return;
+      case '=':
+        if (two('=')) { current_.kind = Tok::kEq; i_ += 2; return; }
+        break;
+      case '!':
+        if (two('=')) { current_.kind = Tok::kNe; i_ += 2; return; }
+        break;
+      default:
+        break;
+    }
+    throw DslError(std::string("unexpected character '") + c +
+                   "' at position " + std::to_string(i_));
+  }
+
+  const std::string& src_;
+  std::size_t i_ = 0;
+  Token current_;
+};
+
+// ---------------------------------------------------------------------------
+// AST nodes
+// ---------------------------------------------------------------------------
+
+class NumberNode : public ExprNode {
+ public:
+  explicit NumberNode(double v) : v_(v) {}
+  double EvalScalar(const WindowContext&) const override { return v_; }
+  std::string ToPython() const override {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v_);
+    return buf;
+  }
+
+ private:
+  double v_;
+};
+
+class SeriesNode : public ExprNode {
+ public:
+  SeriesNode(std::string scope, std::string name)
+      : scope_(std::move(scope)), name_(std::move(name)) {
+    Check();
+  }
+
+  bool is_series() const override { return true; }
+
+  double EvalScalar(const WindowContext&) const override {
+    throw DslError("series '" + scope_ + "." + name_ +
+                   "' used where a scalar was expected");
+  }
+
+  WindowView<double> EvalSeries(const WindowContext& ctx) const override {
+    const TimeSeries<double>* s = Resolve(ctx);
+    return ctx.View(*s);
+  }
+
+  std::string ToPython() const override {
+    return "w[\"" + scope_ + "." + name_ + "\"]";
+  }
+
+ private:
+  void Check() const;
+  const TimeSeries<double>* Resolve(const WindowContext& ctx) const;
+
+  std::string scope_;
+  std::string name_;
+};
+
+enum class Func {
+  kMin, kMax, kMean, kStdDev, kSum, kCount, kFirst, kLast, kPercentile,
+  kCountBelow, kCountAbove, kHasDrop, kHasRise, kTrendUp, kTrendDown,
+  kFracGt, kAnyGt,
+};
+
+struct FuncInfo {
+  Func id;
+  const char* name;
+  int series_args;  ///< Leading series arguments.
+  int scalar_args;  ///< Trailing scalar arguments.
+};
+
+constexpr FuncInfo kFuncs[] = {
+    {Func::kMin, "min", 1, 0},          {Func::kMax, "max", 1, 0},
+    {Func::kMean, "mean", 1, 0},        {Func::kStdDev, "stddev", 1, 0},
+    {Func::kSum, "sum", 1, 0},          {Func::kFirst, "first", 1, 0},
+    {Func::kLast, "last", 1, 0},
+    {Func::kCount, "count", 1, 0},      {Func::kPercentile, "p", 1, 1},
+    {Func::kCountBelow, "count_below", 1, 1},
+    {Func::kCountAbove, "count_above", 1, 1},
+    {Func::kHasDrop, "has_drop", 1, 0}, {Func::kHasRise, "has_rise", 1, 0},
+    {Func::kTrendUp, "trend_up", 1, 0}, {Func::kTrendDown, "trend_down", 1, 0},
+    {Func::kFracGt, "frac_gt", 2, 0},   {Func::kAnyGt, "any_gt", 2, 0},
+};
+
+const FuncInfo* FindFunc(const std::string& name) {
+  for (const auto& f : kFuncs) {
+    if (name == f.name) return &f;
+  }
+  return nullptr;
+}
+
+class FuncNode : public ExprNode {
+ public:
+  FuncNode(const FuncInfo& info, std::vector<ExprPtr> series,
+           std::vector<ExprPtr> scalars)
+      : info_(info), series_(std::move(series)), scalars_(std::move(scalars)) {}
+
+  double EvalScalar(const WindowContext& ctx) const override {
+    auto s0 = series_[0]->EvalSeries(ctx);
+    switch (info_.id) {
+      case Func::kMin:
+        return s0.empty() ? 0.0 : s0.Min();
+      case Func::kMax:
+        return s0.empty() ? 0.0 : s0.Max();
+      case Func::kMean:
+        return s0.empty() ? 0.0 : s0.Mean();
+      case Func::kStdDev: {
+        if (s0.size() < 2) return 0.0;
+        std::vector<double> v;
+        v.reserve(s0.size());
+        for (const auto& smp : s0) v.push_back(smp.value);
+        return StdDev(v);
+      }
+      case Func::kFirst:
+        return s0.empty() ? 0.0 : s0[0].value;
+      case Func::kLast:
+        return s0.empty() ? 0.0 : s0[s0.size() - 1].value;
+      case Func::kSum:
+        return s0.Sum();
+      case Func::kCount:
+        return static_cast<double>(s0.size());
+      case Func::kPercentile: {
+        std::vector<double> v;
+        v.reserve(s0.size());
+        for (const auto& s : s0) v.push_back(s.value);
+        return Percentile(std::move(v), scalars_[0]->EvalScalar(ctx));
+      }
+      case Func::kCountBelow: {
+        double x = scalars_[0]->EvalScalar(ctx);
+        return static_cast<double>(
+            s0.CountIf([x](double v) { return v < x; }));
+      }
+      case Func::kCountAbove: {
+        double x = scalars_[0]->EvalScalar(ctx);
+        return static_cast<double>(
+            s0.CountIf([x](double v) { return v > x; }));
+      }
+      case Func::kHasDrop:
+        return s0.HasDecreasingStep() ? 1.0 : 0.0;
+      case Func::kHasRise:
+        return s0.HasIncreasingStep() ? 1.0 : 0.0;
+      case Func::kTrendUp:
+      case Func::kTrendDown: {
+        auto means = BucketMeans(s0, 10);
+        for (std::size_t k = 0; k + 1 < means.size(); ++k) {
+          if (info_.id == Func::kTrendUp && means[k + 1] > means[k]) {
+            return 1.0;
+          }
+          if (info_.id == Func::kTrendDown && means[k + 1] < means[k]) {
+            return 1.0;
+          }
+        }
+        return 0.0;
+      }
+      case Func::kFracGt:
+      case Func::kAnyGt: {
+        auto s1 = series_[1]->EvalSeries(ctx);
+        std::size_t n = std::min(s0.size(), s1.size());
+        if (n == 0) return 0.0;
+        std::size_t cnt = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (s0[i].value > s1[i].value) ++cnt;
+        }
+        if (info_.id == Func::kAnyGt) return cnt > 0 ? 1.0 : 0.0;
+        return static_cast<double>(cnt) / static_cast<double>(n);
+      }
+    }
+    return 0.0;
+  }
+
+  std::string ToPython() const override {
+    std::string out = std::string("dsl_") + info_.name + "(";
+    bool first = true;
+    for (const auto& a : series_) {
+      if (!first) out += ", ";
+      out += a->ToPython();
+      first = false;
+    }
+    for (const auto& a : scalars_) {
+      if (!first) out += ", ";
+      out += a->ToPython();
+      first = false;
+    }
+    return out + ")";
+  }
+
+ private:
+  FuncInfo info_;
+  std::vector<ExprPtr> series_;
+  std::vector<ExprPtr> scalars_;
+};
+
+class UnaryNode : public ExprNode {
+ public:
+  enum Op { kNeg, kNot };
+  UnaryNode(Op op, ExprPtr inner) : op_(op), inner_(std::move(inner)) {}
+
+  double EvalScalar(const WindowContext& ctx) const override {
+    double v = inner_->EvalScalar(ctx);
+    return op_ == kNeg ? -v : (v == 0.0 ? 1.0 : 0.0);
+  }
+  std::string ToPython() const override {
+    return op_ == kNeg ? "(-" + inner_->ToPython() + ")"
+                       : "(not " + inner_->ToPython() + ")";
+  }
+
+ private:
+  Op op_;
+  ExprPtr inner_;
+};
+
+class BinaryNode : public ExprNode {
+ public:
+  BinaryNode(Tok op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  double EvalScalar(const WindowContext& ctx) const override {
+    // Short-circuit logical operators.
+    if (op_ == Tok::kAnd) {
+      return lhs_->EvalScalar(ctx) != 0.0 && rhs_->EvalScalar(ctx) != 0.0
+                 ? 1.0
+                 : 0.0;
+    }
+    if (op_ == Tok::kOr) {
+      return lhs_->EvalScalar(ctx) != 0.0 || rhs_->EvalScalar(ctx) != 0.0
+                 ? 1.0
+                 : 0.0;
+    }
+    double a = lhs_->EvalScalar(ctx);
+    double b = rhs_->EvalScalar(ctx);
+    switch (op_) {
+      case Tok::kPlus: return a + b;
+      case Tok::kMinus: return a - b;
+      case Tok::kStar: return a * b;
+      case Tok::kSlash: return b == 0.0 ? 0.0 : a / b;
+      case Tok::kLt: return a < b ? 1.0 : 0.0;
+      case Tok::kGt: return a > b ? 1.0 : 0.0;
+      case Tok::kLe: return a <= b ? 1.0 : 0.0;
+      case Tok::kGe: return a >= b ? 1.0 : 0.0;
+      case Tok::kEq: return a == b ? 1.0 : 0.0;
+      case Tok::kNe: return a != b ? 1.0 : 0.0;
+      default: throw DslError("internal: bad binary operator");
+    }
+  }
+
+  std::string ToPython() const override {
+    static const std::map<Tok, std::string> kOps = {
+        {Tok::kPlus, "+"}, {Tok::kMinus, "-"}, {Tok::kStar, "*"},
+        {Tok::kSlash, "/"}, {Tok::kLt, "<"}, {Tok::kGt, ">"},
+        {Tok::kLe, "<="}, {Tok::kGe, ">="}, {Tok::kEq, "=="},
+        {Tok::kNe, "!="}, {Tok::kAnd, "and"}, {Tok::kOr, "or"},
+    };
+    return "(" + lhs_->ToPython() + " " + kOps.at(op_) + " " +
+           rhs_->ToPython() + ")";
+  }
+
+ private:
+  Tok op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+// ---------------------------------------------------------------------------
+// Series name resolution
+// ---------------------------------------------------------------------------
+
+const TimeSeries<double>* ResolveDirSeries(const telemetry::DirectionSeries& d,
+                                           const std::string& name) {
+  if (name == "tbs") return &d.tbs_bytes;
+  if (name == "prb_self") return &d.prb_self;
+  if (name == "prb_other") return &d.prb_other;
+  if (name == "mcs") return &d.mcs;
+  if (name == "harq_retx") return &d.harq_retx;
+  if (name == "rlc_retx") return &d.rlc_retx;
+  if (name == "owd_ms") return &d.owd_ms;
+  if (name == "app_bitrate") return &d.app_bitrate_bps;
+  if (name == "tbs_bitrate") return &d.tbs_bitrate_bps;
+  if (name == "rnti") return &d.rnti;
+  return nullptr;
+}
+
+const TimeSeries<double>* ResolveClientSeries(
+    const telemetry::ClientSeries& c, const std::string& name) {
+  if (name == "inbound_fps") return &c.inbound_fps;
+  if (name == "outbound_fps") return &c.outbound_fps;
+  if (name == "outbound_resolution") return &c.outbound_resolution;
+  if (name == "jitter_buffer_ms") return &c.jitter_buffer_ms;
+  if (name == "target_bitrate") return &c.target_bitrate_bps;
+  if (name == "pushback_rate") return &c.pushback_bitrate_bps;
+  if (name == "outstanding_bytes") return &c.outstanding_bytes;
+  if (name == "cwnd_bytes") return &c.cwnd_bytes;
+  if (name == "overuse") return &c.overuse;
+  return nullptr;
+}
+
+bool IsDirScope(const std::string& s) {
+  return s == "fwd" || s == "rev" || s == "ul" || s == "dl";
+}
+bool IsClientScope(const std::string& s) {
+  return s == "sender" || s == "receiver" || s == "ue" || s == "remote";
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lexer_(src) {}
+
+  ExprPtr Parse() {
+    ExprPtr e = ParseOr();
+    if (lexer_.peek().kind != Tok::kEnd) {
+      throw DslError("unexpected trailing input at position " +
+                     std::to_string(lexer_.peek().pos));
+    }
+    return e;
+  }
+
+ private:
+  ExprPtr ParseOr() {
+    ExprPtr lhs = ParseAnd();
+    while (lexer_.peek().kind == Tok::kOr) {
+      lexer_.Take();
+      lhs = std::make_shared<BinaryNode>(Tok::kOr, lhs, ParseAnd());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr lhs = ParseCmp();
+    while (lexer_.peek().kind == Tok::kAnd) {
+      lexer_.Take();
+      lhs = std::make_shared<BinaryNode>(Tok::kAnd, lhs, ParseCmp());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseCmp() {
+    ExprPtr lhs = ParseSum();
+    Tok k = lexer_.peek().kind;
+    if (k == Tok::kLt || k == Tok::kGt || k == Tok::kLe || k == Tok::kGe ||
+        k == Tok::kEq || k == Tok::kNe) {
+      lexer_.Take();
+      return std::make_shared<BinaryNode>(k, lhs, ParseSum());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseSum() {
+    ExprPtr lhs = ParseProd();
+    for (;;) {
+      Tok k = lexer_.peek().kind;
+      if (k != Tok::kPlus && k != Tok::kMinus) return lhs;
+      lexer_.Take();
+      lhs = std::make_shared<BinaryNode>(k, lhs, ParseProd());
+    }
+  }
+
+  ExprPtr ParseProd() {
+    ExprPtr lhs = ParseUnary();
+    for (;;) {
+      Tok k = lexer_.peek().kind;
+      if (k != Tok::kStar && k != Tok::kSlash) return lhs;
+      lexer_.Take();
+      lhs = std::make_shared<BinaryNode>(k, lhs, ParseUnary());
+    }
+  }
+
+  ExprPtr ParseUnary() {
+    if (lexer_.peek().kind == Tok::kMinus) {
+      lexer_.Take();
+      return std::make_shared<UnaryNode>(UnaryNode::kNeg, ParseUnary());
+    }
+    if (lexer_.peek().kind == Tok::kNot) {
+      lexer_.Take();
+      return std::make_shared<UnaryNode>(UnaryNode::kNot, ParseUnary());
+    }
+    return ParsePrimary();
+  }
+
+  ExprPtr ParsePrimary() {
+    Token t = lexer_.Take();
+    switch (t.kind) {
+      case Tok::kNumber:
+        return std::make_shared<NumberNode>(t.number);
+      case Tok::kLParen: {
+        ExprPtr e = ParseOr();
+        Expect(Tok::kRParen, ")");
+        return e;
+      }
+      case Tok::kIdent: {
+        if (lexer_.peek().kind == Tok::kDot) {
+          lexer_.Take();
+          Token name = Expect(Tok::kIdent, "series name");
+          return std::make_shared<SeriesNode>(t.text, name.text);
+        }
+        const FuncInfo* fn = FindFunc(t.text);
+        if (fn == nullptr) {
+          throw DslError("unknown function or scope '" + t.text + "'");
+        }
+        Expect(Tok::kLParen, "(");
+        std::vector<ExprPtr> series, scalars;
+        for (int i = 0; i < fn->series_args + fn->scalar_args; ++i) {
+          if (i > 0) Expect(Tok::kComma, ",");
+          ExprPtr arg = ParseOr();
+          if (i < fn->series_args) {
+            if (!arg->is_series()) {
+              throw DslError(std::string(fn->name) + ": argument " +
+                             std::to_string(i + 1) + " must be a series");
+            }
+            series.push_back(arg);
+          } else {
+            if (arg->is_series()) {
+              throw DslError(std::string(fn->name) + ": argument " +
+                             std::to_string(i + 1) + " must be a scalar");
+            }
+            scalars.push_back(arg);
+          }
+        }
+        Expect(Tok::kRParen, ")");
+        return std::make_shared<FuncNode>(*fn, std::move(series),
+                                          std::move(scalars));
+      }
+      default:
+        throw DslError("unexpected token at position " +
+                       std::to_string(t.pos));
+    }
+  }
+
+  Token Expect(Tok kind, const char* what) {
+    Token t = lexer_.Take();
+    if (t.kind != kind) {
+      throw DslError(std::string("expected ") + what + " at position " +
+                     std::to_string(t.pos));
+    }
+    return t;
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+void SeriesNode::Check() const {
+  if (IsDirScope(scope_)) {
+    telemetry::DirectionSeries dummy;
+    if (ResolveDirSeries(dummy, name_) == nullptr) {
+      throw DslError("unknown 5G series '" + name_ + "' in scope '" + scope_ +
+                     "'");
+    }
+    return;
+  }
+  if (IsClientScope(scope_)) {
+    telemetry::ClientSeries dummy;
+    if (ResolveClientSeries(dummy, name_) == nullptr) {
+      throw DslError("unknown client series '" + name_ + "' in scope '" +
+                     scope_ + "'");
+    }
+    return;
+  }
+  throw DslError("unknown scope '" + scope_ + "'");
+}
+
+const TimeSeries<double>* SeriesNode::Resolve(const WindowContext& ctx) const {
+  if (IsDirScope(scope_)) {
+    const telemetry::DirectionSeries* d = nullptr;
+    if (scope_ == "fwd") {
+      d = &ctx.Dir(PathLeg::kFwd);
+    } else if (scope_ == "rev") {
+      d = &ctx.Dir(PathLeg::kRev);
+    } else if (scope_ == "ul") {
+      d = &ctx.trace().dir[0];
+    } else {
+      d = &ctx.trace().dir[1];
+    }
+    return ResolveDirSeries(*d, name_);
+  }
+  const telemetry::ClientSeries* c = nullptr;
+  if (scope_ == "sender") {
+    c = &ctx.Sender();
+  } else if (scope_ == "receiver") {
+    c = &ctx.Receiver();
+  } else if (scope_ == "ue") {
+    c = &ctx.trace().client[0];
+  } else {
+    c = &ctx.trace().client[1];
+  }
+  return ResolveClientSeries(*c, name_);
+}
+
+ExprPtr ParseExpression(const std::string& text) {
+  Parser p(text);
+  return p.Parse();
+}
+
+std::vector<std::string> KnownDirSeries() {
+  return {"tbs",      "prb_self", "prb_other",  "mcs",        "harq_retx",
+          "rlc_retx", "owd_ms",   "app_bitrate", "tbs_bitrate", "rnti"};
+}
+std::vector<std::string> KnownClientSeries() {
+  return {"inbound_fps",       "outbound_fps", "outbound_resolution",
+          "jitter_buffer_ms",  "target_bitrate", "pushback_rate",
+          "outstanding_bytes", "cwnd_bytes",   "overuse"};
+}
+std::vector<std::string> KnownScopes() {
+  return {"fwd", "rev", "ul", "dl", "sender", "receiver", "ue", "remote"};
+}
+
+}  // namespace domino::analysis

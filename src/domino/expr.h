@@ -1,0 +1,75 @@
+// Expression DSL for user-defined event conditions (the extensibility API of
+// §4.2 / Fig. 11).
+//
+// Users describe an event as a boolean expression over the window's named
+// series, e.g.
+//
+//     max(fwd.owd_ms) > 200 and trend_up(fwd.owd_ms)
+//     frac_gt(fwd.app_bitrate, fwd.tbs_bitrate) > 0.1
+//
+// Series references are `scope.name` pairs:
+//   scopes:  fwd rev           (path legs, perspective-relative)
+//            ul dl             (absolute 5G directions)
+//            sender receiver   (perspective-relative clients)
+//            ue remote         (absolute clients)
+//   5G series:     tbs prb_self prb_other mcs harq_retx rlc_retx owd_ms
+//                  app_bitrate tbs_bitrate rnti
+//   client series: inbound_fps outbound_fps outbound_resolution
+//                  jitter_buffer_ms target_bitrate pushback_rate
+//                  outstanding_bytes cwnd_bytes overuse
+//
+// Functions over series:
+//   min max mean stddev sum count first last
+//   p(s,q) count_below(s,x) count_above(s,x)
+//   has_drop has_rise trend_up trend_down   (10-sample bucketed trends)
+//   frac_gt(a,b) any_gt(a,b)                (paired element-wise)
+//
+// Scalars combine with + - * / and comparisons; `and` / `or` / `not`
+// combine booleans. Comparisons yield 1.0/0.0.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "domino/events.h"
+
+namespace domino::analysis {
+
+/// Parse or evaluation error, with 1-based position info where available.
+class DslError : public std::runtime_error {
+ public:
+  explicit DslError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ExprNode {
+ public:
+  virtual ~ExprNode() = default;
+
+  [[nodiscard]] virtual bool is_series() const { return false; }
+  /// Evaluates to a scalar; throws DslError for series-valued nodes.
+  [[nodiscard]] virtual double EvalScalar(const WindowContext& ctx) const = 0;
+  /// Evaluates to a window view; throws DslError for scalar nodes.
+  [[nodiscard]] virtual WindowView<double> EvalSeries(
+      const WindowContext& ctx) const;
+  /// Emits equivalent Python source (see codegen.h).
+  [[nodiscard]] virtual std::string ToPython() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const ExprNode>;
+
+/// Parses an expression. Throws DslError on syntax/semantic problems.
+ExprPtr ParseExpression(const std::string& text);
+
+/// Convenience: evaluates a parsed expression as a boolean condition.
+inline bool EvalCondition(const ExprNode& expr, const WindowContext& ctx) {
+  return expr.EvalScalar(ctx) != 0.0;
+}
+
+/// All valid series names for a scope kind (used for diagnostics and tests).
+std::vector<std::string> KnownDirSeries();
+std::vector<std::string> KnownClientSeries();
+std::vector<std::string> KnownScopes();
+
+}  // namespace domino::analysis

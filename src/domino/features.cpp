@@ -1,0 +1,102 @@
+#include "domino/features.h"
+
+namespace domino::analysis {
+
+namespace {
+
+constexpr std::array<EventType, 10> kAppEvents = {
+    EventType::kInboundFpsDrop,   EventType::kOutboundFpsDrop,
+    EventType::kResolutionDrop,   EventType::kJitterBufferDrain,
+    EventType::kTargetBitrateDrop, EventType::kGccOveruse,
+    EventType::kPushbackDrop,     EventType::kCwndFull,
+    EventType::kOutstandingUp,    EventType::kPushbackNeqTarget,
+};
+
+constexpr std::array<EventType, 6> k5gEvents = {
+    EventType::kTbsDrop,       EventType::kRateGap,
+    EventType::kCrossTraffic,  EventType::kChannelDegrade,
+    EventType::kHarqRetx,      EventType::kRlcRetx,
+};
+
+/// App events 1 and 4 are receiver-side signals; the rest are sender-side.
+bool IsReceiverScoped(EventType t) {
+  return t == EventType::kInboundFpsDrop ||
+         t == EventType::kJitterBufferDrain;
+}
+
+}  // namespace
+
+std::string FeatureName(int dim) {
+  if (dim < 20) {
+    int client = dim / 10;
+    EventType t = kAppEvents[static_cast<std::size_t>(dim % 10)];
+    return ToString(t) + (client == 0 ? "[ue]" : "[remote]");
+  }
+  if (dim < 24) {
+    int client = (dim - 20) / 2;
+    bool fwd = (dim - 20) % 2 == 0;
+    return std::string(fwd ? "fwd_delay_up" : "rev_delay_up") +
+           (client == 0 ? "[ue]" : "[remote]");
+  }
+  if (dim < 36) {
+    int d = (dim - 24) / 6;
+    EventType t = k5gEvents[static_cast<std::size_t>((dim - 24) % 6)];
+    return ToString(t) + (d == 0 ? "[ul]" : "[dl]");
+  }
+  if (dim < 38) {
+    return std::string("ul_scheduling") + (dim == 36 ? "[ul]" : "[dl]");
+  }
+  return std::string("rrc_change") + (dim == 38 ? "[ul]" : "[dl]");
+}
+
+FeatureVector ExtractFeatures(const telemetry::DerivedTrace& trace,
+                              Time begin, Time end,
+                              const EventThresholds& th) {
+  FeatureVector out{};
+  // Perspective contexts: sender = UE (forward leg is UL) and
+  // sender = remote (forward leg is DL).
+  WindowContext ue_ctx(trace, begin, end, 0);
+  WindowContext remote_ctx(trace, begin, end, 1);
+
+  // App events per client. Sender-scoped events use the client's own
+  // perspective; receiver-scoped events are reached through the *other*
+  // client's perspective (where this client is the receiver).
+  for (int c = 0; c < 2; ++c) {
+    const WindowContext& own = c == 0 ? ue_ctx : remote_ctx;
+    const WindowContext& other = c == 0 ? remote_ctx : ue_ctx;
+    for (int e = 0; e < 10; ++e) {
+      EventType t = kAppEvents[static_cast<std::size_t>(e)];
+      const WindowContext& ctx = IsReceiverScoped(t) ? other : own;
+      out[static_cast<std::size_t>(c * 10 + e)] =
+          DetectEvent(EventRef{t}, ctx, th);
+    }
+  }
+
+  // Forward/reverse delay per perspective (events 11, 12).
+  out[20] = DetectEvent(EventRef{EventType::kFwdDelayUp}, ue_ctx, th);
+  out[21] = DetectEvent(EventRef{EventType::kRevDelayUp}, ue_ctx, th);
+  out[22] = DetectEvent(EventRef{EventType::kFwdDelayUp}, remote_ctx, th);
+  out[23] = DetectEvent(EventRef{EventType::kRevDelayUp}, remote_ctx, th);
+
+  // 5G events per direction. The UE perspective's forward leg is the UL;
+  // the remote perspective's forward leg is the DL.
+  for (int d = 0; d < 2; ++d) {
+    const WindowContext& ctx = d == 0 ? ue_ctx : remote_ctx;
+    for (int e = 0; e < 6; ++e) {
+      out[static_cast<std::size_t>(24 + d * 6 + e)] = DetectEvent(
+          EventRef{k5gEvents[static_cast<std::size_t>(e)], PathLeg::kFwd},
+          ctx, th);
+    }
+  }
+  out[36] = DetectEvent(EventRef{EventType::kUlScheduling, PathLeg::kFwd},
+                        ue_ctx, th);
+  out[37] = DetectEvent(EventRef{EventType::kUlScheduling, PathLeg::kFwd},
+                        remote_ctx, th);
+  out[38] = DetectEvent(EventRef{EventType::kRrcChange, PathLeg::kFwd},
+                        ue_ctx, th);
+  out[39] = DetectEvent(EventRef{EventType::kRrcChange, PathLeg::kFwd},
+                        remote_ctx, th);
+  return out;
+}
+
+}  // namespace domino::analysis

@@ -1,0 +1,35 @@
+// Per-window feature vector extraction (paper §4.2, Appendix D).
+//
+// Layout (first 36 dimensions match the paper's 2x10 + 4 + 6x2 accounting;
+// the final 4 make the UL-scheduling and RRC-change causes explicit):
+//   [0..9]   app events 1-10 for the UE client
+//   [10..19] app events 1-10 for the remote client
+//   [20..23] fwd/rev packet delay up (events 11-12) per client perspective
+//   [24..29] 5G events 13-18 on the uplink
+//   [30..35] 5G events 13-18 on the downlink
+//   [36..37] UL scheduling (event 19) on UL / DL
+//   [38..39] RRC change (event 20) on UL / DL
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "domino/events.h"
+
+namespace domino::analysis {
+
+inline constexpr int kFeatureCount = 40;
+inline constexpr int kPaperFeatureCount = 36;
+
+using FeatureVector = std::array<bool, kFeatureCount>;
+
+/// Human-readable name of a feature dimension, e.g.
+/// "jitter_buffer_drain[ue]" or "cross_traffic[dl]".
+std::string FeatureName(int dim);
+
+/// Extracts the feature vector for the window [begin, begin + W).
+FeatureVector ExtractFeatures(const telemetry::DerivedTrace& trace,
+                              Time begin, Time end,
+                              const EventThresholds& th);
+
+}  // namespace domino::analysis

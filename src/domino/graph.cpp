@@ -1,0 +1,181 @@
+#include "domino/graph.h"
+
+#include <array>
+#include <stdexcept>
+#include <utility>
+
+namespace domino::analysis {
+
+int CausalGraph::AddNode(Node node) {
+  if (FindNode(node.name) >= 0) {
+    throw std::invalid_argument("CausalGraph: duplicate node " + node.name);
+  }
+  nodes_.push_back(std::move(node));
+  adj_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int CausalGraph::AddBuiltinNode(const std::string& name, NodeKind kind,
+                                EventRef ref, const EventThresholds& th) {
+  Node n;
+  n.name = name;
+  n.kind = kind;
+  n.builtin = ref;
+  n.detect = [ref, th](const WindowContext& ctx) {
+    return DetectEvent(ref, ctx, th);
+  };
+  return AddNode(std::move(n));
+}
+
+int CausalGraph::FindNode(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void CausalGraph::AddEdge(const std::string& from, const std::string& to) {
+  int f = FindNode(from);
+  int t = FindNode(to);
+  if (f < 0 || t < 0) {
+    throw std::invalid_argument("CausalGraph: unknown node in edge " + from +
+                                " -> " + to);
+  }
+  AddEdge(f, t);
+}
+
+void CausalGraph::AddEdge(int from, int to) {
+  adj_[static_cast<std::size_t>(from)].push_back(to);
+}
+
+void CausalGraph::Validate() const {
+  // Kahn's algorithm; leftover nodes indicate a cycle.
+  std::vector<int> indeg(nodes_.size(), 0);
+  for (const auto& out : adj_) {
+    for (int t : out) ++indeg[static_cast<std::size_t>(t)];
+  }
+  std::vector<int> queue;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (indeg[i] == 0) queue.push_back(static_cast<int>(i));
+  }
+  std::size_t seen = 0;
+  while (!queue.empty()) {
+    int n = queue.back();
+    queue.pop_back();
+    ++seen;
+    for (int t : adj_[static_cast<std::size_t>(n)]) {
+      if (--indeg[static_cast<std::size_t>(t)] == 0) queue.push_back(t);
+    }
+  }
+  if (seen != nodes_.size()) {
+    throw std::runtime_error("CausalGraph: cycle detected");
+  }
+}
+
+std::vector<ChainPath> CausalGraph::EnumerateChains() const {
+  std::vector<ChainPath> chains;
+  ChainPath path;
+  // DFS from each cause; record every time we hit a consequence node.
+  std::function<void(int)> dfs = [&](int n) {
+    path.push_back(n);
+    if (nodes_[static_cast<std::size_t>(n)].kind == NodeKind::kConsequence) {
+      chains.push_back(path);
+    } else {
+      for (int t : adj_[static_cast<std::size_t>(n)]) dfs(t);
+    }
+    path.pop_back();
+  };
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::kCause) dfs(static_cast<int>(i));
+  }
+  return chains;
+}
+
+CausalGraph CausalGraph::Default(const EventThresholds& th) {
+  CausalGraph g;
+  using ET = EventType;
+  const std::array<std::pair<const char*, ET>, 6> causes = {{
+      {"poor_channel", ET::kChannelDegrade},
+      {"cross_traffic", ET::kCrossTraffic},
+      {"ul_scheduling", ET::kUlScheduling},
+      {"harq_retx", ET::kHarqRetx},
+      {"rlc_retx", ET::kRlcRetx},
+      {"rrc_change", ET::kRrcChange},
+  }};
+
+  // Forward-leg cause nodes and the capacity intermediates they act through.
+  for (const auto& [name, type] : causes) {
+    g.AddBuiltinNode(name, NodeKind::kCause, EventRef{type, PathLeg::kFwd},
+                     th);
+    g.AddBuiltinNode(std::string(name) + "@rev", NodeKind::kCause,
+                     EventRef{type, PathLeg::kRev}, th);
+  }
+  g.AddBuiltinNode("tbs_drop", NodeKind::kIntermediate,
+                   EventRef{ET::kTbsDrop, PathLeg::kFwd}, th);
+  g.AddBuiltinNode("rate_gap", NodeKind::kIntermediate,
+                   EventRef{ET::kRateGap, PathLeg::kFwd}, th);
+  g.AddBuiltinNode("tbs_drop@rev", NodeKind::kIntermediate,
+                   EventRef{ET::kTbsDrop, PathLeg::kRev}, th);
+  g.AddBuiltinNode("rate_gap@rev", NodeKind::kIntermediate,
+                   EventRef{ET::kRateGap, PathLeg::kRev}, th);
+  g.AddBuiltinNode("fwd_delay_up", NodeKind::kIntermediate,
+                   EventRef{ET::kFwdDelayUp}, th);
+  g.AddBuiltinNode("rev_delay_up", NodeKind::kIntermediate,
+                   EventRef{ET::kRevDelayUp}, th);
+  g.AddBuiltinNode("gcc_overuse", NodeKind::kIntermediate,
+                   EventRef{ET::kGccOveruse}, th);
+  g.AddBuiltinNode("outstanding_up", NodeKind::kIntermediate,
+                   EventRef{ET::kOutstandingUp}, th);
+  g.AddBuiltinNode("cwnd_full", NodeKind::kIntermediate,
+                   EventRef{ET::kCwndFull}, th);
+  g.AddBuiltinNode("jitter_buffer_drain", NodeKind::kConsequence,
+                   EventRef{ET::kJitterBufferDrain}, th);
+  g.AddBuiltinNode("target_bitrate_drop", NodeKind::kConsequence,
+                   EventRef{ET::kTargetBitrateDrop}, th);
+  g.AddBuiltinNode("pushback_drop", NodeKind::kConsequence,
+                   EventRef{ET::kPushbackDrop}, th);
+
+  // Radio-resource causes act through capacity loss; timing/reliability
+  // causes inflate delay directly (§5).
+  g.AddEdge("poor_channel", "tbs_drop");
+  g.AddEdge("cross_traffic", "tbs_drop");
+  g.AddEdge("tbs_drop", "rate_gap");
+  g.AddEdge("rate_gap", "fwd_delay_up");
+  g.AddEdge("ul_scheduling", "fwd_delay_up");
+  g.AddEdge("harq_retx", "fwd_delay_up");
+  g.AddEdge("rlc_retx", "fwd_delay_up");
+  g.AddEdge("rrc_change", "fwd_delay_up");
+
+  g.AddEdge("poor_channel@rev", "tbs_drop@rev");
+  g.AddEdge("cross_traffic@rev", "tbs_drop@rev");
+  g.AddEdge("tbs_drop@rev", "rate_gap@rev");
+  g.AddEdge("rate_gap@rev", "rev_delay_up");
+  g.AddEdge("ul_scheduling@rev", "rev_delay_up");
+  g.AddEdge("harq_retx@rev", "rev_delay_up");
+  g.AddEdge("rlc_retx@rev", "rev_delay_up");
+  g.AddEdge("rrc_change@rev", "rev_delay_up");
+
+  // Forward delay hits playback and both GCC controllers; reverse delay
+  // only starves feedback, reaching the pushback controller (Fig. 22).
+  g.AddEdge("fwd_delay_up", "jitter_buffer_drain");
+  g.AddEdge("fwd_delay_up", "gcc_overuse");
+  g.AddEdge("gcc_overuse", "target_bitrate_drop");
+  g.AddEdge("fwd_delay_up", "outstanding_up");
+  g.AddEdge("rev_delay_up", "outstanding_up");
+  g.AddEdge("outstanding_up", "cwnd_full");
+  g.AddEdge("cwnd_full", "pushback_drop");
+
+  g.Validate();
+  return g;
+}
+
+std::string FormatChain(const CausalGraph& graph, const ChainPath& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += graph.node(path[i]).name;
+  }
+  return out;
+}
+
+}  // namespace domino::analysis

@@ -1,0 +1,122 @@
+#include "domino/mitigation.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "domino/ranking.h"
+
+namespace domino::analysis {
+
+namespace {
+
+std::string BaseName(const std::string& node_name) {
+  auto pos = node_name.find("@rev");
+  return pos == std::string::npos ? node_name : node_name.substr(0, pos);
+}
+
+struct Recipe {
+  Actor actor;
+  const char* action;
+  const char* rationale;
+};
+
+/// Cause -> countermeasure knowledge base (see header for the mapping's
+/// grounding in the paper).
+const std::map<std::string, std::vector<Recipe>>& RecipeBook() {
+  static const std::map<std::string, std::vector<Recipe>> kBook = {
+      {"poor_channel",
+       {{Actor::kApplication, "cap_resolution",
+         "a lower rung of the simulcast/resolution ladder needs less "
+         "physical-layer capacity, keeping the rate gap negative during "
+         "fades"},
+        {Actor::kOperator, "enable_olla",
+         "outer-loop link adaptation pins first-transmission BLER at its "
+         "target when CQI reports go stale (see ablation_olla)"}}},
+      {"cross_traffic",
+       {{Actor::kApplication, "bound_target_bitrate",
+         "keeping the target below the contended fair share avoids the "
+         "overuse/decrease cycle each background burst triggers"},
+        {Actor::kOperator, "boost_rtc_scheduler_weight",
+         "a higher PF weight (or an RTC slice) preserves the VCA's PRB "
+         "share under backlogged cross traffic"}}},
+      {"ul_scheduling",
+       {{Actor::kOperator, "enable_proactive_grants",
+         "pre-allocated grants remove the BSR round trip for the first "
+         "packets of each frame burst (Fig. 16: ~10 ms, at a bandwidth "
+         "cost)"}}},
+      {"harq_retx",
+       {{Actor::kOperator, "conservative_mcs_offset",
+         "a 1-2 dB MCS back-off trades a few percent of rate for fewer "
+         "10 ms retransmission rounds on latency-critical traffic"}}},
+      {"rlc_retx",
+       {{Actor::kOperator, "raise_harq_retx_limit",
+         "another HARQ round (10 ms) is far cheaper than RLC recovery "
+         "(~105 ms plus head-of-line blocking)"}}},
+      {"rrc_change",
+       {{Actor::kApplication, "hold_rate_across_stalls",
+         "a sub-second feedback blackout with instant recovery is an RRC "
+         "transition, not congestion; holding the estimate avoids the "
+         "30 s additive climb back"},
+        {Actor::kOperator, "lengthen_inactivity_timer",
+         "releases during active transfer indicate an aggressive "
+         "connection-management policy (paper §5.3)"}}},
+  };
+  return kBook;
+}
+
+}  // namespace
+
+std::vector<Mitigation> AdviseMitigations(const AnalysisResult& result,
+                                          const Detector& detector) {
+  // Severity = share of degraded windows this cause won in the ranked
+  // diagnosis (rare-but-decisive causes beat ubiquitous background ones).
+  auto diagnoses = RankRootCauses(result, detector);
+  std::map<std::string, long> wins;
+  for (const auto& d : diagnoses) {
+    if (const RankedChain* best = d.best()) {
+      const ChainPath& path = detector.chains()[
+          static_cast<std::size_t>(best->instance.chain_index)];
+      ++wins[BaseName(detector.graph().node(path.front()).name)];
+    }
+  }
+  std::vector<Mitigation> out;
+  double total = 0;
+  for (const auto& [cause, count] : wins) total += count;
+  for (const auto& [cause, count] : wins) {
+    auto it = RecipeBook().find(cause);
+    if (it == RecipeBook().end()) continue;  // custom/user cause: no recipe
+    for (const Recipe& recipe : it->second) {
+      Mitigation m;
+      m.cause = cause;
+      m.actor = recipe.actor;
+      m.action = recipe.action;
+      m.rationale = recipe.rationale;
+      m.severity = total > 0 ? count / total : 0;
+      out.push_back(std::move(m));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Mitigation& a, const Mitigation& b) {
+                     return a.severity > b.severity;
+                   });
+  return out;
+}
+
+std::string FormatMitigations(const std::vector<Mitigation>& mitigations) {
+  std::ostringstream os;
+  os << "Recommended mitigations\n-----------------------\n";
+  if (mitigations.empty()) {
+    os << "  (no attributable degradations)\n";
+    return os.str();
+  }
+  for (const auto& m : mitigations) {
+    os << "  [" << (m.actor == Actor::kApplication ? "app" : "operator")
+       << "] " << m.action << "  (cause: " << m.cause << ", "
+       << static_cast<int>(m.severity * 100) << "% of degraded windows)\n"
+       << "        " << m.rationale << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace domino::analysis

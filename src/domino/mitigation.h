@@ -1,0 +1,50 @@
+// Mitigation advisor — from diagnosis to action.
+//
+// The paper positions Domino as the tool that lets operators and
+// application developers "understand and address performance issues" (§8).
+// This module implements the *address* half: it maps an analysis run's
+// diagnosed root causes to concrete, parameterised countermeasures, split by
+// who can act on them (the application endpoint vs. the network operator).
+//
+// The recommendations mirror the paper's own discussion:
+//   poor channel    -> cap resolution / prefer robust MCS (operator: OLLA)
+//   cross traffic   -> bound the target bitrate below the contended share;
+//                      operator: scheduler weight / slicing for RTC flows
+//   UL scheduling   -> operator: proactive grants (Fig. 16 quantifies both
+//                      the first-packet win and the grant waste)
+//   HARQ retx       -> operator: more conservative MCS offset (rate floor)
+//   RLC retx        -> operator: raise the HARQ retx limit / shorten the
+//                      RLC status-report timer
+//   RRC transitions -> app: hold the GCC estimate across sub-second stalls;
+//                      operator: lengthen inactivity timers
+//   reverse-path    -> app: higher feedback frequency / larger cwnd
+//   (pushback)         queueing allowance
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "domino/statistics.h"
+
+namespace domino::analysis {
+
+enum class Actor { kApplication, kOperator };
+
+struct Mitigation {
+  std::string cause;        ///< Diagnosed root cause (graph base name).
+  Actor actor;
+  std::string action;       ///< Short imperative, machine-usable key.
+  std::string rationale;    ///< Why this addresses the cause.
+  double severity = 0;      ///< Share of degraded windows this cause won.
+};
+
+/// Derives ranked mitigations from an analysis run: causes that win more
+/// per-window diagnoses (see ranking.h) come first. Causes that never win
+/// a window are omitted.
+std::vector<Mitigation> AdviseMitigations(const AnalysisResult& result,
+                                          const Detector& detector);
+
+/// Renders the advice as a text block for reports/CLI.
+std::string FormatMitigations(const std::vector<Mitigation>& mitigations);
+
+}  // namespace domino::analysis

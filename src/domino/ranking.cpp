@@ -1,0 +1,58 @@
+#include "domino/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace domino::analysis {
+
+std::vector<WindowDiagnosis> RankRootCauses(const AnalysisResult& result,
+                                            const Detector& detector) {
+  const CausalGraph& graph = detector.graph();
+  const auto& chains = detector.chains();
+
+  // Base rate of each cause node: fraction of windows where it was active in
+  // either perspective.
+  std::vector<long> active_windows(graph.node_count(), 0);
+  for (const auto& w : result.windows) {
+    for (std::size_t n = 0; n < graph.node_count(); ++n) {
+      bool active = false;
+      for (int p = 0; p < 2; ++p) {
+        if (n < w.node_active[static_cast<std::size_t>(p)].size()) {
+          active |= w.node_active[static_cast<std::size_t>(p)][n];
+        }
+      }
+      if (active) ++active_windows[n];
+    }
+  }
+  const double total =
+      std::max<double>(1.0, static_cast<double>(result.windows.size()));
+
+  std::vector<WindowDiagnosis> out;
+  for (const auto& w : result.windows) {
+    if (w.chains.empty()) continue;
+    WindowDiagnosis diag;
+    diag.window_begin = w.begin;
+    for (const ChainInstance& ci : w.chains) {
+      const ChainPath& path =
+          chains[static_cast<std::size_t>(ci.chain_index)];
+      auto cause = static_cast<std::size_t>(path.front());
+      RankedChain rc;
+      rc.instance = ci;
+      rc.cause_rate = static_cast<double>(active_windows[cause]) / total;
+      // Surprisal, with a small epsilon so a never-otherwise-seen cause
+      // stays finite; longer chains break ties (1e-3 per hop).
+      rc.score = -std::log(std::max(rc.cause_rate, 1e-6)) +
+                 1e-3 * static_cast<double>(path.size());
+      diag.ranked.push_back(rc);
+    }
+    std::sort(diag.ranked.begin(), diag.ranked.end(),
+              [](const RankedChain& a, const RankedChain& b) {
+                return a.score > b.score;
+              });
+    out.push_back(std::move(diag));
+  }
+  return out;
+}
+
+}  // namespace domino::analysis

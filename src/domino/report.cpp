@@ -1,0 +1,114 @@
+#include "domino/report.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "domino/mitigation.h"
+#include "domino/ranking.h"
+#include "common/table.h"
+
+namespace domino::analysis {
+
+void WriteChainsCsv(std::ostream& os, const AnalysisResult& result,
+                    const Detector& detector) {
+  CsvWriter w(os);
+  w.WriteRow({"window_begin_s", "perspective", "cause", "consequence",
+              "path"});
+  const auto& graph = detector.graph();
+  for (const auto& ci : result.AllChains()) {
+    const ChainPath& path =
+        detector.chains()[static_cast<std::size_t>(ci.chain_index)];
+    char begin_s[32];
+    std::snprintf(begin_s, sizeof(begin_s), "%.1f",
+                  ci.window_begin.seconds());
+    w.WriteRow({begin_s,
+                ci.sender_client == 0 ? "ue_uplink" : "remote_downlink",
+                graph.node(path.front()).name, graph.node(path.back()).name,
+                FormatChain(graph, path)});
+  }
+}
+
+void WriteFeaturesCsv(std::ostream& os, const AnalysisResult& result) {
+  CsvWriter w(os);
+  std::vector<std::string> header = {"window_begin_s"};
+  for (int d = 0; d < kFeatureCount; ++d) header.push_back(FeatureName(d));
+  w.WriteRow(header);
+  for (const auto& win : result.windows) {
+    std::vector<std::string> row;
+    char begin_s[32];
+    std::snprintf(begin_s, sizeof(begin_s), "%.1f", win.begin.seconds());
+    row.push_back(begin_s);
+    for (bool b : win.features) row.push_back(b ? "1" : "0");
+    w.WriteRow(row);
+  }
+}
+
+std::string BuildSummaryReport(const AnalysisResult& result,
+                               const Detector& detector) {
+  std::ostringstream os;
+  ChainStatistics stats = ComputeStatistics(result, detector.graph());
+
+  os << "Domino analysis report\n";
+  os << "======================\n";
+  os << "trace duration: " << ToString(Time{0} + result.trace_duration)
+     << ", windows analysed: " << result.windows.size()
+     << " (W=" << detector.config().window.seconds()
+     << "s, step=" << detector.config().step.seconds() << "s)\n";
+  os << "windows with at least one causal chain: "
+     << stats.windows_with_chain << "\n\n";
+
+  os << "Occurrence frequency\n--------------------\n"
+     << FormatOccurrence(stats) << "\n";
+  os << "P(cause | consequence)\n----------------------\n"
+     << FormatConditionalTable(stats) << "\n";
+  os << "Chain ratios over all detected chains\n"
+     << "-------------------------------------\n"
+     << FormatChainRatioTable(stats) << "\n";
+
+  // Most frequent concrete chains.
+  std::map<int, long> counts;
+  for (const auto& ci : result.AllChains()) ++counts[ci.chain_index];
+  std::vector<std::pair<int, long>> ranked(counts.begin(), counts.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  // Most likely root causes: rank by cause surprisal, then summarise which
+  // cause wins the per-window diagnosis most often.
+  auto diagnoses = RankRootCauses(result, detector);
+  std::map<std::string, long> best_cause;
+  for (const auto& d : diagnoses) {
+    if (const RankedChain* best = d.best()) {
+      const ChainPath& path = detector.chains()[
+          static_cast<std::size_t>(best->instance.chain_index)];
+      ++best_cause[detector.graph().node(path.front()).name];
+    }
+  }
+  os << "Most likely root cause (per-window winner)\n"
+     << "------------------------------------------\n";
+  std::vector<std::pair<std::string, long>> winners(best_cause.begin(),
+                                                    best_cause.end());
+  std::sort(winners.begin(), winners.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [name, count] : winners) {
+    os << "  " << count << " windows  " << name << "\n";
+  }
+  if (winners.empty()) os << "  (no degraded windows)\n";
+  os << "\n";
+
+  os << "Top chains\n----------\n";
+  int shown = 0;
+  for (const auto& [idx, count] : ranked) {
+    if (shown++ >= 8) break;
+    os << "  " << count << "x  "
+       << FormatChain(detector.graph(),
+                      detector.chains()[static_cast<std::size_t>(idx)])
+       << "\n";
+  }
+  if (ranked.empty()) os << "  (no chains detected)\n";
+  os << "\n" << FormatMitigations(AdviseMitigations(result, detector));
+  return os.str();
+}
+
+}  // namespace domino::analysis

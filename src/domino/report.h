@@ -1,0 +1,28 @@
+// Report generation: machine-readable exports (CSV) of detected chains and
+// per-window feature vectors, plus the human-readable summary the Domino
+// CLI prints. This is the artefact a network operator consumes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "domino/detector.h"
+#include "domino/statistics.h"
+
+namespace domino::analysis {
+
+/// One row per detected chain instance:
+/// window_begin_s, perspective, cause, consequence, path.
+void WriteChainsCsv(std::ostream& os, const AnalysisResult& result,
+                    const Detector& detector);
+
+/// One row per window: begin_s plus all feature dimensions (0/1), named by
+/// FeatureName().
+void WriteFeaturesCsv(std::ostream& os, const AnalysisResult& result);
+
+/// Full text report: trace overview, occurrence frequencies, conditional
+/// probabilities, chain ratios, and the most frequent concrete chains.
+std::string BuildSummaryReport(const AnalysisResult& result,
+                               const Detector& detector);
+
+}  // namespace domino::analysis

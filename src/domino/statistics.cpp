@@ -1,0 +1,193 @@
+#include "domino/statistics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/table.h"
+
+namespace domino::analysis {
+
+namespace {
+
+/// Strips the "@rev" leg qualifier to get the physical cause name.
+std::string BaseName(const std::string& node_name) {
+  auto pos = node_name.find("@rev");
+  if (pos == std::string::npos) return node_name;
+  return node_name.substr(0, pos);
+}
+
+}  // namespace
+
+int ChainStatistics::CauseIndex(const std::string& name) const {
+  auto it = std::find(causes.begin(), causes.end(), name);
+  return it == causes.end() ? -1 : static_cast<int>(it - causes.begin());
+}
+
+int ChainStatistics::ConsequenceIndex(const std::string& name) const {
+  auto it = std::find(consequences.begin(), consequences.end(), name);
+  return it == consequences.end()
+             ? -1
+             : static_cast<int>(it - consequences.begin());
+}
+
+ChainStatistics ComputeStatistics(const AnalysisResult& result,
+                                  const CausalGraph& graph) {
+  ChainStatistics st;
+  st.windows_total = static_cast<long>(result.windows.size());
+  st.minutes = result.trace_duration.seconds() / 60.0;
+
+  // Establish cause/consequence identities from the graph.
+  std::vector<int> cause_of_node(graph.node_count(), -1);
+  std::vector<int> consequence_of_node(graph.node_count(), -1);
+  for (std::size_t n = 0; n < graph.node_count(); ++n) {
+    const Node& node = graph.node(static_cast<int>(n));
+    if (node.kind == NodeKind::kCause) {
+      std::string base = BaseName(node.name);
+      int idx = st.CauseIndex(base);
+      if (idx < 0) {
+        st.causes.push_back(base);
+        idx = static_cast<int>(st.causes.size()) - 1;
+      }
+      cause_of_node[n] = idx;
+    } else if (node.kind == NodeKind::kConsequence) {
+      int idx = st.ConsequenceIndex(node.name);
+      if (idx < 0) {
+        st.consequences.push_back(node.name);
+        idx = static_cast<int>(st.consequences.size()) - 1;
+      }
+      consequence_of_node[n] = idx;
+    }
+  }
+  const std::size_t nc = st.causes.size();
+  const std::size_t nk = st.consequences.size();
+
+  const auto& chains = graph.EnumerateChains();
+  // chain index -> (cause id, consequence id)
+  std::vector<std::pair<int, int>> chain_key(chains.size());
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    chain_key[c] = {cause_of_node[static_cast<std::size_t>(chains[c].front())],
+                    consequence_of_node[
+                        static_cast<std::size_t>(chains[c].back())]};
+  }
+
+  std::vector<long> cause_windows(nc, 0);
+  std::vector<long> consequence_windows(nk, 0);
+  // [consequence][cause] counts of windows with that chain.
+  std::vector<std::vector<long>> pair_windows(nk, std::vector<long>(nc, 0));
+  std::vector<long> unattributed(nk, 0);
+
+  for (const WindowResult& w : result.windows) {
+    // Occurrence: a cause/consequence counts once per window if its node was
+    // active in either perspective (and either leg, for causes).
+    std::vector<bool> cause_seen(nc, false);
+    std::vector<bool> consequence_seen(nk, false);
+    for (int p = 0; p < 2; ++p) {
+      const auto& active = w.node_active[static_cast<std::size_t>(p)];
+      for (std::size_t n = 0; n < active.size(); ++n) {
+        if (!active[n]) continue;
+        if (cause_of_node[n] >= 0) {
+          cause_seen[static_cast<std::size_t>(cause_of_node[n])] = true;
+        }
+        if (consequence_of_node[n] >= 0) {
+          consequence_seen[
+              static_cast<std::size_t>(consequence_of_node[n])] = true;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < nc; ++i) {
+      if (cause_seen[i]) ++cause_windows[i];
+    }
+    for (std::size_t i = 0; i < nk; ++i) {
+      if (consequence_seen[i]) ++consequence_windows[i];
+    }
+
+    // Chains: dedupe to one (cause, consequence) pair per window.
+    std::set<std::pair<int, int>> pairs;
+    for (const ChainInstance& ci : w.chains) {
+      pairs.insert(chain_key[static_cast<std::size_t>(ci.chain_index)]);
+    }
+    std::vector<bool> attributed(nk, false);
+    for (const auto& [cause, cons] : pairs) {
+      if (cause < 0 || cons < 0) continue;
+      ++pair_windows[static_cast<std::size_t>(cons)]
+                    [static_cast<std::size_t>(cause)];
+      attributed[static_cast<std::size_t>(cons)] = true;
+    }
+    if (!w.chains.empty()) ++st.windows_with_chain;
+    for (std::size_t k = 0; k < nk; ++k) {
+      if (consequence_seen[k] && !attributed[k]) ++unattributed[k];
+    }
+  }
+
+  double min_guard = std::max(st.minutes, 1e-9);
+  st.cause_per_min.resize(nc);
+  for (std::size_t i = 0; i < nc; ++i) {
+    st.cause_per_min[i] = static_cast<double>(cause_windows[i]) / min_guard;
+  }
+  st.consequence_per_min.resize(nk);
+  for (std::size_t i = 0; i < nk; ++i) {
+    st.consequence_per_min[i] =
+        static_cast<double>(consequence_windows[i]) / min_guard;
+  }
+
+  st.conditional.assign(nk, std::vector<double>(nc + 1, 0.0));
+  st.chain_ratio.assign(nk, std::vector<double>(nc, 0.0));
+  for (std::size_t k = 0; k < nk; ++k) {
+    double denom = static_cast<double>(consequence_windows[k]);
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (denom > 0) {
+        st.conditional[k][c] =
+            static_cast<double>(pair_windows[k][c]) / denom;
+      }
+      if (st.windows_with_chain > 0) {
+        st.chain_ratio[k][c] = static_cast<double>(pair_windows[k][c]) /
+                               static_cast<double>(st.windows_with_chain);
+      }
+    }
+    if (denom > 0) {
+      st.conditional[k][nc] = static_cast<double>(unattributed[k]) / denom;
+    }
+  }
+  return st;
+}
+
+std::string FormatConditionalTable(const ChainStatistics& st) {
+  std::vector<std::string> header = {"Consequence \\ Cause"};
+  header.insert(header.end(), st.causes.begin(), st.causes.end());
+  header.push_back("unknown");
+  TextTable table(header);
+  for (std::size_t k = 0; k < st.consequences.size(); ++k) {
+    std::vector<std::string> row = {st.consequences[k]};
+    for (double v : st.conditional[k]) row.push_back(TextTable::Pct(v));
+    table.AddRow(row);
+  }
+  return table.Render();
+}
+
+std::string FormatChainRatioTable(const ChainStatistics& st) {
+  std::vector<std::string> header = {"Consequence \\ Cause"};
+  header.insert(header.end(), st.causes.begin(), st.causes.end());
+  TextTable table(header);
+  for (std::size_t k = 0; k < st.consequences.size(); ++k) {
+    std::vector<std::string> row = {st.consequences[k]};
+    for (double v : st.chain_ratio[k]) row.push_back(TextTable::Pct(v));
+    table.AddRow(row);
+  }
+  return table.Render();
+}
+
+std::string FormatOccurrence(const ChainStatistics& st) {
+  TextTable table({"Event", "Kind", "Occurrences/min"});
+  for (std::size_t i = 0; i < st.causes.size(); ++i) {
+    table.AddRow({st.causes[i], "cause",
+                  TextTable::Num(st.cause_per_min[i], 2)});
+  }
+  for (std::size_t i = 0; i < st.consequences.size(); ++i) {
+    table.AddRow({st.consequences[i], "consequence",
+                  TextTable::Num(st.consequence_per_min[i], 2)});
+  }
+  return table.Render();
+}
+
+}  // namespace domino::analysis

@@ -1,0 +1,54 @@
+// Aggregate statistics over a Domino analysis run:
+//   * absolute occurrence frequency of causes and consequences per minute
+//     (Fig. 10),
+//   * conditional probability of each cause given each consequence, with an
+//     "unknown" bucket for unattributed consequences (Table 2),
+//   * each chain's ratio over all detected chains, counting a
+//     (window, consequence) once even with multiple causes (Table 4).
+//
+// Cause identity merges the forward and reverse leg nodes ("harq_retx" and
+// "harq_retx@rev" are the same physical cause) and both perspectives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "domino/detector.h"
+
+namespace domino::analysis {
+
+struct ChainStatistics {
+  std::vector<std::string> causes;        ///< Base cause names, graph order.
+  std::vector<std::string> consequences;  ///< Consequence node names.
+
+  std::vector<double> cause_per_min;
+  std::vector<double> consequence_per_min;
+
+  /// conditional[k][c]: P(cause c | consequence k). The final column
+  /// (index causes.size()) is the "unknown" bucket.
+  std::vector<std::vector<double>> conditional;
+
+  /// chain_ratio[k][c]: windows containing chain c->k over all windows
+  /// containing any chain.
+  std::vector<std::vector<double>> chain_ratio;
+
+  long windows_total = 0;
+  long windows_with_chain = 0;
+  double minutes = 0;
+
+  [[nodiscard]] int CauseIndex(const std::string& name) const;
+  [[nodiscard]] int ConsequenceIndex(const std::string& name) const;
+};
+
+/// Computes all statistics for one analysis run.
+ChainStatistics ComputeStatistics(const AnalysisResult& result,
+                                  const CausalGraph& graph);
+
+/// Renders the Table 2-style conditional probability table.
+std::string FormatConditionalTable(const ChainStatistics& stats);
+/// Renders the Table 4-style chain ratio table.
+std::string FormatChainRatioTable(const ChainStatistics& stats);
+/// Renders the Fig. 10-style occurrence frequencies.
+std::string FormatOccurrence(const ChainStatistics& stats);
+
+}  // namespace domino::analysis

@@ -1,0 +1,30 @@
+#include "domino/streaming.h"
+
+namespace domino::analysis {
+
+StreamingDetector::StreamingDetector(CausalGraph graph, DominoConfig cfg)
+    : detector_(std::move(graph), cfg) {}
+
+int StreamingDetector::Advance(const telemetry::DerivedTrace& trace,
+                               Time now) {
+  if (!initialised_) {
+    next_begin_ = trace.begin;
+    initialised_ = true;
+  }
+  const DominoConfig& cfg = detector_.config();
+  int processed = 0;
+  while (next_begin_ + cfg.window <= now) {
+    WindowResult w = detector_.AnalyzeWindow(trace, next_begin_);
+    for (const ChainInstance& ci : w.chains) {
+      ++chains_;
+      if (on_chain) on_chain(ci, w);
+    }
+    if (on_window) on_window(w);
+    ++windows_;
+    ++processed;
+    next_begin_ += cfg.step;
+  }
+  return processed;
+}
+
+}  // namespace domino::analysis

@@ -1,0 +1,44 @@
+// Streaming (near-real-time) detection.
+//
+// Wraps a Detector so a live pipeline can push analysis forward as telemetry
+// accrues: each Advance(trace, now) call analyses exactly the windows whose
+// data completed since the previous call and invokes the chain callback for
+// every new instance — the "continuous, near real-time" operator workflow
+// from §1.
+#pragma once
+
+#include <functional>
+
+#include "domino/detector.h"
+
+namespace domino::analysis {
+
+class StreamingDetector {
+ public:
+  StreamingDetector(CausalGraph graph, DominoConfig cfg);
+
+  /// Called for every chain instance as soon as its window completes.
+  std::function<void(const ChainInstance&, const WindowResult&)> on_chain;
+  /// Called for every completed window (after on_chain for its instances).
+  std::function<void(const WindowResult&)> on_window;
+
+  /// Analyses all windows [w, w + W) with w + W <= now not yet analysed.
+  /// Returns how many new windows were processed. `trace` must contain the
+  /// data up to `now` (it may keep growing between calls).
+  int Advance(const telemetry::DerivedTrace& trace, Time now);
+
+  /// Start of the next window to be analysed.
+  [[nodiscard]] Time next_window_begin() const { return next_begin_; }
+  [[nodiscard]] const Detector& detector() const { return detector_; }
+  [[nodiscard]] long windows_processed() const { return windows_; }
+  [[nodiscard]] long chains_detected() const { return chains_; }
+
+ private:
+  Detector detector_;
+  Time next_begin_{0};
+  bool initialised_ = false;
+  long windows_ = 0;
+  long chains_ = 0;
+};
+
+}  // namespace domino::analysis

@@ -1,0 +1,22 @@
+#include "gcc/ack_bitrate.h"
+
+namespace domino::gcc {
+
+AckedBitrateEstimator::AckedBitrateEstimator(Duration window)
+    : window_(window) {}
+
+void AckedBitrateEstimator::OnAckedPacket(Time recv_time, int bytes) {
+  samples_.emplace_back(recv_time, bytes);
+  Time horizon = recv_time - window_;
+  while (!samples_.empty() && samples_.front().first < horizon) {
+    samples_.pop_front();
+  }
+  if (samples_.size() < 2) return;
+  Duration span = samples_.back().first - samples_.front().first;
+  if (span < Millis(100)) return;  // too little data for a stable estimate
+  long bytes_sum = 0;
+  for (const auto& [t, b] : samples_) bytes_sum += b;
+  bitrate_bps_ = static_cast<double>(bytes_sum) * 8.0 / span.seconds();
+}
+
+}  // namespace domino::gcc

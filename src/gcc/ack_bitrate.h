@@ -1,0 +1,31 @@
+// Acknowledged bitrate estimator (libwebrtc's AcknowledgedBitrateEstimator,
+// simplified to a sliding-window rate over acked bytes).
+//
+// Measures the throughput the network actually sustained, independent of the
+// delay-based estimate. GCC uses it (a) to scale multiplicative decreases
+// and (b) as the fast-recovery baseline the paper discusses in §6.2.
+#pragma once
+
+#include <deque>
+
+#include "common/time.h"
+
+namespace domino::gcc {
+
+class AckedBitrateEstimator {
+ public:
+  explicit AckedBitrateEstimator(Duration window = Millis(500));
+
+  /// Records `bytes` acknowledged with receive time `recv_time`.
+  void OnAckedPacket(Time recv_time, int bytes);
+
+  /// Current estimate in bits/s; 0 until enough data spans the window.
+  [[nodiscard]] double bitrate_bps() const { return bitrate_bps_; }
+
+ private:
+  Duration window_;
+  std::deque<std::pair<Time, int>> samples_;
+  double bitrate_bps_ = 0;
+};
+
+}  // namespace domino::gcc

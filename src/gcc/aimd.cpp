@@ -1,0 +1,96 @@
+#include "gcc/aimd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace domino::gcc {
+
+AimdRateControl::AimdRateControl(AimdConfig cfg)
+    : cfg_(cfg), target_bps_(cfg.start_bitrate_bps) {}
+
+void AimdRateControl::Update(NetworkState state, double acked_bps, Time now,
+                             bool app_limited) {
+  if (last_update_ == Time{0}) last_update_ = now;
+
+  // State machine from Carlucci et al. Table 1: overuse always decreases,
+  // underuse always holds, normal resumes increasing.
+  switch (state) {
+    case NetworkState::kOveruse:
+      if (phase_ != Phase::kDecrease) {
+        phase_ = Phase::kDecrease;
+        Decrease(acked_bps, now);
+      } else {
+        // Repeated overuse signals keep pushing the rate down.
+        Decrease(acked_bps, now);
+      }
+      break;
+    case NetworkState::kUnderuse:
+      phase_ = Phase::kHold;
+      break;
+    case NetworkState::kNormal:
+      phase_ = Phase::kIncrease;
+      Increase(acked_bps, now, app_limited);
+      break;
+  }
+  last_update_ = now;
+}
+
+void AimdRateControl::Decrease(double acked_bps, Time now) {
+  // Avoid collapsing repeatedly within one response time; the detector can
+  // signal overuse on several consecutive feedback messages for the same
+  // queue event.
+  if (last_decrease_ != Time::max() &&
+      now - last_decrease_ < cfg_.response_time) {
+    return;
+  }
+  double base = acked_bps > 0 ? acked_bps : target_bps_;
+  target_bps_ = std::max(cfg_.beta * base, cfg_.min_bitrate_bps);
+  near_max_ = true;
+  last_decrease_ = now;
+  ++decreases_;
+}
+
+void AimdRateControl::Increase(double acked_bps, Time now,
+                               bool app_limited) {
+  double dt_s = std::min((now - last_update_).seconds(), 1.0);
+  if (dt_s <= 0) return;
+  // Fast recovery (§6.2): if measured throughput demonstrably exceeds the
+  // estimate — e.g. a short-lived overuse knocked the target down while the
+  // network kept delivering at the old rate — trust the acked bitrate and
+  // jump rather than crawl back via additive increase. Requires sustained
+  // evidence (several consecutive updates) so that stale acked-bitrate
+  // samples right after a genuine congestion event don't trigger it; the
+  // paper observes this path in only ~1% of anomalies.
+  if (!app_limited && acked_bps > 0 && cfg_.beta * acked_bps > target_bps_) {
+    if (++fast_evidence_ >= cfg_.fast_recovery_evidence) {
+      target_bps_ = std::min(cfg_.beta * acked_bps, cfg_.max_bitrate_bps);
+      ++fast_recoveries_;
+      fast_evidence_ = 0;
+      return;
+    }
+  } else {
+    fast_evidence_ = 0;
+  }
+  if (near_max_) {
+    // Additive: about half an average packet per response time.
+    double inc_per_s =
+        0.5 * cfg_.avg_packet_bytes * 8.0 / cfg_.response_time.seconds();
+    target_bps_ += inc_per_s * dt_s;
+  } else {
+    target_bps_ *= std::pow(cfg_.multiplicative_gain, dt_s);
+  }
+  // The estimate may not run away from measured throughput: cap at
+  // headroom x acked — unless the sender was app-limited, in which case
+  // throughput under-measures the link and must not drag the estimate.
+  if (!app_limited && acked_bps > 0) {
+    double cap = cfg_.ack_headroom * acked_bps;
+    if (target_bps_ > cap) {
+      target_bps_ = cap;
+      near_max_ = false;  // throughput-limited, not congestion-limited
+    }
+  }
+  target_bps_ =
+      std::clamp(target_bps_, cfg_.min_bitrate_bps, cfg_.max_bitrate_bps);
+}
+
+}  // namespace domino::gcc

@@ -1,0 +1,71 @@
+// AIMD rate control (libwebrtc's AimdRateControl, Carlucci et al. 2016 §4.2).
+//
+// Consumes the overuse detector's state and the acknowledged bitrate and
+// produces the delay-based target rate:
+//   overuse  -> multiplicative decrease to beta x acked bitrate
+//   underuse -> hold (let queues drain)
+//   normal   -> probe upward: multiplicative while far from the last
+//               decrease, cautious additive (about half a packet per
+//               response time) when near it — the slow recovery the paper
+//               measures at 30+ s (§6.2).
+//
+// Fast recovery: when the estimate is capped by 1.5x the acknowledged
+// bitrate, a short-lived overuse followed by sustained high acked throughput
+// snaps the estimate back up within a couple of seconds.
+#pragma once
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace domino::gcc {
+
+struct AimdConfig {
+  double beta = 0.85;                  ///< Multiplicative decrease factor.
+  double multiplicative_gain = 1.08;   ///< Per-second far-from-max growth.
+  double avg_packet_bytes = 1200.0;
+  Duration response_time = Millis(200);///< RTT + reaction allowance.
+  double min_bitrate_bps = 30e3;
+  double max_bitrate_bps = 2.6e6;  ///< libwebrtc-style cap for a 2-party call.
+  double ack_headroom = 1.5;           ///< Estimate cap: 1.5x acked bitrate.
+  double start_bitrate_bps = 300e3;
+  int fast_recovery_evidence = 5;      ///< Consecutive high-acked updates
+                                       ///< required before fast recovery.
+};
+
+class AimdRateControl {
+ public:
+  explicit AimdRateControl(AimdConfig cfg = {});
+
+  /// Updates the target given the detector state at time `now`.
+  /// `acked_bps` is the acknowledged bitrate (0 if unknown yet).
+  /// `app_limited` marks periods where the sender transmitted less than the
+  /// target (e.g. pushback-limited); the acked-bitrate cap and fast-recovery
+  /// logic are suspended then, since throughput no longer measures the link.
+  void Update(NetworkState state, double acked_bps, Time now,
+              bool app_limited = false);
+
+  [[nodiscard]] double target_bps() const { return target_bps_; }
+  /// True while in the cautious additive-increase regime.
+  [[nodiscard]] bool near_max() const { return near_max_; }
+  [[nodiscard]] long decrease_count() const { return decreases_; }
+  /// Times the acked-bitrate fast-recovery path fired (§6.2).
+  [[nodiscard]] long fast_recovery_count() const { return fast_recoveries_; }
+
+ private:
+  enum class Phase { kHold, kIncrease, kDecrease };
+
+  void Decrease(double acked_bps, Time now);
+  void Increase(double acked_bps, Time now, bool app_limited);
+
+  AimdConfig cfg_;
+  double target_bps_;
+  Phase phase_ = Phase::kHold;
+  bool near_max_ = false;
+  Time last_update_{0};
+  Time last_decrease_ = Time::max();
+  long decreases_ = 0;
+  long fast_recoveries_ = 0;
+  int fast_evidence_ = 0;
+};
+
+}  // namespace domino::gcc

@@ -1,0 +1,30 @@
+// Transport-wide feedback structures exchanged between the WebRTC receiver
+// and the sender-side congestion controller (RFC 8888 / transport-cc style).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace domino::gcc {
+
+/// Per-packet receive report inside one feedback message.
+struct PacketResult {
+  std::uint64_t packet_id = 0;
+  int size_bytes = 0;
+  Time send_time;
+  Time recv_time = Time::max();  ///< Time::max() = reported missing.
+
+  [[nodiscard]] bool lost() const { return recv_time == Time::max(); }
+};
+
+/// One RTCP transport feedback message. `feedback_time` is when the sender
+/// processed it — reverse-path delay shifts this, which is exactly the
+/// mechanism behind the paper's Fig. 22 pushback-rate anomalies.
+struct TransportFeedback {
+  Time feedback_time;
+  std::vector<PacketResult> packets;  ///< In send order.
+};
+
+}  // namespace domino::gcc

@@ -1,0 +1,99 @@
+#include "gcc/goog_cc.h"
+
+#include <algorithm>
+
+namespace domino::gcc {
+
+GoogCc::GoogCc(GccConfig cfg)
+    : cfg_(cfg),
+      trendline_(cfg.trendline),
+      aimd_(cfg.aimd),
+      pushback_(cfg.pushback),
+      target_bps_(cfg.aimd.start_bitrate_bps),
+      pushback_bps_(cfg.aimd.start_bitrate_bps),
+      loss_based_bps_(cfg.aimd.max_bitrate_bps) {}
+
+void GoogCc::OnPacketSent(std::uint64_t id, int bytes, Time /*now*/) {
+  in_flight_.emplace(id, bytes);
+  outstanding_bytes_ += bytes;
+}
+
+void GoogCc::OnFeedback(const TransportFeedback& fb) {
+  int total = 0;
+  int lost = 0;
+  Time newest_send{0};
+  for (const PacketResult& p : fb.packets) {
+    ++total;
+    auto it = in_flight_.find(p.packet_id);
+    if (it != in_flight_.end()) {
+      outstanding_bytes_ -= it->second;
+      in_flight_.erase(it);
+    }
+    if (p.lost()) {
+      ++lost;
+      continue;
+    }
+    newest_send = std::max(newest_send, p.send_time);
+    acked_.OnAckedPacket(p.recv_time, p.size_bytes);
+    if (auto delta = inter_arrival_.OnPacket(p.send_time, p.recv_time)) {
+      trendline_.OnDelta(*delta);
+    }
+  }
+  outstanding_bytes_ = std::max(outstanding_bytes_, 0.0);
+
+  if (newest_send != Time{0}) {
+    // Feedback-derived RTT: send -> receiver -> feedback arrival. Includes
+    // the receiver's feedback hold time, matching transport-cc behaviour.
+    // Smoothed so that a single delayed feedback does not balloon the
+    // congestion window and defeat the pushback mechanism.
+    Duration sample = fb.feedback_time - newest_send;
+    if (sample < Millis(1)) sample = Millis(1);
+    rtt_ = Duration{static_cast<std::int64_t>(0.8 * rtt_.micros() +
+                                              0.2 * sample.micros())};
+  }
+  if (total > 0) {
+    double frac = static_cast<double>(lost) / total;
+    loss_fraction_ = 0.7 * loss_fraction_ + 0.3 * frac;
+  }
+
+  NetworkState state = trendline_.state();
+  if (state == NetworkState::kOveruse && prev_state_ != NetworkState::kOveruse) {
+    ++overuse_count_;
+  }
+  prev_state_ = state;
+
+  // App-limited: the pushback controller (or the encoder) sent below the
+  // target recently. The acked-bitrate window looks ~500 ms into the past,
+  // so the flag must persist at least that long after throttling ends —
+  // otherwise the cap would drag the estimate down to the throttled rate.
+  if (pushback_bps_ < 0.98 * target_bps_) {
+    last_app_limited_ = fb.feedback_time;
+  }
+  bool app_limited = last_app_limited_ != Time::max() &&
+                     fb.feedback_time - last_app_limited_ < Millis(700);
+  aimd_.Update(state, acked_.bitrate_bps(), fb.feedback_time, app_limited);
+
+  // Loss-based controller: decrease sharply on heavy loss, recover slowly
+  // once loss subsides; the final target is the min of both estimators.
+  double delay_based = aimd_.target_bps();
+  if (loss_fraction_ > cfg_.loss_high) {
+    loss_based_bps_ = std::min(loss_based_bps_,
+                               delay_based * (1.0 - 0.5 * loss_fraction_));
+    loss_based_bps_ = std::max(loss_based_bps_, cfg_.aimd.min_bitrate_bps);
+  } else if (loss_fraction_ < cfg_.loss_low) {
+    loss_based_bps_ = std::min(loss_based_bps_ * 1.02,
+                               cfg_.aimd.max_bitrate_bps);
+  }
+  target_bps_ = std::min(delay_based, loss_based_bps_);
+
+  pushback_.UpdateWindow(target_bps_, rtt_);
+  pushback_.OnOutstandingBytes(outstanding_bytes_);
+  pushback_bps_ = pushback_.AdjustRate(target_bps_);
+}
+
+void GoogCc::OnProcess(Time /*now*/) {
+  pushback_.OnOutstandingBytes(outstanding_bytes_);
+  pushback_bps_ = pushback_.AdjustRate(target_bps_);
+}
+
+}  // namespace domino::gcc

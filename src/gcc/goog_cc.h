@@ -1,0 +1,93 @@
+// GoogCc — the sender-side congestion controller facade.
+//
+// Wires together the delay-based pipeline (inter-arrival grouping ->
+// trendline estimator -> AIMD rate control), the loss-based controller, the
+// acknowledged-bitrate estimator, and the congestion-window pushback
+// controller, mirroring libwebrtc's GoogCcNetworkController composition.
+//
+// The paper instruments exactly the internal state this class exposes:
+// delay slope, detector state, target bitrate, pushback rate, outstanding
+// bytes, and congestion window (§3, §6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "gcc/ack_bitrate.h"
+#include "gcc/aimd.h"
+#include "gcc/feedback.h"
+#include "gcc/inter_arrival.h"
+#include "gcc/pushback.h"
+#include "gcc/trendline.h"
+
+namespace domino::gcc {
+
+struct GccConfig {
+  TrendlineConfig trendline;
+  AimdConfig aimd;
+  PushbackConfig pushback;
+  double loss_high = 0.10;  ///< Loss fraction triggering loss-based decrease.
+  double loss_low = 0.02;   ///< Loss fraction allowing loss-based recovery.
+};
+
+class GoogCc {
+ public:
+  explicit GoogCc(GccConfig cfg = {});
+
+  /// Sender hook: a media packet left the pacer.
+  void OnPacketSent(std::uint64_t id, int bytes, Time now);
+
+  /// Sender hook: an RTCP transport feedback message arrived.
+  void OnFeedback(const TransportFeedback& fb);
+
+  /// Periodic process hook (libwebrtc runs this every 25 ms): re-evaluates
+  /// the congestion-window pushback from current in-flight bytes. This is
+  /// what lets the pushback controller react *while feedback is stalled* —
+  /// the exact scenario of Fig. 22.
+  void OnProcess(Time now);
+
+  /// Delay+loss combined bandwidth estimate (the "target bitrate").
+  [[nodiscard]] double target_bitrate_bps() const { return target_bps_; }
+  /// Encoder rate after congestion-window pushback.
+  [[nodiscard]] double pushback_bitrate_bps() const { return pushback_bps_; }
+  [[nodiscard]] double outstanding_bytes() const { return outstanding_bytes_; }
+  [[nodiscard]] double cwnd_bytes() const { return pushback_.cwnd_bytes(); }
+  [[nodiscard]] NetworkState state() const { return trendline_.state(); }
+  [[nodiscard]] double delay_slope() const {
+    return trendline_.modified_trend();
+  }
+  [[nodiscard]] double acked_bitrate_bps() const {
+    return acked_.bitrate_bps();
+  }
+  [[nodiscard]] Duration rtt() const { return rtt_; }
+  [[nodiscard]] double loss_fraction() const { return loss_fraction_; }
+  /// Loss-based ceiling (the final target is min(delay-based, this)).
+  [[nodiscard]] double loss_based_bps() const { return loss_based_bps_; }
+  [[nodiscard]] long overuse_count() const { return overuse_count_; }
+  [[nodiscard]] long fast_recovery_count() const {
+    return aimd_.fast_recovery_count();
+  }
+
+ private:
+  GccConfig cfg_;
+  InterArrival inter_arrival_;
+  TrendlineEstimator trendline_;
+  AimdRateControl aimd_;
+  AckedBitrateEstimator acked_;
+  PushbackController pushback_;
+
+  std::map<std::uint64_t, int> in_flight_;  ///< packet id -> bytes
+  double outstanding_bytes_ = 0;
+  double target_bps_;
+  double pushback_bps_;
+  double loss_based_bps_;
+  double loss_fraction_ = 0;
+  Duration rtt_ = Millis(100);
+  NetworkState prev_state_ = NetworkState::kNormal;
+  Time last_app_limited_ = Time::max();
+  long overuse_count_ = 0;
+};
+
+}  // namespace domino::gcc

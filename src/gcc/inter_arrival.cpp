@@ -1,0 +1,40 @@
+#include "gcc/inter_arrival.h"
+
+namespace domino::gcc {
+
+InterArrival::InterArrival(Duration burst_window)
+    : burst_window_(burst_window) {}
+
+void InterArrival::Reset() {
+  current_ = Group{};
+  previous_ = Group{};
+}
+
+std::optional<GroupDelta> InterArrival::OnPacket(Time send_time,
+                                                 Time arrival_time) {
+  if (!current_.valid) {
+    current_ = Group{send_time, send_time, arrival_time, true};
+    return std::nullopt;
+  }
+  if (send_time - current_.first_send <= burst_window_) {
+    // Same burst: extend the group.
+    current_.last_send = std::max(current_.last_send, send_time);
+    current_.last_arrival = std::max(current_.last_arrival, arrival_time);
+    return std::nullopt;
+  }
+  // The packet starts a new group; the previous group is now complete.
+  std::optional<GroupDelta> delta;
+  if (previous_.valid) {
+    GroupDelta d;
+    d.send_delta_ms = (current_.last_send - previous_.last_send).millis();
+    d.arrival_delta_ms =
+        (current_.last_arrival - previous_.last_arrival).millis();
+    d.arrival_time = current_.last_arrival;
+    delta = d;
+  }
+  previous_ = current_;
+  current_ = Group{send_time, send_time, arrival_time, true};
+  return delta;
+}
+
+}  // namespace domino::gcc

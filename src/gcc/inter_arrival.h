@@ -1,0 +1,48 @@
+// Packet-group delta computation (libwebrtc's InterArrival).
+//
+// Packets sent within a 5 ms burst window form a group; the trendline
+// estimator consumes per-group deltas
+//   d = (arrival_i - arrival_{i-1}) - (send_i - send_{i-1})
+// which are positive when the path is queueing (delay building up).
+#pragma once
+
+#include <optional>
+
+#include "common/time.h"
+
+namespace domino::gcc {
+
+struct GroupDelta {
+  double send_delta_ms = 0;
+  double arrival_delta_ms = 0;
+  Time arrival_time;  ///< Arrival of the newer group's last packet.
+
+  [[nodiscard]] double delay_delta_ms() const {
+    return arrival_delta_ms - send_delta_ms;
+  }
+};
+
+class InterArrival {
+ public:
+  explicit InterArrival(Duration burst_window = Millis(5));
+
+  /// Feeds one packet (in send order); returns a delta once a group
+  /// completes and a previous complete group exists.
+  std::optional<GroupDelta> OnPacket(Time send_time, Time arrival_time);
+
+  void Reset();
+
+ private:
+  struct Group {
+    Time first_send;
+    Time last_send;
+    Time last_arrival;
+    bool valid = false;
+  };
+
+  Duration burst_window_;
+  Group current_{};
+  Group previous_{};
+};
+
+}  // namespace domino::gcc

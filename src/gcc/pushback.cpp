@@ -1,0 +1,33 @@
+#include "gcc/pushback.h"
+
+#include <algorithm>
+
+namespace domino::gcc {
+
+PushbackController::PushbackController(PushbackConfig cfg) : cfg_(cfg) {}
+
+void PushbackController::UpdateWindow(double target_bps, Duration rtt) {
+  double horizon_s = (rtt + cfg_.queue_allowance).seconds();
+  cwnd_bytes_ = std::max(target_bps / 8.0 * horizon_s, 3000.0);
+}
+
+double PushbackController::AdjustRate(double target_bps) {
+  if (cwnd_bytes_ <= 0) return target_bps;
+  double fill = outstanding_bytes_ / cwnd_bytes_;
+  // Multiplicative backoff while the window is overfilled; gentle linear
+  // recovery once in-flight data drains (libwebrtc's update schedule).
+  if (fill > 1.5) {
+    ratio_ *= 0.9;
+  } else if (fill > 1.0) {
+    ratio_ *= 0.95;
+  } else if (fill < 0.1) {
+    ratio_ = 1.0;
+  } else {
+    ratio_ = std::min(1.0, ratio_ + 0.05);
+  }
+  ratio_ = std::max(ratio_, cfg_.min_pushback_ratio);
+  double rate = target_bps * ratio_;
+  return std::max(rate, cfg_.min_bitrate_bps);
+}
+
+}  // namespace domino::gcc

@@ -1,0 +1,49 @@
+// Congestion-window pushback controller
+// (libwebrtc's CongestionWindowPushbackController; paper §6.3, Appendix E).
+//
+// GCC maintains a congestion window sized from the target rate and the RTT
+// plus a queueing allowance. When outstanding (unacked) bytes overfill the
+// window — because the forward path stalls OR the RTCP feedback path is
+// delayed — the controller scales the encoder rate down multiplicatively,
+// independent of the bandwidth estimate.
+#pragma once
+
+#include "common/time.h"
+
+namespace domino::gcc {
+
+struct PushbackConfig {
+  Duration queue_allowance = Millis(250);  ///< Extra queueing budget in cwnd.
+  double min_pushback_ratio = 0.1;         ///< Floor on the rate multiplier.
+  double min_bitrate_bps = 30e3;
+};
+
+class PushbackController {
+ public:
+  explicit PushbackController(PushbackConfig cfg = {});
+
+  /// Recomputes the congestion window from the current target rate and RTT.
+  void UpdateWindow(double target_bps, Duration rtt);
+
+  /// Updates the in-flight byte count (from the sender's packet ledger).
+  void OnOutstandingBytes(double bytes) { outstanding_bytes_ = bytes; }
+
+  /// Applies pushback to `target_bps`, returning the encoder rate.
+  double AdjustRate(double target_bps);
+
+  [[nodiscard]] double cwnd_bytes() const { return cwnd_bytes_; }
+  [[nodiscard]] double outstanding_bytes() const { return outstanding_bytes_; }
+  [[nodiscard]] double ratio() const { return ratio_; }
+  /// True when the window is currently overfilled.
+  [[nodiscard]] bool window_full() const {
+    return cwnd_bytes_ > 0 && outstanding_bytes_ > cwnd_bytes_;
+  }
+
+ private:
+  PushbackConfig cfg_;
+  double cwnd_bytes_ = 0;
+  double outstanding_bytes_ = 0;
+  double ratio_ = 1.0;  ///< Current encoder-rate multiplier.
+};
+
+}  // namespace domino::gcc

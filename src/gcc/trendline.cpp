@@ -1,0 +1,88 @@
+#include "gcc/trendline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace domino::gcc {
+
+TrendlineEstimator::TrendlineEstimator(TrendlineConfig cfg)
+    : cfg_(cfg), threshold_(cfg.initial_threshold) {}
+
+void TrendlineEstimator::OnDelta(const GroupDelta& delta) {
+  ++num_deltas_;
+  accumulated_delay_ms_ += delta.delay_delta_ms();
+  smoothed_delay_ms_ = cfg_.smoothing * smoothed_delay_ms_ +
+                       (1.0 - cfg_.smoothing) * accumulated_delay_ms_;
+
+  if (!first_arrival_set_) {
+    first_arrival_set_ = true;
+    first_arrival_ms_ = delta.arrival_time.millis();
+  }
+  history_.emplace_back(delta.arrival_time.millis() - first_arrival_ms_,
+                        smoothed_delay_ms_);
+  while (history_.size() > static_cast<std::size_t>(cfg_.window_size)) {
+    history_.pop_front();
+  }
+
+  double trend = prev_trend_;
+  if (history_.size() == static_cast<std::size_t>(cfg_.window_size)) {
+    std::vector<double> x, y;
+    x.reserve(history_.size());
+    y.reserve(history_.size());
+    for (const auto& [t, d] : history_) {
+      x.push_back(t);
+      y.push_back(d);
+    }
+    trend = LinearSlope(x, y);
+  }
+  Detect(trend, delta.send_delta_ms, delta.arrival_time);
+}
+
+void TrendlineEstimator::Detect(double trend, double /*send_delta_ms*/,
+                                Time now) {
+  double modified =
+      std::min(num_deltas_, cfg_.max_deltas) * trend * cfg_.threshold_gain;
+  modified_trend_ = modified;
+
+  if (modified > threshold_) {
+    if (overuse_start_ == Time::max()) {
+      overuse_start_ = now;
+      overuse_counter_ = 0;
+    }
+    ++overuse_counter_;
+    // Overuse requires the trend to persist past the time threshold, span at
+    // least two samples, and not be shrinking.
+    if (now - overuse_start_ > cfg_.overuse_time && overuse_counter_ > 1 &&
+        trend >= prev_trend_) {
+      state_ = NetworkState::kOveruse;
+    }
+  } else if (modified < -threshold_) {
+    overuse_start_ = Time::max();
+    state_ = NetworkState::kUnderuse;
+  } else {
+    overuse_start_ = Time::max();
+    state_ = NetworkState::kNormal;
+  }
+  prev_trend_ = trend;
+  UpdateThreshold(modified, now);
+}
+
+void TrendlineEstimator::UpdateThreshold(double modified_trend, Time now) {
+  if (last_update_ == Time{0}) last_update_ = now;
+  // Large spikes (e.g. routing transients) are excluded from adaptation so a
+  // single outlier cannot blow the threshold open (libwebrtc kMaxAdaptOffset).
+  if (std::fabs(modified_trend) > threshold_ + 15.0) {
+    last_update_ = now;
+    return;
+  }
+  double k = std::fabs(modified_trend) < threshold_ ? cfg_.k_down : cfg_.k_up;
+  double dt_ms = std::min((now - last_update_).millis(), 100.0);
+  threshold_ += k * (std::fabs(modified_trend) - threshold_) * dt_ms;
+  threshold_ = std::clamp(threshold_, cfg_.min_threshold, cfg_.max_threshold);
+  last_update_ = now;
+}
+
+}  // namespace domino::gcc

@@ -1,0 +1,66 @@
+// Trendline estimator + adaptive-threshold overuse detector
+// (libwebrtc's TrendlineEstimator, Carlucci et al. 2016 §4.1).
+//
+// The estimator keeps an exponentially smoothed accumulated delay and fits a
+// least-squares line over the most recent samples; the slope — scaled by the
+// sample count and a fixed gain — is compared against a threshold that
+// itself adapts to the signal magnitude. Sustained positive trend above the
+// threshold signals overuse; a trend below the negative threshold signals
+// underuse.
+#pragma once
+
+#include <deque>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "gcc/inter_arrival.h"
+
+namespace domino::gcc {
+
+struct TrendlineConfig {
+  int window_size = 20;            ///< Regression window (groups).
+  double smoothing = 0.9;          ///< EWMA coefficient for accumulated delay.
+  double threshold_gain = 4.0;     ///< Gain applied to the raw slope.
+  int max_deltas = 60;             ///< Cap on the sample-count multiplier.
+  double k_up = 0.0087;            ///< Threshold adaptation (rising).
+  double k_down = 0.039;           ///< Threshold adaptation (falling).
+  double initial_threshold = 12.5;
+  double min_threshold = 6.0;
+  double max_threshold = 600.0;
+  Duration overuse_time = Millis(10);  ///< Sustained-trend requirement.
+};
+
+class TrendlineEstimator {
+ public:
+  explicit TrendlineEstimator(TrendlineConfig cfg = {});
+
+  /// Feeds one inter-group delta; updates the trend and network state.
+  void OnDelta(const GroupDelta& delta);
+
+  [[nodiscard]] NetworkState state() const { return state_; }
+  /// The modified trend (slope x count x gain) compared to the threshold —
+  /// the paper's "delay slope" signal (Fig. 21 subplot 2).
+  [[nodiscard]] double modified_trend() const { return modified_trend_; }
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+ private:
+  void UpdateThreshold(double modified_trend, Time now);
+  void Detect(double trend, double send_delta_ms, Time now);
+
+  TrendlineConfig cfg_;
+  std::deque<std::pair<double, double>> history_;  ///< (arrival ms, smoothed).
+  double accumulated_delay_ms_ = 0;
+  double smoothed_delay_ms_ = 0;
+  int num_deltas_ = 0;
+  double threshold_;
+  double modified_trend_ = 0;
+  double prev_trend_ = 0;
+  Time last_update_{0};
+  Time overuse_start_ = Time::max();
+  int overuse_counter_ = 0;
+  NetworkState state_ = NetworkState::kNormal;
+  bool first_arrival_set_ = false;
+  double first_arrival_ms_ = 0;
+};
+
+}  // namespace domino::gcc

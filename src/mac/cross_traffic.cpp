@@ -1,0 +1,50 @@
+#include "mac/cross_traffic.h"
+
+#include <algorithm>
+
+namespace domino::mac {
+
+OnOffSource::OnOffSource(OnOffConfig cfg, std::uint32_t rnti, Rng rng)
+    : cfg_(cfg), rnti_(rnti), rng_(rng) {
+  // Start in the off phase with a random residual so sources are unsynced.
+  on_ = false;
+  phase_end_ = Time{0} + Seconds(rng_.ExpMean(cfg_.mean_off_s));
+}
+
+void OnOffSource::ForceOn(Time start, Time end) {
+  forced_.emplace_back(start, end);
+}
+
+void OnOffSource::AdvanceTo(Time t) {
+  while (phase_end_ <= t) {
+    on_ = !on_;
+    double mean = on_ ? cfg_.mean_on_s : cfg_.mean_off_s;
+    phase_end_ += Seconds(std::max(rng_.ExpMean(mean), 1e-4));
+  }
+}
+
+int OnOffSource::DemandBytes(Time t, Duration slot) {
+  AdvanceTo(t);
+  bool active = on_;
+  for (const auto& [s, e] : forced_) {
+    if (t >= s && t < e) {
+      active = true;
+      break;
+    }
+  }
+  if (!active) return 0;
+  double bytes = cfg_.rate_bps / 8.0 * slot.seconds();
+  return std::max(1, static_cast<int>(bytes));
+}
+
+std::vector<CrossTrafficModel::UeDemand> CrossTrafficModel::Demands(
+    Time t, Duration slot) {
+  std::vector<UeDemand> out;
+  for (auto& src : sources_) {
+    int bytes = src.DemandBytes(t, slot);
+    if (bytes > 0) out.push_back({src.rnti(), bytes});
+  }
+  return out;
+}
+
+}  // namespace domino::mac

@@ -1,0 +1,74 @@
+// Cross-traffic demand model.
+//
+// Commercial cells carry other users' traffic, which competes with the VCA
+// client for PRBs (paper §5.1.2). Each background UE is an on-off source:
+// exponentially distributed on/off periods, with a constant byte demand rate
+// while on. Scenario scripts can additionally force deterministic bursts to
+// reproduce specific figure traces (e.g. Fig. 13).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace domino::mac {
+
+struct OnOffConfig {
+  double mean_on_s = 0.8;     ///< Mean burst duration.
+  double mean_off_s = 3.0;    ///< Mean idle gap.
+  double rate_bps = 30e6;     ///< Demand rate while on (backlogged flows are
+                              ///< modelled with a rate far above capacity).
+};
+
+/// One background UE. Demand is sampled per slot; the source keeps its own
+/// on/off phase machine driven by the simulation clock.
+class OnOffSource {
+ public:
+  OnOffSource(OnOffConfig cfg, std::uint32_t rnti, Rng rng);
+
+  /// Bytes this UE wants to send in a slot covering [t, t + slot).
+  int DemandBytes(Time t, Duration slot);
+
+  [[nodiscard]] std::uint32_t rnti() const { return rnti_; }
+
+  /// Forces the source on (resp. off) for [start, end) regardless of the
+  /// stochastic phase; used by scenario scripts.
+  void ForceOn(Time start, Time end);
+
+ private:
+  void AdvanceTo(Time t);
+
+  OnOffConfig cfg_;
+  std::uint32_t rnti_;
+  Rng rng_;
+  bool on_ = false;
+  Time phase_end_{0};
+  std::vector<std::pair<Time, Time>> forced_;
+};
+
+/// Aggregates several background UEs into the per-slot demand list the
+/// scheduler consumes.
+class CrossTrafficModel {
+ public:
+  CrossTrafficModel() = default;
+
+  void AddSource(OnOffSource source) { sources_.push_back(std::move(source)); }
+
+  struct UeDemand {
+    std::uint32_t rnti;
+    int bytes;
+  };
+
+  /// Per-UE demand for the slot at [t, t + slot); zero-demand UEs omitted.
+  std::vector<UeDemand> Demands(Time t, Duration slot);
+
+  [[nodiscard]] std::size_t source_count() const { return sources_.size(); }
+  OnOffSource& source(std::size_t i) { return sources_[i]; }
+
+ private:
+  std::vector<OnOffSource> sources_;
+};
+
+}  // namespace domino::mac

@@ -1,0 +1,278 @@
+#include "mac/link.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mac/scheduler.h"
+#include "phy/mcs_table.h"
+
+namespace domino::mac {
+
+CellLink::CellLink(EventQueue& queue, const phy::FrameStructure& frame,
+                   LinkConfig cfg, phy::ChannelModel channel,
+                   rlc::RlcConfig rlc_cfg, rrc::RrcStateMachine& rrc, Rng rng)
+    : queue_(queue),
+      frame_(frame),
+      cfg_(cfg),
+      channel_(std::move(channel)),
+      rlc_(rlc_cfg),
+      rrc_(rrc),
+      rng_(rng),
+      olla_(cfg.olla) {}
+
+void CellLink::Start() {
+  if (started_) return;
+  started_ = true;
+  std::int64_t first = frame_.SlotIndex(queue_.now());
+  if (!SlotMatchesDirection(first)) {
+    first = cfg_.dir == Direction::kUplink ? frame_.NextUplinkSlot(first)
+                                           : frame_.NextDownlinkSlot(first);
+  }
+  Time start = std::max(frame_.SlotStart(first), queue_.now());
+  queue_.ScheduleAt(start, [this, first] { OnSlot(first); });
+}
+
+void CellLink::Enqueue(std::uint64_t packet_id, int bytes) {
+  auto sn = rlc_.Enqueue(packet_id, bytes, queue_.now());
+  if (!sn.has_value() && on_drop) on_drop(packet_id);
+}
+
+bool CellLink::SlotMatchesDirection(std::int64_t slot) const {
+  return cfg_.dir == Direction::kUplink ? frame_.IsUplinkSlot(slot)
+                                        : frame_.IsDownlinkSlot(slot);
+}
+
+void CellLink::ScheduleNextSlot(std::int64_t after) {
+  std::int64_t next = cfg_.dir == Direction::kUplink
+                          ? frame_.NextUplinkSlot(after + 1)
+                          : frame_.NextDownlinkSlot(after + 1);
+  queue_.ScheduleAt(frame_.SlotStart(next), [this, next] { OnSlot(next); });
+}
+
+int CellLink::SelectMcs(double sinr_db) const {
+  // Standard link adaptation targets ~10% first-transmission BLER; the
+  // static offset shifts toward robustness (<0) or rate (>0), and OLLA
+  // (when enabled) closes the loop on actual HARQ feedback.
+  double adjusted = sinr_db;
+  if (cfg_.olla.enabled) adjusted += olla_.offset_db();
+  int mcs = phy::McsForSinr(adjusted) + cfg_.mcs_offset;
+  return std::clamp(mcs, 0, phy::kMaxMcs);
+}
+
+double CellLink::mean_grant_delay_ms() const {
+  if (grant_delay_samples_ == 0) return 0.0;
+  return grant_delay_sum_ms_ / static_cast<double>(grant_delay_samples_);
+}
+
+void CellLink::MaybeSendBsr(Time now) {
+  long buffered = rlc_.BufferedBytes();
+  long unrequested = buffered - requested_bytes_;
+  if (unrequested <= 0) return;
+  grants_.push_back(Grant{now + cfg_.grant_delay, unrequested});
+  requested_bytes_ += unrequested;
+  grant_delay_sum_ms_ += cfg_.grant_delay.millis();
+  ++grant_delay_samples_;
+}
+
+void CellLink::OnSlot(std::int64_t slot) {
+  Time now = frame_.SlotStart(slot);
+  ScheduleNextSlot(slot);
+
+  // RRC blackout: the PHY is completely silent; data keeps arriving in the
+  // RLC buffer and drains (with a delay spike) after re-establishment.
+  if (!rrc_.CanTransmit(now)) return;
+
+  double sinr = channel_.SinrAt(now);
+  // Link adaptation sees the channel through delayed CQI reports; decode
+  // outcomes use the true current SINR.
+  sinr_history_.emplace_back(now, sinr);
+  double reported_sinr = sinr;
+  Time report_time = now - cfg_.cqi_delay;
+  for (auto it = sinr_history_.rbegin(); it != sinr_history_.rend(); ++it) {
+    if (it->first <= report_time) {
+      reported_sinr = it->second;
+      break;
+    }
+  }
+  while (sinr_history_.size() > 2 &&
+         sinr_history_.front().first < report_time - Millis(50)) {
+    sinr_history_.pop_front();
+  }
+  int mcs = SelectMcs(reported_sinr);
+  last_mcs_ = mcs;
+
+  const int total_prbs = cfg_.carrier.total_prbs;
+  int used_prbs = 0;
+
+  // 1) HARQ retransmissions take PRBs before any new data.
+  while (!retx_queue_.empty() && retx_queue_.front().due <= now &&
+         used_prbs + retx_queue_.front().prbs <= total_prbs) {
+    InFlightTb tb = std::move(retx_queue_.front());
+    retx_queue_.pop_front();
+    used_prbs += tb.prbs;
+    tb.due = now + cfg_.harq_rtt;  // due time should a further retx be needed
+    TransmitTb(std::move(tb), now, sinr);
+  }
+
+  // 2) Uplink grant accounting: BSRs go out at UL opportunities, grants
+  //    mature after the request/grant round trip.
+  long proactive = 0;
+  if (cfg_.dir == Direction::kUplink) {
+    MaybeSendBsr(now);
+    while (!grants_.empty() && grants_.front().usable_from <= now) {
+      granted_pool_bytes_ += grants_.front().bytes;
+      grants_.pop_front();
+    }
+    proactive = cfg_.proactive_grant_bytes;
+  }
+
+  // 3) New-data budget for this slot.
+  long budget_bytes = cfg_.dir == Direction::kUplink
+                          ? granted_pool_bytes_ + proactive
+                          : rlc_.BufferedBytes();
+  int avail_prbs = total_prbs - used_prbs;
+  if (avail_prbs <= 0) return;
+
+  int wanted = phy::PrbsForBytes(cfg_.carrier,
+                                 static_cast<int>(std::min<long>(
+                                     budget_bytes, 1 << 20)),
+                                 mcs);
+  if (cfg_.ue_max_prbs > 0) wanted = std::min(wanted, cfg_.ue_max_prbs);
+  // Reliability-driven PRB cap for poor-channel UEs (paper §5.1.1: the
+  // scheduler shrinks allocations when the channel degrades). The cap
+  // tightens further in deep fades, so the PRB series visibly drops along
+  // with the MCS (Fig. 12, marker 1).
+  if (sinr < cfg_.prb_cap_sinr_db) {
+    double frac = cfg_.prb_cap_frac;
+    if (sinr < cfg_.prb_cap_sinr_db - 6.0) frac *= 0.55;
+    wanted = std::min(wanted, static_cast<int>(total_prbs * frac));
+  }
+
+  // 4) Competition with cross traffic for the remaining PRBs.
+  auto cross_demands = cross_.Demands(now, frame_.slot_duration());
+  std::vector<PrbDemand> demands;
+  demands.reserve(1 + cross_demands.size());
+  demands.push_back(PrbDemand{wanted, 1.0});
+  for (const auto& d : cross_demands) {
+    demands.push_back(PrbDemand{
+        phy::PrbsForBytes(cfg_.carrier, d.bytes, cfg_.cross_traffic_mcs),
+        cfg_.cross_traffic_weight});
+  }
+  std::vector<int> alloc = AllocatePrbs(avail_prbs, demands);
+  int our_prbs = alloc[0];
+
+  if (on_dci) {
+    // PDCCH decode capacity bounds how many cross-UE assignments per slot
+    // are visible to a sniffer (and realistically scheduled).
+    int emitted = 0;
+    for (std::size_t i = 0;
+         i < cross_demands.size() && emitted < cfg_.max_cross_dci_per_slot;
+         ++i) {
+      if (alloc[i + 1] <= 0) continue;
+      ++emitted;
+      telemetry::DciRecord rec;
+      rec.time = now;
+      rec.rnti = cross_demands[i].rnti;
+      rec.dir = cfg_.dir;
+      rec.prbs = alloc[i + 1];
+      rec.mcs = cfg_.cross_traffic_mcs;
+      rec.tbs_bytes = phy::TransportBlockBytes(cfg_.carrier, alloc[i + 1],
+                                               cfg_.cross_traffic_mcs);
+      on_dci(rec);
+    }
+  }
+
+  if (our_prbs <= 0) return;
+  int tbs = phy::TransportBlockBytes(cfg_.carrier, our_prbs, mcs);
+  if (tbs <= 0) return;
+
+  std::vector<rlc::Segment> segments = rlc_.PullForTb(tbs, now);
+  long filled = 0;
+  for (const auto& s : segments) filled += s.bytes;
+
+  if (cfg_.dir == Direction::kUplink) {
+    // Grant consumption: the slot's allocation burns proactive bytes first,
+    // then the BSR-grant pool. Unfilled TB space is wasted capacity
+    // (over-granting / idle proactive grants, §5.2.1).
+    long consume = tbs;
+    long pro_used = std::min<long>(proactive, consume);
+    consume -= pro_used;
+    granted_pool_bytes_ = std::max<long>(0, granted_pool_bytes_ - consume);
+    requested_bytes_ = std::max<long>(0, requested_bytes_ - filled);
+  }
+  grant_waste_bytes_ += tbs - filled;
+
+  if (segments.empty()) {
+    // Padding-only TB (e.g. an unused proactive grant): still visible as a
+    // DCI to the sniffer, but nothing to decode.
+    if (on_dci) {
+      telemetry::DciRecord rec;
+      rec.time = now;
+      rec.rnti = rrc_.rnti();
+      rec.dir = cfg_.dir;
+      rec.prbs = our_prbs;
+      rec.mcs = mcs;
+      rec.tbs_bytes = tbs;
+      on_dci(rec);
+    }
+    return;
+  }
+
+  InFlightTb tb;
+  tb.segments = std::move(segments);
+  tb.prbs = our_prbs;
+  tb.mcs = mcs;
+  tb.tbs_bytes = tbs;
+  tb.attempt = 0;
+  tb.harq_process = next_harq_process_;
+  next_harq_process_ = (next_harq_process_ + 1) % 16;
+  tb.due = now + cfg_.harq_rtt;
+  TransmitTb(std::move(tb), now, sinr);
+}
+
+void CellLink::TransmitTb(InFlightTb tb, Time slot_start, double sinr_db) {
+  ++tb_count_;
+  if (on_dci) {
+    telemetry::DciRecord rec;
+    rec.time = slot_start;
+    rec.rnti = rrc_.rnti();
+    rec.dir = cfg_.dir;
+    rec.prbs = tb.prbs;
+    rec.mcs = tb.mcs;
+    rec.tbs_bytes = tb.tbs_bytes;
+    rec.is_retx = tb.attempt > 0;
+    rec.harq_process = tb.harq_process;
+    rec.attempt = tb.attempt;
+    on_dci(rec);
+  }
+  double bler = phy::Bler(
+      tb.mcs, sinr_db + cfg_.harq_combining_gain_db * tb.attempt);
+  bool ok = !rng_.Chance(bler);
+  Time decode_time = slot_start + frame_.slot_duration() + cfg_.decode_latency;
+  queue_.ScheduleAt(decode_time,
+                    [this, tb = std::move(tb), decode_time, ok]() mutable {
+                      OnDecodeOutcome(std::move(tb), decode_time, ok);
+                    });
+}
+
+void CellLink::OnDecodeOutcome(InFlightTb tb, Time decode_time, bool ok) {
+  if (tb.attempt == 0 && cfg_.olla.enabled) olla_.OnFirstTxOutcome(ok);
+  if (ok) {
+    auto delivered = rlc_.OnSegmentsReceived(tb.segments);
+    if (on_deliver) {
+      for (const auto& sdu : delivered) on_deliver(sdu.packet_id, decode_time);
+    }
+    return;
+  }
+  if (tb.attempt >= cfg_.max_harq_retx) {
+    // HARQ gave up; RLC takes over with its (much slower) recovery.
+    ++harq_exhaust_count_;
+    rlc_.OnHarqExhaust(tb.segments, decode_time);
+    return;
+  }
+  ++harq_retx_count_;
+  ++tb.attempt;
+  retx_queue_.push_back(std::move(tb));
+}
+
+}  // namespace domino::mac

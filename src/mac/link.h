@@ -1,0 +1,177 @@
+// CellLink — one direction of the 5G data path between a UE and its gNB.
+//
+// This is the heart of the RAN substrate: it moves application packets
+// through the request/grant uplink scheduling loop (or downlink queueing),
+// transport-block construction with link adaptation, HARQ retransmission
+// rounds, RLC recovery with head-of-line blocking, and RRC blackouts —
+// emitting the same per-slot DCI telemetry an NR-Scope deployment captures.
+//
+// All six of the paper's root causes are produced by this class and its
+// collaborators:
+//   poor channel     -> low MCS + PRB cap     -> small TBS -> queue build-up
+//   cross traffic    -> PRB competition        -> small TBS -> queue build-up
+//   UL scheduling    -> BSR wait + grant delay -> first-byte latency
+//   HARQ retx        -> +harq_rtt per attempt
+//   RLC retx         -> +rlc retx delay, HoL blocking at the receiver
+//   RRC transitions  -> PHY silence, RNTI change
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "mac/cross_traffic.h"
+#include "mac/olla.h"
+#include "phy/channel.h"
+#include "phy/frame_structure.h"
+#include "phy/tbs.h"
+#include "rlc/rlc_am.h"
+#include "rrc/rrc.h"
+#include "telemetry/records.h"
+
+namespace domino::mac {
+
+struct LinkConfig {
+  Direction dir = Direction::kUplink;
+  phy::CarrierConfig carrier;
+
+  // Uplink scheduling (ignored for downlink).
+  Duration grant_delay = Millis(10);   ///< BSR -> usable grant latency
+                                       ///< (5–25 ms across the paper's cells).
+  int proactive_grant_bytes = 0;       ///< Per-UL-slot unconditional grant
+                                       ///< (Mosolabs-style; 0 = disabled).
+
+  // HARQ.
+  Duration harq_rtt = Millis(10);      ///< NACK -> retransmission latency.
+  int max_harq_retx = 4;               ///< Retransmissions before RLC recovery.
+  double harq_combining_gain_db = 3.0; ///< Effective SINR gain per attempt.
+
+  // Link adaptation.
+  int mcs_offset = 0;                  ///< <0 conservative, >0 aggressive.
+  Duration cqi_delay = Millis(8);      ///< Channel-report staleness: MCS is
+                                       ///< chosen from the SINR this long
+                                       ///< ago. At sharp fade onsets the
+                                       ///< stale (optimistic) MCS fails
+                                       ///< repeatedly — the path to HARQ
+                                       ///< exhaustion and RLC recovery.
+  double prb_cap_sinr_db = 3.0;        ///< Below this SINR the scheduler caps
+  double prb_cap_frac = 0.5;           ///< the UE at this fraction of PRBs.
+  int ue_max_prbs = 0;                 ///< Per-grant PRB cap (0 = no cap);
+                                       ///< models heavily shared cells.
+  OllaConfig olla;                     ///< Outer-loop link adaptation
+                                       ///< (HARQ-feedback-driven offset).
+
+  // Delivery.
+  Duration decode_latency = Micros(500);
+
+  // Cross traffic modelling.
+  int cross_traffic_mcs = 15;          ///< Assumed MCS for other UEs.
+  double cross_traffic_weight = 1.0;   ///< Scheduler weight of each other UE
+                                       ///< relative to ours (PF-favoured
+                                       ///< backlogged flows get > 1).
+  int max_cross_dci_per_slot = 2;      ///< PDCCH capacity: at most this many
+                                       ///< cross-UE assignments are visible
+                                       ///< (and emitted) per slot.
+};
+
+class CellLink {
+ public:
+  CellLink(EventQueue& queue, const phy::FrameStructure& frame, LinkConfig cfg,
+           phy::ChannelModel channel, rlc::RlcConfig rlc_cfg,
+           rrc::RrcStateMachine& rrc, Rng rng);
+
+  CellLink(const CellLink&) = delete;
+  CellLink& operator=(const CellLink&) = delete;
+
+  /// Schedules the first slot tick. Call once after wiring callbacks.
+  void Start();
+
+  /// Hands an application packet to the link's sender-side RLC buffer.
+  void Enqueue(std::uint64_t packet_id, int bytes);
+
+  /// Delivered packet (in RLC order) leaves the RAN at `time`.
+  std::function<void(std::uint64_t packet_id, Time time)> on_deliver;
+  /// Packet dropped at enqueue (RLC buffer overflow).
+  std::function<void(std::uint64_t packet_id)> on_drop;
+  /// Per-slot scheduling telemetry (our UE and cross-traffic UEs).
+  std::function<void(const telemetry::DciRecord&)> on_dci;
+
+  /// Cross-traffic sources competing on this direction.
+  CrossTrafficModel& cross_traffic() { return cross_; }
+  /// Scripted channel degradation episodes.
+  phy::ChannelModel& channel() { return channel_; }
+
+  // --- State accessors (gNB-log sampling, assertions in tests) -------------
+  [[nodiscard]] const rlc::RlcAmEntity& rlc() const { return rlc_; }
+  [[nodiscard]] double last_sinr_db() const { return channel_.current_sinr_db(); }
+  [[nodiscard]] int last_mcs() const { return last_mcs_; }
+  [[nodiscard]] Direction direction() const { return cfg_.dir; }
+  [[nodiscard]] long harq_retx_count() const { return harq_retx_count_; }
+  [[nodiscard]] long harq_exhaust_count() const { return harq_exhaust_count_; }
+  [[nodiscard]] long tb_count() const { return tb_count_; }
+  [[nodiscard]] const OuterLoopLinkAdaptation& olla() const { return olla_; }
+  [[nodiscard]] long granted_bytes_wasted() const { return grant_waste_bytes_; }
+  /// Mean BSR->grant-usable delay observed so far (ms); 0 if none.
+  [[nodiscard]] double mean_grant_delay_ms() const;
+
+ private:
+  struct InFlightTb {
+    std::vector<rlc::Segment> segments;
+    int prbs = 0;
+    int mcs = 0;
+    int tbs_bytes = 0;
+    int attempt = 0;  ///< 0 = initial transmission.
+    int harq_process = 0;
+    Time due;         ///< Earliest slot time the retransmission may use.
+  };
+  struct Grant {
+    Time usable_from;
+    long bytes;
+  };
+
+  void OnSlot(std::int64_t slot);
+  void ScheduleNextSlot(std::int64_t after);
+  [[nodiscard]] bool SlotMatchesDirection(std::int64_t slot) const;
+  void MaybeSendBsr(Time now);
+  int SelectMcs(double sinr_db) const;
+  /// Transmits one TB (initial or retx); schedules its decode outcome.
+  void TransmitTb(InFlightTb tb, Time slot_start, double sinr_db);
+  void OnDecodeOutcome(InFlightTb tb, Time decode_time, bool ok);
+  void EmitCrossTrafficDci(Time slot_start,
+                           const std::vector<std::uint32_t>& rntis,
+                           const std::vector<int>& prbs);
+
+  EventQueue& queue_;
+  const phy::FrameStructure& frame_;
+  LinkConfig cfg_;
+  phy::ChannelModel channel_;
+  rlc::RlcAmEntity rlc_;
+  rrc::RrcStateMachine& rrc_;
+  Rng rng_;
+  CrossTrafficModel cross_;
+  OuterLoopLinkAdaptation olla_;
+
+  std::deque<std::pair<Time, double>> sinr_history_;  ///< For CQI staleness.
+  std::deque<InFlightTb> retx_queue_;  ///< HARQ retransmissions awaiting PRBs.
+  std::deque<Grant> grants_;           ///< Issued UL grants (usable_from order).
+  long granted_pool_bytes_ = 0;        ///< Sum of currently-usable grant bytes.
+  long requested_bytes_ = 0;           ///< Bytes covered by BSRs already sent.
+  int next_harq_process_ = 0;
+
+  int last_mcs_ = 0;
+  long harq_retx_count_ = 0;
+  long harq_exhaust_count_ = 0;
+  long tb_count_ = 0;
+  long grant_waste_bytes_ = 0;
+  long grant_delay_samples_ = 0;
+  double grant_delay_sum_ms_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace domino::mac

@@ -1,0 +1,25 @@
+#include "mac/olla.h"
+
+#include <algorithm>
+
+namespace domino::mac {
+
+OuterLoopLinkAdaptation::OuterLoopLinkAdaptation(OllaConfig cfg) : cfg_(cfg) {
+  // Equilibrium: step_up * (1 - bler) = step_down * bler
+  //   => step_down = step_up * (1 - target) / target.
+  step_down_db_ =
+      cfg_.step_up_db * (1.0 - cfg_.target_bler) / cfg_.target_bler;
+}
+
+void OuterLoopLinkAdaptation::OnFirstTxOutcome(bool ok) {
+  if (ok) {
+    ++acks_;
+    offset_db_ += cfg_.step_up_db;
+  } else {
+    ++nacks_;
+    offset_db_ -= step_down_db_;
+  }
+  offset_db_ = std::clamp(offset_db_, cfg_.min_offset_db, cfg_.max_offset_db);
+}
+
+}  // namespace domino::mac

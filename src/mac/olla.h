@@ -1,0 +1,48 @@
+// Outer-Loop Link Adaptation (OLLA).
+//
+// CQI reports are coarse (2 dB steps) and stale; production schedulers close
+// the loop on HARQ feedback instead: every ACK nudges an SINR offset up by a
+// small step, every NACK pushes it down by a large one. At convergence the
+// first-transmission BLER settles at step_up / (step_up + step_down) — the
+// classic 10% operating point the paper's cells target.
+//
+// Opt-in per link (LinkConfig::olla). The default cell profiles keep it off
+// so their hand-calibrated behaviour is unchanged; the ablation bench
+// (ablation_olla) quantifies the difference.
+#pragma once
+
+namespace domino::mac {
+
+struct OllaConfig {
+  bool enabled = false;
+  double target_bler = 0.10;
+  double step_up_db = 0.01;   ///< Offset gain per ACK.
+  double min_offset_db = -10.0;
+  double max_offset_db = 5.0;
+};
+
+class OuterLoopLinkAdaptation {
+ public:
+  explicit OuterLoopLinkAdaptation(OllaConfig cfg = {});
+
+  /// Reports a first-transmission decode outcome.
+  void OnFirstTxOutcome(bool ok);
+
+  /// Offset (dB) to add to the reported SINR before MCS selection.
+  [[nodiscard]] double offset_db() const { return offset_db_; }
+  [[nodiscard]] const OllaConfig& config() const { return cfg_; }
+  /// Observed first-transmission BLER so far.
+  [[nodiscard]] double observed_bler() const {
+    long total = acks_ + nacks_;
+    return total == 0 ? 0.0 : static_cast<double>(nacks_) / total;
+  }
+
+ private:
+  OllaConfig cfg_;
+  double offset_db_ = 0;
+  double step_down_db_;
+  long acks_ = 0;
+  long nacks_ = 0;
+};
+
+}  // namespace domino::mac

@@ -1,0 +1,68 @@
+#include "mac/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace domino::mac {
+
+std::vector<int> AllocatePrbs(int total_prbs,
+                              const std::vector<PrbDemand>& demands) {
+  std::vector<int> alloc(demands.size(), 0);
+  if (total_prbs <= 0 || demands.empty()) return alloc;
+
+  // Water-filling over fractional shares, then round down; leftover PRBs go
+  // to the UEs with the largest unmet demand (largest-remainder style).
+  std::vector<double> frac(demands.size(), 0.0);
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i].wanted_prbs > 0 && demands[i].weight > 0) {
+      active.push_back(i);
+    }
+  }
+  double remaining = static_cast<double>(total_prbs);
+  while (!active.empty() && remaining > 1e-9) {
+    double weight_sum = 0;
+    for (std::size_t i : active) weight_sum += demands[i].weight;
+    // Find the smallest normalised unmet demand among active UEs.
+    double min_fill = 1e300;
+    for (std::size_t i : active) {
+      double unmet = demands[i].wanted_prbs - frac[i];
+      min_fill = std::min(min_fill, unmet / demands[i].weight);
+    }
+    double level = std::min(min_fill, remaining / weight_sum);
+    for (std::size_t i : active) {
+      frac[i] += level * demands[i].weight;
+    }
+    remaining -= level * weight_sum;
+    // Drop satisfied UEs.
+    std::erase_if(active, [&](std::size_t i) {
+      return frac[i] >= demands[i].wanted_prbs - 1e-9;
+    });
+    if (level <= 0) break;  // numerical guard
+  }
+
+  int used = 0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    alloc[i] = static_cast<int>(std::floor(frac[i] + 1e-9));
+    used += alloc[i];
+  }
+  // Distribute integer leftovers to UEs with unmet demand, largest fractional
+  // remainder first.
+  int leftovers = total_prbs - used;
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return (frac[a] - std::floor(frac[a])) > (frac[b] - std::floor(frac[b]));
+  });
+  for (std::size_t i : order) {
+    if (leftovers <= 0) break;
+    if (alloc[i] < demands[i].wanted_prbs) {
+      ++alloc[i];
+      --leftovers;
+    }
+  }
+  return alloc;
+}
+
+}  // namespace domino::mac

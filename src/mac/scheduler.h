@@ -1,0 +1,26 @@
+// PRB allocation among competing UEs.
+//
+// The gNB scheduler divides a slot's PRBs between the UE under test and any
+// active cross-traffic UEs using weighted max-min fairness (water-filling).
+// This captures the behaviour the paper measures in §5.1.2: a backlogged
+// cross-traffic UE takes its fair share, shrinking the PRBs (and hence TBS)
+// available to the VCA client.
+#pragma once
+
+#include <vector>
+
+namespace domino::mac {
+
+struct PrbDemand {
+  int wanted_prbs = 0;  ///< PRBs this UE could use this slot.
+  double weight = 1.0;  ///< Scheduler weight (all 1.0 = plain max-min).
+};
+
+/// Allocates `total_prbs` across `demands` with weighted max-min fairness.
+/// Returns per-UE allocations in the same order. Unsatisfied demand of one
+/// UE frees capacity for others (water-filling); the sum of allocations never
+/// exceeds total_prbs and never exceeds any UE's demand.
+std::vector<int> AllocatePrbs(int total_prbs,
+                              const std::vector<PrbDemand>& demands);
+
+}  // namespace domino::mac

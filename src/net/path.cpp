@@ -1,0 +1,29 @@
+#include "net/path.h"
+
+#include <algorithm>
+
+namespace domino::net {
+
+WiredPath::WiredPath(EventQueue& queue, PathConfig cfg, Rng rng)
+    : queue_(queue), cfg_(cfg), rng_(rng) {}
+
+void WiredPath::Send(std::uint64_t packet_id, int /*bytes*/,
+                     std::function<void(std::uint64_t, Time)> on_arrival) {
+  ++sent_;
+  if (cfg_.loss_rate > 0 && rng_.Chance(cfg_.loss_rate)) {
+    ++lost_;
+    return;
+  }
+  double jitter_ms =
+      cfg_.jitter_scale_ms * rng_.LogNormal(cfg_.jitter_mu, cfg_.jitter_sigma);
+  Time arrival = queue_.now() + cfg_.base_delay + Seconds(jitter_ms / 1e3);
+  // FIFO: no reordering across a single bottleneck.
+  arrival = std::max(arrival, last_delivery_);
+  last_delivery_ = arrival;
+  queue_.ScheduleAt(arrival, [packet_id, arrival,
+                              cb = std::move(on_arrival)] {
+    cb(packet_id, arrival);
+  });
+}
+
+}  // namespace domino::net

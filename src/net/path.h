@@ -1,0 +1,48 @@
+// Wired network path model.
+//
+// Models the non-cellular part of the end-to-end path (campus <-> GCP server
+// in the paper's commercial setup, or the local subnet for private cells):
+// a base propagation/queueing delay, light log-normal jitter, and an optional
+// small random loss rate. Delivery order is preserved (FIFO): a packet never
+// overtakes an earlier one, matching a single bottleneck queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace domino::net {
+
+struct PathConfig {
+  Duration base_delay = Millis(10);  ///< One-way propagation + processing.
+  double jitter_mu = 0.0;            ///< Log-normal jitter: exp(mu + sigma N).
+  double jitter_sigma = 0.5;         ///< (ms scale; see implementation).
+  double jitter_scale_ms = 0.4;      ///< Multiplier on the log-normal draw.
+  double loss_rate = 0.0;            ///< Independent packet loss probability.
+};
+
+class WiredPath {
+ public:
+  WiredPath(EventQueue& queue, PathConfig cfg, Rng rng);
+
+  /// Sends `bytes` through the path; `on_arrival` fires at the delivery time
+  /// unless the packet is lost (then it never fires).
+  void Send(std::uint64_t packet_id, int bytes,
+            std::function<void(std::uint64_t, Time)> on_arrival);
+
+  [[nodiscard]] long sent_count() const { return sent_; }
+  [[nodiscard]] long lost_count() const { return lost_; }
+
+ private:
+  EventQueue& queue_;
+  PathConfig cfg_;
+  Rng rng_;
+  Time last_delivery_{0};
+  long sent_ = 0;
+  long lost_ = 0;
+};
+
+}  // namespace domino::net

@@ -1,0 +1,60 @@
+#include "net/wifi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace domino::net {
+
+WifiChannel::WifiChannel(WifiConfig cfg, Rng rng) : cfg_(cfg), rng_(rng) {}
+
+double WifiChannel::BusyProbability(int contenders) const {
+  if (contenders <= 0) return 0.0;
+  double tau = 2.0 / (cfg_.cw_min + 1);  // per-slot tx probability
+  return 1.0 - std::pow(1.0 - tau, contenders);
+}
+
+double WifiChannel::CollisionProbability(int contenders) const {
+  // Our frame collides iff at least one contender transmits in our slot.
+  return BusyProbability(contenders);
+}
+
+WifiChannel::Outcome WifiChannel::SendFrame(int contenders) {
+  Outcome out;
+  double total_us = 0;
+  int cw = cfg_.cw_min;
+  double busy = BusyProbability(contenders);
+  double collide = CollisionProbability(contenders);
+
+  for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    out.attempts = attempt + 1;
+    total_us += cfg_.difs_us;
+    // Backoff countdown: a busy slot freezes the counter for one full
+    // transmission airtime. The number of busy slots among the drawn
+    // backoff is Binomial(slots, busy); sampled directly for short
+    // backoffs and via the normal approximation for long ones.
+    auto slots = static_cast<int>(rng_.UniformInt(0, cw - 1));
+    int busy_count = 0;
+    if (slots <= 16) {
+      for (int s = 0; s < slots; ++s) {
+        if (rng_.Chance(busy)) ++busy_count;
+      }
+    } else {
+      double mean = slots * busy;
+      double sd = std::sqrt(std::max(mean * (1.0 - busy), 1e-9));
+      busy_count = static_cast<int>(std::lround(rng_.Normal(mean, sd)));
+      busy_count = std::clamp(busy_count, 0, slots);
+    }
+    total_us += slots * cfg_.slot_us +
+                busy_count * (cfg_.tx_time_us - cfg_.slot_us);
+    total_us += cfg_.tx_time_us;
+    if (!rng_.Chance(collide)) {
+      out.delivered = true;
+      break;
+    }
+    cw = std::min(cw * 2, cfg_.cw_max);
+  }
+  out.delay_ms = total_us / 1000.0;
+  return out;
+}
+
+}  // namespace domino::net

@@ -1,0 +1,52 @@
+// Wi-Fi DCF (CSMA/CA) contention model.
+//
+// Used by the campus dataset generator so the Wi-Fi rows of Figs. 5-6 come
+// from an actual medium-access model rather than fitted distributions: per
+// packet, the sender waits DIFS plus a random backoff whose countdown is
+// paused by other stations' transmissions, then transmits; collisions
+// (probability rising with the number of contenders) trigger exponential
+// backoff and, past the retry limit, a drop.
+//
+// Deliberate simplifications (documented, tested): per-slot transmission
+// probability of a contender is approximated as 2/(CWmin+1) regardless of
+// its backoff stage, and capture effects / rate adaptation are ignored.
+#pragma once
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace domino::net {
+
+struct WifiConfig {
+  double slot_us = 9;
+  double difs_us = 34;
+  int cw_min = 16;          ///< Initial contention window (slots).
+  int cw_max = 1024;
+  int max_retries = 7;      ///< Attempts before the frame is dropped.
+  double tx_time_us = 280;  ///< Data + SIFS + ACK airtime per attempt.
+};
+
+class WifiChannel {
+ public:
+  WifiChannel(WifiConfig cfg, Rng rng);
+
+  struct Outcome {
+    double delay_ms = 0;   ///< Access + transmission delay (incl. retries).
+    bool delivered = false;
+    int attempts = 1;
+  };
+
+  /// Sends one frame while `contenders` other saturated stations contend.
+  Outcome SendFrame(int contenders);
+
+  /// Probability that a given slot is busied by one of `contenders`.
+  [[nodiscard]] double BusyProbability(int contenders) const;
+  /// Probability that our transmission collides.
+  [[nodiscard]] double CollisionProbability(int contenders) const;
+
+ private:
+  WifiConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace domino::net

@@ -1,0 +1,61 @@
+#include "phy/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/mcs_table.h"
+
+namespace domino::phy {
+
+ChannelModel::ChannelModel(ChannelConfig cfg, Rng rng)
+    : cfg_(cfg), rng_(rng), last_sinr_db_(cfg.base_sinr_db) {}
+
+void ChannelModel::AddEpisode(ChannelEpisode episode) {
+  episodes_.push_back(episode);
+}
+
+double ChannelModel::EpisodeOffset(Time t) const {
+  double offset = 0.0;
+  for (const auto& e : episodes_) {
+    if (t >= e.start && t < e.end) offset += e.offset_db;
+  }
+  return offset;
+}
+
+double ChannelModel::SinrAt(Time t) {
+  if (!started_) {
+    state_db_ = rng_.Normal(0.0, cfg_.sigma_db);
+    started_ = true;
+  } else {
+    double dt_ms = (t - last_time_).millis();
+    if (dt_ms > 0) {
+      // Gauss-Markov update: rho = exp(-dt/tau); innovation variance keeps
+      // the stationary stddev at sigma_db.
+      double rho = std::exp(-dt_ms / std::max(cfg_.coherence_ms, 1e-3));
+      double innov_sigma = cfg_.sigma_db * std::sqrt(1.0 - rho * rho);
+      state_db_ = rho * state_db_ + rng_.Normal(0.0, innov_sigma);
+    }
+  }
+  last_time_ = t;
+  last_sinr_db_ = cfg_.base_sinr_db + state_db_ + EpisodeOffset(t);
+  return last_sinr_db_;
+}
+
+double Bler(int mcs, double sinr_db) {
+  // Logistic curve: BLER = 1 / (1 + exp(k * gap + ln 9)) so that a zero gap
+  // (SINR exactly at the MCS threshold) gives 10% BLER, steep enough that
+  // +/-3 dB swings dominate the error behaviour.
+  const double k = 1.2;  // per-dB steepness
+  double gap = sinr_db - McsSinrThreshold(mcs);
+  double x = k * gap + std::log(9.0);
+  // Clamp the exponent to avoid overflow for very large gaps.
+  x = std::clamp(x, -40.0, 40.0);
+  return 1.0 / (1.0 + std::exp(x));
+}
+
+double BlerWithCombining(int mcs, double sinr_db, int attempt) {
+  double effective = sinr_db + 3.0 * static_cast<double>(std::max(attempt, 0));
+  return Bler(mcs, effective);
+}
+
+}  // namespace domino::phy

@@ -1,0 +1,68 @@
+// Wireless channel model.
+//
+// Each UE/direction owns a ChannelModel producing a post-equalization SINR
+// process sampled per slot: a Gauss-Markov (AR(1)) fading component around a
+// configurable base SINR, plus scripted degradation episodes (deep fades,
+// interference bursts) used by the experiment scenarios to reproduce the
+// paper's channel-dynamics traces (Fig. 12).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace domino::phy {
+
+struct ChannelConfig {
+  double base_sinr_db = 18.0;   ///< Long-term average SINR.
+  double sigma_db = 2.0;        ///< Stddev of the fading process.
+  double coherence_ms = 50.0;   ///< AR(1) time constant (larger = slower fading).
+};
+
+/// A scripted SINR perturbation active on [start, end): adds `offset_db`
+/// (usually negative — a fade) to the process output.
+struct ChannelEpisode {
+  Time start;
+  Time end;
+  double offset_db = -15.0;
+};
+
+class ChannelModel {
+ public:
+  ChannelModel(ChannelConfig cfg, Rng rng);
+
+  /// Adds a scripted degradation episode.
+  void AddEpisode(ChannelEpisode episode);
+
+  /// Advances the fading process to time `t` (must be non-decreasing across
+  /// calls) and returns the SINR in dB.
+  double SinrAt(Time t);
+
+  /// Last value returned by SinrAt (base SINR before the first call).
+  [[nodiscard]] double current_sinr_db() const { return last_sinr_db_; }
+
+  [[nodiscard]] const ChannelConfig& config() const { return cfg_; }
+
+ private:
+  double EpisodeOffset(Time t) const;
+
+  ChannelConfig cfg_;
+  Rng rng_;
+  std::vector<ChannelEpisode> episodes_;
+  double state_db_ = 0.0;  // AR(1) deviation from base
+  Time last_time_{0};
+  bool started_ = false;
+  double last_sinr_db_;
+};
+
+/// Block error rate for a transmission at `mcs` given `sinr_db`, on the first
+/// HARQ attempt. Logistic in the SINR gap to the MCS threshold, calibrated to
+/// 10% BLER at zero gap (the standard link-adaptation operating point).
+double Bler(int mcs, double sinr_db);
+
+/// BLER on HARQ retransmission attempt `attempt` (0 = first transmission).
+/// Chase combining yields roughly 3 dB effective SINR gain per attempt.
+double BlerWithCombining(int mcs, double sinr_db, int attempt);
+
+}  // namespace domino::phy

@@ -1,0 +1,93 @@
+#include "phy/frame_structure.h"
+
+#include <stdexcept>
+
+namespace domino::phy {
+
+FrameStructure::FrameStructure(Duplex duplex, int scs_khz, std::string pattern)
+    : duplex_(duplex), scs_khz_(scs_khz), pattern_(std::move(pattern)) {
+  switch (scs_khz) {
+    case 15:
+      slot_duration_ = Millis(1);
+      break;
+    case 30:
+      slot_duration_ = Micros(500);
+      break;
+    case 60:
+      slot_duration_ = Micros(250);
+      break;
+    default:
+      throw std::invalid_argument("FrameStructure: unsupported SCS");
+  }
+  if (duplex_ == Duplex::kTdd) {
+    if (pattern_.empty()) {
+      throw std::invalid_argument("FrameStructure: empty TDD pattern");
+    }
+    bool has_ul = false;
+    for (char c : pattern_) {
+      if (c != 'D' && c != 'U' && c != 'S') {
+        throw std::invalid_argument("FrameStructure: pattern must be D/U/S");
+      }
+      if (c == 'U') has_ul = true;
+    }
+    if (!has_ul) {
+      throw std::invalid_argument("FrameStructure: TDD pattern lacks uplink");
+    }
+  }
+}
+
+SlotKind FrameStructure::KindOf(std::int64_t slot) const {
+  if (duplex_ == Duplex::kFdd) return SlotKind::kDownlink;  // both directions
+  char c = pattern_[static_cast<std::size_t>(slot % PeriodSlots())];
+  switch (c) {
+    case 'D':
+      return SlotKind::kDownlink;
+    case 'U':
+      return SlotKind::kUplink;
+    default:
+      return SlotKind::kSpecial;
+  }
+}
+
+bool FrameStructure::IsDownlinkSlot(std::int64_t slot) const {
+  if (duplex_ == Duplex::kFdd) return true;
+  return KindOf(slot) == SlotKind::kDownlink;
+}
+
+bool FrameStructure::IsUplinkSlot(std::int64_t slot) const {
+  if (duplex_ == Duplex::kFdd) return true;
+  return KindOf(slot) == SlotKind::kUplink;
+}
+
+std::int64_t FrameStructure::NextUplinkSlot(std::int64_t from) const {
+  if (duplex_ == Duplex::kFdd) return from;
+  for (std::int64_t s = from; s < from + PeriodSlots(); ++s) {
+    if (IsUplinkSlot(s)) return s;
+  }
+  // Constructor guarantees at least one 'U' per period.
+  return from;
+}
+
+std::int64_t FrameStructure::NextDownlinkSlot(std::int64_t from) const {
+  if (duplex_ == Duplex::kFdd) return from;
+  for (std::int64_t s = from; s < from + PeriodSlots(); ++s) {
+    if (IsDownlinkSlot(s)) return s;
+  }
+  return from;
+}
+
+int FrameStructure::UplinkSlotsPerPeriod() const {
+  if (duplex_ == Duplex::kFdd) return PeriodSlots();
+  int n = 0;
+  for (char c : pattern_) {
+    if (c == 'U') ++n;
+  }
+  return n;
+}
+
+int FrameStructure::PeriodSlots() const {
+  if (duplex_ == Duplex::kFdd) return 10;
+  return static_cast<int>(pattern_.size());
+}
+
+}  // namespace domino::phy

@@ -1,0 +1,67 @@
+// 5G NR frame structure: numerology, slot timing, and duplexing.
+//
+// FDD carriers (15 kHz SCS in our T-Mobile 622 MHz cell) have every slot
+// usable in both directions on separate bands. TDD carriers share slots
+// between downlink and uplink following a repeating pattern such as
+// "DDDSU" (TS 38.213 tdd-UL-DL-ConfigurationCommon); the pattern determines
+// how often uplink transmission opportunities occur — the root of the UL
+// scheduling delay the paper analyses in §5.2.1.
+#pragma once
+
+#include <string>
+
+#include "common/time.h"
+
+namespace domino::phy {
+
+enum class Duplex { kFdd, kTdd };
+
+enum class SlotKind { kDownlink, kUplink, kSpecial };
+
+class FrameStructure {
+ public:
+  /// For FDD: every slot is usable in both directions; `pattern` is ignored.
+  /// For TDD: `pattern` is a string over {D, U, S} applied cyclically,
+  /// e.g. "DDDSU" (typical 30 kHz SCS commercial config).
+  FrameStructure(Duplex duplex, int scs_khz, std::string pattern = "DDDSU");
+
+  [[nodiscard]] Duplex duplex() const { return duplex_; }
+  [[nodiscard]] int scs_khz() const { return scs_khz_; }
+  /// Slot duration: 1 ms at 15 kHz SCS, 0.5 ms at 30 kHz, 0.25 ms at 60 kHz.
+  [[nodiscard]] Duration slot_duration() const { return slot_duration_; }
+  [[nodiscard]] const std::string& pattern() const { return pattern_; }
+
+  /// Slot index containing time `t` (slot 0 starts at t = 0).
+  [[nodiscard]] std::int64_t SlotIndex(Time t) const {
+    return t.micros() / slot_duration_.micros();
+  }
+  [[nodiscard]] Time SlotStart(std::int64_t slot) const {
+    return Time{slot * slot_duration_.micros()};
+  }
+
+  [[nodiscard]] SlotKind KindOf(std::int64_t slot) const;
+
+  /// Whether a downlink/uplink data transmission can occur in `slot`.
+  /// Special slots carry control plus a small data region; we treat them as
+  /// control-only, which matches the conservative capacity the paper's
+  /// traces show.
+  [[nodiscard]] bool IsDownlinkSlot(std::int64_t slot) const;
+  [[nodiscard]] bool IsUplinkSlot(std::int64_t slot) const;
+
+  /// First slot >= `from` that permits uplink (resp. downlink) transmission.
+  [[nodiscard]] std::int64_t NextUplinkSlot(std::int64_t from) const;
+  [[nodiscard]] std::int64_t NextDownlinkSlot(std::int64_t from) const;
+
+  /// Number of uplink slots per pattern period (per period for TDD; equals
+  /// the period length for FDD).
+  [[nodiscard]] int UplinkSlotsPerPeriod() const;
+  [[nodiscard]] int PeriodSlots() const;
+
+ private:
+  Duplex duplex_;
+  int scs_khz_;
+  Duration slot_duration_;
+  std::string pattern_;
+};
+
+}  // namespace domino::phy

@@ -1,0 +1,76 @@
+#include "phy/mcs_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace domino::phy {
+
+namespace {
+
+// TS 38.214 Table 5.1.3.1-1 (MCS index table 1 for PDSCH), code rate given
+// as R x 1024 in the spec; stored here normalised.
+constexpr std::array<McsEntry, kMaxMcs + 1> kTable = {{
+    {0, 2, 120.0 / 1024},  {1, 2, 157.0 / 1024},  {2, 2, 193.0 / 1024},
+    {3, 2, 251.0 / 1024},  {4, 2, 308.0 / 1024},  {5, 2, 379.0 / 1024},
+    {6, 2, 449.0 / 1024},  {7, 2, 526.0 / 1024},  {8, 2, 602.0 / 1024},
+    {9, 2, 679.0 / 1024},  {10, 4, 340.0 / 1024}, {11, 4, 378.0 / 1024},
+    {12, 4, 434.0 / 1024}, {13, 4, 490.0 / 1024}, {14, 4, 553.0 / 1024},
+    {15, 4, 616.0 / 1024}, {16, 4, 658.0 / 1024}, {17, 6, 438.0 / 1024},
+    {18, 6, 466.0 / 1024}, {19, 6, 517.0 / 1024}, {20, 6, 567.0 / 1024},
+    {21, 6, 616.0 / 1024}, {22, 6, 666.0 / 1024}, {23, 6, 719.0 / 1024},
+    {24, 6, 772.0 / 1024}, {25, 6, 822.0 / 1024}, {26, 6, 873.0 / 1024},
+    {27, 6, 910.0 / 1024}, {28, 6, 948.0 / 1024},
+}};
+
+// CQI spectral efficiencies, TS 38.214 Table 5.2.2.1-2 (4-bit CQI, table 1).
+constexpr std::array<double, 16> kCqiEfficiency = {
+    0.0,     // CQI 0: out of range
+    0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766,
+    1.9141, 2.4063, 2.7305, 3.3223, 3.9023, 4.5234, 5.1152, 5.5547,
+};
+
+}  // namespace
+
+const McsEntry& McsInfo(int mcs) {
+  mcs = std::clamp(mcs, 0, kMaxMcs);
+  return kTable[static_cast<std::size_t>(mcs)];
+}
+
+int CqiToMcs(int cqi) {
+  cqi = std::clamp(cqi, 0, 15);
+  if (cqi == 0) return 0;
+  double eff = kCqiEfficiency[static_cast<std::size_t>(cqi)];
+  int best = 0;
+  for (const auto& e : kTable) {
+    if (e.spectral_efficiency() <= eff) best = e.index;
+  }
+  return best;
+}
+
+int SinrToCqi(double sinr_db) {
+  // Piecewise-linear approximation: CQI 1 at about -6 dB, CQI 15 at about
+  // 22 dB, ~2 dB per CQI step. This matches typical LTE/NR link-level
+  // calibration curves closely enough for a behavioural simulator.
+  int cqi = static_cast<int>(std::floor((sinr_db + 6.0) / 2.0)) + 1;
+  return std::clamp(cqi, 0, 15);
+}
+
+int McsForSinr(double sinr_db) {
+  int best = 0;
+  for (int m = 0; m <= kMaxMcs; ++m) {
+    if (McsSinrThreshold(m) <= sinr_db) best = m;
+  }
+  return best;
+}
+
+double McsSinrThreshold(int mcs) {
+  // Inverse of the SinrToCqi/CqiToMcs pipeline: SINR at which this MCS's
+  // spectral efficiency becomes sustainable at ~10% BLER. Derived from the
+  // Shannon-gap model: eff = log2(1 + SINR/gap) with gap ~= 3 dB.
+  const double eff = McsInfo(mcs).spectral_efficiency();
+  const double gap = std::pow(10.0, 3.0 / 10.0);
+  double sinr_linear = gap * (std::pow(2.0, eff) - 1.0);
+  return 10.0 * std::log10(sinr_linear);
+}
+
+}  // namespace domino::phy

@@ -1,0 +1,48 @@
+// 5G NR Modulation and Coding Scheme (MCS) tables.
+//
+// Models TS 38.214 Table 5.1.3.1-1 (the 64QAM MCS table used by default in
+// both our private-cell and commercial-cell configurations). Each MCS index
+// maps to a modulation order (bits/symbol) and a target code rate; together
+// they give the spectral efficiency that determines Transport Block Size.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace domino::phy {
+
+struct McsEntry {
+  int index;            ///< MCS index 0..28.
+  int modulation_order; ///< Qm: 2 = QPSK, 4 = 16QAM, 6 = 64QAM.
+  double code_rate;     ///< Target code rate R (0..1).
+
+  /// Spectral efficiency in information bits per resource element.
+  [[nodiscard]] double spectral_efficiency() const {
+    return modulation_order * code_rate;
+  }
+};
+
+inline constexpr int kMaxMcs = 28;
+
+/// Returns the table entry for `mcs` (clamped to [0, kMaxMcs]).
+const McsEntry& McsInfo(int mcs);
+
+/// Maps a CQI report (1..15, TS 38.214 Table 5.2.2.1-2) to the highest MCS
+/// whose spectral efficiency does not exceed the CQI's.
+int CqiToMcs(int cqi);
+
+/// Maps post-equalization SINR (dB) to a CQI index targeting 10% BLER on the
+/// first transmission. Piecewise-linear fit to the standard efficiency curve.
+int SinrToCqi(double sinr_db);
+
+/// The SINR (dB) at which the given MCS achieves ~10% BLER. Used both by
+/// link adaptation (inverse mapping) and by the BLER model as the curve
+/// midpoint offset.
+double McsSinrThreshold(int mcs);
+
+/// Direct link adaptation: the highest MCS whose 10%-BLER threshold is at or
+/// below `sinr_db` (i.e. operate at the standard 10% first-transmission BLER
+/// target). Returns 0 when even MCS 0 is above threshold.
+int McsForSinr(double sinr_db);
+
+}  // namespace domino::phy

@@ -1,0 +1,58 @@
+#include "phy/tbs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/mcs_table.h"
+
+namespace domino::phy {
+
+int ResourceElements(const CarrierConfig& cfg, int prbs) {
+  if (prbs <= 0) return 0;
+  int re_per_prb = 12 * cfg.symbols_per_slot - cfg.overhead_re_per_prb;
+  re_per_prb = std::max(re_per_prb, 0);
+  return prbs * re_per_prb;
+}
+
+int TransportBlockBytes(const CarrierConfig& cfg, int prbs, int mcs) {
+  int re = ResourceElements(cfg, prbs);
+  if (re == 0) return 0;
+  const McsEntry& entry = McsInfo(mcs);
+  double info_bits = static_cast<double>(re) * entry.spectral_efficiency();
+  // Spec quantises to the nearest valid TBS; byte alignment approximates
+  // this within a fraction of a percent at VCA-relevant block sizes.
+  int bytes = static_cast<int>(std::floor(info_bits / 8.0));
+  return std::max(bytes, 0);
+}
+
+int PrbsForBytes(const CarrierConfig& cfg, int bytes, int mcs) {
+  if (bytes <= 0) return 0;
+  int per_prb = TransportBlockBytes(cfg, 1, mcs);
+  if (per_prb <= 0) return cfg.total_prbs;
+  int prbs = (bytes + per_prb - 1) / per_prb;
+  return std::clamp(prbs, 1, cfg.total_prbs);
+}
+
+int PrbsForBandwidth(double bandwidth_mhz, int scs_khz) {
+  // TS 38.101-1 Table 5.3.2-1, FR1 (entries for the cells in this study).
+  struct Row {
+    double mhz;
+    int scs;
+    int prbs;
+  };
+  static constexpr Row kRows[] = {
+      {10, 15, 52},  {15, 15, 79},  {20, 15, 106}, {40, 15, 216},
+      {10, 30, 24},  {15, 30, 38},  {20, 30, 51},  {40, 30, 106},
+      {50, 30, 133}, {60, 30, 162}, {80, 30, 217}, {100, 30, 273},
+  };
+  for (const Row& r : kRows) {
+    if (std::abs(r.mhz - bandwidth_mhz) < 0.5 && r.scs == scs_khz) {
+      return r.prbs;
+    }
+  }
+  // Fallback: usable spectrum / PRB width with a 10% guard band.
+  double prb_khz = 12.0 * scs_khz;
+  return std::max(1, static_cast<int>(bandwidth_mhz * 1000.0 * 0.9 / prb_khz));
+}
+
+}  // namespace domino::phy

@@ -1,0 +1,33 @@
+// Transport Block Size (TBS) computation, following the structure of the
+// TS 38.214 §5.1.3.2 procedure: resource elements per PRB, information bits
+// from spectral efficiency, and quantisation to byte-aligned sizes.
+#pragma once
+
+#include <cstdint>
+
+namespace domino::phy {
+
+/// Static per-carrier radio parameters that determine capacity.
+struct CarrierConfig {
+  int total_prbs = 52;        ///< PRBs in the carrier (e.g. 52 for 20 MHz @30 kHz SCS).
+  int symbols_per_slot = 14;  ///< OFDM symbols per slot (normal CP).
+  int overhead_re_per_prb = 18;  ///< DMRS + control overhead REs per PRB-slot.
+};
+
+/// Number of usable data resource elements for `prbs` PRBs over one slot.
+int ResourceElements(const CarrierConfig& cfg, int prbs);
+
+/// Transport block size in BYTES for an allocation of `prbs` PRBs at MCS
+/// `mcs` over one slot. Mirrors the spec procedure (REs x Qm x R, quantised),
+/// simplified to byte alignment instead of the full TBS table lookup.
+int TransportBlockBytes(const CarrierConfig& cfg, int prbs, int mcs);
+
+/// PRBs needed to carry `bytes` at MCS `mcs` (at least 1, capped at
+/// cfg.total_prbs).
+int PrbsForBytes(const CarrierConfig& cfg, int bytes, int mcs);
+
+/// Number of PRBs for a given channel bandwidth and subcarrier spacing,
+/// following TS 38.101-1 Table 5.3.2-1 (common entries used by our cells).
+int PrbsForBandwidth(double bandwidth_mhz, int scs_khz);
+
+}  // namespace domino::phy

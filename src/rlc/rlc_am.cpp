@@ -1,0 +1,112 @@
+#include "rlc/rlc_am.h"
+
+#include <algorithm>
+
+namespace domino::rlc {
+
+RlcAmEntity::RlcAmEntity(RlcConfig cfg) : cfg_(cfg) {}
+
+std::optional<std::uint64_t> RlcAmEntity::Enqueue(std::uint64_t packet_id,
+                                                  int bytes, Time now) {
+  if (BufferedBytes() + bytes > cfg_.max_buffer_bytes) {
+    ++dropped_sdus_;
+    return std::nullopt;  // No SN assigned: a drop leaves no sequence gap.
+  }
+  std::uint64_t sn = next_sn_++;
+  tx_queue_.push_back(SduState{sn, packet_id, bytes, 0, now});
+  return sn;
+}
+
+int RlcAmEntity::BufferedBytes() const {
+  long total = 0;
+  for (const auto& s : tx_queue_) total += s.total_bytes - s.pulled_bytes;
+  for (const auto& r : retx_queue_) total += r.segment.bytes;
+  return static_cast<int>(total);
+}
+
+std::vector<Segment> RlcAmEntity::PullForTb(int budget, Time now) {
+  std::vector<Segment> out;
+  // Retransmissions ready for service take strict priority (RLC retx PDUs
+  // are scheduled before new data).
+  while (budget > 0 && !retx_queue_.empty() &&
+         retx_queue_.front().available_at <= now) {
+    RetxSegment& r = retx_queue_.front();
+    int take = std::min(budget, r.segment.bytes);
+    out.push_back(Segment{r.segment.sn, r.segment.offset, take});
+    budget -= take;
+    if (take == r.segment.bytes) {
+      retx_queue_.pop_front();
+    } else {
+      r.segment.offset += take;
+      r.segment.bytes -= take;
+    }
+  }
+  // Then new data, segmenting the head SDU as needed.
+  while (budget > 0 && !tx_queue_.empty()) {
+    SduState& sdu = tx_queue_.front();
+    int unsent = sdu.total_bytes - sdu.pulled_bytes;
+    int take = std::min(budget, unsent);
+    out.push_back(Segment{sdu.sn, sdu.pulled_bytes, take});
+    sdu.pulled_bytes += take;
+    budget -= take;
+    if (sdu.pulled_bytes == sdu.total_bytes) {
+      in_flight_.emplace(sdu.sn, sdu);
+      tx_queue_.pop_front();
+    }
+  }
+  return out;
+}
+
+void RlcAmEntity::OnHarqExhaust(const std::vector<Segment>& segments,
+                                Time now) {
+  if (segments.empty()) return;
+  ++retx_events_;
+  Time available = now + cfg_.retx_delay;
+  for (const Segment& s : segments) {
+    retx_queue_.push_back(RetxSegment{s, available});
+  }
+}
+
+const RlcAmEntity::SduState* RlcAmEntity::FindSdu(std::uint64_t sn) const {
+  auto it = in_flight_.find(sn);
+  if (it != in_flight_.end()) return &it->second;
+  for (const auto& s : tx_queue_) {
+    if (s.sn == sn) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<DeliveredSdu> RlcAmEntity::OnSegmentsReceived(
+    const std::vector<Segment>& segments) {
+  for (const Segment& s : segments) {
+    received_bytes_[s.sn] += s.bytes;
+  }
+  std::vector<DeliveredSdu> delivered;
+  // Strict in-order release: deliver the run of consecutive complete SDUs
+  // starting at next_deliver_sn_. A missing SN stalls everything above it.
+  for (;;) {
+    const SduState* sdu = FindSdu(next_deliver_sn_);
+    if (sdu == nullptr) break;  // SN not yet created/pulled.
+    auto it = received_bytes_.find(next_deliver_sn_);
+    if (it == received_bytes_.end() || it->second < sdu->total_bytes) break;
+    delivered.push_back(
+        DeliveredSdu{sdu->sn, sdu->packet_id, sdu->total_bytes,
+                     sdu->enqueue_time});
+    received_bytes_.erase(it);
+    in_flight_.erase(next_deliver_sn_);
+    ++next_deliver_sn_;
+  }
+  return delivered;
+}
+
+std::size_t RlcAmEntity::held_sdus() const {
+  std::size_t held = 0;
+  for (const auto& [sn, bytes] : received_bytes_) {
+    if (sn < next_deliver_sn_) continue;
+    const SduState* sdu = FindSdu(sn);
+    if (sdu != nullptr && bytes >= sdu->total_bytes) ++held;
+  }
+  return held;
+}
+
+}  // namespace domino::rlc

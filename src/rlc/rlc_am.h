@@ -1,0 +1,125 @@
+// RLC Acknowledged Mode entity.
+//
+// Models the pieces of RLC AM that shape VCA packet delay (paper §5.2.3):
+//   * segmentation of application packets (SDUs) into the byte budgets of
+//     MAC transport blocks,
+//   * retransmission of segments whose TB exhausted its HARQ attempts,
+//     charged a status-report delay (~105 ms in the paper's Amarisoft trace),
+//   * strict in-order delivery to upper layers, which causes head-of-line
+//     blocking: packets received after a missing segment are held and then
+//     released in a burst once the retransmission lands (Fig. 15c / Fig. 18).
+//
+// One entity instance models both ends of a single-direction RLC channel;
+// the owning link feeds the sender side with SDUs and the receiver side with
+// successfully decoded segments.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+
+namespace domino::rlc {
+
+/// A contiguous byte range of one SDU carried in a transport block.
+struct Segment {
+  std::uint64_t sn = 0;  ///< RLC sequence number of the SDU.
+  int offset = 0;        ///< First byte of the SDU covered by this segment.
+  int bytes = 0;
+};
+
+/// An SDU released in order to the upper layer.
+struct DeliveredSdu {
+  std::uint64_t sn = 0;
+  std::uint64_t packet_id = 0;
+  int total_bytes = 0;
+  Time enqueue_time;  ///< When the sender enqueued the SDU.
+};
+
+struct RlcConfig {
+  Duration retx_delay = Millis(90);  ///< Status-report turnaround before a
+                                     ///< lost segment re-enters the tx queue.
+  int max_buffer_bytes = 3 * 1024 * 1024;  ///< Sender queue cap; beyond this
+                                           ///< new SDUs are dropped (loss).
+};
+
+class RlcAmEntity {
+ public:
+  explicit RlcAmEntity(RlcConfig cfg = {});
+
+  // --- Sender side ---------------------------------------------------------
+
+  /// Enqueues an SDU for transmission. Returns the assigned SN, or
+  /// std::nullopt if the buffer is full and the SDU was dropped.
+  std::optional<std::uint64_t> Enqueue(std::uint64_t packet_id, int bytes,
+                                       Time now);
+
+  /// Bytes awaiting (re)transmission: unsent new data plus queued
+  /// retransmissions. This is what a BSR reports and what builds up when the
+  /// application outpaces the PHY (the paper's "RLC buffer" signal, Fig. 12).
+  [[nodiscard]] int BufferedBytes() const;
+
+  /// Fills up to `budget` bytes of a transport block at time `now`.
+  /// Retransmission segments whose status-report delay has elapsed take
+  /// priority over new data. May return fewer bytes than `budget`.
+  std::vector<Segment> PullForTb(int budget, Time now);
+
+  /// Notifies the entity that a TB carrying `segments` exhausted HARQ; the
+  /// segments will be retransmitted after the status-report delay.
+  void OnHarqExhaust(const std::vector<Segment>& segments, Time now);
+
+  /// Number of RLC retransmission events (HARQ-exhaust notifications) so far.
+  [[nodiscard]] int retx_events() const { return retx_events_; }
+  /// True if retransmission segments are queued (sent to gNB logs).
+  [[nodiscard]] bool retx_pending() const { return !retx_queue_.empty(); }
+  /// Number of SDUs dropped at enqueue due to a full buffer.
+  [[nodiscard]] int dropped_sdus() const { return dropped_sdus_; }
+
+  // --- Receiver side -------------------------------------------------------
+
+  /// Records successfully decoded segments and returns any SDUs that become
+  /// deliverable *in order*. A missing earlier segment holds back all later
+  /// completed SDUs (head-of-line blocking); when it arrives, the whole run
+  /// is released at once.
+  std::vector<DeliveredSdu> OnSegmentsReceived(
+      const std::vector<Segment>& segments);
+
+  /// SDUs completed out of order and currently held by reassembly.
+  [[nodiscard]] std::size_t held_sdus() const;
+
+ private:
+  struct SduState {
+    std::uint64_t sn;
+    std::uint64_t packet_id;
+    int total_bytes;
+    int pulled_bytes = 0;  ///< Bytes already handed to TBs.
+    Time enqueue_time;
+  };
+  struct RetxSegment {
+    Segment segment;
+    Time available_at;
+  };
+
+  RlcConfig cfg_;
+
+  // Sender state.
+  std::deque<SduState> tx_queue_;      ///< SDUs with unsent bytes (head may be
+                                       ///< partially pulled).
+  std::deque<RetxSegment> retx_queue_; ///< Segments awaiting retransmission.
+  std::map<std::uint64_t, SduState> in_flight_;  ///< Fully pulled, undelivered
+                                                 ///< SDU metadata by SN.
+  std::uint64_t next_sn_ = 0;
+  int retx_events_ = 0;
+  int dropped_sdus_ = 0;
+
+  // Receiver state.
+  std::map<std::uint64_t, int> received_bytes_;  ///< Per-SN byte tally.
+  std::uint64_t next_deliver_sn_ = 0;
+
+  [[nodiscard]] const SduState* FindSdu(std::uint64_t sn) const;
+};
+
+}  // namespace domino::rlc

@@ -1,0 +1,51 @@
+#include "rrc/rrc.h"
+
+#include <algorithm>
+
+namespace domino::rrc {
+
+RrcStateMachine::RrcStateMachine(RrcConfig cfg, Rng rng)
+    : cfg_(cfg), rng_(rng), rnti_(cfg.initial_rnti) {
+  if (cfg_.random_release_rate_per_min > 0) {
+    double mean_s = 60.0 / cfg_.random_release_rate_per_min;
+    next_random_release_ = Time{0} + Seconds(rng_.ExpMean(mean_s));
+  }
+}
+
+void RrcStateMachine::ScheduleRelease(Time t) {
+  scheduled_.push_back(t);
+  std::sort(scheduled_.begin() + static_cast<long>(next_scheduled_),
+            scheduled_.end());
+}
+
+void RrcStateMachine::MaybeStartTransition(Time t) {
+  if (state_ != RrcState::kConnected) return;
+  bool fire = false;
+  if (next_scheduled_ < scheduled_.size() && scheduled_[next_scheduled_] <= t) {
+    ++next_scheduled_;
+    fire = true;
+  }
+  if (next_random_release_ <= t) {
+    double mean_s = 60.0 / cfg_.random_release_rate_per_min;
+    next_random_release_ = t + Seconds(rng_.ExpMean(mean_s));
+    fire = true;
+  }
+  if (fire) {
+    state_ = RrcState::kTransitioning;
+    transition_end_ = t + cfg_.transition_duration;
+    ++transitions_;
+  }
+}
+
+RrcState RrcStateMachine::Advance(Time t) {
+  last_time_ = std::max(last_time_, t);
+  if (state_ == RrcState::kTransitioning && t >= transition_end_) {
+    state_ = RrcState::kConnected;
+    ++rnti_;  // Re-establishment assigns a fresh RNTI.
+    if (on_rnti_change) on_rnti_change(t, rnti_);
+  }
+  MaybeStartTransition(t);
+  return state_;
+}
+
+}  // namespace domino::rrc

@@ -1,0 +1,65 @@
+// RRC connection state machine.
+//
+// The paper observed (§5.3) that one commercial cell intermittently releases
+// the RRC connection *during* active transfer, silencing the PHY for
+// ~300 ms and reassigning the RNTI on re-establishment, which drives one-way
+// delay to ~400 ms. This class models the connected state, scripted or
+// stochastic release events, the transition blackout, and the RNTI change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/types.h"
+
+namespace domino::rrc {
+
+struct RrcConfig {
+  Duration transition_duration = Millis(300);  ///< PHY blackout per release +
+                                               ///< re-establishment cycle.
+  double random_release_rate_per_min = 0.0;    ///< Poisson rate of spontaneous
+                                               ///< releases (T-Mobile FDD
+                                               ///< behaviour; 0 disables).
+  std::uint32_t initial_rnti = 0x4601;
+};
+
+class RrcStateMachine {
+ public:
+  RrcStateMachine(RrcConfig cfg, Rng rng);
+
+  /// Schedules a deterministic release at `t` (scenario scripting).
+  void ScheduleRelease(Time t);
+
+  /// Advances the machine to time `t` (non-decreasing) and returns the state.
+  RrcState Advance(Time t);
+
+  /// True if the UE can transmit/receive at `t` (advances the machine).
+  bool CanTransmit(Time t) { return Advance(t) == RrcState::kConnected; }
+
+  [[nodiscard]] RrcState state() const { return state_; }
+  /// Current RNTI; changes on every re-establishment.
+  [[nodiscard]] std::uint32_t rnti() const { return rnti_; }
+  [[nodiscard]] int transition_count() const { return transitions_; }
+
+  /// Fires when re-establishment assigns a new RNTI (time, new rnti).
+  std::function<void(Time, std::uint32_t)> on_rnti_change;
+
+ private:
+  void MaybeStartTransition(Time t);
+
+  RrcConfig cfg_;
+  Rng rng_;
+  RrcState state_ = RrcState::kConnected;
+  std::uint32_t rnti_;
+  Time transition_end_{0};
+  Time next_random_release_ = Time::max();
+  std::vector<Time> scheduled_;  // sorted ascending
+  std::size_t next_scheduled_ = 0;
+  Time last_time_{0};
+  int transitions_ = 0;
+};
+
+}  // namespace domino::rrc

@@ -1,0 +1,69 @@
+#include "rtc/audio.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace domino::rtc {
+
+AudioReceiver::AudioReceiver(AudioConfig cfg)
+    : cfg_(cfg), playout_delay_ms_(cfg.min_delay_ms) {}
+
+void AudioReceiver::OnFrame(std::uint64_t seq, Time capture_time,
+                            Time arrival) {
+  double transit_ms = (arrival - capture_time).millis();
+  if (!started_) {
+    started_ = true;
+    base_transit_ms_ = transit_ms;
+    prev_transit_ms_ = transit_ms;
+    next_play_seq_ = seq;
+    first_capture_ = capture_time - cfg_.frame_interval *
+                                        static_cast<std::int64_t>(seq);
+    last_advance_ = arrival;
+  } else {
+    base_transit_ms_ = std::min(base_transit_ms_, transit_ms);
+    double d = std::abs(transit_ms - prev_transit_ms_);
+    jitter_ewma_ms_ += (d - jitter_ewma_ms_) / 16.0;
+    prev_transit_ms_ = transit_ms;
+  }
+  playout_delay_ms_ = std::clamp(
+      std::max(playout_delay_ms_, cfg_.jitter_headroom * jitter_ewma_ms_),
+      cfg_.min_delay_ms, cfg_.max_delay_ms);
+  max_seq_seen_ = std::max(max_seq_seen_, seq);
+  if (seq < next_play_seq_) return;  // already concealed: discard
+  pending_.emplace(seq, std::make_pair(capture_time, arrival));
+  AdvanceTo(arrival);
+}
+
+void AudioReceiver::AdvanceTo(Time now) {
+  if (!started_ || now < last_advance_) return;
+  double dt_s = (now - last_advance_).seconds();
+  last_advance_ = now;
+  playout_delay_ms_ = std::max(playout_delay_ms_ - cfg_.decay_ms_per_s * dt_s,
+                               cfg_.min_delay_ms);
+
+  // Only slots up to the newest sequence known to exist are played out; a
+  // gap after the last received frame is indistinguishable from the stream
+  // ending, so it is not booked as concealment until a later frame proves
+  // the stream continued.
+  while (next_play_seq_ <= max_seq_seen_) {
+    Time capture = first_capture_ + cfg_.frame_interval *
+                                        static_cast<std::int64_t>(
+                                            next_play_seq_);
+    Time deadline =
+        capture + Seconds((base_transit_ms_ + playout_delay_ms_) / 1e3);
+    if (deadline > now) break;
+    auto it = pending_.find(next_play_seq_);
+    if (it != pending_.end() && it->second.second <= deadline) {
+      ++played_;
+    } else {
+      // Missing (or arrived past its deadline): synthesise and expand.
+      ++concealed_;
+      playout_delay_ms_ = std::min(
+          playout_delay_ms_ + cfg_.expand_on_miss_ms, cfg_.max_delay_ms);
+    }
+    if (it != pending_.end()) pending_.erase(it);
+    ++next_play_seq_;
+  }
+}
+
+}  // namespace domino::rtc

@@ -1,0 +1,65 @@
+// Audio stream model.
+//
+// VCAs carry a constant-rate audio stream (Opus-style: one ~80 B packet per
+// 20 ms) beside the video. The receiver plays frames on a fixed 20 ms grid
+// behind an adaptive playout delay; a frame that has not arrived by its
+// deadline is *concealed* — replaced by a synthesised sample (the paper's
+// Fig. 4 metric). Late arrivals are discarded, matching NetEQ behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/time.h"
+
+namespace domino::rtc {
+
+struct AudioConfig {
+  Duration frame_interval = Millis(20);
+  int packet_bytes = 80;
+  double min_delay_ms = 20;
+  double max_delay_ms = 500;
+  double jitter_headroom = 4.0;   ///< Target >= headroom x jitter EWMA.
+  double expand_on_miss_ms = 10;  ///< Extra delay after a concealment.
+  double decay_ms_per_s = 5.0;
+};
+
+/// Receiver-side audio playout with concealment accounting.
+class AudioReceiver {
+ public:
+  explicit AudioReceiver(AudioConfig cfg = {});
+
+  /// An audio frame (by sequence number, capture time) arrived.
+  void OnFrame(std::uint64_t seq, Time capture_time, Time arrival);
+
+  /// Advances the playout grid to `now`, booking played/concealed samples.
+  void AdvanceTo(Time now);
+
+  [[nodiscard]] long played() const { return played_; }
+  [[nodiscard]] long concealed() const { return concealed_; }
+  /// Fraction of samples concealed since the beginning.
+  [[nodiscard]] double concealed_ratio() const {
+    long total = played_ + concealed_;
+    return total == 0 ? 0.0 : static_cast<double>(concealed_) / total;
+  }
+  /// Current adaptive playout delay (ms).
+  [[nodiscard]] double playout_delay_ms() const { return playout_delay_ms_; }
+
+ private:
+  AudioConfig cfg_;
+  std::map<std::uint64_t, std::pair<Time, Time>> pending_;  ///< seq ->
+                                                            ///< (capture, arrival)
+  std::uint64_t next_play_seq_ = 0;
+  std::uint64_t max_seq_seen_ = 0;
+  bool started_ = false;
+  Time first_capture_{0};
+  double base_transit_ms_ = 0;
+  double jitter_ewma_ms_ = 0;
+  double prev_transit_ms_ = 0;
+  double playout_delay_ms_;
+  Time last_advance_{0};
+  long played_ = 0;
+  long concealed_ = 0;
+};
+
+}  // namespace domino::rtc

@@ -1,0 +1,66 @@
+#include "rtc/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace domino::rtc {
+
+VideoEncoder::VideoEncoder(EncoderConfig cfg, Rng rng)
+    : cfg_(cfg), rng_(rng), current_fps_(cfg.capture_fps) {}
+
+void VideoEncoder::SetTargetRate(double bps) { target_bps_ = bps; }
+
+void VideoEncoder::AdaptLadder(Time now) {
+  const auto& step = cfg_.ladder[ladder_idx_];
+  // Step down immediately when the rate can no longer carry this resolution.
+  if (ladder_idx_ > 0 && target_bps_ < step.min_bps) {
+    --ladder_idx_;
+    headroom_since_ = Time::max();
+    return;
+  }
+  // Step up only after sustained headroom above the next rung's comfort rate.
+  if (ladder_idx_ + 1 < cfg_.ladder.size()) {
+    const auto& next = cfg_.ladder[ladder_idx_ + 1];
+    if (target_bps_ > next.min_bps * 1.3) {
+      if (headroom_since_ == Time::max()) headroom_since_ = now;
+      if (now - headroom_since_ >= cfg_.upgrade_hold) {
+        ++ladder_idx_;
+        headroom_since_ = Time::max();
+      }
+    } else {
+      headroom_since_ = Time::max();
+    }
+  }
+}
+
+std::optional<EncodedFrame> VideoEncoder::OnCaptureTick(Time now) {
+  AdaptLadder(now);
+  const auto& step = cfg_.ladder[ladder_idx_];
+  // Frame-rate adaptation: scale fps with the rate deficit against the
+  // comfort rate of the current resolution.
+  double ratio = step.comfort_bps > 0 ? target_bps_ / step.comfort_bps : 1.0;
+  current_fps_ = std::clamp(cfg_.capture_fps * ratio, cfg_.min_fps,
+                            cfg_.capture_fps);
+
+  frame_accumulator_ += current_fps_ / cfg_.capture_fps;
+  if (frame_accumulator_ < 1.0) return std::nullopt;  // drop this capture
+  frame_accumulator_ -= 1.0;
+
+  EncodedFrame frame;
+  frame.frame_id = next_frame_id_++;
+  frame.capture_time = now;
+  frame.resolution = step.height;
+  ++frames_since_keyframe_;
+  frame.keyframe =
+      frames_since_keyframe_ >= cfg_.keyframe_interval_frames ||
+      frame.frame_id == 1;
+  if (frame.keyframe) frames_since_keyframe_ = 0;
+
+  double bytes = target_bps_ / 8.0 / current_fps_;
+  bytes *= rng_.LogNormal(0.0, cfg_.size_jitter_sigma);
+  if (frame.keyframe) bytes *= cfg_.keyframe_size_factor;
+  frame.bytes = std::max(200, static_cast<int>(bytes));
+  return frame;
+}
+
+}  // namespace domino::rtc

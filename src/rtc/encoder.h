@@ -1,0 +1,81 @@
+// Video encoder model.
+//
+// Converts the congestion controller's encoder rate into the observable
+// application behaviour the paper tracks: outbound frame rate, resolution
+// ladder steps (360p/540p/720p/1080p, Table 3), and per-frame byte sizes
+// (bursts of RTP packets). Rate pressure first reduces frame rate, then
+// steps the resolution down — reproducing the fps-then-resolution reaction
+// visible in Fig. 21.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace domino::rtc {
+
+struct ResolutionStep {
+  int height;          ///< 360, 540, 720, 1080.
+  double min_bps;      ///< Below this the encoder steps down.
+  double comfort_bps;  ///< Rate at which full fps is sustainable.
+};
+
+struct EncoderConfig {
+  double capture_fps = 30.0;
+  std::vector<ResolutionStep> ladder = {
+      {360, 0, 350e3},
+      {540, 450e3, 1.0e6},
+      {720, 1.3e6, 2.2e6},
+      {1080, 2.6e6, 4.2e6},
+  };
+  double min_fps = 10.0;
+  Duration upgrade_hold = Seconds(2.0);  ///< Sustained headroom required
+                                         ///< before stepping resolution up.
+  double keyframe_interval_frames = 300;
+  double keyframe_size_factor = 2.5;
+  double size_jitter_sigma = 0.15;  ///< Log-normal sigma on frame sizes.
+};
+
+/// One encoded frame: a burst of packets is derived from `bytes`.
+struct EncodedFrame {
+  std::uint64_t frame_id = 0;
+  int bytes = 0;
+  int resolution = 0;
+  Time capture_time;
+  bool keyframe = false;
+};
+
+class VideoEncoder {
+ public:
+  VideoEncoder(EncoderConfig cfg, Rng rng);
+
+  /// Updates the encoder target (the GCC pushback rate).
+  void SetTargetRate(double bps);
+
+  /// Called on the capture clock (every 1/capture_fps). Returns a frame
+  /// unless frame-rate adaptation drops this capture tick.
+  std::optional<EncodedFrame> OnCaptureTick(Time now);
+
+  [[nodiscard]] double current_fps() const { return current_fps_; }
+  [[nodiscard]] int resolution() const {
+    return cfg_.ladder[ladder_idx_].height;
+  }
+  [[nodiscard]] double target_bps() const { return target_bps_; }
+
+ private:
+  void AdaptLadder(Time now);
+
+  EncoderConfig cfg_;
+  Rng rng_;
+  double target_bps_ = 300e3;
+  std::size_t ladder_idx_ = 0;
+  double current_fps_;
+  double frame_accumulator_ = 0;  ///< Fractional-frame carry for fps < capture.
+  Time headroom_since_ = Time::max();
+  std::uint64_t next_frame_id_ = 1;
+  std::uint64_t frames_since_keyframe_ = 0;
+};
+
+}  // namespace domino::rtc

@@ -1,0 +1,107 @@
+#include "rtc/jitter_buffer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace domino::rtc {
+
+FrameJitterBuffer::FrameJitterBuffer(JitterBufferConfig cfg)
+    : cfg_(cfg), target_delay_ms_(cfg.min_delay.millis()) {}
+
+Time FrameJitterBuffer::DeadlineOf(const PendingFrame& f) const {
+  return f.capture_time + Seconds((base_transit_ms_ + target_delay_ms_) / 1e3);
+}
+
+void FrameJitterBuffer::OnFrameComplete(std::uint64_t frame_id,
+                                        Time capture_time, Time arrival) {
+  double transit_ms = (arrival - capture_time).millis();
+  if (!transit_init_) {
+    base_transit_ms_ = transit_ms;
+    prev_transit_ms_ = transit_ms;
+    transit_init_ = true;
+  } else {
+    if (transit_ms < base_transit_ms_) base_transit_ms_ = transit_ms;
+    // RFC 3550 interarrival-jitter estimator over frame transits.
+    double d = std::abs(transit_ms - prev_transit_ms_);
+    jitter_ewma_ms_ += (d - jitter_ewma_ms_) / 16.0;
+    prev_transit_ms_ = transit_ms;
+  }
+  // The target never sits below the jitter headroom: this is the adaptive
+  // expansion that trades latency for smoothness (§6.1).
+  double jitter = std::max(jitter_ewma_ms_, packet_jitter_ms_);
+  target_delay_ms_ = std::clamp(
+      std::max(target_delay_ms_, cfg_.jitter_headroom * jitter),
+      cfg_.min_delay.millis(), cfg_.max_delay.millis());
+  pending_.push_back(PendingFrame{frame_id, capture_time, arrival});
+  AdvanceTo(arrival);
+}
+
+void FrameJitterBuffer::Render(const PendingFrame& /*frame*/, Time render_time,
+                               double wait_ms) {
+  last_wait_ms_ = wait_ms;
+  if (was_frozen_) {
+    total_freeze_ += render_time - freeze_start_;
+    was_frozen_ = false;
+  }
+  last_render_ = render_time;
+  render_times_.push_back(render_time);
+  while (!render_times_.empty() &&
+         render_time - render_times_.front() > Seconds(5.0)) {
+    render_times_.pop_front();
+  }
+  ++total_rendered_;
+}
+
+void FrameJitterBuffer::AdvanceTo(Time now) {
+  if (now < last_advance_) return;
+  double dt_s = (now - last_advance_).seconds();
+  last_advance_ = now;
+
+  // Contract slowly while stable; the base transit creeps up so a permanent
+  // path-delay change doesn't pin the buffer to a stale minimum.
+  target_delay_ms_ = std::max(target_delay_ms_ - cfg_.decay_ms_per_s * dt_s,
+                              cfg_.min_delay.millis());
+  if (transit_init_) base_transit_ms_ += 0.5 * dt_s;
+
+  while (!pending_.empty()) {
+    const PendingFrame& f = pending_.front();
+    Time deadline = DeadlineOf(f);
+    if (deadline > now) break;  // heads the buffer but is not yet due
+    double wait_ms = (deadline - f.arrival).millis();
+    if (wait_ms < 0) {
+      // The frame missed its deadline: the buffer drained. Play it on
+      // arrival and expand the target delay past the lateness.
+      ++drain_events_;
+      target_delay_ms_ = std::min(
+          target_delay_ms_ - wait_ms + cfg_.late_margin_ms,
+          cfg_.max_delay.millis());
+      wait_ms = 0;
+    }
+    Render(f, std::max(deadline, f.arrival), wait_ms);
+    pending_.pop_front();
+  }
+
+  if (!was_frozen_ && frozen(now)) {
+    Duration th = std::max(cfg_.freeze_threshold, cfg_.frame_interval * 3);
+    freeze_start_ = last_render_ + th;
+    was_frozen_ = true;
+  }
+}
+
+bool FrameJitterBuffer::frozen(Time now) const {
+  if (total_rendered_ == 0) return false;
+  Duration th = std::max(cfg_.freeze_threshold, cfg_.frame_interval * 3);
+  return now - last_render_ > th;
+}
+
+int FrameJitterBuffer::RenderedInWindow(Time now, Duration horizon) const {
+  Time cutoff = now - horizon;
+  int n = 0;
+  for (auto it = render_times_.rbegin(); it != render_times_.rend(); ++it) {
+    if (*it <= cutoff) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace domino::rtc

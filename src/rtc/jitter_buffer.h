@@ -1,0 +1,93 @@
+// Adaptive frame jitter buffer (receiver-side playout engine).
+//
+// Holds completed video frames until their playout deadline, absorbing
+// network delay variation. The target delay adapts: it grows immediately
+// when a frame arrives after its deadline (late = the buffer drained) and
+// decays slowly while the network is stable — the expand/contract behaviour
+// described in §6.1. Exposes the paper's observables: per-frame buffer wait
+// ("jitter-buffer delay", Figs. 3/8m-p), drain events (wait hits 0), freeze
+// state and total freeze time (Fig. 4), and rendered-frame counts for the
+// inbound frame-rate signal.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/time.h"
+
+namespace domino::rtc {
+
+struct JitterBufferConfig {
+  Duration min_delay = Millis(40);
+  Duration max_delay = Millis(1500);
+  double decay_ms_per_s = 10.0;      ///< Contraction rate when stable.
+  double jitter_headroom = 4.0;      ///< Target >= headroom x jitter EWMA
+                                     ///< (RFC 3550-style estimator).
+  double late_margin_ms = 10.0;      ///< Extra growth on a late frame.
+  Duration freeze_threshold = Millis(150);  ///< No render for this long (and
+                                            ///< 3 frame intervals) = frozen.
+  Duration frame_interval = Millis(33);
+};
+
+class FrameJitterBuffer {
+ public:
+  explicit FrameJitterBuffer(JitterBufferConfig cfg = {});
+
+  /// A frame completed reassembly. `capture_time` is the sender timestamp.
+  void OnFrameComplete(std::uint64_t frame_id, Time capture_time,
+                       Time arrival);
+
+  /// Feeds the packet-level jitter estimate (RFC 3550 over individual media
+  /// packets). Per-packet delay spread — many TBs per frame over 5G — is
+  /// what actually sizes the buffer; frame-level transits alone hide it.
+  void SetPacketJitter(double jitter_ms) { packet_jitter_ms_ = jitter_ms; }
+
+  /// Advances the playout clock, rendering due frames.
+  void AdvanceTo(Time now);
+
+  /// Current adaptive target delay (ms).
+  [[nodiscard]] double target_delay_ms() const { return target_delay_ms_; }
+  /// Buffer wait of the most recently rendered frame (ms; 0 = drained: the
+  /// frame was late and played immediately on arrival).
+  [[nodiscard]] double last_wait_ms() const { return last_wait_ms_; }
+  /// True if playback is currently frozen.
+  [[nodiscard]] bool frozen(Time now) const;
+  /// Cumulative freeze time.
+  [[nodiscard]] Duration total_freeze() const { return total_freeze_; }
+  /// Frames rendered in (now - horizon, now]; basis for inbound fps.
+  [[nodiscard]] int RenderedInWindow(Time now, Duration horizon) const;
+  [[nodiscard]] long total_rendered() const { return total_rendered_; }
+  /// Number of drain events (late frames) so far.
+  [[nodiscard]] long drain_events() const { return drain_events_; }
+
+ private:
+  struct PendingFrame {
+    std::uint64_t frame_id;
+    Time capture_time;
+    Time arrival;
+  };
+
+  void Render(const PendingFrame& frame, Time render_time, double wait_ms);
+  [[nodiscard]] Time DeadlineOf(const PendingFrame& f) const;
+
+  JitterBufferConfig cfg_;
+  std::deque<PendingFrame> pending_;   ///< Completed frames awaiting playout.
+  std::deque<Time> render_times_;      ///< Recent render timestamps.
+
+  double target_delay_ms_;
+  double base_transit_ms_ = 0;  ///< Running min of (arrival - capture).
+  bool transit_init_ = false;
+  double jitter_ewma_ms_ = 0;   ///< Mean |transit delta| (RFC 3550 J).
+  double prev_transit_ms_ = 0;
+  double packet_jitter_ms_ = 0;
+  double last_wait_ms_ = 0;
+  Time last_render_ = Time{0};
+  Time last_advance_ = Time{0};
+  bool was_frozen_ = false;
+  Time freeze_start_{0};
+  Duration total_freeze_{0};
+  long total_rendered_ = 0;
+  long drain_events_ = 0;
+};
+
+}  // namespace domino::rtc

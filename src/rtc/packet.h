@@ -1,0 +1,20 @@
+// Media packet metadata carried end-to-end by the simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace domino::rtc {
+
+struct MediaPacket {
+  std::uint64_t id = 0;        ///< Per-stream sequence number (1-based).
+  std::uint64_t frame_id = 0;
+  int bytes = 0;
+  int index_in_frame = 0;
+  int frame_packet_count = 0;
+  Time capture_time;
+  Time send_time;
+};
+
+}  // namespace domino::rtc

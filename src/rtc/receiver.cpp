@@ -1,0 +1,97 @@
+#include "rtc/receiver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace domino::rtc {
+
+MediaReceiver::MediaReceiver(ReceiverConfig cfg)
+    : cfg_(cfg), jb_(cfg.jitter_buffer) {}
+
+void MediaReceiver::OnMediaPacket(const MediaPacket& packet, Time arrival) {
+  ++received_packets_;
+
+  // RFC 3550 interarrival jitter over individual packets; sizes the jitter
+  // buffer against 5G delay spread (many TBs per frame, §5.2.1).
+  double transit_ms = (arrival - packet.send_time).millis();
+  if (received_packets_ > 1) {
+    double d = std::abs(transit_ms - prev_transit_ms_);
+    packet_jitter_ms_ += (d - packet_jitter_ms_) / 16.0;
+    jb_.SetPacketJitter(packet_jitter_ms_);
+  }
+  prev_transit_ms_ = transit_ms;
+
+  gcc::PacketResult result;
+  result.packet_id = packet.id;
+  result.size_bytes = packet.bytes;
+  result.send_time = packet.send_time;
+  result.recv_time = arrival;
+  pending_feedback_[packet.id] = result;
+
+  // Sequence bookkeeping for loss detection. An id below the expectation
+  // line was previously declared lost: this arrival is a recovery (RTX or a
+  // very late original).
+  if (packet.id < next_expected_id_) ++recovered_packets_;
+  max_seen_id_ = std::max(max_seen_id_, packet.id);
+  if (packet.id == next_expected_id_) {
+    ++next_expected_id_;
+    while (!ahead_.empty() && *ahead_.begin() == next_expected_id_) {
+      ahead_.erase(ahead_.begin());
+      ++next_expected_id_;
+    }
+  } else if (packet.id > next_expected_id_) {
+    ahead_.insert(packet.id);
+  }
+  DetectLosses();
+
+  // Frame reassembly: a frame completes when all of its packets arrived.
+  auto [it, inserted] = assembling_.try_emplace(packet.frame_id);
+  FrameAssembly& fa = it->second;
+  if (inserted) {
+    fa.expected = packet.frame_packet_count;
+    fa.capture_time = packet.capture_time;
+  }
+  fa.received.insert(packet.index_in_frame);  // dedupes RTX duplicates
+  if (!fa.complete && static_cast<int>(fa.received.size()) >= fa.expected) {
+    fa.complete = true;
+    jb_.OnFrameComplete(packet.frame_id, fa.capture_time, arrival);
+    assembling_.erase(it);
+  }
+  // Garbage-collect frames that can never complete (a packet was lost and
+  // its retransmission never made it either).
+  while (!assembling_.empty() &&
+         assembling_.begin()->first + 300 < packet.frame_id) {
+    assembling_.erase(assembling_.begin());
+  }
+  jb_.AdvanceTo(arrival);
+}
+
+void MediaReceiver::DetectLosses() {
+  // The cellular + wired chain is FIFO per stream, so a gap means loss; the
+  // reorder window only guards against pathological orderings.
+  while (next_expected_id_ + cfg_.reorder_window_packets <= max_seen_id_ &&
+         ahead_.count(next_expected_id_) == 0) {
+    gcc::PacketResult lost;
+    lost.packet_id = next_expected_id_;
+    lost.size_bytes = 0;
+    lost.send_time = Time{0};
+    lost.recv_time = Time::max();
+    pending_feedback_[next_expected_id_] = lost;
+    ++declared_losses_;
+    ++next_expected_id_;
+    while (!ahead_.empty() && *ahead_.begin() == next_expected_id_) {
+      ahead_.erase(ahead_.begin());
+      ++next_expected_id_;
+    }
+  }
+}
+
+gcc::TransportFeedback MediaReceiver::TakeFeedback() {
+  gcc::TransportFeedback fb;
+  fb.packets.reserve(pending_feedback_.size());
+  for (auto& [id, result] : pending_feedback_) fb.packets.push_back(result);
+  pending_feedback_.clear();
+  return fb;
+}
+
+}  // namespace domino::rtc

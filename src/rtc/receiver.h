@@ -1,0 +1,78 @@
+// Media receiver: frame reassembly, loss detection, transport feedback
+// generation, and playout via the adaptive jitter buffer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/time.h"
+#include "gcc/feedback.h"
+#include "rtc/jitter_buffer.h"
+#include "rtc/packet.h"
+
+namespace domino::rtc {
+
+struct ReceiverConfig {
+  JitterBufferConfig jitter_buffer;
+  int reorder_window_packets = 20;  ///< Gap age (in packets) before a missing
+                                    ///< id is declared lost.
+};
+
+class MediaReceiver {
+ public:
+  explicit MediaReceiver(ReceiverConfig cfg = {});
+
+  /// A media packet arrived from the network at `arrival`.
+  void OnMediaPacket(const MediaPacket& packet, Time arrival);
+
+  /// Advances the playout clock (call on stats ticks).
+  void AdvanceTo(Time now) { jb_.AdvanceTo(now); }
+
+  /// Builds the transport feedback message covering everything received (or
+  /// declared lost) since the previous call. `feedback_time` is left unset
+  /// (Time 0); the sender stamps it on arrival.
+  gcc::TransportFeedback TakeFeedback();
+
+  /// Frames rendered in the trailing 1 s — the inbound frame rate.
+  [[nodiscard]] double inbound_fps(Time now) const {
+    return jb_.RenderedInWindow(now, Seconds(1.0));
+  }
+  [[nodiscard]] const FrameJitterBuffer& jitter_buffer() const { return jb_; }
+  FrameJitterBuffer& jitter_buffer() { return jb_; }
+  [[nodiscard]] long declared_losses() const { return declared_losses_; }
+  /// Packets that arrived after having been declared lost (RTX / very late).
+  [[nodiscard]] long recovered_packets() const { return recovered_packets_; }
+  [[nodiscard]] long received_packets() const { return received_packets_; }
+
+ private:
+  struct FrameAssembly {
+    int expected = 0;
+    std::set<int> received;  ///< Indexes seen (RTX can duplicate packets).
+    Time capture_time;
+    bool complete = false;
+  };
+
+  void DetectLosses();
+
+  ReceiverConfig cfg_;
+  FrameJitterBuffer jb_;
+
+  // Feedback accumulation (ordered by packet id = send order).
+  std::map<std::uint64_t, gcc::PacketResult> pending_feedback_;
+
+  // Loss tracking.
+  std::uint64_t next_expected_id_ = 1;
+  std::uint64_t max_seen_id_ = 0;
+  std::set<std::uint64_t> ahead_;  ///< Received ids beyond a gap.
+
+  std::map<std::uint64_t, FrameAssembly> assembling_;
+  long declared_losses_ = 0;
+  long recovered_packets_ = 0;
+  long received_packets_ = 0;
+  double packet_jitter_ms_ = 0;
+  double prev_transit_ms_ = 0;
+};
+
+}  // namespace domino::rtc

@@ -1,0 +1,74 @@
+#include "rtc/sender.h"
+
+namespace domino::rtc {
+
+MediaSender::MediaSender(SenderConfig cfg, Rng rng)
+    : cfg_(cfg), encoder_(cfg.encoder, rng), gcc_(cfg.gcc) {}
+
+std::vector<MediaPacket> MediaSender::OnCaptureTick(Time now) {
+  encoder_.SetTargetRate(gcc_.pushback_bitrate_bps());
+  std::vector<MediaPacket> burst;
+  auto frame = encoder_.OnCaptureTick(now);
+  if (!frame.has_value()) return burst;
+
+  int remaining = frame->bytes;
+  int count = (frame->bytes + cfg_.mtu_bytes - 1) / cfg_.mtu_bytes;
+  burst.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    MediaPacket p;
+    p.id = next_packet_id_++;
+    p.frame_id = frame->frame_id;
+    p.bytes = std::min(remaining, cfg_.mtu_bytes);
+    remaining -= p.bytes;
+    p.index_in_frame = i;
+    p.frame_packet_count = count;
+    p.capture_time = frame->capture_time;
+    p.send_time = now + cfg_.packet_spacing * i;
+    burst.push_back(p);
+    gcc_.OnPacketSent(p.id, p.bytes, p.send_time);
+    sent_bytes_ += p.bytes;
+    if (cfg_.enable_nack) history_.push_back(p);
+  }
+  while (!history_.empty() &&
+         now - history_.front().send_time > cfg_.rtx_history) {
+    history_.pop_front();
+  }
+  frame_send_times_.push_back(now);
+  while (!frame_send_times_.empty() &&
+         now - frame_send_times_.front() > Seconds(5.0)) {
+    frame_send_times_.pop_front();
+  }
+  return burst;
+}
+
+std::vector<MediaPacket> MediaSender::OnFeedback(
+    const gcc::TransportFeedback& fb) {
+  gcc_.OnFeedback(fb);
+  std::vector<MediaPacket> rtx;
+  if (!cfg_.enable_nack) return rtx;
+  for (const gcc::PacketResult& p : fb.packets) {
+    if (!p.lost()) continue;
+    for (const MediaPacket& h : history_) {
+      if (h.id == p.packet_id) {
+        MediaPacket re = h;
+        re.send_time = fb.feedback_time;  // leaves the pacer immediately
+        rtx.push_back(re);
+        ++rtx_count_;
+        break;
+      }
+    }
+  }
+  return rtx;
+}
+
+double MediaSender::outbound_fps(Time now) const {
+  int n = 0;
+  for (auto it = frame_send_times_.rbegin(); it != frame_send_times_.rend();
+       ++it) {
+    if (now - *it > Seconds(1.0)) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace domino::rtc

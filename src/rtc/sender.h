@@ -1,0 +1,69 @@
+// Media sender: capture clock -> encoder -> packetizer, with GCC closing the
+// loop from transport feedback to the encoder target rate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "gcc/goog_cc.h"
+#include "rtc/encoder.h"
+#include "rtc/packet.h"
+
+namespace domino::rtc {
+
+struct SenderConfig {
+  EncoderConfig encoder;
+  gcc::GccConfig gcc;
+  int mtu_bytes = 1200;
+  bool enable_nack = true;               ///< Retransmit packets the receiver
+                                         ///< reports missing (WebRTC RTX).
+  Duration rtx_history = Seconds(2.0);   ///< How long sent packets stay
+                                         ///< available for retransmission.
+  Duration packet_spacing = Micros(50);  ///< Serialization stagger within a
+                                         ///< frame burst (packets of one
+                                         ///< frame are sent back-to-back).
+};
+
+class MediaSender {
+ public:
+  MediaSender(SenderConfig cfg, Rng rng);
+
+  /// Called on the 30 Hz capture clock. Returns the packet burst for the
+  /// encoded frame (empty if frame-rate adaptation dropped this tick).
+  /// Packets carry staggered send times; GCC is notified per packet.
+  std::vector<MediaPacket> OnCaptureTick(Time now);
+
+  /// Transport feedback arrived (feedback_time must be stamped by caller).
+  /// Returns retransmissions (RTX) for packets the feedback reported lost —
+  /// the caller sends them like fresh media packets.
+  std::vector<MediaPacket> OnFeedback(const gcc::TransportFeedback& fb);
+
+  /// Periodic congestion-controller process tick (every ~25 ms).
+  void OnProcess(Time now) { gcc_.OnProcess(now); }
+
+  [[nodiscard]] const gcc::GoogCc& gcc() const { return gcc_; }
+  [[nodiscard]] const VideoEncoder& encoder() const { return encoder_; }
+
+  /// Frames actually emitted in the trailing 1 s.
+  [[nodiscard]] double outbound_fps(Time now) const;
+  /// Total media bytes sent.
+  [[nodiscard]] long sent_bytes() const { return sent_bytes_; }
+  /// Packets retransmitted in response to loss reports.
+  [[nodiscard]] long rtx_count() const { return rtx_count_; }
+  [[nodiscard]] std::uint64_t last_packet_id() const { return next_packet_id_ - 1; }
+
+ private:
+  SenderConfig cfg_;
+  VideoEncoder encoder_;
+  gcc::GoogCc gcc_;
+  std::uint64_t next_packet_id_ = 1;
+  std::deque<Time> frame_send_times_;
+  std::deque<MediaPacket> history_;  ///< Recent packets, for RTX.
+  long sent_bytes_ = 0;
+  long rtx_count_ = 0;
+};
+
+}  // namespace domino::rtc

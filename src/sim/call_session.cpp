@@ -1,0 +1,424 @@
+#include "sim/call_session.h"
+
+#include <algorithm>
+
+namespace domino::sim {
+
+rtc::SenderConfig DefaultUeSenderConfig() {
+  rtc::SenderConfig cfg;
+  // The UE's camera feed sustains 540p at ~1.4 Mbps; 720p needs headroom the
+  // measured cells rarely provide (Table 3: UL streams ~94% 540p).
+  cfg.encoder.ladder = {
+      {360, 0, 500e3},
+      {540, 700e3, 1.4e6},
+      {720, 2.0e6, 2.6e6},
+      {1080, 3.2e6, 4.2e6},
+  };
+  cfg.gcc.aimd.start_bitrate_bps = 600e3;
+  return cfg;
+}
+
+rtc::SenderConfig DefaultRemoteSenderConfig() {
+  rtc::SenderConfig cfg;
+  // The remote client's source is 360p-dominant (Table 3: DL streams ~94%
+  // 360p) even though its GCC estimate can run much higher (Fig. 8e-h).
+  cfg.encoder.ladder = {
+      {360, 0, 800e3},
+      {540, 2.4e6, 3.0e6},
+      {720, 3.4e6, 4.0e6},
+      {1080, 4.4e6, 5.0e6},
+  };
+  cfg.gcc.aimd.start_bitrate_bps = 600e3;
+  return cfg;
+}
+
+CallSession::CallSession(SessionConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  const CellProfile& p = cfg_.profile;
+  ds_.cell_name = p.name;
+  ds_.is_private_cell = p.is_private;
+  ds_.begin = Time{0};
+  ds_.end = Time{0} + cfg_.duration;
+
+  if (!p.wired_only) {
+    frame_ = std::make_unique<phy::FrameStructure>(p.duplex, p.scs_khz,
+                                                   p.tdd_pattern);
+    rrc_ = std::make_unique<rrc::RrcStateMachine>(p.rrc, rng_.Fork(11));
+    ul_link_ = std::make_unique<mac::CellLink>(
+        queue_, *frame_, p.ul,
+        phy::ChannelModel(p.ul_channel, rng_.Fork(21)), p.rlc, *rrc_,
+        rng_.Fork(31));
+    dl_link_ = std::make_unique<mac::CellLink>(
+        queue_, *frame_, p.dl,
+        phy::ChannelModel(p.dl_channel, rng_.Fork(22)), p.rlc, *rrc_,
+        rng_.Fork(32));
+    for (int i = 0; i < p.cross_ues_ul; ++i) {
+      ul_link_->cross_traffic().AddSource(mac::OnOffSource(
+          p.cross_ul, 0x100 + static_cast<std::uint32_t>(i),
+          rng_.Fork(100 + static_cast<std::uint64_t>(i))));
+    }
+    for (int i = 0; i < p.cross_ues_dl; ++i) {
+      dl_link_->cross_traffic().AddSource(mac::OnOffSource(
+          p.cross_dl, 0x200 + static_cast<std::uint32_t>(i),
+          rng_.Fork(200 + static_cast<std::uint64_t>(i))));
+    }
+  }
+  // Layer stochastic deep-fade episodes over the fading processes.
+  auto add_fades = [this](mac::CellLink* link, double rate_per_min,
+                          std::uint64_t tag) {
+    if (link == nullptr || rate_per_min <= 0) return;
+    Rng fade_rng = rng_.Fork(tag);
+    double t_s = fade_rng.ExpMean(60.0 / rate_per_min);
+    while (t_s < cfg_.duration.seconds()) {
+      double len = std::max(0.3, fade_rng.Normal(cfg_.profile.fade_duration_s,
+                                                 cfg_.profile.fade_duration_s *
+                                                     0.3));
+      link->channel().AddEpisode(phy::ChannelEpisode{
+          Time{0} + Seconds(t_s), Time{0} + Seconds(t_s + len),
+          cfg_.profile.fade_depth_db});
+      t_s += len + fade_rng.ExpMean(60.0 / rate_per_min);
+    }
+  };
+  add_fades(ul_link_.get(), p.fade_rate_per_min_ul, 61);
+  add_fades(dl_link_.get(), p.fade_rate_per_min_dl, 62);
+
+  wired_ul_ = std::make_unique<net::WiredPath>(queue_, p.wired_path,
+                                               rng_.Fork(41));
+  wired_dl_ = std::make_unique<net::WiredPath>(queue_, p.wired_path,
+                                               rng_.Fork(42));
+
+  ue_sender_ =
+      std::make_unique<rtc::MediaSender>(cfg_.ue_sender, rng_.Fork(51));
+  remote_sender_ =
+      std::make_unique<rtc::MediaSender>(cfg_.remote_sender, rng_.Fork(52));
+  ue_receiver_ = std::make_unique<rtc::MediaReceiver>(cfg_.receiver);
+  remote_receiver_ = std::make_unique<rtc::MediaReceiver>(cfg_.receiver);
+  ue_audio_ = std::make_unique<rtc::AudioReceiver>(cfg_.audio);
+  remote_audio_ = std::make_unique<rtc::AudioReceiver>(cfg_.audio);
+
+  if (ul_link_) {
+    ul_link_->on_deliver = [this](std::uint64_t id, Time t) {
+      OnUplinkAtGnb(id, t);
+    };
+    ul_link_->on_drop = [this](std::uint64_t id) { OnDrop(id); };
+    ul_link_->on_dci = [this](const telemetry::DciRecord& r) {
+      ds_.dci.push_back(r);
+    };
+  }
+  if (dl_link_) {
+    dl_link_->on_deliver = [this](std::uint64_t id, Time t) {
+      OnArriveAtUe(id, t);
+    };
+    dl_link_->on_drop = [this](std::uint64_t id) { OnDrop(id); };
+    dl_link_->on_dci = [this](const telemetry::DciRecord& r) {
+      ds_.dci.push_back(r);
+    };
+  }
+}
+
+CallSession::~CallSession() = default;
+
+std::uint64_t CallSession::NewRecord(Direction dir, int bytes, bool is_rtcp,
+                                     std::uint64_t frame_id, Time sent) {
+  std::uint64_t id = next_record_id_++;
+  InFlight inf;
+  inf.record.id = id;
+  inf.record.dir = dir;
+  inf.record.size_bytes = bytes;
+  inf.record.sent = sent;
+  inf.record.is_rtcp = is_rtcp;
+  inf.record.frame_id = frame_id;
+  inf.is_rtcp = is_rtcp;
+  in_flight_.emplace(id, std::move(inf));
+  return id;
+}
+
+void CallSession::FinalizeRecord(telemetry::PacketRecord record) {
+  // Timestamps taken on the remote host carry its clock offset: the send
+  // stamp of DL packets and the receive stamp of UL packets.
+  if (record.dir == Direction::kDownlink) {
+    record.sent = record.sent + cfg_.remote_clock_offset;
+  } else if (!record.lost()) {
+    record.received = record.received + cfg_.remote_clock_offset;
+  }
+  ds_.packets.push_back(record);
+}
+
+void CallSession::RouteUplink(std::uint64_t rec_id) {
+  const InFlight& inf = in_flight_.at(rec_id);
+  if (ul_link_) {
+    ul_link_->Enqueue(rec_id, inf.record.size_bytes);
+  } else {
+    // Wired-only baseline: straight through the wired path.
+    wired_ul_->Send(rec_id, inf.record.size_bytes,
+                    [this](std::uint64_t id, Time t) {
+                      OnArriveAtRemote(id, t);
+                    });
+  }
+}
+
+void CallSession::RouteDownlink(std::uint64_t rec_id) {
+  const InFlight& inf = in_flight_.at(rec_id);
+  wired_dl_->Send(rec_id, inf.record.size_bytes,
+                  [this](std::uint64_t id, Time t) {
+                    OnDownlinkAtGnb(id, t);
+                  });
+}
+
+void CallSession::OnUplinkAtGnb(std::uint64_t rec_id, Time /*t*/) {
+  auto it = in_flight_.find(rec_id);
+  if (it == in_flight_.end()) return;
+  wired_ul_->Send(rec_id, it->second.record.size_bytes,
+                  [this](std::uint64_t id, Time t2) {
+                    OnArriveAtRemote(id, t2);
+                  });
+}
+
+void CallSession::OnDownlinkAtGnb(std::uint64_t rec_id, Time t) {
+  auto it = in_flight_.find(rec_id);
+  if (it == in_flight_.end()) return;
+  if (dl_link_) {
+    dl_link_->Enqueue(rec_id, it->second.record.size_bytes);
+  } else {
+    OnArriveAtUe(rec_id, t);
+  }
+}
+
+void CallSession::OnArriveAtRemote(std::uint64_t rec_id, Time t) {
+  auto it = in_flight_.find(rec_id);
+  if (it == in_flight_.end()) return;
+  InFlight inf = std::move(it->second);
+  in_flight_.erase(it);
+  inf.record.received = t;
+  FinalizeRecord(inf.record);
+  if (inf.is_rtcp) {
+    inf.fb.feedback_time = t;
+    // Loss reports trigger RTX: retransmissions re-enter the DL path.
+    for (const rtc::MediaPacket& p : remote_sender_->OnFeedback(inf.fb)) {
+      std::uint64_t rec = NewRecord(Direction::kDownlink, p.bytes, false,
+                                    p.frame_id, t);
+      in_flight_.at(rec).media = p;
+      RouteDownlink(rec);
+    }
+  } else if (inf.is_audio) {
+    remote_audio_->OnFrame(inf.audio_seq, inf.audio_capture, t);
+  } else {
+    remote_receiver_->OnMediaPacket(inf.media, t);
+  }
+}
+
+void CallSession::OnArriveAtUe(std::uint64_t rec_id, Time t) {
+  auto it = in_flight_.find(rec_id);
+  if (it == in_flight_.end()) return;
+  InFlight inf = std::move(it->second);
+  in_flight_.erase(it);
+  inf.record.received = t;
+  FinalizeRecord(inf.record);
+  if (inf.is_rtcp) {
+    inf.fb.feedback_time = t;
+    for (const rtc::MediaPacket& p : ue_sender_->OnFeedback(inf.fb)) {
+      std::uint64_t rec = NewRecord(Direction::kUplink, p.bytes, false,
+                                    p.frame_id, t);
+      in_flight_.at(rec).media = p;
+      RouteUplink(rec);
+    }
+  } else if (inf.is_audio) {
+    ue_audio_->OnFrame(inf.audio_seq, inf.audio_capture, t);
+  } else {
+    ue_receiver_->OnMediaPacket(inf.media, t);
+  }
+}
+
+void CallSession::OnDrop(std::uint64_t rec_id) {
+  auto it = in_flight_.find(rec_id);
+  if (it == in_flight_.end()) return;
+  InFlight inf = std::move(it->second);
+  in_flight_.erase(it);
+  FinalizeRecord(inf.record);  // received stays Time::max() = lost
+}
+
+void CallSession::CaptureTickUe() {
+  Time now = queue_.now();
+  auto burst = ue_sender_->OnCaptureTick(now);
+  for (const rtc::MediaPacket& p : burst) {
+    std::uint64_t rec = NewRecord(Direction::kUplink, p.bytes, false,
+                                  p.frame_id, p.send_time);
+    in_flight_.at(rec).media = p;
+    queue_.ScheduleAt(p.send_time, [this, rec] { RouteUplink(rec); });
+  }
+}
+
+void CallSession::CaptureTickRemote() {
+  Time now = queue_.now();
+  auto burst = remote_sender_->OnCaptureTick(now);
+  for (const rtc::MediaPacket& p : burst) {
+    std::uint64_t rec = NewRecord(Direction::kDownlink, p.bytes, false,
+                                  p.frame_id, p.send_time);
+    in_flight_.at(rec).media = p;
+    queue_.ScheduleAt(p.send_time, [this, rec] { RouteDownlink(rec); });
+  }
+}
+
+void CallSession::AudioTick(int client) {
+  // One fixed-size audio frame per 20 ms per sender, riding the same path
+  // as the video (UE audio -> UL; remote audio -> DL).
+  Time now = queue_.now();
+  std::uint64_t seq = next_audio_seq_[static_cast<std::size_t>(client)]++;
+  Direction dir = client == 0 ? Direction::kUplink : Direction::kDownlink;
+  std::uint64_t rec = NewRecord(dir, cfg_.audio.packet_bytes, false, seq, now);
+  InFlight& inf = in_flight_.at(rec);
+  inf.is_audio = true;
+  inf.record.is_audio = true;
+  inf.audio_seq = seq;
+  inf.audio_capture = now;
+  if (client == 0) {
+    RouteUplink(rec);
+  } else {
+    RouteDownlink(rec);
+  }
+}
+
+void CallSession::FeedbackTickUe() {
+  // Feedback about the DL media, sent from the UE over the uplink.
+  Time now = queue_.now();
+  ue_receiver_->AdvanceTo(now);
+  gcc::TransportFeedback fb = ue_receiver_->TakeFeedback();
+  if (fb.packets.empty()) return;
+  int bytes = 40 + static_cast<int>(fb.packets.size()) * 8;
+  std::uint64_t rec = NewRecord(Direction::kUplink, bytes, true, 0, now);
+  in_flight_.at(rec).fb = std::move(fb);
+  RouteUplink(rec);
+}
+
+void CallSession::FeedbackTickRemote() {
+  Time now = queue_.now();
+  remote_receiver_->AdvanceTo(now);
+  gcc::TransportFeedback fb = remote_receiver_->TakeFeedback();
+  if (fb.packets.empty()) return;
+  int bytes = 40 + static_cast<int>(fb.packets.size()) * 8;
+  std::uint64_t rec = NewRecord(Direction::kDownlink, bytes, true, 0, now);
+  in_flight_.at(rec).fb = std::move(fb);
+  RouteDownlink(rec);
+}
+
+void CallSession::SampleStats(int client, Time now) {
+  rtc::MediaSender& snd = client == 0 ? *ue_sender_ : *remote_sender_;
+  rtc::MediaReceiver& rcv = client == 0 ? *ue_receiver_ : *remote_receiver_;
+  rcv.AdvanceTo(now);
+
+  telemetry::WebRtcStatsRecord r;
+  r.time = now;
+  r.inbound_fps = rcv.inbound_fps(now);
+  r.outbound_fps = snd.outbound_fps(now);
+  r.outbound_resolution = snd.encoder().resolution();
+  r.jitter_buffer_ms = rcv.jitter_buffer().last_wait_ms();
+  r.target_bitrate_bps = snd.gcc().target_bitrate_bps();
+  r.pushback_bitrate_bps = snd.gcc().pushback_bitrate_bps();
+  r.outstanding_bytes = snd.gcc().outstanding_bytes();
+  r.cwnd_bytes = snd.gcc().cwnd_bytes();
+  r.gcc_state = snd.gcc().state();
+  r.delay_slope = snd.gcc().delay_slope();
+
+  // Concealment comes from the audio playout engine: the fraction of
+  // samples synthesised since the previous stats sample.
+  rtc::AudioReceiver& audio = client == 0 ? *ue_audio_ : *remote_audio_;
+  audio.AdvanceTo(now);
+  auto& last = last_audio_counts_[static_cast<std::size_t>(client)];
+  long played_d = audio.played() - last.first;
+  long concealed_d = audio.concealed() - last.second;
+  last = {audio.played(), audio.concealed()};
+  long total = played_d + concealed_d;
+  r.concealed_ratio =
+      total == 0 ? 0.0 : static_cast<double>(concealed_d) / total;
+  r.frozen = rcv.jitter_buffer().frozen(now);
+
+  ds_.stats[static_cast<std::size_t>(client)].push_back(r);
+}
+
+void CallSession::StatsTick() {
+  Time now = queue_.now();
+  SampleStats(0, now);
+  SampleStats(1, now);
+  if (rrc_) {
+    double rnti = rrc_->rnti();
+    if (rnti != last_rnti_) {
+      ds_.ue_rnti.Push(now, rnti);
+      last_rnti_ = rnti;
+    }
+  } else if (last_rnti_ < 0) {
+    ds_.ue_rnti.Push(now, 0);
+    last_rnti_ = 0;
+  }
+}
+
+void CallSession::GnbLogTick() {
+  if (!cfg_.profile.is_private || !ul_link_) return;
+  Time now = queue_.now();
+  auto sample = [&](mac::CellLink& link, Direction dir, std::size_t idx) {
+    telemetry::GnbLogRecord g;
+    g.time = now;
+    g.rnti = rrc_->rnti();
+    g.dir = dir;
+    g.rlc_buffer_bytes = link.rlc().BufferedBytes();
+    long retx = link.rlc().retx_events();
+    g.rlc_retx = retx > last_rlc_retx_[idx];
+    last_rlc_retx_[idx] = retx;
+    g.rrc_state = rrc_->state();
+    ds_.gnb_log.push_back(g);
+  };
+  sample(*ul_link_, Direction::kUplink, 0);
+  sample(*dl_link_, Direction::kDownlink, 1);
+}
+
+telemetry::SessionDataset CallSession::Run() {
+  if (ul_link_) ul_link_->Start();
+  if (dl_link_) dl_link_->Start();
+  if (rrc_) {
+    last_rnti_ = rrc_->rnti();
+    ds_.ue_rnti.Push(Time{0}, last_rnti_);
+    // NR-Scope tracks the UE's RNTI continuously; record changes instantly
+    // so post-reconnect DCIs are never misattributed to cross traffic.
+    rrc_->on_rnti_change = [this](Time t, std::uint32_t rnti) {
+      ds_.ue_rnti.Push(t, rnti);
+      last_rnti_ = rnti;
+    };
+  }
+
+  // Periodic drivers. The remote capture clock is offset by half a frame so
+  // the two senders don't tick in lockstep.
+  auto every = [this](Duration interval, Duration offset, auto&& fn) {
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [this, interval, fn, loop] {
+      fn();
+      queue_.ScheduleAfter(interval, *loop);
+    };
+    queue_.ScheduleAt(Time{0} + offset, *loop);
+  };
+  every(Millis(25), Millis(7), [this] {
+    Time now = queue_.now();
+    ue_sender_->OnProcess(now);
+    remote_sender_->OnProcess(now);
+  });
+  every(cfg_.capture_interval, Millis(5), [this] { CaptureTickUe(); });
+  every(cfg_.capture_interval, Millis(21), [this] { CaptureTickRemote(); });
+  every(cfg_.audio.frame_interval, Millis(9), [this] { AudioTick(0); });
+  every(cfg_.audio.frame_interval, Millis(11), [this] { AudioTick(1); });
+  every(cfg_.feedback_interval, Millis(13), [this] { FeedbackTickUe(); });
+  every(cfg_.feedback_interval, Millis(17), [this] { FeedbackTickRemote(); });
+  every(cfg_.stats_interval, Millis(25), [this] { StatsTick(); });
+  every(cfg_.gnb_log_interval, Millis(3), [this] { GnbLogTick(); });
+
+  queue_.RunUntil(Time{0} + cfg_.duration);
+
+  // Finalise: unresolved packets older than 2 s are real losses; newer ones
+  // are an end-of-run truncation artifact and are discarded.
+  Time cutoff = queue_.now() - Seconds(2.0);
+  for (auto& [id, inf] : in_flight_) {
+    if (inf.record.sent <= cutoff) FinalizeRecord(inf.record);
+  }
+  in_flight_.clear();
+  if (ds_.ue_rnti.empty()) ds_.ue_rnti.Push(Time{0}, 0);
+  return std::move(ds_);
+}
+
+}  // namespace domino::sim

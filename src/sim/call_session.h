@@ -1,0 +1,152 @@
+// Two-party WebRTC call simulation over one cell profile (the paper's §3
+// experimental setup): the UE client reaches its peer through the 5G uplink
+// + wired leg; the peer's media returns through wired + 5G downlink. RTCP
+// transport feedback rides the same legs in reverse, so reverse-path delay
+// inflation reaches the pushback controller exactly as in Fig. 22.
+//
+// Produces a SessionDataset with all four telemetry streams, time-aligned on
+// the shared simulation clock (the paper synchronised hosts via NTP).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "mac/link.h"
+#include "net/path.h"
+#include "rtc/audio.h"
+#include "rtc/receiver.h"
+#include "rtc/sender.h"
+#include "sim/cell_config.h"
+#include "telemetry/dataset.h"
+
+namespace domino::sim {
+
+/// Default encoder ladders reproduce Table 3's asymmetry: the UE client's
+/// camera feed favours 540p; the remote client sends a 360p-dominant stream.
+rtc::SenderConfig DefaultUeSenderConfig();
+rtc::SenderConfig DefaultRemoteSenderConfig();
+
+struct SessionConfig {
+  CellProfile profile;
+  Duration duration = Seconds(60);
+  std::uint64_t seed = 1;
+
+  /// Offset of the remote host's clock vs the UE host (0 = NTP-perfect,
+  /// as in the paper's setup). Applied to remote-stamped packet timestamps;
+  /// telemetry::EstimateClockOffsetMs / AlignClocks undo it.
+  Duration remote_clock_offset = Micros(0);
+
+  Duration capture_interval = Millis(33);   ///< ~30 fps virtual camera.
+  Duration feedback_interval = Millis(100); ///< RTCP transport feedback.
+  Duration stats_interval = Millis(50);     ///< Instrumented-client stats.
+  Duration gnb_log_interval = Millis(10);   ///< gNB log sampling (private).
+
+  rtc::SenderConfig ue_sender = DefaultUeSenderConfig();
+  rtc::SenderConfig remote_sender = DefaultRemoteSenderConfig();
+  rtc::ReceiverConfig receiver;  ///< Used for both clients.
+  rtc::AudioConfig audio;        ///< Audio stream (both directions).
+};
+
+class CallSession {
+ public:
+  explicit CallSession(SessionConfig cfg);
+  ~CallSession();
+
+  CallSession(const CallSession&) = delete;
+  CallSession& operator=(const CallSession&) = delete;
+
+  // --- Scenario scripting hooks (use before Run) ---------------------------
+  /// Null when the profile is wired-only.
+  mac::CellLink* ul_link() { return ul_link_.get(); }
+  mac::CellLink* dl_link() { return dl_link_.get(); }
+  rrc::RrcStateMachine* rrc() { return rrc_.get(); }
+  EventQueue& queue() { return queue_; }
+
+  // --- Post-run inspection --------------------------------------------------
+  [[nodiscard]] const rtc::MediaSender& ue_sender() const {
+    return *ue_sender_;
+  }
+  [[nodiscard]] const rtc::MediaSender& remote_sender() const {
+    return *remote_sender_;
+  }
+  [[nodiscard]] const rtc::MediaReceiver& ue_receiver() const {
+    return *ue_receiver_;
+  }
+  [[nodiscard]] const rtc::MediaReceiver& remote_receiver() const {
+    return *remote_receiver_;
+  }
+  [[nodiscard]] const rtc::AudioReceiver& ue_audio() const {
+    return *ue_audio_;
+  }
+  [[nodiscard]] const rtc::AudioReceiver& remote_audio() const {
+    return *remote_audio_;
+  }
+
+  /// Runs the call to completion and returns the captured dataset.
+  telemetry::SessionDataset Run();
+
+ private:
+  struct InFlight {
+    telemetry::PacketRecord record;
+    bool is_rtcp = false;
+    bool is_audio = false;
+    rtc::MediaPacket media;       ///< Valid for video packets.
+    gcc::TransportFeedback fb;    ///< Valid when is_rtcp.
+    std::uint64_t audio_seq = 0;  ///< Valid when is_audio.
+    Time audio_capture;
+  };
+
+  std::uint64_t NewRecord(Direction dir, int bytes, bool is_rtcp,
+                          std::uint64_t frame_id, Time sent);
+  /// Applies the remote clock offset to remote-stamped fields and appends
+  /// the record to the dataset.
+  void FinalizeRecord(telemetry::PacketRecord record);
+  void RouteUplink(std::uint64_t rec_id);
+  void RouteDownlink(std::uint64_t rec_id);
+  void OnUplinkAtGnb(std::uint64_t rec_id, Time t);
+  void OnArriveAtRemote(std::uint64_t rec_id, Time t);
+  void OnDownlinkAtGnb(std::uint64_t rec_id, Time t);
+  void OnArriveAtUe(std::uint64_t rec_id, Time t);
+  void OnDrop(std::uint64_t rec_id);
+
+  void CaptureTickUe();
+  void CaptureTickRemote();
+  void AudioTick(int client);
+  void FeedbackTickUe();
+  void FeedbackTickRemote();
+  void StatsTick();
+  void GnbLogTick();
+  void SampleStats(int client, Time now);
+
+  SessionConfig cfg_;
+  Rng rng_;
+  EventQueue queue_;
+
+  std::unique_ptr<phy::FrameStructure> frame_;
+  std::unique_ptr<rrc::RrcStateMachine> rrc_;
+  std::unique_ptr<mac::CellLink> ul_link_;
+  std::unique_ptr<mac::CellLink> dl_link_;
+  std::unique_ptr<net::WiredPath> wired_ul_;  ///< gNB/core -> remote peer.
+  std::unique_ptr<net::WiredPath> wired_dl_;  ///< Remote peer -> gNB/core.
+
+  std::unique_ptr<rtc::MediaSender> ue_sender_;
+  std::unique_ptr<rtc::MediaSender> remote_sender_;
+  std::unique_ptr<rtc::MediaReceiver> ue_receiver_;
+  std::unique_ptr<rtc::MediaReceiver> remote_receiver_;
+  std::unique_ptr<rtc::AudioReceiver> ue_audio_;      ///< Plays DL audio.
+  std::unique_ptr<rtc::AudioReceiver> remote_audio_;  ///< Plays UL audio.
+  std::array<std::uint64_t, 2> next_audio_seq_ = {0, 0};
+  std::array<std::pair<long, long>, 2> last_audio_counts_ = {};
+
+  std::map<std::uint64_t, InFlight> in_flight_;
+  std::uint64_t next_record_id_ = 1;
+
+  telemetry::SessionDataset ds_;
+  std::array<long, 2> last_rlc_retx_ = {0, 0};
+  double last_rnti_ = -1;
+};
+
+}  // namespace domino::sim

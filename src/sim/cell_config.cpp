@@ -1,0 +1,188 @@
+#include "sim/cell_config.h"
+
+#include "phy/tbs.h"
+
+namespace domino::sim {
+
+namespace {
+
+/// Fills both link configs with shared carrier/cell parameters.
+void SetCarrier(CellProfile& p) {
+  phy::CarrierConfig carrier;
+  carrier.total_prbs = phy::PrbsForBandwidth(p.bandwidth_mhz, p.scs_khz);
+  p.ul.carrier = carrier;
+  p.dl.carrier = carrier;
+  p.ul.dir = Direction::kUplink;
+  p.dl.dir = Direction::kDownlink;
+}
+
+}  // namespace
+
+CellProfile TMobileFdd15() {
+  CellProfile p;
+  p.name = "T-Mobile FDD 15MHz";
+  p.is_private = false;
+  p.duplex = phy::Duplex::kFdd;
+  p.scs_khz = 15;
+  p.bandwidth_mhz = 15;
+  SetCarrier(p);
+
+  // Heavily shared cell: small per-grant share -> many TBs per video frame
+  // (Fig. 14b's large delay spread).
+  p.ul.grant_delay = Millis(8);
+  p.ul.harq_rtt = Millis(8);
+  p.dl.harq_rtt = Millis(8);
+  p.ul.ue_max_prbs = 12;
+  p.dl.ue_max_prbs = 24;
+  p.ul.mcs_offset = -2;
+  p.dl.mcs_offset = -2;
+
+  p.ul_channel = {.base_sinr_db = 15.0, .sigma_db = 2.5, .coherence_ms = 80};
+  p.dl_channel = {.base_sinr_db = 16.0, .sigma_db = 2.5, .coherence_ms = 80};
+
+  // Prevalent asymmetric cross traffic: many backlogged DL flows that the
+  // proportional-fair scheduler favours (§5.1.2 / Fig. 8f).
+  p.cross_ues_dl = 12;
+  p.cross_dl = {.mean_on_s = 2.5, .mean_off_s = 4.5, .rate_bps = 40e6};
+  p.dl.cross_traffic_weight = 3.5;
+  p.cross_ues_ul = 2;
+  p.cross_ul = {.mean_on_s = 0.5, .mean_off_s = 12.0, .rate_bps = 10e6};
+
+  // Intermittent RRC releases during active transfer (§5.3).
+  p.rrc.random_release_rate_per_min = 0.6;
+  p.rrc.transition_duration = Millis(300);
+
+  p.fade_rate_per_min_ul = 0.3;
+  p.fade_rate_per_min_dl = 0.3;
+  p.fade_depth_db = -13.0;
+
+  // GCP-hosted peer ~150 miles away.
+  p.wired_path = {.base_delay = Millis(12), .jitter_sigma = 0.5,
+                  .jitter_scale_ms = 0.5, .loss_rate = 1e-4};
+  return p;
+}
+
+CellProfile TMobileTdd100() {
+  CellProfile p;
+  p.name = "T-Mobile TDD 100MHz";
+  p.is_private = false;
+  p.duplex = phy::Duplex::kTdd;
+  p.scs_khz = 30;
+  p.tdd_pattern = "DDDSU";
+  p.bandwidth_mhz = 100;
+  SetCarrier(p);
+
+  p.ul.grant_delay = Millis(12);
+  p.ul.harq_rtt = Millis(5);
+  p.dl.harq_rtt = Millis(5);
+  p.ul_channel = {.base_sinr_db = 17.0, .sigma_db = 2.0, .coherence_ms = 80};
+  p.dl_channel = {.base_sinr_db = 18.0, .sigma_db = 2.0, .coherence_ms = 80};
+
+  p.cross_ues_dl = 6;
+  p.cross_dl = {.mean_on_s = 0.8, .mean_off_s = 8.0, .rate_bps = 80e6};
+  p.dl.cross_traffic_weight = 1.5;
+  p.cross_ues_ul = 2;
+  p.cross_ul = {.mean_on_s = 0.5, .mean_off_s = 10.0, .rate_bps = 20e6};
+
+  p.fade_rate_per_min_ul = 0.2;
+  p.fade_rate_per_min_dl = 0.2;
+  p.fade_depth_db = -12.0;
+
+  p.wired_path = {.base_delay = Millis(12), .jitter_sigma = 0.5,
+                  .jitter_scale_ms = 0.5, .loss_rate = 1e-4};
+  return p;
+}
+
+CellProfile Amarisoft() {
+  CellProfile p;
+  p.name = "Amarisoft";
+  p.is_private = true;
+  p.duplex = phy::Duplex::kTdd;
+  p.scs_khz = 30;
+  p.tdd_pattern = "DDDSU";
+  p.bandwidth_mhz = 20;
+  SetCarrier(p);
+
+  p.ul.grant_delay = Millis(18);
+  p.ul.harq_rtt = Millis(10);
+  p.dl.harq_rtt = Millis(10);
+
+  // Persistent poor UL channel + conservative UL MCS selection (§5.1.1):
+  // the UL bitrate sits far below the DL (Fig. 8g).
+  p.ul_channel = {.base_sinr_db = 8.5, .sigma_db = 3.5, .coherence_ms = 60};
+  p.dl_channel = {.base_sinr_db = 16.0, .sigma_db = 2.0, .coherence_ms = 80};
+  p.ul.mcs_offset = -2;
+  p.ul.prb_cap_sinr_db = 8.0;
+  p.ul.prb_cap_frac = 0.6;
+  // Weaker combining makes HARQ exhaustion (and thus RLC retx, §5.2.3)
+  // observable during deep fades.
+  p.ul.harq_combining_gain_db = 1.5;
+  p.dl.harq_combining_gain_db = 3.0;
+
+  // RLC recovery: four failed HARQ rounds (~40 ms) plus the status-report
+  // turnaround ~= the paper's 105 ms inflation (Fig. 18).
+  p.rlc.retx_delay = Millis(65);
+
+  // Frequent UL fades: the persistent poor-channel episodes of Fig. 12.
+  p.fade_rate_per_min_ul = 1.5;
+  p.fade_rate_per_min_dl = 0.1;
+  p.fade_duration_s = 2.5;
+  p.fade_depth_db = -9.0;
+
+  // Private cell: essentially no cross traffic.
+  p.cross_ues_dl = 1;
+  p.cross_dl = {.mean_on_s = 0.3, .mean_off_s = 30.0, .rate_bps = 10e6};
+
+  // Local wired peer in the same subnet as the 5G core.
+  p.wired_path = {.base_delay = Millis(2), .jitter_sigma = 0.3,
+                  .jitter_scale_ms = 0.15, .loss_rate = 0.0};
+  return p;
+}
+
+CellProfile Mosolabs() {
+  CellProfile p;
+  p.name = "Mosolabs";
+  p.is_private = true;
+  p.duplex = phy::Duplex::kTdd;
+  p.scs_khz = 30;
+  p.tdd_pattern = "DDDSU";
+  p.bandwidth_mhz = 20;
+  SetCarrier(p);
+
+  p.ul.grant_delay = Millis(10);
+  p.ul.harq_rtt = Millis(8);
+  p.dl.harq_rtt = Millis(8);
+  // Proactive UL grants: small pre-allocations every UL slot (Fig. 16).
+  p.ul.proactive_grant_bytes = 900;
+  p.ul.mcs_offset = -1;
+  p.dl.mcs_offset = -1;
+
+  p.ul_channel = {.base_sinr_db = 14.0, .sigma_db = 2.0, .coherence_ms = 80};
+  p.dl_channel = {.base_sinr_db = 16.0, .sigma_db = 2.0, .coherence_ms = 80};
+
+  p.cross_ues_dl = 1;
+  p.cross_dl = {.mean_on_s = 0.3, .mean_off_s = 30.0, .rate_bps = 10e6};
+
+  p.wired_path = {.base_delay = Millis(2), .jitter_sigma = 0.3,
+                  .jitter_scale_ms = 0.15, .loss_rate = 0.0};
+  return p;
+}
+
+CellProfile WiredBaseline() {
+  CellProfile p;
+  p.name = "Wired";
+  p.wired_only = true;
+  p.duplex = phy::Duplex::kFdd;
+  p.scs_khz = 15;
+  p.bandwidth_mhz = 20;
+  SetCarrier(p);
+  p.wired_path = {.base_delay = Millis(12), .jitter_sigma = 0.5,
+                  .jitter_scale_ms = 0.4, .loss_rate = 5e-5};
+  return p;
+}
+
+std::vector<CellProfile> AllCells() {
+  return {TMobileTdd100(), TMobileFdd15(), Amarisoft(), Mosolabs()};
+}
+
+}  // namespace domino::sim

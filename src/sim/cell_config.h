@@ -1,0 +1,76 @@
+// Cell profiles for the four 5G cells measured in the paper (Table 1), plus
+// a wired-only baseline. Parameters are chosen to reproduce each cell's
+// qualitative behaviour documented in §3 and §5:
+//
+//   T-Mobile FDD 15 MHz  — heavily shared commercial cell: strong DL cross
+//                          traffic, small per-grant PRB share (large delay
+//                          spread), intermittent RRC releases (§5.3).
+//   T-Mobile TDD 100 MHz — wide commercial cell: high bandwidth, mild cross
+//                          traffic, TDD UL scheduling gaps.
+//   Amarisoft (private)  — persistent poor UL channel + conservative UL MCS
+//                          (§5.1.1), HARQ limit 4 -> RLC retx (§5.2.3),
+//                          gNB logs available.
+//   Mosolabs (private)   — proactive UL grants (§5.2.1/Fig. 16), good
+//                          channel, gNB logs available.
+#pragma once
+
+#include <string>
+
+#include "mac/cross_traffic.h"
+#include "mac/link.h"
+#include "net/path.h"
+#include "phy/channel.h"
+#include "phy/frame_structure.h"
+#include "rlc/rlc_am.h"
+#include "rrc/rrc.h"
+
+namespace domino::sim {
+
+struct CellProfile {
+  std::string name;
+  bool is_private = false;  ///< gNB logs (RLC/RRC) available to Domino.
+  bool wired_only = false;  ///< Baseline: no cellular leg at all.
+
+  phy::Duplex duplex = phy::Duplex::kTdd;
+  int scs_khz = 30;
+  std::string tdd_pattern = "DDDSU";
+  double bandwidth_mhz = 20;
+
+  mac::LinkConfig ul;
+  mac::LinkConfig dl;
+  phy::ChannelConfig ul_channel;
+  phy::ChannelConfig dl_channel;
+  rlc::RlcConfig rlc;
+  rrc::RrcConfig rrc;
+
+  int cross_ues_ul = 0;
+  int cross_ues_dl = 0;
+  mac::OnOffConfig cross_ul;
+  mac::OnOffConfig cross_dl;
+
+  // Stochastic deep-fade episodes (mobility/interference transients) layered
+  // on the Gauss-Markov fading; these produce the paper's intermittent
+  // "poor channel" cause in longitudinal runs.
+  double fade_rate_per_min_ul = 0.0;
+  double fade_rate_per_min_dl = 0.0;
+  double fade_duration_s = 2.0;
+  double fade_depth_db = -12.0;
+
+  net::PathConfig wired_path;  ///< Non-cellular leg (campus <-> server).
+};
+
+/// T-Mobile 622.85 MHz / 15 MHz / FDD commercial cell.
+CellProfile TMobileFdd15();
+/// T-Mobile 2506.95 MHz / 100 MHz / TDD commercial cell.
+CellProfile TMobileTdd100();
+/// Amarisoft Callbox private cell (3547.20 MHz / 20 MHz / TDD).
+CellProfile Amarisoft();
+/// Mosolabs Canopy private cell (3630.72 MHz / 20 MHz / TDD).
+CellProfile Mosolabs();
+/// Wired-to-wired baseline (Figs. 2-4 comparison).
+CellProfile WiredBaseline();
+
+/// All four 5G cells, in Table 1 order.
+std::vector<CellProfile> AllCells();
+
+}  // namespace domino::sim

@@ -1,0 +1,230 @@
+#include "sim/zoom_campus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "net/wifi.h"
+#include "sim/call_session.h"
+#include "sim/cell_config.h"
+
+namespace domino::sim {
+
+const char* ToString(AccessNetwork n) {
+  switch (n) {
+    case AccessNetwork::kWired:
+      return "wired";
+    case AccessNetwork::kWifi:
+      return "wifi";
+    default:
+      return "cellular";
+  }
+}
+
+namespace {
+
+/// Edge-of-coverage cellular profile: campus users far from the serving
+/// cell see deeper, more frequent fades and a constrained device buffer —
+/// the population that dominates the loss tail of the Zoom data.
+CellProfile EdgeOfCoverage() {
+  CellProfile p = Amarisoft();
+  p.name = "EdgeOfCoverage";
+  p.ul_channel.base_sinr_db = 5.5;
+  // Outage-grade fades (passing behind a building, elevator, parking
+  // garage): the radio goes dark for seconds while the sender is still at
+  // full rate, overflowing the constrained device buffer before GCC backs
+  // off — the loss the campus Zoom data shows for cellular users.
+  p.fade_rate_per_min_ul = 5.0;
+  p.fade_rate_per_min_dl = 2.0;
+  p.fade_duration_s = 2.5;
+  p.fade_depth_db = -25.0;
+  p.rlc.max_buffer_bytes = 64 * 1024;  // small device buffer -> drops
+  // A shared suburban macro also carries other users.
+  p.cross_ues_dl = 4;
+  p.cross_dl = {.mean_on_s = 1.5, .mean_off_s = 6.0, .rate_bps = 20e6};
+  p.dl.cross_traffic_weight = 2.0;
+  return p;
+}
+
+/// Jitter of a delay sequence, as Zoom's per-minute QoS reports it:
+/// dispersion of the delays over the interval (standard deviation).
+/// Consecutive-packet deltas would understate cellular jitter, where
+/// packets of one burst share a queue but bursts see very different delays.
+double JitterOf(const std::vector<double>& owd_ms) {
+  if (owd_ms.size() < 2) return 0.0;
+  double mean = 0;
+  for (double v : owd_ms) mean += v;
+  mean /= static_cast<double>(owd_ms.size());
+  double s2 = 0;
+  for (double v : owd_ms) s2 += (v - mean) * (v - mean);
+  return std::sqrt(s2 / static_cast<double>(owd_ms.size() - 1));
+}
+
+std::vector<CellularChunkStats> BuildPoolUncached(int chunk_seconds) {
+  std::vector<CellularChunkStats> pool;
+  const std::vector<CellProfile> profiles = {
+      TMobileFdd15(), TMobileTdd100(), Amarisoft(), EdgeOfCoverage()};
+  std::uint64_t seed = 101;
+  for (const CellProfile& profile : profiles) {
+    SessionConfig cfg;
+    cfg.profile = profile;
+    cfg.duration = Seconds(60);
+    cfg.seed = seed++;
+    CallSession session(cfg);
+    telemetry::SessionDataset ds = session.Run();
+
+    // Slice media packets into chunks by send time.
+    const Duration chunk = Seconds(static_cast<double>(chunk_seconds));
+    auto chunk_count = static_cast<std::size_t>(
+        ds.duration() / chunk);
+    struct Acc {
+      std::vector<double> owd_ul, owd_dl;
+      long lost_ul = 0, total_ul = 0, lost_dl = 0, total_dl = 0;
+    };
+    std::vector<Acc> accs(chunk_count);
+    for (const auto& p : ds.packets) {
+      if (p.is_rtcp) continue;
+      auto idx = static_cast<std::size_t>((p.sent - ds.begin) / chunk);
+      if (idx >= chunk_count) continue;
+      Acc& a = accs[idx];
+      if (p.dir == Direction::kUplink) {
+        ++a.total_ul;
+        if (p.lost()) {
+          ++a.lost_ul;
+        } else {
+          a.owd_ul.push_back(p.one_way_delay().millis());
+        }
+      } else {
+        ++a.total_dl;
+        if (p.lost()) {
+          ++a.lost_dl;
+        } else {
+          a.owd_dl.push_back(p.one_way_delay().millis());
+        }
+      }
+    }
+    for (const Acc& a : accs) {
+      if (a.total_ul == 0 || a.total_dl == 0) continue;
+      CellularChunkStats s;
+      s.jitter_out_ms = JitterOf(a.owd_ul);  // outbound = uplink
+      s.jitter_in_ms = JitterOf(a.owd_dl);
+      s.loss_out_pct = 100.0 * static_cast<double>(a.lost_ul) /
+                       static_cast<double>(a.total_ul);
+      s.loss_in_pct = 100.0 * static_cast<double>(a.lost_dl) /
+                      static_cast<double>(a.total_dl);
+      double med_ul = a.owd_ul.empty() ? 0 : a.owd_ul[a.owd_ul.size() / 2];
+      double med_dl = a.owd_dl.empty() ? 0 : a.owd_dl[a.owd_dl.size() / 2];
+      s.rtt_ms = med_ul + med_dl;
+      pool.push_back(s);
+    }
+  }
+  return pool;
+}
+
+ZoomQosRecord DrawWired(Rng& rng) {
+  ZoomQosRecord r;
+  r.network = AccessNetwork::kWired;
+  r.jitter_in_ms = rng.LogNormal(-0.1, 0.45);
+  r.jitter_out_ms = rng.LogNormal(-0.1, 0.45);
+  if (rng.Chance(0.02)) {
+    r.loss_in_pct = std::min(rng.LogNormal(-2.3, 0.8), 5.0);
+  }
+  if (rng.Chance(0.025)) {
+    r.loss_out_pct = std::min(rng.LogNormal(-2.2, 0.8), 5.0);
+  }
+  r.rtt_ms = std::max(1.0, rng.Normal(15, 4));
+  return r;
+}
+
+ZoomQosRecord DrawWifi(const CampusConfig& cfg, Rng& rng) {
+  ZoomQosRecord r;
+  r.network = AccessNetwork::kWifi;
+  // Contention varies by minute: mostly light, occasionally a crowded BSS.
+  int contenders = 1 + rng.Poisson(cfg.wifi_mean_contenders - 1);
+  net::WifiChannel channel(net::WifiConfig{}, rng.Fork(rng.UniformInt(1, 1 << 30)));
+
+  auto sample = [&](int n) {
+    std::vector<double> delays;
+    long drops = 0;
+    for (int i = 0; i < cfg.wifi_frames_per_minute; ++i) {
+      auto out = channel.SendFrame(n);
+      if (out.delivered) {
+        delays.push_back(out.delay_ms);
+      } else {
+        ++drops;
+      }
+    }
+    double loss =
+        100.0 * static_cast<double>(drops) / cfg.wifi_frames_per_minute;
+    return std::make_pair(JitterOf(delays), loss);
+  };
+  // Downlink comes from the AP (contends with the stations); the client's
+  // uplink additionally competes with the AP itself.
+  auto [jin, lin] = sample(contenders);
+  auto [jout, lout] = sample(contenders + 1);
+  r.jitter_in_ms = jin;
+  r.jitter_out_ms = jout;
+  r.loss_in_pct = lin;
+  r.loss_out_pct = lout;
+  r.rtt_ms = std::max(2.0, rng.Normal(22, 8));
+  return r;
+}
+
+ZoomQosRecord DrawCellular(const std::vector<CellularChunkStats>& pool,
+                           Rng& rng) {
+  ZoomQosRecord r;
+  r.network = AccessNetwork::kCellular;
+  const CellularChunkStats& s =
+      pool[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(pool.size()) - 1))];
+  // Small multiplicative noise so repeated draws of one chunk differ.
+  double noise = rng.LogNormal(0.0, 0.15);
+  r.jitter_in_ms = s.jitter_in_ms * noise;
+  r.jitter_out_ms = s.jitter_out_ms * noise;
+  r.loss_in_pct = s.loss_in_pct;
+  r.loss_out_pct = s.loss_out_pct;
+  r.rtt_ms = std::max(5.0, s.rtt_ms * noise + 20.0);  // + core/Internet legs
+  return r;
+}
+
+}  // namespace
+
+std::vector<CellularChunkStats> BuildCellularPool(int chunk_seconds) {
+  return BuildPoolUncached(chunk_seconds);
+}
+
+std::vector<ZoomQosRecord> GenerateCampusDataset(const CampusConfig& cfg,
+                                                 Rng rng) {
+  // The cellular pool depends only on the chunk length: cache it across
+  // calls (the bench sweeps call this several times).
+  static std::mutex mu;
+  static std::map<int, std::vector<CellularChunkStats>> cache;
+  const std::vector<CellularChunkStats>* pool = nullptr;
+  if (cfg.cellular_minutes > 0) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(cfg.cellular_chunk_seconds);
+    if (it == cache.end()) {
+      it = cache.emplace(cfg.cellular_chunk_seconds,
+                         BuildPoolUncached(cfg.cellular_chunk_seconds))
+               .first;
+    }
+    pool = &it->second;
+  }
+
+  std::vector<ZoomQosRecord> out;
+  out.reserve(static_cast<std::size_t>(cfg.wired_minutes + cfg.wifi_minutes +
+                                       cfg.cellular_minutes));
+  for (int i = 0; i < cfg.wired_minutes; ++i) {
+    out.push_back(DrawWired(rng));
+  }
+  for (int i = 0; i < cfg.wifi_minutes; ++i) {
+    out.push_back(DrawWifi(cfg, rng));
+  }
+  for (int i = 0; i < cfg.cellular_minutes; ++i) {
+    out.push_back(DrawCellular(*pool, rng));
+  }
+  return out;
+}
+
+}  // namespace domino::sim

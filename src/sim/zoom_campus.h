@@ -1,0 +1,71 @@
+// Campus-wide Zoom QoS dataset generator (§2.2 substitution).
+//
+// The paper analyses one week of Zoom QSS API records for every meeting on
+// campus (409 days Wi-Fi, 86 days wired, 165 hours cellular of per-minute
+// QoS samples). That dataset is proprietary; this generator synthesises
+// per-minute records from models instead:
+//
+//   wired    — parametric: low log-normal jitter, rare loss events.
+//   wifi     — a CSMA/CA DCF contention model (net/wifi.h): each minute
+//              draws a contender count and transmits a frame sample; jitter
+//              and loss fall out of backoff dynamics and retry exhaustion.
+//   cellular — bootstrapped from actual simulated calls over the modelled
+//              5G cells (including an edge-of-coverage variant): 10-second
+//              trace chunks are reduced to per-minute jitter/loss samples.
+//
+// The paper's findings this must preserve: cellular jitter/loss > Wi-Fi >
+// wired, outbound (uplink) worse than inbound on cellular, heavy tails.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace domino::sim {
+
+enum class AccessNetwork { kWired, kWifi, kCellular };
+
+const char* ToString(AccessNetwork n);
+
+/// One per-minute Zoom QoS sample for one meeting participant.
+struct ZoomQosRecord {
+  AccessNetwork network = AccessNetwork::kWired;
+  double jitter_in_ms = 0;   ///< Inbound (downlink) jitter.
+  double jitter_out_ms = 0;  ///< Outbound (uplink) jitter.
+  double loss_in_pct = 0;
+  double loss_out_pct = 0;
+  double rtt_ms = 0;
+};
+
+struct CampusConfig {
+  // Minutes of data per technology; defaults scale the paper's mix down to
+  // something a bench regenerates in seconds.
+  int wired_minutes = 20000;
+  int wifi_minutes = 80000;
+  int cellular_minutes = 9900;  ///< 165 hours.
+
+  double wifi_mean_contenders = 2.5;  ///< Mean stations sharing the BSS.
+  int wifi_frames_per_minute = 120;   ///< Frame sample per direction.
+  int cellular_chunk_seconds = 10;    ///< Bootstrap chunk length.
+};
+
+/// Generates the synthetic campus dataset. The first call builds the
+/// cellular bootstrap pool by running short calls over the modelled cells
+/// (a few seconds of compute); the pool is cached per (seed-independent)
+/// process.
+std::vector<ZoomQosRecord> GenerateCampusDataset(const CampusConfig& cfg,
+                                                 Rng rng);
+
+/// Per-chunk cellular statistics used by the bootstrap (exposed for tests).
+struct CellularChunkStats {
+  double jitter_in_ms = 0;
+  double jitter_out_ms = 0;
+  double loss_in_pct = 0;
+  double loss_out_pct = 0;
+  double rtt_ms = 0;
+};
+
+/// Builds the cellular bootstrap pool (runs the simulations).
+std::vector<CellularChunkStats> BuildCellularPool(int chunk_seconds);
+
+}  // namespace domino::sim

@@ -1,0 +1,37 @@
+#include "telemetry/align.h"
+
+#include <algorithm>
+
+namespace domino::telemetry {
+
+double EstimateClockOffsetMs(const SessionDataset& ds,
+                             double expected_floor_asymmetry_ms) {
+  double min_ul = 1e300, min_dl = 1e300;
+  for (const auto& p : ds.packets) {
+    if (p.lost()) continue;
+    double owd = p.one_way_delay().millis();
+    if (p.dir == Direction::kUplink) {
+      min_ul = std::min(min_ul, owd);
+    } else {
+      min_dl = std::min(min_dl, owd);
+    }
+  }
+  if (min_ul >= 1e300 || min_dl >= 1e300) return 0.0;
+  // UL observed delays carry +offset (remote receive stamp), DL carry
+  // -offset (remote send stamp): the half-difference cancels the common
+  // floor, leaving offset + half the true floor asymmetry.
+  return (min_ul - min_dl - expected_floor_asymmetry_ms) / 2.0;
+}
+
+void AlignClocks(SessionDataset& ds, double offset_ms) {
+  Duration offset = Seconds(offset_ms / 1e3);
+  for (auto& p : ds.packets) {
+    if (p.dir == Direction::kDownlink) {
+      p.sent = p.sent - offset;        // remote send stamp -> local clock
+    } else if (!p.lost()) {
+      p.received = p.received - offset;  // remote receive stamp
+    }
+  }
+}
+
+}  // namespace domino::telemetry

@@ -1,0 +1,34 @@
+// Clock alignment between the two capture hosts.
+//
+// The paper synchronised hosts with NTP (§3) because one-way delay — the
+// backbone of the whole analysis — is meaningless across skewed clocks.
+// This module provides the software fallback for deployments without tight
+// NTP: estimate the remote host's clock offset from the packet traces
+// themselves and rewrite remote-stamped timestamps onto the local clock.
+//
+// Estimator: the minimum *observed* one-way delay in each direction bounds
+// the offset (true delays cannot be negative); under the assumption that the
+// *floor* delays of the two directions are equal, the offset is
+//     offset = (min_owd_ul_observed - min_owd_dl_observed) / 2.
+// On asymmetric cellular paths the floors differ (UL scheduling adds ~5 to
+// 15 ms), so the estimate is biased by half that gap — acceptable for event
+// detection, and exact on symmetric (wired) paths. Pass the known floor
+// asymmetry to remove the bias when it matters.
+#pragma once
+
+#include "telemetry/dataset.h"
+
+namespace domino::telemetry {
+
+/// Estimated offset of the remote clock relative to the local clock, in ms
+/// (positive = remote clock runs ahead). `expected_floor_asymmetry_ms` is
+/// the known min(UL) - min(DL) delay gap (0 = assume symmetric floors).
+/// Returns 0 when either direction has no delivered packets.
+double EstimateClockOffsetMs(const SessionDataset& ds,
+                             double expected_floor_asymmetry_ms = 0.0);
+
+/// Rewrites remote-stamped timestamps onto the local clock: DL packet send
+/// times and UL packet receive times have `offset_ms` subtracted.
+void AlignClocks(SessionDataset& ds, double offset_ms);
+
+}  // namespace domino::telemetry

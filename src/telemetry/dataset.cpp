@@ -1,0 +1,116 @@
+#include "telemetry/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace domino::telemetry {
+
+namespace {
+
+/// Accumulates per-bin byte counts and emits a bits/s series.
+class RateBinner {
+ public:
+  RateBinner(Time begin, Duration bin) : begin_(begin), bin_(bin) {}
+
+  void Add(Time t, double bytes) {
+    if (t < begin_) return;
+    auto idx = static_cast<std::size_t>((t - begin_) / bin_);
+    if (bins_.size() <= idx) bins_.resize(idx + 1, 0.0);
+    bins_[idx] += bytes;
+  }
+
+  [[nodiscard]] TimeSeries<double> ToSeries() const {
+    TimeSeries<double> out;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      out.Push(begin_ + bin_ * static_cast<std::int64_t>(i),
+               bins_[i] * 8.0 / bin_.seconds());
+    }
+    return out;
+  }
+
+ private:
+  Time begin_;
+  Duration bin_;
+  std::vector<double> bins_;
+};
+
+}  // namespace
+
+DerivedTrace BuildDerivedTrace(const SessionDataset& ds) {
+  DerivedTrace trace;
+  trace.begin = ds.begin;
+  trace.end = ds.end;
+  trace.has_gnb_log = ds.is_private_cell;
+
+  const Duration kBin = Millis(50);
+  std::array<RateBinner, 2> app_rate = {RateBinner(ds.begin, kBin),
+                                        RateBinner(ds.begin, kBin)};
+  std::array<RateBinner, 2> tbs_rate = {RateBinner(ds.begin, kBin),
+                                        RateBinner(ds.begin, kBin)};
+
+  for (const DciRecord& d : ds.dci) {
+    auto di = static_cast<std::size_t>(d.dir == Direction::kDownlink);
+    DirectionSeries& s = trace.dir[di];
+    // NR-Scope knows the UE's RNTI trajectory; other RNTIs = cross traffic.
+    auto our_rnti =
+        static_cast<std::uint32_t>(ds.ue_rnti.ValueAt(d.time, 0.0));
+    if (d.rnti == our_rnti) {
+      s.tbs_bytes.Push(d.time, d.tbs_bytes);
+      s.prb_self.Push(d.time, d.prbs);
+      s.mcs.Push(d.time, d.mcs);
+      s.rnti.Push(d.time, d.rnti);
+      if (d.is_retx) s.harq_retx.Push(d.time, 1.0);
+      if (!d.is_retx) tbs_rate[di].Add(d.time, d.tbs_bytes);
+    } else {
+      s.prb_other.Push(d.time, d.prbs);
+    }
+  }
+
+  for (const GnbLogRecord& g : ds.gnb_log) {
+    if (!g.rlc_retx) continue;
+    auto di = static_cast<std::size_t>(g.dir == Direction::kDownlink);
+    trace.dir[di].rlc_retx.Push(g.time, 1.0);
+  }
+
+  // Packet records may be appended in arrival order; the one-way-delay
+  // series must be ordered by send time, so sort a copy.
+  std::vector<PacketRecord> packets = ds.packets;
+  std::sort(packets.begin(), packets.end(),
+            [](const PacketRecord& a, const PacketRecord& b) {
+              return a.sent < b.sent;
+            });
+  for (const PacketRecord& p : packets) {
+    auto di = static_cast<std::size_t>(p.dir == Direction::kDownlink);
+    if (!p.lost()) {
+      trace.dir[di].owd_ms.Push(p.sent, p.one_way_delay().millis());
+    }
+    if (!p.is_rtcp) app_rate[di].Add(p.sent, p.size_bytes);
+  }
+
+  for (int c = 0; c < 2; ++c) {
+    ClientSeries& cs = trace.client[static_cast<std::size_t>(c)];
+    for (const WebRtcStatsRecord& r :
+         ds.stats[static_cast<std::size_t>(c)]) {
+      cs.inbound_fps.Push(r.time, r.inbound_fps);
+      cs.outbound_fps.Push(r.time, r.outbound_fps);
+      cs.outbound_resolution.Push(r.time, r.outbound_resolution);
+      cs.jitter_buffer_ms.Push(r.time, r.jitter_buffer_ms);
+      cs.target_bitrate_bps.Push(r.time, r.target_bitrate_bps);
+      cs.pushback_bitrate_bps.Push(r.time, r.pushback_bitrate_bps);
+      cs.outstanding_bytes.Push(r.time, r.outstanding_bytes);
+      cs.cwnd_bytes.Push(r.time, r.cwnd_bytes);
+      cs.overuse.Push(r.time,
+                      r.gcc_state == NetworkState::kOveruse ? 1.0 : 0.0);
+    }
+  }
+
+  for (int d = 0; d < 2; ++d) {
+    trace.dir[static_cast<std::size_t>(d)].app_bitrate_bps =
+        app_rate[static_cast<std::size_t>(d)].ToSeries();
+    trace.dir[static_cast<std::size_t>(d)].tbs_bitrate_bps =
+        tbs_rate[static_cast<std::size_t>(d)].ToSeries();
+  }
+  return trace;
+}
+
+}  // namespace domino::telemetry

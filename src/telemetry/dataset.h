@@ -1,0 +1,83 @@
+// Session dataset: everything captured during one measured call, across all
+// layers — the input to the Domino analysis pipeline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/timeseries.h"
+#include "telemetry/records.h"
+
+namespace domino::telemetry {
+
+/// Index of the UE-side (cellular) client in per-client arrays.
+inline constexpr int kUeClient = 0;
+/// Index of the wired/remote client.
+inline constexpr int kRemoteClient = 1;
+
+struct SessionDataset {
+  std::string cell_name;
+  bool is_private_cell = false;  ///< gNB logs (RLC/RRC) available.
+  Time begin{0};
+  Time end{0};
+
+  std::vector<DciRecord> dci;
+  std::vector<GnbLogRecord> gnb_log;
+  std::vector<PacketRecord> packets;
+  /// 50 ms application stats; [0] = UE client, [1] = remote client.
+  std::array<std::vector<WebRtcStatsRecord>, 2> stats;
+  /// The UE's RNTI over time (changes at RRC re-establishment). NR-Scope
+  /// knows this because it tracks the UE under test.
+  TimeSeries<double> ue_rnti;
+
+  [[nodiscard]] Duration duration() const { return end - begin; }
+};
+
+/// Per-direction series derived from the raw records (UL = 0, DL = 1 in
+/// DerivedTrace::dir).
+struct DirectionSeries {
+  TimeSeries<double> tbs_bytes;    ///< Our UE's per-TB allocated size.
+  TimeSeries<double> prb_self;     ///< Our UE's PRBs per slot (with a DCI).
+  TimeSeries<double> prb_other;    ///< Cross-traffic UEs' PRBs per slot.
+  TimeSeries<double> mcs;          ///< Our UE's selected MCS per TB.
+  TimeSeries<double> harq_retx;    ///< 1.0 sample per HARQ retransmission.
+  TimeSeries<double> rlc_retx;     ///< 1.0 sample per RLC retx log entry.
+  TimeSeries<double> owd_ms;       ///< Packet one-way delay (at send time).
+  TimeSeries<double> app_bitrate_bps;  ///< Application send rate (50 ms bins).
+  TimeSeries<double> tbs_bitrate_bps;  ///< TBS converted to rate (50 ms bins).
+  TimeSeries<double> rnti;         ///< Our UE's RNTI (per DCI).
+};
+
+/// Per-client application series; mirrors WebRtcStatsRecord fields.
+struct ClientSeries {
+  TimeSeries<double> inbound_fps;
+  TimeSeries<double> outbound_fps;
+  TimeSeries<double> outbound_resolution;
+  TimeSeries<double> jitter_buffer_ms;
+  TimeSeries<double> target_bitrate_bps;
+  TimeSeries<double> pushback_bitrate_bps;
+  TimeSeries<double> outstanding_bytes;
+  TimeSeries<double> cwnd_bytes;
+  TimeSeries<double> overuse;  ///< 1.0 while GCC reports overuse.
+};
+
+/// The time-aligned, vectorised view Domino's sliding window operates on.
+struct DerivedTrace {
+  Time begin{0};
+  Time end{0};
+  bool has_gnb_log = false;
+  std::array<DirectionSeries, 2> dir;     ///< [0] = UL, [1] = DL.
+  std::array<ClientSeries, 2> client;     ///< [0] = UE, [1] = remote.
+
+  [[nodiscard]] const DirectionSeries& ul() const { return dir[0]; }
+  [[nodiscard]] const DirectionSeries& dl() const { return dir[1]; }
+};
+
+/// Builds the derived trace from raw records. Our UE's DCIs are identified
+/// via the RNTI timeline; everything else is classified as cross traffic.
+DerivedTrace BuildDerivedTrace(const SessionDataset& ds);
+
+}  // namespace domino::telemetry

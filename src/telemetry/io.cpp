@@ -1,0 +1,261 @@
+#include "telemetry/io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace domino::telemetry {
+
+namespace {
+
+std::string I(std::int64_t v) { return std::to_string(v); }
+std::string D(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::int64_t ToI(const std::string& s) { return std::stoll(s); }
+double ToD(const std::string& s) { return std::stod(s); }
+
+void CheckHeader(const std::vector<std::vector<std::string>>& rows,
+                 const char* name) {
+  if (rows.empty()) {
+    throw std::runtime_error(std::string("empty CSV for ") + name);
+  }
+}
+
+}  // namespace
+
+void WriteDciCsv(std::ostream& os, const std::vector<DciRecord>& records) {
+  CsvWriter w(os);
+  w.WriteRow({"time_us", "rnti", "dir", "prbs", "mcs", "tbs_bytes", "is_retx",
+              "harq_process", "attempt"});
+  for (const auto& r : records) {
+    w.WriteRow({I(r.time.micros()), I(r.rnti),
+                r.dir == Direction::kUplink ? "UL" : "DL", I(r.prbs),
+                I(r.mcs), I(r.tbs_bytes), I(r.is_retx ? 1 : 0),
+                I(r.harq_process), I(r.attempt)});
+  }
+}
+
+std::vector<DciRecord> ReadDciCsv(std::istream& is) {
+  auto rows = ReadCsv(is);
+  CheckHeader(rows, "dci");
+  std::vector<DciRecord> out;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& c = rows[i];
+    DciRecord r;
+    r.time = Time{ToI(c.at(0))};
+    r.rnti = static_cast<std::uint32_t>(ToI(c.at(1)));
+    r.dir = c.at(2) == "UL" ? Direction::kUplink : Direction::kDownlink;
+    r.prbs = static_cast<int>(ToI(c.at(3)));
+    r.mcs = static_cast<int>(ToI(c.at(4)));
+    r.tbs_bytes = static_cast<int>(ToI(c.at(5)));
+    r.is_retx = ToI(c.at(6)) != 0;
+    r.harq_process = static_cast<int>(ToI(c.at(7)));
+    r.attempt = static_cast<int>(ToI(c.at(8)));
+    out.push_back(r);
+  }
+  return out;
+}
+
+void WritePacketCsv(std::ostream& os,
+                    const std::vector<PacketRecord>& records) {
+  CsvWriter w(os);
+  w.WriteRow({"id", "dir", "size_bytes", "sent_us", "recv_us", "is_rtcp",
+              "is_audio", "frame_id"});
+  for (const auto& r : records) {
+    w.WriteRow({I(static_cast<std::int64_t>(r.id)),
+                r.dir == Direction::kUplink ? "UL" : "DL", I(r.size_bytes),
+                I(r.sent.micros()),
+                r.lost() ? "-1" : I(r.received.micros()),
+                I(r.is_rtcp ? 1 : 0), I(r.is_audio ? 1 : 0),
+                I(static_cast<std::int64_t>(r.frame_id))});
+  }
+}
+
+std::vector<PacketRecord> ReadPacketCsv(std::istream& is) {
+  auto rows = ReadCsv(is);
+  CheckHeader(rows, "packets");
+  std::vector<PacketRecord> out;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& c = rows[i];
+    PacketRecord r;
+    r.id = static_cast<std::uint64_t>(ToI(c.at(0)));
+    r.dir = c.at(1) == "UL" ? Direction::kUplink : Direction::kDownlink;
+    r.size_bytes = static_cast<int>(ToI(c.at(2)));
+    r.sent = Time{ToI(c.at(3))};
+    std::int64_t recv = ToI(c.at(4));
+    r.received = recv < 0 ? Time::max() : Time{recv};
+    r.is_rtcp = ToI(c.at(5)) != 0;
+    r.is_audio = ToI(c.at(6)) != 0;
+    r.frame_id = static_cast<std::uint64_t>(ToI(c.at(7)));
+    out.push_back(r);
+  }
+  return out;
+}
+
+void WriteStatsCsv(std::ostream& os,
+                   const std::vector<WebRtcStatsRecord>& records) {
+  CsvWriter w(os);
+  w.WriteRow({"time_us", "in_fps", "out_fps", "out_res", "jb_ms",
+              "target_bps", "pushback_bps", "outstanding", "cwnd",
+              "gcc_state", "delay_slope", "concealed", "frozen"});
+  for (const auto& r : records) {
+    w.WriteRow({I(r.time.micros()), D(r.inbound_fps), D(r.outbound_fps),
+                I(r.outbound_resolution), D(r.jitter_buffer_ms),
+                D(r.target_bitrate_bps), D(r.pushback_bitrate_bps),
+                D(r.outstanding_bytes), D(r.cwnd_bytes),
+                std::string(ToString(r.gcc_state)), D(r.delay_slope),
+                D(r.concealed_ratio), I(r.frozen ? 1 : 0)});
+  }
+}
+
+std::vector<WebRtcStatsRecord> ReadStatsCsv(std::istream& is) {
+  auto rows = ReadCsv(is);
+  CheckHeader(rows, "stats");
+  std::vector<WebRtcStatsRecord> out;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& c = rows[i];
+    WebRtcStatsRecord r;
+    r.time = Time{ToI(c.at(0))};
+    r.inbound_fps = ToD(c.at(1));
+    r.outbound_fps = ToD(c.at(2));
+    r.outbound_resolution = static_cast<int>(ToI(c.at(3)));
+    r.jitter_buffer_ms = ToD(c.at(4));
+    r.target_bitrate_bps = ToD(c.at(5));
+    r.pushback_bitrate_bps = ToD(c.at(6));
+    r.outstanding_bytes = ToD(c.at(7));
+    r.cwnd_bytes = ToD(c.at(8));
+    if (c.at(9) == "overuse") {
+      r.gcc_state = NetworkState::kOveruse;
+    } else if (c.at(9) == "underuse") {
+      r.gcc_state = NetworkState::kUnderuse;
+    } else {
+      r.gcc_state = NetworkState::kNormal;
+    }
+    r.delay_slope = ToD(c.at(10));
+    r.concealed_ratio = ToD(c.at(11));
+    r.frozen = ToI(c.at(12)) != 0;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void WriteGnbLogCsv(std::ostream& os,
+                    const std::vector<GnbLogRecord>& records) {
+  CsvWriter w(os);
+  w.WriteRow({"time_us", "rnti", "dir", "rlc_buffer", "rlc_retx",
+              "rrc_state"});
+  for (const auto& r : records) {
+    w.WriteRow({I(r.time.micros()), I(r.rnti),
+                r.dir == Direction::kUplink ? "UL" : "DL",
+                I(r.rlc_buffer_bytes), I(r.rlc_retx ? 1 : 0),
+                std::string(ToString(r.rrc_state))});
+  }
+}
+
+std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is) {
+  auto rows = ReadCsv(is);
+  CheckHeader(rows, "gnb_log");
+  std::vector<GnbLogRecord> out;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& c = rows[i];
+    GnbLogRecord r;
+    r.time = Time{ToI(c.at(0))};
+    r.rnti = static_cast<std::uint32_t>(ToI(c.at(1)));
+    r.dir = c.at(2) == "UL" ? Direction::kUplink : Direction::kDownlink;
+    r.rlc_buffer_bytes = static_cast<int>(ToI(c.at(3)));
+    r.rlc_retx = ToI(c.at(4)) != 0;
+    if (c.at(5) == "connected") {
+      r.rrc_state = RrcState::kConnected;
+    } else if (c.at(5) == "idle") {
+      r.rrc_state = RrcState::kIdle;
+    } else {
+      r.rrc_state = RrcState::kTransitioning;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+void SaveDataset(const SessionDataset& ds, const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  {
+    std::ofstream f(dir + "/dci.csv");
+    WriteDciCsv(f, ds.dci);
+  }
+  {
+    std::ofstream f(dir + "/packets.csv");
+    WritePacketCsv(f, ds.packets);
+  }
+  {
+    std::ofstream f(dir + "/stats_ue.csv");
+    WriteStatsCsv(f, ds.stats[kUeClient]);
+  }
+  {
+    std::ofstream f(dir + "/stats_remote.csv");
+    WriteStatsCsv(f, ds.stats[kRemoteClient]);
+  }
+  {
+    std::ofstream f(dir + "/gnb_log.csv");
+    WriteGnbLogCsv(f, ds.gnb_log);
+  }
+  {
+    std::ofstream f(dir + "/meta.csv");
+    CsvWriter w(f);
+    w.WriteRow({"cell_name", "is_private", "begin_us", "end_us"});
+    w.WriteRow({ds.cell_name, ds.is_private_cell ? "1" : "0",
+                I(ds.begin.micros()), I(ds.end.micros())});
+    w.WriteRow({"rnti_time_us", "rnti"});
+    for (const auto& s : ds.ue_rnti) {
+      w.WriteRow({I(s.time.micros()), D(s.value)});
+    }
+  }
+}
+
+SessionDataset LoadDataset(const std::string& dir) {
+  SessionDataset ds;
+  {
+    std::ifstream f(dir + "/dci.csv");
+    ds.dci = ReadDciCsv(f);
+  }
+  {
+    std::ifstream f(dir + "/packets.csv");
+    ds.packets = ReadPacketCsv(f);
+  }
+  {
+    std::ifstream f(dir + "/stats_ue.csv");
+    ds.stats[kUeClient] = ReadStatsCsv(f);
+  }
+  {
+    std::ifstream f(dir + "/stats_remote.csv");
+    ds.stats[kRemoteClient] = ReadStatsCsv(f);
+  }
+  {
+    std::ifstream f(dir + "/gnb_log.csv");
+    ds.gnb_log = ReadGnbLogCsv(f);
+  }
+  {
+    std::ifstream f(dir + "/meta.csv");
+    auto rows = ReadCsv(f);
+    if (rows.size() >= 2) {
+      ds.cell_name = rows[1].at(0);
+      ds.is_private_cell = rows[1].at(1) == "1";
+      ds.begin = Time{ToI(rows[1].at(2))};
+      ds.end = Time{ToI(rows[1].at(3))};
+    }
+    for (std::size_t i = 3; i < rows.size(); ++i) {
+      ds.ue_rnti.Push(Time{ToI(rows[i].at(0))}, ToD(rows[i].at(1)));
+    }
+  }
+  return ds;
+}
+
+}  // namespace domino::telemetry

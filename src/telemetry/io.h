@@ -1,0 +1,39 @@
+// CSV import/export for session datasets.
+//
+// Lets users persist captured (or simulated) cross-layer traces and re-run
+// Domino on them later — the "network operators can provide [traces] on a
+// continuous basis" workflow from §1. One CSV file per record stream,
+// bundled under a directory.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/dataset.h"
+
+namespace domino::telemetry {
+
+// Single-stream writers/readers (stream-based for testability).
+void WriteDciCsv(std::ostream& os, const std::vector<DciRecord>& records);
+std::vector<DciRecord> ReadDciCsv(std::istream& is);
+
+void WritePacketCsv(std::ostream& os,
+                    const std::vector<PacketRecord>& records);
+std::vector<PacketRecord> ReadPacketCsv(std::istream& is);
+
+void WriteStatsCsv(std::ostream& os,
+                   const std::vector<WebRtcStatsRecord>& records);
+std::vector<WebRtcStatsRecord> ReadStatsCsv(std::istream& is);
+
+void WriteGnbLogCsv(std::ostream& os,
+                    const std::vector<GnbLogRecord>& records);
+std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is);
+
+/// Writes the whole dataset under `dir` (created if needed): dci.csv,
+/// packets.csv, stats_ue.csv, stats_remote.csv, gnb_log.csv, meta.csv.
+void SaveDataset(const SessionDataset& ds, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset.
+SessionDataset LoadDataset(const std::string& dir);
+
+}  // namespace domino::telemetry

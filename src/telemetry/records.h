@@ -1,0 +1,79 @@
+// Telemetry record schemas — the cross-layer data Domino consumes.
+//
+// These mirror the paper's four collection sources (§3):
+//   DciRecord        — NR-Scope-style per-slot PHY/MAC scheduling telemetry
+//   GnbLogRecord     — base-station log (RLC buffer/retx, RRC state);
+//                      available only on private cells
+//   PacketRecord     — packet traces captured at both clients
+//   WebRtcStatsRecord— 50 ms application statistics from the instrumented
+//                      WebRTC client, including GCC internal state
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace domino::telemetry {
+
+/// One decoded DCI (scheduling assignment): which UE got how many PRBs at
+/// which MCS in a slot, and whether it was a HARQ retransmission.
+struct DciRecord {
+  Time time;                 ///< Slot start time.
+  std::uint32_t rnti = 0;    ///< MAC-layer UE identifier.
+  Direction dir = Direction::kDownlink;
+  int prbs = 0;
+  int mcs = 0;
+  int tbs_bytes = 0;
+  bool is_retx = false;      ///< HARQ retransmission (NDI not toggled).
+  int harq_process = 0;
+  int attempt = 0;           ///< 0 = initial transmission.
+};
+
+/// Periodic gNB-side log sample (private cells only). One sample is emitted
+/// per direction per sampling tick.
+struct GnbLogRecord {
+  Time time;
+  std::uint32_t rnti = 0;
+  Direction dir = Direction::kUplink;  ///< Direction the RLC fields refer to.
+  int rlc_buffer_bytes = 0;     ///< Sender-side RLC queue depth.
+  bool rlc_retx = false;        ///< An RLC retransmission occurred since the
+                                ///< previous sample.
+  RrcState rrc_state = RrcState::kConnected;
+};
+
+/// One transported packet, as reconciled from the sender+receiver captures.
+struct PacketRecord {
+  std::uint64_t id = 0;
+  Direction dir = Direction::kDownlink;
+  int size_bytes = 0;
+  Time sent;
+  Time received = Time::max();  ///< Time::max() if lost.
+  bool is_rtcp = false;         ///< Feedback (reverse-path) packet.
+  bool is_audio = false;        ///< Audio stream packet (one per 20 ms).
+  std::uint64_t frame_id = 0;   ///< Video frame / audio sequence number.
+
+  [[nodiscard]] bool lost() const { return received == Time::max(); }
+  [[nodiscard]] Duration one_way_delay() const { return received - sent; }
+};
+
+/// 50 ms application-layer statistics snapshot from the instrumented client.
+/// All rate fields are in bits per second; delays in this struct are
+/// milliseconds to match the WebRTC stats API conventions.
+struct WebRtcStatsRecord {
+  Time time;
+  double inbound_fps = 0;
+  double outbound_fps = 0;
+  int outbound_resolution = 0;     ///< Vertical resolution: 360/540/720/1080.
+  double jitter_buffer_ms = 0;     ///< Current jitter-buffer target delay.
+  double target_bitrate_bps = 0;   ///< GCC bandwidth-estimator output.
+  double pushback_bitrate_bps = 0; ///< After congestion-window pushback.
+  double outstanding_bytes = 0;    ///< In-flight (unacked) bytes.
+  double cwnd_bytes = 0;           ///< GCC congestion window.
+  NetworkState gcc_state = NetworkState::kNormal;
+  double delay_slope = 0;          ///< Trendline estimator output.
+  double concealed_ratio = 0;      ///< Concealed audio samples / total.
+  bool frozen = false;             ///< Video currently frozen.
+};
+
+}  // namespace domino::telemetry

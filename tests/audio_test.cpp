@@ -1,0 +1,118 @@
+// Unit tests for the audio playout engine and concealment accounting.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtc/audio.h"
+
+namespace domino::rtc {
+namespace {
+
+AudioConfig TestConfig() {
+  AudioConfig cfg;
+  cfg.min_delay_ms = 20;
+  cfg.decay_ms_per_s = 5;
+  return cfg;
+}
+
+TEST(AudioTest, CleanStreamAllPlayed) {
+  AudioReceiver rx(TestConfig());
+  for (std::uint64_t seq = 0; seq < 200; ++seq) {
+    Time capture{static_cast<std::int64_t>(seq) * 20'000};
+    rx.OnFrame(seq, capture, capture + Millis(25));
+  }
+  rx.AdvanceTo(Time{200 * 20'000 + 500'000});
+  EXPECT_EQ(rx.played(), 200);
+  EXPECT_EQ(rx.concealed(), 0);
+  EXPECT_DOUBLE_EQ(rx.concealed_ratio(), 0.0);
+}
+
+TEST(AudioTest, MissingFramesConcealed) {
+  AudioReceiver rx(TestConfig());
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    if (seq >= 40 && seq < 50) continue;  // 10 frames lost
+    Time capture{static_cast<std::int64_t>(seq) * 20'000};
+    rx.OnFrame(seq, capture, capture + Millis(25));
+  }
+  rx.AdvanceTo(Time{100 * 20'000 + 500'000});
+  EXPECT_EQ(rx.concealed(), 10);
+  EXPECT_EQ(rx.played(), 90);
+  EXPECT_NEAR(rx.concealed_ratio(), 0.1, 1e-9);
+}
+
+TEST(AudioTest, LateFrameConcealedAndDiscarded) {
+  AudioReceiver rx(TestConfig());
+  for (std::uint64_t seq = 0; seq < 20; ++seq) {
+    Time capture{static_cast<std::int64_t>(seq) * 20'000};
+    rx.OnFrame(seq, capture, capture + Millis(25));
+  }
+  // Frame 20 arrives 400 ms late, far past its deadline.
+  Time capture20{20 * 20'000};
+  // Later frames keep arriving on time first.
+  for (std::uint64_t seq = 21; seq < 40; ++seq) {
+    Time capture{static_cast<std::int64_t>(seq) * 20'000};
+    rx.OnFrame(seq, capture, capture + Millis(25));
+  }
+  rx.OnFrame(20, capture20, capture20 + Millis(400));
+  rx.AdvanceTo(Time{40 * 20'000 + 500'000});
+  EXPECT_GE(rx.concealed(), 1);
+  // Exactly once per grid slot: played + concealed covers every frame.
+  EXPECT_EQ(rx.played() + rx.concealed(), 40);
+}
+
+TEST(AudioTest, DelaySpikesExpandPlayoutDelay) {
+  AudioReceiver rx(TestConfig());
+  double before = 0;
+  for (std::uint64_t seq = 0; seq < 200; ++seq) {
+    Time capture{static_cast<std::int64_t>(seq) * 20'000};
+    double delay_ms = 25;
+    if (seq == 100) before = rx.playout_delay_ms();
+    if (seq >= 100 && seq < 110) delay_ms = 250;  // burst of late arrivals
+    rx.OnFrame(seq, capture, capture + Seconds(delay_ms / 1e3));
+  }
+  EXPECT_GT(rx.playout_delay_ms(), before);
+  EXPECT_GT(rx.concealed(), 0);
+}
+
+TEST(AudioTest, DelayContractsWhenStable) {
+  AudioConfig cfg = TestConfig();
+  cfg.decay_ms_per_s = 50;
+  AudioReceiver rx(cfg);
+  // Spike early, then a long stable stretch.
+  for (std::uint64_t seq = 0; seq < 500; ++seq) {
+    Time capture{static_cast<std::int64_t>(seq) * 20'000};
+    double delay_ms = seq < 10 ? 200 : 25;
+    rx.OnFrame(seq, capture, capture + Seconds(delay_ms / 1e3));
+  }
+  // After ~10 s of stability at 50 ms/s decay the delay is near the floor.
+  EXPECT_LT(rx.playout_delay_ms(), 60.0);
+}
+
+TEST(AudioTest, JitterRaisesDelayFloor) {
+  AudioReceiver low_jitter(TestConfig());
+  AudioReceiver high_jitter(TestConfig());
+  Rng rng(3);
+  for (std::uint64_t seq = 0; seq < 300; ++seq) {
+    Time capture{static_cast<std::int64_t>(seq) * 20'000};
+    low_jitter.OnFrame(seq, capture, capture + Millis(25));
+    double jitter = rng.Uniform(0, 40);
+    high_jitter.OnFrame(seq, capture,
+                        capture + Seconds((25 + jitter) / 1e3));
+  }
+  EXPECT_GT(high_jitter.playout_delay_ms(), low_jitter.playout_delay_ms());
+}
+
+TEST(AudioTest, StartsAtFirstSeenSequence) {
+  AudioReceiver rx(TestConfig());
+  // Stream joins at seq 50 (earlier frames lost before the receiver
+  // attached): they must not count as concealed.
+  for (std::uint64_t seq = 50; seq < 100; ++seq) {
+    Time capture{static_cast<std::int64_t>(seq) * 20'000};
+    rx.OnFrame(seq, capture, capture + Millis(25));
+  }
+  rx.AdvanceTo(Time{100 * 20'000 + 500'000});
+  EXPECT_EQ(rx.played(), 50);
+  EXPECT_EQ(rx.concealed(), 0);
+}
+
+}  // namespace
+}  // namespace domino::rtc

@@ -1,0 +1,22 @@
+// Minimal session-running helpers for tests (keeps tests decoupled from the
+// bench directory).
+#pragma once
+
+#include "sim/call_session.h"
+#include "sim/cell_config.h"
+#include "telemetry/dataset.h"
+
+namespace domino::analysis_test {
+
+inline telemetry::SessionDataset RunQuickCall(const sim::CellProfile& profile,
+                                              Duration duration,
+                                              std::uint64_t seed) {
+  sim::SessionConfig cfg;
+  cfg.profile = profile;
+  cfg.duration = duration;
+  cfg.seed = seed;
+  sim::CallSession session(cfg);
+  return session.Run();
+}
+
+}  // namespace domino::analysis_test

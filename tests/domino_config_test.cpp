@@ -1,0 +1,161 @@
+// Tests for the text configuration API: parsing, graph extension with
+// built-in and custom events, role inference, error reporting — and an
+// end-to-end run of a user-defined chain against a synthetic trace.
+#include <gtest/gtest.h>
+
+#include "domino/config_parser.h"
+#include "domino/detector.h"
+#include "trace_fixtures.h"
+
+namespace domino::analysis {
+namespace {
+
+using namespace domino::analysis_test;
+
+// --- Parsing --------------------------------------------------------------------
+
+TEST(ConfigParseTest, EventsAndChains) {
+  auto cfg = ParseConfigText(R"(
+# comment line
+event big_delay: max(fwd.owd_ms) > 200   # trailing comment
+
+chain my_chain: cross_traffic -> tbs_drop -> big_delay -> target_bitrate_drop
+)");
+  ASSERT_EQ(cfg.events.size(), 1u);
+  EXPECT_EQ(cfg.events[0].name, "big_delay");
+  EXPECT_NE(cfg.events[0].expr, nullptr);
+  ASSERT_EQ(cfg.chains.size(), 1u);
+  EXPECT_EQ(cfg.chains[0].name, "my_chain");
+  ASSERT_EQ(cfg.chains[0].nodes.size(), 4u);
+  EXPECT_EQ(cfg.chains[0].nodes[0], "cross_traffic");
+  EXPECT_EQ(cfg.chains[0].nodes[2], "big_delay");
+}
+
+TEST(ConfigParseTest, EmptyAndCommentsOnly) {
+  auto cfg = ParseConfigText("# nothing here\n\n   \n");
+  EXPECT_TRUE(cfg.events.empty());
+  EXPECT_TRUE(cfg.chains.empty());
+}
+
+TEST(ConfigParseTest, ErrorsCarryLineNumbers) {
+  try {
+    ParseConfigText("event ok: 1 > 0\nnonsense line\n");
+    FAIL() << "expected DslError";
+  } catch (const DslError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ConfigParseTest, RejectsBadInput) {
+  EXPECT_THROW(ParseConfigText("event x: max(bogus.series) > 1"), DslError);
+  EXPECT_THROW(ParseConfigText("chain c: only_one_node"), DslError);
+  EXPECT_THROW(ParseConfigText("frobnicate x: 1"), DslError);
+  EXPECT_THROW(ParseConfigText("event : 1 > 0"), DslError);
+  EXPECT_THROW(ParseConfigText("chain c: a -> -> b"), DslError);
+}
+
+// --- Graph building ----------------------------------------------------------------
+
+TEST(ConfigGraphTest, BuildsFromBuiltins) {
+  auto cfg = ParseConfigText(
+      "chain c: harq_retx -> fwd_delay_up -> jitter_buffer_drain\n");
+  CausalGraph g = BuildGraphFromConfig(cfg, EventThresholds{});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.node(g.FindNode("harq_retx")).kind, NodeKind::kCause);
+  EXPECT_EQ(g.node(g.FindNode("fwd_delay_up")).kind,
+            NodeKind::kIntermediate);
+  EXPECT_EQ(g.node(g.FindNode("jitter_buffer_drain")).kind,
+            NodeKind::kConsequence);
+  EXPECT_EQ(g.EnumerateChains().size(), 1u);
+}
+
+TEST(ConfigGraphTest, RevLegBuiltin) {
+  auto cfg = ParseConfigText(
+      "chain c: harq_retx@rev -> rev_delay_up -> pushback_drop\n");
+  CausalGraph g = BuildGraphFromConfig(cfg, EventThresholds{});
+  int idx = g.FindNode("harq_retx@rev");
+  ASSERT_GE(idx, 0);
+  ASSERT_TRUE(g.node(idx).builtin.has_value());
+  EXPECT_EQ(g.node(idx).builtin->leg, PathLeg::kRev);
+}
+
+TEST(ConfigGraphTest, CustomEventCannotTakeRev) {
+  auto cfg = ParseConfigText(
+      "event mine: max(fwd.owd_ms) > 1\n"
+      "chain c: mine@rev -> pushback_drop\n");
+  EXPECT_THROW(BuildGraphFromConfig(cfg, EventThresholds{}), DslError);
+}
+
+TEST(ConfigGraphTest, UnknownNodeRejected) {
+  auto cfg = ParseConfigText("chain c: no_such_event -> pushback_drop\n");
+  EXPECT_THROW(BuildGraphFromConfig(cfg, EventThresholds{}), DslError);
+}
+
+TEST(ConfigGraphTest, FirstAppearanceFixesRole) {
+  auto cfg = ParseConfigText(
+      "chain c1: harq_retx -> fwd_delay_up -> target_bitrate_drop\n"
+      "chain c2: fwd_delay_up -> jitter_buffer_drain\n");
+  CausalGraph g = BuildGraphFromConfig(cfg, EventThresholds{});
+  // fwd_delay_up keeps its first-appearance role (intermediate), so c2 adds
+  // no new cause — but its edge opens a second path from the existing one.
+  EXPECT_EQ(g.node(g.FindNode("fwd_delay_up")).kind,
+            NodeKind::kIntermediate);
+  auto chains = g.EnumerateChains();
+  EXPECT_EQ(chains.size(), 2u);
+  for (const auto& chain : chains) {
+    EXPECT_EQ(g.node(chain.front()).name, "harq_retx");
+  }
+}
+
+TEST(ConfigGraphTest, SharedPrefixNoDuplicateEdges) {
+  auto cfg = ParseConfigText(
+      "chain c1: harq_retx -> fwd_delay_up -> target_bitrate_drop\n"
+      "chain c2: harq_retx -> fwd_delay_up -> jitter_buffer_drain\n");
+  CausalGraph g = BuildGraphFromConfig(cfg, EventThresholds{});
+  int harq = g.FindNode("harq_retx");
+  EXPECT_EQ(g.adjacency()[static_cast<std::size_t>(harq)].size(), 1u);
+  EXPECT_EQ(g.EnumerateChains().size(), 2u);
+}
+
+TEST(ConfigGraphTest, ExtendsDefaultGraph) {
+  CausalGraph g = CausalGraph::Default();
+  std::size_t before = g.EnumerateChains().size();
+  auto cfg = ParseConfigText(
+      "event audio_gap: max(receiver.jitter_buffer_ms) < 5\n"
+      "chain extra: harq_retx -> audio_gap\n");
+  ExtendGraph(g, cfg, EventThresholds{});
+  // harq_retx already exists (reused); audio_gap is a new consequence.
+  EXPECT_EQ(g.EnumerateChains().size(), before + 1);
+}
+
+// --- End-to-end with a custom chain ------------------------------------------------
+
+TEST(ConfigGraphTest, CustomChainDetectsPlantedPattern) {
+  // Custom event: forward delay tops 300 ms. Planted in a synthetic trace
+  // together with HARQ retransmissions.
+  auto cfg = ParseConfigText(
+      "event mega_delay: max(fwd.owd_ms) > 300\n"
+      "chain c: harq_retx -> mega_delay -> target_bitrate_drop\n");
+  CausalGraph g = BuildGraphFromConfig(cfg, EventThresholds{});
+  DominoConfig dcfg;
+  Detector det(std::move(g), dcfg);
+
+  DerivedTrace t = EmptyTrace();
+  Fill(t.dir[0].owd_ms, kWinBegin, Time{0} + Seconds(10), Millis(10),
+       [](int i) { return i > 300 && i < 400 ? 400.0 : 30.0; });
+  for (int i = 0; i < 30; ++i) {
+    t.dir[0].harq_retx.Push(Time{3'000'000 + i * 20'000}, 1.0);
+  }
+  Fill(t.client[0].target_bitrate_bps, kWinBegin, Time{0} + Seconds(10),
+       Millis(50), [](int i) { return i < 70 ? 2e6 : 1e6; });
+
+  auto result = det.Analyze(t);
+  bool found = false;
+  for (const auto& ci : result.AllChains()) {
+    if (ci.sender_client == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace domino::analysis

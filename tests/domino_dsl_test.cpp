@@ -1,0 +1,223 @@
+// Tests for the expression DSL: lexing, parsing, precedence, semantic
+// validation, evaluation against synthetic windows, and Python emission.
+#include <gtest/gtest.h>
+
+#include "domino/expr.h"
+#include "trace_fixtures.h"
+
+namespace domino::analysis {
+namespace {
+
+using namespace domino::analysis_test;
+
+/// Trace with known series content for evaluation tests:
+///   ul.owd_ms   = 10, 20, ..., 1000   (100 samples)
+///   ul.mcs      = constant 15
+///   ul.prb_self = 1 each sample (100 total)
+///   ue.target_bitrate = 2e6 then drops to 1e6 halfway
+DerivedTrace EvalTrace() {
+  DerivedTrace t = EmptyTrace();
+  Fill(t.dir[0].owd_ms, kWinBegin, kWinEnd, Millis(50),
+       [](int i) { return 10.0 * (i + 1); });
+  FillConst(t.dir[0].mcs, kWinBegin, kWinEnd, Millis(50), 15);
+  FillConst(t.dir[0].prb_self, kWinBegin, kWinEnd, Millis(50), 1);
+  Fill(t.client[0].target_bitrate_bps, kWinBegin, kWinEnd, Millis(50),
+       [](int i) { return i < 50 ? 2e6 : 1e6; });
+  return t;
+}
+
+double Eval(const std::string& expr, const DerivedTrace& t, int sender = 0) {
+  WindowContext ctx(t, kWinBegin, kWinEnd, sender);
+  return ParseExpression(expr)->EvalScalar(ctx);
+}
+
+// --- Parsing ------------------------------------------------------------------
+
+TEST(DslParseTest, Numbers) {
+  DerivedTrace t = EmptyTrace();
+  EXPECT_DOUBLE_EQ(Eval("42", t), 42.0);
+  EXPECT_DOUBLE_EQ(Eval("3.5", t), 3.5);
+  EXPECT_DOUBLE_EQ(Eval("1e3", t), 1000.0);
+  EXPECT_DOUBLE_EQ(Eval("2.5e-2", t), 0.025);
+}
+
+TEST(DslParseTest, Arithmetic) {
+  DerivedTrace t = EmptyTrace();
+  EXPECT_DOUBLE_EQ(Eval("1 + 2 * 3", t), 7.0);       // precedence
+  EXPECT_DOUBLE_EQ(Eval("(1 + 2) * 3", t), 9.0);     // parens
+  EXPECT_DOUBLE_EQ(Eval("10 - 4 - 3", t), 3.0);      // left assoc
+  EXPECT_DOUBLE_EQ(Eval("12 / 4 / 3", t), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("-5 + 2", t), -3.0);
+  EXPECT_DOUBLE_EQ(Eval("7 / 0", t), 0.0);           // guarded division
+}
+
+TEST(DslParseTest, Comparisons) {
+  DerivedTrace t = EmptyTrace();
+  EXPECT_DOUBLE_EQ(Eval("3 > 2", t), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("3 < 2", t), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("2 >= 2", t), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("2 <= 1", t), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("2 == 2", t), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("2 != 2", t), 0.0);
+}
+
+TEST(DslParseTest, LogicalOperators) {
+  DerivedTrace t = EmptyTrace();
+  EXPECT_DOUBLE_EQ(Eval("1 > 0 and 2 > 1", t), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("1 > 0 and 2 < 1", t), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("1 < 0 or 2 > 1", t), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("not 0", t), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("not 5", t), 0.0);
+  // `and` binds tighter than `or`.
+  EXPECT_DOUBLE_EQ(Eval("1 > 0 or 0 > 1 and 0 > 1", t), 1.0);
+}
+
+TEST(DslParseTest, SyntaxErrors) {
+  EXPECT_THROW(ParseExpression(""), DslError);
+  EXPECT_THROW(ParseExpression("1 +"), DslError);
+  EXPECT_THROW(ParseExpression("(1 + 2"), DslError);
+  EXPECT_THROW(ParseExpression("1 2"), DslError);    // trailing junk
+  EXPECT_THROW(ParseExpression("min(3)"), DslError); // scalar where series
+  EXPECT_THROW(ParseExpression("$"), DslError);
+}
+
+TEST(DslParseTest, SemanticErrors) {
+  EXPECT_THROW(ParseExpression("bogus.owd_ms > 1"), DslError);   // scope
+  EXPECT_THROW(ParseExpression("fwd.bogus > 1"), DslError);      // series
+  EXPECT_THROW(ParseExpression("sender.owd_ms > 1"), DslError);  // wrong kind
+  EXPECT_THROW(ParseExpression("nosuchfunc(fwd.mcs)"), DslError);
+  // A bare series cannot be a scalar operand.
+  DerivedTrace t = EmptyTrace();
+  WindowContext ctx(t, kWinBegin, kWinEnd, 0);
+  auto e = ParseExpression("fwd.owd_ms");
+  EXPECT_THROW(e->EvalScalar(ctx), DslError);
+}
+
+TEST(DslParseTest, PairedFunctionArity) {
+  EXPECT_NO_THROW(ParseExpression("frac_gt(fwd.app_bitrate, fwd.tbs_bitrate)"));
+  EXPECT_THROW(ParseExpression("frac_gt(fwd.app_bitrate, 3)"), DslError);
+  EXPECT_THROW(ParseExpression("p(fwd.owd_ms, fwd.mcs)"), DslError);
+}
+
+// --- Evaluation ------------------------------------------------------------------
+
+TEST(DslEvalTest, SeriesAggregates) {
+  DerivedTrace t = EvalTrace();
+  EXPECT_DOUBLE_EQ(Eval("min(ul.owd_ms)", t), 10.0);
+  EXPECT_DOUBLE_EQ(Eval("max(ul.owd_ms)", t), 1000.0);
+  EXPECT_DOUBLE_EQ(Eval("mean(ul.owd_ms)", t), 505.0);
+  EXPECT_DOUBLE_EQ(Eval("sum(ul.prb_self)", t), 100.0);
+  EXPECT_DOUBLE_EQ(Eval("count(ul.owd_ms)", t), 100.0);
+}
+
+TEST(DslEvalTest, EmptySeriesSafe) {
+  DerivedTrace t = EmptyTrace();
+  EXPECT_DOUBLE_EQ(Eval("min(ul.owd_ms)", t), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("max(ul.owd_ms)", t), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("mean(ul.owd_ms)", t), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("count(ul.owd_ms)", t), 0.0);
+}
+
+TEST(DslEvalTest, StdDevFirstLast) {
+  DerivedTrace t = EvalTrace();
+  // owd = 10..1000 step 10: first 10, last 1000.
+  EXPECT_DOUBLE_EQ(Eval("first(ul.owd_ms)", t), 10.0);
+  EXPECT_DOUBLE_EQ(Eval("last(ul.owd_ms)", t), 1000.0);
+  // stddev of 10,20,...,1000 = 10 * stddev(1..100) ~= 290.1.
+  EXPECT_NEAR(Eval("stddev(ul.owd_ms)", t), 290.11, 0.1);
+  EXPECT_DOUBLE_EQ(Eval("stddev(ul.mcs)", t), 0.0);  // constant series
+  DerivedTrace empty = EmptyTrace();
+  EXPECT_DOUBLE_EQ(Eval("stddev(ul.owd_ms)", empty), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("first(ul.owd_ms)", empty), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("last(ul.owd_ms)", empty), 0.0);
+}
+
+TEST(DslEvalTest, PercentileAndCounts) {
+  DerivedTrace t = EvalTrace();
+  EXPECT_NEAR(Eval("p(ul.owd_ms, 50)", t), 505.0, 1.0);
+  EXPECT_DOUBLE_EQ(Eval("count_below(ul.owd_ms, 105)", t), 10.0);
+  EXPECT_DOUBLE_EQ(Eval("count_above(ul.owd_ms, 905)", t), 10.0);
+}
+
+TEST(DslEvalTest, TrendsAndDrops) {
+  DerivedTrace t = EvalTrace();
+  EXPECT_DOUBLE_EQ(Eval("trend_up(ul.owd_ms)", t), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("trend_down(ul.owd_ms)", t), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("has_rise(ul.owd_ms)", t), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("has_drop(ul.owd_ms)", t), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("has_drop(sender.target_bitrate)", t), 1.0);
+}
+
+TEST(DslEvalTest, PairedComparisons) {
+  DerivedTrace t = EmptyTrace();
+  FillConst(t.dir[0].app_bitrate_bps, kWinBegin, kWinEnd, Millis(50), 2e6);
+  Fill(t.dir[0].tbs_bitrate_bps, kWinBegin, kWinEnd, Millis(50),
+       [](int i) { return i < 25 ? 1e6 : 4e6; });  // 25 of 100 bins exceeded
+  EXPECT_NEAR(Eval("frac_gt(ul.app_bitrate, ul.tbs_bitrate)", t), 0.25,
+              1e-9);
+  EXPECT_DOUBLE_EQ(Eval("any_gt(ul.app_bitrate, ul.tbs_bitrate)", t), 1.0);
+}
+
+TEST(DslEvalTest, ScopesResolveByPerspective) {
+  DerivedTrace t = EvalTrace();
+  // fwd == ul for the UE sender; fwd == dl (empty) for the remote sender.
+  EXPECT_DOUBLE_EQ(Eval("count(fwd.owd_ms)", t, 0), 100.0);
+  EXPECT_DOUBLE_EQ(Eval("count(fwd.owd_ms)", t, 1), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("count(rev.owd_ms)", t, 1), 100.0);
+  // Absolute scopes ignore the perspective.
+  EXPECT_DOUBLE_EQ(Eval("count(ul.owd_ms)", t, 1), 100.0);
+  // Client scopes: sender for perspective 0 is the UE.
+  EXPECT_DOUBLE_EQ(Eval("max(sender.target_bitrate)", t, 0), 2e6);
+  EXPECT_DOUBLE_EQ(Eval("max(receiver.target_bitrate)", t, 1), 2e6);
+  EXPECT_DOUBLE_EQ(Eval("max(ue.target_bitrate)", t, 1), 2e6);
+  EXPECT_DOUBLE_EQ(Eval("max(remote.target_bitrate)", t, 0), 0.0);
+}
+
+TEST(DslEvalTest, PaperConditionExpressible) {
+  // Appendix D #14 (rate gap) written in the DSL matches the built-in.
+  DerivedTrace t = EmptyTrace();
+  FillConst(t.dir[0].app_bitrate_bps, kWinBegin, kWinEnd, Millis(50), 2e6);
+  Fill(t.dir[0].tbs_bitrate_bps, kWinBegin, kWinEnd, Millis(50),
+       [](int i) { return i % 5 == 0 ? 1e6 : 4e6; });
+  EXPECT_DOUBLE_EQ(
+      Eval("frac_gt(fwd.app_bitrate, fwd.tbs_bitrate) > 0.1", t, 0), 1.0);
+}
+
+// --- Python emission -----------------------------------------------------------------
+
+TEST(DslPythonTest, EmitsReadableExpression) {
+  auto e = ParseExpression("max(fwd.owd_ms) > 200 and trend_up(fwd.owd_ms)");
+  std::string py = e->ToPython();
+  EXPECT_NE(py.find("dsl_max(w[\"fwd.owd_ms\"])"), std::string::npos);
+  EXPECT_NE(py.find("and"), std::string::npos);
+  EXPECT_NE(py.find("dsl_trend_up"), std::string::npos);
+}
+
+TEST(DslPythonTest, OperatorsMapped) {
+  EXPECT_NE(ParseExpression("1 != 2")->ToPython().find("!="),
+            std::string::npos);
+  EXPECT_NE(ParseExpression("not (1 > 2)")->ToPython().find("not"),
+            std::string::npos);
+  EXPECT_NE(ParseExpression("p(ul.mcs, 90)")->ToPython().find(
+                "dsl_p(w[\"ul.mcs\"], 90)"),
+            std::string::npos);
+}
+
+TEST(DslKnownNamesTest, Consistent) {
+  EXPECT_EQ(KnownScopes().size(), 8u);
+  EXPECT_EQ(KnownDirSeries().size(), 10u);
+  EXPECT_EQ(KnownClientSeries().size(), 9u);
+  // Every advertised name parses.
+  for (const auto& scope : {"fwd", "ul"}) {
+    for (const auto& name : KnownDirSeries()) {
+      EXPECT_NO_THROW(
+          ParseExpression("count(" + std::string(scope) + "." + name + ")"));
+    }
+  }
+  for (const auto& name : KnownClientSeries()) {
+    EXPECT_NO_THROW(ParseExpression("count(sender." + name + ")"));
+  }
+}
+
+}  // namespace
+}  // namespace domino::analysis

@@ -1,0 +1,186 @@
+// Tests for the causal graph: construction, validation, chain enumeration,
+// and the default Fig. 9 graph (24 chains).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "domino/graph.h"
+
+namespace domino::analysis {
+namespace {
+
+Node MakeNode(const std::string& name, NodeKind kind, bool active = true) {
+  Node n;
+  n.name = name;
+  n.kind = kind;
+  n.detect = [active](const WindowContext&) { return active; };
+  return n;
+}
+
+TEST(GraphTest, AddAndFind) {
+  CausalGraph g;
+  int a = g.AddNode(MakeNode("a", NodeKind::kCause));
+  int b = g.AddNode(MakeNode("b", NodeKind::kConsequence));
+  EXPECT_EQ(g.FindNode("a"), a);
+  EXPECT_EQ(g.FindNode("b"), b);
+  EXPECT_EQ(g.FindNode("c"), -1);
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(GraphTest, DuplicateNameThrows) {
+  CausalGraph g;
+  g.AddNode(MakeNode("a", NodeKind::kCause));
+  EXPECT_THROW(g.AddNode(MakeNode("a", NodeKind::kCause)),
+               std::invalid_argument);
+}
+
+TEST(GraphTest, UnknownEdgeThrows) {
+  CausalGraph g;
+  g.AddNode(MakeNode("a", NodeKind::kCause));
+  EXPECT_THROW(g.AddEdge("a", "missing"), std::invalid_argument);
+  EXPECT_THROW(g.AddEdge("missing", "a"), std::invalid_argument);
+}
+
+TEST(GraphTest, CycleDetected) {
+  CausalGraph g;
+  g.AddNode(MakeNode("a", NodeKind::kCause));
+  g.AddNode(MakeNode("b", NodeKind::kIntermediate));
+  g.AddEdge("a", "b");
+  g.AddEdge("b", "a");
+  EXPECT_THROW(g.Validate(), std::runtime_error);
+}
+
+TEST(GraphTest, AcyclicValidates) {
+  CausalGraph g;
+  g.AddNode(MakeNode("a", NodeKind::kCause));
+  g.AddNode(MakeNode("b", NodeKind::kIntermediate));
+  g.AddNode(MakeNode("c", NodeKind::kConsequence));
+  g.AddEdge("a", "b");
+  g.AddEdge("b", "c");
+  EXPECT_NO_THROW(g.Validate());
+}
+
+TEST(GraphTest, EnumeratesAllPaths) {
+  // Diamond: a -> {x, y} -> c plus a direct edge a -> c.
+  CausalGraph g;
+  g.AddNode(MakeNode("a", NodeKind::kCause));
+  g.AddNode(MakeNode("x", NodeKind::kIntermediate));
+  g.AddNode(MakeNode("y", NodeKind::kIntermediate));
+  g.AddNode(MakeNode("c", NodeKind::kConsequence));
+  g.AddEdge("a", "x");
+  g.AddEdge("a", "y");
+  g.AddEdge("x", "c");
+  g.AddEdge("y", "c");
+  g.AddEdge("a", "c");
+  auto chains = g.EnumerateChains();
+  EXPECT_EQ(chains.size(), 3u);
+  for (const auto& chain : chains) {
+    EXPECT_EQ(g.node(chain.front()).kind, NodeKind::kCause);
+    EXPECT_EQ(g.node(chain.back()).kind, NodeKind::kConsequence);
+  }
+}
+
+TEST(GraphTest, SearchStopsAtConsequence) {
+  // cause -> consequence -> another consequence: the path ends at the first
+  // consequence node (consequences are sinks of the search).
+  CausalGraph g;
+  g.AddNode(MakeNode("a", NodeKind::kCause));
+  g.AddNode(MakeNode("c1", NodeKind::kConsequence));
+  g.AddNode(MakeNode("c2", NodeKind::kConsequence));
+  g.AddEdge("a", "c1");
+  g.AddEdge("c1", "c2");
+  auto chains = g.EnumerateChains();
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].size(), 2u);
+}
+
+TEST(GraphTest, FormatChain) {
+  CausalGraph g;
+  g.AddNode(MakeNode("a", NodeKind::kCause));
+  g.AddNode(MakeNode("b", NodeKind::kConsequence));
+  g.AddEdge("a", "b");
+  auto chains = g.EnumerateChains();
+  EXPECT_EQ(FormatChain(g, chains[0]), "a -> b");
+}
+
+// --- Default (Fig. 9) graph ---------------------------------------------------
+
+TEST(DefaultGraphTest, HasTwentyFourChains) {
+  CausalGraph g = CausalGraph::Default();
+  EXPECT_EQ(g.EnumerateChains().size(), 24u);
+}
+
+TEST(DefaultGraphTest, SixCausesThreeConsequences) {
+  CausalGraph g = CausalGraph::Default();
+  std::set<std::string> causes, consequences;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const Node& n = g.node(static_cast<int>(i));
+    if (n.kind == NodeKind::kCause) {
+      std::string base = n.name.substr(0, n.name.find("@rev"));
+      causes.insert(base);
+    }
+    if (n.kind == NodeKind::kConsequence) consequences.insert(n.name);
+  }
+  EXPECT_EQ(causes.size(), 6u);
+  EXPECT_EQ(consequences.size(), 3u);
+  EXPECT_TRUE(causes.count("poor_channel"));
+  EXPECT_TRUE(causes.count("cross_traffic"));
+  EXPECT_TRUE(causes.count("ul_scheduling"));
+  EXPECT_TRUE(causes.count("harq_retx"));
+  EXPECT_TRUE(causes.count("rlc_retx"));
+  EXPECT_TRUE(causes.count("rrc_change"));
+  EXPECT_TRUE(consequences.count("jitter_buffer_drain"));
+  EXPECT_TRUE(consequences.count("target_bitrate_drop"));
+  EXPECT_TRUE(consequences.count("pushback_drop"));
+}
+
+TEST(DefaultGraphTest, EveryForwardCauseReachesAllConsequences) {
+  CausalGraph g = CausalGraph::Default();
+  auto chains = g.EnumerateChains();
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const auto& chain : chains) {
+    pairs.insert({g.node(chain.front()).name, g.node(chain.back()).name});
+  }
+  for (const char* cause : {"poor_channel", "cross_traffic", "ul_scheduling",
+                            "harq_retx", "rlc_retx", "rrc_change"}) {
+    for (const char* cons : {"jitter_buffer_drain", "target_bitrate_drop",
+                             "pushback_drop"}) {
+      EXPECT_TRUE(pairs.count({cause, cons}))
+          << cause << " -> " << cons << " missing";
+    }
+    // Reverse-leg causes only reach the pushback controller (Fig. 22).
+    std::string rev = std::string(cause) + "@rev";
+    EXPECT_TRUE(pairs.count({rev, "pushback_drop"}));
+    EXPECT_FALSE(pairs.count({rev, "jitter_buffer_drain"}));
+    EXPECT_FALSE(pairs.count({rev, "target_bitrate_drop"}));
+  }
+}
+
+TEST(DefaultGraphTest, RadioResourceCausesGoThroughTbsDrop) {
+  CausalGraph g = CausalGraph::Default();
+  auto chains = g.EnumerateChains();
+  for (const auto& chain : chains) {
+    const std::string& cause = g.node(chain.front()).name;
+    if (cause == "poor_channel" || cause == "cross_traffic") {
+      ASSERT_GE(chain.size(), 4u);
+      EXPECT_EQ(g.node(chain[1]).name, "tbs_drop");
+      EXPECT_EQ(g.node(chain[2]).name, "rate_gap");
+    }
+    if (cause == "harq_retx") {
+      // Protocol causes connect to the delay node directly.
+      EXPECT_EQ(g.node(chain[1]).name, "fwd_delay_up");
+    }
+  }
+}
+
+TEST(DefaultGraphTest, Deterministic) {
+  auto a = CausalGraph::Default().EnumerateChains();
+  auto b = CausalGraph::Default().EnumerateChains();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace domino::analysis

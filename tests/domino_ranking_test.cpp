@@ -1,0 +1,149 @@
+// Tests for root-cause ranking: rare causes outrank ubiquitous ones; ties
+// break toward longer chains; windows without chains are omitted.
+#include <gtest/gtest.h>
+
+#include "domino/ranking.h"
+#include "domino/report.h"
+#include "trace_fixtures.h"
+
+namespace domino::analysis {
+namespace {
+
+using namespace domino::analysis_test;
+
+/// Graph with a ubiquitous cause (always active), a rare cause, and a
+/// consequence. rare has a longer chain through an intermediate.
+struct RankFixture {
+  CausalGraph graph;
+  Detector* detector = nullptr;
+
+  RankFixture() {
+    auto add = [&](const std::string& name, NodeKind kind,
+                   std::function<bool(const WindowContext&)> detect) {
+      Node n;
+      n.name = name;
+      n.kind = kind;
+      n.detect = std::move(detect);
+      graph.AddNode(std::move(n));
+    };
+    // "common" is active in every window; "rare" only in [10 s, 12 s);
+    // the consequence fires whenever either is active (always).
+    add("common", NodeKind::kCause, [](const WindowContext&) { return true; });
+    add("rare", NodeKind::kCause, [](const WindowContext& ctx) {
+      return ctx.begin() >= Time{0} + Seconds(10) &&
+             ctx.begin() < Time{0} + Seconds(12);
+    });
+    add("mid", NodeKind::kIntermediate,
+        [](const WindowContext&) { return true; });
+    add("bad", NodeKind::kConsequence,
+        [](const WindowContext&) { return true; });
+    graph.AddEdge("common", "bad");
+    graph.AddEdge("rare", "mid");
+    graph.AddEdge("mid", "bad");
+  }
+};
+
+AnalysisResult Analyze(const CausalGraph& graph, Duration length) {
+  DominoConfig cfg;
+  cfg.extract_features = false;
+  Detector det(graph, cfg);
+  DerivedTrace t;
+  t.begin = Time{0};
+  t.end = Time{0} + length;
+  return det.Analyze(t);
+}
+
+TEST(RankingTest, RareCauseOutranksUbiquitousOne) {
+  RankFixture fx;
+  DominoConfig cfg;
+  cfg.extract_features = false;
+  Detector det(fx.graph, cfg);
+  DerivedTrace t;
+  t.begin = Time{0};
+  t.end = Time{0} + Seconds(60);
+  auto result = det.Analyze(t);
+  auto diagnoses = RankRootCauses(result, det);
+  ASSERT_FALSE(diagnoses.empty());
+
+  bool saw_rare_window = false;
+  for (const auto& d : diagnoses) {
+    const RankedChain* best = d.best();
+    ASSERT_NE(best, nullptr);
+    const ChainPath& path =
+        det.chains()[static_cast<std::size_t>(best->instance.chain_index)];
+    const std::string& cause = det.graph().node(path.front()).name;
+    bool rare_active = d.window_begin >= Time{0} + Seconds(10) &&
+                       d.window_begin < Time{0} + Seconds(12);
+    if (rare_active) {
+      saw_rare_window = true;
+      EXPECT_EQ(cause, "rare")
+          << "at " << ToString(d.window_begin);
+      EXPECT_LT(best->cause_rate, 0.2);
+    } else {
+      EXPECT_EQ(cause, "common");
+    }
+  }
+  EXPECT_TRUE(saw_rare_window);
+}
+
+TEST(RankingTest, ScoresReflectBaseRate) {
+  RankFixture fx;
+  DominoConfig cfg;
+  cfg.extract_features = false;
+  Detector det(fx.graph, cfg);
+  DerivedTrace t;
+  t.begin = Time{0};
+  t.end = Time{0} + Seconds(60);
+  auto diagnoses = RankRootCauses(det.Analyze(t), det);
+  double common_score = -1, rare_score = -1;
+  for (const auto& d : diagnoses) {
+    for (const auto& rc : d.ranked) {
+      const ChainPath& path =
+          det.chains()[static_cast<std::size_t>(rc.instance.chain_index)];
+      const std::string& cause = det.graph().node(path.front()).name;
+      if (cause == "common") common_score = rc.score;
+      if (cause == "rare") rare_score = rc.score;
+    }
+  }
+  ASSERT_GE(common_score, 0);
+  ASSERT_GT(rare_score, 0);
+  EXPECT_GT(rare_score, common_score + 1.0);  // clearly separated
+}
+
+TEST(RankingTest, QuietWindowsOmitted) {
+  // Graph whose consequence never fires -> no diagnoses at all.
+  CausalGraph g;
+  Node cause;
+  cause.name = "c";
+  cause.kind = NodeKind::kCause;
+  cause.detect = [](const WindowContext&) { return true; };
+  g.AddNode(std::move(cause));
+  Node cons;
+  cons.name = "k";
+  cons.kind = NodeKind::kConsequence;
+  cons.detect = [](const WindowContext&) { return false; };
+  g.AddNode(std::move(cons));
+  g.AddEdge("c", "k");
+  auto result = Analyze(g, Seconds(30));
+  DominoConfig cfg;
+  cfg.extract_features = false;
+  Detector det(g, cfg);
+  EXPECT_TRUE(RankRootCauses(result, det).empty());
+}
+
+TEST(RankingTest, ReportIncludesWinnerSection) {
+  RankFixture fx;
+  DominoConfig cfg;
+  cfg.extract_features = false;
+  Detector det(fx.graph, cfg);
+  DerivedTrace t;
+  t.begin = Time{0};
+  t.end = Time{0} + Seconds(30);
+  auto result = det.Analyze(t);
+  std::string report = BuildSummaryReport(result, det);
+  EXPECT_NE(report.find("Most likely root cause"), std::string::npos);
+  EXPECT_NE(report.find("common"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace domino::analysis

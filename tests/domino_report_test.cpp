@@ -1,0 +1,143 @@
+// Tests for report generation and the streaming detector.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "domino/report.h"
+#include "domino/streaming.h"
+#include "trace_fixtures.h"
+
+namespace domino::analysis {
+namespace {
+
+using namespace domino::analysis_test;
+
+/// Trace with one planted UL incident (~[10 s, 14 s)): poor channel ->
+/// rate gap -> delay -> overuse -> target drop on the UE perspective.
+DerivedTrace IncidentTrace(Duration length = Seconds(30)) {
+  DerivedTrace t;
+  t.begin = Time{0};
+  t.end = Time{0} + length;
+  t.has_gnb_log = true;
+  Time a = Time{0} + Seconds(10), b = Time{0} + Seconds(14);
+  auto in = [&](Time tt) { return tt >= a && tt < b; };
+  for (Time tt = t.begin; tt < t.end; tt += Millis(10)) {
+    bool ev = in(tt);
+    t.dir[0].mcs.Push(tt, ev ? 4.0 : 16.0);
+    t.dir[0].tbs_bytes.Push(tt, ev ? 200.0 : 900.0);
+    t.dir[0].prb_self.Push(tt, 10.0);
+    double ramp = ev ? (tt - a).millis() * 0.1 : 0.0;
+    t.dir[0].owd_ms.Push(tt, 30.0 + std::min(ramp, 200.0));
+    t.dir[1].owd_ms.Push(tt, 15.0);
+  }
+  for (Time tt = t.begin; tt < t.end; tt += Millis(50)) {
+    bool ev = in(tt);
+    t.dir[0].app_bitrate_bps.Push(tt, 1.5e6);
+    t.dir[0].tbs_bitrate_bps.Push(tt, ev ? 0.6e6 : 5e6);
+    bool reacting = tt >= a + Seconds(1) && tt < b;
+    t.client[0].overuse.Push(tt, reacting ? 1.0 : 0.0);
+    t.client[0].target_bitrate_bps.Push(tt, reacting ? 0.9e6 : 1.5e6);
+    t.client[0].pushback_bitrate_bps.Push(tt, reacting ? 0.9e6 : 1.5e6);
+  }
+  return t;
+}
+
+Detector MakeDetector() {
+  DominoConfig cfg;
+  return Detector(CausalGraph::Default(cfg.thresholds), cfg);
+}
+
+TEST(ReportTest, ChainsCsvRows) {
+  Detector det = MakeDetector();
+  auto result = det.Analyze(IncidentTrace());
+  ASSERT_FALSE(result.AllChains().empty());
+  std::ostringstream os;
+  WriteChainsCsv(os, result, det);
+  std::istringstream is(os.str());
+  auto rows = ReadCsv(is);
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "window_begin_s");
+  // Every data row names a known cause and consequence and a full path.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(det.graph().FindNode(rows[i][2]), 0) << rows[i][2];
+    EXPECT_GE(det.graph().FindNode(rows[i][3]), 0) << rows[i][3];
+    EXPECT_NE(rows[i][4].find("->"), std::string::npos);
+  }
+}
+
+TEST(ReportTest, FeaturesCsvShape) {
+  Detector det = MakeDetector();
+  auto result = det.Analyze(IncidentTrace());
+  std::ostringstream os;
+  WriteFeaturesCsv(os, result);
+  std::istringstream is(os.str());
+  auto rows = ReadCsv(is);
+  ASSERT_EQ(rows.size(), result.windows.size() + 1);
+  EXPECT_EQ(rows[0].size(), static_cast<std::size_t>(kFeatureCount) + 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    for (std::size_t c = 1; c < rows[i].size(); ++c) {
+      EXPECT_TRUE(rows[i][c] == "0" || rows[i][c] == "1");
+    }
+  }
+}
+
+TEST(ReportTest, SummaryMentionsDetectedCause) {
+  Detector det = MakeDetector();
+  auto result = det.Analyze(IncidentTrace());
+  std::string report = BuildSummaryReport(result, det);
+  EXPECT_NE(report.find("Domino analysis report"), std::string::npos);
+  EXPECT_NE(report.find("poor_channel"), std::string::npos);
+  EXPECT_NE(report.find("Top chains"), std::string::npos);
+}
+
+// --- StreamingDetector --------------------------------------------------------
+
+TEST(StreamingTest, MatchesBatchAnalysis) {
+  DerivedTrace trace = IncidentTrace();
+  DominoConfig cfg;
+  Detector batch(CausalGraph::Default(cfg.thresholds), cfg);
+  auto batch_result = batch.Analyze(trace);
+
+  StreamingDetector stream(CausalGraph::Default(cfg.thresholds), cfg);
+  long chains = 0;
+  stream.on_chain = [&](const ChainInstance&, const WindowResult&) {
+    ++chains;
+  };
+  // Push time forward in irregular increments.
+  for (double t = 0.7; t <= 30.0; t += 0.9) {
+    stream.Advance(trace, Time{0} + Seconds(t));
+  }
+  stream.Advance(trace, trace.end);
+  EXPECT_EQ(static_cast<std::size_t>(stream.windows_processed()),
+            batch_result.windows.size());
+  EXPECT_EQ(chains, static_cast<long>(batch_result.AllChains().size()));
+}
+
+TEST(StreamingTest, NoRework) {
+  DerivedTrace trace = IncidentTrace();
+  DominoConfig cfg;
+  StreamingDetector stream(CausalGraph::Default(cfg.thresholds), cfg);
+  int first = stream.Advance(trace, Time{0} + Seconds(10));
+  EXPECT_GT(first, 0);
+  // Same time again: nothing new.
+  EXPECT_EQ(stream.Advance(trace, Time{0} + Seconds(10)), 0);
+  // One step further: exactly one new window.
+  EXPECT_EQ(stream.Advance(trace, Time{0} + Seconds(10.5)), 1);
+}
+
+TEST(StreamingTest, WindowCallbackOrder) {
+  DerivedTrace trace = IncidentTrace();
+  DominoConfig cfg;
+  StreamingDetector stream(CausalGraph::Default(cfg.thresholds), cfg);
+  Time last{-1};
+  stream.on_window = [&](const WindowResult& w) {
+    EXPECT_GT(w.begin, last);
+    last = w.begin;
+  };
+  stream.Advance(trace, trace.end);
+  EXPECT_GT(stream.windows_processed(), 0);
+}
+
+}  // namespace
+}  // namespace domino::analysis

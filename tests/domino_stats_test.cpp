@@ -1,0 +1,173 @@
+// Tests for the chain statistics: occurrence frequencies, conditional
+// probabilities with the unknown bucket, and chain ratios with per-window
+// (cause, consequence) deduplication — on hand-built analysis results.
+#include <gtest/gtest.h>
+
+#include "domino/statistics.h"
+
+namespace domino::analysis {
+namespace {
+
+/// Tiny graph: two causes (one with a @rev twin), one intermediate, two
+/// consequences. c1 -> m -> k1, c1 -> m -> k2, c2 -> m -> k1, c1@rev -> m ->
+/// k1.
+CausalGraph TinyGraph() {
+  CausalGraph g;
+  auto add = [&](const std::string& name, NodeKind kind) {
+    Node n;
+    n.name = name;
+    n.kind = kind;
+    n.detect = [](const WindowContext&) { return false; };
+    g.AddNode(std::move(n));
+  };
+  add("c1", NodeKind::kCause);
+  add("c1@rev", NodeKind::kCause);
+  add("c2", NodeKind::kCause);
+  add("m", NodeKind::kIntermediate);
+  add("k1", NodeKind::kConsequence);
+  add("k2", NodeKind::kConsequence);
+  g.AddEdge("c1", "m");
+  g.AddEdge("c1@rev", "m");
+  g.AddEdge("c2", "m");
+  g.AddEdge("m", "k1");
+  g.AddEdge("m", "k2");
+  g.Validate();
+  return g;
+}
+
+/// Window with the given node names active (perspective 0) and matching
+/// chains filled in from the graph's enumeration.
+WindowResult MakeWindow(const CausalGraph& g, Time begin,
+                        const std::vector<std::string>& active_names) {
+  WindowResult w;
+  w.begin = begin;
+  for (int p = 0; p < 2; ++p) {
+    w.node_active[static_cast<std::size_t>(p)].assign(g.node_count(), false);
+  }
+  for (const auto& name : active_names) {
+    int idx = g.FindNode(name);
+    EXPECT_GE(idx, 0) << name;
+    w.node_active[0][static_cast<std::size_t>(idx)] = true;
+  }
+  auto chains = g.EnumerateChains();
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    bool all = true;
+    for (int node : chains[c]) {
+      if (!w.node_active[0][static_cast<std::size_t>(node)]) all = false;
+    }
+    if (all) {
+      w.chains.push_back(ChainInstance{begin, 0, static_cast<int>(c)});
+    }
+  }
+  return w;
+}
+
+TEST(StatsTest, CausesMergedAcrossLegs) {
+  CausalGraph g = TinyGraph();
+  AnalysisResult result;
+  result.trace_duration = Seconds(60);
+  auto stats = ComputeStatistics(result, g);
+  // c1 and c1@rev merge into one cause identity.
+  ASSERT_EQ(stats.causes.size(), 2u);
+  EXPECT_EQ(stats.causes[0], "c1");
+  EXPECT_EQ(stats.causes[1], "c2");
+  ASSERT_EQ(stats.consequences.size(), 2u);
+}
+
+TEST(StatsTest, OccurrencePerMinute) {
+  CausalGraph g = TinyGraph();
+  AnalysisResult result;
+  result.trace_duration = Seconds(120);  // 2 minutes
+  // c1 active in 4 windows, k1 in 2.
+  for (int i = 0; i < 4; ++i) {
+    result.windows.push_back(
+        MakeWindow(g, Time{i * 500'000}, {"c1"}));
+  }
+  result.windows.push_back(MakeWindow(g, Time{10'000'000}, {"k1"}));
+  result.windows.push_back(MakeWindow(g, Time{11'000'000}, {"k1"}));
+  auto stats = ComputeStatistics(result, g);
+  EXPECT_DOUBLE_EQ(stats.cause_per_min[0], 2.0);   // 4 windows / 2 min
+  EXPECT_DOUBLE_EQ(stats.consequence_per_min[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.cause_per_min[1], 0.0);
+}
+
+TEST(StatsTest, RevLegActivationCountsForBaseCause) {
+  CausalGraph g = TinyGraph();
+  AnalysisResult result;
+  result.trace_duration = Seconds(60);
+  result.windows.push_back(MakeWindow(g, Time{0}, {"c1@rev"}));
+  auto stats = ComputeStatistics(result, g);
+  EXPECT_DOUBLE_EQ(stats.cause_per_min[0], 1.0);
+}
+
+TEST(StatsTest, ConditionalProbabilityAndUnknown) {
+  CausalGraph g = TinyGraph();
+  AnalysisResult result;
+  result.trace_duration = Seconds(60);
+  // Window A: full chain c1 -> m -> k1.
+  result.windows.push_back(MakeWindow(g, Time{0}, {"c1", "m", "k1"}));
+  // Window B: k1 happens with no cause chain -> unknown.
+  result.windows.push_back(MakeWindow(g, Time{500'000}, {"k1"}));
+  // Window C: k1 with broken chain (cause active but intermediate not).
+  result.windows.push_back(MakeWindow(g, Time{1'000'000}, {"c1", "k1"}));
+  auto stats = ComputeStatistics(result, g);
+  int k1 = stats.ConsequenceIndex("k1");
+  int c1 = stats.CauseIndex("c1");
+  ASSERT_GE(k1, 0);
+  ASSERT_GE(c1, 0);
+  // P(c1 | k1) = 1 attributed window / 3 k1-windows.
+  EXPECT_NEAR(stats.conditional[static_cast<std::size_t>(k1)]
+                               [static_cast<std::size_t>(c1)],
+              1.0 / 3.0, 1e-9);
+  // Unknown = 2 / 3 (windows B and C lack a complete chain).
+  EXPECT_NEAR(stats.conditional[static_cast<std::size_t>(k1)]
+                               [stats.causes.size()],
+              2.0 / 3.0, 1e-9);
+}
+
+TEST(StatsTest, ChainRatioDedupsPerWindow) {
+  CausalGraph g = TinyGraph();
+  AnalysisResult result;
+  result.trace_duration = Seconds(60);
+  // One window where BOTH c1 and c1@rev chains to k1 fire: the (c1, k1)
+  // pair must count once (Table 4's "only count one" rule).
+  result.windows.push_back(
+      MakeWindow(g, Time{0}, {"c1", "c1@rev", "m", "k1"}));
+  // Another window with a c2 chain.
+  result.windows.push_back(MakeWindow(g, Time{500'000}, {"c2", "m", "k1"}));
+  auto stats = ComputeStatistics(result, g);
+  EXPECT_EQ(stats.windows_with_chain, 2);
+  int k1 = stats.ConsequenceIndex("k1");
+  // (c1, k1) in 1 of 2 chain-windows = 50%, despite two instances.
+  EXPECT_NEAR(stats.chain_ratio[static_cast<std::size_t>(k1)][0], 0.5, 1e-9);
+  EXPECT_NEAR(stats.chain_ratio[static_cast<std::size_t>(k1)][1], 0.5, 1e-9);
+}
+
+TEST(StatsTest, MultipleCausesAllAttributed) {
+  CausalGraph g = TinyGraph();
+  AnalysisResult result;
+  result.trace_duration = Seconds(60);
+  // Both causes complete chains in the same window: Table 2 credits both.
+  result.windows.push_back(
+      MakeWindow(g, Time{0}, {"c1", "c2", "m", "k1"}));
+  auto stats = ComputeStatistics(result, g);
+  int k1 = stats.ConsequenceIndex("k1");
+  EXPECT_NEAR(stats.conditional[static_cast<std::size_t>(k1)][0], 1.0, 1e-9);
+  EXPECT_NEAR(stats.conditional[static_cast<std::size_t>(k1)][1], 1.0, 1e-9);
+  EXPECT_NEAR(stats.conditional[static_cast<std::size_t>(k1)]
+                               [stats.causes.size()],
+              0.0, 1e-9);
+}
+
+TEST(StatsTest, TablesRenderWithoutCrashing) {
+  CausalGraph g = CausalGraph::Default();
+  AnalysisResult result;
+  result.trace_duration = Seconds(60);
+  auto stats = ComputeStatistics(result, g);
+  EXPECT_FALSE(FormatConditionalTable(stats).empty());
+  EXPECT_FALSE(FormatChainRatioTable(stats).empty());
+  EXPECT_FALSE(FormatOccurrence(stats).empty());
+}
+
+}  // namespace
+}  // namespace domino::analysis

@@ -1,0 +1,502 @@
+// Unit tests for the GCC reimplementation: inter-arrival grouping, trendline
+// estimator + overuse detector, AIMD rate control, acknowledged bitrate,
+// pushback controller, and the GoogCc facade.
+#include <gtest/gtest.h>
+
+#include "gcc/ack_bitrate.h"
+#include "gcc/aimd.h"
+#include "gcc/goog_cc.h"
+#include "gcc/inter_arrival.h"
+#include "gcc/pushback.h"
+#include "gcc/trendline.h"
+
+namespace domino::gcc {
+namespace {
+
+// --- InterArrival ---------------------------------------------------------------
+
+TEST(InterArrivalTest, NeedsTwoCompleteGroups) {
+  InterArrival ia;
+  EXPECT_FALSE(ia.OnPacket(Time{0}, Time{10'000}).has_value());
+  // Same 5 ms burst -> same group.
+  EXPECT_FALSE(ia.OnPacket(Time{2'000}, Time{12'000}).has_value());
+  // New group; previous complete but no group before it.
+  EXPECT_FALSE(ia.OnPacket(Time{10'000}, Time{20'000}).has_value());
+  // Third group: now a delta between groups 1 and 2 emerges.
+  auto d = ia.OnPacket(Time{20'000}, Time{30'000});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(d->send_delta_ms, 8.0);     // 10 ms vs 2 ms last-sends
+  EXPECT_DOUBLE_EQ(d->arrival_delta_ms, 8.0);  // 20 ms vs 12 ms
+  EXPECT_DOUBLE_EQ(d->delay_delta_ms(), 0.0);
+}
+
+TEST(InterArrivalTest, PositiveDelayDeltaWhenQueueing) {
+  InterArrival ia;
+  ia.OnPacket(Time{0}, Time{10'000});
+  ia.OnPacket(Time{10'000}, Time{20'000});
+  // Group 3 arrives 5 ms later than its pacing -> queue building. Its delta
+  // is emitted when group 4 begins (group completion boundary).
+  ia.OnPacket(Time{20'000}, Time{35'000});
+  auto d = ia.OnPacket(Time{30'000}, Time{45'000});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(d->send_delta_ms, 10.0);
+  EXPECT_DOUBLE_EQ(d->arrival_delta_ms, 15.0);
+  EXPECT_DOUBLE_EQ(d->delay_delta_ms(), 5.0);
+}
+
+TEST(InterArrivalTest, ResetClearsState) {
+  InterArrival ia;
+  ia.OnPacket(Time{0}, Time{10'000});
+  ia.OnPacket(Time{10'000}, Time{20'000});
+  ia.Reset();
+  EXPECT_FALSE(ia.OnPacket(Time{20'000}, Time{30'000}).has_value());
+  EXPECT_FALSE(ia.OnPacket(Time{30'000}, Time{40'000}).has_value());
+}
+
+// --- Trendline --------------------------------------------------------------------
+
+/// Feeds deltas with the given per-group delay drift (ms per group).
+NetworkState DriveTrendline(TrendlineEstimator& tl, double drift_ms,
+                            int groups, Time start = Time{0}) {
+  Time t = start;
+  double delay = 0;
+  for (int i = 0; i < groups; ++i) {
+    GroupDelta d;
+    d.send_delta_ms = 10.0;
+    delay += drift_ms;
+    d.arrival_delta_ms = 10.0 + drift_ms;
+    t += Millis(10 + static_cast<std::int64_t>(drift_ms));
+    d.arrival_time = t;
+    tl.OnDelta(d);
+  }
+  return tl.state();
+}
+
+TEST(TrendlineTest, StableDelayIsNormal) {
+  TrendlineEstimator tl;
+  EXPECT_EQ(DriveTrendline(tl, 0.0, 100), NetworkState::kNormal);
+  EXPECT_NEAR(tl.modified_trend(), 0.0, 1.0);
+}
+
+TEST(TrendlineTest, RisingDelaySignalsOveruse) {
+  TrendlineEstimator tl;
+  DriveTrendline(tl, 0.0, 40);  // settle
+  EXPECT_EQ(DriveTrendline(tl, 2.0, 60), NetworkState::kOveruse);
+  EXPECT_GT(tl.modified_trend(), tl.threshold());
+}
+
+TEST(TrendlineTest, FallingDelaySignalsUnderuse) {
+  TrendlineEstimator tl;
+  DriveTrendline(tl, 0.0, 40);
+  DriveTrendline(tl, 3.0, 40);   // build a queue
+  EXPECT_EQ(DriveTrendline(tl, -3.0, 40), NetworkState::kUnderuse);
+}
+
+TEST(TrendlineTest, ThresholdAdaptsUpward) {
+  TrendlineEstimator tl;
+  double initial = tl.threshold();
+  // Repeated moderate trends below the overuse bound push the threshold up.
+  DriveTrendline(tl, 0.6, 200);
+  EXPECT_GT(tl.threshold(), initial * 0.5);  // sane
+  EXPECT_GE(tl.threshold(), 6.0);
+  EXPECT_LE(tl.threshold(), 600.0);
+}
+
+TEST(TrendlineTest, RecoversToNormalAfterEvent) {
+  TrendlineEstimator tl;
+  DriveTrendline(tl, 0.0, 40);
+  DriveTrendline(tl, 2.5, 40);
+  NetworkState s = DriveTrendline(tl, 0.0, 120);
+  EXPECT_NE(s, NetworkState::kOveruse);
+}
+
+// --- AIMD -------------------------------------------------------------------------
+
+TEST(AimdTest, OveruseDecreasesToBetaAcked) {
+  AimdConfig cfg;
+  cfg.start_bitrate_bps = 2e6;
+  AimdRateControl aimd(cfg);
+  aimd.Update(NetworkState::kOveruse, 1.5e6, Time{1'000'000});
+  EXPECT_NEAR(aimd.target_bps(), 0.85 * 1.5e6, 1.0);
+  EXPECT_EQ(aimd.decrease_count(), 1);
+  EXPECT_TRUE(aimd.near_max());
+}
+
+TEST(AimdTest, RepeatedOveruseWithinResponseTimeCollapsesOnce) {
+  AimdConfig cfg;
+  cfg.start_bitrate_bps = 2e6;
+  AimdRateControl aimd(cfg);
+  aimd.Update(NetworkState::kOveruse, 1.5e6, Time{1'000'000});
+  aimd.Update(NetworkState::kOveruse, 1.2e6, Time{1'050'000});
+  EXPECT_EQ(aimd.decrease_count(), 1);  // second one suppressed (50 ms later)
+}
+
+TEST(AimdTest, UnderuseHolds) {
+  AimdConfig cfg;
+  cfg.start_bitrate_bps = 1e6;
+  AimdRateControl aimd(cfg);
+  aimd.Update(NetworkState::kUnderuse, 1e6, Time{1'000'000});
+  aimd.Update(NetworkState::kUnderuse, 1e6, Time{2'000'000});
+  EXPECT_DOUBLE_EQ(aimd.target_bps(), 1e6);
+}
+
+TEST(AimdTest, MultiplicativeGrowthBeforeFirstDecrease) {
+  AimdConfig cfg;
+  cfg.start_bitrate_bps = 500e3;
+  AimdRateControl aimd(cfg);
+  Time t{0};
+  for (int i = 0; i < 10; ++i) {
+    t += Millis(100);
+    // Acked unknown (0): growth must be the pure multiplicative path.
+    aimd.Update(NetworkState::kNormal, 0, t);
+  }
+  // ~8% per second over 1 s.
+  EXPECT_NEAR(aimd.target_bps(), 500e3 * 1.08, 10e3);
+}
+
+TEST(AimdTest, AdditiveAfterDecreaseIsSlow) {
+  AimdConfig cfg;
+  cfg.start_bitrate_bps = 2e6;
+  AimdRateControl aimd(cfg);
+  aimd.Update(NetworkState::kOveruse, 1.0e6, Time{1'000'000});
+  double after_drop = aimd.target_bps();
+  Time t{1'000'000};
+  for (int i = 0; i < 10; ++i) {
+    t += Millis(100);
+    // Acked tracks the (throttled) send rate so fast recovery cannot kick in.
+    aimd.Update(NetworkState::kNormal, after_drop, t);
+  }
+  // Additive: ~24 kbps/s at the default config -> ~24 kbps over 1 s.
+  EXPECT_LT(aimd.target_bps(), after_drop + 60e3);
+  EXPECT_GT(aimd.target_bps(), after_drop);
+}
+
+TEST(AimdTest, FastRecoveryNeedsSustainedEvidence) {
+  AimdConfig cfg;
+  cfg.start_bitrate_bps = 2e6;
+  cfg.fast_recovery_evidence = 5;
+  AimdRateControl aimd(cfg);
+  aimd.Update(NetworkState::kOveruse, 600e3, Time{1'000'000});
+  EXPECT_NEAR(aimd.target_bps(), 510e3, 1.0);
+  Time t{1'200'000};
+  // Four high-acked updates: not yet enough evidence.
+  for (int i = 0; i < 4; ++i) {
+    t += Millis(100);
+    aimd.Update(NetworkState::kNormal, 2e6, t);
+  }
+  EXPECT_EQ(aimd.fast_recovery_count(), 0);
+  EXPECT_LT(aimd.target_bps(), 700e3);
+  // The fifth triggers the jump to beta x acked.
+  t += Millis(100);
+  aimd.Update(NetworkState::kNormal, 2e6, t);
+  EXPECT_EQ(aimd.fast_recovery_count(), 1);
+  EXPECT_NEAR(aimd.target_bps(), 0.85 * 2e6, 1e3);
+}
+
+TEST(AimdTest, AppLimitedSuppressesCapAndFastRecovery) {
+  AimdConfig cfg;
+  cfg.start_bitrate_bps = 2e6;
+  cfg.fast_recovery_evidence = 1;
+  AimdRateControl aimd(cfg);
+  Time t{1'000'000};
+  // Acked far below target because the app sends little; app_limited must
+  // prevent the cap from dragging the target down.
+  for (int i = 0; i < 5; ++i) {
+    t += Millis(100);
+    aimd.Update(NetworkState::kNormal, 200e3, t, /*app_limited=*/true);
+  }
+  EXPECT_GT(aimd.target_bps(), 2e6);
+}
+
+TEST(AimdTest, ClampsToMinAndMax) {
+  AimdConfig cfg;
+  cfg.min_bitrate_bps = 100e3;
+  cfg.max_bitrate_bps = 1e6;
+  cfg.start_bitrate_bps = 900e3;
+  AimdRateControl aimd(cfg);
+  Time t{0};
+  for (int i = 0; i < 50; ++i) {
+    t += Millis(100);
+    aimd.Update(NetworkState::kNormal, 5e6, t);
+  }
+  EXPECT_DOUBLE_EQ(aimd.target_bps(), 1e6);
+  t += Seconds(1.0);
+  aimd.Update(NetworkState::kOveruse, 50e3, t);
+  EXPECT_DOUBLE_EQ(aimd.target_bps(), 100e3);
+}
+
+// --- AckedBitrateEstimator -----------------------------------------------------------
+
+TEST(AckedBitrateTest, MeasuresConstantRate) {
+  AckedBitrateEstimator est;
+  // 1200 B every 10 ms = 960 kbps.
+  for (int i = 0; i < 100; ++i) {
+    est.OnAckedPacket(Time{i * 10'000}, 1200);
+  }
+  EXPECT_NEAR(est.bitrate_bps(), 960e3, 40e3);
+}
+
+TEST(AckedBitrateTest, ZeroUntilEnoughData) {
+  AckedBitrateEstimator est;
+  est.OnAckedPacket(Time{0}, 1200);
+  EXPECT_DOUBLE_EQ(est.bitrate_bps(), 0.0);
+  est.OnAckedPacket(Time{10'000}, 1200);  // span 10 ms < 100 ms minimum
+  EXPECT_DOUBLE_EQ(est.bitrate_bps(), 0.0);
+}
+
+TEST(AckedBitrateTest, TracksRateChange) {
+  AckedBitrateEstimator est(Millis(500));
+  for (int i = 0; i < 100; ++i) est.OnAckedPacket(Time{i * 10'000}, 1200);
+  // Rate halves: packets every 20 ms.
+  for (int i = 0; i < 100; ++i) {
+    est.OnAckedPacket(Time{1'000'000 + i * 20'000}, 1200);
+  }
+  EXPECT_NEAR(est.bitrate_bps(), 480e3, 40e3);
+}
+
+// --- Pushback ---------------------------------------------------------------------
+
+TEST(PushbackTest, WindowSizedFromRateAndRtt) {
+  PushbackController pb;
+  pb.UpdateWindow(2e6, Millis(150));  // (150 + 250) ms at 2 Mbps = 100 KB
+  EXPECT_NEAR(pb.cwnd_bytes(), 100'000, 1'000);
+}
+
+TEST(PushbackTest, NoPushbackWhenUnderfilled) {
+  PushbackController pb;
+  pb.UpdateWindow(2e6, Millis(150));
+  pb.OnOutstandingBytes(30'000);
+  EXPECT_DOUBLE_EQ(pb.AdjustRate(2e6), 2e6);
+  EXPECT_FALSE(pb.window_full());
+}
+
+TEST(PushbackTest, OverfilledWindowBacksOff) {
+  PushbackController pb;
+  pb.UpdateWindow(2e6, Millis(150));
+  pb.OnOutstandingBytes(200'000);  // fill ratio 2.0
+  EXPECT_TRUE(pb.window_full());
+  double r1 = pb.AdjustRate(2e6);
+  double r2 = pb.AdjustRate(2e6);
+  EXPECT_LT(r1, 2e6);
+  EXPECT_LT(r2, r1);  // multiplicative
+}
+
+TEST(PushbackTest, RecoversAfterDrain) {
+  PushbackController pb;
+  pb.UpdateWindow(2e6, Millis(150));
+  pb.OnOutstandingBytes(200'000);
+  for (int i = 0; i < 20; ++i) pb.AdjustRate(2e6);
+  EXPECT_LT(pb.ratio(), 0.5);
+  pb.OnOutstandingBytes(1'000);  // fill < 0.1 snaps back
+  EXPECT_DOUBLE_EQ(pb.AdjustRate(2e6), 2e6);
+}
+
+TEST(PushbackTest, FlooredAtMinimum) {
+  PushbackConfig cfg;
+  cfg.min_pushback_ratio = 0.1;
+  cfg.min_bitrate_bps = 50e3;
+  PushbackController pb(cfg);
+  pb.UpdateWindow(2e6, Millis(150));
+  pb.OnOutstandingBytes(10'000'000);
+  for (int i = 0; i < 100; ++i) pb.AdjustRate(2e6);
+  EXPECT_GE(pb.AdjustRate(2e6), 0.1 * 2e6 * 0.9);
+}
+
+// --- GoogCc facade -------------------------------------------------------------------
+
+TransportFeedback MakeFeedback(std::uint64_t first_id, int count,
+                               Time first_send, Duration spacing,
+                               Duration owd, Time feedback_time) {
+  TransportFeedback fb;
+  fb.feedback_time = feedback_time;
+  for (int i = 0; i < count; ++i) {
+    PacketResult p;
+    p.packet_id = first_id + static_cast<std::uint64_t>(i);
+    p.size_bytes = 1200;
+    p.send_time = first_send + spacing * i;
+    p.recv_time = p.send_time + owd;
+    fb.packets.push_back(p);
+  }
+  return fb;
+}
+
+TEST(GoogCcTest, OutstandingBytesLedger) {
+  GoogCc cc;
+  cc.OnPacketSent(1, 1000, Time{0});
+  cc.OnPacketSent(2, 1000, Time{1000});
+  EXPECT_DOUBLE_EQ(cc.outstanding_bytes(), 2000);
+  TransportFeedback fb = MakeFeedback(1, 1, Time{0}, Millis(10), Millis(30),
+                                      Time{100'000});
+  cc.OnFeedback(fb);
+  EXPECT_DOUBLE_EQ(cc.outstanding_bytes(), 1000);
+}
+
+TEST(GoogCcTest, LostPacketsClearedFromLedger) {
+  GoogCc cc;
+  cc.OnPacketSent(1, 1000, Time{0});
+  TransportFeedback fb;
+  fb.feedback_time = Time{100'000};
+  PacketResult lost;
+  lost.packet_id = 1;
+  lost.recv_time = Time::max();
+  fb.packets.push_back(lost);
+  cc.OnFeedback(fb);
+  EXPECT_DOUBLE_EQ(cc.outstanding_bytes(), 0);
+  EXPECT_GT(cc.loss_fraction(), 0.0);
+}
+
+TEST(GoogCcTest, RttSmoothedFromFeedback) {
+  GoogCc cc;
+  for (int i = 0; i < 40; ++i) {
+    Time send{i * 100'000};
+    cc.OnPacketSent(static_cast<std::uint64_t>(i + 1), 1200, send);
+    auto fb = MakeFeedback(static_cast<std::uint64_t>(i + 1), 1, send,
+                           Millis(10), Millis(30), send + Millis(60));
+    cc.OnFeedback(fb);
+  }
+  EXPECT_NEAR(cc.rtt().millis(), 60.0, 5.0);
+}
+
+TEST(GoogCcTest, GrowsOnCleanNetwork) {
+  GccConfig cfg;
+  cfg.aimd.start_bitrate_bps = 400e3;
+  GoogCc cc(cfg);
+  std::uint64_t id = 1;
+  for (int i = 0; i < 200; ++i) {
+    Time send{i * 50'000};
+    // Two packets per feedback interval at steady pacing.
+    cc.OnPacketSent(id, 1200, send);
+    cc.OnPacketSent(id + 1, 1200, send + Millis(25));
+    auto fb = MakeFeedback(id, 2, send, Millis(25), Millis(20),
+                           send + Millis(55));
+    cc.OnFeedback(fb);
+    id += 2;
+  }
+  EXPECT_GT(cc.target_bitrate_bps(), 400e3);
+  EXPECT_EQ(cc.state(), NetworkState::kNormal);
+}
+
+TEST(GoogCcTest, DelayRampTriggersOveruseAndRateCut) {
+  GccConfig cfg;
+  cfg.aimd.start_bitrate_bps = 1e6;
+  GoogCc cc(cfg);
+  std::uint64_t id = 1;
+  double before = 0;
+  // Stable phase.
+  for (int i = 0; i < 100; ++i) {
+    Time send{i * 20'000};
+    cc.OnPacketSent(id, 1200, send);
+    cc.OnFeedback(MakeFeedback(id, 1, send, Millis(10), Millis(20),
+                               send + Millis(50)));
+    ++id;
+  }
+  before = cc.target_bitrate_bps();
+  // Ramp: delay grows 4 ms per packet.
+  for (int i = 0; i < 60; ++i) {
+    Time send{2'000'000 + i * 20'000};
+    cc.OnPacketSent(id, 1200, send);
+    Duration owd = Millis(20 + 4 * i);
+    cc.OnFeedback(MakeFeedback(id, 1, send, Millis(10), owd,
+                               send + owd + Millis(30)));
+    ++id;
+  }
+  EXPECT_GT(cc.overuse_count(), 0);
+  EXPECT_LT(cc.target_bitrate_bps(), before);
+}
+
+TEST(GoogCcTest, HeavyLossEngagesLossController) {
+  GccConfig cfg;
+  cfg.aimd.start_bitrate_bps = 2e6;
+  GoogCc cc(cfg);
+  std::uint64_t id = 1;
+  // Warm up loss-free.
+  for (int i = 0; i < 30; ++i) {
+    Time send{i * 50'000};
+    cc.OnPacketSent(id, 1200, send);
+    cc.OnFeedback(MakeFeedback(id, 1, send, Millis(10), Millis(20),
+                               send + Millis(50)));
+    ++id;
+  }
+  double before = cc.target_bitrate_bps();
+  // Sustained 30% loss with stable delay: only the loss-based controller
+  // can be responsible for any cut.
+  for (int i = 0; i < 60; ++i) {
+    Time send{2'000'000 + i * 50'000};
+    cc.OnPacketSent(id, 1200, send);
+    cc.OnPacketSent(id + 1, 1200, send + Millis(5));
+    cc.OnPacketSent(id + 2, 1200, send + Millis(10));
+    TransportFeedback fb = MakeFeedback(id, 2, send, Millis(5), Millis(20),
+                                        send + Millis(50));
+    PacketResult lost;
+    lost.packet_id = id + 2;
+    lost.recv_time = Time::max();
+    fb.packets.push_back(lost);
+    cc.OnFeedback(fb);
+    id += 3;
+  }
+  EXPECT_GT(cc.loss_fraction(), 0.15);
+  // The loss-based ceiling must have engaged (it starts at the max bitrate)
+  // and be the binding constraint relative to where it began.
+  EXPECT_LT(cc.loss_based_bps(), cfg.aimd.max_bitrate_bps * 0.8);
+  EXPECT_LE(cc.target_bitrate_bps(), before);
+  EXPECT_EQ(cc.state(), NetworkState::kNormal);  // delay path stayed quiet
+}
+
+TEST(GoogCcTest, LossControllerRecoversWhenLossSubsides) {
+  GccConfig cfg;
+  cfg.aimd.start_bitrate_bps = 2e6;
+  GoogCc cc(cfg);
+  std::uint64_t id = 1;
+  // Lossy phase.
+  for (int i = 0; i < 60; ++i) {
+    Time send{i * 50'000};
+    cc.OnPacketSent(id, 1200, send);
+    cc.OnPacketSent(id + 1, 1200, send + Millis(5));
+    TransportFeedback fb = MakeFeedback(id, 1, send, Millis(5), Millis(20),
+                                        send + Millis(50));
+    PacketResult lost;
+    lost.packet_id = id + 1;
+    lost.recv_time = Time::max();
+    fb.packets.push_back(lost);
+    cc.OnFeedback(fb);
+    id += 2;
+  }
+  double ceiling_during = cc.loss_based_bps();
+  // Clean phase: the loss-based ceiling relaxes multiplicatively.
+  for (int i = 0; i < 300; ++i) {
+    Time send{10'000'000 + i * 50'000};
+    cc.OnPacketSent(id, 1200, send);
+    cc.OnFeedback(MakeFeedback(id, 1, send, Millis(10), Millis(20),
+                               send + Millis(50)));
+    ++id;
+  }
+  EXPECT_LT(cc.loss_fraction(), 0.02);
+  EXPECT_GT(cc.loss_based_bps(), ceiling_during * 1.5);
+}
+
+TEST(GoogCcTest, ProcessTickAppliesPushbackDuringFeedbackStall) {
+  GccConfig cfg;
+  cfg.aimd.start_bitrate_bps = 2e6;
+  GoogCc cc(cfg);
+  std::uint64_t id = 1;
+  // Establish a normal RTT and window.
+  for (int i = 0; i < 20; ++i) {
+    Time send{i * 50'000};
+    cc.OnPacketSent(id, 1200, send);
+    cc.OnFeedback(MakeFeedback(id, 1, send, Millis(10), Millis(30),
+                               send + Millis(70)));
+    ++id;
+  }
+  double before = cc.pushback_bitrate_bps();
+  // Feedback stalls while media keeps flowing: outstanding accumulates.
+  for (int i = 0; i < 200; ++i) {
+    cc.OnPacketSent(id++, 1200, Time{1'000'000 + i * 4'000});
+  }
+  for (int i = 0; i < 20; ++i) {
+    cc.OnProcess(Time{1'800'000 + i * 25'000});
+  }
+  EXPECT_LT(cc.pushback_bitrate_bps(), before * 0.8);
+}
+
+}  // namespace
+}  // namespace domino::gcc

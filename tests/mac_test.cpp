@@ -1,0 +1,388 @@
+// Unit + integration tests for the MAC layer: PRB allocation, cross-traffic
+// sources, and the CellLink data path (grant loop, HARQ, RRC gating,
+// in-order delivery, telemetry emission).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include <map>
+
+#include "common/event_queue.h"
+#include "mac/cross_traffic.h"
+#include "mac/link.h"
+#include "mac/scheduler.h"
+#include "phy/mcs_table.h"
+
+namespace domino::mac {
+namespace {
+
+// --- AllocatePrbs -------------------------------------------------------------
+
+TEST(AllocatePrbsTest, EmptyAndZero) {
+  EXPECT_TRUE(AllocatePrbs(10, {}).empty());
+  auto a = AllocatePrbs(0, {{5, 1.0}});
+  EXPECT_EQ(a[0], 0);
+}
+
+TEST(AllocatePrbsTest, SingleUserGetsDemand) {
+  auto a = AllocatePrbs(100, {{30, 1.0}});
+  EXPECT_EQ(a[0], 30);
+}
+
+TEST(AllocatePrbsTest, SingleUserCappedByCapacity) {
+  auto a = AllocatePrbs(20, {{30, 1.0}});
+  EXPECT_EQ(a[0], 20);
+}
+
+TEST(AllocatePrbsTest, EqualSplitWhenBacklogged) {
+  auto a = AllocatePrbs(90, {{1000, 1.0}, {1000, 1.0}, {1000, 1.0}});
+  EXPECT_EQ(a[0], 30);
+  EXPECT_EQ(a[1], 30);
+  EXPECT_EQ(a[2], 30);
+}
+
+TEST(AllocatePrbsTest, WeightedSplit) {
+  auto a = AllocatePrbs(90, {{1000, 1.0}, {1000, 2.0}});
+  EXPECT_EQ(a[0], 30);
+  EXPECT_EQ(a[1], 60);
+}
+
+TEST(AllocatePrbsTest, UnusedShareRedistributed) {
+  // First user only wants 10; the rest goes to the backlogged user.
+  auto a = AllocatePrbs(100, {{10, 1.0}, {1000, 1.0}});
+  EXPECT_EQ(a[0], 10);
+  EXPECT_EQ(a[1], 90);
+}
+
+TEST(AllocatePrbsTest, NeverExceedsDemandOrCapacity) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    int total = static_cast<int>(rng.UniformInt(1, 273));
+    std::vector<PrbDemand> demands;
+    int n = static_cast<int>(rng.UniformInt(1, 8));
+    for (int i = 0; i < n; ++i) {
+      demands.push_back(PrbDemand{static_cast<int>(rng.UniformInt(0, 300)),
+                                  rng.Uniform(0.5, 4.0)});
+    }
+    auto alloc = AllocatePrbs(total, demands);
+    int sum = std::accumulate(alloc.begin(), alloc.end(), 0);
+    EXPECT_LE(sum, total);
+    long wanted = 0;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      EXPECT_LE(alloc[i], demands[i].wanted_prbs);
+      EXPECT_GE(alloc[i], 0);
+      wanted += demands[i].wanted_prbs;
+    }
+    // Work-conserving: if total demand >= capacity, capacity is exhausted.
+    if (wanted >= total) {
+      EXPECT_EQ(sum, total);
+    }
+  }
+}
+
+// --- Cross traffic --------------------------------------------------------------
+
+TEST(CrossTrafficTest, OffSourceNoDemand) {
+  OnOffConfig cfg;
+  cfg.mean_on_s = 1e-9;  // effectively never on
+  cfg.mean_off_s = 1e9;
+  OnOffSource src(cfg, 0x100, Rng(1));
+  int demand = 0;
+  for (int i = 0; i < 100; ++i) {
+    demand += src.DemandBytes(Time{i * 1000}, Millis(1));
+  }
+  EXPECT_EQ(demand, 0);
+}
+
+TEST(CrossTrafficTest, ForcedOnOverridesPhase) {
+  OnOffConfig cfg;
+  cfg.mean_on_s = 1e-9;
+  cfg.mean_off_s = 1e9;
+  cfg.rate_bps = 8e6;  // 1 KB per ms
+  OnOffSource src(cfg, 0x100, Rng(1));
+  src.ForceOn(Time{10'000}, Time{20'000});
+  EXPECT_EQ(src.DemandBytes(Time{5'000}, Millis(1)), 0);
+  EXPECT_EQ(src.DemandBytes(Time{15'000}, Millis(1)), 1000);
+  EXPECT_EQ(src.DemandBytes(Time{25'000}, Millis(1)), 0);
+}
+
+TEST(CrossTrafficTest, DutyCycleApproximatesConfig) {
+  OnOffConfig cfg;
+  cfg.mean_on_s = 1.0;
+  cfg.mean_off_s = 3.0;
+  OnOffSource src(cfg, 0x100, Rng(7));
+  int active = 0;
+  const int kSlots = 200'000;
+  for (int i = 0; i < kSlots; ++i) {
+    if (src.DemandBytes(Time{i * 1000}, Millis(1)) > 0) ++active;
+  }
+  EXPECT_NEAR(static_cast<double>(active) / kSlots, 0.25, 0.08);
+}
+
+TEST(CrossTrafficTest, ModelAggregates) {
+  CrossTrafficModel model;
+  OnOffConfig cfg;
+  cfg.mean_on_s = 1e9;  // always on
+  cfg.mean_off_s = 1e-9;
+  model.AddSource(OnOffSource(cfg, 0x100, Rng(1)));
+  model.AddSource(OnOffSource(cfg, 0x101, Rng(2)));
+  auto demands = model.Demands(Time{1'000'000}, Millis(1));
+  EXPECT_EQ(demands.size(), 2u);
+}
+
+// --- CellLink -------------------------------------------------------------------
+
+struct LinkHarness {
+  EventQueue queue;
+  phy::FrameStructure frame;
+  rrc::RrcStateMachine rrc;
+  std::unique_ptr<CellLink> link;
+  std::vector<std::pair<std::uint64_t, Time>> delivered;
+  std::vector<std::uint64_t> dropped;
+  std::vector<telemetry::DciRecord> dcis;
+
+  explicit LinkHarness(LinkConfig cfg,
+                       phy::ChannelConfig channel =
+                           {.base_sinr_db = 20.0, .sigma_db = 0.01,
+                            .coherence_ms = 50.0},
+                       rlc::RlcConfig rlc_cfg = {},
+                       phy::Duplex duplex = phy::Duplex::kFdd)
+      : frame(duplex, duplex == phy::Duplex::kFdd ? 15 : 30, "DDDSU"),
+        rrc(rrc::RrcConfig{}, Rng(1)) {
+    cfg.carrier.total_prbs = 79;
+    link = std::make_unique<CellLink>(queue, frame, cfg,
+                                      phy::ChannelModel(channel, Rng(2)),
+                                      rlc_cfg, rrc, Rng(3));
+    link->on_deliver = [this](std::uint64_t id, Time t) {
+      delivered.emplace_back(id, t);
+    };
+    link->on_drop = [this](std::uint64_t id) { dropped.push_back(id); };
+    link->on_dci = [this](const telemetry::DciRecord& r) {
+      dcis.push_back(r);
+    };
+    link->Start();
+  }
+};
+
+LinkConfig UlConfig() {
+  LinkConfig cfg;
+  cfg.dir = Direction::kUplink;
+  cfg.grant_delay = Millis(10);
+  return cfg;
+}
+
+LinkConfig DlConfig() {
+  LinkConfig cfg;
+  cfg.dir = Direction::kDownlink;
+  return cfg;
+}
+
+TEST(CellLinkTest, UplinkDelayIncludesGrantLoop) {
+  LinkHarness h(UlConfig());
+  h.queue.ScheduleAt(Time{5'000}, [&] { h.link->Enqueue(1, 1200); });
+  h.queue.RunUntil(Time{1'000'000});
+  ASSERT_EQ(h.delivered.size(), 1u);
+  Duration delay = h.delivered[0].second - Time{5'000};
+  // BSR wait + 10 ms grant delay + transmission; must exceed the grant
+  // delay and stay well under 50 ms on a clean channel.
+  EXPECT_GE(delay, Millis(10));
+  EXPECT_LE(delay, Millis(50));
+}
+
+TEST(CellLinkTest, DownlinkFasterThanUplink) {
+  LinkHarness ul(UlConfig());
+  LinkHarness dl(DlConfig());
+  ul.queue.ScheduleAt(Time{5'000}, [&] { ul.link->Enqueue(1, 1200); });
+  dl.queue.ScheduleAt(Time{5'000}, [&] { dl.link->Enqueue(1, 1200); });
+  ul.queue.RunUntil(Time{1'000'000});
+  dl.queue.RunUntil(Time{1'000'000});
+  ASSERT_EQ(ul.delivered.size(), 1u);
+  ASSERT_EQ(dl.delivered.size(), 1u);
+  EXPECT_LT(dl.delivered[0].second - Time{5'000},
+            ul.delivered[0].second - Time{5'000});
+}
+
+TEST(CellLinkTest, DeliversInOrder) {
+  LinkHarness h(UlConfig());
+  for (int i = 0; i < 50; ++i) {
+    h.queue.ScheduleAt(Time{i * 3'000},
+                       [&h, i] { h.link->Enqueue(100 + i, 900); });
+  }
+  h.queue.RunUntil(Time{2'000'000});
+  ASSERT_EQ(h.delivered.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(h.delivered[i].first, 100 + i);
+  }
+}
+
+TEST(CellLinkTest, CleanChannelNoHarqRetx) {
+  // Far above the highest MCS threshold: BLER is negligible.
+  LinkHarness h(UlConfig(), {.base_sinr_db = 35.0, .sigma_db = 0.01,
+                             .coherence_ms = 50.0});
+  for (int i = 0; i < 30; ++i) {
+    h.queue.ScheduleAt(Time{i * 3'000}, [&h, i] { h.link->Enqueue(i, 900); });
+  }
+  h.queue.RunUntil(Time{1'000'000});
+  EXPECT_EQ(h.link->harq_retx_count(), 0);
+}
+
+TEST(CellLinkTest, PoorChannelCausesHarqRetx) {
+  // SINR several dB below the selected MCS threshold via CQI staleness:
+  // a step fade that the (delayed) link adaptation misses at onset.
+  LinkConfig cfg = UlConfig();
+  cfg.cqi_delay = Millis(8);
+  LinkHarness h(cfg, {.base_sinr_db = 18.0, .sigma_db = 0.01,
+                      .coherence_ms = 50.0});
+  h.link->channel().AddEpisode(
+      phy::ChannelEpisode{Time{50'000}, Time{70'000}, -12.0});
+  for (int i = 0; i < 100; ++i) {
+    h.queue.ScheduleAt(Time{i * 1'000}, [&h, i] { h.link->Enqueue(i, 900); });
+  }
+  h.queue.RunUntil(Time{2'000'000});
+  EXPECT_GT(h.link->harq_retx_count(), 0);
+  EXPECT_EQ(h.delivered.size(), 100u);  // HARQ/RLC still delivers everything
+}
+
+TEST(CellLinkTest, RrcBlackoutStallsAndRecovers) {
+  LinkHarness h(UlConfig());
+  h.rrc.ScheduleRelease(Time{100'000});
+  // Enqueue during the blackout.
+  h.queue.ScheduleAt(Time{150'000}, [&] { h.link->Enqueue(1, 1200); });
+  h.queue.RunUntil(Time{2'000'000});
+  ASSERT_EQ(h.delivered.size(), 1u);
+  // Cannot depart before reconnection at 400 ms.
+  EXPECT_GE(h.delivered[0].second.micros(), 400'000);
+  // No UE DCIs during the blackout.
+  for (const auto& d : h.dcis) {
+    if (d.rnti >= 0x4601) {
+      EXPECT_FALSE(d.time >= Time{100'000} && d.time < Time{400'000});
+    }
+  }
+}
+
+TEST(CellLinkTest, BufferOverflowDrops) {
+  rlc::RlcConfig rlc_cfg;
+  rlc_cfg.max_buffer_bytes = 5'000;
+  LinkHarness h(UlConfig(), {.base_sinr_db = 20.0, .sigma_db = 0.01,
+                             .coherence_ms = 50.0},
+                rlc_cfg);
+  h.rrc.ScheduleRelease(Time{10'000});  // 300 ms blackout backs up the queue
+  for (int i = 0; i < 20; ++i) {
+    h.queue.ScheduleAt(Time{20'000 + i * 1'000},
+                       [&h, i] { h.link->Enqueue(i, 1000); });
+  }
+  h.queue.RunUntil(Time{2'000'000});
+  EXPECT_FALSE(h.dropped.empty());
+  EXPECT_EQ(h.delivered.size() + h.dropped.size(), 20u);
+}
+
+TEST(CellLinkTest, ProactiveGrantsCutFirstPacketLatency) {
+  LinkConfig base = UlConfig();
+  LinkConfig pro = base;
+  pro.proactive_grant_bytes = 1200;
+  LinkHarness h_base(base);
+  LinkHarness h_pro(pro);
+  h_base.queue.ScheduleAt(Time{5'000}, [&] { h_base.link->Enqueue(1, 900); });
+  h_pro.queue.ScheduleAt(Time{5'000}, [&] { h_pro.link->Enqueue(1, 900); });
+  h_base.queue.RunUntil(Time{1'000'000});
+  h_pro.queue.RunUntil(Time{1'000'000});
+  ASSERT_EQ(h_base.delivered.size(), 1u);
+  ASSERT_EQ(h_pro.delivered.size(), 1u);
+  EXPECT_LT(h_pro.delivered[0].second, h_base.delivered[0].second);
+  // The proactive link wastes capacity on idle grants.
+  EXPECT_GT(h_pro.link->granted_bytes_wasted(),
+            h_base.link->granted_bytes_wasted());
+}
+
+TEST(CellLinkTest, CrossTrafficSlowsDelivery) {
+  LinkConfig cfg = DlConfig();
+  cfg.cross_traffic_weight = 3.0;
+  LinkHarness with_cross(cfg);
+  LinkHarness without(cfg);
+  OnOffConfig on_cfg;
+  on_cfg.mean_on_s = 1e9;
+  on_cfg.mean_off_s = 1e-9;
+  on_cfg.rate_bps = 200e6;  // fully backlogged
+  for (int i = 0; i < 6; ++i) {
+    with_cross.link->cross_traffic().AddSource(
+        OnOffSource(on_cfg, 0x200 + static_cast<std::uint32_t>(i),
+                    Rng(10 + static_cast<std::uint64_t>(i))));
+  }
+  // A 60 KB burst (e.g. a large keyframe).
+  auto burst = [](LinkHarness& h) {
+    h.queue.ScheduleAt(Time{5'000}, [&h] {
+      for (int i = 0; i < 50; ++i) h.link->Enqueue(i, 1200);
+    });
+    h.queue.RunUntil(Time{5'000'000});
+  };
+  burst(with_cross);
+  burst(without);
+  ASSERT_EQ(with_cross.delivered.size(), 50u);
+  ASSERT_EQ(without.delivered.size(), 50u);
+  EXPECT_GT(with_cross.delivered.back().second,
+            without.delivered.back().second);
+}
+
+TEST(CellLinkTest, DciTelemetryEmitted) {
+  LinkHarness h(UlConfig());
+  h.queue.ScheduleAt(Time{5'000}, [&] { h.link->Enqueue(1, 5000); });
+  h.queue.RunUntil(Time{1'000'000});
+  ASSERT_FALSE(h.dcis.empty());
+  for (const auto& d : h.dcis) {
+    EXPECT_EQ(d.rnti, 0x4601u);
+    EXPECT_EQ(d.dir, Direction::kUplink);
+    EXPECT_GT(d.prbs, 0);
+    EXPECT_GT(d.tbs_bytes, 0);
+    EXPECT_GE(d.mcs, 0);
+    EXPECT_LE(d.mcs, phy::kMaxMcs);
+  }
+}
+
+TEST(CellLinkTest, CrossDciCappedPerSlot) {
+  LinkConfig cfg = DlConfig();
+  cfg.max_cross_dci_per_slot = 2;
+  LinkHarness h(cfg);
+  OnOffConfig on_cfg;
+  on_cfg.mean_on_s = 1e9;
+  on_cfg.mean_off_s = 1e-9;
+  for (int i = 0; i < 8; ++i) {
+    h.link->cross_traffic().AddSource(
+        OnOffSource(on_cfg, 0x200 + static_cast<std::uint32_t>(i),
+                    Rng(20 + static_cast<std::uint64_t>(i))));
+  }
+  h.queue.RunUntil(Time{100'000});
+  std::map<std::int64_t, int> per_slot;
+  for (const auto& d : h.dcis) {
+    if (d.rnti < 0x4601) ++per_slot[d.time.micros()];
+  }
+  ASSERT_FALSE(per_slot.empty());
+  for (const auto& [slot, count] : per_slot) {
+    EXPECT_LE(count, 2);
+  }
+}
+
+TEST(CellLinkTest, TddUplinkUsesOnlyUplinkSlots) {
+  LinkConfig cfg = UlConfig();
+  LinkHarness h(cfg, {.base_sinr_db = 20.0, .sigma_db = 0.01,
+                      .coherence_ms = 50.0},
+                rlc::RlcConfig{}, phy::Duplex::kTdd);
+  h.queue.ScheduleAt(Time{1'000}, [&] { h.link->Enqueue(1, 8000); });
+  h.queue.RunUntil(Time{1'000'000});
+  ASSERT_FALSE(h.dcis.empty());
+  for (const auto& d : h.dcis) {
+    std::int64_t slot = h.frame.SlotIndex(d.time);
+    EXPECT_TRUE(h.frame.IsUplinkSlot(slot))
+        << "DCI in non-UL slot " << slot;
+  }
+}
+
+TEST(CellLinkTest, GrantDelayReportedInStats) {
+  LinkHarness h(UlConfig());
+  h.queue.ScheduleAt(Time{5'000}, [&] { h.link->Enqueue(1, 1200); });
+  h.queue.RunUntil(Time{1'000'000});
+  EXPECT_NEAR(h.link->mean_grant_delay_ms(), 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace domino::mac

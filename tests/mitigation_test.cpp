@@ -1,0 +1,95 @@
+// Tests for the mitigation advisor.
+#include <gtest/gtest.h>
+
+#include "domino/mitigation.h"
+#include "trace_fixtures.h"
+
+namespace domino::analysis {
+namespace {
+
+using namespace domino::analysis_test;
+
+/// Trace where poor_channel drives a target drop on the UE perspective
+/// (same construction as the report tests, trimmed).
+DerivedTrace PoorChannelTrace() {
+  DerivedTrace t = EmptyTrace();
+  t.end = Time{0} + Seconds(30);
+  Time a = Time{0} + Seconds(10), b = Time{0} + Seconds(14);
+  for (Time tt = t.begin; tt < t.end; tt += Millis(10)) {
+    bool ev = tt >= a && tt < b;
+    t.dir[0].mcs.Push(tt, ev ? 4.0 : 16.0);
+    t.dir[0].tbs_bytes.Push(tt, ev ? 200.0 : 900.0);
+    t.dir[0].prb_self.Push(tt, 10.0);
+    double ramp = ev ? (tt - a).millis() * 0.1 : 0.0;
+    t.dir[0].owd_ms.Push(tt, 30.0 + std::min(ramp, 200.0));
+  }
+  for (Time tt = t.begin; tt < t.end; tt += Millis(50)) {
+    bool ev = tt >= a && tt < b;
+    t.dir[0].app_bitrate_bps.Push(tt, 1.5e6);
+    t.dir[0].tbs_bitrate_bps.Push(tt, ev ? 0.6e6 : 5e6);
+    bool reacting = tt >= a + Seconds(1) && tt < b;
+    t.client[0].overuse.Push(tt, reacting ? 1.0 : 0.0);
+    t.client[0].target_bitrate_bps.Push(tt, reacting ? 0.9e6 : 1.5e6);
+    t.client[0].pushback_bitrate_bps.Push(tt, reacting ? 0.9e6 : 1.5e6);
+  }
+  return t;
+}
+
+TEST(MitigationTest, PoorChannelGetsItsRecipes) {
+  DominoConfig cfg;
+  cfg.extract_features = false;
+  Detector det(CausalGraph::Default(cfg.thresholds), cfg);
+  auto result = det.Analyze(PoorChannelTrace());
+  auto advice = AdviseMitigations(result, det);
+  ASSERT_FALSE(advice.empty());
+  // The dominant cause must surface with both its recipes, app first.
+  bool cap = false, olla = false;
+  for (const auto& m : advice) {
+    if (m.cause != "poor_channel") continue;
+    if (m.action == "cap_resolution") {
+      cap = true;
+      EXPECT_EQ(m.actor, Actor::kApplication);
+      EXPECT_GT(m.severity, 0.0);
+    }
+    if (m.action == "enable_olla") {
+      olla = true;
+      EXPECT_EQ(m.actor, Actor::kOperator);
+    }
+  }
+  EXPECT_TRUE(cap);
+  EXPECT_TRUE(olla);
+}
+
+TEST(MitigationTest, SortedBySeverity) {
+  DominoConfig cfg;
+  cfg.extract_features = false;
+  Detector det(CausalGraph::Default(cfg.thresholds), cfg);
+  auto advice = AdviseMitigations(det.Analyze(PoorChannelTrace()), det);
+  for (std::size_t i = 1; i < advice.size(); ++i) {
+    EXPECT_GE(advice[i - 1].severity, advice[i].severity);
+  }
+}
+
+TEST(MitigationTest, CleanTraceNoAdvice) {
+  DominoConfig cfg;
+  cfg.extract_features = false;
+  Detector det(CausalGraph::Default(cfg.thresholds), cfg);
+  auto advice = AdviseMitigations(det.Analyze(EmptyTrace()), det);
+  EXPECT_TRUE(advice.empty());
+  EXPECT_NE(FormatMitigations(advice).find("no attributable"),
+            std::string::npos);
+}
+
+TEST(MitigationTest, FormatIncludesActorAndRationale) {
+  std::vector<Mitigation> ms = {{"cross_traffic", Actor::kOperator,
+                                 "boost_rtc_scheduler_weight",
+                                 "preserve the PRB share", 0.8}};
+  std::string text = FormatMitigations(ms);
+  EXPECT_NE(text.find("[operator]"), std::string::npos);
+  EXPECT_NE(text.find("boost_rtc_scheduler_weight"), std::string::npos);
+  EXPECT_NE(text.find("80% of degraded windows"), std::string::npos);
+  EXPECT_NE(text.find("preserve the PRB share"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace domino::analysis

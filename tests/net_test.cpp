@@ -1,0 +1,105 @@
+// Unit tests for the wired path model.
+#include <gtest/gtest.h>
+
+#include "common/event_queue.h"
+#include "net/path.h"
+
+namespace domino::net {
+namespace {
+
+TEST(WiredPathTest, DeliversAfterBaseDelay) {
+  EventQueue q;
+  PathConfig cfg;
+  cfg.base_delay = Millis(10);
+  cfg.jitter_scale_ms = 0.0;
+  WiredPath path(q, cfg, Rng(1));
+  Time arrival{0};
+  q.ScheduleAt(Time{5'000}, [&] {
+    path.Send(1, 1000, [&](std::uint64_t, Time t) { arrival = t; });
+  });
+  q.RunUntil(Time{1'000'000});
+  EXPECT_EQ(arrival.micros(), 15'000);
+}
+
+TEST(WiredPathTest, JitterAddsDelay) {
+  EventQueue q;
+  PathConfig cfg;
+  cfg.base_delay = Millis(10);
+  cfg.jitter_scale_ms = 1.0;
+  cfg.jitter_sigma = 0.5;
+  WiredPath path(q, cfg, Rng(1));
+  std::vector<double> delays;
+  for (int i = 0; i < 200; ++i) {
+    q.ScheduleAt(Time{i * 10'000}, [&, i] {
+      path.Send(static_cast<std::uint64_t>(i), 1000,
+                [&, i](std::uint64_t, Time t) {
+                  delays.push_back((t - Time{i * 10'000}).millis());
+                });
+    });
+  }
+  q.RunUntil(Time{100'000'000});
+  ASSERT_EQ(delays.size(), 200u);
+  double min_d = 1e9, max_d = 0;
+  for (double d : delays) {
+    EXPECT_GE(d, 10.0);  // never below base
+    min_d = std::min(min_d, d);
+    max_d = std::max(max_d, d);
+  }
+  EXPECT_GT(max_d, min_d);  // jitter present
+}
+
+TEST(WiredPathTest, FifoNoReordering) {
+  EventQueue q;
+  PathConfig cfg;
+  cfg.base_delay = Millis(10);
+  cfg.jitter_scale_ms = 5.0;  // heavy jitter tries to reorder
+  cfg.jitter_sigma = 1.0;
+  WiredPath path(q, cfg, Rng(2));
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 100; ++i) {
+    q.ScheduleAt(Time{i * 1'000}, [&, i] {
+      path.Send(static_cast<std::uint64_t>(i), 1000,
+                [&](std::uint64_t id, Time) { order.push_back(id); });
+    });
+  }
+  q.RunUntil(Time{100'000'000});
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);
+  }
+}
+
+TEST(WiredPathTest, LossRateApproximatelyRespected) {
+  EventQueue q;
+  PathConfig cfg;
+  cfg.loss_rate = 0.1;
+  WiredPath path(q, cfg, Rng(3));
+  int delivered = 0;
+  for (int i = 0; i < 5000; ++i) {
+    q.ScheduleAt(Time{i * 1'000}, [&, i] {
+      path.Send(static_cast<std::uint64_t>(i), 1000,
+                [&](std::uint64_t, Time) { ++delivered; });
+    });
+  }
+  q.RunUntil(Time{100'000'000});
+  EXPECT_NEAR(delivered / 5000.0, 0.9, 0.03);
+  EXPECT_EQ(path.sent_count(), 5000);
+  EXPECT_NEAR(static_cast<double>(path.lost_count()), 500, 100);
+}
+
+TEST(WiredPathTest, NoLossWhenDisabled) {
+  EventQueue q;
+  WiredPath path(q, PathConfig{}, Rng(4));
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    q.ScheduleAt(Time{i * 1'000}, [&, i] {
+      path.Send(static_cast<std::uint64_t>(i), 100,
+                [&](std::uint64_t, Time) { ++delivered; });
+    });
+  }
+  q.RunUntil(Time{100'000'000});
+  EXPECT_EQ(delivered, 1000);
+}
+
+}  // namespace
+}  // namespace domino::net

@@ -1,0 +1,281 @@
+// Unit tests for the 5G PHY models: MCS tables, TBS computation, frame
+// structure, channel fading, and BLER curves.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "phy/channel.h"
+#include "phy/frame_structure.h"
+#include "phy/mcs_table.h"
+#include "phy/tbs.h"
+
+namespace domino::phy {
+namespace {
+
+// --- MCS table ---------------------------------------------------------------
+
+TEST(McsTableTest, SpectralEfficiencyNearMonotone) {
+  // TS 38.214 Table 5.1.3.1-1 is *not* strictly monotone: at the
+  // 16QAM -> 64QAM boundary (MCS 16 -> 17) the efficiency dips by ~0.15%.
+  // Require near-monotonicity with that tolerance.
+  for (int m = 1; m <= kMaxMcs; ++m) {
+    EXPECT_GT(McsInfo(m).spectral_efficiency(),
+              McsInfo(m - 1).spectral_efficiency() * 0.995)
+        << "at MCS " << m;
+  }
+  // The documented dip is really there (guards against "fixing" the table).
+  EXPECT_LT(McsInfo(17).spectral_efficiency(),
+            McsInfo(16).spectral_efficiency());
+}
+
+TEST(McsTableTest, ModulationOrders) {
+  EXPECT_EQ(McsInfo(0).modulation_order, 2);   // QPSK
+  EXPECT_EQ(McsInfo(10).modulation_order, 4);  // 16QAM
+  EXPECT_EQ(McsInfo(28).modulation_order, 6);  // 64QAM
+}
+
+TEST(McsTableTest, ClampsOutOfRange) {
+  EXPECT_EQ(McsInfo(-5).index, 0);
+  EXPECT_EQ(McsInfo(99).index, kMaxMcs);
+}
+
+TEST(McsTableTest, SinrToCqiMonotone) {
+  int prev = 0;
+  for (double sinr = -10; sinr <= 30; sinr += 0.5) {
+    int cqi = SinrToCqi(sinr);
+    EXPECT_GE(cqi, prev);
+    EXPECT_GE(cqi, 0);
+    EXPECT_LE(cqi, 15);
+    prev = cqi;
+  }
+}
+
+TEST(McsTableTest, CqiToMcsMonotoneAndBounded) {
+  int prev = 0;
+  for (int cqi = 1; cqi <= 15; ++cqi) {
+    int mcs = CqiToMcs(cqi);
+    EXPECT_GE(mcs, prev);
+    EXPECT_LE(mcs, kMaxMcs);
+    prev = mcs;
+  }
+  EXPECT_EQ(CqiToMcs(0), 0);
+}
+
+TEST(McsTableTest, CqiEfficiencyNotExceeded) {
+  // The selected MCS may not exceed the CQI's reported efficiency.
+  // CQI 7 reports 1.4766 bits/RE.
+  int mcs = CqiToMcs(7);
+  EXPECT_LE(McsInfo(mcs).spectral_efficiency(), 1.4766);
+}
+
+TEST(McsTableTest, ThresholdsNearMonotone) {
+  // Thresholds inherit the spec table's tiny efficiency dip at MCS 16 -> 17.
+  for (int m = 1; m <= kMaxMcs; ++m) {
+    EXPECT_GT(McsSinrThreshold(m), McsSinrThreshold(m - 1) - 0.05);
+  }
+  EXPECT_GT(McsSinrThreshold(kMaxMcs), McsSinrThreshold(0) + 20.0);
+}
+
+TEST(McsTableTest, McsForSinrRespectsThreshold) {
+  for (double sinr = -5; sinr <= 25; sinr += 1.0) {
+    int mcs = McsForSinr(sinr);
+    if (mcs > 0) {
+      // A positive selection must be sustainable at this SINR.
+      EXPECT_LE(McsSinrThreshold(mcs), sinr + 1e-9);
+    }
+    if (mcs < kMaxMcs) {
+      EXPECT_GT(McsSinrThreshold(mcs + 1), sinr);
+    }
+  }
+}
+
+TEST(McsTableTest, McsForSinrFloorsAtZero) {
+  EXPECT_EQ(McsForSinr(-30.0), 0);
+}
+
+// --- TBS -----------------------------------------------------------------------
+
+TEST(TbsTest, ResourceElements) {
+  CarrierConfig cfg;  // 14 symbols, 18 overhead
+  EXPECT_EQ(ResourceElements(cfg, 1), 12 * 14 - 18);
+  EXPECT_EQ(ResourceElements(cfg, 10), 10 * (12 * 14 - 18));
+  EXPECT_EQ(ResourceElements(cfg, 0), 0);
+  EXPECT_EQ(ResourceElements(cfg, -3), 0);
+}
+
+TEST(TbsTest, MonotoneInPrbsAndMcs) {
+  CarrierConfig cfg;
+  for (int prbs = 1; prbs < 50; prbs += 7) {
+    EXPECT_GT(TransportBlockBytes(cfg, prbs + 1, 10),
+              TransportBlockBytes(cfg, prbs, 10));
+  }
+  for (int mcs = 0; mcs < kMaxMcs; ++mcs) {
+    // Near-monotone: see the MCS 16 -> 17 efficiency dip in the spec table.
+    EXPECT_GE(TransportBlockBytes(cfg, 20, mcs + 1),
+              TransportBlockBytes(cfg, 20, mcs) * 0.995);
+  }
+}
+
+TEST(TbsTest, KnownMagnitude) {
+  // 50 PRBs at MCS 28 (eff 5.55) ~= 50 * 150 RE * 5.55 / 8 ~= 5.2 KB.
+  CarrierConfig cfg;
+  int tbs = TransportBlockBytes(cfg, 50, 28);
+  EXPECT_GT(tbs, 4500);
+  EXPECT_LT(tbs, 5600);
+}
+
+TEST(TbsTest, PrbsForBytesInverse) {
+  CarrierConfig cfg;
+  cfg.total_prbs = 100;
+  for (int bytes : {100, 1000, 5000}) {
+    for (int mcs : {2, 10, 20}) {
+      int prbs = PrbsForBytes(cfg, bytes, mcs);
+      if (prbs < cfg.total_prbs) {
+        // Enough capacity: the allocation must carry the payload...
+        EXPECT_GE(TransportBlockBytes(cfg, prbs, mcs), bytes);
+        // ...and be within one PRB of minimal (per-PRB rounding slack).
+        if (prbs > 2) {
+          EXPECT_LT(TransportBlockBytes(cfg, prbs - 2, mcs), bytes);
+        }
+      } else {
+        EXPECT_EQ(prbs, cfg.total_prbs);  // capped by the carrier
+      }
+    }
+  }
+}
+
+TEST(TbsTest, PrbsForBytesCappedAtCarrier) {
+  CarrierConfig cfg;
+  cfg.total_prbs = 20;
+  EXPECT_EQ(PrbsForBytes(cfg, 10'000'000, 5), 20);
+  EXPECT_EQ(PrbsForBytes(cfg, 0, 5), 0);
+}
+
+TEST(TbsTest, BandwidthTable) {
+  EXPECT_EQ(PrbsForBandwidth(15, 15), 79);
+  EXPECT_EQ(PrbsForBandwidth(100, 30), 273);
+  EXPECT_EQ(PrbsForBandwidth(20, 30), 51);
+  EXPECT_GT(PrbsForBandwidth(33, 30), 0);  // fallback path
+}
+
+// --- FrameStructure ---------------------------------------------------------------
+
+TEST(FrameStructureTest, SlotDurations) {
+  EXPECT_EQ(FrameStructure(Duplex::kFdd, 15).slot_duration(), Millis(1));
+  EXPECT_EQ(FrameStructure(Duplex::kTdd, 30).slot_duration(), Micros(500));
+  EXPECT_EQ(FrameStructure(Duplex::kTdd, 60).slot_duration(), Micros(250));
+  EXPECT_THROW(FrameStructure(Duplex::kFdd, 45), std::invalid_argument);
+}
+
+TEST(FrameStructureTest, FddAllSlotsBothDirections) {
+  FrameStructure f(Duplex::kFdd, 15);
+  for (std::int64_t s = 0; s < 20; ++s) {
+    EXPECT_TRUE(f.IsUplinkSlot(s));
+    EXPECT_TRUE(f.IsDownlinkSlot(s));
+  }
+  EXPECT_EQ(f.NextUplinkSlot(7), 7);
+}
+
+TEST(FrameStructureTest, TddPattern) {
+  FrameStructure f(Duplex::kTdd, 30, "DDDSU");
+  EXPECT_TRUE(f.IsDownlinkSlot(0));
+  EXPECT_TRUE(f.IsDownlinkSlot(2));
+  EXPECT_FALSE(f.IsDownlinkSlot(3));  // special
+  EXPECT_FALSE(f.IsUplinkSlot(3));
+  EXPECT_TRUE(f.IsUplinkSlot(4));
+  EXPECT_TRUE(f.IsUplinkSlot(9));  // pattern repeats
+  EXPECT_EQ(f.UplinkSlotsPerPeriod(), 1);
+  EXPECT_EQ(f.PeriodSlots(), 5);
+}
+
+TEST(FrameStructureTest, NextSlotSearch) {
+  FrameStructure f(Duplex::kTdd, 30, "DDDSU");
+  EXPECT_EQ(f.NextUplinkSlot(0), 4);
+  EXPECT_EQ(f.NextUplinkSlot(4), 4);
+  EXPECT_EQ(f.NextUplinkSlot(5), 9);
+  EXPECT_EQ(f.NextDownlinkSlot(3), 5);
+}
+
+TEST(FrameStructureTest, SlotIndexing) {
+  FrameStructure f(Duplex::kTdd, 30, "DDDSU");
+  EXPECT_EQ(f.SlotIndex(Time{0}), 0);
+  EXPECT_EQ(f.SlotIndex(Time{499}), 0);
+  EXPECT_EQ(f.SlotIndex(Time{500}), 1);
+  EXPECT_EQ(f.SlotStart(3).micros(), 1500);
+}
+
+TEST(FrameStructureTest, ValidatesPattern) {
+  EXPECT_THROW(FrameStructure(Duplex::kTdd, 30, ""), std::invalid_argument);
+  EXPECT_THROW(FrameStructure(Duplex::kTdd, 30, "DDXD"),
+               std::invalid_argument);
+  EXPECT_THROW(FrameStructure(Duplex::kTdd, 30, "DDDD"),
+               std::invalid_argument);  // no uplink
+}
+
+// --- Channel & BLER ------------------------------------------------------------------
+
+TEST(ChannelTest, StationaryAroundBase) {
+  ChannelModel ch(ChannelConfig{.base_sinr_db = 12.0, .sigma_db = 2.0,
+                                .coherence_ms = 20.0},
+                  Rng(5));
+  domino::RunningStats st;
+  for (int i = 0; i < 5000; ++i) {
+    st.Add(ch.SinrAt(Time{i * 1000}));
+  }
+  EXPECT_NEAR(st.mean(), 12.0, 0.5);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.5);
+}
+
+TEST(ChannelTest, EpisodeApplied) {
+  ChannelModel ch(ChannelConfig{.base_sinr_db = 15.0, .sigma_db = 0.01,
+                                .coherence_ms = 10.0},
+                  Rng(5));
+  ch.AddEpisode(ChannelEpisode{Time{10'000}, Time{20'000}, -10.0});
+  EXPECT_NEAR(ch.SinrAt(Time{5'000}), 15.0, 0.5);
+  EXPECT_NEAR(ch.SinrAt(Time{15'000}), 5.0, 0.5);
+  EXPECT_NEAR(ch.SinrAt(Time{25'000}), 15.0, 0.5);
+}
+
+TEST(ChannelTest, OverlappingEpisodesStack) {
+  ChannelModel ch(ChannelConfig{.base_sinr_db = 20.0, .sigma_db = 0.01,
+                                .coherence_ms = 10.0},
+                  Rng(5));
+  ch.AddEpisode(ChannelEpisode{Time{0}, Time{100'000}, -5.0});
+  ch.AddEpisode(ChannelEpisode{Time{0}, Time{100'000}, -3.0});
+  EXPECT_NEAR(ch.SinrAt(Time{50'000}), 12.0, 0.5);
+}
+
+TEST(ChannelTest, Deterministic) {
+  ChannelConfig cfg{.base_sinr_db = 10, .sigma_db = 3, .coherence_ms = 30};
+  ChannelModel a(cfg, Rng(9)), b(cfg, Rng(9));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.SinrAt(Time{i * 500}), b.SinrAt(Time{i * 500}));
+  }
+}
+
+TEST(BlerTest, TenPercentAtThreshold) {
+  for (int mcs : {0, 5, 15, 25}) {
+    EXPECT_NEAR(Bler(mcs, McsSinrThreshold(mcs)), 0.10, 0.005);
+  }
+}
+
+TEST(BlerTest, MonotoneInSinr) {
+  for (double gap = -5; gap < 5; gap += 0.5) {
+    EXPECT_GT(Bler(10, McsSinrThreshold(10) + gap),
+              Bler(10, McsSinrThreshold(10) + gap + 0.5));
+  }
+}
+
+TEST(BlerTest, ExtremesSaturate) {
+  EXPECT_GT(Bler(20, McsSinrThreshold(20) - 30), 0.999);
+  EXPECT_LT(Bler(0, McsSinrThreshold(0) + 30), 1e-6);
+}
+
+TEST(BlerTest, CombiningGainHelps) {
+  double sinr = McsSinrThreshold(12) - 4.0;
+  EXPECT_GT(BlerWithCombining(12, sinr, 0), BlerWithCombining(12, sinr, 1));
+  EXPECT_GT(BlerWithCombining(12, sinr, 1), BlerWithCombining(12, sinr, 3));
+}
+
+}  // namespace
+}  // namespace domino::phy

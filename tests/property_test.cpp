@@ -1,0 +1,203 @@
+// Property-based tests: parameterized sweeps asserting invariants over
+// randomized inputs — RLC delivery semantics under failure injection, PRB
+// allocation conservation, TBS monotonicity, jitter-buffer sanity, and
+// event-queue ordering.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "mac/scheduler.h"
+#include "phy/tbs.h"
+#include "rlc/rlc_am.h"
+#include "rtc/jitter_buffer.h"
+
+namespace domino {
+namespace {
+
+// --- RLC: random segmentation + failure injection ------------------------------------
+
+class RlcPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RlcPropertyTest, InOrderExactlyOnceUnderRandomFailures) {
+  Rng rng(GetParam());
+  rlc::RlcConfig cfg;
+  cfg.retx_delay = Millis(static_cast<std::int64_t>(rng.UniformInt(5, 100)));
+  rlc::RlcAmEntity rlc(cfg);
+
+  const int kSdus = 200;
+  std::vector<std::uint64_t> delivered;
+  Time now{0};
+  int enqueued = 0;
+  // Interleave enqueues, pulls with random budgets, random HARQ exhausts,
+  // and receptions.
+  while (static_cast<int>(delivered.size()) < kSdus) {
+    now += Millis(1);
+    if (enqueued < kSdus && rng.Chance(0.5)) {
+      ASSERT_TRUE(rlc.Enqueue(static_cast<std::uint64_t>(enqueued),
+                              static_cast<int>(rng.UniformInt(50, 3000)),
+                              now)
+                      .has_value());
+      ++enqueued;
+    }
+    auto segs = rlc.PullForTb(static_cast<int>(rng.UniformInt(100, 2500)),
+                              now);
+    if (segs.empty()) continue;
+    if (rng.Chance(0.15)) {
+      rlc.OnHarqExhaust(segs, now);  // transmission failed permanently
+    } else {
+      for (const auto& sdu : rlc.OnSegmentsReceived(segs)) {
+        delivered.push_back(sdu.packet_id);
+      }
+    }
+    ASSERT_LT(now.seconds(), 600.0) << "livelock";
+  }
+  // Exactly once, in order.
+  ASSERT_EQ(delivered.size(), static_cast<std::size_t>(kSdus));
+  for (int i = 0; i < kSdus; ++i) {
+    EXPECT_EQ(delivered[static_cast<std::size_t>(i)],
+              static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(rlc.BufferedBytes(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RlcPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --- PRB allocation ---------------------------------------------------------------------
+
+class PrbPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrbPropertyTest, ConservationAndFairness) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    int total = static_cast<int>(rng.UniformInt(1, 300));
+    std::size_t n = static_cast<std::size_t>(rng.UniformInt(1, 10));
+    std::vector<mac::PrbDemand> demands(n);
+    for (auto& d : demands) {
+      d.wanted_prbs = static_cast<int>(rng.UniformInt(0, 400));
+      d.weight = rng.Uniform(0.25, 4.0);
+    }
+    auto alloc = mac::AllocatePrbs(total, demands);
+    ASSERT_EQ(alloc.size(), n);
+    int sum = std::accumulate(alloc.begin(), alloc.end(), 0);
+    EXPECT_LE(sum, total);
+    long wanted = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(alloc[i], 0);
+      EXPECT_LE(alloc[i], demands[i].wanted_prbs);
+      wanted += demands[i].wanted_prbs;
+    }
+    if (wanted >= total) {
+      EXPECT_EQ(sum, total);  // work conserving
+    } else {
+      EXPECT_EQ(static_cast<long>(sum), wanted);  // everyone satisfied
+    }
+    // Weighted fairness: among unsatisfied users, allocation per weight is
+    // within one PRB of equal.
+    double min_norm = 1e18, max_norm = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alloc[i] < demands[i].wanted_prbs && demands[i].weight > 0) {
+        double norm = alloc[i] / demands[i].weight;
+        min_norm = std::min(min_norm, norm);
+        max_norm = std::max(max_norm, norm);
+      }
+    }
+    if (max_norm >= 0 && min_norm < 1e18) {
+      EXPECT_LE(max_norm - min_norm, 1.0 / 0.25 + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrbPropertyTest,
+                         ::testing::Range<std::uint64_t>(10, 16));
+
+// --- TBS sweep -------------------------------------------------------------------------
+
+class TbsSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TbsSweepTest, MonotoneInPrbs) {
+  int mcs = GetParam();
+  phy::CarrierConfig cfg;
+  int prev = 0;
+  for (int prbs = 1; prbs <= 273; ++prbs) {
+    int tbs = phy::TransportBlockBytes(cfg, prbs, mcs);
+    EXPECT_GE(tbs, prev);
+    prev = tbs;
+  }
+  // Linear growth: 100 PRBs carry ~100x one PRB (within rounding).
+  int one = phy::TransportBlockBytes(cfg, 1, mcs);
+  int hundred = phy::TransportBlockBytes(cfg, 100, mcs);
+  EXPECT_NEAR(hundred, 100 * one, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(McsLevels, TbsSweepTest,
+                         ::testing::Values(0, 5, 10, 16, 17, 22, 28));
+
+// --- Jitter buffer under random jitter ---------------------------------------------------
+
+class JitterBufferPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JitterBufferPropertyTest, RendersMonotoneAndBounded) {
+  Rng rng(GetParam());
+  rtc::FrameJitterBuffer jb;
+  const int kFrames = 400;
+  Time arrival{0};
+  double transit_base = rng.Uniform(10, 50);
+  for (int i = 0; i < kFrames; ++i) {
+    Time capture{i * 33'000};
+    double jitter = rng.LogNormal(0.0, 1.0) * rng.Uniform(1.0, 15.0);
+    Time this_arrival = capture + Seconds((transit_base + jitter) / 1e3);
+    arrival = std::max(arrival, this_arrival);  // in-order delivery
+    jb.OnFrameComplete(static_cast<std::uint64_t>(i + 1), capture, arrival);
+  }
+  Time end = arrival + Seconds(3.0);
+  jb.AdvanceTo(end);
+  // Everything eventually rendered, freeze time bounded by session length.
+  EXPECT_EQ(jb.total_rendered(), kFrames);
+  EXPECT_GE(jb.total_freeze().micros(), 0);
+  EXPECT_LE(jb.total_freeze(), end - Time{0});
+  // Target delay within configured bounds.
+  EXPECT_GE(jb.target_delay_ms(), 40.0 - 1e-9);
+  EXPECT_LE(jb.target_delay_ms(), 1500.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitterBufferPropertyTest,
+                         ::testing::Range<std::uint64_t>(20, 28));
+
+// --- Event queue ordering under random scheduling ------------------------------------------
+
+class QueuePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueuePropertyTest, ExecutionNeverGoesBackwards) {
+  Rng rng(GetParam());
+  EventQueue q;
+  std::vector<std::int64_t> exec_times;
+  std::function<void(int)> spawn = [&](int depth) {
+    exec_times.push_back(q.now().micros());
+    if (depth < 3 && rng.Chance(0.6)) {
+      int children = static_cast<int>(rng.UniformInt(1, 3));
+      for (int c = 0; c < children; ++c) {
+        q.ScheduleAfter(Micros(rng.UniformInt(0, 50'000)),
+                        [&spawn, depth] { spawn(depth + 1); });
+      }
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    q.ScheduleAt(Time{rng.UniformInt(0, 1'000'000)}, [&] { spawn(0); });
+  }
+  q.RunUntil(Time{10'000'000});
+  ASSERT_GE(exec_times.size(), 50u);
+  for (std::size_t i = 1; i < exec_times.size(); ++i) {
+    EXPECT_LE(exec_times[i - 1], exec_times[i]);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueuePropertyTest,
+                         ::testing::Range<std::uint64_t>(30, 36));
+
+}  // namespace
+}  // namespace domino

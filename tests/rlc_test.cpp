@@ -1,0 +1,199 @@
+// Unit tests for the RLC AM entity: segmentation, retransmission, buffering,
+// and in-order (head-of-line-blocking) delivery.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "rlc/rlc_am.h"
+
+namespace domino::rlc {
+namespace {
+
+int TotalBytes(const std::vector<Segment>& segs) {
+  int n = 0;
+  for (const auto& s : segs) n += s.bytes;
+  return n;
+}
+
+TEST(RlcTest, EnqueueAssignsSequentialSns) {
+  RlcAmEntity rlc;
+  EXPECT_EQ(rlc.Enqueue(100, 500, Time{0}).value(), 0u);
+  EXPECT_EQ(rlc.Enqueue(101, 500, Time{0}).value(), 1u);
+  EXPECT_EQ(rlc.BufferedBytes(), 1000);
+}
+
+TEST(RlcTest, PullWholeSdu) {
+  RlcAmEntity rlc;
+  rlc.Enqueue(1, 300, Time{0});
+  auto segs = rlc.PullForTb(1000, Time{0});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].sn, 0u);
+  EXPECT_EQ(segs[0].offset, 0);
+  EXPECT_EQ(segs[0].bytes, 300);
+  EXPECT_EQ(rlc.BufferedBytes(), 0);
+}
+
+TEST(RlcTest, SegmentsAcrossTbs) {
+  RlcAmEntity rlc;
+  rlc.Enqueue(1, 1000, Time{0});
+  auto a = rlc.PullForTb(400, Time{0});
+  auto b = rlc.PullForTb(400, Time{0});
+  auto c = rlc.PullForTb(400, Time{0});
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].offset, 0);
+  EXPECT_EQ(a[0].bytes, 400);
+  EXPECT_EQ(b[0].offset, 400);
+  EXPECT_EQ(c[0].bytes, 200);
+  EXPECT_TRUE(rlc.PullForTb(400, Time{0}).empty());
+}
+
+TEST(RlcTest, PullSpansMultipleSdus) {
+  RlcAmEntity rlc;
+  rlc.Enqueue(1, 300, Time{0});
+  rlc.Enqueue(2, 300, Time{0});
+  auto segs = rlc.PullForTb(500, Time{0});
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].bytes, 300);
+  EXPECT_EQ(segs[1].sn, 1u);
+  EXPECT_EQ(segs[1].bytes, 200);
+}
+
+TEST(RlcTest, InOrderDelivery) {
+  RlcAmEntity rlc;
+  rlc.Enqueue(10, 100, Time{0});
+  rlc.Enqueue(11, 100, Time{0});
+  auto segs = rlc.PullForTb(500, Time{0});
+  auto delivered = rlc.OnSegmentsReceived(segs);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].packet_id, 10u);
+  EXPECT_EQ(delivered[1].packet_id, 11u);
+}
+
+TEST(RlcTest, HolBlockingAndBurstRelease) {
+  RlcAmEntity rlc;
+  for (int i = 0; i < 5; ++i) rlc.Enqueue(100 + i, 100, Time{0});
+  auto seg0 = rlc.PullForTb(100, Time{0});  // sn 0
+  auto rest = rlc.PullForTb(1000, Time{0});  // sn 1..4
+
+  // sn 1..4 arrive first: held back by the missing sn 0.
+  EXPECT_TRUE(rlc.OnSegmentsReceived(rest).empty());
+  EXPECT_EQ(rlc.held_sdus(), 4u);
+
+  // sn 0 lands: the whole run is released at once, in order.
+  auto burst = rlc.OnSegmentsReceived(seg0);
+  ASSERT_EQ(burst.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(burst[static_cast<std::size_t>(i)].packet_id,
+              static_cast<std::uint64_t>(100 + i));
+  }
+  EXPECT_EQ(rlc.held_sdus(), 0u);
+}
+
+TEST(RlcTest, PartialSduNotDelivered) {
+  RlcAmEntity rlc;
+  rlc.Enqueue(7, 1000, Time{0});
+  auto half = rlc.PullForTb(500, Time{0});
+  EXPECT_TRUE(rlc.OnSegmentsReceived(half).empty());
+  auto rest = rlc.PullForTb(500, Time{0});
+  auto delivered = rlc.OnSegmentsReceived(rest);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].total_bytes, 1000);
+}
+
+TEST(RlcTest, RetxDelayRespected) {
+  RlcConfig cfg;
+  cfg.retx_delay = Millis(50);
+  RlcAmEntity rlc(cfg);
+  rlc.Enqueue(1, 200, Time{0});
+  auto segs = rlc.PullForTb(500, Time{0});
+  rlc.OnHarqExhaust(segs, Time{0});
+  EXPECT_EQ(rlc.retx_events(), 1);
+  EXPECT_TRUE(rlc.retx_pending());
+  EXPECT_EQ(rlc.BufferedBytes(), 200);  // retx bytes count as buffered
+
+  // Not yet available before the status-report delay elapses.
+  EXPECT_TRUE(rlc.PullForTb(500, Time{0} + Millis(10)).empty());
+  auto retx = rlc.PullForTb(500, Time{0} + Millis(50));
+  ASSERT_EQ(retx.size(), 1u);
+  EXPECT_EQ(retx[0].bytes, 200);
+}
+
+TEST(RlcTest, RetxHasPriorityOverNewData) {
+  RlcConfig cfg;
+  cfg.retx_delay = Millis(0);
+  RlcAmEntity rlc(cfg);
+  rlc.Enqueue(1, 200, Time{0});
+  auto segs = rlc.PullForTb(500, Time{0});
+  rlc.Enqueue(2, 200, Time{0});
+  rlc.OnHarqExhaust(segs, Time{0});
+  auto next = rlc.PullForTb(250, Time{1});
+  ASSERT_GE(next.size(), 1u);
+  EXPECT_EQ(next[0].sn, 0u);  // the retransmission goes first
+}
+
+TEST(RlcTest, RetxSegmentCanBeSplit) {
+  RlcConfig cfg;
+  cfg.retx_delay = Millis(0);
+  RlcAmEntity rlc(cfg);
+  rlc.Enqueue(1, 600, Time{0});
+  auto segs = rlc.PullForTb(600, Time{0});
+  rlc.OnHarqExhaust(segs, Time{0});
+  auto a = rlc.PullForTb(250, Time{1});
+  auto b = rlc.PullForTb(1000, Time{1});
+  EXPECT_EQ(TotalBytes(a) + TotalBytes(b), 600);
+  // Receiving both completes the SDU exactly once.
+  auto d1 = rlc.OnSegmentsReceived(a);
+  auto d2 = rlc.OnSegmentsReceived(b);
+  EXPECT_EQ(d1.size() + d2.size(), 1u);
+}
+
+TEST(RlcTest, DoubleExhaustRequeues) {
+  RlcConfig cfg;
+  cfg.retx_delay = Millis(10);
+  RlcAmEntity rlc(cfg);
+  rlc.Enqueue(1, 100, Time{0});
+  auto segs = rlc.PullForTb(500, Time{0});
+  rlc.OnHarqExhaust(segs, Time{0});
+  auto retx1 = rlc.PullForTb(500, Time{0} + Millis(10));
+  rlc.OnHarqExhaust(retx1, Time{0} + Millis(20));
+  EXPECT_EQ(rlc.retx_events(), 2);
+  auto retx2 = rlc.PullForTb(500, Time{0} + Millis(30));
+  auto delivered = rlc.OnSegmentsReceived(retx2);
+  ASSERT_EQ(delivered.size(), 1u);
+}
+
+TEST(RlcTest, BufferOverflowDropsWithoutGap) {
+  RlcConfig cfg;
+  cfg.max_buffer_bytes = 1000;
+  RlcAmEntity rlc(cfg);
+  EXPECT_TRUE(rlc.Enqueue(1, 800, Time{0}).has_value());
+  EXPECT_FALSE(rlc.Enqueue(2, 500, Time{0}).has_value());  // would overflow
+  EXPECT_EQ(rlc.dropped_sdus(), 1);
+  // The next accepted SDU continues the SN sequence with no hole, so the
+  // receiver can never deadlock waiting for a dropped SDU.
+  EXPECT_TRUE(rlc.Enqueue(3, 100, Time{0}).has_value());
+  auto segs = rlc.PullForTb(2000, Time{0});
+  auto delivered = rlc.OnSegmentsReceived(segs);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].packet_id, 1u);
+  EXPECT_EQ(delivered[1].packet_id, 3u);
+}
+
+TEST(RlcTest, EnqueueTimePreserved) {
+  RlcAmEntity rlc;
+  rlc.Enqueue(5, 100, Time{123'456});
+  auto segs = rlc.PullForTb(500, Time{200'000});
+  auto delivered = rlc.OnSegmentsReceived(segs);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].enqueue_time.micros(), 123'456);
+}
+
+TEST(RlcTest, ZeroBudgetPullsNothing) {
+  RlcAmEntity rlc;
+  rlc.Enqueue(1, 100, Time{0});
+  EXPECT_TRUE(rlc.PullForTb(0, Time{0}).empty());
+  EXPECT_EQ(rlc.BufferedBytes(), 100);
+}
+
+}  // namespace
+}  // namespace domino::rlc

@@ -1,0 +1,110 @@
+// Robustness tests: hostile inputs to the DSL parser, the config parser,
+// and the CSV readers must raise typed errors — never crash, hang, or
+// silently mis-parse.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "domino/config_parser.h"
+#include "domino/expr.h"
+#include "telemetry/io.h"
+
+namespace domino {
+namespace {
+
+// --- DSL parser fuzz -------------------------------------------------------------
+
+class DslFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DslFuzzTest, RandomTokenSoupNeverCrashes) {
+  Rng rng(GetParam());
+  const char* tokens[] = {"min",  "(",    ")",   "fwd", ".",  "owd_ms",
+                          "and",  "or",   "not", ">",   "<",  "==",
+                          "+",    "-",    "*",   "/",   ",",  "1.5",
+                          "42",   "p",    "ul",  "mcs", ">=", "frac_gt",
+                          "1e9",  "bogus"};
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string src;
+    int n = static_cast<int>(rng.UniformInt(1, 14));
+    for (int i = 0; i < n; ++i) {
+      src += tokens[rng.UniformInt(0, std::size(tokens) - 1)];
+      src += ' ';
+    }
+    try {
+      auto e = analysis::ParseExpression(src);
+      ASSERT_NE(e, nullptr);  // if it parsed, it must be usable
+    } catch (const analysis::DslError&) {
+      // expected for most soups
+    }
+  }
+}
+
+TEST_P(DslFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string src;
+    int n = static_cast<int>(rng.UniformInt(0, 40));
+    for (int i = 0; i < n; ++i) {
+      src += static_cast<char>(rng.UniformInt(32, 126));
+    }
+    try {
+      analysis::ParseExpression(src);
+    } catch (const analysis::DslError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DslFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 5));
+
+TEST(ConfigFuzzTest, RandomLinesOnlyThrowDslError) {
+  Rng rng(9);
+  const char* fragments[] = {"event",  "chain", "x:",    "->", "a",
+                             "max(",   ")",     "fwd.",  "#",  ":",
+                             "owd_ms", "1 > 0", "@rev"};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    int lines = static_cast<int>(rng.UniformInt(1, 5));
+    for (int l = 0; l < lines; ++l) {
+      int n = static_cast<int>(rng.UniformInt(1, 7));
+      for (int i = 0; i < n; ++i) {
+        text += fragments[rng.UniformInt(0, std::size(fragments) - 1)];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    try {
+      analysis::ParseConfigText(text);
+    } catch (const analysis::DslError&) {
+    }
+  }
+}
+
+// --- CSV readers -----------------------------------------------------------------
+
+TEST(CsvRobustnessTest, TruncatedRowThrows) {
+  std::istringstream is("time_us,rnti,dir\n123,17\n");
+  EXPECT_THROW(telemetry::ReadDciCsv(is), std::out_of_range);
+}
+
+TEST(CsvRobustnessTest, NonNumericFieldThrows) {
+  std::istringstream is(
+      "time_us,rnti,dir,prbs,mcs,tbs_bytes,is_retx,harq_process,attempt\n"
+      "abc,1,UL,1,1,1,0,0,0\n");
+  EXPECT_THROW(telemetry::ReadDciCsv(is), std::invalid_argument);
+}
+
+TEST(CsvRobustnessTest, EmptyStreamThrows) {
+  std::istringstream is("");
+  EXPECT_THROW(telemetry::ReadDciCsv(is), std::runtime_error);
+}
+
+TEST(CsvRobustnessTest, HeaderOnlyIsEmptyDataset) {
+  std::istringstream is(
+      "time_us,rnti,dir,prbs,mcs,tbs_bytes,is_retx,harq_process,attempt\n");
+  EXPECT_TRUE(telemetry::ReadDciCsv(is).empty());
+}
+
+}  // namespace
+}  // namespace domino

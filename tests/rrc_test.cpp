@@ -1,0 +1,109 @@
+// Unit tests for the RRC state machine.
+#include <gtest/gtest.h>
+
+#include "rrc/rrc.h"
+
+namespace domino::rrc {
+namespace {
+
+TEST(RrcTest, StartsConnected) {
+  RrcStateMachine rrc(RrcConfig{}, Rng(1));
+  EXPECT_EQ(rrc.state(), RrcState::kConnected);
+  EXPECT_TRUE(rrc.CanTransmit(Time{0}));
+  EXPECT_EQ(rrc.rnti(), 0x4601u);
+}
+
+TEST(RrcTest, ScheduledReleaseBlackout) {
+  RrcConfig cfg;
+  cfg.transition_duration = Millis(300);
+  RrcStateMachine rrc(cfg, Rng(1));
+  rrc.ScheduleRelease(Time{1'000'000});
+
+  EXPECT_TRUE(rrc.CanTransmit(Time{999'000}));
+  EXPECT_FALSE(rrc.CanTransmit(Time{1'000'000}));
+  EXPECT_EQ(rrc.state(), RrcState::kTransitioning);
+  EXPECT_FALSE(rrc.CanTransmit(Time{1'299'000}));
+  EXPECT_TRUE(rrc.CanTransmit(Time{1'300'000}));
+  EXPECT_EQ(rrc.transition_count(), 1);
+}
+
+TEST(RrcTest, RntiChangesOnReestablish) {
+  RrcConfig cfg;
+  cfg.transition_duration = Millis(100);
+  RrcStateMachine rrc(cfg, Rng(1));
+  std::uint32_t before = rrc.rnti();
+  rrc.ScheduleRelease(Time{10'000});
+  rrc.Advance(Time{10'000});
+  EXPECT_EQ(rrc.rnti(), before);  // unchanged while transitioning
+  rrc.Advance(Time{200'000});
+  EXPECT_EQ(rrc.rnti(), before + 1);
+}
+
+TEST(RrcTest, RntiChangeCallback) {
+  RrcConfig cfg;
+  cfg.transition_duration = Millis(100);
+  RrcStateMachine rrc(cfg, Rng(1));
+  Time cb_time{0};
+  std::uint32_t cb_rnti = 0;
+  rrc.on_rnti_change = [&](Time t, std::uint32_t r) {
+    cb_time = t;
+    cb_rnti = r;
+  };
+  rrc.ScheduleRelease(Time{10'000});
+  rrc.Advance(Time{10'000});
+  rrc.Advance(Time{150'000});
+  EXPECT_EQ(cb_rnti, 0x4602u);
+  EXPECT_EQ(cb_time.micros(), 150'000);
+}
+
+TEST(RrcTest, MultipleScheduledReleases) {
+  RrcConfig cfg;
+  cfg.transition_duration = Millis(100);
+  RrcStateMachine rrc(cfg, Rng(1));
+  rrc.ScheduleRelease(Time{1'000'000});
+  rrc.ScheduleRelease(Time{2'000'000});
+  for (std::int64_t t = 0; t <= 3'000'000; t += 10'000) {
+    rrc.Advance(Time{t});
+  }
+  EXPECT_EQ(rrc.transition_count(), 2);
+  EXPECT_EQ(rrc.rnti(), 0x4603u);
+}
+
+TEST(RrcTest, ReleaseDuringTransitionIgnored) {
+  RrcConfig cfg;
+  cfg.transition_duration = Millis(200);
+  RrcStateMachine rrc(cfg, Rng(1));
+  rrc.ScheduleRelease(Time{10'000});
+  rrc.ScheduleRelease(Time{50'000});  // lands mid-transition
+  for (std::int64_t t = 0; t <= 500'000; t += 5'000) {
+    rrc.Advance(Time{t});
+  }
+  // The second release fires only after reconnection (it was queued), so
+  // the machine never double-counts a transition within a transition.
+  EXPECT_GE(rrc.transition_count(), 1);
+  EXPECT_LE(rrc.transition_count(), 2);
+}
+
+TEST(RrcTest, RandomReleasesApproximateRate) {
+  RrcConfig cfg;
+  cfg.transition_duration = Millis(100);
+  cfg.random_release_rate_per_min = 6.0;  // one per 10 s
+  RrcStateMachine rrc(cfg, Rng(23));
+  for (std::int64_t t = 0; t <= 600'000'000; t += 10'000) {  // 10 minutes
+    rrc.Advance(Time{t});
+  }
+  // ~60 expected over 10 minutes; allow generous tolerance.
+  EXPECT_GT(rrc.transition_count(), 30);
+  EXPECT_LT(rrc.transition_count(), 90);
+}
+
+TEST(RrcTest, NoRandomReleasesWhenDisabled) {
+  RrcStateMachine rrc(RrcConfig{}, Rng(23));
+  for (std::int64_t t = 0; t <= 600'000'000; t += 100'000) {
+    rrc.Advance(Time{t});
+  }
+  EXPECT_EQ(rrc.transition_count(), 0);
+}
+
+}  // namespace
+}  // namespace domino::rrc

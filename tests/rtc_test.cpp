@@ -1,0 +1,350 @@
+// Unit tests for the WebRTC application model: encoder, jitter buffer,
+// receiver, and sender.
+#include <gtest/gtest.h>
+
+#include "rtc/encoder.h"
+#include "rtc/jitter_buffer.h"
+#include "rtc/receiver.h"
+#include "rtc/sender.h"
+
+namespace domino::rtc {
+namespace {
+
+// --- VideoEncoder --------------------------------------------------------------
+
+EncoderConfig TestEncoderConfig() {
+  EncoderConfig cfg;
+  cfg.ladder = {
+      {360, 0, 500e3}, {540, 700e3, 1.4e6}, {720, 2.0e6, 2.6e6}};
+  cfg.size_jitter_sigma = 0.0;  // deterministic sizes
+  cfg.keyframe_interval_frames = 1e9;
+  return cfg;
+}
+
+TEST(EncoderTest, FullFpsAtComfortRate) {
+  VideoEncoder enc(TestEncoderConfig(), Rng(1));
+  enc.SetTargetRate(500e3);  // comfort rate of 360p
+  int frames = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (enc.OnCaptureTick(Time{i * 33'333}).has_value()) ++frames;
+  }
+  EXPECT_EQ(frames, 30);
+  EXPECT_NEAR(enc.current_fps(), 30.0, 0.1);
+}
+
+TEST(EncoderTest, LowRateDropsFrameRate) {
+  VideoEncoder enc(TestEncoderConfig(), Rng(1));
+  enc.SetTargetRate(250e3);  // half the 360p comfort rate
+  int frames = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (enc.OnCaptureTick(Time{i * 33'333}).has_value()) ++frames;
+  }
+  EXPECT_LT(frames, 40);  // roughly half the ticks produce frames
+  EXPECT_GT(frames, 20);
+}
+
+TEST(EncoderTest, FrameSizeMatchesRate) {
+  VideoEncoder enc(TestEncoderConfig(), Rng(1));
+  enc.SetTargetRate(960e3);
+  long bytes = 0;
+  int frames = 0;
+  for (int i = 0; i < 90; ++i) {
+    auto f = enc.OnCaptureTick(Time{i * 33'333});
+    if (f) {
+      bytes += f->bytes;
+      ++frames;
+    }
+  }
+  // 960 kbps for 3 seconds = 360 KB.
+  EXPECT_NEAR(static_cast<double>(bytes), 360'000, 40'000);
+}
+
+TEST(EncoderTest, ResolutionUpgradesAfterSustainedHeadroom) {
+  EncoderConfig cfg = TestEncoderConfig();
+  cfg.upgrade_hold = Seconds(1.0);
+  VideoEncoder enc(cfg, Rng(1));
+  enc.SetTargetRate(1.2e6);  // well above 540p min (700k) x 1.3
+  EXPECT_EQ(enc.resolution(), 360);
+  for (int i = 0; i < 45; ++i) enc.OnCaptureTick(Time{i * 33'333});
+  EXPECT_EQ(enc.resolution(), 540);
+}
+
+TEST(EncoderTest, ResolutionDowngradesImmediately) {
+  EncoderConfig cfg = TestEncoderConfig();
+  cfg.upgrade_hold = Seconds(0.1);
+  VideoEncoder enc(cfg, Rng(1));
+  enc.SetTargetRate(1.2e6);
+  for (int i = 0; i < 30; ++i) enc.OnCaptureTick(Time{i * 33'333});
+  ASSERT_EQ(enc.resolution(), 540);
+  enc.SetTargetRate(500e3);  // below the 540p min
+  enc.OnCaptureTick(Time{31 * 33'333});
+  EXPECT_EQ(enc.resolution(), 360);
+}
+
+TEST(EncoderTest, KeyframesPeriodicAndLarger) {
+  EncoderConfig cfg = TestEncoderConfig();
+  cfg.keyframe_interval_frames = 10;
+  cfg.keyframe_size_factor = 2.5;
+  VideoEncoder enc(cfg, Rng(1));
+  enc.SetTargetRate(500e3);
+  int keyframes = 0;
+  int key_bytes = 0, delta_bytes = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto f = enc.OnCaptureTick(Time{i * 33'333});
+    if (!f) continue;
+    if (f->keyframe) {
+      ++keyframes;
+      key_bytes = f->bytes;
+    } else {
+      delta_bytes = f->bytes;
+    }
+  }
+  EXPECT_EQ(keyframes, 3);
+  EXPECT_GT(key_bytes, delta_bytes * 2);
+}
+
+// --- FrameJitterBuffer ------------------------------------------------------------
+
+JitterBufferConfig TestJbConfig() {
+  JitterBufferConfig cfg;
+  cfg.min_delay = Millis(40);
+  cfg.decay_ms_per_s = 10;
+  return cfg;
+}
+
+TEST(JitterBufferTest, InTimeFramesWaitForDeadline) {
+  FrameJitterBuffer jb(TestJbConfig());
+  // Constant 20 ms transit: frames arrive 40 ms (min delay) early.
+  for (int i = 0; i < 30; ++i) {
+    Time capture{i * 33'000};
+    jb.OnFrameComplete(static_cast<std::uint64_t>(i + 1), capture,
+                       capture + Millis(20));
+  }
+  jb.AdvanceTo(Time{30 * 33'000 + 100'000});
+  EXPECT_EQ(jb.drain_events(), 0);
+  EXPECT_GT(jb.total_rendered(), 25);
+  EXPECT_NEAR(jb.last_wait_ms(), 40.0, 5.0);
+}
+
+TEST(JitterBufferTest, LateFrameDrainsAndExpands) {
+  FrameJitterBuffer jb(TestJbConfig());
+  for (int i = 0; i < 10; ++i) {
+    Time capture{i * 33'000};
+    jb.OnFrameComplete(static_cast<std::uint64_t>(i + 1), capture,
+                       capture + Millis(20));
+  }
+  double target_before = jb.target_delay_ms();
+  // Frame 11 arrives 200 ms late relative to its pacing.
+  Time capture{10 * 33'000};
+  jb.OnFrameComplete(11, capture, capture + Millis(220));
+  EXPECT_EQ(jb.drain_events(), 1);
+  EXPECT_EQ(jb.last_wait_ms(), 0.0);  // played on arrival
+  EXPECT_GT(jb.target_delay_ms(), target_before + 100);
+}
+
+TEST(JitterBufferTest, FreezeDetectedAndAccounted) {
+  FrameJitterBuffer jb(TestJbConfig());
+  for (int i = 0; i < 10; ++i) {
+    Time capture{i * 33'000};
+    jb.OnFrameComplete(static_cast<std::uint64_t>(i + 1), capture,
+                       capture + Millis(20));
+  }
+  Time last_arrival{9 * 33'000 + 20'000};
+  // 500 ms gap with no frames.
+  jb.AdvanceTo(last_arrival + Millis(500));
+  EXPECT_TRUE(jb.frozen(last_arrival + Millis(500)));
+  // The next frame ends the freeze and books its duration.
+  Time capture{10 * 33'000};
+  jb.OnFrameComplete(11, capture, last_arrival + Millis(520));
+  EXPECT_FALSE(jb.frozen(last_arrival + Millis(521)));
+  EXPECT_GT(jb.total_freeze().millis(), 200.0);
+}
+
+TEST(JitterBufferTest, TargetDecaysWhenStable) {
+  JitterBufferConfig cfg = TestJbConfig();
+  cfg.decay_ms_per_s = 50;
+  FrameJitterBuffer jb(cfg);
+  Time capture{0};
+  jb.OnFrameComplete(1, capture, capture + Millis(20));
+  jb.OnFrameComplete(2, capture + Millis(33),
+                     capture + Millis(33) + Millis(300));  // big lateness
+  double expanded = jb.target_delay_ms();
+  ASSERT_GT(expanded, 200);
+  // Feed steady frames for 10 seconds; the target should contract.
+  for (int i = 3; i < 300; ++i) {
+    Time c{i * 33'000};
+    jb.OnFrameComplete(static_cast<std::uint64_t>(i), c, c + Millis(20));
+  }
+  EXPECT_LT(jb.target_delay_ms(), expanded - 200);
+}
+
+TEST(JitterBufferTest, PacketJitterSetsFloor) {
+  FrameJitterBuffer jb(TestJbConfig());
+  jb.SetPacketJitter(30.0);  // 4x headroom -> 120 ms target floor
+  Time capture{0};
+  jb.OnFrameComplete(1, capture, capture + Millis(20));
+  EXPECT_GE(jb.target_delay_ms(), 119.0);
+}
+
+TEST(JitterBufferTest, RenderedInWindowCounts) {
+  FrameJitterBuffer jb(TestJbConfig());
+  for (int i = 0; i < 60; ++i) {
+    Time capture{i * 33'000};
+    jb.OnFrameComplete(static_cast<std::uint64_t>(i + 1), capture,
+                       capture + Millis(20));
+  }
+  Time now{60 * 33'000 + 100'000};
+  jb.AdvanceTo(now);
+  int in_1s = jb.RenderedInWindow(now, Seconds(1.0));
+  EXPECT_NEAR(in_1s, 30, 4);
+}
+
+// --- MediaReceiver ------------------------------------------------------------------
+
+MediaPacket MakePacket(std::uint64_t id, std::uint64_t frame_id, int index,
+                       int count, Time capture, Time send) {
+  MediaPacket p;
+  p.id = id;
+  p.frame_id = frame_id;
+  p.bytes = 1200;
+  p.index_in_frame = index;
+  p.frame_packet_count = count;
+  p.capture_time = capture;
+  p.send_time = send;
+  return p;
+}
+
+TEST(ReceiverTest, FrameCompletesWhenAllPacketsArrive) {
+  MediaReceiver rx;
+  Time capture{0};
+  rx.OnMediaPacket(MakePacket(1, 1, 0, 2, capture, capture), Time{30'000});
+  EXPECT_EQ(rx.jitter_buffer().total_rendered(), 0);
+  rx.OnMediaPacket(MakePacket(2, 1, 1, 2, capture, capture), Time{32'000});
+  // Deadline-based playout: advance well past it.
+  rx.AdvanceTo(Time{500'000});
+  EXPECT_EQ(rx.jitter_buffer().total_rendered(), 1);
+}
+
+TEST(ReceiverTest, FeedbackContainsReceivedPackets) {
+  MediaReceiver rx;
+  Time capture{0};
+  rx.OnMediaPacket(MakePacket(1, 1, 0, 1, capture, Time{1'000}), Time{21'000});
+  rx.OnMediaPacket(MakePacket(2, 2, 0, 1, capture, Time{34'000}),
+                   Time{55'000});
+  auto fb = rx.TakeFeedback();
+  ASSERT_EQ(fb.packets.size(), 2u);
+  EXPECT_EQ(fb.packets[0].packet_id, 1u);
+  EXPECT_EQ(fb.packets[0].recv_time.micros(), 21'000);
+  EXPECT_EQ(fb.packets[1].send_time.micros(), 34'000);
+  // Feedback is cleared after taking.
+  EXPECT_TRUE(rx.TakeFeedback().packets.empty());
+}
+
+TEST(ReceiverTest, GapDeclaredLostAfterReorderWindow) {
+  ReceiverConfig cfg;
+  cfg.reorder_window_packets = 5;
+  MediaReceiver rx(cfg);
+  Time capture{0};
+  // Packet 2 never arrives; ids 1,3..8 do.
+  rx.OnMediaPacket(MakePacket(1, 1, 0, 1, capture, Time{0}), Time{20'000});
+  for (std::uint64_t id = 3; id <= 8; ++id) {
+    auto t = static_cast<std::int64_t>(id) * 1000;
+    rx.OnMediaPacket(MakePacket(id, id, 0, 1, capture, Time{t}),
+                     Time{20'000 + t});
+  }
+  EXPECT_EQ(rx.declared_losses(), 1);
+  auto fb = rx.TakeFeedback();
+  bool found_loss = false;
+  for (const auto& p : fb.packets) {
+    if (p.packet_id == 2) {
+      EXPECT_TRUE(p.lost());
+      found_loss = true;
+    }
+  }
+  EXPECT_TRUE(found_loss);
+}
+
+TEST(ReceiverTest, NoSpuriousLossWithoutGap) {
+  MediaReceiver rx;
+  Time capture{0};
+  for (std::uint64_t id = 1; id <= 100; ++id) {
+    auto t = static_cast<std::int64_t>(id) * 1000;
+    rx.OnMediaPacket(MakePacket(id, id, 0, 1, capture, Time{t}),
+                     Time{20'000 + t});
+  }
+  EXPECT_EQ(rx.declared_losses(), 0);
+}
+
+TEST(ReceiverTest, InboundFpsTracksRenderRate) {
+  MediaReceiver rx;
+  for (int i = 0; i < 90; ++i) {
+    Time capture{i * 33'000};
+    rx.OnMediaPacket(
+        MakePacket(static_cast<std::uint64_t>(i + 1),
+                   static_cast<std::uint64_t>(i + 1), 0, 1, capture,
+                   capture),
+        capture + Millis(20));
+  }
+  Time now{90 * 33'000};
+  rx.AdvanceTo(now);
+  EXPECT_NEAR(rx.inbound_fps(now), 30.0, 4.0);
+}
+
+// --- MediaSender ----------------------------------------------------------------------
+
+SenderConfig TestSenderConfig() {
+  SenderConfig cfg;
+  cfg.encoder = TestEncoderConfig();
+  cfg.gcc.aimd.start_bitrate_bps = 960e3;
+  return cfg;
+}
+
+TEST(SenderTest, PacketizesFrameAtMtu) {
+  MediaSender snd(TestSenderConfig(), Rng(1));
+  auto burst = snd.OnCaptureTick(Time{0});
+  ASSERT_FALSE(burst.empty());
+  int total = 0;
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    EXPECT_LE(burst[i].bytes, 1200);
+    EXPECT_EQ(burst[i].index_in_frame, static_cast<int>(i));
+    EXPECT_EQ(burst[i].frame_packet_count, static_cast<int>(burst.size()));
+    total += burst[i].bytes;
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST(SenderTest, SequentialPacketIds) {
+  MediaSender snd(TestSenderConfig(), Rng(1));
+  std::uint64_t expect = 1;
+  for (int i = 0; i < 10; ++i) {
+    for (const auto& p : snd.OnCaptureTick(Time{i * 33'333})) {
+      EXPECT_EQ(p.id, expect++);
+    }
+  }
+}
+
+TEST(SenderTest, PacketsStaggeredWithinBurst) {
+  MediaSender snd(TestSenderConfig(), Rng(1));
+  snd.OnCaptureTick(Time{0});
+  auto burst = snd.OnCaptureTick(Time{33'333});
+  for (std::size_t i = 1; i < burst.size(); ++i) {
+    EXPECT_GT(burst[i].send_time, burst[i - 1].send_time);
+  }
+}
+
+TEST(SenderTest, GccTracksOutstanding) {
+  MediaSender snd(TestSenderConfig(), Rng(1));
+  auto burst = snd.OnCaptureTick(Time{0});
+  double expected = 0;
+  for (const auto& p : burst) expected += p.bytes;
+  EXPECT_DOUBLE_EQ(snd.gcc().outstanding_bytes(), expected);
+}
+
+TEST(SenderTest, OutboundFpsWindow) {
+  MediaSender snd(TestSenderConfig(), Rng(1));
+  for (int i = 0; i < 60; ++i) snd.OnCaptureTick(Time{i * 33'333});
+  EXPECT_NEAR(snd.outbound_fps(Time{60 * 33'333}), 30.0, 3.0);
+}
+
+}  // namespace
+}  // namespace domino::rtc

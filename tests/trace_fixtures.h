@@ -1,0 +1,44 @@
+// Shared helpers for building synthetic derived traces in the Domino
+// analysis tests. Traces are hand-planted so each event condition can be
+// exercised with known-positive and known-negative inputs.
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+
+#include "telemetry/dataset.h"
+
+namespace domino::analysis_test {
+
+using telemetry::DerivedTrace;
+
+/// A 10 s empty trace with gNB logs available.
+inline DerivedTrace EmptyTrace() {
+  DerivedTrace t;
+  t.begin = Time{0};
+  t.end = Time{0} + Seconds(10);
+  t.has_gnb_log = true;
+  return t;
+}
+
+/// Fills `series` with samples every `step` over [begin, end), where the
+/// value at time t is `fn(i)` for the i-th sample.
+inline void Fill(TimeSeries<double>& series, Time begin, Time end,
+                 Duration step, const std::function<double(int)>& fn) {
+  int i = 0;
+  for (Time t = begin; t < end; t += step, ++i) {
+    series.Push(t, fn(i));
+  }
+}
+
+/// Fills with a constant.
+inline void FillConst(TimeSeries<double>& series, Time begin, Time end,
+                      Duration step, double value) {
+  Fill(series, begin, end, step, [value](int) { return value; });
+}
+
+/// The standard 5 s analysis window over a fixture trace.
+inline constexpr Time kWinBegin{0};
+inline const Time kWinEnd = Time{0} + Seconds(5);
+
+}  // namespace domino::analysis_test

@@ -1,0 +1,87 @@
+// Tests for the Wi-Fi DCF contention model.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "net/wifi.h"
+
+namespace domino::net {
+namespace {
+
+TEST(WifiTest, UncontendedFrameFastAndReliable) {
+  WifiChannel ch(WifiConfig{}, Rng(1));
+  for (int i = 0; i < 200; ++i) {
+    auto out = ch.SendFrame(0);
+    EXPECT_TRUE(out.delivered);
+    EXPECT_EQ(out.attempts, 1);
+    // DIFS + up to 15 idle slots + airtime < 1 ms.
+    EXPECT_LT(out.delay_ms, 1.0);
+    EXPECT_GT(out.delay_ms, 0.2);
+  }
+}
+
+TEST(WifiTest, ProbabilitiesMonotoneInContenders) {
+  WifiChannel ch(WifiConfig{}, Rng(1));
+  EXPECT_DOUBLE_EQ(ch.BusyProbability(0), 0.0);
+  double prev = 0;
+  for (int n = 1; n <= 20; ++n) {
+    double p = ch.CollisionProbability(n);
+    EXPECT_GT(p, prev);
+    EXPECT_LT(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(WifiTest, DelayGrowsWithContention) {
+  auto mean_delay = [](int contenders) {
+    WifiChannel ch(WifiConfig{}, Rng(7));
+    RunningStats st;
+    for (int i = 0; i < 3000; ++i) {
+      auto out = ch.SendFrame(contenders);
+      if (out.delivered) st.Add(out.delay_ms);
+    }
+    return st.mean();
+  };
+  double d0 = mean_delay(0);
+  double d3 = mean_delay(3);
+  double d8 = mean_delay(8);
+  EXPECT_LT(d0, d3);
+  EXPECT_LT(d3, d8);
+}
+
+TEST(WifiTest, LossAppearsUnderHeavyContention) {
+  WifiChannel light(WifiConfig{}, Rng(3));
+  WifiChannel heavy(WifiConfig{}, Rng(3));
+  long light_drops = 0, heavy_drops = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (!light.SendFrame(1).delivered) ++light_drops;
+    if (!heavy.SendFrame(12).delivered) ++heavy_drops;
+  }
+  EXPECT_LE(light_drops, 2);  // collision^8 at n=1 is ~1e-9
+  EXPECT_GT(heavy_drops, 20);
+}
+
+TEST(WifiTest, RetriesBoundedByConfig) {
+  WifiConfig cfg;
+  cfg.max_retries = 3;
+  WifiChannel ch(cfg, Rng(5));
+  for (int i = 0; i < 2000; ++i) {
+    auto out = ch.SendFrame(15);
+    EXPECT_LE(out.attempts, 4);
+    if (!out.delivered) {
+      EXPECT_EQ(out.attempts, 4);
+    }
+  }
+}
+
+TEST(WifiTest, Deterministic) {
+  WifiChannel a(WifiConfig{}, Rng(9)), b(WifiConfig{}, Rng(9));
+  for (int i = 0; i < 100; ++i) {
+    auto oa = a.SendFrame(4);
+    auto ob = b.SendFrame(4);
+    EXPECT_DOUBLE_EQ(oa.delay_ms, ob.delay_ms);
+    EXPECT_EQ(oa.delivered, ob.delivered);
+  }
+}
+
+}  // namespace
+}  // namespace domino::net

@@ -1,0 +1,211 @@
+// domino — the command-line tool an operator or researcher runs.
+//
+//   domino simulate <cell> <seconds> <out_dir> [--seed N]
+//       Generate a cross-layer dataset by simulating a two-party call over
+//       one of the modelled cells (tmobile-fdd15, tmobile-tdd100, amarisoft,
+//       mosolabs, wired).
+//
+//   domino analyze <dataset_dir> [--config FILE] [--window SEC]
+//                  [--step SEC] [--chains-csv FILE] [--features-csv FILE]
+//                  [--offset-correct]
+//       Run the causal-chain analysis over a saved dataset and print the
+//       summary report. --config extends the default Fig. 9 graph with
+//       user-defined events/chains (see docs in config_parser.h).
+//
+//   domino codegen <config_file> [-o FILE]
+//       Generate the standalone Python detector module for a configuration
+//       (Fig. 11); writes to stdout by default.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "domino/codegen.h"
+#include "domino/config_parser.h"
+#include "domino/report.h"
+#include "telemetry/align.h"
+#include "sim/call_session.h"
+#include "sim/cell_config.h"
+#include "telemetry/io.h"
+
+namespace {
+
+using namespace domino;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  domino simulate <cell> <seconds> <out_dir> [--seed N]\n"
+               "  domino analyze <dataset_dir> [--config FILE]"
+               " [--window SEC] [--step SEC]\n"
+               "                 [--chains-csv FILE] [--features-csv FILE]"
+               " [--offset-correct]\n"
+               "  domino codegen <config_file> [-o FILE]\n"
+               "cells: tmobile-fdd15 tmobile-tdd100 amarisoft mosolabs"
+               " wired\n");
+  return 2;
+}
+
+std::optional<sim::CellProfile> CellByName(const std::string& name) {
+  if (name == "tmobile-fdd15") return sim::TMobileFdd15();
+  if (name == "tmobile-tdd100") return sim::TMobileTdd100();
+  if (name == "amarisoft") return sim::Amarisoft();
+  if (name == "mosolabs") return sim::Mosolabs();
+  if (name == "wired") return sim::WiredBaseline();
+  return std::nullopt;
+}
+
+/// Returns the value of `--flag value` if present, removing both tokens.
+std::optional<std::string> TakeFlag(std::vector<std::string>& args,
+                                    const std::string& flag) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) {
+      std::string value = args[i + 1];
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+int CmdSimulate(std::vector<std::string> args) {
+  std::uint64_t seed = 1;
+  if (auto s = TakeFlag(args, "--seed")) seed = std::stoull(*s);
+  if (args.size() != 3) return Usage();
+
+  auto profile = CellByName(args[0]);
+  if (!profile.has_value()) {
+    std::fprintf(stderr, "unknown cell '%s'\n", args[0].c_str());
+    return 2;
+  }
+  double seconds = std::stod(args[1]);
+  const std::string& out_dir = args[2];
+
+  std::printf("simulating %.0f s over '%s' (seed %llu)...\n", seconds,
+              profile->name.c_str(),
+              static_cast<unsigned long long>(seed));
+  sim::SessionConfig cfg;
+  cfg.profile = *profile;
+  cfg.duration = Seconds(seconds);
+  cfg.seed = seed;
+  sim::CallSession session(cfg);
+  telemetry::SessionDataset ds = session.Run();
+  telemetry::SaveDataset(ds, out_dir);
+  std::printf("wrote %zu DCIs, %zu packets, %zu gNB log rows, %zu+%zu stats "
+              "rows to %s/\n",
+              ds.dci.size(), ds.packets.size(), ds.gnb_log.size(),
+              ds.stats[0].size(), ds.stats[1].size(), out_dir.c_str());
+  return 0;
+}
+
+int CmdAnalyze(std::vector<std::string> args) {
+  auto config_path = TakeFlag(args, "--config");
+  auto window_s = TakeFlag(args, "--window");
+  auto step_s = TakeFlag(args, "--step");
+  auto chains_csv = TakeFlag(args, "--chains-csv");
+  auto features_csv = TakeFlag(args, "--features-csv");
+  bool offset_correct = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--offset-correct") {
+      offset_correct = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (args.size() != 1) return Usage();
+
+  telemetry::SessionDataset ds = telemetry::LoadDataset(args[0]);
+  if (offset_correct) {
+    double offset_ms = telemetry::EstimateClockOffsetMs(ds);
+    telemetry::AlignClocks(ds, offset_ms);
+    std::printf("clock-offset correction applied: remote clock estimated "
+                "%+.1f ms ahead\n", offset_ms);
+  }
+  std::printf("loaded dataset '%s' (%s, %.0f s, %zu DCIs, %zu packets)\n",
+              args[0].c_str(), ds.cell_name.c_str(),
+              ds.duration().seconds(), ds.dci.size(), ds.packets.size());
+
+  analysis::DominoConfig cfg;
+  if (window_s) cfg.window = Seconds(std::stod(*window_s));
+  if (step_s) cfg.step = Seconds(std::stod(*step_s));
+  cfg.extract_features = true;
+
+  analysis::CausalGraph graph = analysis::CausalGraph::Default(cfg.thresholds);
+  if (config_path) {
+    std::ifstream f(*config_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open config '%s'\n",
+                   config_path->c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+    analysis::ExtendGraph(graph, analysis::ParseConfigText(buf.str()),
+                          cfg.thresholds);
+    std::printf("extended causal graph from %s\n", config_path->c_str());
+  }
+
+  analysis::Detector detector(std::move(graph), cfg);
+  analysis::AnalysisResult result =
+      detector.Analyze(telemetry::BuildDerivedTrace(ds));
+
+  std::printf("\n%s", analysis::BuildSummaryReport(result, detector).c_str());
+
+  if (chains_csv) {
+    std::ofstream f(*chains_csv);
+    analysis::WriteChainsCsv(f, result, detector);
+    std::printf("\nchain instances written to %s\n", chains_csv->c_str());
+  }
+  if (features_csv) {
+    std::ofstream f(*features_csv);
+    analysis::WriteFeaturesCsv(f, result);
+    std::printf("feature vectors written to %s\n", features_csv->c_str());
+  }
+  return 0;
+}
+
+int CmdCodegen(std::vector<std::string> args) {
+  auto out = TakeFlag(args, "-o");
+  if (args.size() != 1) return Usage();
+  std::ifstream f(args[0]);
+  if (!f) {
+    std::fprintf(stderr, "cannot open config '%s'\n", args[0].c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  std::string python =
+      analysis::GeneratePython(analysis::ParseConfigText(buf.str()));
+  if (out) {
+    std::ofstream o(*out);
+    o << python;
+    std::printf("wrote %zu bytes of Python to %s\n", python.size(),
+                out->c_str());
+  } else {
+    std::cout << python;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "simulate") return CmdSimulate(std::move(args));
+    if (cmd == "analyze") return CmdAnalyze(std::move(args));
+    if (cmd == "codegen") return CmdCodegen(std::move(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
