@@ -49,10 +49,13 @@ void BM_AnalyzeWindow(benchmark::State& state) {
 BENCHMARK(BM_AnalyzeWindow);
 
 /// Full-trace analysis; the counter reports the real-time speedup
-/// (trace seconds analysed per wall-clock second).
+/// (trace seconds analysed per wall-clock second). Args: step_ms x
+/// incremental {0, 1} x fan-out threads {1, 2, 4}.
 void BM_FullAnalysis(benchmark::State& state) {
   analysis::DominoConfig cfg;
   cfg.step = Millis(state.range(0));
+  cfg.incremental = state.range(1) != 0;
+  cfg.threads = static_cast<int>(state.range(2));
   analysis::Detector detector(analysis::CausalGraph::Default(cfg.thresholds),
                               cfg);
   const auto& trace = SharedTrace();
@@ -65,7 +68,10 @@ void BM_FullAnalysis(benchmark::State& state) {
       trace_s * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_FullAnalysis)->Arg(500)->Arg(250)->Arg(100);
+BENCHMARK(BM_FullAnalysis)
+    ->ArgNames({"step_ms", "inc", "threads"})
+    ->ArgsProduct({{500, 250, 100}, {0, 1}, {1}})
+    ->ArgsProduct({{100}, {1}, {2, 4}});
 
 void BM_FeatureVector(benchmark::State& state) {
   analysis::EventThresholds th;
@@ -114,18 +120,30 @@ void BM_PythonCodegen(benchmark::State& state) {
 }
 BENCHMARK(BM_PythonCodegen);
 
+/// Live-pipeline cost: one step-sized Advance at a time over the whole
+/// trace, the shape an operator deployment actually runs. Args:
+/// incremental {0, 1} x threads {1, 4} (threads only reach the catch-up
+/// batches; steady-state streaming is inherently sequential).
 void BM_StreamingAdvance(benchmark::State& state) {
   analysis::DominoConfig cfg;
   cfg.extract_features = false;
+  cfg.incremental = state.range(0) != 0;
+  cfg.threads = static_cast<int>(state.range(1));
   const auto& trace = SharedTrace();
   for (auto _ : state) {
     analysis::StreamingDetector stream(
         analysis::CausalGraph::Default(cfg.thresholds), cfg);
-    int n = stream.Advance(trace, trace.end);
+    int n = 0;
+    for (Time now = trace.begin; now <= trace.end; now += cfg.step) {
+      n += stream.Advance(trace, now);
+    }
     benchmark::DoNotOptimize(n);
   }
 }
-BENCHMARK(BM_StreamingAdvance);
+BENCHMARK(BM_StreamingAdvance)
+    ->ArgNames({"inc", "threads"})
+    ->ArgsProduct({{0, 1}, {1}})
+    ->Args({1, 4});
 
 void BM_RankAndReport(benchmark::State& state) {
   analysis::DominoConfig cfg;

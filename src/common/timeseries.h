@@ -53,17 +53,25 @@ class TimeSeries {
 
   /// Returns the non-owning view of samples with time in [begin, end).
   [[nodiscard]] WindowView<T> Window(Time begin, Time end) const {
-    auto lo = std::lower_bound(
-        samples_.begin(), samples_.end(), begin,
-        [](const Sample<T>& s, Time t) { return s.time < t; });
-    auto hi = std::lower_bound(
-        lo, samples_.end(), end,
-        [](const Sample<T>& s, Time t) { return s.time < t; });
-    return WindowView<T>(std::span<const Sample<T>>(&*samples_.begin(),
-                                                    samples_.size())
-                             .subspan(static_cast<std::size_t>(
-                                          lo - samples_.begin()),
-                                      static_cast<std::size_t>(hi - lo)));
+    // vector::data() is valid even when empty, unlike &*begin().
+    std::size_t lo = LowerBound(begin);
+    std::size_t hi = LowerBound(end, lo);
+    return ViewRange(lo, hi);
+  }
+
+  /// View of samples by index range [lo, hi); bounds must be valid.
+  [[nodiscard]] WindowView<T> ViewRange(std::size_t lo, std::size_t hi) const {
+    return WindowView<T>(
+        std::span<const Sample<T>>(samples_.data(), samples_.size())
+            .subspan(lo, hi - lo));
+  }
+
+  /// Index of the first sample with time >= t, searching from `from`.
+  [[nodiscard]] std::size_t LowerBound(Time t, std::size_t from = 0) const {
+    auto it = std::lower_bound(
+        samples_.begin() + static_cast<std::ptrdiff_t>(from), samples_.end(),
+        t, [](const Sample<T>& s, Time tt) { return s.time < tt; });
+    return static_cast<std::size_t>(it - samples_.begin());
   }
 
   /// Value of the last sample at or before `t`; `fallback` if none exists.

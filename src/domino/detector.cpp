@@ -1,5 +1,7 @@
 #include "domino/detector.h"
 
+#include "domino/incremental.h"
+
 namespace domino::analysis {
 
 std::vector<ChainInstance> AnalysisResult::AllChains() const {
@@ -14,24 +16,49 @@ Detector::Detector(CausalGraph graph, DominoConfig cfg)
     : graph_(std::move(graph)), cfg_(cfg) {
   graph_.Validate();
   chains_ = graph_.EnumerateChains();
+  node_shares_memo_.resize(graph_.node_count(), 0);
+  for (std::size_t n = 0; n < graph_.node_count(); ++n) {
+    const Node& node = graph_.node(static_cast<int>(n));
+    node_shares_memo_[n] = node.builtin.has_value() &&
+                           node.builtin_thresholds.has_value() &&
+                           *node.builtin_thresholds == cfg_.thresholds;
+  }
 }
 
 WindowResult Detector::AnalyzeWindow(const telemetry::DerivedTrace& trace,
                                      Time begin) const {
+  return AnalyzeWindow(trace, begin, nullptr);
+}
+
+WindowResult Detector::AnalyzeWindow(const telemetry::DerivedTrace& trace,
+                                     Time begin,
+                                     WindowStatsCache* cache) const {
   WindowResult result;
   result.begin = begin;
   Time end = begin + cfg_.window;
 
+  if (cache != nullptr) {
+    cache->BeginWindow(begin, end);
+    cache->set_memo_thresholds(&cfg_.thresholds);
+  }
+
   if (cfg_.extract_features) {
-    result.features = ExtractFeatures(trace, begin, end, cfg_.thresholds);
+    result.features =
+        ExtractFeatures(trace, begin, end, cfg_.thresholds, cache);
   }
 
   for (int p = 0; p < 2; ++p) {
-    WindowContext ctx(trace, begin, end, p);
+    WindowContext ctx(trace, begin, end, p, cache);
     auto& active = result.node_active[static_cast<std::size_t>(p)];
     active.resize(graph_.node_count());
     for (std::size_t n = 0; n < graph_.node_count(); ++n) {
-      active[n] = graph_.node(static_cast<int>(n)).detect(ctx);
+      const Node& node = graph_.node(static_cast<int>(n));
+      // Memo-sharing nodes go through DetectEvent with the detector's own
+      // thresholds so their result is computed once per window even when
+      // the same event also appears in the feature vector or other nodes.
+      active[n] = node_shares_memo_[n]
+                      ? DetectEvent(*node.builtin, ctx, cfg_.thresholds)
+                      : node.detect(ctx);
     }
     for (std::size_t c = 0; c < chains_.size(); ++c) {
       bool all = true;
@@ -50,14 +77,39 @@ WindowResult Detector::AnalyzeWindow(const telemetry::DerivedTrace& trace,
   return result;
 }
 
+std::vector<WindowResult> Detector::AnalyzeWindows(
+    const telemetry::DerivedTrace& trace,
+    const std::vector<Time>& begins) const {
+  std::vector<WindowResult> windows(begins.size());
+  int threads = EffectiveThreads(cfg_.threads, begins.size());
+  ParallelChunks(begins.size(), threads, [&](std::size_t b, std::size_t e) {
+    // One cache per contiguous chunk keeps every cursor monotone; chunks
+    // write disjoint slots, so the merged order is deterministic.
+    std::unique_ptr<WindowStatsCache> cache;
+    if (cfg_.incremental) cache = std::make_unique<WindowStatsCache>(trace);
+    for (std::size_t i = b; i < e; ++i) {
+      windows[i] = AnalyzeWindow(trace, begins[i], cache.get());
+    }
+  });
+  return windows;
+}
+
 AnalysisResult Detector::Analyze(const telemetry::DerivedTrace& trace) const {
   AnalysisResult result;
   result.trace_duration = trace.end - trace.begin;
-  if (trace.end <= trace.begin + cfg_.window) return result;
-  for (Time t = trace.begin; t + cfg_.window <= trace.end;
-       t += cfg_.step) {
-    result.windows.push_back(AnalyzeWindow(trace, t));
+  if (trace.end <= trace.begin) return result;
+  std::vector<Time> begins;
+  if (trace.begin + cfg_.window >= trace.end) {
+    // Shorter than (or exactly) one window: analyse the single truncated
+    // window instead of dropping the capture.
+    begins.push_back(trace.begin);
+  } else {
+    for (Time t = trace.begin; t + cfg_.window <= trace.end;
+         t += cfg_.step) {
+      begins.push_back(t);
+    }
   }
+  result.windows = AnalyzeWindows(trace, begins);
   return result;
 }
 

@@ -17,6 +17,15 @@ struct DominoConfig {
   EventThresholds thresholds;
   bool extract_features = true;  ///< Feature vectors cost ~40 detections per
                                  ///< window; disable for chain-only runs.
+  /// Use the incremental sliding-window engine (incremental.h): monotone
+  /// series cursors + O(1) amortised window aggregates + a per-window
+  /// detection memo. Off = the naive re-slice/re-scan path, kept for parity
+  /// testing and benchmarking.
+  bool incremental = true;
+  /// Window fan-out width for Detector::Analyze (and large streaming
+  /// batches): 0 = std::thread::hardware_concurrency(), 1 = sequential.
+  /// Results are merged in window order and are identical at any width.
+  int threads = 0;
 };
 
 /// One detected causal chain in one window, from one sender perspective.
@@ -41,17 +50,34 @@ struct AnalysisResult {
   [[nodiscard]] std::vector<ChainInstance> AllChains() const;
 };
 
+class WindowStatsCache;  // incremental.h
+
 class Detector {
  public:
   Detector(CausalGraph graph, DominoConfig cfg);
 
-  /// Runs the full sliding-window analysis over the trace.
+  /// Runs the full sliding-window analysis over the trace. A trace shorter
+  /// than one window (but non-empty) yields a single truncated window at
+  /// trace.begin, so short captures are still analysed.
   [[nodiscard]] AnalysisResult Analyze(
       const telemetry::DerivedTrace& trace) const;
 
   /// Evaluates one window at `begin` (both perspectives).
   [[nodiscard]] WindowResult AnalyzeWindow(
       const telemetry::DerivedTrace& trace, Time begin) const;
+
+  /// Same, riding an incremental cache (windows must be presented to one
+  /// cache in non-decreasing begin order; pass nullptr for the naive path).
+  [[nodiscard]] WindowResult AnalyzeWindow(
+      const telemetry::DerivedTrace& trace, Time begin,
+      WindowStatsCache* cache) const;
+
+  /// Analyses the given window begins (which must be sorted ascending),
+  /// honouring cfg().incremental and cfg().threads; results come back in
+  /// input order regardless of the fan-out width.
+  [[nodiscard]] std::vector<WindowResult> AnalyzeWindows(
+      const telemetry::DerivedTrace& trace,
+      const std::vector<Time>& begins) const;
 
   [[nodiscard]] const CausalGraph& graph() const { return graph_; }
   /// Enumerated cause->consequence paths (fixed at construction).
@@ -64,6 +90,9 @@ class Detector {
   CausalGraph graph_;
   DominoConfig cfg_;
   std::vector<ChainPath> chains_;
+  /// Nodes whose built-in detection (event + thresholds) matches what the
+  /// feature extractor computes — eligible for the shared per-window memo.
+  std::vector<char> node_shares_memo_;
 };
 
 }  // namespace domino::analysis

@@ -5,8 +5,55 @@
 #include <cmath>
 
 #include "common/stats.h"
+#include "domino/incremental.h"
 
 namespace domino::analysis {
+
+// ---------------------------------------------------------------------------
+// WindowContext aggregate helpers: cursor-backed when a cache is attached,
+// computed from the sliced window otherwise (the naive path).
+// ---------------------------------------------------------------------------
+
+WindowView<double> WindowContext::View(const TimeSeries<double>& s) const {
+  return cache_ ? cache_->View(s) : s.Window(begin_, end_);
+}
+std::size_t WindowContext::SeriesCount(const TimeSeries<double>& s) const {
+  return cache_ ? cache_->Count(s) : View(s).size();
+}
+double WindowContext::SeriesMin(const TimeSeries<double>& s) const {
+  return cache_ ? cache_->Min(s) : View(s).Min();
+}
+double WindowContext::SeriesMax(const TimeSeries<double>& s) const {
+  return cache_ ? cache_->Max(s) : View(s).Max();
+}
+Time WindowContext::SeriesArgMin(const TimeSeries<double>& s) const {
+  return cache_ ? cache_->ArgMin(s) : View(s).ArgMin();
+}
+Time WindowContext::SeriesArgMax(const TimeSeries<double>& s) const {
+  return cache_ ? cache_->ArgMax(s) : View(s).ArgMax();
+}
+double WindowContext::SeriesSum(const TimeSeries<double>& s) const {
+  return cache_ ? cache_->Sum(s) : View(s).Sum();
+}
+double WindowContext::SeriesMean(const TimeSeries<double>& s) const {
+  if (!cache_) return View(s).Mean();
+  return cache_->Sum(s) / static_cast<double>(cache_->Count(s));
+}
+std::size_t WindowContext::SeriesCountBelow(const TimeSeries<double>& s,
+                                            double x) const {
+  if (cache_) return cache_->CountCmp(s, CountOp::kBelow, x);
+  return View(s).CountIf([x](double v) { return v < x; });
+}
+std::size_t WindowContext::SeriesCountAbove(const TimeSeries<double>& s,
+                                            double x) const {
+  if (cache_) return cache_->CountCmp(s, CountOp::kAbove, x);
+  return View(s).CountIf([x](double v) { return v > x; });
+}
+std::vector<double> WindowContext::SeriesTimeBuckets(
+    const TimeSeries<double>& s, Duration width) const {
+  if (cache_) return cache_->TimeBuckets(s, width);
+  return TimeBucketMeans(View(s), begin_, width);
+}
 
 namespace {
 
@@ -57,10 +104,13 @@ bool BucketedUptrend(const WindowView<double>& v, int bucket, double factor) {
 
 /// Frame-rate drop (conditions 1 & 2): max > high, min < low, and the
 /// maximum occurs before the minimum.
-bool FpsDrop(const WindowView<double>& v, const EventThresholds& th) {
-  if (v.empty()) return false;
-  if (v.Max() <= th.fps_high || v.Min() >= th.fps_low) return false;
-  return v.ArgMax() < v.ArgMin();
+bool FpsDrop(const WindowContext& ctx, const TimeSeries<double>& s,
+             const EventThresholds& th) {
+  if (ctx.SeriesCount(s) == 0) return false;
+  if (ctx.SeriesMax(s) <= th.fps_high || ctx.SeriesMin(s) >= th.fps_low) {
+    return false;
+  }
+  return ctx.SeriesArgMax(s) < ctx.SeriesArgMin(s);
 }
 
 /// Paired element-wise comparison between two series sampled on the same
@@ -75,15 +125,17 @@ bool AnyPaired(const WindowView<double>& a, const WindowView<double>& b,
   return false;
 }
 
-bool DelayUptrend(const WindowView<double>& v, const EventThresholds& th) {
-  if (v.empty()) return false;
-  if (v.Max() <= th.delay_up_min_ms) return false;
-  return BucketedUptrend(v, th.trend_bucket, 1.0);
+bool DelayUptrend(const WindowContext& ctx, const TimeSeries<double>& s,
+                  const EventThresholds& th) {
+  // The O(1) max gate prunes the O(n) bucketed-trend scan in quiet windows.
+  if (ctx.SeriesCount(s) == 0) return false;
+  if (ctx.SeriesMax(s) <= th.delay_up_min_ms) return false;
+  return BucketedUptrend(ctx.View(s), th.trend_bucket, 1.0);
 }
 
-bool ChannelDegrade(const WindowView<double>& mcs, Time begin,
+bool ChannelDegrade(const WindowContext& ctx, const TimeSeries<double>& mcs,
                     const EventThresholds& th) {
-  auto buckets = TimeBucketMeans(mcs, begin, th.mcs_bucket);
+  auto buckets = ctx.SeriesTimeBuckets(mcs, th.mcs_bucket);
   if (buckets.empty()) return false;
   double p90 = Percentile(buckets, 90.0);
   if (p90 >= th.mcs_p90_max) return false;
@@ -105,12 +157,87 @@ bool RateGap(const WindowView<double>& app, const WindowView<double>& tbs,
   return static_cast<double>(gap) > th.rate_gap_frac * static_cast<double>(n);
 }
 
-bool CrossTraffic(const WindowView<double>& self,
-                  const WindowView<double>& other,
+bool CrossTraffic(const WindowContext& ctx, const TimeSeries<double>& self,
+                  const TimeSeries<double>& other,
                   const EventThresholds& th) {
-  double other_sum = other.Sum();
+  double other_sum = ctx.SeriesSum(other);
   if (other_sum < th.cross_traffic_min_prbs) return false;
-  return other_sum > th.cross_traffic_frac * self.Sum();
+  return other_sum > th.cross_traffic_frac * ctx.SeriesSum(self);
+}
+
+bool DetectEventImpl(EventType type, PathLeg leg, const WindowContext& ctx,
+                     const EventThresholds& th) {
+  const auto& dir = ctx.Dir(leg);
+  const auto& snd = ctx.Sender();
+  const auto& rcv = ctx.Receiver();
+
+  switch (type) {
+    case EventType::kInboundFpsDrop:
+      return FpsDrop(ctx, rcv.inbound_fps, th);
+    case EventType::kOutboundFpsDrop:
+      return FpsDrop(ctx, snd.outbound_fps, th);
+    case EventType::kResolutionDrop:
+      return ctx.View(snd.outbound_resolution).HasDecreasingStep();
+    case EventType::kJitterBufferDrain:
+      // "Any sample <= drain threshold" == "window minimum <= threshold".
+      return ctx.SeriesCount(rcv.jitter_buffer_ms) > 0 &&
+             ctx.SeriesMin(rcv.jitter_buffer_ms) <= th.jb_drain_ms;
+    case EventType::kTargetBitrateDrop:
+      return HasRelativeDrop(ctx.View(snd.target_bitrate_bps),
+                             th.bitrate_drop_frac);
+    case EventType::kGccOveruse:
+      // "Any sample > 0.5" == "window maximum > 0.5".
+      return ctx.SeriesCount(snd.overuse) > 0 &&
+             ctx.SeriesMax(snd.overuse) > 0.5;
+    case EventType::kPushbackDrop:
+      // A pushback-rate reduction distinct from the bandwidth estimator:
+      // the rate must both drop and diverge below the target bitrate
+      // (otherwise the pushback controller is just following the target).
+      return HasRelativeDrop(ctx.View(snd.pushback_bitrate_bps),
+                             th.bitrate_drop_frac) &&
+             AnyPaired(ctx.View(snd.target_bitrate_bps),
+                       ctx.View(snd.pushback_bitrate_bps),
+                       [](double t, double p) { return p < 0.99 * t; });
+    case EventType::kCwndFull:
+      return AnyPaired(ctx.View(snd.outstanding_bytes),
+                       ctx.View(snd.cwnd_bytes),
+                       [](double o, double w) { return w > 0 && o > w; });
+    case EventType::kOutstandingUp:
+      return BucketedUptrend(ctx.View(snd.outstanding_bytes),
+                             th.trend_bucket, th.outstanding_up_frac);
+    case EventType::kPushbackNeqTarget:
+      return AnyPaired(
+          ctx.View(snd.target_bitrate_bps),
+          ctx.View(snd.pushback_bitrate_bps),
+          [](double t, double p) { return std::fabs(t - p) > 1e-3 * t; });
+    case EventType::kFwdDelayUp:
+      return DelayUptrend(ctx, ctx.Dir(PathLeg::kFwd).owd_ms, th);
+    case EventType::kRevDelayUp:
+      return DelayUptrend(ctx, ctx.Dir(PathLeg::kRev).owd_ms, th);
+    case EventType::kTbsDrop:
+      return ctx.SeriesCount(dir.tbs_bytes) > 0 &&
+             ctx.SeriesMin(dir.tbs_bytes) <
+                 th.tbs_drop_frac * ctx.SeriesMax(dir.tbs_bytes);
+    case EventType::kRateGap:
+      return RateGap(ctx.View(dir.app_bitrate_bps),
+                     ctx.View(dir.tbs_bitrate_bps), th);
+    case EventType::kCrossTraffic:
+      return CrossTraffic(ctx, dir.prb_self, dir.prb_other, th);
+    case EventType::kChannelDegrade:
+      return ChannelDegrade(ctx, dir.mcs, th);
+    case EventType::kHarqRetx:
+      return static_cast<int>(ctx.SeriesCount(dir.harq_retx)) >
+             th.harq_retx_count;
+    case EventType::kRlcRetx:
+      return ctx.trace().has_gnb_log && ctx.SeriesCount(dir.rlc_retx) > 0;
+    case EventType::kUlScheduling:
+      // True when this leg rides the 5G uplink and actually carried data.
+      return ctx.DirIndex(leg) == 0 && ctx.SeriesCount(dir.prb_self) > 0;
+    case EventType::kRrcChange:
+      return ctx.SeriesCount(dir.rnti) >= 2 &&
+             ctx.SeriesMin(dir.rnti) != ctx.SeriesMax(dir.rnti);
+  }
+  return false;
 }
 
 }  // namespace
@@ -139,78 +266,20 @@ bool DetectEvent(const EventRef& ref, const WindowContext& ctx,
                  const EventThresholds& th) {
   // Direction-scoped events default to the forward leg when unqualified.
   PathLeg leg = ref.leg == PathLeg::kNone ? PathLeg::kFwd : ref.leg;
-  const auto& dir = ctx.Dir(leg);
-  const auto& snd = ctx.Sender();
-  const auto& rcv = ctx.Receiver();
-
-  switch (ref.type) {
-    case EventType::kInboundFpsDrop:
-      return FpsDrop(ctx.View(rcv.inbound_fps), th);
-    case EventType::kOutboundFpsDrop:
-      return FpsDrop(ctx.View(snd.outbound_fps), th);
-    case EventType::kResolutionDrop:
-      return ctx.View(snd.outbound_resolution).HasDecreasingStep();
-    case EventType::kJitterBufferDrain:
-      return ctx.View(rcv.jitter_buffer_ms)
-          .Any([&](double v) { return v <= th.jb_drain_ms; });
-    case EventType::kTargetBitrateDrop:
-      return HasRelativeDrop(ctx.View(snd.target_bitrate_bps),
-                             th.bitrate_drop_frac);
-    case EventType::kGccOveruse:
-      return ctx.View(snd.overuse).Any([](double v) { return v > 0.5; });
-    case EventType::kPushbackDrop:
-      // A pushback-rate reduction distinct from the bandwidth estimator:
-      // the rate must both drop and diverge below the target bitrate
-      // (otherwise the pushback controller is just following the target).
-      return HasRelativeDrop(ctx.View(snd.pushback_bitrate_bps),
-                             th.bitrate_drop_frac) &&
-             AnyPaired(ctx.View(snd.target_bitrate_bps),
-                       ctx.View(snd.pushback_bitrate_bps),
-                       [](double t, double p) { return p < 0.99 * t; });
-    case EventType::kCwndFull:
-      return AnyPaired(ctx.View(snd.outstanding_bytes),
-                       ctx.View(snd.cwnd_bytes),
-                       [](double o, double w) { return w > 0 && o > w; });
-    case EventType::kOutstandingUp:
-      return BucketedUptrend(ctx.View(snd.outstanding_bytes),
-                             th.trend_bucket, th.outstanding_up_frac);
-    case EventType::kPushbackNeqTarget:
-      return AnyPaired(
-          ctx.View(snd.target_bitrate_bps),
-          ctx.View(snd.pushback_bitrate_bps),
-          [](double t, double p) { return std::fabs(t - p) > 1e-3 * t; });
-    case EventType::kFwdDelayUp:
-      return DelayUptrend(ctx.View(ctx.Dir(PathLeg::kFwd).owd_ms), th);
-    case EventType::kRevDelayUp:
-      return DelayUptrend(ctx.View(ctx.Dir(PathLeg::kRev).owd_ms), th);
-    case EventType::kTbsDrop: {
-      auto v = ctx.View(dir.tbs_bytes);
-      if (v.empty()) return false;
-      return v.Min() < th.tbs_drop_frac * v.Max();
-    }
-    case EventType::kRateGap:
-      return RateGap(ctx.View(dir.app_bitrate_bps),
-                     ctx.View(dir.tbs_bitrate_bps), th);
-    case EventType::kCrossTraffic:
-      return CrossTraffic(ctx.View(dir.prb_self), ctx.View(dir.prb_other),
-                          th);
-    case EventType::kChannelDegrade:
-      return ChannelDegrade(ctx.View(dir.mcs), ctx.begin(), th);
-    case EventType::kHarqRetx:
-      return static_cast<int>(ctx.View(dir.harq_retx).size()) >
-             th.harq_retx_count;
-    case EventType::kRlcRetx:
-      return ctx.trace().has_gnb_log && !ctx.View(dir.rlc_retx).empty();
-    case EventType::kUlScheduling:
-      // True when this leg rides the 5G uplink and actually carried data.
-      return ctx.DirIndex(leg) == 0 && !ctx.View(dir.prb_self).empty();
-    case EventType::kRrcChange: {
-      auto v = ctx.View(dir.rnti);
-      if (v.size() < 2) return false;
-      return v.Min() != v.Max();
+  // Per-window memo: the same built-in evaluated by the feature extractor
+  // and by several graph nodes is detected once. Valid only for the
+  // thresholds instance the owning detector registered (matched by
+  // address — graph nodes carrying their own copies bypass the memo).
+  WindowStatsCache* cache = ctx.cache();
+  bool memo = cache != nullptr && cache->memo_thresholds() == &th;
+  if (memo) {
+    if (auto hit = cache->LookupEvent(ref.type, leg, ctx.sender_client())) {
+      return *hit;
     }
   }
-  return false;
+  bool value = DetectEventImpl(ref.type, leg, ctx, th);
+  if (memo) cache->StoreEvent(ref.type, leg, ctx.sender_client(), value);
+  return value;
 }
 
 }  // namespace domino::analysis

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/time.h"
 #include "common/timeseries.h"
@@ -78,7 +79,11 @@ struct EventThresholds {
   int mcs_low_count = 10;
   Duration mcs_bucket = Millis(50);
   int harq_retx_count = 10;          ///< "> 10 HARQ retransmissions".
+
+  bool operator==(const EventThresholds&) const = default;
 };
+
+class WindowStatsCache;  // incremental.h
 
 /// One sliding window over the derived trace, bound to a perspective.
 ///
@@ -86,14 +91,20 @@ struct EventThresholds {
 /// forward leg is the 5G uplink); 1 analyses the remote client's outbound
 /// media (forward = downlink). Client-scoped series resolve to the sender
 /// (GCC-side signals) or the receiver (playback-side signals) accordingly.
+///
+/// When a WindowStatsCache is attached, window slicing and the series
+/// aggregates below ride the incremental engine (O(1) amortised per window
+/// step); without one they are computed from scratch — the naive path.
+/// Both produce identical results (see incremental.h for the one caveat).
 class WindowContext {
  public:
   WindowContext(const telemetry::DerivedTrace& trace, Time begin, Time end,
-                int sender_client)
+                int sender_client, WindowStatsCache* cache = nullptr)
       : trace_(&trace),
         begin_(begin),
         end_(end),
-        sender_(sender_client) {}
+        sender_(sender_client),
+        cache_(cache) {}
 
   [[nodiscard]] Time begin() const { return begin_; }
   [[nodiscard]] Time end() const { return end_; }
@@ -121,16 +132,34 @@ class WindowContext {
     return trace_->client[static_cast<std::size_t>(1 - sender_)];
   }
 
-  /// Slices a series to this window.
-  [[nodiscard]] WindowView<double> View(const TimeSeries<double>& s) const {
-    return s.Window(begin_, end_);
-  }
+  [[nodiscard]] WindowStatsCache* cache() const { return cache_; }
+
+  /// Slices a series to this window (cursor-backed when a cache is set).
+  [[nodiscard]] WindowView<double> View(const TimeSeries<double>& s) const;
+
+  /// Window aggregates over a series. Min/Max/ArgMin/ArgMax require a
+  /// non-empty window (check SeriesCount first), matching WindowView.
+  [[nodiscard]] std::size_t SeriesCount(const TimeSeries<double>& s) const;
+  [[nodiscard]] double SeriesMin(const TimeSeries<double>& s) const;
+  [[nodiscard]] double SeriesMax(const TimeSeries<double>& s) const;
+  [[nodiscard]] Time SeriesArgMin(const TimeSeries<double>& s) const;
+  [[nodiscard]] Time SeriesArgMax(const TimeSeries<double>& s) const;
+  [[nodiscard]] double SeriesSum(const TimeSeries<double>& s) const;
+  [[nodiscard]] double SeriesMean(const TimeSeries<double>& s) const;
+  [[nodiscard]] std::size_t SeriesCountBelow(const TimeSeries<double>& s,
+                                             double x) const;
+  [[nodiscard]] std::size_t SeriesCountAbove(const TimeSeries<double>& s,
+                                             double x) const;
+  /// TimeBucketMeans of the window, bucket edges at begin() + k * width.
+  [[nodiscard]] std::vector<double> SeriesTimeBuckets(
+      const TimeSeries<double>& s, Duration width) const;
 
  private:
   const telemetry::DerivedTrace* trace_;
   Time begin_;
   Time end_;
   int sender_;
+  WindowStatsCache* cache_ = nullptr;
 };
 
 /// Evaluates the built-in condition for `ref` over the window. Implements

@@ -14,6 +14,10 @@ WindowView<double> ExprNode::EvalSeries(const WindowContext&) const {
   throw DslError("expression is scalar-valued where a series was expected");
 }
 
+const TimeSeries<double>* ExprNode::SourceSeries(const WindowContext&) const {
+  return nullptr;
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -172,6 +176,11 @@ class SeriesNode : public ExprNode {
     return ctx.View(*s);
   }
 
+  const TimeSeries<double>* SourceSeries(
+      const WindowContext& ctx) const override {
+    return Resolve(ctx);
+  }
+
   std::string ToPython() const override {
     return "w[\"" + scope_ + "." + name_ + "\"]";
   }
@@ -224,6 +233,30 @@ class FuncNode : public ExprNode {
       : info_(info), series_(std::move(series)), scalars_(std::move(scalars)) {}
 
   double EvalScalar(const WindowContext& ctx) const override {
+    // Aggregates over a plain series reference ride the window aggregates
+    // (O(1) amortised under the incremental engine, identical results).
+    if (const TimeSeries<double>* src = series_[0]->SourceSeries(ctx)) {
+      switch (info_.id) {
+        case Func::kMin:
+          return ctx.SeriesCount(*src) == 0 ? 0.0 : ctx.SeriesMin(*src);
+        case Func::kMax:
+          return ctx.SeriesCount(*src) == 0 ? 0.0 : ctx.SeriesMax(*src);
+        case Func::kMean:
+          return ctx.SeriesCount(*src) == 0 ? 0.0 : ctx.SeriesMean(*src);
+        case Func::kSum:
+          return ctx.SeriesSum(*src);
+        case Func::kCount:
+          return static_cast<double>(ctx.SeriesCount(*src));
+        case Func::kCountBelow:
+          return static_cast<double>(
+              ctx.SeriesCountBelow(*src, scalars_[0]->EvalScalar(ctx)));
+        case Func::kCountAbove:
+          return static_cast<double>(
+              ctx.SeriesCountAbove(*src, scalars_[0]->EvalScalar(ctx)));
+        default:
+          break;  // view-based evaluation below
+      }
+    }
     auto s0 = series_[0]->EvalSeries(ctx);
     switch (info_.id) {
       case Func::kMin:

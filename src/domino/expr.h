@@ -53,6 +53,11 @@ class ExprNode {
   /// Evaluates to a window view; throws DslError for scalar nodes.
   [[nodiscard]] virtual WindowView<double> EvalSeries(
       const WindowContext& ctx) const;
+  /// The underlying series for plain `scope.name` references (else
+  /// nullptr); lets aggregate functions ride the incremental window
+  /// aggregates instead of rescanning the view.
+  [[nodiscard]] virtual const TimeSeries<double>* SourceSeries(
+      const WindowContext& ctx) const;
   /// Emits equivalent Python source (see codegen.h).
   [[nodiscard]] virtual std::string ToPython() const = 0;
 };

@@ -51,12 +51,13 @@ std::string FeatureName(int dim) {
 
 FeatureVector ExtractFeatures(const telemetry::DerivedTrace& trace,
                               Time begin, Time end,
-                              const EventThresholds& th) {
+                              const EventThresholds& th,
+                              WindowStatsCache* cache) {
   FeatureVector out{};
   // Perspective contexts: sender = UE (forward leg is UL) and
   // sender = remote (forward leg is DL).
-  WindowContext ue_ctx(trace, begin, end, 0);
-  WindowContext remote_ctx(trace, begin, end, 1);
+  WindowContext ue_ctx(trace, begin, end, 0, cache);
+  WindowContext remote_ctx(trace, begin, end, 1, cache);
 
   // App events per client. Sender-scoped events use the client's own
   // perspective; receiver-scoped events are reached through the *other*

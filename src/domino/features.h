@@ -27,9 +27,14 @@ using FeatureVector = std::array<bool, kFeatureCount>;
 /// "jitter_buffer_drain[ue]" or "cross_traffic[dl]".
 std::string FeatureName(int dim);
 
-/// Extracts the feature vector for the window [begin, begin + W).
+class WindowStatsCache;  // incremental.h
+
+/// Extracts the feature vector for the window [begin, begin + W). With a
+/// cache the per-event detections ride the incremental engine and are
+/// shared with graph nodes evaluated on the same window.
 FeatureVector ExtractFeatures(const telemetry::DerivedTrace& trace,
                               Time begin, Time end,
-                              const EventThresholds& th);
+                              const EventThresholds& th,
+                              WindowStatsCache* cache = nullptr);
 
 }  // namespace domino::analysis

@@ -21,6 +21,7 @@ int CausalGraph::AddBuiltinNode(const std::string& name, NodeKind kind,
   n.name = name;
   n.kind = kind;
   n.builtin = ref;
+  n.builtin_thresholds = th;
   n.detect = [ref, th](const WindowContext& ctx) {
     return DetectEvent(ref, ctx, th);
   };

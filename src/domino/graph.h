@@ -26,6 +26,10 @@ struct Node {
   std::function<bool(const WindowContext&)> detect;
   /// Set when the node wraps a built-in event (used for reporting).
   std::optional<EventRef> builtin;
+  /// The thresholds bound into `detect` for built-in nodes; lets the
+  /// detector share one per-window detection between nodes and the feature
+  /// extractor when they agree on thresholds.
+  std::optional<EventThresholds> builtin_thresholds;
 };
 
 /// A root->sink path through the graph, by node index.

@@ -2,8 +2,23 @@
 
 namespace domino::analysis {
 
+namespace {
+/// Catch-up batches at least this large are worth the parallel fan-out
+/// (per-chunk cache warm-up costs one binary search per series).
+constexpr std::size_t kParallelBatchMin = 16;
+}  // namespace
+
 StreamingDetector::StreamingDetector(CausalGraph graph, DominoConfig cfg)
     : detector_(std::move(graph), cfg) {}
+
+void StreamingDetector::Emit(const WindowResult& w) {
+  for (const ChainInstance& ci : w.chains) {
+    ++chains_;
+    if (on_chain) on_chain(ci, w);
+  }
+  if (on_window) on_window(w);
+  ++windows_;
+}
 
 int StreamingDetector::Advance(const telemetry::DerivedTrace& trace,
                                Time now) {
@@ -12,19 +27,34 @@ int StreamingDetector::Advance(const telemetry::DerivedTrace& trace,
     initialised_ = true;
   }
   const DominoConfig& cfg = detector_.config();
-  int processed = 0;
-  while (next_begin_ + cfg.window <= now) {
-    WindowResult w = detector_.AnalyzeWindow(trace, next_begin_);
-    for (const ChainInstance& ci : w.chains) {
-      ++chains_;
-      if (on_chain) on_chain(ci, w);
+  if (cfg.incremental) {
+    if (cache_ == nullptr || &cache_->trace() != &trace) {
+      cache_ = std::make_unique<WindowStatsCache>(trace);
     }
-    if (on_window) on_window(w);
-    ++windows_;
-    ++processed;
-    next_begin_ += cfg.step;
+  } else {
+    cache_.reset();
   }
-  return processed;
+
+  std::vector<Time> begins;
+  for (Time t = next_begin_; t + cfg.window <= now; t += cfg.step) {
+    begins.push_back(t);
+  }
+  if (begins.empty()) return 0;
+  next_begin_ = begins.back() + cfg.step;
+
+  if (begins.size() >= kParallelBatchMin &&
+      EffectiveThreads(cfg.threads, begins.size()) > 1) {
+    // Catch-up: fan the batch out, then emit in window order. The persistent
+    // cursors simply re-synchronise on the next sequential step.
+    for (const WindowResult& w : detector_.AnalyzeWindows(trace, begins)) {
+      Emit(w);
+    }
+  } else {
+    for (Time t : begins) {
+      Emit(detector_.AnalyzeWindow(trace, t, cache_.get()));
+    }
+  }
+  return static_cast<int>(begins.size());
 }
 
 }  // namespace domino::analysis

@@ -5,11 +5,18 @@
 // data completed since the previous call and invokes the chain callback for
 // every new instance — the "continuous, near real-time" operator workflow
 // from §1.
+//
+// With cfg.incremental the detector's window cursors persist across Advance
+// calls, so each step only touches the samples that entered or left the
+// window since the previous one. Large catch-up batches additionally fan
+// out across cfg.threads workers; callbacks always fire in window order.
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "domino/detector.h"
+#include "domino/incremental.h"
 
 namespace domino::analysis {
 
@@ -24,7 +31,8 @@ class StreamingDetector {
 
   /// Analyses all windows [w, w + W) with w + W <= now not yet analysed.
   /// Returns how many new windows were processed. `trace` must contain the
-  /// data up to `now` (it may keep growing between calls).
+  /// data up to `now` (it may keep growing between calls; passing a
+  /// different trace object resets the incremental cursors).
   int Advance(const telemetry::DerivedTrace& trace, Time now);
 
   /// Start of the next window to be analysed.
@@ -34,11 +42,15 @@ class StreamingDetector {
   [[nodiscard]] long chains_detected() const { return chains_; }
 
  private:
+  void Emit(const WindowResult& w);
+
   Detector detector_;
   Time next_begin_{0};
   bool initialised_ = false;
   long windows_ = 0;
   long chains_ = 0;
+  /// Persistent incremental state; tied to one trace object.
+  std::unique_ptr<WindowStatsCache> cache_;
 };
 
 }  // namespace domino::analysis

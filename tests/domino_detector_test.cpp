@@ -67,11 +67,23 @@ TEST(DetectorTest, WindowCountMatchesStepArithmetic) {
   EXPECT_EQ(result.windows[1].begin.micros(), 500'000);
 }
 
-TEST(DetectorTest, ShortTraceYieldsNothing) {
+TEST(DetectorTest, ShortTraceYieldsSingleTruncatedWindow) {
   Detector det(CausalGraph::Default(), DominoConfig{});
   DerivedTrace t;
   t.begin = Time{0};
   t.end = Time{0} + Seconds(3);  // shorter than one window
+  auto result = det.Analyze(t);
+  // The whole trace is analysed as one truncated window instead of being
+  // silently dropped.
+  ASSERT_EQ(result.windows.size(), 1u);
+  EXPECT_EQ(result.windows[0].begin.micros(), 0);
+}
+
+TEST(DetectorTest, ZeroDurationTraceYieldsNothing) {
+  Detector det(CausalGraph::Default(), DominoConfig{});
+  DerivedTrace t;
+  t.begin = Time{0};
+  t.end = Time{0};
   EXPECT_TRUE(det.Analyze(t).windows.empty());
 }
 

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Runs the Domino perf benchmarks and records the results as JSON.
+#
+#   tools/run_bench.sh [build_dir] [output_json]
+#
+# Defaults: build_dir = build, output = BENCH_domino.json at the repo root.
+# Pass extra filters through BENCH_ARGS, e.g.
+#   BENCH_ARGS='--benchmark_filter=BM_FullAnalysis' tools/run_bench.sh
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out=${2:-"$repo_root/BENCH_domino.json"}
+bench="$build_dir/bench/perf_domino"
+
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not found or not executable." >&2
+  echo "Build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split.
+"$bench" \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  ${BENCH_ARGS:-}
+
+echo "wrote $out"
