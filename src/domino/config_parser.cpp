@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cctype>
-#include <sstream>
 #include <utility>
+
+#include "domino/lint/suggest.h"
 
 namespace domino::analysis {
 
 namespace {
+
+using lint::DiagnosticSink;
+using lint::SourceSpan;
 
 std::string Trim(const std::string& s) {
   std::size_t a = s.find_first_not_of(" \t\r");
@@ -16,20 +20,219 @@ std::string Trim(const std::string& s) {
   return s.substr(a, b - a + 1);
 }
 
-bool ValidNodeName(const std::string& s) {
+bool ValidName(const std::string& s, bool allow_at) {
   if (s.empty()) return false;
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    char c = s[i];
+  for (char c : s) {
     bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-              c == '@';
+              (allow_at && c == '@');
     if (!ok) return false;
   }
   return true;
 }
 
-/// Splits "name@rev" into (name, kRev); plain names get kFwd-by-default
-/// semantics at detection time (PathLeg::kFwd here).
-std::pair<std::string, PathLeg> SplitLeg(const std::string& name) {
+/// Column-preserving per-line parser. One instance per config; accumulates
+/// into `cfg` and reports every problem (with recovery) into `sink`.
+class ConfigLineParser {
+ public:
+  ConfigLineParser(DominoConfigFile& cfg, DiagnosticSink& sink)
+      : cfg_(cfg), sink_(sink) {}
+
+  void ParseLine(const std::string& line, int lineno) {
+    line_ = &line;
+    lineno_ = lineno;
+
+    std::size_t start = line.find_first_not_of(" \t\r");
+    std::size_t end = line.find_last_not_of(" \t\r") + 1;
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      sink_.Error("DL201", Span(start, end),
+                  "expected 'event <name>: <expr>' or "
+                  "'chain <name>: a -> b -> c'");
+      return;
+    }
+
+    std::size_t kw_end = TokenEnd(start, colon);
+    std::string keyword = line.substr(start, kw_end - start);
+
+    std::size_t name_start = line.find_first_not_of(" \t\r", kw_end);
+    std::string name;
+    SourceSpan name_span{};
+    if (name_start >= colon) {
+      sink_.Error("DL203", Span(colon, colon + 1),
+                  "missing name after '" + keyword + "'");
+      return;
+    }
+    std::size_t name_end = TokenEnd(name_start, colon);
+    name = line.substr(name_start, name_end - name_start);
+    name_span = Span(name_start, name_end);
+
+    std::size_t extra = line.find_first_not_of(" \t\r", name_end);
+    if (extra < colon) {
+      sink_.Error("DL201", Span(extra, colon),
+                  "unexpected text between the name and ':'");
+      return;
+    }
+
+    std::size_t body_start = line.find_first_not_of(" \t\r", colon + 1);
+    if (keyword == "event") {
+      ParseEvent(name, name_span, body_start, end);
+    } else if (keyword == "chain") {
+      ParseChain(name, name_span, body_start, end);
+    } else {
+      std::string hint = lint::DidYouMean(keyword, {"event", "chain"});
+      sink_.Error("DL202", Span(start, kw_end),
+                  "unknown keyword '" + keyword +
+                      "'; expected 'event' or 'chain'" +
+                      lint::DidYouMeanSuffix(hint),
+                  hint);
+    }
+  }
+
+ private:
+  SourceSpan Span(std::size_t begin, std::size_t end) const {
+    if (begin == std::string::npos || begin >= line_->size()) {
+      begin = line_->empty() ? 0 : line_->size() - 1;
+      end = begin + 1;
+    }
+    return {lineno_, static_cast<int>(begin) + 1,
+            static_cast<int>(end > begin ? end - begin : 1)};
+  }
+
+  /// End of the name/keyword token starting at `pos` (stops at whitespace
+  /// or the header-terminating colon).
+  std::size_t TokenEnd(std::size_t pos, std::size_t colon) const {
+    std::size_t end = pos;
+    while (end < colon && !std::isspace(static_cast<unsigned char>(
+                              (*line_)[end]))) {
+      ++end;
+    }
+    return end;
+  }
+
+  void ParseEvent(const std::string& name, SourceSpan name_span,
+                  std::size_t body_start, std::size_t line_end) {
+    if (!ValidName(name, /*allow_at=*/false)) {
+      std::string why = name.find('@') != std::string::npos
+                            ? " ('@' is reserved for the @rev node suffix)"
+                            : " (use letters, digits, and '_')";
+      sink_.Error("DL204", name_span, "invalid event name '" + name + "'" +
+                                          why);
+      return;
+    }
+    for (const auto& prev : cfg_.events) {
+      if (prev.name == name) {
+        sink_.Error("DL205", name_span,
+                    "duplicate event '" + name + "' (first defined on line " +
+                        std::to_string(prev.line) + ")");
+        return;
+      }
+    }
+    if (body_start == std::string::npos || body_start >= line_end) {
+      sink_.Error("DL201", Span(line_end - 1, line_end),
+                  "missing expression after ':' in event '" + name + "'");
+      return;
+    }
+    ConfigEventDef def;
+    def.name = name;
+    def.name_span = name_span;
+    def.line = lineno_;
+    def.expr_col = static_cast<int>(body_start) + 1;
+    def.expr_text = line_->substr(body_start, line_end - body_start);
+
+    DiagnosticSink sub;
+    CheckedExpr ce = ParseExpressionChecked(def.expr_text, sub);
+    bool had_errors = sub.has_errors();
+    sub.DrainInto(sink_, lineno_, def.expr_col);
+    def.expr = ce.expr;
+    def.is_boolean = ce.is_boolean;
+    def.is_series = ce.is_series;
+    if (!had_errors && ce.expr != nullptr) {
+      SourceSpan body_span = Span(body_start, line_end);
+      if (ce.is_series) {
+        sink_.Error("DL105", body_span,
+                    "event '" + name +
+                        "' is a bare series; a condition must be boolean — "
+                        "compare an aggregate instead",
+                    "max(" + def.expr_text + ") > 0");
+        def.expr = nullptr;
+      } else if (!ce.is_boolean) {
+        sink_.Warning("DL111", body_span,
+                      "event '" + name +
+                          "' has a numeric (non-boolean) condition; it "
+                          "fires whenever the value is nonzero");
+      }
+    }
+    cfg_.events.push_back(std::move(def));
+  }
+
+  void ParseChain(const std::string& name, SourceSpan name_span,
+                  std::size_t body_start, std::size_t line_end) {
+    if (!ValidName(name, /*allow_at=*/false)) {
+      sink_.Error("DL204", name_span,
+                  "invalid chain name '" + name +
+                      "' (use letters, digits, and '_')");
+      return;
+    }
+    if (body_start == std::string::npos || body_start >= line_end) {
+      sink_.Error("DL206", Span(line_end - 1, line_end),
+                  "a chain needs at least two nodes ('a -> b')");
+      return;
+    }
+    ConfigChainDef def;
+    def.name = name;
+    def.name_span = name_span;
+    def.line = lineno_;
+
+    bool node_errors = false;
+    std::size_t pos = body_start;
+    while (pos != std::string::npos) {
+      std::size_t arrow = line_->find("->", pos);
+      if (arrow >= line_end) arrow = std::string::npos;
+      std::size_t seg_end = arrow == std::string::npos ? line_end : arrow;
+      std::size_t node_start = line_->find_first_not_of(" \t\r", pos);
+      std::string node;
+      if (node_start < seg_end) {
+        std::size_t node_end = seg_end;
+        while (node_end > node_start &&
+               std::isspace(static_cast<unsigned char>(
+                   (*line_)[node_end - 1]))) {
+          --node_end;
+        }
+        node = line_->substr(node_start, node_end - node_start);
+        if (!ValidName(node, /*allow_at=*/true)) {
+          sink_.Error("DL207", Span(node_start, node_end),
+                      "invalid chain node name '" + node + "'");
+          node_errors = true;
+        } else {
+          def.nodes.push_back(node);
+          def.node_spans.push_back(Span(node_start, node_end));
+        }
+      } else {
+        sink_.Error("DL207",
+                    Span(arrow == std::string::npos ? seg_end - 1 : arrow,
+                         arrow == std::string::npos ? seg_end : arrow + 2),
+                    "empty chain node (stray '->'?)");
+        node_errors = true;
+      }
+      pos = arrow == std::string::npos ? std::string::npos : arrow + 2;
+    }
+    if (!node_errors && def.nodes.size() < 2) {
+      sink_.Error("DL206", Span(body_start, line_end),
+                  "a chain needs at least two nodes ('a -> b')");
+      return;
+    }
+    cfg_.chains.push_back(std::move(def));
+  }
+
+  DominoConfigFile& cfg_;
+  DiagnosticSink& sink_;
+  const std::string* line_ = nullptr;
+  int lineno_ = 0;
+};
+
+}  // namespace
+
+std::pair<std::string, PathLeg> SplitNodeLeg(const std::string& name) {
   auto pos = name.find("@rev");
   if (pos != std::string::npos && pos + 4 == name.size()) {
     return {name.substr(0, pos), PathLeg::kRev};
@@ -37,71 +240,35 @@ std::pair<std::string, PathLeg> SplitLeg(const std::string& name) {
   return {name, PathLeg::kFwd};
 }
 
-}  // namespace
-
-DominoConfigFile ParseConfigText(const std::string& text) {
+DominoConfigFile ParseConfigChecked(const std::string& text,
+                                    lint::DiagnosticSink& sink) {
   DominoConfigFile cfg;
-  std::istringstream is(text);
-  std::string line;
-  int lineno = 0;
-  auto fail = [&](const std::string& msg) {
-    throw DslError("config line " + std::to_string(lineno) + ": " + msg);
-  };
-  while (std::getline(is, line)) {
-    ++lineno;
+  ConfigLineParser parser(cfg, sink);
+  std::vector<std::string> lines = lint::SplitLines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
     auto hash = line.find('#');
     if (hash != std::string::npos) line = line.substr(0, hash);
-    line = Trim(line);
-    if (line.empty()) continue;
+    if (Trim(line).empty()) continue;
+    parser.ParseLine(line, static_cast<int>(i) + 1);
+  }
+  return cfg;
+}
 
-    auto colon = line.find(':');
-    if (colon == std::string::npos) fail("expected 'event name:' or 'chain name:'");
-    std::string head = Trim(line.substr(0, colon));
-    std::string body = Trim(line.substr(colon + 1));
-
-    std::istringstream hs(head);
-    std::string keyword, name;
-    hs >> keyword >> name;
-    if (name.empty()) fail("missing name after '" + keyword + "'");
-
-    if (keyword == "event") {
-      if (!ValidNodeName(name) || name.find('@') != std::string::npos) {
-        fail("invalid event name '" + name + "'");
-      }
-      ConfigEventDef def;
-      def.name = name;
-      def.expr_text = body;
-      try {
-        def.expr = ParseExpression(body);
-      } catch (const DslError& e) {
-        fail(std::string("in event expression: ") + e.what());
-      }
-      cfg.events.push_back(std::move(def));
-    } else if (keyword == "chain") {
-      ConfigChainDef def;
-      def.name = name;
-      std::string rest = body;
-      std::size_t pos = 0;
-      while (pos != std::string::npos) {
-        auto arrow = rest.find("->", pos);
-        std::string node = Trim(arrow == std::string::npos
-                                    ? rest.substr(pos)
-                                    : rest.substr(pos, arrow - pos));
-        if (!ValidNodeName(node)) fail("invalid node name '" + node + "'");
-        def.nodes.push_back(node);
-        pos = arrow == std::string::npos ? std::string::npos : arrow + 2;
-      }
-      if (def.nodes.size() < 2) fail("a chain needs at least two nodes");
-      cfg.chains.push_back(std::move(def));
-    } else {
-      fail("unknown keyword '" + keyword + "'");
+DominoConfigFile ParseConfigText(const std::string& text) {
+  lint::DiagnosticSink sink;
+  DominoConfigFile cfg = ParseConfigChecked(text, sink);
+  for (const auto& d : sink.diagnostics()) {
+    if (d.severity == lint::Severity::kError) {
+      throw DslError("config line " + std::to_string(d.span.line) + ": " +
+                     d.message);
     }
   }
   return cfg;
 }
 
-void ExtendGraph(CausalGraph& graph, const DominoConfigFile& cfg,
-                 const EventThresholds& th) {
+void ExtendGraphUnchecked(CausalGraph& graph, const DominoConfigFile& cfg,
+                          const EventThresholds& th) {
   auto find_event_def =
       [&](const std::string& name) -> const ConfigEventDef* {
     for (const auto& e : cfg.events) {
@@ -118,11 +285,15 @@ void ExtendGraph(CausalGraph& graph, const DominoConfigFile& cfg,
       NodeKind kind = i == 0 ? NodeKind::kCause
                      : i + 1 == chain.nodes.size() ? NodeKind::kConsequence
                                                    : NodeKind::kIntermediate;
-      auto [base, leg] = SplitLeg(name);
+      auto [base, leg] = SplitNodeLeg(name);
       if (const ConfigEventDef* def = find_event_def(base)) {
         if (leg == PathLeg::kRev) {
           throw DslError("custom event '" + base +
                          "' cannot take @rev; scope the expression instead");
+        }
+        if (def->expr == nullptr) {
+          throw DslError("custom event '" + base +
+                         "' has no valid expression");
         }
         Node n;
         n.name = name;
@@ -134,9 +305,13 @@ void ExtendGraph(CausalGraph& graph, const DominoConfigFile& cfg,
       } else if (auto type = EventTypeFromName(base)) {
         graph.AddBuiltinNode(name, kind, EventRef{*type, leg}, th);
       } else {
+        std::vector<std::string> candidates = KnownEventNames();
+        for (const auto& e : cfg.events) candidates.push_back(e.name);
         throw DslError("chain '" + chain.name + "': unknown node '" + name +
                        "' (not a built-in event, custom event, or existing "
-                       "graph node)");
+                       "graph node)" +
+                       lint::DidYouMeanSuffix(
+                           lint::DidYouMean(base, candidates)));
       }
     }
     for (std::size_t i = 0; i + 1 < chain.nodes.size(); ++i) {
@@ -149,6 +324,11 @@ void ExtendGraph(CausalGraph& graph, const DominoConfigFile& cfg,
       }
     }
   }
+}
+
+void ExtendGraph(CausalGraph& graph, const DominoConfigFile& cfg,
+                 const EventThresholds& th) {
+  ExtendGraphUnchecked(graph, cfg, th);
   graph.Validate();
 }
 

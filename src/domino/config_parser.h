@@ -16,22 +16,32 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "domino/expr.h"
 #include "domino/graph.h"
+#include "domino/lint/diagnostics.h"
 
 namespace domino::analysis {
 
 struct ConfigEventDef {
   std::string name;
   std::string expr_text;
-  ExprPtr expr;
+  ExprPtr expr;             ///< Null when the expression had errors.
+  bool is_boolean = false;  ///< Top-level expression shape (see CheckedExpr).
+  bool is_series = false;
+  int line = 0;             ///< 1-based definition line (0 = synthetic def).
+  int expr_col = 0;         ///< 1-based column where the expression starts.
+  lint::SourceSpan name_span;
 };
 
 struct ConfigChainDef {
   std::string name;
   std::vector<std::string> nodes;  ///< In cause -> consequence order.
+  int line = 0;
+  lint::SourceSpan name_span;
+  std::vector<lint::SourceSpan> node_spans;  ///< Parallel to `nodes`.
 };
 
 struct DominoConfigFile {
@@ -39,14 +49,30 @@ struct DominoConfigFile {
   std::vector<ConfigChainDef> chains;
 };
 
-/// Parses config text. Throws DslError with a line reference on problems.
+/// Parses config text. Throws DslError with a line reference on problems
+/// (thin legacy wrapper: first error of ParseConfigChecked).
 DominoConfigFile ParseConfigText(const std::string& text);
+
+/// Lint-grade parse: recovers per line, reports every problem into `sink`
+/// with file-accurate line:column spans, and keeps whatever parsed cleanly.
+/// Event expressions run through ParseExpressionChecked, so expression
+/// diagnostics land here too, rebased onto the config line.
+DominoConfigFile ParseConfigChecked(const std::string& text,
+                                    lint::DiagnosticSink& sink);
+
+/// Splits "name@rev" into (name, kRev); plain names resolve to kFwd.
+std::pair<std::string, PathLeg> SplitNodeLeg(const std::string& name);
 
 /// Adds the config's events and chains to `graph`. New nodes get detection
 /// predicates from custom expressions or built-in conditions; their kind is
 /// inferred from chain position. Existing nodes are reused as-is.
 void ExtendGraph(CausalGraph& graph, const DominoConfigFile& cfg,
                  const EventThresholds& th);
+
+/// ExtendGraph without the final acyclicity Validate(); the lint layer uses
+/// this to report cycles as diagnostics instead of exceptions.
+void ExtendGraphUnchecked(CausalGraph& graph, const DominoConfigFile& cfg,
+                          const EventThresholds& th);
 
 /// Builds a graph containing only the config's chains (fresh graph).
 CausalGraph BuildGraphFromConfig(const DominoConfigFile& cfg,

@@ -26,6 +26,11 @@ struct DominoConfig {
   /// batches): 0 = std::thread::hardware_concurrency(), 1 = sequential.
   /// Results are merged in window order and are identical at any width.
   int threads = 0;
+  /// How config files are linted before analysis (domino-lint, lint/lint.h):
+  /// kOff = legacy first-error behaviour, kPermissive = report everything
+  /// but only errors block, kStrict = warnings block too.
+  enum class LintMode { kOff, kPermissive, kStrict };
+  LintMode lint = LintMode::kPermissive;
 };
 
 /// One detected causal chain in one window, from one sender perspective.

@@ -262,6 +262,13 @@ std::optional<EventType> EventTypeFromName(const std::string& name) {
   return std::nullopt;
 }
 
+std::vector<std::string> KnownEventNames() {
+  std::vector<std::string> out;
+  out.reserve(kNames.size());
+  for (const auto& e : kNames) out.emplace_back(e.name);
+  return out;
+}
+
 bool DetectEvent(const EventRef& ref, const WindowContext& ctx,
                  const EventThresholds& th) {
   // Direction-scoped events default to the forward leg when unqualified.

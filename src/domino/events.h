@@ -60,6 +60,8 @@ std::string ToString(EventType type);
 std::string ToString(const EventRef& ref);
 /// Inverse of ToString(EventType); nullopt for unknown names.
 std::optional<EventType> EventTypeFromName(const std::string& name);
+/// All canonical built-in event names (for diagnostics and suggestions).
+std::vector<std::string> KnownEventNames();
 
 /// Tunable thresholds for the built-in conditions (paper defaults).
 struct EventThresholds {

@@ -2,11 +2,14 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <functional>
+#include <limits>
 #include <map>
 #include <utility>
 
 #include "common/stats.h"
+#include "domino/lint/suggest.h"
 
 namespace domino::analysis {
 
@@ -19,6 +22,17 @@ const TimeSeries<double>* ExprNode::SourceSeries(const WindowContext&) const {
 }
 
 namespace {
+
+using lint::DiagnosticSink;
+using lint::SourceSpan;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string FormatNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
 
 // ---------------------------------------------------------------------------
 // Lexer
@@ -35,12 +49,30 @@ struct Token {
   Tok kind;
   double number = 0;
   std::string text;
-  std::size_t pos = 0;
+  std::size_t pos = 0;  ///< 0-based offset into the expression source.
+  std::size_t len = 1;
 };
 
+/// 1-based column span of a token (expressions are single-line; the config
+/// layer rebases line/column onto file coordinates).
+SourceSpan SpanOf(const Token& t) {
+  return {1, static_cast<int>(t.pos) + 1, static_cast<int>(t.len)};
+}
+
+SourceSpan SpanBetween(std::size_t begin, std::size_t end) {
+  return {1, static_cast<int>(begin) + 1,
+          static_cast<int>(end > begin ? end - begin : 1)};
+}
+
+/// Tokenizer with two error modes: with a sink it emits a diagnostic and
+/// resynchronizes (skips the offending characters); without one it throws
+/// DslError with the 1-based column, the legacy behaviour.
 class Lexer {
  public:
-  explicit Lexer(const std::string& src) : src_(src) { Advance(); }
+  Lexer(const std::string& src, DiagnosticSink* sink)
+      : src_(src), sink_(sink) {
+    Advance();
+  }
 
   const Token& peek() const { return current_; }
   Token Take() {
@@ -50,91 +82,124 @@ class Lexer {
   }
 
  private:
+  void Fail(const std::string& code, SourceSpan span,
+            const std::string& msg) {
+    if (sink_ != nullptr) {
+      sink_->Error(code, span, msg);
+      return;
+    }
+    throw DslError(msg + " (column " + std::to_string(span.col) + ")");
+  }
+
   void Advance() {
-    while (i_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[i_]))) {
-      ++i_;
-    }
-    current_.pos = i_;
-    if (i_ >= src_.size()) {
-      current_.kind = Tok::kEnd;
-      return;
-    }
-    char c = src_[i_];
-    if (std::isdigit(static_cast<unsigned char>(c)) ||
-        (c == '.' && i_ + 1 < src_.size() &&
-         std::isdigit(static_cast<unsigned char>(src_[i_ + 1])))) {
-      std::size_t end = i_;
-      while (end < src_.size() &&
-             (std::isdigit(static_cast<unsigned char>(src_[end])) ||
-              src_[end] == '.' || src_[end] == 'e' || src_[end] == 'E' ||
-              ((src_[end] == '+' || src_[end] == '-') && end > i_ &&
-               (src_[end - 1] == 'e' || src_[end - 1] == 'E')))) {
-        ++end;
+    for (;;) {
+      while (i_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[i_]))) {
+        ++i_;
       }
-      current_.kind = Tok::kNumber;
-      try {
-        current_.number = std::stod(src_.substr(i_, end - i_));
-      } catch (const std::exception&) {
-        throw DslError("bad number at position " + std::to_string(i_));
-      }
-      i_ = end;
-      return;
-    }
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      std::size_t end = i_;
-      while (end < src_.size() &&
-             (std::isalnum(static_cast<unsigned char>(src_[end])) ||
-              src_[end] == '_')) {
-        ++end;
-      }
-      std::string word = src_.substr(i_, end - i_);
-      i_ = end;
-      if (word == "and") {
-        current_.kind = Tok::kAnd;
-      } else if (word == "or") {
-        current_.kind = Tok::kOr;
-      } else if (word == "not") {
-        current_.kind = Tok::kNot;
-      } else {
-        current_.kind = Tok::kIdent;
-        current_.text = word;
-      }
-      return;
-    }
-    auto two = [&](char next) {
-      return i_ + 1 < src_.size() && src_[i_ + 1] == next;
-    };
-    switch (c) {
-      case '.': current_.kind = Tok::kDot; ++i_; return;
-      case ',': current_.kind = Tok::kComma; ++i_; return;
-      case '(': current_.kind = Tok::kLParen; ++i_; return;
-      case ')': current_.kind = Tok::kRParen; ++i_; return;
-      case '+': current_.kind = Tok::kPlus; ++i_; return;
-      case '-': current_.kind = Tok::kMinus; ++i_; return;
-      case '*': current_.kind = Tok::kStar; ++i_; return;
-      case '/': current_.kind = Tok::kSlash; ++i_; return;
-      case '<':
-        if (two('=')) { current_.kind = Tok::kLe; i_ += 2; }
-        else { current_.kind = Tok::kLt; ++i_; }
+      current_ = Token{};
+      current_.pos = i_;
+      if (i_ >= src_.size()) {
+        current_.kind = Tok::kEnd;
+        current_.len = 0;
         return;
-      case '>':
-        if (two('=')) { current_.kind = Tok::kGe; i_ += 2; }
-        else { current_.kind = Tok::kGt; ++i_; }
+      }
+      char c = src_[i_];
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && i_ + 1 < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[i_ + 1])))) {
+        std::size_t end = i_;
+        while (end < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[end])) ||
+                src_[end] == '.' || src_[end] == 'e' || src_[end] == 'E' ||
+                ((src_[end] == '+' || src_[end] == '-') && end > i_ &&
+                 (src_[end - 1] == 'e' || src_[end - 1] == 'E')))) {
+          ++end;
+        }
+        current_.kind = Tok::kNumber;
+        current_.len = end - i_;
+        try {
+          current_.number = std::stod(src_.substr(i_, end - i_));
+        } catch (const std::exception&) {
+          Fail("DL002", SpanBetween(i_, end),
+               "bad number literal '" + src_.substr(i_, end - i_) + "'");
+          current_.number = 0;  // recovered placeholder
+        }
+        i_ = end;
         return;
-      case '=':
-        if (two('=')) { current_.kind = Tok::kEq; i_ += 2; return; }
-        break;
-      case '!':
-        if (two('=')) { current_.kind = Tok::kNe; i_ += 2; return; }
-        break;
-      default:
-        break;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t end = i_;
+        while (end < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[end])) ||
+                src_[end] == '_')) {
+          ++end;
+        }
+        std::string word = src_.substr(i_, end - i_);
+        current_.len = end - i_;
+        i_ = end;
+        if (word == "and") {
+          current_.kind = Tok::kAnd;
+        } else if (word == "or") {
+          current_.kind = Tok::kOr;
+        } else if (word == "not") {
+          current_.kind = Tok::kNot;
+        } else {
+          current_.kind = Tok::kIdent;
+          current_.text = word;
+        }
+        return;
+      }
+      auto two = [&](char next) {
+        return i_ + 1 < src_.size() && src_[i_ + 1] == next;
+      };
+      switch (c) {
+        case '.': current_.kind = Tok::kDot; ++i_; return;
+        case ',': current_.kind = Tok::kComma; ++i_; return;
+        case '(': current_.kind = Tok::kLParen; ++i_; return;
+        case ')': current_.kind = Tok::kRParen; ++i_; return;
+        case '+': current_.kind = Tok::kPlus; ++i_; return;
+        case '-': current_.kind = Tok::kMinus; ++i_; return;
+        case '*': current_.kind = Tok::kStar; ++i_; return;
+        case '/': current_.kind = Tok::kSlash; ++i_; return;
+        case '<':
+          if (two('=')) { current_.kind = Tok::kLe; current_.len = 2; i_ += 2; }
+          else { current_.kind = Tok::kLt; ++i_; }
+          return;
+        case '>':
+          if (two('=')) { current_.kind = Tok::kGe; current_.len = 2; i_ += 2; }
+          else { current_.kind = Tok::kGt; ++i_; }
+          return;
+        case '=':
+          if (two('=')) { current_.kind = Tok::kEq; current_.len = 2; i_ += 2;
+                          return; }
+          break;
+        case '!':
+          if (two('=')) { current_.kind = Tok::kNe; current_.len = 2; i_ += 2;
+                          return; }
+          break;
+        default:
+          break;
+      }
+      // Unrecognized character: collapse a contiguous run into one
+      // diagnostic, skip it, and try again from the next character.
+      std::size_t end = i_;
+      auto recognizable = [&](char ch) {
+        return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+               std::isspace(static_cast<unsigned char>(ch)) ||
+               std::string(".,()+-*/<>=!").find(ch) != std::string::npos;
+      };
+      while (end < src_.size() && !recognizable(src_[end])) ++end;
+      if (end == i_) ++end;  // '=' or '!' not followed by '='
+      Fail("DL001", SpanBetween(i_, end),
+           "unexpected character" + std::string(end - i_ > 1 ? "s '" : " '") +
+               src_.substr(i_, end - i_) + "'");
+      i_ = end;  // sink mode: resynchronize and keep lexing
     }
-    throw DslError(std::string("unexpected character '") + c +
-                   "' at position " + std::to_string(i_));
   }
 
   const std::string& src_;
+  DiagnosticSink* sink_;
   std::size_t i_ = 0;
   Token current_;
 };
@@ -147,11 +212,7 @@ class NumberNode : public ExprNode {
  public:
   explicit NumberNode(double v) : v_(v) {}
   double EvalScalar(const WindowContext&) const override { return v_; }
-  std::string ToPython() const override {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%g", v_);
-    return buf;
-  }
+  std::string ToPython() const override { return FormatNum(v_); }
 
  private:
   double v_;
@@ -160,9 +221,7 @@ class NumberNode : public ExprNode {
 class SeriesNode : public ExprNode {
  public:
   SeriesNode(std::string scope, std::string name)
-      : scope_(std::move(scope)), name_(std::move(name)) {
-    Check();
-  }
+      : scope_(std::move(scope)), name_(std::move(name)) {}
 
   bool is_series() const override { return true; }
 
@@ -186,7 +245,6 @@ class SeriesNode : public ExprNode {
   }
 
  private:
-  void Check() const;
   const TimeSeries<double>* Resolve(const WindowContext& ctx) const;
 
   std::string scope_;
@@ -411,8 +469,14 @@ class BinaryNode : public ExprNode {
         {Tok::kLe, "<="}, {Tok::kGe, ">="}, {Tok::kEq, "=="},
         {Tok::kNe, "!="}, {Tok::kAnd, "and"}, {Tok::kOr, "or"},
     };
-    return "(" + lhs_->ToPython() + " " + kOps.at(op_) + " " +
-           rhs_->ToPython() + ")";
+    std::string out = "(";
+    out += lhs_->ToPython();
+    out += " ";
+    out += kOps.at(op_);
+    out += " ";
+    out += rhs_->ToPython();
+    out += ")";
+    return out;
   }
 
  private:
@@ -422,8 +486,55 @@ class BinaryNode : public ExprNode {
 };
 
 // ---------------------------------------------------------------------------
-// Series name resolution
+// Series tables: name resolution + units (the unit-sanity heuristics)
 // ---------------------------------------------------------------------------
+
+enum class Unit {
+  kUnknown, kMs, kBps, kFps, kBytes, kPrb, kMcs, kCount, kResolution, kBool,
+  kId,
+};
+
+const char* UnitName(Unit u) {
+  switch (u) {
+    case Unit::kUnknown: return "unknown";
+    case Unit::kMs: return "milliseconds";
+    case Unit::kBps: return "bits/s";
+    case Unit::kFps: return "frames/s";
+    case Unit::kBytes: return "bytes";
+    case Unit::kPrb: return "PRBs";
+    case Unit::kMcs: return "MCS index";
+    case Unit::kCount: return "a count";
+    case Unit::kResolution: return "pixels";
+    case Unit::kBool: return "a boolean";
+    case Unit::kId: return "an identifier";
+  }
+  return "unknown";
+}
+
+struct SeriesTableEntry {
+  const char* name;
+  Unit unit;
+};
+
+constexpr SeriesTableEntry kDirSeriesTable[] = {
+    {"tbs", Unit::kBytes},         {"prb_self", Unit::kPrb},
+    {"prb_other", Unit::kPrb},     {"mcs", Unit::kMcs},
+    {"harq_retx", Unit::kCount},   {"rlc_retx", Unit::kCount},
+    {"owd_ms", Unit::kMs},         {"app_bitrate", Unit::kBps},
+    {"tbs_bitrate", Unit::kBps},   {"rnti", Unit::kId},
+};
+
+constexpr SeriesTableEntry kClientSeriesTable[] = {
+    {"inbound_fps", Unit::kFps},
+    {"outbound_fps", Unit::kFps},
+    {"outbound_resolution", Unit::kResolution},
+    {"jitter_buffer_ms", Unit::kMs},
+    {"target_bitrate", Unit::kBps},
+    {"pushback_rate", Unit::kBps},
+    {"outstanding_bytes", Unit::kBytes},
+    {"cwnd_bytes", Unit::kBytes},
+    {"overuse", Unit::kBool},
+};
 
 const TimeSeries<double>* ResolveDirSeries(const telemetry::DirectionSeries& d,
                                            const std::string& name) {
@@ -461,167 +572,639 @@ bool IsClientScope(const std::string& s) {
   return s == "sender" || s == "receiver" || s == "ue" || s == "remote";
 }
 
+const SeriesTableEntry* FindSeriesEntry(const std::string& scope,
+                                        const std::string& name) {
+  if (IsDirScope(scope)) {
+    for (const auto& e : kDirSeriesTable) {
+      if (name == e.name) return &e;
+    }
+  } else if (IsClientScope(scope)) {
+    for (const auto& e : kClientSeriesTable) {
+      if (name == e.name) return &e;
+    }
+  }
+  return nullptr;
+}
+
 // ---------------------------------------------------------------------------
-// Parser
+// Parser with bottom-up semantic synthesis
 // ---------------------------------------------------------------------------
+
+/// Interval bound on an expression's value, for constant folding:
+/// comparisons whose operand intervals cannot overlap (or always must) are
+/// tautological/unsatisfiable predicates.
+struct ValueRange {
+  double lo = -kInf;
+  double hi = kInf;
+  bool known = false;
+};
+
+ValueRange KnownRange(double lo, double hi) { return {lo, hi, true}; }
+
+std::string FormatRange(const ValueRange& r) {
+  std::string out = "[";
+  out += FormatNum(r.lo);
+  out += ", ";
+  out += FormatNum(r.hi);
+  out += "]";
+  return out;
+}
+
+/// Annotated subexpression: the AST plus everything the semantic checker
+/// synthesizes bottom-up. `poisoned` marks recovered-from errors so one
+/// mistake does not cascade into follow-on diagnostics.
+struct Ann {
+  ExprPtr expr;
+  bool series = false;
+  bool boolean = false;
+  bool poisoned = false;
+  ValueRange range;
+  Unit unit = Unit::kUnknown;
+  std::string unit_src;  ///< e.g. "fwd.owd_ms", for unit-mismatch messages.
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
 
 class Parser {
  public:
-  explicit Parser(const std::string& src) : lexer_(src) {}
+  Parser(const std::string& src, DiagnosticSink* sink)
+      : src_(src), lexer_(src, sink), sink_(sink) {}
 
-  ExprPtr Parse() {
-    ExprPtr e = ParseOr();
+  Ann Parse() {
+    Ann e = ParseOr();
     if (lexer_.peek().kind != Tok::kEnd) {
-      throw DslError("unexpected trailing input at position " +
-                     std::to_string(lexer_.peek().pos));
+      Error("DL004", SpanBetween(lexer_.peek().pos, src_.size()),
+            "unexpected trailing input");
+      while (lexer_.peek().kind != Tok::kEnd) lexer_.Take();
+      e.poisoned = true;
     }
     return e;
   }
 
  private:
-  ExprPtr ParseOr() {
-    ExprPtr lhs = ParseAnd();
+  /// In sink mode records the diagnostic and returns (the caller recovers);
+  /// in legacy mode throws DslError carrying the 1-based column.
+  void Error(const char* code, SourceSpan span, const std::string& msg,
+             std::string fixit = "") {
+    if (sink_ != nullptr) {
+      sink_->Error(code, span, msg, std::move(fixit));
+      return;
+    }
+    throw DslError(msg + " (column " + std::to_string(span.col) + ")");
+  }
+
+  void Warn(const char* code, SourceSpan span, const std::string& msg,
+            std::string fixit = "") {
+    // Warnings exist only for the lint front-end; the legacy throwing path
+    // has always accepted these expressions and must keep doing so.
+    if (sink_ != nullptr) sink_->Warning(code, span, msg, std::move(fixit));
+  }
+
+  std::string Text(const Ann& a) const {
+    return src_.substr(a.begin, a.end - a.begin);
+  }
+
+  static SourceSpan SpanOfAnn(const Ann& a) {
+    return SpanBetween(a.begin, a.end);
+  }
+
+  static Ann Poisoned(std::size_t begin, std::size_t end, bool series) {
+    Ann a;
+    a.expr = std::make_shared<NumberNode>(0.0);
+    a.series = series;
+    a.poisoned = true;
+    a.begin = begin;
+    a.end = end;
+    return a;
+  }
+
+  /// Series where a scalar is required (operators, conditions). Emits DL105
+  /// with a wrap-in-aggregate fix-it and poisons the operand.
+  void RequireScalar(Ann& a, const std::string& where) {
+    if (!a.series || a.poisoned) return;
+    Error("DL105", SpanOfAnn(a),
+          "series '" + Text(a) + "' used where a scalar was expected (" +
+              where + "); wrap it in an aggregate like max() or mean()",
+          "max(" + Text(a) + ")");
+    a.series = false;
+    a.poisoned = true;
+  }
+
+  Ann ParseOr() {
+    Ann lhs = ParseAnd();
     while (lexer_.peek().kind == Tok::kOr) {
-      lexer_.Take();
-      lhs = std::make_shared<BinaryNode>(Tok::kOr, lhs, ParseAnd());
+      Token op = lexer_.Take();
+      lhs = MakeBinary(Tok::kOr, op, std::move(lhs), ParseAnd());
     }
     return lhs;
   }
 
-  ExprPtr ParseAnd() {
-    ExprPtr lhs = ParseCmp();
+  Ann ParseAnd() {
+    Ann lhs = ParseCmp();
     while (lexer_.peek().kind == Tok::kAnd) {
-      lexer_.Take();
-      lhs = std::make_shared<BinaryNode>(Tok::kAnd, lhs, ParseCmp());
+      Token op = lexer_.Take();
+      lhs = MakeBinary(Tok::kAnd, op, std::move(lhs), ParseCmp());
     }
     return lhs;
   }
 
-  ExprPtr ParseCmp() {
-    ExprPtr lhs = ParseSum();
+  Ann ParseCmp() {
+    Ann lhs = ParseSum();
     Tok k = lexer_.peek().kind;
     if (k == Tok::kLt || k == Tok::kGt || k == Tok::kLe || k == Tok::kGe ||
         k == Tok::kEq || k == Tok::kNe) {
-      lexer_.Take();
-      return std::make_shared<BinaryNode>(k, lhs, ParseSum());
+      Token op = lexer_.Take();
+      return MakeBinary(k, op, std::move(lhs), ParseSum());
     }
     return lhs;
   }
 
-  ExprPtr ParseSum() {
-    ExprPtr lhs = ParseProd();
+  Ann ParseSum() {
+    Ann lhs = ParseProd();
     for (;;) {
       Tok k = lexer_.peek().kind;
       if (k != Tok::kPlus && k != Tok::kMinus) return lhs;
-      lexer_.Take();
-      lhs = std::make_shared<BinaryNode>(k, lhs, ParseProd());
+      Token op = lexer_.Take();
+      lhs = MakeBinary(k, op, std::move(lhs), ParseProd());
     }
   }
 
-  ExprPtr ParseProd() {
-    ExprPtr lhs = ParseUnary();
+  Ann ParseProd() {
+    Ann lhs = ParseUnary();
     for (;;) {
       Tok k = lexer_.peek().kind;
       if (k != Tok::kStar && k != Tok::kSlash) return lhs;
-      lexer_.Take();
-      lhs = std::make_shared<BinaryNode>(k, lhs, ParseUnary());
+      Token op = lexer_.Take();
+      lhs = MakeBinary(k, op, std::move(lhs), ParseUnary());
     }
   }
 
-  ExprPtr ParseUnary() {
+  Ann ParseUnary() {
     if (lexer_.peek().kind == Tok::kMinus) {
-      lexer_.Take();
-      return std::make_shared<UnaryNode>(UnaryNode::kNeg, ParseUnary());
+      Token op = lexer_.Take();
+      Ann inner = ParseUnary();
+      RequireScalar(inner, "operand of unary '-'");
+      Ann out;
+      out.expr = std::make_shared<UnaryNode>(UnaryNode::kNeg, inner.expr);
+      out.poisoned = inner.poisoned;
+      if (inner.range.known) {
+        out.range = KnownRange(-inner.range.hi, -inner.range.lo);
+      }
+      out.unit = inner.unit;
+      out.unit_src = inner.unit_src;
+      out.begin = op.pos;
+      out.end = inner.end;
+      return out;
     }
     if (lexer_.peek().kind == Tok::kNot) {
-      lexer_.Take();
-      return std::make_shared<UnaryNode>(UnaryNode::kNot, ParseUnary());
+      Token op = lexer_.Take();
+      Ann inner = ParseUnary();
+      RequireScalar(inner, "operand of 'not'");
+      Ann out;
+      out.expr = std::make_shared<UnaryNode>(UnaryNode::kNot, inner.expr);
+      out.poisoned = inner.poisoned;
+      out.boolean = true;
+      out.range = KnownRange(0, 1);
+      out.begin = op.pos;
+      out.end = inner.end;
+      return out;
     }
     return ParsePrimary();
   }
 
-  ExprPtr ParsePrimary() {
-    Token t = lexer_.Take();
-    switch (t.kind) {
-      case Tok::kNumber:
-        return std::make_shared<NumberNode>(t.number);
-      case Tok::kLParen: {
-        ExprPtr e = ParseOr();
-        Expect(Tok::kRParen, ")");
-        return e;
-      }
-      case Tok::kIdent: {
-        if (lexer_.peek().kind == Tok::kDot) {
+  Ann ParsePrimary() {
+    for (;;) {
+      Token t = lexer_.peek();
+      switch (t.kind) {
+        case Tok::kNumber: {
           lexer_.Take();
-          Token name = Expect(Tok::kIdent, "series name");
-          return std::make_shared<SeriesNode>(t.text, name.text);
+          Ann a;
+          a.expr = std::make_shared<NumberNode>(t.number);
+          a.range = KnownRange(t.number, t.number);
+          a.begin = t.pos;
+          a.end = t.pos + t.len;
+          return a;
         }
-        const FuncInfo* fn = FindFunc(t.text);
-        if (fn == nullptr) {
-          throw DslError("unknown function or scope '" + t.text + "'");
+        case Tok::kLParen: {
+          lexer_.Take();
+          Ann e = ParseOr();
+          e.begin = t.pos;
+          e.end = ExpectClose(e.end);
+          return e;
         }
-        Expect(Tok::kLParen, "(");
-        std::vector<ExprPtr> series, scalars;
-        for (int i = 0; i < fn->series_args + fn->scalar_args; ++i) {
-          if (i > 0) Expect(Tok::kComma, ",");
-          ExprPtr arg = ParseOr();
-          if (i < fn->series_args) {
-            if (!arg->is_series()) {
-              throw DslError(std::string(fn->name) + ": argument " +
-                             std::to_string(i + 1) + " must be a series");
-            }
-            series.push_back(arg);
-          } else {
-            if (arg->is_series()) {
-              throw DslError(std::string(fn->name) + ": argument " +
-                             std::to_string(i + 1) + " must be a scalar");
-            }
-            scalars.push_back(arg);
+        case Tok::kIdent:
+          lexer_.Take();
+          return ParseIdent(t);
+        default:
+          Error("DL003", SpanOf(t.kind == Tok::kEnd
+                                    ? Token{Tok::kEnd, 0, "", src_.size(), 0}
+                                    : t),
+                "expected an expression");
+          if (t.kind == Tok::kEnd) {
+            return Poisoned(src_.size(), src_.size(), false);
+          }
+          lexer_.Take();  // sink mode: skip the offender and retry
+      }
+    }
+  }
+
+  /// Expects ')' and returns the offset just past it (or `fallback_end` when
+  /// recovering from a missing one).
+  std::size_t ExpectClose(std::size_t fallback_end) {
+    if (lexer_.peek().kind == Tok::kRParen) {
+      Token r = lexer_.Take();
+      return r.pos + r.len;
+    }
+    Error("DL003", SpanOf(lexer_.peek()), "expected ')'");
+    return fallback_end;
+  }
+
+  Ann ParseIdent(const Token& ident) {
+    if (lexer_.peek().kind == Tok::kDot) {
+      lexer_.Take();
+      return ParseSeriesRef(ident);
+    }
+    const FuncInfo* fn = FindFunc(ident.text);
+    if (fn == nullptr) {
+      std::vector<std::string> candidates;
+      for (const auto& f : kFuncs) candidates.emplace_back(f.name);
+      for (const auto& s : KnownScopes()) candidates.push_back(s);
+      std::string hint = lint::DidYouMean(ident.text, candidates);
+      Error("DL103", SpanOf(ident),
+            "unknown function or scope '" + ident.text + "'" +
+                lint::DidYouMeanSuffix(hint),
+            hint);
+      // Recovery: swallow a call-looking argument list so its tokens do not
+      // produce follow-on noise.
+      std::size_t end = ident.pos + ident.len;
+      if (lexer_.peek().kind == Tok::kLParen) {
+        lexer_.Take();
+        if (lexer_.peek().kind != Tok::kRParen &&
+            lexer_.peek().kind != Tok::kEnd) {
+          ParseOr();
+          while (lexer_.peek().kind == Tok::kComma) {
+            lexer_.Take();
+            ParseOr();
           }
         }
-        Expect(Tok::kRParen, ")");
-        return std::make_shared<FuncNode>(*fn, std::move(series),
+        end = ExpectClose(end);
+      }
+      return Poisoned(ident.pos, end, false);
+    }
+    return ParseCall(*fn, ident);
+  }
+
+  Ann ParseSeriesRef(const Token& scope) {
+    if (lexer_.peek().kind != Tok::kIdent) {
+      Error("DL003", SpanOf(lexer_.peek()),
+            "expected a series name after '" + scope.text + ".'");
+      return Poisoned(scope.pos, scope.pos + scope.len + 1, true);
+    }
+    Token name = lexer_.Take();
+    std::size_t begin = scope.pos;
+    std::size_t end = name.pos + name.len;
+
+    bool dir = IsDirScope(scope.text);
+    bool client = IsClientScope(scope.text);
+    if (!dir && !client) {
+      std::string hint = lint::DidYouMean(scope.text, KnownScopes());
+      Error("DL101", SpanOf(scope),
+            "unknown scope '" + scope.text + "'" +
+                lint::DidYouMeanSuffix(hint),
+            hint);
+      return Poisoned(begin, end, true);
+    }
+    const SeriesTableEntry* entry = FindSeriesEntry(scope.text, name.text);
+    if (entry == nullptr) {
+      const char* kind = dir ? "5G" : "client";
+      std::vector<std::string> known =
+          dir ? KnownDirSeries() : KnownClientSeries();
+      std::string hint = lint::DidYouMean(name.text, known);
+      std::string msg = "unknown " + std::string(kind) + " series '" +
+                        name.text + "' in scope '" + scope.text + "'" +
+                        lint::DidYouMeanSuffix(hint);
+      // The name may belong to the other scope kind — say so.
+      if (FindSeriesEntry(dir ? "sender" : "fwd", name.text) != nullptr) {
+        msg += dir ? " ('" + name.text +
+                         "' is a client series; use sender/receiver/ue/"
+                         "remote)"
+                   : " ('" + name.text +
+                         "' is a 5G direction series; use fwd/rev/ul/dl)";
+      }
+      Error("DL102", SpanOf(name), msg, hint);
+      return Poisoned(begin, end, true);
+    }
+    Ann a;
+    a.expr = std::make_shared<SeriesNode>(scope.text, name.text);
+    a.series = true;
+    a.unit = entry->unit;
+    a.unit_src = scope.text + "." + name.text;
+    a.begin = begin;
+    a.end = end;
+    return a;
+  }
+
+  Ann ParseCall(const FuncInfo& fn, const Token& ident) {
+    std::size_t end = ident.pos + ident.len;
+    if (lexer_.peek().kind != Tok::kLParen) {
+      Error("DL003", SpanOf(lexer_.peek()),
+            std::string("expected '(' after '") + fn.name + "'");
+      return Poisoned(ident.pos, end, false);
+    }
+    lexer_.Take();
+    std::vector<Ann> args;
+    if (lexer_.peek().kind != Tok::kRParen &&
+        lexer_.peek().kind != Tok::kEnd) {
+      args.push_back(ParseOr());
+      while (lexer_.peek().kind == Tok::kComma) {
+        lexer_.Take();
+        args.push_back(ParseOr());
+      }
+    }
+    end = ExpectClose(args.empty() ? end : args.back().end);
+
+    const int expected = fn.series_args + fn.scalar_args;
+    if (static_cast<int>(args.size()) != expected) {
+      Error("DL112", SpanOf(ident),
+            std::string(fn.name) + " expects " + std::to_string(expected) +
+                " argument(s), got " + std::to_string(args.size()));
+      return Poisoned(ident.pos, end, false);
+    }
+    bool poisoned = false;
+    for (int i = 0; i < expected; ++i) {
+      Ann& a = args[static_cast<std::size_t>(i)];
+      poisoned = poisoned || a.poisoned;
+      if (a.poisoned) continue;
+      if (i < fn.series_args && !a.series) {
+        Error("DL104", SpanOfAnn(a),
+              std::string(fn.name) + ": argument " + std::to_string(i + 1) +
+                  " must be a series (a 'scope.name' reference)");
+        poisoned = true;
+      } else if (i >= fn.series_args && a.series) {
+        Error("DL104", SpanOfAnn(a),
+              std::string(fn.name) + ": argument " + std::to_string(i + 1) +
+                  " must be a scalar; wrap the series in an aggregate",
+              "mean(" + Text(a) + ")");
+        poisoned = true;
+      }
+    }
+    if (poisoned) return Poisoned(ident.pos, end, false);
+
+    std::vector<ExprPtr> series, scalars;
+    for (int i = 0; i < expected; ++i) {
+      (i < fn.series_args ? series : scalars)
+          .push_back(args[static_cast<std::size_t>(i)].expr);
+    }
+    Ann out;
+    out.expr = std::make_shared<FuncNode>(fn, std::move(series),
                                           std::move(scalars));
+    out.begin = ident.pos;
+    out.end = end;
+    AnnotateCall(fn, args, ident, out);
+    return out;
+  }
+
+  /// Synthesizes range/unit/boolean facts for a call and runs the
+  /// call-specific semantic checks (percentile rank, paired units).
+  void AnnotateCall(const FuncInfo& fn, const std::vector<Ann>& args,
+                    const Token& ident, Ann& out) {
+    const Ann& s0 = args[0];
+    switch (fn.id) {
+      case Func::kCount:
+      case Func::kCountBelow:
+      case Func::kCountAbove:
+        out.range = KnownRange(0, kInf);
+        out.unit = Unit::kCount;
+        break;
+      case Func::kFracGt:
+        out.range = KnownRange(0, 1);
+        break;
+      case Func::kAnyGt:
+      case Func::kHasDrop:
+      case Func::kHasRise:
+      case Func::kTrendUp:
+      case Func::kTrendDown:
+        out.range = KnownRange(0, 1);
+        out.boolean = true;
+        break;
+      case Func::kMin:
+      case Func::kMax:
+      case Func::kMean:
+      case Func::kFirst:
+      case Func::kLast:
+      case Func::kSum:
+      case Func::kStdDev:
+      case Func::kPercentile:
+        out.unit = s0.unit;
+        out.unit_src = s0.unit_src;
+        // A boolean series stays in [0, 1] under order statistics (and the
+        // empty-window default is 0).
+        if (s0.unit == Unit::kBool && fn.id != Func::kSum &&
+            fn.id != Func::kStdDev) {
+          out.range = KnownRange(0, 1);
+        }
+        break;
+    }
+
+    if (fn.id == Func::kPercentile) {
+      const Ann& q = args[1];
+      if (q.range.known && q.range.lo == q.range.hi && !q.poisoned) {
+        double v = q.range.lo;
+        if (v < 0 || v > 100) {
+          Error("DL106", SpanOfAnn(q),
+                "percentile rank " + FormatNum(v) +
+                    " is outside [0, 100]; p() takes a percentage",
+                v < 0 ? "0" : "100");
+        } else if (v > 0 && v < 2 && v != std::floor(v)) {
+          Warn("DL107", SpanOfAnn(q),
+               "percentile rank " + FormatNum(v) +
+                   " looks like a fraction; ranks are percentages in "
+                   "[0, 100] (the " +
+                   FormatNum(v) + "th percentile is nearly the minimum)",
+               FormatNum(v * 100));
+        }
+      }
+    }
+    if ((fn.id == Func::kFracGt || fn.id == Func::kAnyGt) &&
+        args[0].unit != Unit::kUnknown && args[1].unit != Unit::kUnknown &&
+        args[0].unit != args[1].unit) {
+      Warn("DL110", SpanOf(ident),
+           std::string(fn.name) + " compares " + args[0].unit_src + " (" +
+               UnitName(args[0].unit) + ") against " + args[1].unit_src +
+               " (" + UnitName(args[1].unit) + ") element-wise");
+    }
+    if ((fn.id == Func::kCountBelow || fn.id == Func::kCountAbove) &&
+        args[0].unit != Unit::kUnknown && args[1].unit != Unit::kUnknown &&
+        args[0].unit != args[1].unit) {
+      Warn("DL110", SpanOfAnn(args[1]),
+           std::string(fn.name) + " threshold is " +
+               UnitName(args[1].unit) + " but the series " +
+               args[0].unit_src + " is " + UnitName(args[0].unit));
+    }
+  }
+
+  Ann MakeBinary(Tok op, const Token& op_tok, Ann lhs, Ann rhs) {
+    const char* opname = OpName(op);
+    RequireScalar(lhs, std::string("operand of '") + opname + "'");
+    RequireScalar(rhs, std::string("operand of '") + opname + "'");
+    Ann out;
+    out.expr = std::make_shared<BinaryNode>(op, lhs.expr, rhs.expr);
+    out.poisoned = lhs.poisoned || rhs.poisoned;
+    out.begin = lhs.begin;
+    out.end = rhs.end;
+    switch (op) {
+      case Tok::kPlus:
+      case Tok::kMinus:
+        out.range = Combine(op, lhs.range, rhs.range);
+        CheckAdditiveUnits(op_tok, lhs, rhs, out);
+        break;
+      case Tok::kStar:
+        out.range = Combine(op, lhs.range, rhs.range);
+        break;
+      case Tok::kSlash:
+        break;  // guarded division; range and unit unknown
+      case Tok::kAnd:
+      case Tok::kOr:
+        out.boolean = true;
+        out.range = KnownRange(0, 1);
+        break;
+      default:  // comparisons
+        out.boolean = true;
+        out.range = KnownRange(0, 1);
+        CheckComparison(op, op_tok, lhs, rhs);
+        break;
+    }
+    return out;
+  }
+
+  static const char* OpName(Tok op) {
+    switch (op) {
+      case Tok::kPlus: return "+";
+      case Tok::kMinus: return "-";
+      case Tok::kStar: return "*";
+      case Tok::kSlash: return "/";
+      case Tok::kLt: return "<";
+      case Tok::kGt: return ">";
+      case Tok::kLe: return "<=";
+      case Tok::kGe: return ">=";
+      case Tok::kEq: return "==";
+      case Tok::kNe: return "!=";
+      case Tok::kAnd: return "and";
+      case Tok::kOr: return "or";
+      default: return "?";
+    }
+  }
+
+  static ValueRange Combine(Tok op, const ValueRange& a, const ValueRange& b) {
+    if (!a.known || !b.known) return {};
+    auto finite = [](double v) { return !std::isnan(v); };
+    switch (op) {
+      case Tok::kPlus: {
+        double lo = a.lo + b.lo, hi = a.hi + b.hi;
+        if (!finite(lo) || !finite(hi)) return {};
+        return KnownRange(lo, hi);
+      }
+      case Tok::kMinus: {
+        double lo = a.lo - b.hi, hi = a.hi - b.lo;
+        if (!finite(lo) || !finite(hi)) return {};
+        return KnownRange(lo, hi);
+      }
+      case Tok::kStar: {
+        double c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+        double lo = c[0], hi = c[0];
+        for (double v : c) {
+          if (!finite(v)) return {};
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        return KnownRange(lo, hi);
       }
       default:
-        throw DslError("unexpected token at position " +
-                       std::to_string(t.pos));
+        return {};
     }
   }
 
-  Token Expect(Tok kind, const char* what) {
-    Token t = lexer_.Take();
-    if (t.kind != kind) {
-      throw DslError(std::string("expected ") + what + " at position " +
-                     std::to_string(t.pos));
+  void CheckAdditiveUnits(const Token& op_tok, const Ann& lhs, const Ann& rhs,
+                          Ann& out) {
+    if (lhs.unit != Unit::kUnknown && rhs.unit != Unit::kUnknown) {
+      if (lhs.unit != rhs.unit && !out.poisoned) {
+        Warn("DL110", SpanOf(op_tok),
+             std::string(OpName(op_tok.kind == Tok::kMinus ? Tok::kMinus
+                                                           : Tok::kPlus)) +
+                 " mixes " + lhs.unit_src + " (" + UnitName(lhs.unit) +
+                 ") with " + rhs.unit_src + " (" + UnitName(rhs.unit) + ")");
+        return;  // result unit stays unknown
+      }
+      out.unit = lhs.unit;
+      out.unit_src = lhs.unit_src;
+      return;
     }
-    return t;
+    // A plain number offsets a quantity without changing its unit.
+    const Ann& known = lhs.unit != Unit::kUnknown ? lhs : rhs;
+    out.unit = known.unit;
+    out.unit_src = known.unit_src;
   }
 
+  void CheckComparison(Tok op, const Token& op_tok, const Ann& lhs,
+                       const Ann& rhs) {
+    if (lhs.poisoned || rhs.poisoned) return;
+    if (lhs.unit != Unit::kUnknown && rhs.unit != Unit::kUnknown &&
+        lhs.unit != rhs.unit) {
+      Warn("DL110", SpanOf(op_tok),
+           "comparing " + lhs.unit_src + " (" + UnitName(lhs.unit) +
+               ") against " + rhs.unit_src + " (" + UnitName(rhs.unit) + ")");
+    }
+    if (!lhs.range.known || !rhs.range.known) return;
+    int verdict = FoldComparison(op, lhs.range, rhs.range);
+    if (verdict < 0) return;
+    SourceSpan span = SpanBetween(lhs.begin, rhs.end);
+    std::string ranges = " (left is in " + FormatRange(lhs.range) +
+                         ", right in " + FormatRange(rhs.range) + ")";
+    if (verdict == 1) {
+      Warn("DL108", span, "comparison is always true" + ranges);
+    } else {
+      Warn("DL109", span, "comparison is always false" + ranges);
+    }
+  }
+
+  /// 1 = tautology, 0 = unsatisfiable, -1 = genuinely data-dependent.
+  static int FoldComparison(Tok op, const ValueRange& a, const ValueRange& b) {
+    switch (op) {
+      case Tok::kLt:
+        if (a.hi < b.lo) return 1;
+        if (a.lo >= b.hi) return 0;
+        return -1;
+      case Tok::kLe:
+        if (a.hi <= b.lo) return 1;
+        if (a.lo > b.hi) return 0;
+        return -1;
+      case Tok::kGt:
+        if (a.lo > b.hi) return 1;
+        if (a.hi <= b.lo) return 0;
+        return -1;
+      case Tok::kGe:
+        if (a.lo >= b.hi) return 1;
+        if (a.hi < b.lo) return 0;
+        return -1;
+      case Tok::kEq:
+        if (a.lo == a.hi && b.lo == b.hi && a.lo == b.lo) return 1;
+        if (a.hi < b.lo || b.hi < a.lo) return 0;
+        return -1;
+      case Tok::kNe:
+        if (a.hi < b.lo || b.hi < a.lo) return 1;
+        if (a.lo == a.hi && b.lo == b.hi && a.lo == b.lo) return 0;
+        return -1;
+      default:
+        return -1;
+    }
+  }
+
+  const std::string& src_;
   Lexer lexer_;
+  DiagnosticSink* sink_;
 };
 
 }  // namespace
-
-void SeriesNode::Check() const {
-  if (IsDirScope(scope_)) {
-    telemetry::DirectionSeries dummy;
-    if (ResolveDirSeries(dummy, name_) == nullptr) {
-      throw DslError("unknown 5G series '" + name_ + "' in scope '" + scope_ +
-                     "'");
-    }
-    return;
-  }
-  if (IsClientScope(scope_)) {
-    telemetry::ClientSeries dummy;
-    if (ResolveClientSeries(dummy, name_) == nullptr) {
-      throw DslError("unknown client series '" + name_ + "' in scope '" +
-                     scope_ + "'");
-    }
-    return;
-  }
-  throw DslError("unknown scope '" + scope_ + "'");
-}
 
 const TimeSeries<double>* SeriesNode::Resolve(const WindowContext& ctx) const {
   if (IsDirScope(scope_)) {
@@ -651,18 +1234,31 @@ const TimeSeries<double>* SeriesNode::Resolve(const WindowContext& ctx) const {
 }
 
 ExprPtr ParseExpression(const std::string& text) {
-  Parser p(text);
-  return p.Parse();
+  Parser p(text, nullptr);
+  return p.Parse().expr;
+}
+
+CheckedExpr ParseExpressionChecked(const std::string& text,
+                                   lint::DiagnosticSink& sink) {
+  std::size_t errors_before = sink.error_count();
+  Parser p(text, &sink);
+  Ann a = p.Parse();
+  CheckedExpr out;
+  out.is_series = a.series;
+  out.is_boolean = a.boolean;
+  if (sink.error_count() == errors_before) out.expr = a.expr;
+  return out;
 }
 
 std::vector<std::string> KnownDirSeries() {
-  return {"tbs",      "prb_self", "prb_other",  "mcs",        "harq_retx",
-          "rlc_retx", "owd_ms",   "app_bitrate", "tbs_bitrate", "rnti"};
+  std::vector<std::string> out;
+  for (const auto& e : kDirSeriesTable) out.emplace_back(e.name);
+  return out;
 }
 std::vector<std::string> KnownClientSeries() {
-  return {"inbound_fps",       "outbound_fps", "outbound_resolution",
-          "jitter_buffer_ms",  "target_bitrate", "pushback_rate",
-          "outstanding_bytes", "cwnd_bytes",   "overuse"};
+  std::vector<std::string> out;
+  for (const auto& e : kClientSeriesTable) out.emplace_back(e.name);
+  return out;
 }
 std::vector<std::string> KnownScopes() {
   return {"fwd", "rev", "ul", "dl", "sender", "receiver", "ue", "remote"};

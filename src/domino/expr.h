@@ -34,10 +34,13 @@
 #include <vector>
 
 #include "domino/events.h"
+#include "domino/lint/diagnostics.h"
 
 namespace domino::analysis {
 
-/// Parse or evaluation error, with 1-based position info where available.
+/// Parse or evaluation error, with 1-based column info for parse problems.
+/// Parsing keeps this as a thin legacy wrapper over the first error
+/// diagnostic of the checked front-end (see ParseExpressionChecked).
 class DslError : public std::runtime_error {
  public:
   explicit DslError(const std::string& what) : std::runtime_error(what) {}
@@ -66,6 +69,25 @@ using ExprPtr = std::shared_ptr<const ExprNode>;
 
 /// Parses an expression. Throws DslError on syntax/semantic problems.
 ExprPtr ParseExpression(const std::string& text);
+
+/// Result of the multi-error front-end: the expression (null when any error
+/// diagnostic was emitted) plus the facts the config-level linter needs.
+struct CheckedExpr {
+  ExprPtr expr;            ///< Null when errors were reported.
+  bool is_series = false;  ///< Top level is a bare `scope.name` reference.
+  bool is_boolean = false; ///< Top level is a comparison / logical op /
+                           ///< boolean-valued function.
+};
+
+/// Lint-grade parse: recovers per-token instead of throwing, emits every
+/// problem into `sink` with column-accurate spans (1-based, line 1), and
+/// additionally runs the semantic checks the throwing front-end defers or
+/// downgrades: did-you-mean suggestions for unknown scopes / series /
+/// functions, series-vs-scalar type checks, arity checks, value-range
+/// constant folding (tautological / unsatisfiable comparisons), and
+/// unit-sanity heuristics. Warnings never block; errors null the result.
+CheckedExpr ParseExpressionChecked(const std::string& text,
+                                   lint::DiagnosticSink& sink);
 
 /// Convenience: evaluates a parsed expression as a boolean condition.
 inline bool EvalCondition(const ExprNode& expr, const WindowContext& ctx) {

@@ -1,8 +1,11 @@
 #include "domino/graph.h"
 
+#include <algorithm>
 #include <array>
 #include <stdexcept>
 #include <utility>
+
+#include "domino/lint/suggest.h"
 
 namespace domino::analysis {
 
@@ -39,37 +42,66 @@ void CausalGraph::AddEdge(const std::string& from, const std::string& to) {
   int f = FindNode(from);
   int t = FindNode(to);
   if (f < 0 || t < 0) {
-    throw std::invalid_argument("CausalGraph: unknown node in edge " + from +
-                                " -> " + to);
+    // Name the endpoint that is actually missing (both, when both are).
+    std::string missing = f < 0 ? "'" + from + "'" : "";
+    if (t < 0) missing += (missing.empty() ? "'" : " and '") + to + "'";
+    std::vector<std::string> names;
+    names.reserve(nodes_.size());
+    for (const auto& n : nodes_) names.push_back(n.name);
+    std::string hint = lint::DidYouMean(f < 0 ? from : to, names);
+    throw std::invalid_argument("CausalGraph: unknown node " + missing +
+                                " in edge " + from + " -> " + to +
+                                lint::DidYouMeanSuffix(hint));
   }
   AddEdge(f, t);
 }
 
 void CausalGraph::AddEdge(int from, int to) {
+  const int n = static_cast<int>(nodes_.size());
+  if (from < 0 || from >= n || to < 0 || to >= n) {
+    throw std::invalid_argument(
+        "CausalGraph: edge endpoint out of range (" + std::to_string(from) +
+        " -> " + std::to_string(to) + ", " + std::to_string(n) + " nodes)");
+  }
   adj_[static_cast<std::size_t>(from)].push_back(to);
 }
 
-void CausalGraph::Validate() const {
-  // Kahn's algorithm; leftover nodes indicate a cycle.
-  std::vector<int> indeg(nodes_.size(), 0);
-  for (const auto& out : adj_) {
-    for (int t : out) ++indeg[static_cast<std::size_t>(t)];
-  }
-  std::vector<int> queue;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (indeg[i] == 0) queue.push_back(static_cast<int>(i));
-  }
-  std::size_t seen = 0;
-  while (!queue.empty()) {
-    int n = queue.back();
-    queue.pop_back();
-    ++seen;
+std::vector<int> CausalGraph::FindCycle() const {
+  enum Color : char { kWhite, kGray, kBlack };
+  std::vector<Color> color(nodes_.size(), kWhite);
+  std::vector<int> stack;
+  std::vector<int> cycle;
+  std::function<bool(int)> dfs = [&](int n) {
+    color[static_cast<std::size_t>(n)] = kGray;
+    stack.push_back(n);
     for (int t : adj_[static_cast<std::size_t>(n)]) {
-      if (--indeg[static_cast<std::size_t>(t)] == 0) queue.push_back(t);
+      if (color[static_cast<std::size_t>(t)] == kGray) {
+        auto it = std::find(stack.begin(), stack.end(), t);
+        cycle.assign(it, stack.end());
+        cycle.push_back(t);
+        return true;
+      }
+      if (color[static_cast<std::size_t>(t)] == kWhite && dfs(t)) return true;
     }
+    color[static_cast<std::size_t>(n)] = kBlack;
+    stack.pop_back();
+    return false;
+  };
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (color[i] == kWhite && dfs(static_cast<int>(i))) return cycle;
   }
-  if (seen != nodes_.size()) {
-    throw std::runtime_error("CausalGraph: cycle detected");
+  return {};
+}
+
+void CausalGraph::Validate() const {
+  std::vector<int> cycle = FindCycle();
+  if (!cycle.empty()) {
+    std::string path;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      if (i > 0) path += " -> ";
+      path += nodes_[static_cast<std::size_t>(cycle[i])].name;
+    }
+    throw std::runtime_error("CausalGraph: cycle detected: " + path);
   }
 }
 

@@ -57,8 +57,12 @@ class CausalGraph {
     return adj_;
   }
 
-  /// Throws std::runtime_error if the graph has a cycle.
+  /// Throws std::runtime_error (naming an offending path) on a cycle.
   void Validate() const;
+
+  /// A directed cycle as node indices with the entry node repeated at the
+  /// end ("a b c a"); empty when the graph is acyclic.
+  [[nodiscard]] std::vector<int> FindCycle() const;
 
   /// All cause->consequence paths, in deterministic (DFS) order.
   [[nodiscard]] std::vector<ChainPath> EnumerateChains() const;

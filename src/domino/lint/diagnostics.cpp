@@ -1,0 +1,186 @@
+#include "domino/lint/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace domino::analysis::lint {
+
+std::string ToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "error";
+}
+
+void DiagnosticSink::Add(Diagnostic d) {
+  if (d.severity == Severity::kError) ++errors_;
+  if (d.severity == Severity::kWarning) ++warnings_;
+  diags_.push_back(std::move(d));
+}
+
+void DiagnosticSink::Error(std::string code, SourceSpan span,
+                           std::string message, std::string fixit) {
+  Add({std::move(code), Severity::kError, span, std::move(message),
+       std::move(fixit)});
+}
+
+void DiagnosticSink::Warning(std::string code, SourceSpan span,
+                             std::string message, std::string fixit) {
+  Add({std::move(code), Severity::kWarning, span, std::move(message),
+       std::move(fixit)});
+}
+
+void DiagnosticSink::Note(std::string code, SourceSpan span,
+                          std::string message) {
+  Add({std::move(code), Severity::kNote, span, std::move(message), ""});
+}
+
+Severity DiagnosticSink::max_severity() const {
+  Severity out = Severity::kNote;
+  for (const auto& d : diags_) out = std::max(out, d.severity);
+  return out;
+}
+
+void DiagnosticSink::SortByPosition() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     // line 0 = no location; keep those after located ones.
+                     int la = a.span.line == 0 ? 1 << 30 : a.span.line;
+                     int lb = b.span.line == 0 ? 1 << 30 : b.span.line;
+                     if (la != lb) return la < lb;
+                     return a.span.col < b.span.col;
+                   });
+}
+
+void DiagnosticSink::DrainInto(DiagnosticSink& out, int line, int col_offset) {
+  for (auto& d : diags_) {
+    if (d.span.valid()) {
+      d.span.line = line;
+      d.span.col += col_offset - 1;
+    }
+    out.Add(std::move(d));
+  }
+  diags_.clear();
+  errors_ = 0;
+  warnings_ = 0;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    std::string line = text.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(std::move(line));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string RenderDiagnostic(const Diagnostic& d,
+                             const std::vector<std::string>& source_lines,
+                             const std::string& filename) {
+  std::string out;
+  if (!filename.empty()) out += filename + ":";
+  if (d.span.valid()) {
+    out += std::to_string(d.span.line) + ":" + std::to_string(d.span.col) +
+           ": ";
+  } else if (!filename.empty()) {
+    out += " ";
+  }
+  out += ToString(d.severity) + "[" + d.code + "]: " + d.message + "\n";
+
+  if (d.span.valid() &&
+      static_cast<std::size_t>(d.span.line) <= source_lines.size()) {
+    const std::string& src = source_lines[static_cast<std::size_t>(
+        d.span.line - 1)];
+    out += "  " + src + "\n";
+    std::string marker(2, ' ');
+    for (int i = 1; i < d.span.col; ++i) {
+      // Preserve tabs so the caret lines up with the excerpt above.
+      std::size_t idx = static_cast<std::size_t>(i - 1);
+      marker += idx < src.size() && src[idx] == '\t' ? '\t' : ' ';
+    }
+    marker += '^';
+    for (int i = 1; i < d.span.length; ++i) marker += '~';
+    out += marker + "\n";
+  }
+  if (!d.fixit.empty()) {
+    out += "  fix-it: replace with '" + d.fixit + "'\n";
+  }
+  return out;
+}
+
+std::string RenderDiagnostics(const DiagnosticSink& sink,
+                              const std::string& source_text,
+                              const std::string& filename) {
+  if (sink.empty()) return "";
+  std::vector<std::string> lines = SplitLines(source_text);
+  std::string out;
+  for (const auto& d : sink.diagnostics()) {
+    out += RenderDiagnostic(d, lines, filename);
+  }
+  char summary[96];
+  std::snprintf(summary, sizeof(summary), "%zu error(s), %zu warning(s)\n",
+                sink.error_count(), sink.warning_count());
+  out += summary;
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatDiagnosticsJson(const DiagnosticSink& sink) {
+  std::string out = "{\"diagnostics\":[";
+  bool first = true;
+  for (const auto& d : sink.diagnostics()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"code\":\"" + JsonEscape(d.code) + "\",\"severity\":\"" +
+           ToString(d.severity) + "\",\"line\":" +
+           std::to_string(d.span.line) + ",\"col\":" +
+           std::to_string(d.span.col) + ",\"length\":" +
+           std::to_string(d.span.length) + ",\"message\":\"" +
+           JsonEscape(d.message) + "\",\"fixit\":\"" + JsonEscape(d.fixit) +
+           "\"}";
+  }
+  out += first ? "]" : "\n]";
+  out += ",\"errors\":" + std::to_string(sink.error_count()) +
+         ",\"warnings\":" + std::to_string(sink.warning_count()) + "}\n";
+  return out;
+}
+
+}  // namespace domino::analysis::lint

@@ -1,0 +1,103 @@
+// Diagnostics engine for domino-lint (and any later static-analysis pass):
+// a Diagnostic carries a stable code, a severity, a 1-based source span, a
+// human message, and an optional fix-it replacement; a DiagnosticSink
+// collects many of them per run (the front-ends recover and resynchronize
+// instead of throwing on the first problem); the renderers produce
+// compiler-style text with caret/underline source excerpts, or a stable
+// JSON document for CI.
+//
+// The diagnostic-code catalog lives in lint.h (DESIGN.md §7 documents it).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace domino::analysis::lint {
+
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+
+std::string ToString(Severity severity);
+
+/// Half-open 1-based source range on one line. line == 0 means "no source
+/// location" (e.g. graph-level findings); renderers then omit the excerpt.
+struct SourceSpan {
+  int line = 0;
+  int col = 0;
+  int length = 0;  ///< Characters to underline; 0 renders a bare caret.
+
+  [[nodiscard]] bool valid() const { return line > 0 && col > 0; }
+  bool operator==(const SourceSpan&) const = default;
+};
+
+struct Diagnostic {
+  std::string code;  ///< Stable catalog code, e.g. "DL102".
+  Severity severity = Severity::kError;
+  SourceSpan span;
+  std::string message;
+  std::string fixit;  ///< Suggested replacement for the span; empty = none.
+};
+
+/// Collects diagnostics across a whole run. Front-ends emit into a sink and
+/// keep going; callers decide afterwards whether errors are fatal.
+class DiagnosticSink {
+ public:
+  void Add(Diagnostic d);
+  void Error(std::string code, SourceSpan span, std::string message,
+             std::string fixit = "");
+  void Warning(std::string code, SourceSpan span, std::string message,
+               std::string fixit = "");
+  void Note(std::string code, SourceSpan span, std::string message);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
+  [[nodiscard]] std::size_t error_count() const { return errors_; }
+  [[nodiscard]] std::size_t warning_count() const { return warnings_; }
+  [[nodiscard]] bool has_errors() const { return errors_ > 0; }
+  /// kNote for an empty sink.
+  [[nodiscard]] Severity max_severity() const;
+
+  /// Stable sort by (line, col); no-location diagnostics sort last.
+  void SortByPosition();
+
+  /// Moves every diagnostic into `out`, rebasing spans onto config
+  /// coordinates: expression-local line 1 / column c becomes `line` /
+  /// `col_offset + c - 1`. Used to embed expression diagnostics in the
+  /// config line that contains the expression.
+  void DrainInto(DiagnosticSink& out, int line, int col_offset);
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+/// Renders one diagnostic in compiler style:
+///
+///   bad.domino:3:20: error[DL102]: unknown 5G series 'owd' in scope 'fwd'
+///     event big: max(fwd.owd) > 10
+///                        ^~~
+///     fix-it: replace with 'owd_ms'
+///
+/// `source_lines` indexes the linted text (see SplitLines); an empty
+/// filename drops the "file:" prefix.
+std::string RenderDiagnostic(const Diagnostic& d,
+                             const std::vector<std::string>& source_lines,
+                             const std::string& filename = "");
+
+/// Renders every diagnostic in position order, followed by a one-line
+/// "N error(s), M warning(s)" summary (omitted when the sink is empty).
+std::string RenderDiagnostics(const DiagnosticSink& sink,
+                              const std::string& source_text,
+                              const std::string& filename = "");
+
+/// Stable machine-readable form for CI:
+///   {"diagnostics":[{"code":...,"severity":...,"line":...,"col":...,
+///    "length":...,"message":...,"fixit":...}],"errors":N,"warnings":M}
+std::string FormatDiagnosticsJson(const DiagnosticSink& sink);
+
+std::vector<std::string> SplitLines(const std::string& text);
+
+}  // namespace domino::analysis::lint

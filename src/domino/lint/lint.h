@@ -1,0 +1,53 @@
+// domino-lint: whole-config semantic analysis for the causal-graph DSL.
+//
+// LintConfigText runs the full pipeline over a config file:
+//   1. multi-error parse (ParseConfigChecked, which itself folds in the
+//      expression front-end's syntax/type/range/unit diagnostics),
+//   2. chain-node resolution against built-ins, custom events, and the base
+//      graph, with did-you-mean suggestions (DL208/DL209),
+//   3. config-level structure checks: duplicate chains, unused events,
+//       2-node chains, role conflicts with the base graph (DL210-DL212,
+//      DL302),
+//   4. graph-level checks on the extended graph when nothing above errored:
+//      cycles with the offending path (DL301) and dead nodes that sit on no
+//      cause -> consequence chain (DL303).
+//
+// See DESIGN.md §7 for the full diagnostic catalog.
+#pragma once
+
+#include <string>
+
+#include "domino/config_parser.h"
+#include "domino/graph.h"
+#include "domino/lint/diagnostics.h"
+
+namespace domino::analysis::lint {
+
+struct LintOptions {
+  /// Graph the config extends. Null: the paper's default graph when
+  /// `use_default_graph`, else an empty graph (stand-alone config).
+  const CausalGraph* base_graph = nullptr;
+  bool use_default_graph = true;
+  bool check_graph = true;  ///< Run the DL301/DL303 graph pass.
+  EventThresholds thresholds;
+};
+
+struct LintResult {
+  DominoConfigFile config;  ///< Whatever parsed cleanly (best effort).
+  DiagnosticSink sink;      ///< All diagnostics, sorted by position.
+};
+
+LintResult LintConfigText(const std::string& text,
+                          const LintOptions& opts = {});
+
+/// Structural checks on an already-built graph: DL301 cycle (with path),
+/// DL302 node-kind conflicts, DL303 dead nodes. Spans are empty — a built
+/// graph has no source text. `check_kinds` is off when the caller already
+/// reported role conflicts with source spans.
+void LintGraph(const CausalGraph& graph, DiagnosticSink& sink,
+               bool check_kinds = true);
+
+/// Promotes every warning to an error (strict mode).
+void PromoteWarnings(DiagnosticSink& sink);
+
+}  // namespace domino::analysis::lint

@@ -1,0 +1,56 @@
+#include "domino/lint/suggest.h"
+
+#include <algorithm>
+
+namespace domino::analysis::lint {
+
+std::size_t EditDistance(const std::string& a, const std::string& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  // Three rolling rows (the transposition case looks two rows back).
+  std::vector<std::size_t> prev2(m + 1), prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        cur[j] = std::min(cur[j], prev2[j - 2] + 1);
+      }
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::string DidYouMean(const std::string& word,
+                       const std::vector<std::string>& candidates) {
+  if (word.empty()) return "";
+  const std::size_t budget = std::max<std::size_t>(2, word.size() / 3 + 1);
+  std::string best;
+  std::size_t best_dist = budget + 1;
+  for (const auto& cand : candidates) {
+    if (cand == word) continue;
+    std::size_t dist = EditDistance(word, cand);
+    // A prefix relationship ("owd" / "owd_ms") is a strong signal even when
+    // the raw distance exceeds the budget.
+    if (cand.rfind(word, 0) == 0 || word.rfind(cand, 0) == 0) {
+      dist = std::min<std::size_t>(dist, 1);
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = cand;
+    }
+  }
+  return best_dist <= budget ? best : "";
+}
+
+std::string DidYouMeanSuffix(const std::string& suggestion) {
+  return suggestion.empty() ? "" : "; did you mean '" + suggestion + "'?";
+}
+
+}  // namespace domino::analysis::lint

@@ -1,0 +1,24 @@
+// Did-you-mean suggestions for lint diagnostics: bounded Damerau-style edit
+// distance over a candidate list, with a prefix bonus so truncated names
+// ("owd" for "owd_ms") still match.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace domino::analysis::lint {
+
+/// Levenshtein distance with adjacent-transposition counted as one edit.
+std::size_t EditDistance(const std::string& a, const std::string& b);
+
+/// The closest candidate within a distance budget scaled to the word's
+/// length (a prefix relationship counts as distance 1); empty if nothing is
+/// plausibly close.
+std::string DidYouMean(const std::string& word,
+                       const std::vector<std::string>& candidates);
+
+/// Formats "; did you mean 'x'?" for a non-empty suggestion, else "".
+std::string DidYouMeanSuffix(const std::string& suggestion);
+
+}  // namespace domino::analysis::lint

@@ -82,7 +82,9 @@ std::vector<Mitigation> AdviseMitigations(const AnalysisResult& result,
   }
   std::vector<Mitigation> out;
   double total = 0;
-  for (const auto& [cause, count] : wins) total += count;
+  for (const auto& [cause, count] : wins) {
+    total += static_cast<double>(count);
+  }
   for (const auto& [cause, count] : wins) {
     auto it = RecipeBook().find(cause);
     if (it == RecipeBook().end()) continue;  // custom/user cause: no recipe
@@ -92,7 +94,7 @@ std::vector<Mitigation> AdviseMitigations(const AnalysisResult& result,
       m.actor = recipe.actor;
       m.action = recipe.action;
       m.rationale = recipe.rationale;
-      m.severity = total > 0 ? count / total : 0;
+      m.severity = total > 0 ? static_cast<double>(count) / total : 0;
       out.push_back(std::move(m));
     }
   }

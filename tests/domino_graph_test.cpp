@@ -41,6 +41,51 @@ TEST(GraphTest, UnknownEdgeThrows) {
   EXPECT_THROW(g.AddEdge("missing", "a"), std::invalid_argument);
 }
 
+TEST(GraphTest, UnknownEdgeNamesTheMissingEndpoint) {
+  CausalGraph g;
+  g.AddNode(MakeNode("rate_gap", NodeKind::kCause));
+  g.AddNode(MakeNode("tbs_drop", NodeKind::kIntermediate));
+  try {
+    g.AddEdge("rate_gap", "tbs_dropp");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string what = e.what();
+    // Names the *missing* endpoint (not just "bad edge"), echoes the edge,
+    // and suggests the nearest existing node.
+    EXPECT_NE(what.find("'tbs_dropp'"), std::string::npos) << what;
+    EXPECT_NE(what.find("rate_gap -> tbs_dropp"), std::string::npos) << what;
+    EXPECT_NE(what.find("tbs_drop"), std::string::npos) << what;
+  }
+  try {
+    g.AddEdge("nope", "also_nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("'nope'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'also_nope'"), std::string::npos) << what;
+  }
+}
+
+TEST(GraphTest, CycleErrorNamesThePath) {
+  CausalGraph g;
+  g.AddNode(MakeNode("a", NodeKind::kCause));
+  g.AddNode(MakeNode("b", NodeKind::kIntermediate));
+  g.AddEdge("a", "b");
+  g.AddEdge("b", "a");
+  EXPECT_FALSE(g.FindCycle().empty());
+  try {
+    g.Validate();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("a -> b -> a"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GraphTest, FindCycleEmptyOnAcyclicGraph) {
+  EXPECT_TRUE(CausalGraph::Default().FindCycle().empty());
+}
+
 TEST(GraphTest, CycleDetected) {
   CausalGraph g;
   g.AddNode(MakeNode("a", NodeKind::kCause));

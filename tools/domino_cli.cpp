@@ -15,6 +15,13 @@
 //   domino codegen <config_file> [-o FILE]
 //       Generate the standalone Python detector module for a configuration
 //       (Fig. 11); writes to stdout by default.
+//
+//   domino lint <config_file> [--strict] [--format json] [--no-default-graph]
+//       Statically analyse a config with domino-lint: reports every problem
+//       in one run (compiler-style, with source excerpts and fix-its), or as
+//       a stable JSON document for CI. Exit code is the highest severity
+//       found (0 clean, 1 warnings, 2 errors); --strict promotes warnings
+//       to errors. "domino --lint <file>" is an alias.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +33,7 @@
 
 #include "domino/codegen.h"
 #include "domino/config_parser.h"
+#include "domino/lint/lint.h"
 #include "domino/report.h"
 #include "telemetry/align.h"
 #include "sim/call_session.h"
@@ -44,7 +52,10 @@ int Usage() {
                " [--window SEC] [--step SEC]\n"
                "                 [--chains-csv FILE] [--features-csv FILE]"
                " [--offset-correct]\n"
+               "                 [--strict-lint | --no-lint]\n"
                "  domino codegen <config_file> [-o FILE]\n"
+               "  domino lint <config_file> [--strict] [--format json]"
+               " [--no-default-graph]\n"
                "cells: tmobile-fdd15 tmobile-tdd100 amarisoft mosolabs"
                " wired\n");
   return 2;
@@ -103,6 +114,64 @@ int CmdSimulate(std::vector<std::string> args) {
   return 0;
 }
 
+/// Reads a whole file; nullopt (with a message on stderr) when unreadable.
+std::optional<std::string> ReadFileOrComplain(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open config '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+int CmdLint(std::vector<std::string> args) {
+  bool strict = false;
+  bool json = false;
+  bool no_default_graph = false;
+  if (auto fmt = TakeFlag(args, "--format")) json = (*fmt == "json");
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--strict") {
+      strict = true;
+      it = args.erase(it);
+    } else if (*it == "--no-default-graph") {
+      no_default_graph = true;
+      it = args.erase(it);
+    } else if (*it == "--format=json") {
+      json = true;
+      it = args.erase(it);
+    } else if (*it == "--format=text") {
+      json = false;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (args.size() != 1) return Usage();
+  auto text = ReadFileOrComplain(args[0]);
+  if (!text.has_value()) return 2;
+
+  analysis::lint::LintOptions opts;
+  opts.use_default_graph = !no_default_graph;
+  analysis::lint::LintResult res =
+      analysis::lint::LintConfigText(*text, opts);
+  if (strict) analysis::lint::PromoteWarnings(res.sink);
+
+  if (json) {
+    std::fputs(analysis::lint::FormatDiagnosticsJson(res.sink).c_str(),
+               stdout);
+  } else if (res.sink.empty()) {
+    std::printf("%s: no issues\n", args[0].c_str());
+  } else {
+    std::fputs(
+        analysis::lint::RenderDiagnostics(res.sink, *text, args[0]).c_str(),
+        stdout);
+  }
+  // Exit code mirrors the highest severity: 0 clean, 1 warnings, 2 errors.
+  return static_cast<int>(res.sink.max_severity());
+}
+
 int CmdAnalyze(std::vector<std::string> args) {
   auto config_path = TakeFlag(args, "--config");
   auto window_s = TakeFlag(args, "--window");
@@ -110,9 +179,17 @@ int CmdAnalyze(std::vector<std::string> args) {
   auto chains_csv = TakeFlag(args, "--chains-csv");
   auto features_csv = TakeFlag(args, "--features-csv");
   bool offset_correct = false;
+  bool strict_lint = false;
+  bool no_lint = false;
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--offset-correct") {
       offset_correct = true;
+      it = args.erase(it);
+    } else if (*it == "--strict-lint") {
+      strict_lint = true;
+      it = args.erase(it);
+    } else if (*it == "--no-lint") {
+      no_lint = true;
       it = args.erase(it);
     } else {
       ++it;
@@ -135,19 +212,35 @@ int CmdAnalyze(std::vector<std::string> args) {
   if (window_s) cfg.window = Seconds(std::stod(*window_s));
   if (step_s) cfg.step = Seconds(std::stod(*step_s));
   cfg.extract_features = true;
+  using LintMode = analysis::DominoConfig::LintMode;
+  cfg.lint = no_lint       ? LintMode::kOff
+             : strict_lint ? LintMode::kStrict
+                           : LintMode::kPermissive;
 
   analysis::CausalGraph graph = analysis::CausalGraph::Default(cfg.thresholds);
   if (config_path) {
-    std::ifstream f(*config_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot open config '%s'\n",
-                   config_path->c_str());
-      return 2;
+    auto text = ReadFileOrComplain(*config_path);
+    if (!text.has_value()) return 2;
+    if (cfg.lint == LintMode::kOff) {
+      analysis::ExtendGraph(graph, analysis::ParseConfigText(*text),
+                            cfg.thresholds);
+    } else {
+      analysis::lint::LintOptions lopts;
+      lopts.thresholds = cfg.thresholds;
+      analysis::lint::LintResult lres =
+          analysis::lint::LintConfigText(*text, lopts);
+      if (cfg.lint == LintMode::kStrict) {
+        analysis::lint::PromoteWarnings(lres.sink);
+      }
+      if (!lres.sink.empty()) {
+        std::fputs(analysis::lint::RenderDiagnostics(lres.sink, *text,
+                                                     *config_path)
+                       .c_str(),
+                   stderr);
+      }
+      if (lres.sink.has_errors()) return 1;
+      analysis::ExtendGraph(graph, lres.config, cfg.thresholds);
     }
-    std::stringstream buf;
-    buf << f.rdbuf();
-    analysis::ExtendGraph(graph, analysis::ParseConfigText(buf.str()),
-                          cfg.thresholds);
     std::printf("extended causal graph from %s\n", config_path->c_str());
   }
 
@@ -203,6 +296,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return CmdSimulate(std::move(args));
     if (cmd == "analyze") return CmdAnalyze(std::move(args));
     if (cmd == "codegen") return CmdCodegen(std::move(args));
+    if (cmd == "lint" || cmd == "--lint") return CmdLint(std::move(args));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
