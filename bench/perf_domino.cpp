@@ -12,6 +12,8 @@
 #include "domino/report.h"
 #include "domino/streaming.h"
 #include "domino/expr.h"
+#include "telemetry/fault_inject.h"
+#include "telemetry/sanitize.h"
 
 using namespace domino;
 using namespace domino::bench;
@@ -159,6 +161,38 @@ void BM_RankAndReport(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RankAndReport);
+
+/// Ingest-hardening overhead: SanitizeDataset on a 60 s session. Arg is
+/// the fault percentage — 0 measures the tax on a pristine capture (the
+/// common case: one pass that finds nothing), 5 the acceptance mix of
+/// drops/dups/reorders/time corruption the robustness suite uses.
+void BM_Sanitize(benchmark::State& state) {
+  telemetry::SessionDataset clean =
+      RunCall(sim::TMobileFdd15(), Seconds(60), 5);
+  telemetry::FaultSpec spec;
+  if (state.range(0) > 0) {
+    double rate = static_cast<double>(state.range(0)) / 100.0;
+    spec.drop = rate;
+    spec.duplicate = rate;
+    spec.reorder = rate;
+    spec.corrupt_time = rate / 5.0;
+  }
+  telemetry::SessionDataset faulted = clean;
+  telemetry::InjectFaults(faulted, spec, 11);
+  std::size_t rows = faulted.dci.size() + faulted.gnb_log.size() +
+                     faulted.packets.size() + faulted.stats[0].size() +
+                     faulted.stats[1].size();
+  for (auto _ : state) {
+    telemetry::SessionDataset ds = faulted;
+    auto report = telemetry::SanitizeDataset(ds);
+    benchmark::DoNotOptimize(report);
+    benchmark::DoNotOptimize(ds);
+  }
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(rows) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Sanitize)->ArgName("fault_pct")->Arg(0)->Arg(5);
 
 void BM_SimulateSecond(benchmark::State& state) {
   // Cost of generating one second of cross-layer telemetry.

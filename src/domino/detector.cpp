@@ -60,6 +60,27 @@ WindowResult Detector::AnalyzeWindow(const telemetry::DerivedTrace& trace,
                       ? DetectEvent(*node.builtin, ctx, cfg_.thresholds)
                       : node.detect(ctx);
     }
+    // Per-node data-quality confidence for this window: min coverage over
+    // the streams the node's built-in condition reads. DSL-defined nodes
+    // carry no stream mapping and stay at 1 (conservative: no downgrade).
+    // Pure trace arithmetic — identical on the naive and incremental paths.
+    std::vector<double> node_conf;
+    if (trace.quality.present) {
+      node_conf.resize(graph_.node_count(), 1.0);
+      for (std::size_t n = 0; n < graph_.node_count(); ++n) {
+        const Node& node = graph_.node(static_cast<int>(n));
+        if (!node.builtin.has_value()) continue;
+        StreamMask mask = RequiredStreams(*node.builtin, p);
+        double conf = 1.0;
+        for (std::size_t s = 0; s < telemetry::kStreamCount; ++s) {
+          if ((mask & (1u << s)) == 0) continue;
+          conf = std::min(
+              conf, trace.quality.WindowCoverage(
+                        static_cast<telemetry::StreamId>(s), begin, end));
+        }
+        node_conf[n] = conf;
+      }
+    }
     for (std::size_t c = 0; c < chains_.size(); ++c) {
       bool all = true;
       for (int node : chains_[c]) {
@@ -69,8 +90,14 @@ WindowResult Detector::AnalyzeWindow(const telemetry::DerivedTrace& trace,
         }
       }
       if (all) {
+        double conf = 1.0;
+        if (!node_conf.empty()) {
+          for (int node : chains_[c]) {
+            conf = std::min(conf, node_conf[static_cast<std::size_t>(node)]);
+          }
+        }
         result.chains.push_back(
-            ChainInstance{begin, p, static_cast<int>(c)});
+            ChainInstance{begin, p, static_cast<int>(c), conf});
       }
     }
   }

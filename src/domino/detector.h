@@ -31,6 +31,12 @@ struct DominoConfig {
   /// but only errors block, kStrict = warnings block too.
   enum class LintMode { kOff, kPermissive, kStrict };
   LintMode lint = LintMode::kPermissive;
+  /// Graceful degradation threshold: a chain whose nodes' required streams
+  /// cover less than this fraction of the window (per the sanitizer's
+  /// TraceQuality annotations) is marked "insufficient evidence" instead of
+  /// being asserted as a root cause. Irrelevant for traces without quality
+  /// annotations — every chain then has confidence 1.
+  double min_coverage = 0.5;
 };
 
 /// One detected causal chain in one window, from one sender perspective.
@@ -38,6 +44,10 @@ struct ChainInstance {
   Time window_begin;
   int sender_client = 0;   ///< 0 = UE outbound media, 1 = remote outbound.
   int chain_index = 0;     ///< Index into Detector::chains().
+  /// Data-quality confidence: minimum window coverage over the streams the
+  /// chain's nodes observe (1.0 when the trace has no quality annotations).
+  /// Compare against DominoConfig::min_coverage for sufficiency.
+  double confidence = 1.0;
 };
 
 struct WindowResult {

@@ -289,4 +289,57 @@ bool DetectEvent(const EventRef& ref, const WindowContext& ctx,
   return value;
 }
 
+namespace {
+
+StreamMask Bit(telemetry::StreamId id) {
+  return static_cast<StreamMask>(1u << static_cast<unsigned>(id));
+}
+
+StreamMask StatsBit(int client) {
+  return Bit(client == telemetry::kUeClient
+                 ? telemetry::StreamId::kStatsUe
+                 : telemetry::StreamId::kStatsRemote);
+}
+
+}  // namespace
+
+StreamMask RequiredStreams(const EventRef& ref, int sender_client) {
+  using S = telemetry::StreamId;
+  switch (ref.type) {
+    // Receiver-side playback signals.
+    case EventType::kInboundFpsDrop:
+    case EventType::kJitterBufferDrain:
+      return StatsBit(1 - sender_client);
+    // Sender-side GCC internals.
+    case EventType::kOutboundFpsDrop:
+    case EventType::kResolutionDrop:
+    case EventType::kTargetBitrateDrop:
+    case EventType::kGccOveruse:
+    case EventType::kPushbackDrop:
+    case EventType::kCwndFull:
+    case EventType::kOutstandingUp:
+    case EventType::kPushbackNeqTarget:
+      return StatsBit(sender_client);
+    // Packet-trace signals.
+    case EventType::kFwdDelayUp:
+    case EventType::kRevDelayUp:
+      return Bit(S::kPackets);
+    // App rate (packets) vs allocated rate (DCI).
+    case EventType::kRateGap:
+      return static_cast<StreamMask>(Bit(S::kPackets) | Bit(S::kDci));
+    // NR-Scope scheduling telemetry.
+    case EventType::kTbsDrop:
+    case EventType::kCrossTraffic:
+    case EventType::kChannelDegrade:
+    case EventType::kHarqRetx:
+    case EventType::kUlScheduling:
+    case EventType::kRrcChange:
+      return Bit(S::kDci);
+    // gNB log (private cells).
+    case EventType::kRlcRetx:
+      return Bit(S::kGnbLog);
+  }
+  return 0;
+}
+
 }  // namespace domino::analysis

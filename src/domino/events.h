@@ -169,4 +169,14 @@ class WindowContext {
 bool DetectEvent(const EventRef& ref, const WindowContext& ctx,
                  const EventThresholds& th);
 
+/// Bitmask over raw telemetry streams (bit = 1 << StreamId).
+using StreamMask = std::uint8_t;
+
+/// The streams whose data the built-in condition for `ref` reads, resolved
+/// for the given perspective. This drives graceful degradation: a detected
+/// chain is only as trustworthy as the window coverage of the streams its
+/// nodes observed, so low-coverage windows downgrade to "insufficient
+/// evidence" instead of asserting a root cause.
+StreamMask RequiredStreams(const EventRef& ref, int sender_client);
+
 }  // namespace domino::analysis

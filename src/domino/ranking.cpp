@@ -41,13 +41,20 @@ std::vector<WindowDiagnosis> RankRootCauses(const AnalysisResult& result,
       rc.instance = ci;
       rc.cause_rate = static_cast<double>(active_windows[cause]) / total;
       // Surprisal, with a small epsilon so a never-otherwise-seen cause
-      // stays finite; longer chains break ties (1e-3 per hop).
-      rc.score = -std::log(std::max(rc.cause_rate, 1e-6)) +
-                 1e-3 * static_cast<double>(path.size());
+      // stays finite; longer chains break ties (1e-3 per hop). Confidence
+      // scales the score (x1 on clean traces, so behaviour is unchanged).
+      rc.confidence = ci.confidence;
+      rc.insufficient = ci.confidence < detector.config().min_coverage;
+      rc.score = (-std::log(std::max(rc.cause_rate, 1e-6)) +
+                  1e-3 * static_cast<double>(path.size())) *
+                 rc.confidence;
       diag.ranked.push_back(rc);
     }
     std::sort(diag.ranked.begin(), diag.ranked.end(),
               [](const RankedChain& a, const RankedChain& b) {
+                // Insufficiently observed chains rank after every chain
+                // with adequate stream coverage, whatever their score.
+                if (a.insufficient != b.insufficient) return b.insufficient;
                 return a.score > b.score;
               });
     out.push_back(std::move(diag));

@@ -24,6 +24,14 @@ struct RankedChain {
   ChainInstance instance;
   double score = 0;      ///< Higher = more likely the true root cause.
   double cause_rate = 0; ///< Fraction of windows where the cause was active.
+  /// Data-quality confidence inherited from the instance (1.0 on clean
+  /// traces); the surprisal score is scaled by it, so degraded evidence
+  /// ranks below equally surprising but fully observed chains.
+  double confidence = 1.0;
+  /// True when confidence fell below DominoConfig::min_coverage: the chain
+  /// is reported as "insufficient evidence" and sorted after every
+  /// sufficiently observed chain regardless of score.
+  bool insufficient = false;
 };
 
 /// Per-window diagnosis: all active chains ranked, best first.

@@ -48,8 +48,15 @@ void WriteFeaturesCsv(std::ostream& os, const AnalysisResult& result) {
 
 std::string BuildSummaryReport(const AnalysisResult& result,
                                const Detector& detector) {
+  return BuildSummaryReport(result, detector, nullptr);
+}
+
+std::string BuildSummaryReport(const AnalysisResult& result,
+                               const Detector& detector,
+                               const telemetry::SanitizeReport* health) {
   std::ostringstream os;
   ChainStatistics stats = ComputeStatistics(result, detector.graph());
+  const double min_cov = detector.config().min_coverage;
 
   os << "Domino analysis report\n";
   os << "======================\n";
@@ -60,6 +67,12 @@ std::string BuildSummaryReport(const AnalysisResult& result,
   os << "windows with at least one causal chain: "
      << stats.windows_with_chain << "\n\n";
 
+  // Data quality only exists as a section when something was actually
+  // repaired or lost — clean traces keep the historical report bytes.
+  if (health != nullptr && !health->clean()) {
+    os << "Data quality\n------------\n" << health->Format() << "\n";
+  }
+
   os << "Occurrence frequency\n--------------------\n"
      << FormatOccurrence(stats) << "\n";
   os << "P(cause | consequence)\n----------------------\n"
@@ -68,18 +81,30 @@ std::string BuildSummaryReport(const AnalysisResult& result,
      << "-------------------------------------\n"
      << FormatChainRatioTable(stats) << "\n";
 
-  // Most frequent concrete chains.
+  // Most frequent concrete chains, tracking how many instances of each
+  // were downgraded for insufficient stream coverage.
   std::map<int, long> counts;
-  for (const auto& ci : result.AllChains()) ++counts[ci.chain_index];
+  std::map<int, long> insufficient_counts;
+  for (const auto& ci : result.AllChains()) {
+    ++counts[ci.chain_index];
+    if (ci.confidence < min_cov) ++insufficient_counts[ci.chain_index];
+  }
   std::vector<std::pair<int, long>> ranked(counts.begin(), counts.end());
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
   // Most likely root causes: rank by cause surprisal, then summarise which
-  // cause wins the per-window diagnosis most often.
+  // cause wins the per-window diagnosis most often. Windows whose best
+  // chain lacks stream coverage are tallied separately — Domino refuses to
+  // assert a root cause it could not actually observe.
   auto diagnoses = RankRootCauses(result, detector);
   std::map<std::string, long> best_cause;
+  long insufficient_windows = 0;
   for (const auto& d : diagnoses) {
     if (const RankedChain* best = d.best()) {
+      if (best->insufficient) {
+        ++insufficient_windows;
+        continue;
+      }
       const ChainPath& path = detector.chains()[
           static_cast<std::size_t>(best->instance.chain_index)];
       ++best_cause[detector.graph().node(path.front()).name];
@@ -94,7 +119,13 @@ std::string BuildSummaryReport(const AnalysisResult& result,
   for (const auto& [name, count] : winners) {
     os << "  " << count << " windows  " << name << "\n";
   }
-  if (winners.empty()) os << "  (no degraded windows)\n";
+  if (insufficient_windows > 0) {
+    os << "  " << insufficient_windows
+       << " windows  (insufficient evidence)\n";
+  }
+  if (winners.empty() && insufficient_windows == 0) {
+    os << "  (no degraded windows)\n";
+  }
   os << "\n";
 
   os << "Top chains\n----------\n";
@@ -103,11 +134,142 @@ std::string BuildSummaryReport(const AnalysisResult& result,
     if (shown++ >= 8) break;
     os << "  " << count << "x  "
        << FormatChain(detector.graph(),
-                      detector.chains()[static_cast<std::size_t>(idx)])
-       << "\n";
+                      detector.chains()[static_cast<std::size_t>(idx)]);
+    if (auto it = insufficient_counts.find(idx);
+        it != insufficient_counts.end() && it->second > 0) {
+      os << "  [" << it->second << "x insufficient evidence]";
+    }
+    os << "\n";
   }
   if (ranked.empty()) os << "  (no chains detected)\n";
   os << "\n" << FormatMitigations(AdviseMitigations(result, detector));
+  return os.str();
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string BuildReportJson(const AnalysisResult& result,
+                            const Detector& detector,
+                            const telemetry::SanitizeReport* health) {
+  std::ostringstream os;
+  const CausalGraph& graph = detector.graph();
+  const DominoConfig& cfg = detector.config();
+
+  os << "{\n";
+  os << "  \"trace\": {\"duration_s\": "
+     << JsonNum((Time{0} + result.trace_duration).seconds())
+     << ", \"windows\": " << result.windows.size()
+     << ", \"window_s\": " << JsonNum(cfg.window.seconds())
+     << ", \"step_s\": " << JsonNum(cfg.step.seconds()) << "},\n";
+  os << "  \"config\": {\"min_coverage\": " << JsonNum(cfg.min_coverage)
+     << "},\n";
+
+  os << "  \"health\": ";
+  if (health == nullptr) {
+    os << "null";
+  } else {
+    os << "{\"clean\": " << (health->clean() ? "true" : "false")
+       << ", \"skew_ms\": " << JsonNum(health->skew_ms)
+       << ", \"skew_corrected\": "
+       << (health->skew_corrected ? "true" : "false") << ", \"streams\": [";
+    bool first = true;
+    for (const auto& s : health->streams) {
+      if (!first) os << ", ";
+      first = false;
+      os << "{\"stream\": \"" << telemetry::StreamName(s.id) << "\""
+         << ", \"expected\": " << (s.expected ? "true" : "false")
+         << ", \"rows_in\": " << s.rows_in
+         << ", \"rows_kept\": " << s.rows_kept
+         << ", \"malformed\": " << s.malformed
+         << ", \"duplicates\": " << s.duplicates
+         << ", \"reordered\": " << s.reordered
+         << ", \"late_dropped\": " << s.late_dropped
+         << ", \"out_of_range\": " << s.out_of_range
+         << ", \"coverage\": " << JsonNum(s.coverage)
+         << ", \"gap_count\": " << s.gap_count << "}";
+    }
+    os << "]}";
+  }
+  os << ",\n";
+
+  os << "  \"chains\": [";
+  bool first_chain = true;
+  for (const auto& ci : result.AllChains()) {
+    const ChainPath& path =
+        detector.chains()[static_cast<std::size_t>(ci.chain_index)];
+    os << (first_chain ? "" : ",") << "\n    {\"window_begin_s\": "
+       << JsonNum(ci.window_begin.seconds()) << ", \"perspective\": \""
+       << (ci.sender_client == 0 ? "ue_uplink" : "remote_downlink") << "\""
+       << ", \"cause\": \"" << JsonEscape(graph.node(path.front()).name)
+       << "\", \"consequence\": \""
+       << JsonEscape(graph.node(path.back()).name) << "\", \"path\": \""
+       << JsonEscape(FormatChain(graph, path)) << "\", \"confidence\": "
+       << JsonNum(ci.confidence) << ", \"sufficient\": "
+       << (ci.confidence >= cfg.min_coverage ? "true" : "false") << "}";
+    first_chain = false;
+  }
+  os << (first_chain ? "" : "\n  ") << "],\n";
+
+  auto diagnoses = RankRootCauses(result, detector);
+  std::map<std::string, long> best_cause;
+  long insufficient_windows = 0;
+  for (const auto& d : diagnoses) {
+    if (const RankedChain* best = d.best()) {
+      if (best->insufficient) {
+        ++insufficient_windows;
+        continue;
+      }
+      const ChainPath& path = detector.chains()[
+          static_cast<std::size_t>(best->instance.chain_index)];
+      ++best_cause[graph.node(path.front()).name];
+    }
+  }
+  std::vector<std::pair<std::string, long>> winners(best_cause.begin(),
+                                                    best_cause.end());
+  std::sort(winners.begin(), winners.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  os << "  \"root_causes\": [";
+  bool first_cause = true;
+  for (const auto& [name, count] : winners) {
+    os << (first_cause ? "" : ",") << "\n    {\"cause\": \""
+       << JsonEscape(name) << "\", \"windows\": " << count << "}";
+    first_cause = false;
+  }
+  os << (first_cause ? "" : "\n  ") << "],\n";
+  os << "  \"insufficient_windows\": " << insufficient_windows << "\n";
+  os << "}\n";
   return os.str();
 }
 

@@ -8,6 +8,7 @@
 
 #include "domino/detector.h"
 #include "domino/statistics.h"
+#include "telemetry/sanitize.h"
 
 namespace domino::analysis {
 
@@ -24,5 +25,23 @@ void WriteFeaturesCsv(std::ostream& os, const AnalysisResult& result);
 /// probabilities, chain ratios, and the most frequent concrete chains.
 std::string BuildSummaryReport(const AnalysisResult& result,
                                const Detector& detector);
+
+/// Same, with telemetry-health context. When `health` is non-null and not
+/// clean, the report gains a "Data quality" section, splits out per-window
+/// winners downgraded to "insufficient evidence", and annotates top chains
+/// whose instances fell below DominoConfig::min_coverage. On a clean trace
+/// (health nullptr or health->clean() and every chain at confidence 1) the
+/// output is byte-identical to the two-argument overload.
+std::string BuildSummaryReport(const AnalysisResult& result,
+                               const Detector& detector,
+                               const telemetry::SanitizeReport* health);
+
+/// Machine-readable JSON report: trace overview, degradation config,
+/// per-stream health (null when no sanitize report is supplied), every
+/// detected chain with its data-quality confidence/sufficiency, and the
+/// per-window root-cause winners.
+std::string BuildReportJson(const AnalysisResult& result,
+                            const Detector& detector,
+                            const telemetry::SanitizeReport* health);
 
 }  // namespace domino::analysis

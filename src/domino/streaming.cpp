@@ -14,6 +14,7 @@ StreamingDetector::StreamingDetector(CausalGraph graph, DominoConfig cfg)
 void StreamingDetector::Emit(const WindowResult& w) {
   for (const ChainInstance& ci : w.chains) {
     ++chains_;
+    if (ci.confidence < detector_.config().min_coverage) ++insufficient_;
     if (on_chain) on_chain(ci, w);
   }
   if (on_window) on_window(w);

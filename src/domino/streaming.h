@@ -40,6 +40,11 @@ class StreamingDetector {
   [[nodiscard]] const Detector& detector() const { return detector_; }
   [[nodiscard]] long windows_processed() const { return windows_; }
   [[nodiscard]] long chains_detected() const { return chains_; }
+  /// Of chains_detected(), how many carried confidence below
+  /// DominoConfig::min_coverage (data-quality degradation; 0 on clean
+  /// traces). Live dashboards should surface these separately instead of
+  /// alerting on them as confirmed root causes.
+  [[nodiscard]] long insufficient_chains() const { return insufficient_; }
 
  private:
   void Emit(const WindowResult& w);
@@ -49,6 +54,7 @@ class StreamingDetector {
   bool initialised_ = false;
   long windows_ = 0;
   long chains_ = 0;
+  long insufficient_ = 0;
   /// Persistent incremental state; tied to one trace object.
   std::unique_ptr<WindowStatsCache> cache_;
 };

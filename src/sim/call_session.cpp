@@ -387,7 +387,8 @@ telemetry::SessionDataset CallSession::Run() {
   // Periodic drivers. The remote capture clock is offset by half a frame so
   // the two senders don't tick in lockstep.
   auto every = [this](Duration interval, Duration offset, auto&& fn) {
-    auto loop = std::make_shared<std::function<void()>>();
+    timers_.push_back(std::make_unique<std::function<void()>>());
+    std::function<void()>* loop = timers_.back().get();
     *loop = [this, interval, fn, loop] {
       fn();
       queue_.ScheduleAfter(interval, *loop);

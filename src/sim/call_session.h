@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "common/event_queue.h"
 #include "common/rng.h"
@@ -143,6 +145,11 @@ class CallSession {
 
   std::map<std::uint64_t, InFlight> in_flight_;
   std::uint64_t next_record_id_ = 1;
+
+  /// Self-rescheduling periodic drivers (see Run). Owned here rather than
+  /// by their own closures so the chain is cycle-free and dies with the
+  /// session.
+  std::vector<std::unique_ptr<std::function<void()>>> timers_;
 
   telemetry::SessionDataset ds_;
   std::array<long, 2> last_rlc_retx_ = {0, 0};

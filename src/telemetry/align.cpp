@@ -6,10 +6,17 @@ namespace domino::telemetry {
 
 double EstimateClockOffsetMs(const SessionDataset& ds,
                              double expected_floor_asymmetry_ms) {
+  // A single corrupted timestamp (sniffer glitch, mid-capture clock jump)
+  // would otherwise capture the per-direction minimum and silently
+  // mis-align the whole trace, so implausible one-way delays — beyond what
+  // any real skew-plus-path combination produces — are ignored. Records
+  // need not be in send order; the estimator is order-free by design.
+  constexpr double kMaxPlausibleOwdMs = 600e3;  // 10 minutes of skew.
   double min_ul = 1e300, min_dl = 1e300;
   for (const auto& p : ds.packets) {
     if (p.lost()) continue;
     double owd = p.one_way_delay().millis();
+    if (owd < -kMaxPlausibleOwdMs || owd > kMaxPlausibleOwdMs) continue;
     if (p.dir == Direction::kUplink) {
       min_ul = std::min(min_ul, owd);
     } else {

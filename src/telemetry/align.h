@@ -23,7 +23,9 @@ namespace domino::telemetry {
 /// Estimated offset of the remote clock relative to the local clock, in ms
 /// (positive = remote clock runs ahead). `expected_floor_asymmetry_ms` is
 /// the known min(UL) - min(DL) delay gap (0 = assume symmetric floors).
-/// Returns 0 when either direction has no delivered packets.
+/// Returns 0 when either direction has no delivered packets. Tolerates
+/// non-monotonic packet order and ignores records whose observed delay is
+/// implausible (corrupted stamps would otherwise capture the minimum).
 double EstimateClockOffsetMs(const SessionDataset& ds,
                              double expected_floor_asymmetry_ms = 0.0);
 

@@ -5,6 +5,31 @@
 
 namespace domino::telemetry {
 
+const char* StreamName(StreamId id) {
+  switch (id) {
+    case StreamId::kDci: return "dci";
+    case StreamId::kGnbLog: return "gnb_log";
+    case StreamId::kPackets: return "packets";
+    case StreamId::kStatsUe: return "stats_ue";
+    case StreamId::kStatsRemote: return "stats_remote";
+  }
+  return "?";
+}
+
+double TraceQuality::WindowCoverage(StreamId id, Time begin, Time end) const {
+  if (!present || end <= begin) return 1.0;
+  const StreamQuality& sq = streams[static_cast<std::size_t>(id)];
+  std::int64_t uncovered = 0;
+  for (const auto& [gb, ge] : sq.gaps) {
+    Time lo = std::max(gb, begin);
+    Time hi = std::min(ge, end);
+    if (lo < hi) uncovered += (hi - lo).micros();
+  }
+  double frac = static_cast<double>(uncovered) /
+                static_cast<double>((end - begin).micros());
+  return 1.0 - std::min(1.0, frac);
+}
+
 namespace {
 
 /// Accumulates per-bin byte counts and emits a bits/s series.

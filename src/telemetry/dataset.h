@@ -18,6 +18,44 @@ inline constexpr int kUeClient = 0;
 /// Index of the wired/remote client.
 inline constexpr int kRemoteClient = 1;
 
+/// Identity of the five raw telemetry streams a SessionDataset carries.
+/// Used by the sanitizer (per-stream health) and the detector (per-chain
+/// data-quality gating).
+enum class StreamId : std::uint8_t {
+  kDci = 0,
+  kGnbLog = 1,
+  kPackets = 2,
+  kStatsUe = 3,
+  kStatsRemote = 4,
+};
+inline constexpr std::size_t kStreamCount = 5;
+
+/// Canonical stream name ("dci", "gnb_log", "packets", "stats_ue",
+/// "stats_remote").
+const char* StreamName(StreamId id);
+
+/// Coverage information for one stream over the session timeline.
+struct StreamQuality {
+  double coverage = 1.0;  ///< Fraction of [begin, end) not inside a gap.
+  /// Coverage gaps (larger than the sanitizer's gap threshold), sorted,
+  /// non-overlapping, clipped to [begin, end).
+  std::vector<std::pair<Time, Time>> gaps;
+};
+
+/// Data-quality annotations attached to a DerivedTrace by the sanitizer.
+/// Default-constructed (present == false) means "no quality information":
+/// every window counts as fully covered and the detector applies no
+/// degradation — pristine pre-sanitizer behaviour.
+struct TraceQuality {
+  bool present = false;
+  std::array<StreamQuality, kStreamCount> streams;
+
+  /// Covered fraction of [begin, end) for one stream (1.0 when absent or
+  /// the window is empty).
+  [[nodiscard]] double WindowCoverage(StreamId id, Time begin,
+                                      Time end) const;
+};
+
 struct SessionDataset {
   std::string cell_name;
   bool is_private_cell = false;  ///< gNB logs (RLC/RRC) available.
@@ -71,6 +109,9 @@ struct DerivedTrace {
   bool has_gnb_log = false;
   std::array<DirectionSeries, 2> dir;     ///< [0] = UL, [1] = DL.
   std::array<ClientSeries, 2> client;     ///< [0] = UE, [1] = remote.
+  /// Per-stream coverage from the sanitizer; absent (present == false) for
+  /// traces built without sanitizing, in which case nothing is degraded.
+  TraceQuality quality;
 
   [[nodiscard]] const DirectionSeries& ul() const { return dir[0]; }
   [[nodiscard]] const DirectionSeries& dl() const { return dir[1]; }

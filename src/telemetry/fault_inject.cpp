@@ -1,0 +1,162 @@
+#include "telemetry/fault_inject.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace domino::telemetry {
+
+namespace {
+
+/// Applies the record-level fault classes to one stream. `time_of` reads
+/// the record's session timestamp; `set_time` rewrites it (for corruption).
+template <typename Rec, typename TimeFn, typename SetTimeFn>
+void InjectStream(std::vector<Rec>& recs, const FaultSpec& spec, Rng rng,
+                  FaultCounts& counts, Time begin, Time end, TimeFn time_of,
+                  SetTimeFn set_time) {
+  Duration duration = end - begin;
+  Time trunc_after =
+      spec.truncate_tail > 0
+          ? end - Duration{static_cast<std::int64_t>(
+                spec.truncate_tail * static_cast<double>(duration.micros()))}
+          : Time::max();
+  Time gap_begin = Time::max();
+  Time gap_end = Time::max();
+  if (spec.gap > Duration{0} && duration > spec.gap) {
+    auto slack = static_cast<double>((duration - spec.gap).micros());
+    gap_begin = begin + Duration{static_cast<std::int64_t>(
+                            std::clamp(spec.gap_at, 0.0, 1.0) * slack)};
+    gap_end = gap_begin + spec.gap;
+  }
+
+  std::vector<Rec> out;
+  out.reserve(recs.size());
+  struct Late {
+    Rec rec;
+    Time release;  ///< Arrival time: inserted after records sent earlier.
+  };
+  std::vector<Late> late;
+  for (Rec& r : recs) {
+    Time t = time_of(r);
+    if (t >= trunc_after) {
+      ++counts.truncated;
+      continue;
+    }
+    if (t >= gap_begin && t < gap_end) {
+      ++counts.gapped;
+      continue;
+    }
+    if (spec.drop > 0 && rng.Chance(spec.drop)) {
+      ++counts.dropped;
+      continue;
+    }
+    if (spec.corrupt_time > 0 && rng.Chance(spec.corrupt_time)) {
+      // Half the corruptions fling the stamp into the past, half far
+      // beyond the session end — both must be caught as out-of-range.
+      Time bogus = rng.Chance(0.5)
+                       ? Time{-(t.micros() + 1'000'000)}
+                       : end + Duration{3'600'000'000} + (t - begin);
+      set_time(r, bogus);
+      out.push_back(r);
+      ++counts.corrupted;
+      continue;
+    }
+    if (spec.reorder > 0 && rng.Chance(spec.reorder)) {
+      // The record arrives late: it will be emitted once the stream
+      // reaches t + span, i.e. after records stamped up to `span` newer.
+      std::int64_t span = spec.reorder_span.micros();
+      Time release = t + Duration{static_cast<std::int64_t>(
+                             rng.Uniform(0.25, 1.0) *
+                             static_cast<double>(span))};
+      late.push_back(Late{r, release});
+      ++counts.reordered;
+      continue;
+    }
+    // Flush any late records whose release time has passed.
+    for (std::size_t i = 0; i < late.size();) {
+      if (late[i].release <= t) {
+        out.push_back(late[i].rec);
+        late.erase(late.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    out.push_back(r);
+    if (spec.duplicate > 0 && rng.Chance(spec.duplicate)) {
+      out.push_back(r);
+      ++counts.duplicated;
+    }
+  }
+  for (const Late& l : late) out.push_back(l.rec);
+  recs = std::move(out);
+}
+
+}  // namespace
+
+FaultSummary InjectFaults(SessionDataset& ds, const FaultSpec& spec,
+                          std::uint64_t seed) {
+  FaultSummary summary;
+  Rng root(seed ^ 0xD0F1'77A3'5EEDull);
+  Time begin = ds.begin;
+  Time end = ds.end;
+  if (end <= begin) {
+    // No session range in the metadata: derive one so truncation/gap
+    // positions stay meaningful.
+    auto widen = [&](Time t) {
+      if (end <= begin) {
+        begin = t;
+        end = t;
+      }
+      begin = std::min(begin, t);
+      end = std::max(end, t);
+    };
+    for (const auto& r : ds.dci) widen(r.time);
+    for (const auto& p : ds.packets) widen(p.sent);
+  }
+
+  auto counts = [&](StreamId id) -> FaultCounts& {
+    return summary.streams[static_cast<std::size_t>(id)];
+  };
+  InjectStream(
+      ds.dci, spec, root.Fork(1), counts(StreamId::kDci), begin, end,
+      [](const DciRecord& r) { return r.time; },
+      [](DciRecord& r, Time t) { r.time = t; });
+  InjectStream(
+      ds.gnb_log, spec, root.Fork(2), counts(StreamId::kGnbLog), begin, end,
+      [](const GnbLogRecord& r) { return r.time; },
+      [](GnbLogRecord& r, Time t) { r.time = t; });
+  InjectStream(
+      ds.packets, spec, root.Fork(3), counts(StreamId::kPackets), begin,
+      end, [](const PacketRecord& r) { return r.sent; },
+      [](PacketRecord& r, Time t) { r.sent = t; });
+  InjectStream(
+      ds.stats[kUeClient], spec, root.Fork(4), counts(StreamId::kStatsUe),
+      begin, end, [](const WebRtcStatsRecord& r) { return r.time; },
+      [](WebRtcStatsRecord& r, Time t) { r.time = t; });
+  InjectStream(
+      ds.stats[kRemoteClient], spec, root.Fork(5),
+      counts(StreamId::kStatsRemote), begin, end,
+      [](const WebRtcStatsRecord& r) { return r.time; },
+      [](WebRtcStatsRecord& r, Time t) { r.time = t; });
+
+  if (spec.skew_ms != 0 || spec.drift_ppm != 0) {
+    // Remote-stamped fields, mirroring align.h: DL send stamps and UL
+    // receive stamps come from the remote host's clock.
+    auto skew_at = [&](Time t) {
+      double us = spec.skew_ms * 1e3 +
+                  spec.drift_ppm * (t - begin).seconds();
+      return Duration{static_cast<std::int64_t>(us)};
+    };
+    for (auto& p : ds.packets) {
+      if (p.dir == Direction::kDownlink) {
+        p.sent = p.sent + skew_at(p.sent);
+      } else if (!p.lost()) {
+        p.received = p.received + skew_at(p.received);
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace domino::telemetry

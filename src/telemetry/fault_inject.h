@@ -1,0 +1,65 @@
+// Deterministic, seeded fault injection for telemetry robustness testing.
+//
+// Corrupts a clean SessionDataset with the defect classes observed in real
+// 5G captures — record loss, duplicated decodes, bounded reordering (late
+// arrival), field/timestamp corruption, stream truncation, coverage gaps,
+// and remote clock skew/drift — so that every failure mode the sanitizer
+// and the degradation logic must survive is exactly reproducible in tests
+// and benchmarks from a (spec, seed) pair.
+//
+// Injection is purely in-memory and order-preserving in distribution: the
+// same spec and seed always produce the same corrupted dataset.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "telemetry/dataset.h"
+
+namespace domino::telemetry {
+
+struct FaultSpec {
+  double drop = 0;          ///< Per-record drop probability.
+  double duplicate = 0;     ///< Per-record duplication probability.
+  double reorder = 0;       ///< Per-record late-arrival probability.
+  Duration reorder_span = Millis(500);  ///< How late a reordered record lands.
+  double corrupt_time = 0;  ///< Per-record timestamp-corruption probability
+                            ///< (pushed far outside the session range).
+  double truncate_tail = 0; ///< Fraction of the session cut off every
+                            ///< stream's tail (sniffer died early).
+  Duration gap{0};          ///< One coverage gap of this length per stream.
+  double gap_at = 0.5;      ///< Gap position as a fraction of the session.
+  double skew_ms = 0;       ///< Remote clock offset added to remote stamps.
+  double drift_ppm = 0;     ///< Linear remote clock drift (µs per second).
+};
+
+struct FaultCounts {
+  std::size_t dropped = 0;
+  std::size_t duplicated = 0;
+  std::size_t reordered = 0;
+  std::size_t corrupted = 0;
+  std::size_t truncated = 0;
+  std::size_t gapped = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return dropped + duplicated + reordered + corrupted + truncated + gapped;
+  }
+};
+
+struct FaultSummary {
+  std::array<FaultCounts, kStreamCount> streams;
+
+  [[nodiscard]] std::size_t total() const {
+    std::size_t n = 0;
+    for (const auto& s : streams) n += s.total();
+    return n;
+  }
+};
+
+/// Applies `spec` to every stream of `ds` in place, deterministically from
+/// `seed` (each stream gets an independent sub-stream, so enabling one
+/// fault class does not reshuffle another's draws).
+FaultSummary InjectFaults(SessionDataset& ds, const FaultSpec& spec,
+                          std::uint64_t seed);
+
+}  // namespace domino::telemetry

@@ -1,14 +1,44 @@
 #include "telemetry/io.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
+#include <utility>
 
 #include "common/csv.h"
 
 namespace domino::telemetry {
+
+const char* ToString(TelemetryErrorKind kind) {
+  switch (kind) {
+    case TelemetryErrorKind::kMissingFile: return "missing_file";
+    case TelemetryErrorKind::kEmptyStream: return "empty_stream";
+    case TelemetryErrorKind::kTruncatedRow: return "truncated_row";
+    case TelemetryErrorKind::kBadField: return "bad_field";
+  }
+  return "?";
+}
+
+void ReadStats::Add(TelemetryErrorKind kind, std::size_t row,
+                    std::string message) {
+  if (errors.size() < kMaxRecorded) {
+    errors.push_back(TelemetryError{kind, row, std::move(message)});
+  }
+}
+
+void ReadStats::Merge(const ReadStats& other) {
+  rows_total += other.rows_total;
+  rows_kept += other.rows_kept;
+  rows_dropped += other.rows_dropped;
+  for (const auto& e : other.errors) {
+    if (errors.size() >= kMaxRecorded) break;
+    errors.push_back(e);
+  }
+}
 
 namespace {
 
@@ -19,14 +49,132 @@ std::string D(double v) {
   return buf;
 }
 
-std::int64_t ToI(const std::string& s) { return std::stoll(s); }
-double ToD(const std::string& s) { return std::stod(s); }
+/// Full-consumption integer parse; false on garbage (no exceptions).
+bool ParseI(const std::string& s, std::int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
 
-void CheckHeader(const std::vector<std::vector<std::string>>& rows,
-                 const char* name) {
-  if (rows.empty()) {
-    throw std::runtime_error(std::string("empty CSV for ") + name);
+bool ParseD(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Cursor over one CSV row: typed field accessors that record the first
+/// defect and mark the row bad instead of throwing.
+class Row {
+ public:
+  Row(const std::vector<std::string>& cells, std::size_t row_number)
+      : cells_(cells), row_(row_number) {}
+
+  std::int64_t Int(std::size_t col) {
+    std::int64_t v = 0;
+    if (!Have(col)) return 0;
+    if (!ParseI(cells_[col], &v)) Bad(col, "not an integer");
+    return v;
   }
+  double Dbl(std::size_t col) {
+    double v = 0;
+    if (!Have(col)) return 0;
+    if (!ParseD(cells_[col], &v)) Bad(col, "not a number");
+    return v;
+  }
+  const std::string& Str(std::size_t col) {
+    static const std::string kEmpty;
+    if (!Have(col)) return kEmpty;
+    return cells_[col];
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  void Report(ReadStats& stats) const {
+    if (ok_) return;
+    stats.Add(kind_, row_, message_);
+  }
+
+ private:
+  bool Have(std::size_t col) {
+    if (col < cells_.size()) return true;
+    if (ok_) {
+      ok_ = false;
+      kind_ = TelemetryErrorKind::kTruncatedRow;
+      message_ = "row has " + std::to_string(cells_.size()) +
+                 " cells, need at least " + std::to_string(col + 1);
+    }
+    return false;
+  }
+  void Bad(std::size_t col, const char* what) {
+    if (!ok_) return;
+    ok_ = false;
+    kind_ = TelemetryErrorKind::kBadField;
+    message_ = "column " + std::to_string(col + 1) + ": " + what + " ('" +
+               cells_[col] + "')";
+  }
+
+  const std::vector<std::string>& cells_;
+  std::size_t row_;
+  bool ok_ = true;
+  TelemetryErrorKind kind_ = TelemetryErrorKind::kBadField;
+  std::string message_;
+};
+
+/// Reads a CSV stream row by row, calling `parse(Row&)` per data row; the
+/// parser returns false to drop the row. Defects never escape as
+/// exceptions; they land in `stats`.
+template <typename ParseFn>
+void ForEachRow(std::istream& is, const char* stream_name, ReadStats& stats,
+                ParseFn parse) {
+  std::string line;
+  std::size_t row_number = 0;  // 1-based; header is row 1.
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    ++row_number;
+    std::vector<std::string> cells;
+    try {
+      cells = ParseCsvLine(line);
+    } catch (const std::invalid_argument&) {
+      if (row_number == 1) saw_header = true;  // even a broken header counts
+      if (row_number > 1) {
+        ++stats.rows_total;
+        ++stats.rows_dropped;
+      }
+      stats.Add(TelemetryErrorKind::kBadField, row_number,
+                "unterminated quote");
+      continue;
+    }
+    if (row_number == 1) {  // header row: column names are not validated
+      saw_header = true;
+      continue;
+    }
+    ++stats.rows_total;
+    Row row(cells, row_number);
+    bool keep = parse(row) && row.ok();
+    if (keep) {
+      ++stats.rows_kept;
+    } else {
+      ++stats.rows_dropped;
+      row.Report(stats);
+    }
+  }
+  if (!saw_header) {
+    stats.Add(TelemetryErrorKind::kEmptyStream,
+              0, std::string("no CSV data for ") + stream_name);
+  }
+}
+
+Direction DirFromString(const std::string& s) {
+  return s == "UL" ? Direction::kUplink : Direction::kDownlink;
 }
 
 }  // namespace
@@ -43,24 +191,24 @@ void WriteDciCsv(std::ostream& os, const std::vector<DciRecord>& records) {
   }
 }
 
-std::vector<DciRecord> ReadDciCsv(std::istream& is) {
-  auto rows = ReadCsv(is);
-  CheckHeader(rows, "dci");
+std::vector<DciRecord> ReadDciCsv(std::istream& is, ReadStats* stats) {
+  ReadStats local;
+  ReadStats& st = stats != nullptr ? *stats : local;
   std::vector<DciRecord> out;
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& c = rows[i];
+  ForEachRow(is, "dci", st, [&](Row& c) {
     DciRecord r;
-    r.time = Time{ToI(c.at(0))};
-    r.rnti = static_cast<std::uint32_t>(ToI(c.at(1)));
-    r.dir = c.at(2) == "UL" ? Direction::kUplink : Direction::kDownlink;
-    r.prbs = static_cast<int>(ToI(c.at(3)));
-    r.mcs = static_cast<int>(ToI(c.at(4)));
-    r.tbs_bytes = static_cast<int>(ToI(c.at(5)));
-    r.is_retx = ToI(c.at(6)) != 0;
-    r.harq_process = static_cast<int>(ToI(c.at(7)));
-    r.attempt = static_cast<int>(ToI(c.at(8)));
-    out.push_back(r);
-  }
+    r.time = Time{c.Int(0)};
+    r.rnti = static_cast<std::uint32_t>(c.Int(1));
+    r.dir = DirFromString(c.Str(2));
+    r.prbs = static_cast<int>(c.Int(3));
+    r.mcs = static_cast<int>(c.Int(4));
+    r.tbs_bytes = static_cast<int>(c.Int(5));
+    r.is_retx = c.Int(6) != 0;
+    r.harq_process = static_cast<int>(c.Int(7));
+    r.attempt = static_cast<int>(c.Int(8));
+    if (c.ok()) out.push_back(r);
+    return c.ok();
+  });
   return out;
 }
 
@@ -79,24 +227,24 @@ void WritePacketCsv(std::ostream& os,
   }
 }
 
-std::vector<PacketRecord> ReadPacketCsv(std::istream& is) {
-  auto rows = ReadCsv(is);
-  CheckHeader(rows, "packets");
+std::vector<PacketRecord> ReadPacketCsv(std::istream& is, ReadStats* stats) {
+  ReadStats local;
+  ReadStats& st = stats != nullptr ? *stats : local;
   std::vector<PacketRecord> out;
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& c = rows[i];
+  ForEachRow(is, "packets", st, [&](Row& c) {
     PacketRecord r;
-    r.id = static_cast<std::uint64_t>(ToI(c.at(0)));
-    r.dir = c.at(1) == "UL" ? Direction::kUplink : Direction::kDownlink;
-    r.size_bytes = static_cast<int>(ToI(c.at(2)));
-    r.sent = Time{ToI(c.at(3))};
-    std::int64_t recv = ToI(c.at(4));
+    r.id = static_cast<std::uint64_t>(c.Int(0));
+    r.dir = DirFromString(c.Str(1));
+    r.size_bytes = static_cast<int>(c.Int(2));
+    r.sent = Time{c.Int(3)};
+    std::int64_t recv = c.Int(4);
     r.received = recv < 0 ? Time::max() : Time{recv};
-    r.is_rtcp = ToI(c.at(5)) != 0;
-    r.is_audio = ToI(c.at(6)) != 0;
-    r.frame_id = static_cast<std::uint64_t>(ToI(c.at(7)));
-    out.push_back(r);
-  }
+    r.is_rtcp = c.Int(5) != 0;
+    r.is_audio = c.Int(6) != 0;
+    r.frame_id = static_cast<std::uint64_t>(c.Int(7));
+    if (c.ok()) out.push_back(r);
+    return c.ok();
+  });
   return out;
 }
 
@@ -116,34 +264,35 @@ void WriteStatsCsv(std::ostream& os,
   }
 }
 
-std::vector<WebRtcStatsRecord> ReadStatsCsv(std::istream& is) {
-  auto rows = ReadCsv(is);
-  CheckHeader(rows, "stats");
+std::vector<WebRtcStatsRecord> ReadStatsCsv(std::istream& is,
+                                            ReadStats* stats) {
+  ReadStats local;
+  ReadStats& st = stats != nullptr ? *stats : local;
   std::vector<WebRtcStatsRecord> out;
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& c = rows[i];
+  ForEachRow(is, "stats", st, [&](Row& c) {
     WebRtcStatsRecord r;
-    r.time = Time{ToI(c.at(0))};
-    r.inbound_fps = ToD(c.at(1));
-    r.outbound_fps = ToD(c.at(2));
-    r.outbound_resolution = static_cast<int>(ToI(c.at(3)));
-    r.jitter_buffer_ms = ToD(c.at(4));
-    r.target_bitrate_bps = ToD(c.at(5));
-    r.pushback_bitrate_bps = ToD(c.at(6));
-    r.outstanding_bytes = ToD(c.at(7));
-    r.cwnd_bytes = ToD(c.at(8));
-    if (c.at(9) == "overuse") {
+    r.time = Time{c.Int(0)};
+    r.inbound_fps = c.Dbl(1);
+    r.outbound_fps = c.Dbl(2);
+    r.outbound_resolution = static_cast<int>(c.Int(3));
+    r.jitter_buffer_ms = c.Dbl(4);
+    r.target_bitrate_bps = c.Dbl(5);
+    r.pushback_bitrate_bps = c.Dbl(6);
+    r.outstanding_bytes = c.Dbl(7);
+    r.cwnd_bytes = c.Dbl(8);
+    if (c.Str(9) == "overuse") {
       r.gcc_state = NetworkState::kOveruse;
-    } else if (c.at(9) == "underuse") {
+    } else if (c.Str(9) == "underuse") {
       r.gcc_state = NetworkState::kUnderuse;
     } else {
       r.gcc_state = NetworkState::kNormal;
     }
-    r.delay_slope = ToD(c.at(10));
-    r.concealed_ratio = ToD(c.at(11));
-    r.frozen = ToI(c.at(12)) != 0;
-    out.push_back(r);
-  }
+    r.delay_slope = c.Dbl(10);
+    r.concealed_ratio = c.Dbl(11);
+    r.frozen = c.Int(12) != 0;
+    if (c.ok()) out.push_back(r);
+    return c.ok();
+  });
   return out;
 }
 
@@ -160,27 +309,56 @@ void WriteGnbLogCsv(std::ostream& os,
   }
 }
 
-std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is) {
-  auto rows = ReadCsv(is);
-  CheckHeader(rows, "gnb_log");
+std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is, ReadStats* stats) {
+  ReadStats local;
+  ReadStats& st = stats != nullptr ? *stats : local;
   std::vector<GnbLogRecord> out;
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& c = rows[i];
+  ForEachRow(is, "gnb_log", st, [&](Row& c) {
     GnbLogRecord r;
-    r.time = Time{ToI(c.at(0))};
-    r.rnti = static_cast<std::uint32_t>(ToI(c.at(1)));
-    r.dir = c.at(2) == "UL" ? Direction::kUplink : Direction::kDownlink;
-    r.rlc_buffer_bytes = static_cast<int>(ToI(c.at(3)));
-    r.rlc_retx = ToI(c.at(4)) != 0;
-    if (c.at(5) == "connected") {
+    r.time = Time{c.Int(0)};
+    r.rnti = static_cast<std::uint32_t>(c.Int(1));
+    r.dir = DirFromString(c.Str(2));
+    r.rlc_buffer_bytes = static_cast<int>(c.Int(3));
+    r.rlc_retx = c.Int(4) != 0;
+    if (c.Str(5) == "connected") {
       r.rrc_state = RrcState::kConnected;
-    } else if (c.at(5) == "idle") {
+    } else if (c.Str(5) == "idle") {
       r.rrc_state = RrcState::kIdle;
     } else {
       r.rrc_state = RrcState::kTransitioning;
     }
-    out.push_back(r);
+    if (c.ok()) out.push_back(r);
+    return c.ok();
+  });
+  return out;
+}
+
+bool DatasetLoadReport::ok() const {
+  for (const auto& s : streams) {
+    if (!s.ok()) return false;
   }
+  return meta.ok();
+}
+
+std::string DatasetLoadReport::Format() const {
+  std::string out;
+  auto describe = [&](const char* name, const ReadStats& s) {
+    if (s.ok()) return;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  %-12s %zu/%zu rows dropped\n", name, s.rows_dropped,
+                  s.rows_total);
+    out += buf;
+    for (const auto& e : s.errors) {
+      std::snprintf(buf, sizeof(buf), "    [%s] row %zu: %s\n",
+                    ToString(e.kind), e.row, e.message.c_str());
+      out += buf;
+    }
+  };
+  for (std::size_t i = 0; i < kStreamCount; ++i) {
+    describe(StreamName(static_cast<StreamId>(i)), streams[i]);
+  }
+  describe("meta", meta);
   return out;
 }
 
@@ -220,39 +398,104 @@ void SaveDataset(const SessionDataset& ds, const std::string& dir) {
   }
 }
 
-SessionDataset LoadDataset(const std::string& dir) {
+namespace {
+
+/// Opens a stream file; records kMissingFile and returns false when absent.
+bool OpenStream(const std::string& path, std::ifstream& f, ReadStats& stats) {
+  f.open(path);
+  if (f) return true;
+  stats.Add(TelemetryErrorKind::kMissingFile, 0, "cannot open " + path);
+  return false;
+}
+
+}  // namespace
+
+SessionDataset LoadDataset(const std::string& dir,
+                           DatasetLoadReport* report) {
+  DatasetLoadReport local;
+  DatasetLoadReport& rep = report != nullptr ? *report : local;
   SessionDataset ds;
   {
-    std::ifstream f(dir + "/dci.csv");
-    ds.dci = ReadDciCsv(f);
-  }
-  {
-    std::ifstream f(dir + "/packets.csv");
-    ds.packets = ReadPacketCsv(f);
-  }
-  {
-    std::ifstream f(dir + "/stats_ue.csv");
-    ds.stats[kUeClient] = ReadStatsCsv(f);
-  }
-  {
-    std::ifstream f(dir + "/stats_remote.csv");
-    ds.stats[kRemoteClient] = ReadStatsCsv(f);
-  }
-  {
-    std::ifstream f(dir + "/gnb_log.csv");
-    ds.gnb_log = ReadGnbLogCsv(f);
-  }
-  {
-    std::ifstream f(dir + "/meta.csv");
-    auto rows = ReadCsv(f);
-    if (rows.size() >= 2) {
-      ds.cell_name = rows[1].at(0);
-      ds.is_private_cell = rows[1].at(1) == "1";
-      ds.begin = Time{ToI(rows[1].at(2))};
-      ds.end = Time{ToI(rows[1].at(3))};
+    std::ifstream f;
+    if (OpenStream(dir + "/dci.csv", f, rep.stream(StreamId::kDci))) {
+      ds.dci = ReadDciCsv(f, &rep.stream(StreamId::kDci));
     }
-    for (std::size_t i = 3; i < rows.size(); ++i) {
-      ds.ue_rnti.Push(Time{ToI(rows[i].at(0))}, ToD(rows[i].at(1)));
+  }
+  {
+    std::ifstream f;
+    if (OpenStream(dir + "/packets.csv", f,
+                   rep.stream(StreamId::kPackets))) {
+      ds.packets = ReadPacketCsv(f, &rep.stream(StreamId::kPackets));
+    }
+  }
+  {
+    std::ifstream f;
+    if (OpenStream(dir + "/stats_ue.csv", f,
+                   rep.stream(StreamId::kStatsUe))) {
+      ds.stats[kUeClient] = ReadStatsCsv(f, &rep.stream(StreamId::kStatsUe));
+    }
+  }
+  {
+    std::ifstream f;
+    if (OpenStream(dir + "/stats_remote.csv", f,
+                   rep.stream(StreamId::kStatsRemote))) {
+      ds.stats[kRemoteClient] =
+          ReadStatsCsv(f, &rep.stream(StreamId::kStatsRemote));
+    }
+  }
+  {
+    std::ifstream f;
+    if (OpenStream(dir + "/gnb_log.csv", f,
+                   rep.stream(StreamId::kGnbLog))) {
+      ds.gnb_log = ReadGnbLogCsv(f, &rep.stream(StreamId::kGnbLog));
+    }
+  }
+  {
+    std::ifstream f;
+    if (OpenStream(dir + "/meta.csv", f, rep.meta)) {
+      std::vector<std::vector<std::string>> rows;
+      try {
+        rows = ReadCsv(f);
+      } catch (const std::invalid_argument& e) {
+        rep.meta.Add(TelemetryErrorKind::kBadField, 0, e.what());
+      }
+      if (rows.size() >= 2 && rows[1].size() >= 4) {
+        std::int64_t begin_us = 0, end_us = 0;
+        ds.cell_name = rows[1][0];
+        ds.is_private_cell = rows[1][1] == "1";
+        if (ParseI(rows[1][2], &begin_us) && ParseI(rows[1][3], &end_us)) {
+          ds.begin = Time{begin_us};
+          ds.end = Time{end_us};
+        } else {
+          rep.meta.Add(TelemetryErrorKind::kBadField, 2,
+                       "bad begin_us/end_us");
+        }
+      } else if (!rows.empty()) {
+        rep.meta.Add(TelemetryErrorKind::kTruncatedRow, 2,
+                     "missing session row");
+      } else {
+        rep.meta.Add(TelemetryErrorKind::kEmptyStream, 0,
+                     "no CSV data for meta");
+      }
+      // The RNTI timeline must be pushed in time order; a corrupt or
+      // hand-edited meta.csv must not abort the load, so sort first.
+      std::vector<std::pair<std::int64_t, double>> rnti;
+      for (std::size_t i = 3; i < rows.size(); ++i) {
+        std::int64_t t = 0;
+        double v = 0;
+        if (rows[i].size() >= 2 && ParseI(rows[i][0], &t) &&
+            ParseD(rows[i][1], &v)) {
+          rnti.emplace_back(t, v);
+        } else {
+          rep.meta.Add(TelemetryErrorKind::kBadField, i + 1,
+                       "bad rnti timeline row");
+        }
+      }
+      std::stable_sort(rnti.begin(), rnti.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      for (const auto& [t, v] : rnti) ds.ue_rnti.Push(Time{t}, v);
     }
   }
   return ds;

@@ -4,36 +4,108 @@
 // Domino on them later — the "network operators can provide [traces] on a
 // continuous basis" workflow from §1. One CSV file per record stream,
 // bundled under a directory.
+//
+// Readers are *tolerant*: real captures contain truncated rows, non-numeric
+// garbage, and missing files, and one bad row must not abort a multi-hour
+// trace. Every defect is recorded as a typed TelemetryError diagnostic in a
+// ReadStats (good rows are kept); nothing in this header throws on
+// malformed input.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "telemetry/dataset.h"
 
 namespace domino::telemetry {
 
-// Single-stream writers/readers (stream-based for testability).
+/// What went wrong with one CSV row (or a whole stream).
+enum class TelemetryErrorKind : std::uint8_t {
+  kMissingFile,   ///< Stream file absent or unreadable.
+  kEmptyStream,   ///< No header row at all (zero-byte or non-CSV file).
+  kTruncatedRow,  ///< Fewer cells than the schema requires.
+  kBadField,      ///< A cell failed numeric parsing (or a broken quote).
+};
+
+const char* ToString(TelemetryErrorKind kind);
+
+/// One typed ingestion diagnostic. `row` is the 1-based CSV row number
+/// (the header is row 1); 0 for stream-level problems.
+struct TelemetryError {
+  TelemetryErrorKind kind;
+  std::size_t row = 0;
+  std::string message;
+};
+
+/// Per-stream ingestion outcome: row counts plus the first few diagnostics
+/// (capped so a fully corrupt multi-GB file cannot balloon memory; the
+/// counts stay exact).
+struct ReadStats {
+  static constexpr std::size_t kMaxRecorded = 64;
+
+  std::size_t rows_total = 0;    ///< Data rows seen (excluding the header).
+  std::size_t rows_kept = 0;
+  std::size_t rows_dropped = 0;  ///< Malformed rows skipped.
+  std::vector<TelemetryError> errors;  ///< First kMaxRecorded diagnostics.
+
+  void Add(TelemetryErrorKind kind, std::size_t row, std::string message);
+  [[nodiscard]] bool ok() const {
+    return rows_dropped == 0 && errors.empty();
+  }
+  /// Merges another stream's outcome into this one (for aggregate views).
+  void Merge(const ReadStats& other);
+};
+
+// Single-stream writers/readers (stream-based for testability). With
+// `stats` null the readers are still tolerant — diagnostics are simply
+// discarded.
 void WriteDciCsv(std::ostream& os, const std::vector<DciRecord>& records);
-std::vector<DciRecord> ReadDciCsv(std::istream& is);
+std::vector<DciRecord> ReadDciCsv(std::istream& is,
+                                  ReadStats* stats = nullptr);
 
 void WritePacketCsv(std::ostream& os,
                     const std::vector<PacketRecord>& records);
-std::vector<PacketRecord> ReadPacketCsv(std::istream& is);
+std::vector<PacketRecord> ReadPacketCsv(std::istream& is,
+                                        ReadStats* stats = nullptr);
 
 void WriteStatsCsv(std::ostream& os,
                    const std::vector<WebRtcStatsRecord>& records);
-std::vector<WebRtcStatsRecord> ReadStatsCsv(std::istream& is);
+std::vector<WebRtcStatsRecord> ReadStatsCsv(std::istream& is,
+                                            ReadStats* stats = nullptr);
 
 void WriteGnbLogCsv(std::ostream& os,
                     const std::vector<GnbLogRecord>& records);
-std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is);
+std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is,
+                                        ReadStats* stats = nullptr);
+
+/// Aggregate outcome of LoadDataset: one ReadStats per stream plus one for
+/// meta.csv.
+struct DatasetLoadReport {
+  std::array<ReadStats, kStreamCount> streams;
+  ReadStats meta;
+
+  [[nodiscard]] ReadStats& stream(StreamId id) {
+    return streams[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const ReadStats& stream(StreamId id) const {
+    return streams[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] bool ok() const;
+  /// Human-readable one-problem-per-line summary; empty when ok().
+  [[nodiscard]] std::string Format() const;
+};
 
 /// Writes the whole dataset under `dir` (created if needed): dci.csv,
 /// packets.csv, stats_ue.csv, stats_remote.csv, gnb_log.csv, meta.csv.
 void SaveDataset(const SessionDataset& ds, const std::string& dir);
 
-/// Loads a dataset previously written by SaveDataset.
-SessionDataset LoadDataset(const std::string& dir);
+/// Loads a dataset previously written by SaveDataset. Tolerant: malformed
+/// rows are skipped and missing files yield empty streams; pass `report`
+/// to receive the per-stream diagnostics.
+SessionDataset LoadDataset(const std::string& dir,
+                           DatasetLoadReport* report = nullptr);
 
 }  // namespace domino::telemetry

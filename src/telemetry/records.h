@@ -28,6 +28,8 @@ struct DciRecord {
   bool is_retx = false;      ///< HARQ retransmission (NDI not toggled).
   int harq_process = 0;
   int attempt = 0;           ///< 0 = initial transmission.
+
+  bool operator==(const DciRecord&) const = default;
 };
 
 /// Periodic gNB-side log sample (private cells only). One sample is emitted
@@ -40,6 +42,8 @@ struct GnbLogRecord {
   bool rlc_retx = false;        ///< An RLC retransmission occurred since the
                                 ///< previous sample.
   RrcState rrc_state = RrcState::kConnected;
+
+  bool operator==(const GnbLogRecord&) const = default;
 };
 
 /// One transported packet, as reconciled from the sender+receiver captures.
@@ -55,6 +59,8 @@ struct PacketRecord {
 
   [[nodiscard]] bool lost() const { return received == Time::max(); }
   [[nodiscard]] Duration one_way_delay() const { return received - sent; }
+
+  bool operator==(const PacketRecord&) const = default;
 };
 
 /// 50 ms application-layer statistics snapshot from the instrumented client.
@@ -74,6 +80,8 @@ struct WebRtcStatsRecord {
   double delay_slope = 0;          ///< Trendline estimator output.
   double concealed_ratio = 0;      ///< Concealed audio samples / total.
   bool frozen = false;             ///< Video currently frozen.
+
+  bool operator==(const WebRtcStatsRecord&) const = default;
 };
 
 }  // namespace domino::telemetry

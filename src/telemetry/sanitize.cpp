@@ -1,0 +1,242 @@
+#include "telemetry/sanitize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "telemetry/align.h"
+
+namespace domino::telemetry {
+
+namespace {
+
+/// Shared sanitize pass over one record stream. `time_of` extracts the
+/// ordering timestamp. The pass is in-place and single-allocation:
+/// out-of-range and stale records are dropped, late-but-in-window records
+/// are reinserted by a stable sort, exact duplicates collapse.
+///
+/// `time_ordered` says the stream's canonical on-disk order is its
+/// timestamp (DCIs, stats, gNB log): displaced records then count as
+/// reordered and stale ones (beyond the reorder window) are dropped.
+/// Packet records are canonically in *arrival* order — send-time
+/// displacement is normal there, so they are sorted without counting.
+template <typename Rec, typename TimeFn>
+void SanitizeStream(std::vector<Rec>& recs, TimeFn time_of, StreamHealth& h,
+                    const SanitizeOptions& opts, Time begin, Time end,
+                    bool have_range, bool time_ordered) {
+  h.rows_in = recs.size();
+  std::vector<Rec> kept;
+  kept.reserve(recs.size());
+  Time max_seen{0};
+  bool any = false;
+  for (const Rec& r : recs) {
+    Time t = time_of(r);
+    if (have_range &&
+        (t < begin - opts.range_slack || t > end + opts.range_slack)) {
+      ++h.out_of_range;
+      continue;
+    }
+    if (time_ordered && any && t < max_seen) {
+      if (max_seen - t > opts.reorder_window) {
+        ++h.late_dropped;
+        continue;
+      }
+      ++h.reordered;
+    }
+    if (!any || t > max_seen) max_seen = t;
+    any = true;
+    kept.push_back(r);
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [&](const Rec& a, const Rec& b) {
+                     return time_of(a) < time_of(b);
+                   });
+  // Exact duplicates now sit inside an equal-timestamp run; compare each
+  // record against the others in its run (runs are tiny in practice).
+  std::vector<Rec> unique;
+  unique.reserve(kept.size());
+  std::size_t run_start = 0;
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    if (i > 0 && time_of(kept[i]) != time_of(kept[i - 1])) {
+      run_start = unique.size();
+    }
+    bool dup = false;
+    for (std::size_t j = run_start; j < unique.size(); ++j) {
+      if (unique[j] == kept[i]) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) {
+      ++h.duplicates;
+    } else {
+      unique.push_back(kept[i]);
+    }
+  }
+  recs = std::move(unique);
+  h.rows_kept = recs.size();
+
+  // Coverage: gaps above the threshold between consecutive records and at
+  // both session edges.
+  if (!have_range) return;
+  Duration duration = end - begin;
+  if (duration <= Duration{0}) return;
+  std::int64_t uncovered = 0;
+  Time prev = begin;
+  auto account = [&](Time t) {
+    Duration gap = t - prev;
+    if (gap > h.max_gap) h.max_gap = gap;
+    if (gap > opts.gap_threshold) {
+      ++h.gap_count;
+      h.gaps.emplace_back(prev, t);
+      uncovered += gap.micros();
+    }
+    prev = std::max(prev, t);
+  };
+  for (const Rec& r : recs) account(std::clamp(time_of(r), begin, end));
+  account(end);
+  h.coverage = 1.0 - std::min(1.0, static_cast<double>(uncovered) /
+                                       static_cast<double>(duration.micros()));
+}
+
+}  // namespace
+
+bool StreamHealth::clean() const {
+  if (!expected) return true;
+  return malformed == 0 && duplicates == 0 && reordered == 0 &&
+         late_dropped == 0 && out_of_range == 0 && gap_count == 0;
+}
+
+bool SanitizeReport::clean() const {
+  for (const auto& s : streams) {
+    if (!s.clean()) return false;
+  }
+  return !skew_corrected && !skew_suspect;
+}
+
+TraceQuality SanitizeReport::quality() const {
+  TraceQuality q;
+  q.present = true;
+  for (std::size_t i = 0; i < kStreamCount; ++i) {
+    // Absent-by-design streams count as fully covered: their chains never
+    // fire, and downgrading them would penalise e.g. wired datasets.
+    if (!streams[i].expected) continue;
+    q.streams[i].coverage = streams[i].coverage;
+    q.streams[i].gaps = streams[i].gaps;
+  }
+  return q;
+}
+
+std::string SanitizeReport::Format() const {
+  std::string out = "telemetry stream health\n";
+  char buf[256];
+  for (const auto& h : streams) {
+    const char* name = StreamName(h.id);
+    if (!h.expected) {
+      std::snprintf(buf, sizeof(buf), "  %-12s (absent by design)\n", name);
+      out += buf;
+      continue;
+    }
+    std::snprintf(
+        buf, sizeof(buf),
+        "  %-12s %zu/%zu kept, coverage %5.1f%%, max gap %.2fs | "
+        "malformed %zu, dup %zu, reordered %zu, late %zu, "
+        "out-of-range %zu, gaps %zu\n",
+        name, h.rows_kept, h.rows_in + h.malformed, h.coverage * 100.0,
+        h.max_gap.seconds(), h.malformed, h.duplicates, h.reordered,
+        h.late_dropped, h.out_of_range, h.gap_count);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  remote clock skew estimate: %+.1f ms (%s)\n", skew_ms,
+                skew_corrected   ? "corrected"
+                : skew_suspect   ? "NOT corrected; delay events may be "
+                                   "biased — rerun with ingest --repair"
+                                 : "not corrected");
+  out += buf;
+  return out;
+}
+
+SanitizeReport SanitizeDataset(SessionDataset& ds,
+                               const SanitizeOptions& opts) {
+  SanitizeReport report;
+  for (std::size_t i = 0; i < kStreamCount; ++i) {
+    report.streams[i].id = static_cast<StreamId>(i);
+  }
+  // A stream with no records at all is treated as absent by design (wired
+  // datasets carry no DCIs, public cells no gNB log) rather than as a
+  // 100%-gap stream. MergeLoadReport re-flags it when the loader saw the
+  // file but could not read any of it.
+  report.stream(StreamId::kDci).expected = !ds.dci.empty();
+  report.stream(StreamId::kGnbLog).expected =
+      ds.is_private_cell || !ds.gnb_log.empty();
+  report.stream(StreamId::kPackets).expected = !ds.packets.empty();
+  report.stream(StreamId::kStatsUe).expected = !ds.stats[kUeClient].empty();
+  report.stream(StreamId::kStatsRemote).expected =
+      !ds.stats[kRemoteClient].empty();
+
+  bool have_range = ds.end > ds.begin;
+  Time begin = ds.begin;
+  Time end = ds.end;
+  auto range_for = [&](StreamId id) {
+    return have_range && report.stream(id).expected;
+  };
+
+  SanitizeStream(
+      ds.dci, [](const DciRecord& r) { return r.time; },
+      report.stream(StreamId::kDci), opts, begin, end,
+      range_for(StreamId::kDci), /*time_ordered=*/true);
+  SanitizeStream(
+      ds.gnb_log, [](const GnbLogRecord& r) { return r.time; },
+      report.stream(StreamId::kGnbLog), opts, begin, end,
+      range_for(StreamId::kGnbLog), /*time_ordered=*/true);
+  SanitizeStream(
+      ds.packets, [](const PacketRecord& r) { return r.sent; },
+      report.stream(StreamId::kPackets), opts, begin, end,
+      range_for(StreamId::kPackets), /*time_ordered=*/false);
+  SanitizeStream(
+      ds.stats[kUeClient],
+      [](const WebRtcStatsRecord& r) { return r.time; },
+      report.stream(StreamId::kStatsUe), opts, begin, end,
+      range_for(StreamId::kStatsUe), /*time_ordered=*/true);
+  SanitizeStream(
+      ds.stats[kRemoteClient],
+      [](const WebRtcStatsRecord& r) { return r.time; },
+      report.stream(StreamId::kStatsRemote), opts, begin, end,
+      range_for(StreamId::kStatsRemote), /*time_ordered=*/true);
+
+  report.skew_ms = EstimateClockOffsetMs(ds);
+  if (std::fabs(report.skew_ms) > opts.skew_deadband_ms) {
+    if (opts.correct_skew) {
+      AlignClocks(ds, report.skew_ms);
+      report.skew_corrected = true;
+      // The correction shifts remote-stamped send times; restore sort
+      // order.
+      std::stable_sort(ds.packets.begin(), ds.packets.end(),
+                       [](const PacketRecord& a, const PacketRecord& b) {
+                         return a.sent < b.sent;
+                       });
+    } else {
+      report.skew_suspect = true;
+    }
+  }
+  return report;
+}
+
+void MergeLoadReport(SanitizeReport& report, const DatasetLoadReport& load) {
+  for (std::size_t i = 0; i < kStreamCount; ++i) {
+    StreamHealth& h = report.streams[i];
+    const ReadStats& rs = load.streams[i];
+    // A stream the sanitizer classified as absent-by-design was a real file
+    // the loader failed on: reinstate it as expected so the defect shows.
+    if (!rs.ok() && !h.expected) h.expected = true;
+    h.malformed += rs.rows_dropped;
+    // A missing or headerless file carries no dropped-row count but is
+    // still a defect for a stream that should exist.
+    if (h.expected && rs.rows_dropped == 0 && !rs.ok() && h.rows_in == 0) {
+      h.malformed += 1;
+    }
+  }
+}
+
+}  // namespace domino::telemetry

@@ -1,0 +1,106 @@
+// Per-stream telemetry sanitizer — the robustness layer between raw
+// captures and the Domino analysis pipeline.
+//
+// Real 5G telemetry (NR-Scope sniffer output, gNB logs, dual-host packet
+// captures) is lossy, duplicated, out-of-order, and clock-skewed. The
+// analysis engine, by contrast, requires monotone time series
+// (TimeSeries::Push throws on regressions) and treats absent data as
+// healthy silence. SanitizeDataset closes that gap:
+//
+//   * reorders records that arrived late, within a bounded window
+//     (stable sort; records displaced further than the window are dropped
+//     as stale, mirroring how a streaming consumer must cut them off) —
+//     except packets, whose canonical order is arrival order: they are
+//     sorted by send time without being counted as defects,
+//   * drops exact duplicate records (retransmitted log lines, doubled
+//     sniffer decodes),
+//   * drops records with timestamps outside the plausible session range
+//     (field corruption, clock jumps),
+//   * detects coverage gaps per stream and computes the covered fraction
+//     of the session — the signal the detector uses to mark chains
+//     "insufficient evidence" (see DominoConfig::min_coverage),
+//   * estimates the remote-host clock skew from the packet stream
+//     (align.h) and optionally corrects it when it exceeds a dead band.
+//
+// Everything is deterministic and assert-free; a SanitizeReport says
+// exactly what was repaired, dropped, and how much of the timeline each
+// stream actually covers.
+#pragma once
+
+#include <string>
+
+#include "telemetry/dataset.h"
+#include "telemetry/io.h"
+
+namespace domino::telemetry {
+
+struct SanitizeOptions {
+  /// How far a record may arrive behind newer records and still be
+  /// reinserted in order; later stragglers are dropped as stale.
+  Duration reorder_window = Seconds(1.0);
+  /// Inter-record spacing above this counts as a coverage gap.
+  Duration gap_threshold = Seconds(1.0);
+  /// Slack beyond [begin, end] before a timestamp counts as corrupt.
+  Duration range_slack = Seconds(5.0);
+  /// Rewrite remote-stamped packet times when |skew| > skew_deadband_ms
+  /// (AlignClocks). Off by default: analysis only needs the estimate, and
+  /// rewriting clean traces would perturb byte-identical replays.
+  bool correct_skew = false;
+  double skew_deadband_ms = 5.0;
+};
+
+/// Health of one stream after sanitizing.
+struct StreamHealth {
+  StreamId id = StreamId::kDci;
+  bool expected = true;          ///< False: absent by design (e.g. gNB log
+                                 ///< on a public cell) — not a defect.
+  std::size_t rows_in = 0;       ///< Records before sanitizing.
+  std::size_t rows_kept = 0;
+  std::size_t malformed = 0;     ///< CSV-level drops (merged from loader).
+  std::size_t duplicates = 0;    ///< Exact duplicates removed.
+  std::size_t reordered = 0;     ///< Late records reinserted in order.
+  std::size_t late_dropped = 0;  ///< Beyond the reorder window.
+  std::size_t out_of_range = 0;  ///< Timestamp outside the session range.
+  double coverage = 1.0;         ///< Covered fraction of [begin, end).
+  Duration max_gap{0};           ///< Largest inter-record gap seen.
+  std::size_t gap_count = 0;     ///< Gaps above the threshold.
+  std::vector<std::pair<Time, Time>> gaps;  ///< Those gaps, clipped.
+
+  /// No drops, no repairs, full coverage (or absent by design).
+  [[nodiscard]] bool clean() const;
+};
+
+struct SanitizeReport {
+  std::array<StreamHealth, kStreamCount> streams;
+  double skew_ms = 0.0;        ///< Estimated remote clock offset.
+  bool skew_corrected = false; ///< AlignClocks was applied.
+  /// |skew_ms| exceeded the dead band but was left uncorrected (the
+  /// default): delay-based detections may be biased, so the report is not
+  /// clean even though no record was touched.
+  bool skew_suspect = false;
+
+  [[nodiscard]] StreamHealth& stream(StreamId id) {
+    return streams[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const StreamHealth& stream(StreamId id) const {
+    return streams[static_cast<std::size_t>(id)];
+  }
+  /// Every stream clean, no skew correction applied, and no suspicious
+  /// uncorrected skew.
+  [[nodiscard]] bool clean() const;
+  /// Coverage annotations to attach to a DerivedTrace (trace.quality).
+  [[nodiscard]] TraceQuality quality() const;
+  /// Human-readable health block (one line per stream).
+  [[nodiscard]] std::string Format() const;
+};
+
+/// Sanitizes all five streams of `ds` in place and reports per-stream
+/// health. Deterministic; never throws on any input.
+SanitizeReport SanitizeDataset(SessionDataset& ds,
+                               const SanitizeOptions& opts = {});
+
+/// Folds CSV-level loader diagnostics into the health report (fills
+/// StreamHealth::malformed) so one report covers the whole ingest path.
+void MergeLoadReport(SanitizeReport& report, const DatasetLoadReport& load);
+
+}  // namespace domino::telemetry

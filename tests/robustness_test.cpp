@@ -1,14 +1,24 @@
 // Robustness tests: hostile inputs to the DSL parser, the config parser,
-// and the CSV readers must raise typed errors — never crash, hang, or
-// silently mis-parse.
+// the CSV readers, and the full analysis pipeline must never crash, hang,
+// or silently mis-parse. CSV ingestion is *tolerant*: malformed rows become
+// typed diagnostics while good rows are kept. The fault-injection matrix at
+// the bottom drives corrupted datasets end to end (inject -> sanitize ->
+// derive -> detect) and asserts determinism plus naive/incremental parity.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
 #include "common/rng.h"
 #include "domino/config_parser.h"
+#include "domino/detector.h"
 #include "domino/expr.h"
+#include "domino/report.h"
+#include "domino/streaming.h"
+#include "sim/call_session.h"
+#include "sim/cell_config.h"
+#include "telemetry/fault_inject.h"
 #include "telemetry/io.h"
+#include "telemetry/sanitize.h"
 
 namespace domino {
 namespace {
@@ -81,29 +91,316 @@ TEST(ConfigFuzzTest, RandomLinesOnlyThrowDslError) {
   }
 }
 
-// --- CSV readers -----------------------------------------------------------------
+// --- CSV readers (tolerant) ------------------------------------------------------
 
-TEST(CsvRobustnessTest, TruncatedRowThrows) {
-  std::istringstream is("time_us,rnti,dir\n123,17\n");
-  EXPECT_THROW(telemetry::ReadDciCsv(is), std::out_of_range);
-}
-
-TEST(CsvRobustnessTest, NonNumericFieldThrows) {
+TEST(CsvRobustnessTest, TruncatedRowDroppedGoodRowsKept) {
   std::istringstream is(
       "time_us,rnti,dir,prbs,mcs,tbs_bytes,is_retx,harq_process,attempt\n"
-      "abc,1,UL,1,1,1,0,0,0\n");
-  EXPECT_THROW(telemetry::ReadDciCsv(is), std::invalid_argument);
+      "1000,17,UL,5,10,100,0,0,0\n"
+      "2000,17\n"
+      "3000,17,UL,5,10,100,0,0,0\n");
+  telemetry::ReadStats stats;
+  auto rows = telemetry::ReadDciCsv(is, &stats);
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(stats.rows_total, 3u);
+  EXPECT_EQ(stats.rows_kept, 2u);
+  EXPECT_EQ(stats.rows_dropped, 1u);
+  ASSERT_EQ(stats.errors.size(), 1u);
+  EXPECT_EQ(stats.errors[0].kind,
+            telemetry::TelemetryErrorKind::kTruncatedRow);
+  EXPECT_EQ(stats.errors[0].row, 3u);  // 1-based; the header is row 1.
+  EXPECT_FALSE(stats.ok());
 }
 
-TEST(CsvRobustnessTest, EmptyStreamThrows) {
+TEST(CsvRobustnessTest, NonNumericFieldDroppedWithDiagnostic) {
+  std::istringstream is(
+      "time_us,rnti,dir,prbs,mcs,tbs_bytes,is_retx,harq_process,attempt\n"
+      "abc,1,UL,1,1,1,0,0,0\n"
+      "2000,17,DL,5,10,100,0,0,0\n");
+  telemetry::ReadStats stats;
+  auto rows = telemetry::ReadDciCsv(is, &stats);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].rnti, 17u);
+  EXPECT_EQ(stats.rows_dropped, 1u);
+  ASSERT_EQ(stats.errors.size(), 1u);
+  EXPECT_EQ(stats.errors[0].kind, telemetry::TelemetryErrorKind::kBadField);
+}
+
+TEST(CsvRobustnessTest, EmptyStreamReportedNotThrown) {
   std::istringstream is("");
-  EXPECT_THROW(telemetry::ReadDciCsv(is), std::runtime_error);
+  telemetry::ReadStats stats;
+  EXPECT_TRUE(telemetry::ReadDciCsv(is, &stats).empty());
+  ASSERT_EQ(stats.errors.size(), 1u);
+  EXPECT_EQ(stats.errors[0].kind,
+            telemetry::TelemetryErrorKind::kEmptyStream);
+}
+
+TEST(CsvRobustnessTest, NullStatsStillTolerant) {
+  std::istringstream is("h\ngarbage\n\"unterminated,1\n");
+  EXPECT_NO_THROW({ EXPECT_TRUE(telemetry::ReadDciCsv(is).empty()); });
 }
 
 TEST(CsvRobustnessTest, HeaderOnlyIsEmptyDataset) {
   std::istringstream is(
       "time_us,rnti,dir,prbs,mcs,tbs_bytes,is_retx,harq_process,attempt\n");
-  EXPECT_TRUE(telemetry::ReadDciCsv(is).empty());
+  telemetry::ReadStats stats;
+  EXPECT_TRUE(telemetry::ReadDciCsv(is, &stats).empty());
+  EXPECT_TRUE(stats.ok());
+}
+
+TEST(CsvRobustnessTest, DiagnosticsCappedButCountsExact) {
+  std::ostringstream src;
+  src << "header\n";
+  for (int i = 0; i < 200; ++i) src << "bad,row\n";
+  std::istringstream is(src.str());
+  telemetry::ReadStats stats;
+  EXPECT_TRUE(telemetry::ReadPacketCsv(is, &stats).empty());
+  EXPECT_EQ(stats.rows_dropped, 200u);
+  EXPECT_EQ(stats.errors.size(), telemetry::ReadStats::kMaxRecorded);
+}
+
+TEST(CsvRobustnessTest, RandomByteSoupNeverThrows) {
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string src = "h1,h2,h3\n";
+    int n = static_cast<int>(rng.UniformInt(0, 400));
+    for (int i = 0; i < n; ++i) {
+      src += static_cast<char>(rng.UniformInt(1, 255));
+    }
+    std::istringstream d(src), p(src), s(src), g(src);
+    EXPECT_NO_THROW(telemetry::ReadDciCsv(d));
+    EXPECT_NO_THROW(telemetry::ReadPacketCsv(p));
+    EXPECT_NO_THROW(telemetry::ReadStatsCsv(s));
+    EXPECT_NO_THROW(telemetry::ReadGnbLogCsv(g));
+  }
+}
+
+// --- Fault-injection matrix ------------------------------------------------------
+//
+// Every fault class (and a kitchen-sink mix), across seeds: the corrupted
+// dataset must sanitize without throwing, derive into a trace, and analyse
+// identically on the naive and incremental engines — and the whole chain
+// must be deterministic in (spec, seed).
+
+telemetry::SessionDataset FaultSession(std::uint64_t seed) {
+  sim::SessionConfig cfg;
+  cfg.profile = sim::Amarisoft();  // private cell: all five streams live
+  cfg.duration = Seconds(20);
+  cfg.seed = seed;
+  sim::CallSession session(cfg);
+  return session.Run();
+}
+
+struct FaultCase {
+  const char* name;
+  telemetry::FaultSpec spec;
+  /// Whether the sanitizer can even see this fault class. Uniform drops on
+  /// a dense stream leave no duplicate/reorder marks and no gap above the
+  /// threshold — they are invisible without ground-truth record counts.
+  bool detectable = true;
+};
+
+std::vector<FaultCase> FaultMatrix() {
+  std::vector<FaultCase> cases;
+  {
+    telemetry::FaultSpec s;
+    s.drop = 0.05;
+    cases.push_back({"drop", s, /*detectable=*/false});
+  }
+  {
+    telemetry::FaultSpec s;
+    s.duplicate = 0.05;
+    cases.push_back({"duplicate", s});
+  }
+  {
+    telemetry::FaultSpec s;
+    s.reorder = 0.05;
+    cases.push_back({"reorder", s});
+  }
+  {
+    telemetry::FaultSpec s;
+    s.corrupt_time = 0.01;
+    cases.push_back({"corrupt_time", s});
+  }
+  {
+    telemetry::FaultSpec s;
+    s.truncate_tail = 0.2;
+    cases.push_back({"truncate", s});
+  }
+  {
+    telemetry::FaultSpec s;
+    s.gap = Seconds(4);
+    cases.push_back({"gap", s});
+  }
+  {
+    telemetry::FaultSpec s;
+    s.skew_ms = 40;
+    s.drift_ppm = 50;
+    cases.push_back({"skew_drift", s});
+  }
+  {
+    telemetry::FaultSpec s;  // the acceptance mix: 5% of everything
+    s.drop = 0.05;
+    s.duplicate = 0.05;
+    s.reorder = 0.05;
+    s.corrupt_time = 0.01;
+    s.gap = Seconds(3);
+    s.skew_ms = 20;
+    cases.push_back({"kitchen_sink", s});
+  }
+  return cases;
+}
+
+/// Injects, sanitizes, and analyses one corrupted copy of `clean`;
+/// returns the flat chain list.
+std::vector<analysis::ChainInstance> RunFaulted(
+    const telemetry::SessionDataset& clean, const telemetry::FaultSpec& spec,
+    std::uint64_t seed, bool incremental,
+    telemetry::SanitizeReport* health_out = nullptr) {
+  telemetry::SessionDataset ds = clean;
+  telemetry::InjectFaults(ds, spec, seed);
+  telemetry::SanitizeReport health = telemetry::SanitizeDataset(ds);
+  if (health_out != nullptr) *health_out = health;
+  telemetry::DerivedTrace trace = telemetry::BuildDerivedTrace(ds);
+  trace.quality = health.quality();
+  analysis::DominoConfig cfg;
+  cfg.incremental = incremental;
+  analysis::Detector det(analysis::CausalGraph::Default(cfg.thresholds),
+                         cfg);
+  return det.Analyze(trace).AllChains();
+}
+
+class FaultMatrixTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FaultMatrixTest, SanitizedAnalysisIsDeterministicAndEngineAgnostic) {
+  const FaultCase fc = FaultMatrix()[GetParam()];
+  telemetry::SessionDataset clean = FaultSession(5);
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    telemetry::SanitizeReport health;
+    auto naive = RunFaulted(clean, fc.spec, seed, /*incremental=*/false,
+                            &health);
+    auto incremental = RunFaulted(clean, fc.spec, seed,
+                                  /*incremental=*/true);
+    auto replay = RunFaulted(clean, fc.spec, seed, /*incremental=*/false);
+
+    // Injection left a mark wherever the fault class is observable.
+    if (fc.detectable) EXPECT_FALSE(health.clean()) << fc.name;
+
+    // Naive == incremental, field by field, confidence included.
+    ASSERT_EQ(naive.size(), incremental.size()) << fc.name;
+    ASSERT_EQ(naive.size(), replay.size()) << fc.name;
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_EQ(naive[i].window_begin.micros(),
+                incremental[i].window_begin.micros());
+      EXPECT_EQ(naive[i].sender_client, incremental[i].sender_client);
+      EXPECT_EQ(naive[i].chain_index, incremental[i].chain_index);
+      EXPECT_DOUBLE_EQ(naive[i].confidence, incremental[i].confidence);
+      // Determinism of the whole inject->sanitize->analyse chain.
+      EXPECT_EQ(naive[i].window_begin.micros(),
+                replay[i].window_begin.micros());
+      EXPECT_EQ(naive[i].chain_index, replay[i].chain_index);
+      EXPECT_DOUBLE_EQ(naive[i].confidence, replay[i].confidence);
+    }
+  }
+}
+
+std::string FaultCaseName(const ::testing::TestParamInfo<std::size_t>& info) {
+  return FaultMatrix()[info.param].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFaults, FaultMatrixTest,
+                         ::testing::Range<std::size_t>(0, 8),
+                         FaultCaseName);
+
+TEST(FaultPipelineTest, GapDowngradesChainsToInsufficientEvidence) {
+  telemetry::SessionDataset clean = FaultSession(5);
+  telemetry::FaultSpec spec;
+  spec.gap = Seconds(6);
+  telemetry::SessionDataset ds = clean;
+  telemetry::InjectFaults(ds, spec, 3);
+  telemetry::SanitizeReport health = telemetry::SanitizeDataset(ds);
+  telemetry::DerivedTrace trace = telemetry::BuildDerivedTrace(ds);
+  trace.quality = health.quality();
+
+  analysis::DominoConfig cfg;
+  analysis::Detector det(analysis::CausalGraph::Default(cfg.thresholds),
+                         cfg);
+  analysis::AnalysisResult result = det.Analyze(trace);
+
+  std::size_t low = 0;
+  for (const auto& ci : result.AllChains()) {
+    EXPECT_GE(ci.confidence, 0.0);
+    EXPECT_LE(ci.confidence, 1.0);
+    if (ci.confidence < cfg.min_coverage) ++low;
+  }
+  ASSERT_GT(low, 0u) << "a 6 s gap must degrade some windows";
+
+  std::string report = analysis::BuildSummaryReport(result, det, &health);
+  EXPECT_NE(report.find("insufficient evidence"), std::string::npos);
+  EXPECT_NE(report.find("Data quality"), std::string::npos);
+
+  std::string json = analysis::BuildReportJson(result, det, &health);
+  EXPECT_NE(json.find("\"sufficient\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"insufficient_windows\""), std::string::npos);
+}
+
+TEST(FaultPipelineTest, StreamingMatchesBatchOnGappedInput) {
+  telemetry::SessionDataset ds = FaultSession(6);
+  telemetry::FaultSpec spec;
+  spec.gap = Seconds(6);
+  spec.drop = 0.05;
+  telemetry::InjectFaults(ds, spec, 4);
+  telemetry::SanitizeReport health = telemetry::SanitizeDataset(ds);
+  telemetry::DerivedTrace trace = telemetry::BuildDerivedTrace(ds);
+  trace.quality = health.quality();
+
+  analysis::DominoConfig cfg;
+  analysis::Detector det(analysis::CausalGraph::Default(cfg.thresholds),
+                         cfg);
+  analysis::AnalysisResult batch = det.Analyze(trace);
+  auto batch_chains = batch.AllChains();
+  long batch_insufficient = 0;
+  for (const auto& ci : batch_chains) {
+    if (ci.confidence < cfg.min_coverage) ++batch_insufficient;
+  }
+
+  analysis::StreamingDetector sd(analysis::CausalGraph::Default(
+                                     cfg.thresholds),
+                                 cfg);
+  // Drip-feed in 2 s steps, then flush.
+  for (Time now = trace.begin; now <= trace.end; now += Seconds(2.0)) {
+    sd.Advance(trace, now);
+  }
+  sd.Advance(trace, trace.end);
+
+  EXPECT_EQ(sd.chains_detected(),
+            static_cast<long>(batch_chains.size()));
+  EXPECT_EQ(sd.insufficient_chains(), batch_insufficient);
+}
+
+TEST(FaultPipelineTest, CleanTraceReportsAreByteIdenticalWithHealth) {
+  telemetry::SessionDataset ds = FaultSession(7);
+  telemetry::SanitizeReport health = telemetry::SanitizeDataset(ds);
+  EXPECT_TRUE(health.clean());
+  telemetry::DerivedTrace trace = telemetry::BuildDerivedTrace(ds);
+
+  analysis::DominoConfig cfg;
+  analysis::Detector det(analysis::CausalGraph::Default(cfg.thresholds),
+                         cfg);
+  // Legacy path: no quality annotations, two-argument report.
+  analysis::AnalysisResult bare = det.Analyze(trace);
+  std::string legacy = analysis::BuildSummaryReport(bare, det);
+
+  // Sanitized path: quality attached, health-aware report.
+  trace.quality = health.quality();
+  analysis::AnalysisResult annotated = det.Analyze(trace);
+  std::string with_health =
+      analysis::BuildSummaryReport(annotated, det, &health);
+
+  EXPECT_EQ(legacy, with_health);
+  for (const auto& ci : annotated.AllChains()) {
+    EXPECT_DOUBLE_EQ(ci.confidence, 1.0);
+  }
 }
 
 }  // namespace

@@ -5,12 +5,28 @@
 //       one of the modelled cells (tmobile-fdd15, tmobile-tdd100, amarisoft,
 //       mosolabs, wired).
 //
+//   domino ingest <dataset_dir> [--repair] [--out DIR]
+//                 [--inject k=v,... --seed N]
+//                 [--reorder-window SEC] [--gap-threshold SEC]
+//       Tolerantly load a dataset, sanitize every stream (dedupe, bounded
+//       reorder, range check, gap/coverage detection, clock-skew estimate)
+//       and print the per-stream health report. --repair also corrects the
+//       estimated skew and writes the cleaned dataset back (to --out, or in
+//       place). --inject first corrupts the dataset with the deterministic
+//       fault injector (keys: drop dup reorder reorder-span-ms corrupt
+//       truncate gap-s gap-at skew-ms drift-ppm), for building robustness
+//       test fixtures. Exit code 1 when any stream is degraded.
+//
 //   domino analyze <dataset_dir> [--config FILE] [--window SEC]
 //                  [--step SEC] [--chains-csv FILE] [--features-csv FILE]
-//                  [--offset-correct]
+//                  [--offset-correct] [--min-coverage X]
+//                  [--json-report FILE] [--no-sanitize]
 //       Run the causal-chain analysis over a saved dataset and print the
 //       summary report. --config extends the default Fig. 9 graph with
-//       user-defined events/chains (see docs in config_parser.h).
+//       user-defined events/chains (see docs in config_parser.h). Datasets
+//       are sanitized on load by default; chains whose required streams
+//       cover less than --min-coverage of a window are reported as
+//       "insufficient evidence" instead of asserted as root causes.
 //
 //   domino codegen <config_file> [-o FILE]
 //       Generate the standalone Python detector module for a configuration
@@ -38,7 +54,9 @@
 #include "telemetry/align.h"
 #include "sim/call_session.h"
 #include "sim/cell_config.h"
+#include "telemetry/fault_inject.h"
 #include "telemetry/io.h"
+#include "telemetry/sanitize.h"
 
 namespace {
 
@@ -48,11 +66,17 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  domino simulate <cell> <seconds> <out_dir> [--seed N]\n"
+               "  domino ingest <dataset_dir> [--repair] [--out DIR]\n"
+               "                [--inject k=v,... --seed N]"
+               " [--reorder-window SEC]\n"
+               "                [--gap-threshold SEC]\n"
                "  domino analyze <dataset_dir> [--config FILE]"
                " [--window SEC] [--step SEC]\n"
                "                 [--chains-csv FILE] [--features-csv FILE]"
                " [--offset-correct]\n"
-               "                 [--strict-lint | --no-lint]\n"
+               "                 [--strict-lint | --no-lint]"
+               " [--min-coverage X]\n"
+               "                 [--json-report FILE] [--no-sanitize]\n"
                "  domino codegen <config_file> [-o FILE]\n"
                "  domino lint <config_file> [--strict] [--format json]"
                " [--no-default-graph]\n"
@@ -172,15 +196,126 @@ int CmdLint(std::vector<std::string> args) {
   return static_cast<int>(res.sink.max_severity());
 }
 
+/// Parses the --inject "key=value,key=value" fault spec; nullopt (with a
+/// message on stderr) on an unknown key or malformed pair.
+std::optional<telemetry::FaultSpec> ParseFaultSpec(const std::string& spec) {
+  telemetry::FaultSpec fs;
+  std::stringstream ss(spec);
+  std::string kv;
+  while (std::getline(ss, kv, ',')) {
+    if (kv.empty()) continue;
+    auto eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad fault spec '%s' (want key=value)\n",
+                   kv.c_str());
+      return std::nullopt;
+    }
+    std::string key = kv.substr(0, eq);
+    double val = std::stod(kv.substr(eq + 1));
+    if (key == "drop") {
+      fs.drop = val;
+    } else if (key == "dup" || key == "duplicate") {
+      fs.duplicate = val;
+    } else if (key == "reorder") {
+      fs.reorder = val;
+    } else if (key == "reorder-span-ms") {
+      fs.reorder_span = Seconds(val / 1000.0);
+    } else if (key == "corrupt") {
+      fs.corrupt_time = val;
+    } else if (key == "truncate") {
+      fs.truncate_tail = val;
+    } else if (key == "gap-s") {
+      fs.gap = Seconds(val);
+    } else if (key == "gap-at") {
+      fs.gap_at = val;
+    } else if (key == "skew-ms") {
+      fs.skew_ms = val;
+    } else if (key == "drift-ppm") {
+      fs.drift_ppm = val;
+    } else {
+      std::fprintf(stderr,
+                   "unknown fault key '%s' (known: drop dup reorder "
+                   "reorder-span-ms corrupt truncate gap-s gap-at skew-ms "
+                   "drift-ppm)\n",
+                   key.c_str());
+      return std::nullopt;
+    }
+  }
+  return fs;
+}
+
+int CmdIngest(std::vector<std::string> args) {
+  auto out_dir = TakeFlag(args, "--out");
+  auto inject = TakeFlag(args, "--inject");
+  auto seed_s = TakeFlag(args, "--seed");
+  auto reorder_window = TakeFlag(args, "--reorder-window");
+  auto gap_threshold = TakeFlag(args, "--gap-threshold");
+  bool repair = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--repair") {
+      repair = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (args.size() != 1) return Usage();
+
+  telemetry::DatasetLoadReport load;
+  telemetry::SessionDataset ds = telemetry::LoadDataset(args[0], &load);
+  std::printf("loaded dataset '%s' (%s, %.0f s, %zu DCIs, %zu packets)\n",
+              args[0].c_str(), ds.cell_name.c_str(),
+              ds.duration().seconds(), ds.dci.size(), ds.packets.size());
+  if (!load.ok()) std::fputs(load.Format().c_str(), stdout);
+
+  if (inject) {
+    auto fs = ParseFaultSpec(*inject);
+    if (!fs.has_value()) return 2;
+    std::uint64_t seed = seed_s ? std::stoull(*seed_s) : 1;
+    telemetry::FaultSummary injected = telemetry::InjectFaults(ds, *fs, seed);
+    std::printf("injected %zu faults (seed %llu)\n", injected.total(),
+                static_cast<unsigned long long>(seed));
+    // Without --repair, --out captures the *corrupted* dataset (before the
+    // sanitize pass below) — a reproducible hostile fixture for tests.
+    if (!repair && out_dir) {
+      telemetry::SaveDataset(ds, *out_dir);
+      std::printf("corrupted dataset written to %s/\n", out_dir->c_str());
+    }
+  }
+
+  telemetry::SanitizeOptions opts;
+  if (reorder_window) {
+    opts.reorder_window = Seconds(std::stod(*reorder_window));
+  }
+  if (gap_threshold) opts.gap_threshold = Seconds(std::stod(*gap_threshold));
+  opts.correct_skew = repair;
+  telemetry::SanitizeReport health = telemetry::SanitizeDataset(ds, opts);
+  telemetry::MergeLoadReport(health, load);
+  std::fputs(health.Format().c_str(), stdout);
+
+  if (repair) {
+    const std::string& dest = out_dir ? *out_dir : args[0];
+    telemetry::SaveDataset(ds, dest);
+    std::printf("repaired dataset written to %s/\n", dest.c_str());
+  } else if (out_dir && !inject) {
+    telemetry::SaveDataset(ds, *out_dir);
+    std::printf("sanitized dataset written to %s/\n", out_dir->c_str());
+  }
+  return health.clean() ? 0 : 1;
+}
+
 int CmdAnalyze(std::vector<std::string> args) {
   auto config_path = TakeFlag(args, "--config");
   auto window_s = TakeFlag(args, "--window");
   auto step_s = TakeFlag(args, "--step");
   auto chains_csv = TakeFlag(args, "--chains-csv");
   auto features_csv = TakeFlag(args, "--features-csv");
+  auto min_coverage = TakeFlag(args, "--min-coverage");
+  auto json_report = TakeFlag(args, "--json-report");
   bool offset_correct = false;
   bool strict_lint = false;
   bool no_lint = false;
+  bool no_sanitize = false;
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--offset-correct") {
       offset_correct = true;
@@ -191,13 +326,22 @@ int CmdAnalyze(std::vector<std::string> args) {
     } else if (*it == "--no-lint") {
       no_lint = true;
       it = args.erase(it);
+    } else if (*it == "--no-sanitize") {
+      no_sanitize = true;
+      it = args.erase(it);
     } else {
       ++it;
     }
   }
   if (args.size() != 1) return Usage();
 
-  telemetry::SessionDataset ds = telemetry::LoadDataset(args[0]);
+  telemetry::DatasetLoadReport load;
+  telemetry::SessionDataset ds = telemetry::LoadDataset(args[0], &load);
+  std::optional<telemetry::SanitizeReport> health;
+  if (!no_sanitize) {
+    health = telemetry::SanitizeDataset(ds);
+    telemetry::MergeLoadReport(*health, load);
+  }
   if (offset_correct) {
     double offset_ms = telemetry::EstimateClockOffsetMs(ds);
     telemetry::AlignClocks(ds, offset_ms);
@@ -207,10 +351,16 @@ int CmdAnalyze(std::vector<std::string> args) {
   std::printf("loaded dataset '%s' (%s, %.0f s, %zu DCIs, %zu packets)\n",
               args[0].c_str(), ds.cell_name.c_str(),
               ds.duration().seconds(), ds.dci.size(), ds.packets.size());
+  // Stream-health details only surface when something was actually wrong,
+  // keeping clean-trace output identical to historical runs.
+  if (health.has_value() && !health->clean()) {
+    std::fputs(health->Format().c_str(), stdout);
+  }
 
   analysis::DominoConfig cfg;
   if (window_s) cfg.window = Seconds(std::stod(*window_s));
   if (step_s) cfg.step = Seconds(std::stod(*step_s));
+  if (min_coverage) cfg.min_coverage = std::stod(*min_coverage);
   cfg.extract_features = true;
   using LintMode = analysis::DominoConfig::LintMode;
   cfg.lint = no_lint       ? LintMode::kOff
@@ -245,11 +395,21 @@ int CmdAnalyze(std::vector<std::string> args) {
   }
 
   analysis::Detector detector(std::move(graph), cfg);
-  analysis::AnalysisResult result =
-      detector.Analyze(telemetry::BuildDerivedTrace(ds));
+  telemetry::DerivedTrace trace = telemetry::BuildDerivedTrace(ds);
+  if (health.has_value()) trace.quality = health->quality();
+  analysis::AnalysisResult result = detector.Analyze(trace);
 
-  std::printf("\n%s", analysis::BuildSummaryReport(result, detector).c_str());
+  const telemetry::SanitizeReport* health_ptr =
+      health.has_value() ? &*health : nullptr;
+  std::printf("\n%s",
+              analysis::BuildSummaryReport(result, detector, health_ptr)
+                  .c_str());
 
+  if (json_report) {
+    std::ofstream f(*json_report);
+    f << analysis::BuildReportJson(result, detector, health_ptr);
+    std::printf("\nJSON report written to %s\n", json_report->c_str());
+  }
   if (chains_csv) {
     std::ofstream f(*chains_csv);
     analysis::WriteChainsCsv(f, result, detector);
@@ -294,6 +454,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   try {
     if (cmd == "simulate") return CmdSimulate(std::move(args));
+    if (cmd == "ingest") return CmdIngest(std::move(args));
     if (cmd == "analyze") return CmdAnalyze(std::move(args));
     if (cmd == "codegen") return CmdCodegen(std::move(args));
     if (cmd == "lint" || cmd == "--lint") return CmdLint(std::move(args));

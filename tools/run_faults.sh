@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# Fault-injection gate, run by CI (.github/workflows/ci.yml, under ASan)
+# and locally before sending an ingest/sanitizer change:
+#
+#   tools/run_faults.sh [build_dir]
+#
+# 1. Unit layer: the sanitizer suite and the fault-injection matrix
+#    (tests/sanitize_test, tests/robustness_test) — every fault class must
+#    sanitize without crashing, deterministically, with naive and
+#    incremental engines in exact agreement.
+# 2. End-to-end layer: simulate a session, corrupt it with the acceptance
+#    mix (5% drop/dup/reorder, 1% time corruption, a 4 s gap, +25 ms
+#    skew), then `domino ingest` must flag it (exit 1), `ingest --repair`
+#    must produce a dataset `domino analyze` completes on, and the clean
+#    original must ingest silently (exit 0).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+domino="$build_dir/tools/domino"
+
+for bin in "$domino" "$build_dir/tests/sanitize_test" \
+           "$build_dir/tests/robustness_test"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found or not executable." >&2
+    echo "Build it first: cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+done
+
+echo "== sanitizer unit suite =="
+"$build_dir/tests/sanitize_test"
+
+echo "== fault-injection matrix =="
+"$build_dir/tests/robustness_test"
+
+echo "== end-to-end: simulate -> inject -> ingest -> analyze =="
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+"$domino" simulate amarisoft 20 "$work/clean" --seed 7 > /dev/null
+
+echo "-- clean dataset must ingest silently"
+"$domino" ingest "$work/clean" > "$work/clean_health.txt"
+grep -q "remote clock skew estimate" "$work/clean_health.txt"
+
+echo "-- corrupted dataset must be flagged"
+if "$domino" ingest "$work/clean" \
+     --inject drop=0.05,dup=0.05,reorder=0.05,corrupt=0.01,gap-s=4,skew-ms=25 \
+     --seed 11 --out "$work/faulted" > "$work/faulted_health.txt"; then
+  echo "  FAIL: ingest exited 0 on a 5%-faulted dataset" >&2
+  exit 1
+fi
+
+echo "-- repair must yield an analyzable dataset"
+"$domino" ingest "$work/faulted" --repair --out "$work/repaired" \
+  > /dev/null || true
+"$domino" analyze "$work/repaired" --json-report "$work/report.json" \
+  > "$work/analyze.txt"
+grep -q "Data quality" "$work/analyze.txt"
+grep -q '"insufficient_windows"' "$work/report.json"
+
+echo "fault gate passed"
