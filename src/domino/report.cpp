@@ -146,8 +146,6 @@ std::string BuildSummaryReport(const AnalysisResult& result,
   return os.str();
 }
 
-namespace {
-
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -178,7 +176,24 @@ std::string JsonNum(double v) {
   return buf;
 }
 
-}  // namespace
+std::string FormatChainInstanceJson(const ChainInstance& ci,
+                                    const Detector& detector) {
+  const CausalGraph& graph = detector.graph();
+  const ChainPath& path =
+      detector.chains()[static_cast<std::size_t>(ci.chain_index)];
+  std::ostringstream os;
+  os << "{\"window_begin_s\": " << JsonNum(ci.window_begin.seconds())
+     << ", \"perspective\": \""
+     << (ci.sender_client == 0 ? "ue_uplink" : "remote_downlink") << "\""
+     << ", \"cause\": \"" << JsonEscape(graph.node(path.front()).name)
+     << "\", \"consequence\": \"" << JsonEscape(graph.node(path.back()).name)
+     << "\", \"path\": \"" << JsonEscape(FormatChain(graph, path))
+     << "\", \"confidence\": " << JsonNum(ci.confidence)
+     << ", \"sufficient\": "
+     << (ci.confidence >= detector.config().min_coverage ? "true" : "false")
+     << "}";
+  return os.str();
+}
 
 std::string BuildReportJson(const AnalysisResult& result,
                             const Detector& detector,
@@ -227,17 +242,8 @@ std::string BuildReportJson(const AnalysisResult& result,
   os << "  \"chains\": [";
   bool first_chain = true;
   for (const auto& ci : result.AllChains()) {
-    const ChainPath& path =
-        detector.chains()[static_cast<std::size_t>(ci.chain_index)];
-    os << (first_chain ? "" : ",") << "\n    {\"window_begin_s\": "
-       << JsonNum(ci.window_begin.seconds()) << ", \"perspective\": \""
-       << (ci.sender_client == 0 ? "ue_uplink" : "remote_downlink") << "\""
-       << ", \"cause\": \"" << JsonEscape(graph.node(path.front()).name)
-       << "\", \"consequence\": \""
-       << JsonEscape(graph.node(path.back()).name) << "\", \"path\": \""
-       << JsonEscape(FormatChain(graph, path)) << "\", \"confidence\": "
-       << JsonNum(ci.confidence) << ", \"sufficient\": "
-       << (ci.confidence >= cfg.min_coverage ? "true" : "false") << "}";
+    os << (first_chain ? "" : ",") << "\n    "
+       << FormatChainInstanceJson(ci, detector);
     first_chain = false;
   }
   os << (first_chain ? "" : "\n  ") << "],\n";

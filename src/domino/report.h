@@ -44,4 +44,16 @@ std::string BuildReportJson(const AnalysisResult& result,
                             const Detector& detector,
                             const telemetry::SanitizeReport* health);
 
+/// One chain instance as a single-line JSON object (no trailing newline) —
+/// the unit BuildReportJson's "chains" array is built from, and the line
+/// format `domino live` appends to chains.jsonl. Shared so batch and live
+/// output stay field-for-field identical.
+std::string FormatChainInstanceJson(const ChainInstance& ci,
+                                    const Detector& detector);
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string JsonEscape(const std::string& s);
+/// Shortest-ish numeric formatting ("%.6g") used across Domino's JSON.
+std::string JsonNum(double v);
+
 }  // namespace domino::analysis

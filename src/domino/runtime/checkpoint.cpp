@@ -1,0 +1,244 @@
+#include "domino/runtime/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace domino::runtime {
+
+namespace {
+
+constexpr const char* kHeader = "domino-live-checkpoint v1";
+
+std::uint64_t Fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string Hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Tokenising line parser with typed accessors; any failure poisons the
+/// parse (checked once at the end).
+class Reader {
+ public:
+  explicit Reader(std::istringstream& is) : is_(is) {}
+  std::int64_t I() {
+    std::int64_t v = 0;
+    if (!(is_ >> v)) ok_ = false;
+    return v;
+  }
+  std::uint64_t U() {
+    std::uint64_t v = 0;
+    if (!(is_ >> v)) ok_ = false;
+    return v;
+  }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  std::istringstream& is_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::string FormatCheckpoint(const LiveCheckpoint& cp) {
+  std::ostringstream os;
+  os << kHeader << "\n";
+  // The fingerprint may contain spaces: it is the rest of the line.
+  os << "fingerprint " << cp.fingerprint << "\n";
+  os << "cursor " << cp.next_begin.micros() << " " << cp.ingest_limit.micros()
+     << " " << cp.retention_cut.micros() << " " << cp.anchor.micros() << " "
+     << cp.poll_count << "\n";
+  os << "counters " << cp.windows << " " << cp.chains << " "
+     << cp.insufficient << " " << cp.resets << " " << cp.checkpoints_written
+     << " " << cp.chainlog_bytes << "\n";
+  os << "retention " << cp.retention_cuts << " " << cp.evicted_records << " "
+     << cp.peak_retained_records << " " << cp.peak_retained_span.micros()
+     << "\n";
+  os << "ranking " << cp.windows_seen << " " << cp.windows_with_chain << " "
+     << cp.insufficient_windows << "\n";
+  for (const auto& [idx, v] : cp.cause) {
+    os << "cause " << idx << " " << v.first << " " << v.second << "\n";
+  }
+  for (const auto& [idx, v] : cp.chain_tally) {
+    os << "chain " << idx << " " << v.first << " " << v.second << "\n";
+  }
+  for (const auto& s : cp.shed) {
+    os << "shed " << s.begin.micros() << " " << s.end.micros() << " "
+       << s.windows << "\n";
+  }
+  for (std::size_t i = 0; i < cp.stalls.size(); ++i) {
+    const StallState& s = cp.stalls[i];
+    os << "stall " << i << " " << s.stall_events << " " << s.recoveries
+       << " " << (s.stalled ? 1 : 0) << "\n";
+  }
+  for (std::size_t i = 0; i < cp.tails.size(); ++i) {
+    const telemetry::TailCursor& t = cp.tails[i];
+    os << "tail " << i << " " << t.offset << " " << t.abs_row << " "
+       << (t.header_seen ? 1 : 0) << " " << t.watermark.micros() << " "
+       << t.rows_total << " " << t.rows_kept << " " << t.rows_dropped
+       << "\n";
+  }
+  std::string body = os.str();
+  return body + "checksum " + Hex64(Fnv1a(body)) + "\n";
+}
+
+bool ParseCheckpoint(const std::string& text,
+                     const std::string& expected_fingerprint,
+                     LiveCheckpoint* cp, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  // Split off and verify the trailing checksum line first: a torn write
+  // must be rejected before any field is trusted.
+  std::size_t mark = text.rfind("checksum ");
+  if (mark == std::string::npos || (mark != 0 && text[mark - 1] != '\n')) {
+    return fail("checkpoint: missing checksum line");
+  }
+  std::string body = text.substr(0, mark);
+  std::istringstream tail(text.substr(mark));
+  std::string word, digest;
+  tail >> word >> digest;
+  if (digest != Hex64(Fnv1a(body))) {
+    return fail("checkpoint: checksum mismatch (torn or corrupted write)");
+  }
+  // The checksum line must also be the *last* line: bytes after it are
+  // outside the digest and would otherwise go unnoticed.
+  if (text.substr(mark) != "checksum " + digest + "\n") {
+    return fail("checkpoint: trailing bytes after checksum line");
+  }
+
+  LiveCheckpoint out;
+  std::istringstream is(body);
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    return fail("checkpoint: bad or unsupported version header");
+  }
+  bool ok = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    Reader r(ls);
+    if (key == "fingerprint") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      out.fingerprint = rest;
+    } else if (key == "cursor") {
+      out.next_begin = Time{r.I()};
+      out.ingest_limit = Time{r.I()};
+      out.retention_cut = Time{r.I()};
+      out.anchor = Time{r.I()};
+      out.poll_count = r.I();
+      ok = ok && r.ok();
+    } else if (key == "counters") {
+      out.windows = r.I();
+      out.chains = r.I();
+      out.insufficient = r.I();
+      out.resets = r.I();
+      out.checkpoints_written = r.I();
+      out.chainlog_bytes = r.U();
+      ok = ok && r.ok();
+    } else if (key == "retention") {
+      out.retention_cuts = r.I();
+      out.evicted_records = r.U();
+      out.peak_retained_records = r.U();
+      out.peak_retained_span = Duration{r.I()};
+      ok = ok && r.ok();
+    } else if (key == "ranking") {
+      out.windows_seen = r.I();
+      out.windows_with_chain = r.I();
+      out.insufficient_windows = r.I();
+      ok = ok && r.ok();
+    } else if (key == "cause") {
+      int idx = static_cast<int>(r.I());
+      long a = r.I(), w = r.I();
+      ok = ok && r.ok();
+      out.cause[idx] = {a, w};
+    } else if (key == "chain") {
+      int idx = static_cast<int>(r.I());
+      long c = r.I(), i = r.I();
+      ok = ok && r.ok();
+      out.chain_tally[idx] = {c, i};
+    } else if (key == "shed") {
+      ShedRange s;
+      s.begin = Time{r.I()};
+      s.end = Time{r.I()};
+      s.windows = r.I();
+      ok = ok && r.ok();
+      out.shed.push_back(s);
+    } else if (key == "stall") {
+      std::size_t i = static_cast<std::size_t>(r.I());
+      StallState s;
+      s.stall_events = r.I();
+      s.recoveries = r.I();
+      s.stalled = r.I() != 0;
+      ok = ok && r.ok() && i < out.stalls.size();
+      if (i < out.stalls.size()) out.stalls[i] = s;
+    } else if (key == "tail") {
+      std::size_t i = static_cast<std::size_t>(r.I());
+      telemetry::TailCursor t;
+      t.offset = static_cast<std::size_t>(r.U());
+      t.abs_row = static_cast<std::size_t>(r.U());
+      t.header_seen = r.I() != 0;
+      t.watermark = Time{r.I()};
+      t.rows_total = static_cast<std::size_t>(r.U());
+      t.rows_kept = static_cast<std::size_t>(r.U());
+      t.rows_dropped = static_cast<std::size_t>(r.U());
+      ok = ok && r.ok() && i < out.tails.size();
+      if (i < out.tails.size()) out.tails[i] = t;
+    } else {
+      // Unknown keys are an error: the checksum already guarantees the
+      // bytes are exactly what a writer produced, so this is a version
+      // skew we must not silently half-apply.
+      return fail("checkpoint: unknown key '" + key + "'");
+    }
+  }
+  if (!ok) return fail("checkpoint: malformed field");
+  if (!expected_fingerprint.empty() &&
+      out.fingerprint != expected_fingerprint) {
+    return fail("checkpoint: fingerprint mismatch (config or engine "
+                "changed since the checkpoint was written)");
+  }
+  *cp = std::move(out);
+  return true;
+}
+
+bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    f << FormatCheckpoint(cp);
+    f.flush();
+    if (!f) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool LoadCheckpoint(const std::string& path,
+                    const std::string& expected_fingerprint,
+                    LiveCheckpoint* cp, std::string* error) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    if (error != nullptr) error->clear();
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseCheckpoint(buf.str(), expected_fingerprint, cp, error);
+}
+
+}  // namespace domino::runtime

@@ -1,0 +1,104 @@
+// Crash-safe checkpoint persistence for the live analysis runtime.
+//
+// A checkpoint is everything `domino live` needs to resume after a SIGKILL
+// and keep producing byte-identical output: the analysis cursor, the
+// aligned poll schedule, the retention cut, every monotone counter that
+// feeds the final report, the streaming ranking accumulators, watchdog
+// tallies, and the chains.jsonl byte offset the log must be truncated to
+// (chains past the offset were emitted after the checkpoint and will be
+// re-emitted deterministically).
+//
+// Durability protocol: serialise to `<path>.tmp`, flush, then
+// std::rename() over `<path>` — on POSIX the rename is atomic, so a crash
+// mid-write leaves the previous checkpoint intact. The file is a
+// line-oriented `key values...` text format with a version header and a
+// trailing FNV-1a checksum over everything above it; Load rejects torn or
+// hand-edited files and a fingerprint mismatch (different config/engine
+// would not reproduce the same windows).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "telemetry/dataset.h"
+#include "telemetry/tail.h"
+
+namespace domino::runtime {
+
+/// One load-shedding episode: windows in [begin, end) were skipped, not
+/// analysed, and are reported as degraded.
+struct ShedRange {
+  Time begin{0};
+  Time end{0};
+  long windows = 0;
+};
+
+/// Per-stream watchdog tallies (indexed by telemetry::StreamId).
+struct StallState {
+  long stall_events = 0;
+  long recoveries = 0;
+  bool stalled = false;
+};
+
+struct LiveCheckpoint {
+  /// Config/engine fingerprint; resume refuses a mismatched one.
+  std::string fingerprint;
+
+  Time next_begin{0};     ///< First window the detector has NOT analysed.
+  Time ingest_limit{0};   ///< Tail-reader ingest horizon at checkpoint time.
+  Time retention_cut{0};  ///< Everything before this has been evicted.
+  Time anchor{0};         ///< Dataset begin; the poll/retention grid origin.
+  long poll_count = 0;
+
+  long windows = 0;
+  long chains = 0;
+  long insufficient = 0;
+  long resets = 0;
+  long checkpoints_written = 0;
+  std::uint64_t chainlog_bytes = 0;  ///< Truncate chains.jsonl to this.
+
+  long retention_cuts = 0;
+  std::uint64_t evicted_records = 0;
+  std::uint64_t peak_retained_records = 0;
+  Duration peak_retained_span{0};
+
+  // Streaming ranking accumulators (keys are graph-node / chain indices).
+  long windows_seen = 0;
+  long windows_with_chain = 0;
+  long insufficient_windows = 0;
+  std::map<int, std::pair<long, long>> cause;        ///< idx -> active, wins.
+  std::map<int, std::pair<long, long>> chain_tally;  ///< idx -> count, insuff.
+
+  std::vector<ShedRange> shed;
+  std::array<StallState, telemetry::kStreamCount> stalls{};
+  /// Per-stream tail positions; resume replays each file to exactly this
+  /// byte offset instead of re-deriving stop positions (see tail.h).
+  std::array<telemetry::TailCursor, telemetry::kStreamCount> tails{};
+};
+
+/// Serialises `cp` (text form, checksummed). Exposed for tests.
+std::string FormatCheckpoint(const LiveCheckpoint& cp);
+
+/// Parses a checkpoint; returns false (with `*error` set) on version,
+/// checksum, or syntax problems. `expected_fingerprint` empty skips the
+/// fingerprint check.
+bool ParseCheckpoint(const std::string& text,
+                     const std::string& expected_fingerprint,
+                     LiveCheckpoint* cp, std::string* error);
+
+/// Atomic write-to-temp-then-rename save. Returns false on I/O failure
+/// (the previous checkpoint, if any, is left untouched).
+bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path);
+
+/// Loads and validates a checkpoint file. Missing file returns false with
+/// an empty error (a fresh start, not a failure).
+bool LoadCheckpoint(const std::string& path,
+                    const std::string& expected_fingerprint,
+                    LiveCheckpoint* cp, std::string* error);
+
+}  // namespace domino::runtime

@@ -1,0 +1,56 @@
+#include "domino/runtime/supervisor.h"
+
+#include <exception>
+#include <thread>
+
+namespace domino::runtime {
+
+namespace {
+
+SessionOutcome RunOne(const SessionSpec& spec,
+                      const analysis::CausalGraph& graph,
+                      const LiveOptions& opts) {
+  SessionOutcome out;
+  out.dataset_dir = spec.dataset_dir;
+  try {
+    LiveRunner runner(spec.dataset_dir,
+                      spec.state_dir.empty()
+                          ? DefaultStateDir(spec.dataset_dir)
+                          : spec.state_dir,
+                      graph, opts);
+    out.summary = runner.Run();
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "unknown error";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SessionOutcome> RunSessions(const std::vector<SessionSpec>& specs,
+                                        const analysis::CausalGraph& graph,
+                                        const LiveOptions& opts,
+                                        bool parallel) {
+  std::vector<SessionOutcome> outcomes(specs.size());
+  if (!parallel || specs.size() <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      outcomes[i] = RunOne(specs[i], graph, opts);
+    }
+    return outcomes;
+  }
+  // Thread-per-session: each thread owns its outcome slot exclusively;
+  // graph and opts are read-only (every runner copies them at
+  // construction), so there is no cross-session synchronisation at all.
+  std::vector<std::thread> threads;
+  threads.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    threads.emplace_back([&, i] { outcomes[i] = RunOne(specs[i], graph, opts); });
+  }
+  for (std::thread& t : threads) t.join();
+  return outcomes;
+}
+
+}  // namespace domino::runtime

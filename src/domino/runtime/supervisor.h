@@ -1,0 +1,45 @@
+// Multi-session supervision for `domino live`.
+//
+// One operator box typically watches several concurrent calls. The
+// supervisor runs N LiveRunner sessions — one per dataset directory, each
+// with its own state directory, tail reader, detector, and watchdog —
+// with *no shared mutable state* between them, so one poisoned stream
+// (corrupt checkpoint, missing meta, truncated files) ends its own session
+// with a recorded error and cannot stall or corrupt the others.
+//
+// Parallel mode runs each session on its own thread (session isolation is
+// structural: the only cross-thread data is the immutable options/graph
+// and the per-session outcome slot). Sequential mode exists for
+// deterministic debugging and for machines where N datasets won't fit in
+// N threads' memory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "domino/graph.h"
+#include "domino/runtime/live.h"
+
+namespace domino::runtime {
+
+struct SessionSpec {
+  std::string dataset_dir;
+  std::string state_dir;  ///< Empty = DefaultStateDir(dataset_dir).
+};
+
+struct SessionOutcome {
+  std::string dataset_dir;
+  bool ok = false;
+  std::string error;    ///< Why the session failed (ok == false).
+  LiveSummary summary;  ///< Valid when ok.
+};
+
+/// Runs every session to completion and returns one outcome per spec, in
+/// spec order. Never throws: per-session failures are captured in the
+/// outcome. `parallel` selects thread-per-session execution.
+std::vector<SessionOutcome> RunSessions(const std::vector<SessionSpec>& specs,
+                                        const analysis::CausalGraph& graph,
+                                        const LiveOptions& opts,
+                                        bool parallel);
+
+}  // namespace domino::runtime

@@ -1,0 +1,42 @@
+#include "domino/runtime/watchdog.h"
+
+#include <algorithm>
+
+namespace domino::runtime {
+
+Time StreamWatchdog::Update(
+    const std::array<Time, telemetry::kStreamCount>& watermarks) {
+  Time global_max{0};
+  for (std::size_t i = 0; i < watermarks.size(); ++i) {
+    if (expected_[i]) global_max = std::max(global_max, watermarks[i]);
+  }
+  for (std::size_t i = 0; i < watermarks.size(); ++i) {
+    if (!expected_[i]) continue;
+    StallState& st = state_[i];
+    const bool lagging = global_max - watermarks[i] > deadline_;
+    if (lagging && !st.stalled) {
+      st.stalled = true;
+      ++st.stall_events;
+    } else if (!lagging && st.stalled) {
+      st.stalled = false;
+      ++st.recoveries;
+    }
+  }
+  Time frontier = Time::max();
+  bool any_healthy = false;
+  for (std::size_t i = 0; i < watermarks.size(); ++i) {
+    if (!expected_[i] || state_[i].stalled) continue;
+    any_healthy = true;
+    frontier = std::min(frontier, watermarks[i]);
+  }
+  return any_healthy ? frontier : global_max;
+}
+
+bool StreamWatchdog::any_stalled() const {
+  for (const StallState& s : state_) {
+    if (s.stalled) return true;
+  }
+  return false;
+}
+
+}  // namespace domino::runtime

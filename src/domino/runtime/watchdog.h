@@ -1,0 +1,69 @@
+// Stalled-stream watchdog for the live runtime.
+//
+// All deadlines are in *trace time*, not wall-clock: a stream is stalled
+// when its ingest watermark lags the furthest-ahead expected stream by more
+// than the deadline. That keeps the verdict deterministic (a pure function
+// of file content and poll index) — the property every kill-and-resume test
+// relies on — while still mapping to wall-clock lag in a real deployment,
+// where trace time and wall time advance together.
+//
+// A stalled stream is *excluded* from the safe-ingest frontier instead of
+// blocking it: analysis keeps moving for the streams that are alive, and
+// the sanitizer's coverage accounting sees the stalled stream's tail gap,
+// degrading chain confidence instead of stalling the pipeline
+// (head-of-line-blocking avoidance). Recovery is symmetric: once the
+// watermark catches back up within the deadline the stream rejoins the
+// frontier and a recovery event is tallied.
+#pragma once
+
+#include <array>
+
+#include "common/time.h"
+#include "domino/runtime/checkpoint.h"
+#include "telemetry/dataset.h"
+
+namespace domino::runtime {
+
+class StreamWatchdog {
+ public:
+  StreamWatchdog(Duration stall_deadline,
+                 std::array<bool, telemetry::kStreamCount> expected)
+      : deadline_(stall_deadline), expected_(expected) {}
+
+  /// Re-evaluates stall state from the current per-stream ingest
+  /// watermarks (Time{0} = nothing ingested yet) and returns the safe
+  /// frontier: the minimum watermark over healthy expected streams. When
+  /// every expected stream is stalled the global maximum is returned so
+  /// progress never deadlocks. Streams that have not produced a single
+  /// record yet only count as stalled once the frontier has moved past the
+  /// deadline (grace period for late-starting streams).
+  Time Update(const std::array<Time, telemetry::kStreamCount>& watermarks);
+
+  [[nodiscard]] bool expected(telemetry::StreamId id) const {
+    return expected_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] bool stalled(telemetry::StreamId id) const {
+    return state_[static_cast<std::size_t>(id)].stalled;
+  }
+  [[nodiscard]] long stall_events(telemetry::StreamId id) const {
+    return state_[static_cast<std::size_t>(id)].stall_events;
+  }
+  [[nodiscard]] Duration deadline() const { return deadline_; }
+  [[nodiscard]] bool any_stalled() const;
+
+  /// Checkpoint plumbing.
+  [[nodiscard]] const std::array<StallState, telemetry::kStreamCount>&
+  Snapshot() const {
+    return state_;
+  }
+  void Restore(const std::array<StallState, telemetry::kStreamCount>& s) {
+    state_ = s;
+  }
+
+ private:
+  Duration deadline_;
+  std::array<bool, telemetry::kStreamCount> expected_{};
+  std::array<StallState, telemetry::kStreamCount> state_{};
+};
+
+}  // namespace domino::runtime

@@ -21,6 +21,25 @@ void StreamingDetector::Emit(const WindowResult& w) {
   ++windows_;
 }
 
+int StreamingDetector::SkipTo(Time t) {
+  if (!initialised_ || t <= next_begin_) return 0;
+  const Duration step = detector_.config().step;
+  auto skipped = (t - next_begin_ + step - Micros(1)) / step;
+  next_begin_ += step * skipped;
+  return static_cast<int>(skipped);
+}
+
+void StreamingDetector::Restore(Time next_begin, long windows, long chains,
+                                long insufficient, long resets) {
+  next_begin_ = next_begin;
+  initialised_ = true;
+  windows_ = windows;
+  chains_ = chains;
+  insufficient_ = insufficient;
+  resets_ = resets;
+  cache_.reset();
+}
+
 int StreamingDetector::Advance(const telemetry::DerivedTrace& trace,
                                Time now) {
   if (!initialised_) {
@@ -30,6 +49,10 @@ int StreamingDetector::Advance(const telemetry::DerivedTrace& trace,
   const DominoConfig& cfg = detector_.config();
   if (cfg.incremental) {
     if (cache_ == nullptr || &cache_->trace() != &trace) {
+      // A different trace object invalidates every index-based cursor. The
+      // window cursor (next_begin_) survives, so no history is reprocessed,
+      // but the warm-up cost is re-paid — surface it so callers can tell.
+      if (cache_ != nullptr) ++resets_;
       cache_ = std::make_unique<WindowStatsCache>(trace);
     }
   } else {

@@ -32,14 +32,33 @@ class StreamingDetector {
   /// Analyses all windows [w, w + W) with w + W <= now not yet analysed.
   /// Returns how many new windows were processed. `trace` must contain the
   /// data up to `now` (it may keep growing between calls; passing a
-  /// different trace object resets the incremental cursors).
+  /// different trace object resets the incremental cursors — a counted
+  /// event, see resets()).
   int Advance(const telemetry::DerivedTrace& trace, Time now);
+
+  /// Skips forward without analysing: advances the next window begin to the
+  /// first step-grid point >= `t` and returns how many windows were skipped
+  /// (0 when `t` is not ahead). Load-shedding callers must record the
+  /// skipped span themselves — nothing is emitted for skipped windows.
+  int SkipTo(Time t);
+
+  /// Restores the detector's cursor and counters from a checkpoint, so a
+  /// restarted live pipeline continues exactly where the killed one left
+  /// off instead of re-emitting history.
+  void Restore(Time next_begin, long windows, long chains, long insufficient,
+               long resets);
 
   /// Start of the next window to be analysed.
   [[nodiscard]] Time next_window_begin() const { return next_begin_; }
   [[nodiscard]] const Detector& detector() const { return detector_; }
   [[nodiscard]] long windows_processed() const { return windows_; }
   [[nodiscard]] long chains_detected() const { return chains_; }
+  /// How often the incremental cursors were re-initialised because Advance
+  /// was handed a different trace object. A live pipeline that rebuilds its
+  /// trace per poll expects one reset per rebuild; more than that means a
+  /// caller is silently flip-flopping between traces and re-paying the
+  /// cursor warm-up on every call. Always 0 on the naive engine.
+  [[nodiscard]] long resets() const { return resets_; }
   /// Of chains_detected(), how many carried confidence below
   /// DominoConfig::min_coverage (data-quality degradation; 0 on clean
   /// traces). Live dashboards should surface these separately instead of
@@ -55,6 +74,7 @@ class StreamingDetector {
   long windows_ = 0;
   long chains_ = 0;
   long insufficient_ = 0;
+  long resets_ = 0;
   /// Persistent incremental state; tied to one trace object.
   std::unique_ptr<WindowStatsCache> cache_;
 };

@@ -1,0 +1,175 @@
+#include "sim/live_feed.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "telemetry/io.h"
+#include "telemetry/tail.h"
+
+namespace domino::sim {
+
+namespace {
+
+using telemetry::StreamId;
+
+/// Single-record CSV line, byte-identical to what SaveDataset would write:
+/// run the record through the public stream writer and drop the header.
+template <typename Rec>
+std::string RowLine(void (*writer)(std::ostream&, const std::vector<Rec>&),
+                    const Rec& r) {
+  std::ostringstream os;
+  writer(os, std::vector<Rec>{r});
+  std::string s = os.str();
+  return s.substr(s.find('\n') + 1);
+}
+
+template <typename Rec>
+std::string HeaderOnly(void (*writer)(std::ostream&,
+                                      const std::vector<Rec>&)) {
+  std::ostringstream os;
+  writer(os, std::vector<Rec>{});
+  return os.str();
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void Append(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::app);
+  f << bytes;
+}
+
+Time RecordTime(const telemetry::SessionDataset& ds, StreamId id,
+                std::size_t i) {
+  switch (id) {
+    case StreamId::kDci: return ds.dci[i].time;
+    case StreamId::kGnbLog: return ds.gnb_log[i].time;
+    case StreamId::kPackets: return ds.packets[i].sent;
+    case StreamId::kStatsUe: return ds.stats[telemetry::kUeClient][i].time;
+    case StreamId::kStatsRemote:
+      return ds.stats[telemetry::kRemoteClient][i].time;
+  }
+  return Time{0};
+}
+
+std::size_t RecordCount(const telemetry::SessionDataset& ds, StreamId id) {
+  switch (id) {
+    case StreamId::kDci: return ds.dci.size();
+    case StreamId::kGnbLog: return ds.gnb_log.size();
+    case StreamId::kPackets: return ds.packets.size();
+    case StreamId::kStatsUe: return ds.stats[telemetry::kUeClient].size();
+    case StreamId::kStatsRemote:
+      return ds.stats[telemetry::kRemoteClient].size();
+  }
+  return 0;
+}
+
+std::string RecordLine(const telemetry::SessionDataset& ds, StreamId id,
+                       std::size_t i) {
+  switch (id) {
+    case StreamId::kDci:
+      return RowLine(&telemetry::WriteDciCsv, ds.dci[i]);
+    case StreamId::kGnbLog:
+      return RowLine(&telemetry::WriteGnbLogCsv, ds.gnb_log[i]);
+    case StreamId::kPackets:
+      return RowLine(&telemetry::WritePacketCsv, ds.packets[i]);
+    case StreamId::kStatsUe:
+      return RowLine(&telemetry::WriteStatsCsv,
+                     ds.stats[telemetry::kUeClient][i]);
+    case StreamId::kStatsRemote:
+      return RowLine(&telemetry::WriteStatsCsv,
+                     ds.stats[telemetry::kRemoteClient][i]);
+  }
+  return {};
+}
+
+std::string HeaderFor(StreamId id) {
+  switch (id) {
+    case StreamId::kDci: return HeaderOnly(&telemetry::WriteDciCsv);
+    case StreamId::kGnbLog: return HeaderOnly(&telemetry::WriteGnbLogCsv);
+    case StreamId::kPackets: return HeaderOnly(&telemetry::WritePacketCsv);
+    case StreamId::kStatsUe:
+    case StreamId::kStatsRemote:
+      return HeaderOnly(&telemetry::WriteStatsCsv);
+  }
+  return {};
+}
+
+std::array<StreamId, telemetry::kStreamCount> AllStreams() {
+  return {StreamId::kDci, StreamId::kGnbLog, StreamId::kPackets,
+          StreamId::kStatsUe, StreamId::kStatsRemote};
+}
+
+}  // namespace
+
+LiveFeedWriter::LiveFeedWriter(const telemetry::SessionDataset& ds,
+                               std::string out_dir, LiveFeedOptions opts)
+    : ds_(ds),
+      dir_(std::move(out_dir)),
+      opts_(opts),
+      cursor_(ds.begin),
+      end_(ds.end) {
+  std::filesystem::create_directories(dir_);
+  // Session identity is known up front: meta.csv is complete from the
+  // first byte (same layout as SaveDataset).
+  {
+    std::ofstream f(dir_ + "/meta.csv", std::ios::binary | std::ios::trunc);
+    CsvWriter w(f);
+    w.WriteRow({"cell_name", "is_private", "begin_us", "end_us"});
+    w.WriteRow({ds_.cell_name, ds_.is_private_cell ? "1" : "0",
+                std::to_string(ds_.begin.micros()),
+                std::to_string(ds_.end.micros())});
+    w.WriteRow({"rnti_time_us", "rnti"});
+    for (const auto& s : ds_.ue_rnti) {
+      w.WriteRow({std::to_string(s.time.micros()), Num(s.value)});
+    }
+  }
+  for (StreamId id : AllStreams()) {
+    const std::size_t n = RecordCount(ds_, id);
+    auto& order = order_[static_cast<std::size_t>(id)];
+    order.resize(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return RecordTime(ds_, id, a) < RecordTime(ds_, id, b);
+                     });
+    std::ofstream f(dir_ + "/" + telemetry::StreamFileName(id),
+                    std::ios::binary | std::ios::trunc);
+    f << HeaderFor(id);
+  }
+}
+
+bool LiveFeedWriter::Step() {
+  if (cursor_ > end_) return false;
+  const Time next = cursor_ + opts_.chunk;
+  for (StreamId id : AllStreams()) {
+    const std::size_t s = static_cast<std::size_t>(id);
+    const auto& order = order_[s];
+    std::string batch;
+    while (next_[s] < order.size() &&
+           RecordTime(ds_, id, order[next_[s]]) < next) {
+      const std::size_t i = order[next_[s]];
+      ++next_[s];
+      // A stalled collector stops emitting; its records are withheld for
+      // good, not deferred.
+      if (RecordTime(ds_, id, i) >= opts_.stall_after[s]) continue;
+      batch += RecordLine(ds_, id, i);
+    }
+    if (!batch.empty()) {
+      Append(dir_ + "/" + telemetry::StreamFileName(id), batch);
+    }
+  }
+  cursor_ = next;
+  return cursor_ <= end_;
+}
+
+}  // namespace domino::sim

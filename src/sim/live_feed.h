@@ -1,0 +1,61 @@
+// Live-feed writer: replays a saved SessionDataset into a directory the
+// way a real capture pipeline would produce it — meta.csv written complete
+// up front (session identity is known when the call starts), stream CSVs
+// appended chunk by chunk in virtual-time order. `domino replay` drives
+// this to turn any simulated/saved dataset into a growing directory that
+// `domino live --follow` can tail, and the chaos tests use the per-stream
+// stall knob to freeze one stream mid-call (a dead sniffer) while the
+// others keep flowing.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "telemetry/dataset.h"
+
+namespace domino::sim {
+
+struct LiveFeedOptions {
+  /// Virtual time appended per Step().
+  Duration chunk = Millis(500);
+  /// Per-stream stall time: records at or after this time are withheld
+  /// (never written), simulating a collector that died mid-call. Indexed
+  /// by telemetry::StreamId; Time::max() = never stall.
+  std::array<Time, telemetry::kStreamCount> stall_after = {
+      Time::max(), Time::max(), Time::max(), Time::max(), Time::max()};
+};
+
+class LiveFeedWriter {
+ public:
+  /// Writes meta.csv and all five stream headers immediately; stream rows
+  /// follow via Step(). Records are replayed in time order per stream.
+  LiveFeedWriter(const telemetry::SessionDataset& ds, std::string out_dir,
+                 LiveFeedOptions opts = {});
+
+  /// Appends every record with time in [cursor, cursor + chunk) to its
+  /// stream file (flushed), advances the cursor, and returns true while
+  /// anything remains to write.
+  bool Step();
+
+  /// Drains the remaining records in one call.
+  void WriteAll() {
+    while (Step()) {
+    }
+  }
+
+  [[nodiscard]] Time cursor() const { return cursor_; }
+
+ private:
+  const telemetry::SessionDataset& ds_;
+  std::string dir_;
+  LiveFeedOptions opts_;
+  Time cursor_;
+  Time end_;
+  /// Next unwritten index per stream, over time-sorted record orderings.
+  std::array<std::vector<std::size_t>, telemetry::kStreamCount> order_;
+  std::array<std::size_t, telemetry::kStreamCount> next_{};
+};
+
+}  // namespace domino::sim

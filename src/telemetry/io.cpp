@@ -453,52 +453,56 @@ SessionDataset LoadDataset(const std::string& dir,
   {
     std::ifstream f;
     if (OpenStream(dir + "/meta.csv", f, rep.meta)) {
-      std::vector<std::vector<std::string>> rows;
-      try {
-        rows = ReadCsv(f);
-      } catch (const std::invalid_argument& e) {
-        rep.meta.Add(TelemetryErrorKind::kBadField, 0, e.what());
-      }
-      if (rows.size() >= 2 && rows[1].size() >= 4) {
-        std::int64_t begin_us = 0, end_us = 0;
-        ds.cell_name = rows[1][0];
-        ds.is_private_cell = rows[1][1] == "1";
-        if (ParseI(rows[1][2], &begin_us) && ParseI(rows[1][3], &end_us)) {
-          ds.begin = Time{begin_us};
-          ds.end = Time{end_us};
-        } else {
-          rep.meta.Add(TelemetryErrorKind::kBadField, 2,
-                       "bad begin_us/end_us");
-        }
-      } else if (!rows.empty()) {
-        rep.meta.Add(TelemetryErrorKind::kTruncatedRow, 2,
-                     "missing session row");
-      } else {
-        rep.meta.Add(TelemetryErrorKind::kEmptyStream, 0,
-                     "no CSV data for meta");
-      }
-      // The RNTI timeline must be pushed in time order; a corrupt or
-      // hand-edited meta.csv must not abort the load, so sort first.
-      std::vector<std::pair<std::int64_t, double>> rnti;
-      for (std::size_t i = 3; i < rows.size(); ++i) {
-        std::int64_t t = 0;
-        double v = 0;
-        if (rows[i].size() >= 2 && ParseI(rows[i][0], &t) &&
-            ParseD(rows[i][1], &v)) {
-          rnti.emplace_back(t, v);
-        } else {
-          rep.meta.Add(TelemetryErrorKind::kBadField, i + 1,
-                       "bad rnti timeline row");
-        }
-      }
-      std::stable_sort(rnti.begin(), rnti.end(),
-                       [](const auto& a, const auto& b) {
-                         return a.first < b.first;
-                       });
-      for (const auto& [t, v] : rnti) ds.ue_rnti.Push(Time{t}, v);
+      ReadMetaCsv(f, ds, rep.meta);
     }
   }
   return ds;
+}
+
+bool ReadMetaCsv(std::istream& is, SessionDataset& ds, ReadStats& stats) {
+  std::vector<std::vector<std::string>> rows;
+  try {
+    rows = ReadCsv(is);
+  } catch (const std::invalid_argument& e) {
+    stats.Add(TelemetryErrorKind::kBadField, 0, e.what());
+  }
+  bool session_ok = false;
+  if (rows.size() >= 2 && rows[1].size() >= 4) {
+    std::int64_t begin_us = 0, end_us = 0;
+    ds.cell_name = rows[1][0];
+    ds.is_private_cell = rows[1][1] == "1";
+    if (ParseI(rows[1][2], &begin_us) && ParseI(rows[1][3], &end_us)) {
+      ds.begin = Time{begin_us};
+      ds.end = Time{end_us};
+      session_ok = true;
+    } else {
+      stats.Add(TelemetryErrorKind::kBadField, 2, "bad begin_us/end_us");
+    }
+  } else if (!rows.empty()) {
+    stats.Add(TelemetryErrorKind::kTruncatedRow, 2, "missing session row");
+  } else {
+    stats.Add(TelemetryErrorKind::kEmptyStream, 0, "no CSV data for meta");
+  }
+  // The RNTI timeline must be pushed in time order; a corrupt or
+  // hand-edited meta.csv must not abort the load, so sort first.
+  std::vector<std::pair<std::int64_t, double>> rnti;
+  for (std::size_t i = 3; i < rows.size(); ++i) {
+    std::int64_t t = 0;
+    double v = 0;
+    if (rows[i].size() >= 2 && ParseI(rows[i][0], &t) &&
+        ParseD(rows[i][1], &v)) {
+      rnti.emplace_back(t, v);
+    } else {
+      stats.Add(TelemetryErrorKind::kBadField, i + 1,
+                "bad rnti timeline row");
+    }
+  }
+  std::stable_sort(
+      rnti.begin(), rnti.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  ds.ue_rnti = TimeSeries<double>{};
+  for (const auto& [t, v] : rnti) ds.ue_rnti.Push(Time{t}, v);
+  return session_ok;
 }
 
 }  // namespace domino::telemetry

@@ -81,6 +81,12 @@ void WriteGnbLogCsv(std::ostream& os,
 std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is,
                                         ReadStats* stats = nullptr);
 
+/// Parses meta.csv (cell name, privacy flag, session range, RNTI timeline)
+/// into `ds`. Returns true when the session row was parseable; diagnostics
+/// for anything else land in `stats`. Shared by LoadDataset and the live
+/// tailing reader.
+bool ReadMetaCsv(std::istream& is, SessionDataset& ds, ReadStats& stats);
+
 /// Aggregate outcome of LoadDataset: one ReadStats per stream plus one for
 /// meta.csv.
 struct DatasetLoadReport {

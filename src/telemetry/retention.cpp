@@ -1,0 +1,77 @@
+#include "telemetry/retention.h"
+
+#include <algorithm>
+
+namespace domino::telemetry {
+
+namespace {
+
+constexpr Duration kCutGrid = Seconds(1.0);
+
+template <typename Rec, typename TimeOf>
+std::size_t EraseOlder(std::vector<Rec>& recs, Time cut, TimeOf time_of) {
+  std::size_t before = recs.size();
+  recs.erase(std::remove_if(recs.begin(), recs.end(),
+                            [&](const Rec& r) { return time_of(r) < cut; }),
+             recs.end());
+  return before - recs.size();
+}
+
+}  // namespace
+
+Time QuantizeRetentionCut(Time anchor, Time t) {
+  if (t <= anchor) return anchor;
+  return anchor + kCutGrid * ((t - anchor) / kCutGrid);
+}
+
+std::size_t CountRecords(const SessionDataset& ds) {
+  return ds.dci.size() + ds.gnb_log.size() + ds.packets.size() +
+         ds.stats[0].size() + ds.stats[1].size() + ds.ue_rnti.size();
+}
+
+std::size_t ApplyRetention(SessionDataset& ds, Time cut,
+                           RetentionStats& stats) {
+  if (cut <= ds.begin) return 0;
+  std::size_t evicted = 0;
+  evicted += EraseOlder(ds.dci, cut, [](const DciRecord& r) { return r.time; });
+  evicted += EraseOlder(ds.gnb_log, cut,
+                        [](const GnbLogRecord& r) { return r.time; });
+  evicted += EraseOlder(ds.packets, cut,
+                        [](const PacketRecord& r) { return r.sent; });
+  for (auto& stream : ds.stats) {
+    evicted += EraseOlder(stream, cut,
+                          [](const WebRtcStatsRecord& r) { return r.time; });
+  }
+  // The RNTI timeline is a step function read via ValueAt: the value in
+  // force at the cut must survive, re-anchored, or retained DCIs would be
+  // reclassified as cross traffic.
+  if (!ds.ue_rnti.empty() && ds.ue_rnti.front().time < cut) {
+    double at_cut = ds.ue_rnti.ValueAt(cut, -1.0);
+    TimeSeries<double> trimmed;
+    if (at_cut >= 0) trimmed.Push(cut, at_cut);
+    for (const auto& s : ds.ue_rnti) {
+      if (s.time >= cut) trimmed.Push(s.time, s.value);
+    }
+    evicted += ds.ue_rnti.size() >= trimmed.size()
+                   ? ds.ue_rnti.size() - trimmed.size()
+                   : 0;
+    ds.ue_rnti = std::move(trimmed);
+  }
+  ds.begin = cut;
+  if (evicted > 0) {
+    ++stats.cuts;
+    stats.evicted_records += evicted;
+  }
+  return evicted;
+}
+
+void NoteRetained(const SessionDataset& ds, RetentionStats& stats) {
+  stats.peak_retained_records =
+      std::max(stats.peak_retained_records, CountRecords(ds));
+  if (ds.end > ds.begin) {
+    stats.peak_retained_span =
+        std::max(stats.peak_retained_span, ds.end - ds.begin);
+  }
+}
+
+}  // namespace domino::telemetry

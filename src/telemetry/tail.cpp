@@ -1,0 +1,317 @@
+#include "telemetry/tail.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace domino::telemetry {
+
+namespace {
+
+// Backoff caps: a persistently missing file is retried every
+// kMaxBackoffPolls polls instead of every poll.
+constexpr long kMaxBackoffShift = 6;
+constexpr long kMaxBackoffPolls = 64;
+
+/// Parses one data line with the stream's tolerant batch reader by
+/// prepending a dummy header (the readers skip row 1 unvalidated). Returns
+/// zero or one record; diagnostics (with row number 2) land in `row_stats`.
+template <typename Rec>
+std::vector<Rec> ParseLine(const std::string& line,
+                           std::vector<Rec> (*reader)(std::istream&,
+                                                      ReadStats*),
+                           ReadStats* row_stats) {
+  std::istringstream is("h\n" + line + "\n");
+  return reader(is, row_stats);
+}
+
+}  // namespace
+
+const char* StreamFileName(StreamId id) {
+  switch (id) {
+    case StreamId::kDci: return "dci.csv";
+    case StreamId::kGnbLog: return "gnb_log.csv";
+    case StreamId::kPackets: return "packets.csv";
+    case StreamId::kStatsUe: return "stats_ue.csv";
+    case StreamId::kStatsRemote: return "stats_remote.csv";
+  }
+  return "?";
+}
+
+TailingDatasetReader::TailingDatasetReader(std::string dir)
+    : dir_(std::move(dir)) {}
+
+bool TailingDatasetReader::PollMeta(SessionDataset& ds) {
+  if (meta_ready_) return true;
+  std::ifstream f(dir_ + "/meta.csv");
+  if (!f) return false;
+  ReadStats stats;  // Pre-ready parse noise is transient; discard it.
+  SessionDataset parsed;
+  if (!ReadMetaCsv(f, parsed, stats)) return false;
+  ds.cell_name = parsed.cell_name;
+  ds.is_private_cell = parsed.is_private_cell;
+  ds.begin = parsed.begin;
+  ds.end = parsed.end;
+  ds.ue_rnti = parsed.ue_rnti;
+  meta_ready_ = true;
+  return true;
+}
+
+TailProgress TailingDatasetReader::Poll(StreamId id, SessionDataset& ds,
+                                        const TailLimits& lim) {
+  StreamState& st = state(id);
+  TailProgress p;
+
+  ++st.attempts;
+  if (st.attempts < st.next_attempt) {
+    p.backed_off = true;
+    return p;
+  }
+
+  const std::string path = dir_ + "/" + StreamFileName(id);
+  std::ifstream f(path, std::ios::binary);
+  std::streamoff size = -1;
+  if (f) {
+    f.seekg(0, std::ios::end);
+    size = f.tellg();
+  }
+  if (!f || size < 0 || static_cast<std::size_t>(size) < st.offset) {
+    // Absent, unreadable, or shrunk (a rewritten file would desync our
+    // offset — never re-ingest): transient failure, back off exponentially.
+    ++st.misses;
+    ++st.retries;
+    if (st.misses == 1) {
+      st.stats.Add(TelemetryErrorKind::kMissingFile, 0,
+                   "cannot tail " + path);
+    }
+    long shift = std::min(st.misses - 1, kMaxBackoffShift);
+    st.next_attempt =
+        st.attempts + std::min(1L << shift, kMaxBackoffPolls);
+    p.missing = true;
+    return p;
+  }
+  st.misses = 0;
+  st.next_attempt = 0;
+
+  f.seekg(static_cast<std::streamoff>(st.offset));
+
+  // Per-line consumption loop. Shared across the five record types via a
+  // small lambda that parses + accepts one trimmed line and reports the
+  // record time (or no record).
+  auto consume = [&](auto reader, auto time_of, auto sink) {
+    std::string line;
+    while (true) {
+      if (st.offset == static_cast<std::size_t>(size)) {
+        p.eof = true;
+        return;
+      }
+      if (!std::getline(f, line)) {
+        p.eof = true;
+        return;
+      }
+      if (f.eof()) {  // No trailing newline: writer is mid-line.
+        p.partial_tail = true;  // Re-read once completed, next poll.
+        return;
+      }
+      const std::size_t consumed = line.size() + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!st.header_seen) {
+        st.header_seen = true;
+        st.abs_row = 1;
+        st.offset += consumed;
+        p.progressed = true;
+        continue;
+      }
+      ReadStats row_stats;
+      auto recs = reader(line, &row_stats);
+      const std::size_t this_row = st.abs_row + 1;
+      if (recs.empty()) {
+        // Blank or malformed: consume it, fold diagnostics in with the
+        // absolute row number.
+        st.offset += consumed;
+        st.abs_row = this_row;
+        p.progressed = true;
+        st.stats.rows_total += row_stats.rows_total;
+        st.stats.rows_dropped += row_stats.rows_dropped;
+        for (auto& e : row_stats.errors) {
+          st.stats.Add(e.kind, this_row, std::move(e.message));
+        }
+        continue;
+      }
+      const auto& rec = recs.front();
+      const Time t = time_of(rec);
+      if (t >= lim.limit + lim.reorder_guard &&
+          t <= lim.limit + lim.max_jump) {
+        // Stop rule: this row belongs to a future poll window. Hold it
+        // back (offset untouched) so a re-scan with the same limit ingests
+        // the identical prefix.
+        return;
+      }
+      st.offset += consumed;
+      st.abs_row = this_row;
+      p.progressed = true;
+      ++st.stats.rows_total;
+      if (t < lim.cut) {
+        // Behind the retention horizon (only possible on a resume
+        // re-scan): already analysed, drop silently but keep counts exact.
+        ++st.stats.rows_kept;
+        continue;
+      }
+      ++st.stats.rows_kept;
+      ++p.rows_ingested;
+      if (t <= lim.limit + lim.max_jump) {
+        st.watermark = std::max(st.watermark, t);
+      }
+      sink(rec);
+    }
+  };
+
+  switch (id) {
+    case StreamId::kDci:
+      consume([](const std::string& l, ReadStats* s) {
+                return ParseLine<DciRecord>(l, &ReadDciCsv, s);
+              },
+              [](const DciRecord& r) { return r.time; },
+              [&](const DciRecord& r) { ds.dci.push_back(r); });
+      break;
+    case StreamId::kGnbLog:
+      consume([](const std::string& l, ReadStats* s) {
+                return ParseLine<GnbLogRecord>(l, &ReadGnbLogCsv, s);
+              },
+              [](const GnbLogRecord& r) { return r.time; },
+              [&](const GnbLogRecord& r) { ds.gnb_log.push_back(r); });
+      break;
+    case StreamId::kPackets:
+      consume([](const std::string& l, ReadStats* s) {
+                return ParseLine<PacketRecord>(l, &ReadPacketCsv, s);
+              },
+              [](const PacketRecord& r) { return r.sent; },
+              [&](const PacketRecord& r) { ds.packets.push_back(r); });
+      break;
+    case StreamId::kStatsUe:
+      consume([](const std::string& l, ReadStats* s) {
+                return ParseLine<WebRtcStatsRecord>(l, &ReadStatsCsv, s);
+              },
+              [](const WebRtcStatsRecord& r) { return r.time; },
+              [&](const WebRtcStatsRecord& r) {
+                ds.stats[kUeClient].push_back(r);
+              });
+      break;
+    case StreamId::kStatsRemote:
+      consume([](const std::string& l, ReadStats* s) {
+                return ParseLine<WebRtcStatsRecord>(l, &ReadStatsCsv, s);
+              },
+              [](const WebRtcStatsRecord& r) { return r.time; },
+              [&](const WebRtcStatsRecord& r) {
+                ds.stats[kRemoteClient].push_back(r);
+              });
+      break;
+  }
+  return p;
+}
+
+TailCursor TailingDatasetReader::cursor(StreamId id) const {
+  const StreamState& st = state_[static_cast<std::size_t>(id)];
+  TailCursor c;
+  c.offset = st.offset;
+  c.abs_row = st.abs_row;
+  c.header_seen = st.header_seen;
+  c.watermark = st.watermark;
+  c.rows_total = st.stats.rows_total;
+  c.rows_kept = st.stats.rows_kept;
+  c.rows_dropped = st.stats.rows_dropped;
+  return c;
+}
+
+void TailingDatasetReader::ReplayTo(StreamId id, SessionDataset& ds,
+                                    const TailCursor& cur, Time cut) {
+  StreamState& st = state(id);
+  if (cur.offset > 0) {
+    const std::string path = dir_ + "/" + StreamFileName(id);
+    std::ifstream f(path, std::ios::binary);
+    std::streamoff size = -1;
+    if (f) {
+      f.seekg(0, std::ios::end);
+      size = f.tellg();
+    }
+    if (!f || size < 0 || static_cast<std::size_t>(size) < cur.offset) {
+      throw std::runtime_error(
+          "tail: cannot replay " + path +
+          " — file is shorter than its checkpointed cursor");
+    }
+    f.seekg(0);
+
+    std::size_t pos = 0;
+    bool header = false;
+    auto replay = [&](auto reader, auto time_of, auto sink) {
+      std::string line;
+      while (pos < cur.offset && std::getline(f, line)) {
+        const std::size_t consumed = line.size() + 1;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        pos += consumed;
+        if (!header) {
+          header = true;
+          continue;
+        }
+        auto recs = reader(line, nullptr);
+        if (recs.empty()) continue;  // Malformed; already counted.
+        const auto& rec = recs.front();
+        if (time_of(rec) < cut) continue;  // Evicted before the crash.
+        sink(rec);
+      }
+    };
+    switch (id) {
+      case StreamId::kDci:
+        replay([](const std::string& l, ReadStats* s) {
+                 return ParseLine<DciRecord>(l, &ReadDciCsv, s);
+               },
+               [](const DciRecord& r) { return r.time; },
+               [&](const DciRecord& r) { ds.dci.push_back(r); });
+        break;
+      case StreamId::kGnbLog:
+        replay([](const std::string& l, ReadStats* s) {
+                 return ParseLine<GnbLogRecord>(l, &ReadGnbLogCsv, s);
+               },
+               [](const GnbLogRecord& r) { return r.time; },
+               [&](const GnbLogRecord& r) { ds.gnb_log.push_back(r); });
+        break;
+      case StreamId::kPackets:
+        replay([](const std::string& l, ReadStats* s) {
+                 return ParseLine<PacketRecord>(l, &ReadPacketCsv, s);
+               },
+               [](const PacketRecord& r) { return r.sent; },
+               [&](const PacketRecord& r) { ds.packets.push_back(r); });
+        break;
+      case StreamId::kStatsUe:
+        replay([](const std::string& l, ReadStats* s) {
+                 return ParseLine<WebRtcStatsRecord>(l, &ReadStatsCsv, s);
+               },
+               [](const WebRtcStatsRecord& r) { return r.time; },
+               [&](const WebRtcStatsRecord& r) {
+                 ds.stats[kUeClient].push_back(r);
+               });
+        break;
+      case StreamId::kStatsRemote:
+        replay([](const std::string& l, ReadStats* s) {
+                 return ParseLine<WebRtcStatsRecord>(l, &ReadStatsCsv, s);
+               },
+               [](const WebRtcStatsRecord& r) { return r.time; },
+               [&](const WebRtcStatsRecord& r) {
+                 ds.stats[kRemoteClient].push_back(r);
+               });
+        break;
+    }
+  }
+  st.offset = cur.offset;
+  st.abs_row = cur.abs_row;
+  st.header_seen = cur.header_seen;
+  st.watermark = cur.watermark;
+  st.stats.rows_total = cur.rows_total;
+  st.stats.rows_kept = cur.rows_kept;
+  st.stats.rows_dropped = cur.rows_dropped;
+}
+
+}  // namespace domino::telemetry

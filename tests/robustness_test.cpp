@@ -378,6 +378,47 @@ TEST(FaultPipelineTest, StreamingMatchesBatchOnGappedInput) {
   EXPECT_EQ(sd.insufficient_chains(), batch_insufficient);
 }
 
+TEST(FaultInjectTest, DefaultSeedIsDeterministicAcrossRuns) {
+  // `domino ingest --inject` without --seed falls back to seed 1; two runs
+  // of that default path must corrupt the dataset identically, or fixtures
+  // built without an explicit seed silently stop reproducing.
+  const telemetry::SessionDataset clean = FaultSession(8);
+  telemetry::FaultSpec spec;
+  spec.drop = 0.05;
+  spec.duplicate = 0.02;
+  spec.reorder = 0.05;
+  spec.corrupt_time = 0.01;
+
+  telemetry::SessionDataset a = clean;
+  telemetry::SessionDataset b = clean;
+  const telemetry::FaultSummary sa =
+      telemetry::InjectFaults(a, spec, /*seed=*/1);  // the CLI default
+  const telemetry::FaultSummary sb = telemetry::InjectFaults(b, spec, 1);
+
+  EXPECT_GT(sa.total(), 0u);
+  EXPECT_EQ(sa.total(), sb.total());
+  ASSERT_EQ(a.dci.size(), b.dci.size());
+  for (std::size_t i = 0; i < a.dci.size(); ++i) {
+    ASSERT_EQ(a.dci[i].time.micros(), b.dci[i].time.micros());
+  }
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    ASSERT_EQ(a.packets[i].sent.micros(), b.packets[i].sent.micros());
+    ASSERT_EQ(a.packets[i].id, b.packets[i].id);
+    ASSERT_EQ(a.packets[i].received.micros(), b.packets[i].received.micros());
+  }
+  ASSERT_EQ(a.gnb_log.size(), b.gnb_log.size());
+  for (std::size_t i = 0; i < a.gnb_log.size(); ++i) {
+    ASSERT_EQ(a.gnb_log[i].time.micros(), b.gnb_log[i].time.micros());
+  }
+  for (int c : {telemetry::kUeClient, telemetry::kRemoteClient}) {
+    ASSERT_EQ(a.stats[c].size(), b.stats[c].size());
+    for (std::size_t i = 0; i < a.stats[c].size(); ++i) {
+      ASSERT_EQ(a.stats[c][i].time.micros(), b.stats[c][i].time.micros());
+    }
+  }
+}
+
 TEST(FaultPipelineTest, CleanTraceReportsAreByteIdenticalWithHealth) {
   telemetry::SessionDataset ds = FaultSession(7);
   telemetry::SanitizeReport health = telemetry::SanitizeDataset(ds);

@@ -38,6 +38,23 @@
 //       a stable JSON document for CI. Exit code is the highest severity
 //       found (0 clean, 1 warnings, 2 errors); --strict promotes warnings
 //       to errors. "domino --lint <file>" is an alias.
+//   domino live <dataset_dir>... [--state DIR] [--follow] [--naive]
+//               [--chunk-s SEC] [--horizon-s SEC] [--stall-deadline-s SEC]
+//               [--max-backlog N] [--checkpoint-every N] [--sequential]
+//       Crash-safe supervised live analysis: tail one or more (possibly
+//       still growing) dataset directories, emit chains to
+//       <state>/chains.jsonl as their windows complete, checkpoint
+//       periodically, and resume byte-identically after a kill. Multiple
+//       directories run as isolated sessions (thread each); a poisoned one
+//       fails alone. Exit code 1 when any session failed.
+//
+//   domino replay <dataset_dir> <out_dir> [--interval-ms N] [--chunk-ms N]
+//                 [--stall stream=SEC]
+//       Replay a saved dataset into <out_dir> as a growing capture (meta
+//       first, then stream rows in virtual-time order) for feeding
+//       `domino live --follow`. --stall freezes one stream at a given
+//       session time, for watchdog testing.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,12 +62,15 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "domino/codegen.h"
 #include "domino/config_parser.h"
 #include "domino/lint/lint.h"
 #include "domino/report.h"
+#include "domino/runtime/supervisor.h"
+#include "sim/live_feed.h"
 #include "telemetry/align.h"
 #include "sim/call_session.h"
 #include "sim/cell_config.h"
@@ -58,12 +78,16 @@
 #include "telemetry/io.h"
 #include "telemetry/sanitize.h"
 
+#ifndef DOMINO_VERSION
+#define DOMINO_VERSION "unknown"
+#endif
+
 namespace {
 
 using namespace domino;
 
-int Usage() {
-  std::fprintf(stderr,
+void PrintUsage(std::FILE* to) {
+  std::fprintf(to,
                "usage:\n"
                "  domino simulate <cell> <seconds> <out_dir> [--seed N]\n"
                "  domino ingest <dataset_dir> [--repair] [--out DIR]\n"
@@ -77,11 +101,28 @@ int Usage() {
                "                 [--strict-lint | --no-lint]"
                " [--min-coverage X]\n"
                "                 [--json-report FILE] [--no-sanitize]\n"
+               "  domino live <dataset_dir>... [--state DIR] [--follow]"
+               " [--naive] [--quiet]\n"
+               "              [--window SEC] [--step SEC] [--min-coverage X]"
+               " [--threads N]\n"
+               "              [--chunk-s SEC] [--horizon-s SEC]"
+               " [--stall-deadline-s SEC]\n"
+               "              [--max-backlog N] [--checkpoint-every N]"
+               " [--max-idle N]\n"
+               "              [--sequential] [--crash-after N]\n"
+               "  domino replay <dataset_dir> <out_dir> [--interval-ms N]"
+               " [--chunk-ms N]\n"
+               "               [--stall stream=SEC]\n"
                "  domino codegen <config_file> [-o FILE]\n"
                "  domino lint <config_file> [--strict] [--format json]"
                " [--no-default-graph]\n"
+               "  domino --help | --version\n"
                "cells: tmobile-fdd15 tmobile-tdd100 amarisoft mosolabs"
                " wired\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -423,6 +464,170 @@ int CmdAnalyze(std::vector<std::string> args) {
   return 0;
 }
 
+/// Parses the `--stall stream=SEC` spec for `domino replay`.
+std::optional<std::pair<telemetry::StreamId, double>> ParseStallSpec(
+    const std::string& spec) {
+  auto eq = spec.find('=');
+  if (eq == std::string::npos) {
+    std::fprintf(stderr, "bad stall spec '%s' (want stream=SEC)\n",
+                 spec.c_str());
+    return std::nullopt;
+  }
+  const std::string name = spec.substr(0, eq);
+  const double sec = std::stod(spec.substr(eq + 1));
+  using telemetry::StreamId;
+  StreamId id;
+  if (name == "dci") {
+    id = StreamId::kDci;
+  } else if (name == "gnb_log" || name == "gnb") {
+    id = StreamId::kGnbLog;
+  } else if (name == "packets") {
+    id = StreamId::kPackets;
+  } else if (name == "stats_ue") {
+    id = StreamId::kStatsUe;
+  } else if (name == "stats_remote") {
+    id = StreamId::kStatsRemote;
+  } else {
+    std::fprintf(stderr,
+                 "unknown stream '%s' (known: dci gnb_log packets stats_ue "
+                 "stats_remote)\n",
+                 name.c_str());
+    return std::nullopt;
+  }
+  return std::make_pair(id, sec);
+}
+
+int CmdReplay(std::vector<std::string> args) {
+  auto interval_ms = TakeFlag(args, "--interval-ms");
+  auto chunk_ms = TakeFlag(args, "--chunk-ms");
+  auto stall = TakeFlag(args, "--stall");
+  if (args.size() != 2) return Usage();
+
+  telemetry::SessionDataset ds = telemetry::LoadDataset(args[0]);
+  sim::LiveFeedOptions opts;
+  if (chunk_ms) opts.chunk = Millis(std::stoll(*chunk_ms));
+  if (stall) {
+    auto spec = ParseStallSpec(*stall);
+    if (!spec.has_value()) return 2;
+    opts.stall_after[static_cast<std::size_t>(spec->first)] =
+        ds.begin + Seconds(spec->second);
+  }
+  const int sleep_ms = interval_ms ? std::stoi(*interval_ms) : 0;
+
+  sim::LiveFeedWriter writer(ds, args[1], opts);
+  std::printf("replaying %s (%.0f s) into %s, %lld ms chunks...\n",
+              args[0].c_str(), ds.duration().seconds(), args[1].c_str(),
+              static_cast<long long>(opts.chunk.micros() / 1000));
+  if (sleep_ms <= 0) {
+    writer.WriteAll();
+  } else {
+    while (writer.Step()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+  }
+  std::printf("replay complete at t=%.1f s\n",
+              (writer.cursor() - ds.begin).seconds());
+  return 0;
+}
+
+int CmdLive(std::vector<std::string> args) {
+  auto state_dir = TakeFlag(args, "--state");
+  auto window_s = TakeFlag(args, "--window");
+  auto step_s = TakeFlag(args, "--step");
+  auto min_coverage = TakeFlag(args, "--min-coverage");
+  auto threads = TakeFlag(args, "--threads");
+  auto chunk_s = TakeFlag(args, "--chunk-s");
+  auto horizon_s = TakeFlag(args, "--horizon-s");
+  auto stall_deadline_s = TakeFlag(args, "--stall-deadline-s");
+  auto max_backlog = TakeFlag(args, "--max-backlog");
+  auto checkpoint_every = TakeFlag(args, "--checkpoint-every");
+  auto max_idle = TakeFlag(args, "--max-idle");
+  auto poll_sleep_ms = TakeFlag(args, "--poll-sleep-ms");
+  auto crash_after = TakeFlag(args, "--crash-after");
+  bool naive = false;
+  bool follow = false;
+  bool sequential = false;
+  bool quiet = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--naive") {
+      naive = true;
+      it = args.erase(it);
+    } else if (*it == "--follow") {
+      follow = true;
+      it = args.erase(it);
+    } else if (*it == "--sequential") {
+      sequential = true;
+      it = args.erase(it);
+    } else if (*it == "--quiet") {
+      quiet = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (args.empty()) return Usage();
+  if (state_dir && args.size() > 1) {
+    std::fprintf(stderr,
+                 "--state needs a single dataset dir (got %zu); multiple "
+                 "sessions use <dataset>/live_state\n",
+                 args.size());
+    return 2;
+  }
+
+  runtime::LiveOptions opts;
+  if (window_s) opts.detector.window = Seconds(std::stod(*window_s));
+  if (step_s) opts.detector.step = Seconds(std::stod(*step_s));
+  if (min_coverage) opts.detector.min_coverage = std::stod(*min_coverage);
+  if (threads) opts.detector.threads = std::stoi(*threads);
+  opts.detector.incremental = !naive;
+  if (chunk_s) opts.chunk = Seconds(std::stod(*chunk_s));
+  if (horizon_s) opts.horizon = Seconds(std::stod(*horizon_s));
+  if (stall_deadline_s) opts.stall_deadline = Seconds(std::stod(*stall_deadline_s));
+  if (max_backlog) opts.max_backlog_windows = std::stol(*max_backlog);
+  if (checkpoint_every) {
+    opts.checkpoint_every_windows = std::stol(*checkpoint_every);
+  }
+  if (max_idle) opts.max_idle_polls = std::stoi(*max_idle);
+  if (poll_sleep_ms) opts.poll_sleep_ms = std::stoi(*poll_sleep_ms);
+  if (crash_after) opts.crash_after_checkpoints = std::stol(*crash_after);
+  opts.follow = follow;
+  opts.quiet = quiet;
+
+  std::vector<runtime::SessionSpec> specs;
+  for (const std::string& dir : args) {
+    runtime::SessionSpec spec;
+    spec.dataset_dir = dir;
+    if (state_dir) spec.state_dir = *state_dir;
+    specs.push_back(std::move(spec));
+  }
+
+  analysis::CausalGraph graph =
+      analysis::CausalGraph::Default(opts.detector.thresholds);
+  const bool parallel = !sequential && specs.size() > 1;
+  std::vector<runtime::SessionOutcome> outcomes =
+      runtime::RunSessions(specs, graph, opts, parallel);
+
+  int failures = 0;
+  for (const auto& o : outcomes) {
+    if (!o.ok) {
+      ++failures;
+      std::printf("live %s: FAILED: %s\n", o.dataset_dir.c_str(),
+                  o.error.c_str());
+      continue;
+    }
+    const auto& s = o.summary;
+    std::printf("live %s: %ld windows, %ld chains (%ld insufficient), "
+                "%ld checkpoints%s%s\n",
+                o.dataset_dir.c_str(), s.windows, s.chains,
+                s.insufficient_chains, s.checkpoints,
+                s.resumed ? ", resumed" : "",
+                s.stalled_streams > 0 ? ", stalled streams at end" : "");
+    std::printf("  report: %s\n  chains: %s\n", s.report_path.c_str(),
+                s.chains_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int CmdCodegen(std::vector<std::string> args) {
   auto out = TakeFlag(args, "-o");
   if (args.size() != 1) return Usage();
@@ -451,11 +656,21 @@ int CmdCodegen(std::vector<std::string> args) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    PrintUsage(stdout);
+    return 0;
+  }
+  if (cmd == "--version" || cmd == "version") {
+    std::printf("domino %s\n", DOMINO_VERSION);
+    return 0;
+  }
   std::vector<std::string> args(argv + 2, argv + argc);
   try {
     if (cmd == "simulate") return CmdSimulate(std::move(args));
     if (cmd == "ingest") return CmdIngest(std::move(args));
     if (cmd == "analyze") return CmdAnalyze(std::move(args));
+    if (cmd == "live") return CmdLive(std::move(args));
+    if (cmd == "replay") return CmdReplay(std::move(args));
     if (cmd == "codegen") return CmdCodegen(std::move(args));
     if (cmd == "lint" || cmd == "--lint") return CmdLint(std::move(args));
   } catch (const std::exception& e) {
