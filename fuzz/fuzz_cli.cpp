@@ -1,0 +1,46 @@
+// Fuzz target: the `domino` argv front-end (tools/domino_main.h).
+//
+// Input bytes are split on '\n' into an argv vector and fed to DominoMain
+// in dry-run mode: every subcommand parses and validates its flags with
+// the strict layer, then returns before touching the filesystem. Any
+// uncaught exception or abort from a flag value is a finding.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "domino_main.h"
+
+namespace {
+
+// Nearly every mutated argv is a usage error; silence the diagnostic spam
+// so mutation runs are not I/O-bound. Crashes surface via signals, not
+// stderr.
+const bool g_quiet = [] {
+  return std::freopen("/dev/null", "w", stderr) != nullptr;
+}();
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)g_quiet;
+  std::vector<std::string> args;
+  std::string cur;
+  for (std::size_t i = 0; i < size && args.size() < 64; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c == '\n' || c == '\0') {
+      args.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) args.push_back(cur);
+
+  domino::cli::MainOptions mo;
+  mo.dry_run = true;
+  domino::cli::DominoMain(std::move(args), mo);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fuzz target: the config DSL front-end — checked config/expression
+// parsing plus the full lint pipeline, exactly the path `domino lint` and
+// `domino analyze --config` run on a user-supplied file.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/parse.h"
+#include "domino/config_parser.h"
+#include "domino/lint/lint.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // Checked parse under tight budgets (config bytes, defs, expr depth and
+  // nodes) so the DL006/DL213 fail-closed paths are exercised constantly.
+  domino::InputLimits lim;
+  lim.max_config_bytes = 1 << 16;
+  lim.max_config_defs = 128;
+  lim.max_expr_nodes = 1024;
+  lim.max_expr_depth = 48;
+  domino::analysis::lint::DiagnosticSink sink;
+  domino::analysis::ParseConfigChecked(text, sink, lim);
+
+  // The shipped front-end with default limits: parse + semantic lint +
+  // graph checks, diagnostics rendered into the JSON formatter's input.
+  domino::analysis::lint::LintConfigText(text, {});
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fuzz target: the tolerant CSV stream readers (telemetry/io.h).
+//
+// The first input byte selects the reader; the rest is the CSV text.
+// Budgets are shrunk so every InputLimits path (long line, field overflow,
+// record cap) is reachable within tiny inputs, keeping runs fast.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/parse.h"
+#include "telemetry/io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  using namespace domino;
+  using namespace domino::telemetry;
+  InputLimits lim;
+  lim.max_line_bytes = 4096;
+  lim.max_fields = 64;
+  lim.max_records = 10'000;
+  const std::string text(reinterpret_cast<const char*>(data + 1), size - 1);
+  std::istringstream is(text);
+  ReadStats stats;
+  switch (data[0] % 5) {
+    case 0: ReadDciCsv(is, &stats, lim); break;
+    case 1: ReadPacketCsv(is, &stats, lim); break;
+    case 2: ReadStatsCsv(is, &stats, lim); break;
+    case 3: ReadGnbLogCsv(is, &stats, lim); break;
+    case 4: {
+      SessionDataset ds;
+      ReadMetaCsv(is, ds, stats, lim);
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "common/csv.h"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -26,8 +27,9 @@ void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
   os_ << '\n';
 }
 
-std::vector<std::string> ParseCsvLine(const std::string& line) {
-  std::vector<std::string> cells;
+bool ParseCsvLineTo(const std::string& line, std::vector<std::string>& cells,
+                    std::size_t max_fields) {
+  cells.clear();
   std::string cur;
   bool in_quote = false;
   for (std::size_t i = 0; i < line.size(); ++i) {
@@ -46,16 +48,24 @@ std::vector<std::string> ParseCsvLine(const std::string& line) {
     } else if (c == '"') {
       in_quote = true;
     } else if (c == ',') {
+      if (cells.size() + 1 >= max_fields) return false;
       cells.push_back(std::move(cur));
       cur.clear();
     } else {
       cur += c;
     }
   }
-  if (in_quote) {
+  if (in_quote) return false;
+  cells.push_back(std::move(cur));
+  return true;
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  if (!ParseCsvLineTo(line, cells,
+                      std::numeric_limits<std::size_t>::max())) {
     throw std::invalid_argument("ParseCsvLine: unterminated quote");
   }
-  cells.push_back(std::move(cur));
   return cells;
 }
 
@@ -66,6 +76,36 @@ std::vector<std::vector<std::string>> ReadCsv(std::istream& is) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     rows.push_back(ParseCsvLine(line));
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> ReadCsv(std::istream& is,
+                                              const InputLimits& lim,
+                                              CsvReadStatus* status) {
+  CsvReadStatus local;
+  CsvReadStatus& st = status != nullptr ? *status : local;
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  for (;;) {
+    LineRead lr = BoundedGetline(is, line, lim.max_line_bytes);
+    if (!lr.got) break;
+    if (lr.truncated) {
+      ++st.rows_dropped;
+      continue;
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (rows.size() >= lim.max_records) {
+      st.row_budget_hit = true;
+      break;
+    }
+    std::vector<std::string> cells;
+    if (!ParseCsvLineTo(line, cells, lim.max_fields)) {
+      ++st.rows_dropped;
+      continue;
+    }
+    rows.push_back(std::move(cells));
   }
   return rows;
 }

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
+
 namespace domino {
 
 class CsvWriter {
@@ -24,7 +26,29 @@ class CsvWriter {
 /// std::invalid_argument on an unterminated quote.
 std::vector<std::string> ParseCsvLine(const std::string& line);
 
+/// Non-throwing variant: parses `line` into `cells` (cleared first).
+/// Returns false on an unterminated quote or when the row would exceed
+/// `max_fields` cells; `cells` then holds the partial parse.
+bool ParseCsvLineTo(const std::string& line, std::vector<std::string>& cells,
+                    std::size_t max_fields);
+
 /// Reads all rows from a stream. Empty lines are skipped.
 std::vector<std::vector<std::string>> ReadCsv(std::istream& is);
+
+/// What the bounded reader had to reject (counts only; the good rows are
+/// still returned).
+struct CsvReadStatus {
+  std::size_t rows_dropped = 0;  ///< Unterminated quote / too many fields /
+                                 ///< over-long line.
+  bool row_budget_hit = false;   ///< Stopped at lim.max_records rows.
+};
+
+/// Bounded, non-throwing reader for untrusted streams: each line is capped
+/// at lim.max_line_bytes (longer lines are consumed but dropped), each row
+/// at lim.max_fields cells, and at most lim.max_records rows are returned.
+/// Malformed rows are dropped and counted in `status`; nothing throws.
+std::vector<std::vector<std::string>> ReadCsv(std::istream& is,
+                                              const InputLimits& lim,
+                                              CsvReadStatus* status);
 
 }  // namespace domino

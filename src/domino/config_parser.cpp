@@ -34,8 +34,9 @@ bool ValidName(const std::string& s, bool allow_at) {
 /// into `cfg` and reports every problem (with recovery) into `sink`.
 class ConfigLineParser {
  public:
-  ConfigLineParser(DominoConfigFile& cfg, DiagnosticSink& sink)
-      : cfg_(cfg), sink_(sink) {}
+  ConfigLineParser(DominoConfigFile& cfg, DiagnosticSink& sink,
+                   const InputLimits& limits)
+      : cfg_(cfg), sink_(sink), limits_(limits) {}
 
   void ParseLine(const std::string& line, int lineno) {
     line_ = &line;
@@ -140,7 +141,7 @@ class ConfigLineParser {
     def.expr_text = line_->substr(body_start, line_end - body_start);
 
     DiagnosticSink sub;
-    CheckedExpr ce = ParseExpressionChecked(def.expr_text, sub);
+    CheckedExpr ce = ParseExpressionChecked(def.expr_text, sub, limits_);
     bool had_errors = sub.has_errors();
     sub.DrainInto(sink_, lineno_, def.expr_col);
     def.expr = ce.expr;
@@ -226,6 +227,7 @@ class ConfigLineParser {
 
   DominoConfigFile& cfg_;
   DiagnosticSink& sink_;
+  InputLimits limits_;
   const std::string* line_ = nullptr;
   int lineno_ = 0;
 };
@@ -241,11 +243,27 @@ std::pair<std::string, PathLeg> SplitNodeLeg(const std::string& name) {
 }
 
 DominoConfigFile ParseConfigChecked(const std::string& text,
-                                    lint::DiagnosticSink& sink) {
+                                    lint::DiagnosticSink& sink,
+                                    const InputLimits& limits) {
   DominoConfigFile cfg;
-  ConfigLineParser parser(cfg, sink);
+  if (text.size() > limits.max_config_bytes) {
+    sink.Error("DL213", SourceSpan{1, 1, 1},
+               "config is " + std::to_string(text.size()) +
+                   " bytes; the limit is " +
+                   std::to_string(limits.max_config_bytes) +
+                   " — refusing to parse");
+    return cfg;
+  }
+  ConfigLineParser parser(cfg, sink, limits);
   std::vector<std::string> lines = lint::SplitLines(text);
   for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (cfg.events.size() + cfg.chains.size() >= limits.max_config_defs) {
+      sink.Error("DL213", SourceSpan{static_cast<int>(i) + 1, 1, 1},
+                 "config defines more than " +
+                     std::to_string(limits.max_config_defs) +
+                     " events/chains; remaining lines ignored");
+      break;
+    }
     std::string line = lines[i];
     auto hash = line.find('#');
     if (hash != std::string::npos) line = line.substr(0, hash);

@@ -57,8 +57,12 @@ DominoConfigFile ParseConfigText(const std::string& text);
 /// with file-accurate line:column spans, and keeps whatever parsed cleanly.
 /// Event expressions run through ParseExpressionChecked, so expression
 /// diagnostics land here too, rebased onto the config line.
+/// `limits` bounds total config size, definition count, and per-expression
+/// parser work (DL213 / DL006); anything over budget fails closed with a
+/// diagnostic instead of consuming unbounded memory.
 DominoConfigFile ParseConfigChecked(const std::string& text,
-                                    lint::DiagnosticSink& sink);
+                                    lint::DiagnosticSink& sink,
+                                    const InputLimits& limits = {});
 
 /// Splits "name@rev" into (name, kRev); plain names resolve to kFwd.
 std::pair<std::string, PathLeg> SplitNodeLeg(const std::string& name);

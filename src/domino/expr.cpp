@@ -1,8 +1,10 @@
 #include "domino/expr.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <limits>
 #include <map>
@@ -118,13 +120,22 @@ class Lexer {
         }
         current_.kind = Tok::kNumber;
         current_.len = end - i_;
-        try {
-          current_.number = std::stod(src_.substr(i_, end - i_));
-        } catch (const std::exception&) {
+        // Exception-free parse: a malformed literal is DL002, one whose
+        // magnitude over/underflows double (e.g. 1e99999) is DL005.
+        const std::string lit = src_.substr(i_, end - i_);
+        char* endp = nullptr;
+        errno = 0;
+        double v = std::strtod(lit.c_str(), &endp);
+        if (endp != lit.c_str() + lit.size()) {
           Fail("DL002", SpanBetween(i_, end),
-               "bad number literal '" + src_.substr(i_, end - i_) + "'");
-          current_.number = 0;  // recovered placeholder
+               "bad number literal '" + lit + "'");
+          v = 0;  // recovered placeholder
+        } else if (errno == ERANGE || !std::isfinite(v)) {
+          Fail("DL005", SpanBetween(i_, end),
+               "number literal '" + lit + "' is out of range for a double");
+          v = 0;  // recovered placeholder
         }
+        current_.number = v;
         i_ = end;
         return;
       }
@@ -627,8 +638,9 @@ struct Ann {
 
 class Parser {
  public:
-  Parser(const std::string& src, DiagnosticSink* sink)
-      : src_(src), lexer_(src, sink), sink_(sink) {}
+  Parser(const std::string& src, DiagnosticSink* sink,
+         const InputLimits& limits = {})
+      : src_(src), lexer_(src, sink), sink_(sink), limits_(limits) {}
 
   Ann Parse() {
     Ann e = ParseOr();
@@ -690,12 +702,42 @@ class Parser {
     a.poisoned = true;
   }
 
+  /// Recursion/size budget (DL006). The grammar recurses through ParseOr
+  /// (parenthesized groups, call arguments) and ParseUnary (chained
+  /// unary operators); both check the depth budget on entry. On a blown
+  /// budget the rest of the input is skipped — a pathological expression
+  /// must cost O(len) work and O(max_expr_depth) stack, never a stack
+  /// overflow or an exponential diagnostic cascade.
+  bool EnterBudgeted(std::size_t pos) {
+    ++nodes_;
+    if (depth_ < limits_.max_expr_depth && nodes_ <= limits_.max_expr_nodes) {
+      ++depth_;
+      return true;
+    }
+    if (!budget_blown_) {
+      budget_blown_ = true;
+      Error("DL006", SpanBetween(pos, src_.size()),
+            depth_ >= limits_.max_expr_depth
+                ? "expression nests deeper than " +
+                      std::to_string(limits_.max_expr_depth) + " levels"
+                : "expression has more than " +
+                      std::to_string(limits_.max_expr_nodes) + " nodes");
+    }
+    while (lexer_.peek().kind != Tok::kEnd) lexer_.Take();
+    return false;
+  }
+  void LeaveBudgeted() { --depth_; }
+
   Ann ParseOr() {
+    if (!EnterBudgeted(lexer_.peek().pos)) {
+      return Poisoned(lexer_.peek().pos, src_.size(), false);
+    }
     Ann lhs = ParseAnd();
     while (lexer_.peek().kind == Tok::kOr) {
       Token op = lexer_.Take();
       lhs = MakeBinary(Tok::kOr, op, std::move(lhs), ParseAnd());
     }
+    LeaveBudgeted();
     return lhs;
   }
 
@@ -740,6 +782,15 @@ class Parser {
   }
 
   Ann ParseUnary() {
+    if (!EnterBudgeted(lexer_.peek().pos)) {
+      return Poisoned(lexer_.peek().pos, src_.size(), false);
+    }
+    Ann out = ParseUnaryInner();
+    LeaveBudgeted();
+    return out;
+  }
+
+  Ann ParseUnaryInner() {
     if (lexer_.peek().kind == Tok::kMinus) {
       Token op = lexer_.Take();
       Ann inner = ParseUnary();
@@ -1202,6 +1253,10 @@ class Parser {
   const std::string& src_;
   Lexer lexer_;
   DiagnosticSink* sink_;
+  InputLimits limits_;
+  std::size_t depth_ = 0;
+  std::size_t nodes_ = 0;
+  bool budget_blown_ = false;
 };
 
 }  // namespace
@@ -1239,9 +1294,10 @@ ExprPtr ParseExpression(const std::string& text) {
 }
 
 CheckedExpr ParseExpressionChecked(const std::string& text,
-                                   lint::DiagnosticSink& sink) {
+                                   lint::DiagnosticSink& sink,
+                                   const InputLimits& limits) {
   std::size_t errors_before = sink.error_count();
-  Parser p(text, &sink);
+  Parser p(text, &sink, limits);
   Ann a = p.Parse();
   CheckedExpr out;
   out.is_series = a.series;

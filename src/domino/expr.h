@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "domino/events.h"
 #include "domino/lint/diagnostics.h"
 
@@ -86,8 +87,11 @@ struct CheckedExpr {
 /// functions, series-vs-scalar type checks, arity checks, value-range
 /// constant folding (tautological / unsatisfiable comparisons), and
 /// unit-sanity heuristics. Warnings never block; errors null the result.
+/// `limits` bounds parser recursion depth and AST size (DL006) so a
+/// hostile expression cannot overflow the stack or balloon memory.
 CheckedExpr ParseExpressionChecked(const std::string& text,
-                                   lint::DiagnosticSink& sink);
+                                   lint::DiagnosticSink& sink,
+                                   const InputLimits& limits = {});
 
 /// Convenience: evaluates a parsed expression as a boolean condition.
 inline bool EvalCondition(const ExprNode& expr, const WindowContext& ctx) {

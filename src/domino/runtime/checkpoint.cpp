@@ -94,11 +94,19 @@ std::string FormatCheckpoint(const LiveCheckpoint& cp) {
 
 bool ParseCheckpoint(const std::string& text,
                      const std::string& expected_fingerprint,
-                     LiveCheckpoint* cp, std::string* error) {
+                     LiveCheckpoint* cp, std::string* error,
+                     CheckpointFailure* failure, const InputLimits& limits) {
+  if (failure != nullptr) *failure = CheckpointFailure::kCorrupt;
   auto fail = [&](const std::string& why) {
     if (error != nullptr) *error = why;
     return false;
   };
+  if (text.size() > limits.max_checkpoint_bytes) {
+    return fail("checkpoint: " + std::to_string(text.size()) +
+                " bytes exceeds the " +
+                std::to_string(limits.max_checkpoint_bytes) +
+                "-byte budget");
+  }
   // Split off and verify the trailing checksum line first: a torn write
   // must be rejected before any field is trusted.
   std::size_t mark = text.rfind("checksum ");
@@ -125,8 +133,14 @@ bool ParseCheckpoint(const std::string& text,
     return fail("checkpoint: bad or unsupported version header");
   }
   bool ok = true;
+  std::size_t entries = 0;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
+    if (++entries > limits.max_checkpoint_entries) {
+      return fail("checkpoint: more than " +
+                  std::to_string(limits.max_checkpoint_entries) +
+                  " entries");
+    }
     std::istringstream ls(line);
     std::string key;
     ls >> key;
@@ -209,10 +223,12 @@ bool ParseCheckpoint(const std::string& text,
   if (!ok) return fail("checkpoint: malformed field");
   if (!expected_fingerprint.empty() &&
       out.fingerprint != expected_fingerprint) {
+    if (failure != nullptr) *failure = CheckpointFailure::kFingerprintMismatch;
     return fail("checkpoint: fingerprint mismatch (config or engine "
                 "changed since the checkpoint was written)");
   }
   *cp = std::move(out);
+  if (failure != nullptr) *failure = CheckpointFailure::kNone;
   return true;
 }
 
@@ -230,15 +246,34 @@ bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path) {
 
 bool LoadCheckpoint(const std::string& path,
                     const std::string& expected_fingerprint,
-                    LiveCheckpoint* cp, std::string* error) {
+                    LiveCheckpoint* cp, std::string* error,
+                    CheckpointFailure* failure, const InputLimits& limits) {
   std::ifstream f(path, std::ios::binary);
   if (!f) {
     if (error != nullptr) error->clear();
+    if (failure != nullptr) *failure = CheckpointFailure::kMissing;
     return false;
   }
+  // Size-check before slurping: a multi-GB file at the checkpoint path is
+  // garbage (real checkpoints are a few KB) and must not be read into
+  // memory just to fail its checksum.
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  if (size < 0 ||
+      static_cast<std::uint64_t>(size) > limits.max_checkpoint_bytes) {
+    if (error != nullptr) {
+      *error = "checkpoint: file is " + std::to_string(size) +
+               " bytes; the budget is " +
+               std::to_string(limits.max_checkpoint_bytes);
+    }
+    if (failure != nullptr) *failure = CheckpointFailure::kCorrupt;
+    return false;
+  }
+  f.seekg(0);
   std::ostringstream buf;
   buf << f.rdbuf();
-  return ParseCheckpoint(buf.str(), expected_fingerprint, cp, error);
+  return ParseCheckpoint(buf.str(), expected_fingerprint, cp, error, failure,
+                         limits);
 }
 
 }  // namespace domino::runtime

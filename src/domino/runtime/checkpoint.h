@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/parse.h"
 #include "common/time.h"
 #include "telemetry/dataset.h"
 #include "telemetry/tail.h"
@@ -84,21 +85,39 @@ struct LiveCheckpoint {
 /// Serialises `cp` (text form, checksummed). Exposed for tests.
 std::string FormatCheckpoint(const LiveCheckpoint& cp);
 
-/// Parses a checkpoint; returns false (with `*error` set) on version,
-/// checksum, or syntax problems. `expected_fingerprint` empty skips the
-/// fingerprint check.
+/// Why a checkpoint load failed. Callers branch on this: corruption means
+/// "warn and start fresh" (the file is untrusted garbage), while a
+/// fingerprint mismatch means "refuse to run" (the file is valid but was
+/// written under a different config — resuming would silently mix
+/// incompatible analysis state).
+enum class CheckpointFailure {
+  kNone,                 ///< Load succeeded.
+  kMissing,              ///< No file: a fresh start, not a failure.
+  kCorrupt,              ///< Torn, tampered, oversized, or unparseable.
+  kFingerprintMismatch,  ///< Valid file from a different config/engine.
+};
+
+/// Parses a checkpoint; returns false (with `*error` set and `*failure`
+/// classified) on version, checksum, size-budget, or syntax problems.
+/// `expected_fingerprint` empty skips the fingerprint check.
 bool ParseCheckpoint(const std::string& text,
                      const std::string& expected_fingerprint,
-                     LiveCheckpoint* cp, std::string* error);
+                     LiveCheckpoint* cp, std::string* error,
+                     CheckpointFailure* failure = nullptr,
+                     const InputLimits& limits = {});
 
 /// Atomic write-to-temp-then-rename save. Returns false on I/O failure
 /// (the previous checkpoint, if any, is left untouched).
 bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path);
 
 /// Loads and validates a checkpoint file. Missing file returns false with
-/// an empty error (a fresh start, not a failure).
+/// an empty error (a fresh start, not a failure). Files larger than
+/// limits.max_checkpoint_bytes are rejected as corrupt without being read
+/// into memory.
 bool LoadCheckpoint(const std::string& path,
                     const std::string& expected_fingerprint,
-                    LiveCheckpoint* cp, std::string* error);
+                    LiveCheckpoint* cp, std::string* error,
+                    CheckpointFailure* failure = nullptr,
+                    const InputLimits& limits = {});
 
 }  // namespace domino::runtime

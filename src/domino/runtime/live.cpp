@@ -140,7 +140,9 @@ LiveSummary LiveRunner::Run() {
 
   LiveCheckpoint cp;
   std::string error;
-  if (LoadCheckpoint(ckpt_path, fingerprint_, &cp, &error)) {
+  CheckpointFailure failure = CheckpointFailure::kNone;
+  if (LoadCheckpoint(ckpt_path, fingerprint_, &cp, &error, &failure,
+                     opts_.input)) {
     // Resume: restore every accumulator, then truncate the chain log to
     // the checkpointed byte offset — chains past it were emitted after the
     // checkpoint and will be re-emitted deterministically.
@@ -188,9 +190,21 @@ LiveSummary LiveRunner::Run() {
       fs::resize_file(chains_path, cp.chainlog_bytes);
     }
     chainlog_bytes_ = cp.chainlog_bytes;
-  } else if (!error.empty()) {
+  } else if (failure == CheckpointFailure::kFingerprintMismatch) {
+    // The checkpoint is *valid* but belongs to a different config/engine.
+    // Resuming would mix incompatible analysis state and starting fresh
+    // would silently discard a healthy run — the operator must decide.
     throw std::runtime_error(error + " (" + ckpt_path + ")");
   } else {
+    if (failure == CheckpointFailure::kCorrupt) {
+      // Torn, tampered, or oversized: the file carries no trustworthy
+      // state, so the only safe continuation is a fresh start. Warn loudly
+      // — data before the crash will be re-analysed, not lost.
+      std::fprintf(stderr,
+                   "live: warning: ignoring corrupt checkpoint %s (%s); "
+                   "starting fresh\n",
+                   ckpt_path.c_str(), error.c_str());
+    }
     // Fresh start: a stale log from an earlier aborted run (no checkpoint
     // yet written) must not pollute this one.
     std::ofstream(chains_path, std::ios::trunc);
@@ -263,7 +277,7 @@ bool LiveRunner::AwaitMeta() {
         for (StreamId id : AllStreams()) {
           const auto& cur =
               restored_tails_[static_cast<std::size_t>(id)];
-          reader_.ReplayTo(id, ds_, cur, cut_);
+          reader_.ReplayTo(id, ds_, cur, cut_, opts_.input);
           data_end = std::max(data_end, cur.watermark);
         }
         ds_.end = data_end;
@@ -303,6 +317,7 @@ bool LiveRunner::PollOnce() {
   lim.limit = limit_;
   lim.reorder_guard = opts_.reorder_guard;
   lim.max_jump = opts_.max_watermark_jump;
+  lim.input = opts_.input;
 
   std::size_t rows = 0;
   bool all_eof = true;

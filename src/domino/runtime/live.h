@@ -51,6 +51,9 @@ namespace domino::runtime {
 struct LiveOptions {
   analysis::DominoConfig detector;
   telemetry::SanitizeOptions sanitize;
+  /// Resource budgets for everything this runtime reads from disk (tailed
+  /// CSVs, meta.csv, the checkpoint); see common/parse.h.
+  InputLimits input{};
 
   /// Virtual-time poll grid: poll k ingests up to anchor + k*chunk. Must be
   /// a multiple of the detector step (enforced at construction).

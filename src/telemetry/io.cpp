@@ -19,6 +19,7 @@ const char* ToString(TelemetryErrorKind kind) {
     case TelemetryErrorKind::kEmptyStream: return "empty_stream";
     case TelemetryErrorKind::kTruncatedRow: return "truncated_row";
     case TelemetryErrorKind::kBadField: return "bad_field";
+    case TelemetryErrorKind::kLimitExceeded: return "limit_exceeded";
   }
   return "?";
 }
@@ -51,23 +52,14 @@ std::string D(double v) {
 
 /// Full-consumption integer parse; false on garbage (no exceptions).
 bool ParseI(const std::string& s, std::int64_t* out) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  errno = 0;
-  long long v = std::strtoll(s.c_str(), &end, 10);
-  if (errno != 0 || end != s.c_str() + s.size()) return false;
-  *out = v;
-  return true;
+  return ParseInt64(s, *out);
 }
 
+/// ParseFinite also rejects "inf"/"nan" spellings and out-of-range
+/// magnitudes: a non-finite metric would silently poison every window
+/// statistic downstream.
 bool ParseD(const std::string& s, double* out) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  errno = 0;
-  double v = std::strtod(s.c_str(), &end);
-  if (errno != 0 || end != s.c_str() + s.size()) return false;
-  *out = v;
-  return true;
+  return ParseFinite(s, *out);
 }
 
 /// Cursor over one CSV row: typed field accessors that record the first
@@ -129,34 +121,57 @@ class Row {
 
 /// Reads a CSV stream row by row, calling `parse(Row&)` per data row; the
 /// parser returns false to drop the row. Defects never escape as
-/// exceptions; they land in `stats`.
+/// exceptions; they land in `stats`. InputLimits are enforced here: lines
+/// over limits.max_line_bytes and rows over limits.max_fields are dropped
+/// as kLimitExceeded/kBadField, and the loop stops (one kLimitExceeded
+/// diagnostic) after limits.max_records data rows.
 template <typename ParseFn>
 void ForEachRow(std::istream& is, const char* stream_name, ReadStats& stats,
-                ParseFn parse) {
+                const InputLimits& limits, ParseFn parse) {
   std::string line;
+  std::vector<std::string> cells;
   std::size_t row_number = 0;  // 1-based; header is row 1.
+  std::size_t records = 0;
   bool saw_header = false;
-  while (std::getline(is, line)) {
+  for (;;) {
+    const LineRead lr = BoundedGetline(is, line, limits.max_line_bytes);
+    if (!lr.got) break;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     ++row_number;
-    std::vector<std::string> cells;
-    try {
-      cells = ParseCsvLine(line);
-    } catch (const std::invalid_argument&) {
-      if (row_number == 1) saw_header = true;  // even a broken header counts
+    // A malformed row (over-long, broken quoting, too wide) counts toward
+    // the totals but is dropped; even a broken header counts as "saw data".
+    const bool bad_line =
+        lr.truncated || !ParseCsvLineTo(line, cells, limits.max_fields);
+    if (bad_line) {
+      if (row_number == 1) saw_header = true;
       if (row_number > 1) {
         ++stats.rows_total;
         ++stats.rows_dropped;
       }
-      stats.Add(TelemetryErrorKind::kBadField, row_number,
-                "unterminated quote");
+      if (lr.truncated) {
+        stats.Add(TelemetryErrorKind::kLimitExceeded, row_number,
+                  "line exceeds " + std::to_string(limits.max_line_bytes) +
+                      " bytes");
+      } else {
+        stats.Add(TelemetryErrorKind::kBadField, row_number,
+                  "unterminated quote or more than " +
+                      std::to_string(limits.max_fields) + " fields");
+      }
       continue;
     }
     if (row_number == 1) {  // header row: column names are not validated
       saw_header = true;
       continue;
     }
+    if (records >= limits.max_records) {
+      stats.Add(TelemetryErrorKind::kLimitExceeded, row_number,
+                "record budget (" + std::to_string(limits.max_records) +
+                    ") exhausted for " + stream_name +
+                    "; remaining rows ignored");
+      break;
+    }
+    ++records;
     ++stats.rows_total;
     Row row(cells, row_number);
     bool keep = parse(row) && row.ok();
@@ -191,11 +206,12 @@ void WriteDciCsv(std::ostream& os, const std::vector<DciRecord>& records) {
   }
 }
 
-std::vector<DciRecord> ReadDciCsv(std::istream& is, ReadStats* stats) {
+std::vector<DciRecord> ReadDciCsv(std::istream& is, ReadStats* stats,
+                                  const InputLimits& limits) {
   ReadStats local;
   ReadStats& st = stats != nullptr ? *stats : local;
   std::vector<DciRecord> out;
-  ForEachRow(is, "dci", st, [&](Row& c) {
+  ForEachRow(is, "dci", st, limits, [&](Row& c) {
     DciRecord r;
     r.time = Time{c.Int(0)};
     r.rnti = static_cast<std::uint32_t>(c.Int(1));
@@ -227,11 +243,12 @@ void WritePacketCsv(std::ostream& os,
   }
 }
 
-std::vector<PacketRecord> ReadPacketCsv(std::istream& is, ReadStats* stats) {
+std::vector<PacketRecord> ReadPacketCsv(std::istream& is, ReadStats* stats,
+                                        const InputLimits& limits) {
   ReadStats local;
   ReadStats& st = stats != nullptr ? *stats : local;
   std::vector<PacketRecord> out;
-  ForEachRow(is, "packets", st, [&](Row& c) {
+  ForEachRow(is, "packets", st, limits, [&](Row& c) {
     PacketRecord r;
     r.id = static_cast<std::uint64_t>(c.Int(0));
     r.dir = DirFromString(c.Str(1));
@@ -265,11 +282,12 @@ void WriteStatsCsv(std::ostream& os,
 }
 
 std::vector<WebRtcStatsRecord> ReadStatsCsv(std::istream& is,
-                                            ReadStats* stats) {
+                                            ReadStats* stats,
+                                            const InputLimits& limits) {
   ReadStats local;
   ReadStats& st = stats != nullptr ? *stats : local;
   std::vector<WebRtcStatsRecord> out;
-  ForEachRow(is, "stats", st, [&](Row& c) {
+  ForEachRow(is, "stats", st, limits, [&](Row& c) {
     WebRtcStatsRecord r;
     r.time = Time{c.Int(0)};
     r.inbound_fps = c.Dbl(1);
@@ -309,11 +327,12 @@ void WriteGnbLogCsv(std::ostream& os,
   }
 }
 
-std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is, ReadStats* stats) {
+std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is, ReadStats* stats,
+                                        const InputLimits& limits) {
   ReadStats local;
   ReadStats& st = stats != nullptr ? *stats : local;
   std::vector<GnbLogRecord> out;
-  ForEachRow(is, "gnb_log", st, [&](Row& c) {
+  ForEachRow(is, "gnb_log", st, limits, [&](Row& c) {
     GnbLogRecord r;
     r.time = Time{c.Int(0)};
     r.rnti = static_cast<std::uint32_t>(c.Int(1));
@@ -411,28 +430,30 @@ bool OpenStream(const std::string& path, std::ifstream& f, ReadStats& stats) {
 }  // namespace
 
 SessionDataset LoadDataset(const std::string& dir,
-                           DatasetLoadReport* report) {
+                           DatasetLoadReport* report,
+                           const InputLimits& limits) {
   DatasetLoadReport local;
   DatasetLoadReport& rep = report != nullptr ? *report : local;
   SessionDataset ds;
   {
     std::ifstream f;
     if (OpenStream(dir + "/dci.csv", f, rep.stream(StreamId::kDci))) {
-      ds.dci = ReadDciCsv(f, &rep.stream(StreamId::kDci));
+      ds.dci = ReadDciCsv(f, &rep.stream(StreamId::kDci), limits);
     }
   }
   {
     std::ifstream f;
     if (OpenStream(dir + "/packets.csv", f,
                    rep.stream(StreamId::kPackets))) {
-      ds.packets = ReadPacketCsv(f, &rep.stream(StreamId::kPackets));
+      ds.packets = ReadPacketCsv(f, &rep.stream(StreamId::kPackets), limits);
     }
   }
   {
     std::ifstream f;
     if (OpenStream(dir + "/stats_ue.csv", f,
                    rep.stream(StreamId::kStatsUe))) {
-      ds.stats[kUeClient] = ReadStatsCsv(f, &rep.stream(StreamId::kStatsUe));
+      ds.stats[kUeClient] =
+          ReadStatsCsv(f, &rep.stream(StreamId::kStatsUe), limits);
     }
   }
   {
@@ -440,31 +461,38 @@ SessionDataset LoadDataset(const std::string& dir,
     if (OpenStream(dir + "/stats_remote.csv", f,
                    rep.stream(StreamId::kStatsRemote))) {
       ds.stats[kRemoteClient] =
-          ReadStatsCsv(f, &rep.stream(StreamId::kStatsRemote));
+          ReadStatsCsv(f, &rep.stream(StreamId::kStatsRemote), limits);
     }
   }
   {
     std::ifstream f;
     if (OpenStream(dir + "/gnb_log.csv", f,
                    rep.stream(StreamId::kGnbLog))) {
-      ds.gnb_log = ReadGnbLogCsv(f, &rep.stream(StreamId::kGnbLog));
+      ds.gnb_log = ReadGnbLogCsv(f, &rep.stream(StreamId::kGnbLog), limits);
     }
   }
   {
     std::ifstream f;
     if (OpenStream(dir + "/meta.csv", f, rep.meta)) {
-      ReadMetaCsv(f, ds, rep.meta);
+      ReadMetaCsv(f, ds, rep.meta, limits);
     }
   }
   return ds;
 }
 
-bool ReadMetaCsv(std::istream& is, SessionDataset& ds, ReadStats& stats) {
-  std::vector<std::vector<std::string>> rows;
-  try {
-    rows = ReadCsv(is);
-  } catch (const std::invalid_argument& e) {
-    stats.Add(TelemetryErrorKind::kBadField, 0, e.what());
+bool ReadMetaCsv(std::istream& is, SessionDataset& ds, ReadStats& stats,
+                 const InputLimits& limits) {
+  CsvReadStatus csv_status;
+  std::vector<std::vector<std::string>> rows =
+      ReadCsv(is, limits, &csv_status);
+  if (csv_status.rows_dropped > 0) {
+    stats.Add(TelemetryErrorKind::kBadField, 0,
+              std::to_string(csv_status.rows_dropped) +
+                  " malformed meta.csv row(s) dropped");
+  }
+  if (csv_status.row_budget_hit) {
+    stats.Add(TelemetryErrorKind::kLimitExceeded, 0,
+              "meta.csv record budget exhausted");
   }
   bool session_ok = false;
   if (rows.size() >= 2 && rows[1].size() >= 4) {

@@ -18,16 +18,19 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "telemetry/dataset.h"
 
 namespace domino::telemetry {
 
 /// What went wrong with one CSV row (or a whole stream).
 enum class TelemetryErrorKind : std::uint8_t {
-  kMissingFile,   ///< Stream file absent or unreadable.
-  kEmptyStream,   ///< No header row at all (zero-byte or non-CSV file).
-  kTruncatedRow,  ///< Fewer cells than the schema requires.
-  kBadField,      ///< A cell failed numeric parsing (or a broken quote).
+  kMissingFile,    ///< Stream file absent or unreadable.
+  kEmptyStream,    ///< No header row at all (zero-byte or non-CSV file).
+  kTruncatedRow,   ///< Fewer cells than the schema requires.
+  kBadField,       ///< A cell failed numeric parsing (or a broken quote).
+  kLimitExceeded,  ///< An InputLimits budget was hit (line bytes, fields,
+                   ///< or the per-stream record budget).
 };
 
 const char* ToString(TelemetryErrorKind kind);
@@ -61,31 +64,39 @@ struct ReadStats {
 
 // Single-stream writers/readers (stream-based for testability). With
 // `stats` null the readers are still tolerant — diagnostics are simply
-// discarded.
+// discarded. Every reader honours the InputLimits budget: over-long lines
+// and over-wide rows are dropped as kLimitExceeded, and ingestion of a
+// stream stops (with one kLimitExceeded diagnostic) once
+// limits.max_records data rows have been seen.
 void WriteDciCsv(std::ostream& os, const std::vector<DciRecord>& records);
 std::vector<DciRecord> ReadDciCsv(std::istream& is,
-                                  ReadStats* stats = nullptr);
+                                  ReadStats* stats = nullptr,
+                                  const InputLimits& limits = {});
 
 void WritePacketCsv(std::ostream& os,
                     const std::vector<PacketRecord>& records);
 std::vector<PacketRecord> ReadPacketCsv(std::istream& is,
-                                        ReadStats* stats = nullptr);
+                                        ReadStats* stats = nullptr,
+                                        const InputLimits& limits = {});
 
 void WriteStatsCsv(std::ostream& os,
                    const std::vector<WebRtcStatsRecord>& records);
 std::vector<WebRtcStatsRecord> ReadStatsCsv(std::istream& is,
-                                            ReadStats* stats = nullptr);
+                                            ReadStats* stats = nullptr,
+                                            const InputLimits& limits = {});
 
 void WriteGnbLogCsv(std::ostream& os,
                     const std::vector<GnbLogRecord>& records);
 std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is,
-                                        ReadStats* stats = nullptr);
+                                        ReadStats* stats = nullptr,
+                                        const InputLimits& limits = {});
 
 /// Parses meta.csv (cell name, privacy flag, session range, RNTI timeline)
 /// into `ds`. Returns true when the session row was parseable; diagnostics
 /// for anything else land in `stats`. Shared by LoadDataset and the live
 /// tailing reader.
-bool ReadMetaCsv(std::istream& is, SessionDataset& ds, ReadStats& stats);
+bool ReadMetaCsv(std::istream& is, SessionDataset& ds, ReadStats& stats,
+                 const InputLimits& limits = {});
 
 /// Aggregate outcome of LoadDataset: one ReadStats per stream plus one for
 /// meta.csv.
@@ -110,8 +121,10 @@ void SaveDataset(const SessionDataset& ds, const std::string& dir);
 
 /// Loads a dataset previously written by SaveDataset. Tolerant: malformed
 /// rows are skipped and missing files yield empty streams; pass `report`
-/// to receive the per-stream diagnostics.
+/// to receive the per-stream diagnostics. `limits` bounds what one load
+/// may allocate (see common/parse.h).
 SessionDataset LoadDataset(const std::string& dir,
-                           DatasetLoadReport* report = nullptr);
+                           DatasetLoadReport* report = nullptr,
+                           const InputLimits& limits = {});
 
 }  // namespace domino::telemetry

@@ -22,10 +22,11 @@ constexpr long kMaxBackoffPolls = 64;
 template <typename Rec>
 std::vector<Rec> ParseLine(const std::string& line,
                            std::vector<Rec> (*reader)(std::istream&,
-                                                      ReadStats*),
-                           ReadStats* row_stats) {
+                                                      ReadStats*,
+                                                      const InputLimits&),
+                           ReadStats* row_stats, const InputLimits& limits) {
   std::istringstream is("h\n" + line + "\n");
-  return reader(is, row_stats);
+  return reader(is, row_stats, limits);
 }
 
 }  // namespace
@@ -108,21 +109,38 @@ TailProgress TailingDatasetReader::Poll(StreamId id, SessionDataset& ds,
         p.eof = true;
         return;
       }
-      if (!std::getline(f, line)) {
+      const LineRead lr =
+          BoundedGetline(f, line, lim.input.max_line_bytes);
+      if (!lr.got) {
         p.eof = true;
         return;
       }
-      if (f.eof()) {  // No trailing newline: writer is mid-line.
+      if (lr.hit_eof) {  // No trailing newline: writer is mid-line.
         p.partial_tail = true;  // Re-read once completed, next poll.
         return;
       }
-      const std::size_t consumed = line.size() + 1;
+      // raw_len counts every byte of the line even past the buffering cap,
+      // so offsets stay byte-exact for over-long (dropped) lines too.
+      const std::size_t consumed = lr.raw_len + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (!st.header_seen) {
         st.header_seen = true;
         st.abs_row = 1;
         st.offset += consumed;
         p.progressed = true;
+        continue;
+      }
+      if (lr.truncated) {
+        const std::size_t this_row = st.abs_row + 1;
+        st.offset += consumed;
+        st.abs_row = this_row;
+        p.progressed = true;
+        ++st.stats.rows_total;
+        ++st.stats.rows_dropped;
+        st.stats.Add(TelemetryErrorKind::kLimitExceeded, this_row,
+                     "line exceeds " +
+                         std::to_string(lim.input.max_line_bytes) +
+                         " bytes");
         continue;
       }
       ReadStats row_stats;
@@ -171,29 +189,32 @@ TailProgress TailingDatasetReader::Poll(StreamId id, SessionDataset& ds,
 
   switch (id) {
     case StreamId::kDci:
-      consume([](const std::string& l, ReadStats* s) {
-                return ParseLine<DciRecord>(l, &ReadDciCsv, s);
+      consume([&](const std::string& l, ReadStats* s) {
+                return ParseLine<DciRecord>(l, &ReadDciCsv, s, lim.input);
               },
               [](const DciRecord& r) { return r.time; },
               [&](const DciRecord& r) { ds.dci.push_back(r); });
       break;
     case StreamId::kGnbLog:
-      consume([](const std::string& l, ReadStats* s) {
-                return ParseLine<GnbLogRecord>(l, &ReadGnbLogCsv, s);
+      consume([&](const std::string& l, ReadStats* s) {
+                return ParseLine<GnbLogRecord>(l, &ReadGnbLogCsv, s,
+                                               lim.input);
               },
               [](const GnbLogRecord& r) { return r.time; },
               [&](const GnbLogRecord& r) { ds.gnb_log.push_back(r); });
       break;
     case StreamId::kPackets:
-      consume([](const std::string& l, ReadStats* s) {
-                return ParseLine<PacketRecord>(l, &ReadPacketCsv, s);
+      consume([&](const std::string& l, ReadStats* s) {
+                return ParseLine<PacketRecord>(l, &ReadPacketCsv, s,
+                                               lim.input);
               },
               [](const PacketRecord& r) { return r.sent; },
               [&](const PacketRecord& r) { ds.packets.push_back(r); });
       break;
     case StreamId::kStatsUe:
-      consume([](const std::string& l, ReadStats* s) {
-                return ParseLine<WebRtcStatsRecord>(l, &ReadStatsCsv, s);
+      consume([&](const std::string& l, ReadStats* s) {
+                return ParseLine<WebRtcStatsRecord>(l, &ReadStatsCsv, s,
+                                                    lim.input);
               },
               [](const WebRtcStatsRecord& r) { return r.time; },
               [&](const WebRtcStatsRecord& r) {
@@ -201,8 +222,9 @@ TailProgress TailingDatasetReader::Poll(StreamId id, SessionDataset& ds,
               });
       break;
     case StreamId::kStatsRemote:
-      consume([](const std::string& l, ReadStats* s) {
-                return ParseLine<WebRtcStatsRecord>(l, &ReadStatsCsv, s);
+      consume([&](const std::string& l, ReadStats* s) {
+                return ParseLine<WebRtcStatsRecord>(l, &ReadStatsCsv, s,
+                                                    lim.input);
               },
               [](const WebRtcStatsRecord& r) { return r.time; },
               [&](const WebRtcStatsRecord& r) {
@@ -227,7 +249,8 @@ TailCursor TailingDatasetReader::cursor(StreamId id) const {
 }
 
 void TailingDatasetReader::ReplayTo(StreamId id, SessionDataset& ds,
-                                    const TailCursor& cur, Time cut) {
+                                    const TailCursor& cur, Time cut,
+                                    const InputLimits& limits) {
   StreamState& st = state(id);
   if (cur.offset > 0) {
     const std::string path = dir_ + "/" + StreamFileName(id);
@@ -248,14 +271,23 @@ void TailingDatasetReader::ReplayTo(StreamId id, SessionDataset& ds,
     bool header = false;
     auto replay = [&](auto reader, auto time_of, auto sink) {
       std::string line;
-      while (pos < cur.offset && std::getline(f, line)) {
-        const std::size_t consumed = line.size() + 1;
+      while (pos < cur.offset) {
+        const LineRead lr =
+            BoundedGetline(f, line, limits.max_line_bytes);
+        if (!lr.got) break;
+        // A final line with no newline contributes raw_len bytes only; the
+        // checkpointed cursor never points past a newline-terminated row,
+        // so this keeps pos byte-exact in both cases.
+        const std::size_t consumed = lr.raw_len + (lr.hit_eof ? 0 : 1);
         if (!line.empty() && line.back() == '\r') line.pop_back();
         pos += consumed;
         if (!header) {
           header = true;
           continue;
         }
+        // Over-long lines were dropped by the killed process too: skip the
+        // parse but keep consuming bytes.
+        if (lr.truncated) continue;
         auto recs = reader(line, nullptr);
         if (recs.empty()) continue;  // Malformed; already counted.
         const auto& rec = recs.front();
@@ -265,29 +297,32 @@ void TailingDatasetReader::ReplayTo(StreamId id, SessionDataset& ds,
     };
     switch (id) {
       case StreamId::kDci:
-        replay([](const std::string& l, ReadStats* s) {
-                 return ParseLine<DciRecord>(l, &ReadDciCsv, s);
+        replay([&](const std::string& l, ReadStats* s) {
+                 return ParseLine<DciRecord>(l, &ReadDciCsv, s, limits);
                },
                [](const DciRecord& r) { return r.time; },
                [&](const DciRecord& r) { ds.dci.push_back(r); });
         break;
       case StreamId::kGnbLog:
-        replay([](const std::string& l, ReadStats* s) {
-                 return ParseLine<GnbLogRecord>(l, &ReadGnbLogCsv, s);
+        replay([&](const std::string& l, ReadStats* s) {
+                 return ParseLine<GnbLogRecord>(l, &ReadGnbLogCsv, s,
+                                                limits);
                },
                [](const GnbLogRecord& r) { return r.time; },
                [&](const GnbLogRecord& r) { ds.gnb_log.push_back(r); });
         break;
       case StreamId::kPackets:
-        replay([](const std::string& l, ReadStats* s) {
-                 return ParseLine<PacketRecord>(l, &ReadPacketCsv, s);
+        replay([&](const std::string& l, ReadStats* s) {
+                 return ParseLine<PacketRecord>(l, &ReadPacketCsv, s,
+                                                limits);
                },
                [](const PacketRecord& r) { return r.sent; },
                [&](const PacketRecord& r) { ds.packets.push_back(r); });
         break;
       case StreamId::kStatsUe:
-        replay([](const std::string& l, ReadStats* s) {
-                 return ParseLine<WebRtcStatsRecord>(l, &ReadStatsCsv, s);
+        replay([&](const std::string& l, ReadStats* s) {
+                 return ParseLine<WebRtcStatsRecord>(l, &ReadStatsCsv, s,
+                                                     limits);
                },
                [](const WebRtcStatsRecord& r) { return r.time; },
                [&](const WebRtcStatsRecord& r) {
@@ -295,8 +330,9 @@ void TailingDatasetReader::ReplayTo(StreamId id, SessionDataset& ds,
                });
         break;
       case StreamId::kStatsRemote:
-        replay([](const std::string& l, ReadStats* s) {
-                 return ParseLine<WebRtcStatsRecord>(l, &ReadStatsCsv, s);
+        replay([&](const std::string& l, ReadStats* s) {
+                 return ParseLine<WebRtcStatsRecord>(l, &ReadStatsCsv, s,
+                                                     limits);
                },
                [](const WebRtcStatsRecord& r) { return r.time; },
                [&](const WebRtcStatsRecord& r) {

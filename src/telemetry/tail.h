@@ -55,6 +55,7 @@ struct TailLimits {
   Time limit{0};           ///< Ingest horizon (typically the poll boundary).
   Duration reorder_guard{0};  ///< Slack past limit before stopping.
   Duration max_jump{0};       ///< Times beyond limit+max_jump are corrupt.
+  InputLimits input{};        ///< Resource budget (line bytes, fields).
 };
 
 /// Checkpointable position of one stream's tail: enough to resume polling
@@ -93,7 +94,7 @@ class TailingDatasetReader {
   /// std::runtime_error when the file is shorter than the cursor (the
   /// data the checkpoint describes no longer exists).
   void ReplayTo(StreamId id, SessionDataset& ds, const TailCursor& cur,
-                Time cut);
+                Time cut, const InputLimits& limits = {});
 
   /// Highest jump-guarded record time ingested so far for `id` (Time{0}
   /// before any row).

@@ -51,6 +51,8 @@ struct FixtureCase {
 constexpr FixtureCase kFixtures[] = {
     {"dl001_unexpected_char.domino", "DL001", Severity::kError, 2, 26, ""},
     {"dl002_bad_number.domino", "DL002", Severity::kError, 2, 28, ""},
+    {"dl005_number_out_of_range.domino", "DL005", Severity::kError, 2, 28,
+     ""},
     {"dl003_expected_expression.domino", "DL003", Severity::kError, 2, 27,
      ""},
     {"dl004_trailing_input.domino", "DL004", Severity::kError, 2, 31, ""},
@@ -289,9 +291,9 @@ TEST(LintTest, CheckedExpressionParseNullsResultOnError) {
   DiagnosticSink sink;
   CheckedExpr ce = ParseExpressionChecked("max(fwd.owd) > 1e999", sink);
   EXPECT_EQ(ce.expr, nullptr);
-  EXPECT_GE(sink.error_count(), 2u);  // DL102 and DL002, one pass
+  EXPECT_GE(sink.error_count(), 2u);  // DL102 and DL005, one pass
   EXPECT_NE(FindCode(sink, "DL102"), nullptr);
-  EXPECT_NE(FindCode(sink, "DL002"), nullptr);
+  EXPECT_NE(FindCode(sink, "DL005"), nullptr);
 }
 
 TEST(LintTest, CheckedExpressionReportsShape) {

@@ -268,6 +268,96 @@ TEST(LiveRunnerTest, RefusesResumeUnderDifferentConfig) {
   EXPECT_THROW(runner.Run(), std::runtime_error);
 }
 
+// FNV-1a + hex, duplicated from checkpoint.cpp so the corruption matrix
+// can re-seal a tampered body behind a *valid* checksum — reaching the
+// field parser instead of stopping at the checksum gate.
+std::uint64_t TestFnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string Reseal(const std::string& body) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(TestFnv1a(body)));
+  return body + "checksum " + buf + "\n";
+}
+
+TEST(LiveRunnerTest, CorruptCheckpointMatrixStartsFreshNeverCrashes) {
+  // Reference run from scratch; its checkpoint is the corruption donor and
+  // its chain log the byte-exact expectation for every fresh restart.
+  const std::string ref_state = TempDir("corrupt_ref");
+  runtime::LiveOptions opts = QuietOpts();
+  runtime::LiveSummary ref;
+  {
+    runtime::LiveRunner r(SharedSessionDir(), ref_state, DefaultGraph(opts),
+                          opts);
+    ref = r.Run();
+  }
+  const std::string ref_chains = Slurp(ref.chains_path);
+  const std::string good = Slurp(ref_state + "/live.ckpt");
+  ASSERT_FALSE(good.empty());
+
+  std::string flipped = good;
+  const std::size_t digit = flipped.find_first_of("0123456789");
+  ASSERT_NE(digit, std::string::npos);
+  flipped[digit] = static_cast<char>(flipped[digit] ^ 0x01);
+
+  // Oversized field behind a valid checksum: the 400-digit poll count
+  // overflows the tokenizer's int64 and must surface as "malformed field",
+  // not as UB or an uncaught exception.
+  const std::size_t mark = good.rfind("checksum ");
+  ASSERT_NE(mark, std::string::npos);
+  std::string body = good.substr(0, mark);
+  const std::size_t cursor_at = body.find("cursor ");
+  ASSERT_NE(cursor_at, std::string::npos);
+  body.insert(cursor_at + 7, std::string(400, '9'));
+  const std::string oversized_field = Reseal(body);
+
+  const struct {
+    const char* name;
+    std::string text;
+  } kMatrix[] = {
+      {"zero_byte", ""},
+      {"truncated", good.substr(0, good.size() / 2)},
+      {"bit_flipped", flipped},
+      {"oversized_field", oversized_field},
+      {"binary_garbage", std::string("\x7f\x45\x4c\x46\x00\x01\x02", 7)},
+  };
+  for (const auto& c : kMatrix) {
+    SCOPED_TRACE(c.name);
+    const std::string state = TempDir(std::string("corrupt_") + c.name);
+    std::ofstream(state + "/live.ckpt", std::ios::binary) << c.text;
+    runtime::LiveRunner r(SharedSessionDir(), state, DefaultGraph(opts),
+                          opts);
+    runtime::LiveSummary sum;
+    ASSERT_NO_THROW(sum = r.Run());
+    EXPECT_FALSE(sum.resumed);  // warned and started from scratch
+    EXPECT_EQ(sum.windows, ref.windows);
+    EXPECT_EQ(Slurp(sum.chains_path), ref_chains);
+  }
+}
+
+TEST(LiveRunnerTest, CheckpointOverByteBudgetIsCorruptNotFatal) {
+  const std::string state = TempDir("corrupt_oversize");
+  // A structurally *valid* checkpoint that exceeds the configured byte
+  // budget must be treated as corrupt (fresh start), and must not be
+  // slurped into memory first.
+  runtime::LiveOptions opts = QuietOpts();
+  opts.input.max_checkpoint_bytes = 64;
+  ASSERT_TRUE(
+      runtime::SaveCheckpoint(SampleCheckpoint(), state + "/live.ckpt"));
+  runtime::LiveRunner r(SharedSessionDir(), state, DefaultGraph(opts), opts);
+  runtime::LiveSummary sum;
+  ASSERT_NO_THROW(sum = r.Run());
+  EXPECT_FALSE(sum.resumed);
+  EXPECT_GT(sum.windows, 0);
+}
+
 // --- kill and resume -------------------------------------------------------------
 
 #ifdef DOMINO_BINARY

@@ -1,681 +1,11 @@
-// domino — the command-line tool an operator or researcher runs.
-//
-//   domino simulate <cell> <seconds> <out_dir> [--seed N]
-//       Generate a cross-layer dataset by simulating a two-party call over
-//       one of the modelled cells (tmobile-fdd15, tmobile-tdd100, amarisoft,
-//       mosolabs, wired).
-//
-//   domino ingest <dataset_dir> [--repair] [--out DIR]
-//                 [--inject k=v,... --seed N]
-//                 [--reorder-window SEC] [--gap-threshold SEC]
-//       Tolerantly load a dataset, sanitize every stream (dedupe, bounded
-//       reorder, range check, gap/coverage detection, clock-skew estimate)
-//       and print the per-stream health report. --repair also corrects the
-//       estimated skew and writes the cleaned dataset back (to --out, or in
-//       place). --inject first corrupts the dataset with the deterministic
-//       fault injector (keys: drop dup reorder reorder-span-ms corrupt
-//       truncate gap-s gap-at skew-ms drift-ppm), for building robustness
-//       test fixtures. Exit code 1 when any stream is degraded.
-//
-//   domino analyze <dataset_dir> [--config FILE] [--window SEC]
-//                  [--step SEC] [--chains-csv FILE] [--features-csv FILE]
-//                  [--offset-correct] [--min-coverage X]
-//                  [--json-report FILE] [--no-sanitize]
-//       Run the causal-chain analysis over a saved dataset and print the
-//       summary report. --config extends the default Fig. 9 graph with
-//       user-defined events/chains (see docs in config_parser.h). Datasets
-//       are sanitized on load by default; chains whose required streams
-//       cover less than --min-coverage of a window are reported as
-//       "insufficient evidence" instead of asserted as root causes.
-//
-//   domino codegen <config_file> [-o FILE]
-//       Generate the standalone Python detector module for a configuration
-//       (Fig. 11); writes to stdout by default.
-//
-//   domino lint <config_file> [--strict] [--format json] [--no-default-graph]
-//       Statically analyse a config with domino-lint: reports every problem
-//       in one run (compiler-style, with source excerpts and fix-its), or as
-//       a stable JSON document for CI. Exit code is the highest severity
-//       found (0 clean, 1 warnings, 2 errors); --strict promotes warnings
-//       to errors. "domino --lint <file>" is an alias.
-//   domino live <dataset_dir>... [--state DIR] [--follow] [--naive]
-//               [--chunk-s SEC] [--horizon-s SEC] [--stall-deadline-s SEC]
-//               [--max-backlog N] [--checkpoint-every N] [--sequential]
-//       Crash-safe supervised live analysis: tail one or more (possibly
-//       still growing) dataset directories, emit chains to
-//       <state>/chains.jsonl as their windows complete, checkpoint
-//       periodically, and resume byte-identically after a kill. Multiple
-//       directories run as isolated sessions (thread each); a poisoned one
-//       fails alone. Exit code 1 when any session failed.
-//
-//   domino replay <dataset_dir> <out_dir> [--interval-ms N] [--chunk-ms N]
-//                 [--stall stream=SEC]
-//       Replay a saved dataset into <out_dir> as a growing capture (meta
-//       first, then stream rows in virtual-time order) for feeding
-//       `domino live --follow`. --stall freezes one stream at a given
-//       session time, for watchdog testing.
-#include <chrono>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <iostream>
-#include <optional>
-#include <sstream>
+// Thin process entry point; the whole front-end lives in domino_main.cpp
+// so tests and fuzz harnesses can call it in-process.
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "domino/codegen.h"
-#include "domino/config_parser.h"
-#include "domino/lint/lint.h"
-#include "domino/report.h"
-#include "domino/runtime/supervisor.h"
-#include "sim/live_feed.h"
-#include "telemetry/align.h"
-#include "sim/call_session.h"
-#include "sim/cell_config.h"
-#include "telemetry/fault_inject.h"
-#include "telemetry/io.h"
-#include "telemetry/sanitize.h"
-
-#ifndef DOMINO_VERSION
-#define DOMINO_VERSION "unknown"
-#endif
-
-namespace {
-
-using namespace domino;
-
-void PrintUsage(std::FILE* to) {
-  std::fprintf(to,
-               "usage:\n"
-               "  domino simulate <cell> <seconds> <out_dir> [--seed N]\n"
-               "  domino ingest <dataset_dir> [--repair] [--out DIR]\n"
-               "                [--inject k=v,... --seed N]"
-               " [--reorder-window SEC]\n"
-               "                [--gap-threshold SEC]\n"
-               "  domino analyze <dataset_dir> [--config FILE]"
-               " [--window SEC] [--step SEC]\n"
-               "                 [--chains-csv FILE] [--features-csv FILE]"
-               " [--offset-correct]\n"
-               "                 [--strict-lint | --no-lint]"
-               " [--min-coverage X]\n"
-               "                 [--json-report FILE] [--no-sanitize]\n"
-               "  domino live <dataset_dir>... [--state DIR] [--follow]"
-               " [--naive] [--quiet]\n"
-               "              [--window SEC] [--step SEC] [--min-coverage X]"
-               " [--threads N]\n"
-               "              [--chunk-s SEC] [--horizon-s SEC]"
-               " [--stall-deadline-s SEC]\n"
-               "              [--max-backlog N] [--checkpoint-every N]"
-               " [--max-idle N]\n"
-               "              [--sequential] [--crash-after N]\n"
-               "  domino replay <dataset_dir> <out_dir> [--interval-ms N]"
-               " [--chunk-ms N]\n"
-               "               [--stall stream=SEC]\n"
-               "  domino codegen <config_file> [-o FILE]\n"
-               "  domino lint <config_file> [--strict] [--format json]"
-               " [--no-default-graph]\n"
-               "  domino --help | --version\n"
-               "cells: tmobile-fdd15 tmobile-tdd100 amarisoft mosolabs"
-               " wired\n");
-}
-
-int Usage() {
-  PrintUsage(stderr);
-  return 2;
-}
-
-std::optional<sim::CellProfile> CellByName(const std::string& name) {
-  if (name == "tmobile-fdd15") return sim::TMobileFdd15();
-  if (name == "tmobile-tdd100") return sim::TMobileTdd100();
-  if (name == "amarisoft") return sim::Amarisoft();
-  if (name == "mosolabs") return sim::Mosolabs();
-  if (name == "wired") return sim::WiredBaseline();
-  return std::nullopt;
-}
-
-/// Returns the value of `--flag value` if present, removing both tokens.
-std::optional<std::string> TakeFlag(std::vector<std::string>& args,
-                                    const std::string& flag) {
-  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
-    if (args[i] == flag) {
-      std::string value = args[i + 1];
-      args.erase(args.begin() + static_cast<long>(i),
-                 args.begin() + static_cast<long>(i) + 2);
-      return value;
-    }
-  }
-  return std::nullopt;
-}
-
-int CmdSimulate(std::vector<std::string> args) {
-  std::uint64_t seed = 1;
-  if (auto s = TakeFlag(args, "--seed")) seed = std::stoull(*s);
-  if (args.size() != 3) return Usage();
-
-  auto profile = CellByName(args[0]);
-  if (!profile.has_value()) {
-    std::fprintf(stderr, "unknown cell '%s'\n", args[0].c_str());
-    return 2;
-  }
-  double seconds = std::stod(args[1]);
-  const std::string& out_dir = args[2];
-
-  std::printf("simulating %.0f s over '%s' (seed %llu)...\n", seconds,
-              profile->name.c_str(),
-              static_cast<unsigned long long>(seed));
-  sim::SessionConfig cfg;
-  cfg.profile = *profile;
-  cfg.duration = Seconds(seconds);
-  cfg.seed = seed;
-  sim::CallSession session(cfg);
-  telemetry::SessionDataset ds = session.Run();
-  telemetry::SaveDataset(ds, out_dir);
-  std::printf("wrote %zu DCIs, %zu packets, %zu gNB log rows, %zu+%zu stats "
-              "rows to %s/\n",
-              ds.dci.size(), ds.packets.size(), ds.gnb_log.size(),
-              ds.stats[0].size(), ds.stats[1].size(), out_dir.c_str());
-  return 0;
-}
-
-/// Reads a whole file; nullopt (with a message on stderr) when unreadable.
-std::optional<std::string> ReadFileOrComplain(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) {
-    std::fprintf(stderr, "cannot open config '%s'\n", path.c_str());
-    return std::nullopt;
-  }
-  std::stringstream buf;
-  buf << f.rdbuf();
-  return buf.str();
-}
-
-int CmdLint(std::vector<std::string> args) {
-  bool strict = false;
-  bool json = false;
-  bool no_default_graph = false;
-  if (auto fmt = TakeFlag(args, "--format")) json = (*fmt == "json");
-  for (auto it = args.begin(); it != args.end();) {
-    if (*it == "--strict") {
-      strict = true;
-      it = args.erase(it);
-    } else if (*it == "--no-default-graph") {
-      no_default_graph = true;
-      it = args.erase(it);
-    } else if (*it == "--format=json") {
-      json = true;
-      it = args.erase(it);
-    } else if (*it == "--format=text") {
-      json = false;
-      it = args.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  if (args.size() != 1) return Usage();
-  auto text = ReadFileOrComplain(args[0]);
-  if (!text.has_value()) return 2;
-
-  analysis::lint::LintOptions opts;
-  opts.use_default_graph = !no_default_graph;
-  analysis::lint::LintResult res =
-      analysis::lint::LintConfigText(*text, opts);
-  if (strict) analysis::lint::PromoteWarnings(res.sink);
-
-  if (json) {
-    std::fputs(analysis::lint::FormatDiagnosticsJson(res.sink).c_str(),
-               stdout);
-  } else if (res.sink.empty()) {
-    std::printf("%s: no issues\n", args[0].c_str());
-  } else {
-    std::fputs(
-        analysis::lint::RenderDiagnostics(res.sink, *text, args[0]).c_str(),
-        stdout);
-  }
-  // Exit code mirrors the highest severity: 0 clean, 1 warnings, 2 errors.
-  return static_cast<int>(res.sink.max_severity());
-}
-
-/// Parses the --inject "key=value,key=value" fault spec; nullopt (with a
-/// message on stderr) on an unknown key or malformed pair.
-std::optional<telemetry::FaultSpec> ParseFaultSpec(const std::string& spec) {
-  telemetry::FaultSpec fs;
-  std::stringstream ss(spec);
-  std::string kv;
-  while (std::getline(ss, kv, ',')) {
-    if (kv.empty()) continue;
-    auto eq = kv.find('=');
-    if (eq == std::string::npos) {
-      std::fprintf(stderr, "bad fault spec '%s' (want key=value)\n",
-                   kv.c_str());
-      return std::nullopt;
-    }
-    std::string key = kv.substr(0, eq);
-    double val = std::stod(kv.substr(eq + 1));
-    if (key == "drop") {
-      fs.drop = val;
-    } else if (key == "dup" || key == "duplicate") {
-      fs.duplicate = val;
-    } else if (key == "reorder") {
-      fs.reorder = val;
-    } else if (key == "reorder-span-ms") {
-      fs.reorder_span = Seconds(val / 1000.0);
-    } else if (key == "corrupt") {
-      fs.corrupt_time = val;
-    } else if (key == "truncate") {
-      fs.truncate_tail = val;
-    } else if (key == "gap-s") {
-      fs.gap = Seconds(val);
-    } else if (key == "gap-at") {
-      fs.gap_at = val;
-    } else if (key == "skew-ms") {
-      fs.skew_ms = val;
-    } else if (key == "drift-ppm") {
-      fs.drift_ppm = val;
-    } else {
-      std::fprintf(stderr,
-                   "unknown fault key '%s' (known: drop dup reorder "
-                   "reorder-span-ms corrupt truncate gap-s gap-at skew-ms "
-                   "drift-ppm)\n",
-                   key.c_str());
-      return std::nullopt;
-    }
-  }
-  return fs;
-}
-
-int CmdIngest(std::vector<std::string> args) {
-  auto out_dir = TakeFlag(args, "--out");
-  auto inject = TakeFlag(args, "--inject");
-  auto seed_s = TakeFlag(args, "--seed");
-  auto reorder_window = TakeFlag(args, "--reorder-window");
-  auto gap_threshold = TakeFlag(args, "--gap-threshold");
-  bool repair = false;
-  for (auto it = args.begin(); it != args.end();) {
-    if (*it == "--repair") {
-      repair = true;
-      it = args.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  if (args.size() != 1) return Usage();
-
-  telemetry::DatasetLoadReport load;
-  telemetry::SessionDataset ds = telemetry::LoadDataset(args[0], &load);
-  std::printf("loaded dataset '%s' (%s, %.0f s, %zu DCIs, %zu packets)\n",
-              args[0].c_str(), ds.cell_name.c_str(),
-              ds.duration().seconds(), ds.dci.size(), ds.packets.size());
-  if (!load.ok()) std::fputs(load.Format().c_str(), stdout);
-
-  if (inject) {
-    auto fs = ParseFaultSpec(*inject);
-    if (!fs.has_value()) return 2;
-    std::uint64_t seed = seed_s ? std::stoull(*seed_s) : 1;
-    telemetry::FaultSummary injected = telemetry::InjectFaults(ds, *fs, seed);
-    std::printf("injected %zu faults (seed %llu)\n", injected.total(),
-                static_cast<unsigned long long>(seed));
-    // Without --repair, --out captures the *corrupted* dataset (before the
-    // sanitize pass below) — a reproducible hostile fixture for tests.
-    if (!repair && out_dir) {
-      telemetry::SaveDataset(ds, *out_dir);
-      std::printf("corrupted dataset written to %s/\n", out_dir->c_str());
-    }
-  }
-
-  telemetry::SanitizeOptions opts;
-  if (reorder_window) {
-    opts.reorder_window = Seconds(std::stod(*reorder_window));
-  }
-  if (gap_threshold) opts.gap_threshold = Seconds(std::stod(*gap_threshold));
-  opts.correct_skew = repair;
-  telemetry::SanitizeReport health = telemetry::SanitizeDataset(ds, opts);
-  telemetry::MergeLoadReport(health, load);
-  std::fputs(health.Format().c_str(), stdout);
-
-  if (repair) {
-    const std::string& dest = out_dir ? *out_dir : args[0];
-    telemetry::SaveDataset(ds, dest);
-    std::printf("repaired dataset written to %s/\n", dest.c_str());
-  } else if (out_dir && !inject) {
-    telemetry::SaveDataset(ds, *out_dir);
-    std::printf("sanitized dataset written to %s/\n", out_dir->c_str());
-  }
-  return health.clean() ? 0 : 1;
-}
-
-int CmdAnalyze(std::vector<std::string> args) {
-  auto config_path = TakeFlag(args, "--config");
-  auto window_s = TakeFlag(args, "--window");
-  auto step_s = TakeFlag(args, "--step");
-  auto chains_csv = TakeFlag(args, "--chains-csv");
-  auto features_csv = TakeFlag(args, "--features-csv");
-  auto min_coverage = TakeFlag(args, "--min-coverage");
-  auto json_report = TakeFlag(args, "--json-report");
-  bool offset_correct = false;
-  bool strict_lint = false;
-  bool no_lint = false;
-  bool no_sanitize = false;
-  for (auto it = args.begin(); it != args.end();) {
-    if (*it == "--offset-correct") {
-      offset_correct = true;
-      it = args.erase(it);
-    } else if (*it == "--strict-lint") {
-      strict_lint = true;
-      it = args.erase(it);
-    } else if (*it == "--no-lint") {
-      no_lint = true;
-      it = args.erase(it);
-    } else if (*it == "--no-sanitize") {
-      no_sanitize = true;
-      it = args.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  if (args.size() != 1) return Usage();
-
-  telemetry::DatasetLoadReport load;
-  telemetry::SessionDataset ds = telemetry::LoadDataset(args[0], &load);
-  std::optional<telemetry::SanitizeReport> health;
-  if (!no_sanitize) {
-    health = telemetry::SanitizeDataset(ds);
-    telemetry::MergeLoadReport(*health, load);
-  }
-  if (offset_correct) {
-    double offset_ms = telemetry::EstimateClockOffsetMs(ds);
-    telemetry::AlignClocks(ds, offset_ms);
-    std::printf("clock-offset correction applied: remote clock estimated "
-                "%+.1f ms ahead\n", offset_ms);
-  }
-  std::printf("loaded dataset '%s' (%s, %.0f s, %zu DCIs, %zu packets)\n",
-              args[0].c_str(), ds.cell_name.c_str(),
-              ds.duration().seconds(), ds.dci.size(), ds.packets.size());
-  // Stream-health details only surface when something was actually wrong,
-  // keeping clean-trace output identical to historical runs.
-  if (health.has_value() && !health->clean()) {
-    std::fputs(health->Format().c_str(), stdout);
-  }
-
-  analysis::DominoConfig cfg;
-  if (window_s) cfg.window = Seconds(std::stod(*window_s));
-  if (step_s) cfg.step = Seconds(std::stod(*step_s));
-  if (min_coverage) cfg.min_coverage = std::stod(*min_coverage);
-  cfg.extract_features = true;
-  using LintMode = analysis::DominoConfig::LintMode;
-  cfg.lint = no_lint       ? LintMode::kOff
-             : strict_lint ? LintMode::kStrict
-                           : LintMode::kPermissive;
-
-  analysis::CausalGraph graph = analysis::CausalGraph::Default(cfg.thresholds);
-  if (config_path) {
-    auto text = ReadFileOrComplain(*config_path);
-    if (!text.has_value()) return 2;
-    if (cfg.lint == LintMode::kOff) {
-      analysis::ExtendGraph(graph, analysis::ParseConfigText(*text),
-                            cfg.thresholds);
-    } else {
-      analysis::lint::LintOptions lopts;
-      lopts.thresholds = cfg.thresholds;
-      analysis::lint::LintResult lres =
-          analysis::lint::LintConfigText(*text, lopts);
-      if (cfg.lint == LintMode::kStrict) {
-        analysis::lint::PromoteWarnings(lres.sink);
-      }
-      if (!lres.sink.empty()) {
-        std::fputs(analysis::lint::RenderDiagnostics(lres.sink, *text,
-                                                     *config_path)
-                       .c_str(),
-                   stderr);
-      }
-      if (lres.sink.has_errors()) return 1;
-      analysis::ExtendGraph(graph, lres.config, cfg.thresholds);
-    }
-    std::printf("extended causal graph from %s\n", config_path->c_str());
-  }
-
-  analysis::Detector detector(std::move(graph), cfg);
-  telemetry::DerivedTrace trace = telemetry::BuildDerivedTrace(ds);
-  if (health.has_value()) trace.quality = health->quality();
-  analysis::AnalysisResult result = detector.Analyze(trace);
-
-  const telemetry::SanitizeReport* health_ptr =
-      health.has_value() ? &*health : nullptr;
-  std::printf("\n%s",
-              analysis::BuildSummaryReport(result, detector, health_ptr)
-                  .c_str());
-
-  if (json_report) {
-    std::ofstream f(*json_report);
-    f << analysis::BuildReportJson(result, detector, health_ptr);
-    std::printf("\nJSON report written to %s\n", json_report->c_str());
-  }
-  if (chains_csv) {
-    std::ofstream f(*chains_csv);
-    analysis::WriteChainsCsv(f, result, detector);
-    std::printf("\nchain instances written to %s\n", chains_csv->c_str());
-  }
-  if (features_csv) {
-    std::ofstream f(*features_csv);
-    analysis::WriteFeaturesCsv(f, result);
-    std::printf("feature vectors written to %s\n", features_csv->c_str());
-  }
-  return 0;
-}
-
-/// Parses the `--stall stream=SEC` spec for `domino replay`.
-std::optional<std::pair<telemetry::StreamId, double>> ParseStallSpec(
-    const std::string& spec) {
-  auto eq = spec.find('=');
-  if (eq == std::string::npos) {
-    std::fprintf(stderr, "bad stall spec '%s' (want stream=SEC)\n",
-                 spec.c_str());
-    return std::nullopt;
-  }
-  const std::string name = spec.substr(0, eq);
-  const double sec = std::stod(spec.substr(eq + 1));
-  using telemetry::StreamId;
-  StreamId id;
-  if (name == "dci") {
-    id = StreamId::kDci;
-  } else if (name == "gnb_log" || name == "gnb") {
-    id = StreamId::kGnbLog;
-  } else if (name == "packets") {
-    id = StreamId::kPackets;
-  } else if (name == "stats_ue") {
-    id = StreamId::kStatsUe;
-  } else if (name == "stats_remote") {
-    id = StreamId::kStatsRemote;
-  } else {
-    std::fprintf(stderr,
-                 "unknown stream '%s' (known: dci gnb_log packets stats_ue "
-                 "stats_remote)\n",
-                 name.c_str());
-    return std::nullopt;
-  }
-  return std::make_pair(id, sec);
-}
-
-int CmdReplay(std::vector<std::string> args) {
-  auto interval_ms = TakeFlag(args, "--interval-ms");
-  auto chunk_ms = TakeFlag(args, "--chunk-ms");
-  auto stall = TakeFlag(args, "--stall");
-  if (args.size() != 2) return Usage();
-
-  telemetry::SessionDataset ds = telemetry::LoadDataset(args[0]);
-  sim::LiveFeedOptions opts;
-  if (chunk_ms) opts.chunk = Millis(std::stoll(*chunk_ms));
-  if (stall) {
-    auto spec = ParseStallSpec(*stall);
-    if (!spec.has_value()) return 2;
-    opts.stall_after[static_cast<std::size_t>(spec->first)] =
-        ds.begin + Seconds(spec->second);
-  }
-  const int sleep_ms = interval_ms ? std::stoi(*interval_ms) : 0;
-
-  sim::LiveFeedWriter writer(ds, args[1], opts);
-  std::printf("replaying %s (%.0f s) into %s, %lld ms chunks...\n",
-              args[0].c_str(), ds.duration().seconds(), args[1].c_str(),
-              static_cast<long long>(opts.chunk.micros() / 1000));
-  if (sleep_ms <= 0) {
-    writer.WriteAll();
-  } else {
-    while (writer.Step()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
-    }
-  }
-  std::printf("replay complete at t=%.1f s\n",
-              (writer.cursor() - ds.begin).seconds());
-  return 0;
-}
-
-int CmdLive(std::vector<std::string> args) {
-  auto state_dir = TakeFlag(args, "--state");
-  auto window_s = TakeFlag(args, "--window");
-  auto step_s = TakeFlag(args, "--step");
-  auto min_coverage = TakeFlag(args, "--min-coverage");
-  auto threads = TakeFlag(args, "--threads");
-  auto chunk_s = TakeFlag(args, "--chunk-s");
-  auto horizon_s = TakeFlag(args, "--horizon-s");
-  auto stall_deadline_s = TakeFlag(args, "--stall-deadline-s");
-  auto max_backlog = TakeFlag(args, "--max-backlog");
-  auto checkpoint_every = TakeFlag(args, "--checkpoint-every");
-  auto max_idle = TakeFlag(args, "--max-idle");
-  auto poll_sleep_ms = TakeFlag(args, "--poll-sleep-ms");
-  auto crash_after = TakeFlag(args, "--crash-after");
-  bool naive = false;
-  bool follow = false;
-  bool sequential = false;
-  bool quiet = false;
-  for (auto it = args.begin(); it != args.end();) {
-    if (*it == "--naive") {
-      naive = true;
-      it = args.erase(it);
-    } else if (*it == "--follow") {
-      follow = true;
-      it = args.erase(it);
-    } else if (*it == "--sequential") {
-      sequential = true;
-      it = args.erase(it);
-    } else if (*it == "--quiet") {
-      quiet = true;
-      it = args.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  if (args.empty()) return Usage();
-  if (state_dir && args.size() > 1) {
-    std::fprintf(stderr,
-                 "--state needs a single dataset dir (got %zu); multiple "
-                 "sessions use <dataset>/live_state\n",
-                 args.size());
-    return 2;
-  }
-
-  runtime::LiveOptions opts;
-  if (window_s) opts.detector.window = Seconds(std::stod(*window_s));
-  if (step_s) opts.detector.step = Seconds(std::stod(*step_s));
-  if (min_coverage) opts.detector.min_coverage = std::stod(*min_coverage);
-  if (threads) opts.detector.threads = std::stoi(*threads);
-  opts.detector.incremental = !naive;
-  if (chunk_s) opts.chunk = Seconds(std::stod(*chunk_s));
-  if (horizon_s) opts.horizon = Seconds(std::stod(*horizon_s));
-  if (stall_deadline_s) opts.stall_deadline = Seconds(std::stod(*stall_deadline_s));
-  if (max_backlog) opts.max_backlog_windows = std::stol(*max_backlog);
-  if (checkpoint_every) {
-    opts.checkpoint_every_windows = std::stol(*checkpoint_every);
-  }
-  if (max_idle) opts.max_idle_polls = std::stoi(*max_idle);
-  if (poll_sleep_ms) opts.poll_sleep_ms = std::stoi(*poll_sleep_ms);
-  if (crash_after) opts.crash_after_checkpoints = std::stol(*crash_after);
-  opts.follow = follow;
-  opts.quiet = quiet;
-
-  std::vector<runtime::SessionSpec> specs;
-  for (const std::string& dir : args) {
-    runtime::SessionSpec spec;
-    spec.dataset_dir = dir;
-    if (state_dir) spec.state_dir = *state_dir;
-    specs.push_back(std::move(spec));
-  }
-
-  analysis::CausalGraph graph =
-      analysis::CausalGraph::Default(opts.detector.thresholds);
-  const bool parallel = !sequential && specs.size() > 1;
-  std::vector<runtime::SessionOutcome> outcomes =
-      runtime::RunSessions(specs, graph, opts, parallel);
-
-  int failures = 0;
-  for (const auto& o : outcomes) {
-    if (!o.ok) {
-      ++failures;
-      std::printf("live %s: FAILED: %s\n", o.dataset_dir.c_str(),
-                  o.error.c_str());
-      continue;
-    }
-    const auto& s = o.summary;
-    std::printf("live %s: %ld windows, %ld chains (%ld insufficient), "
-                "%ld checkpoints%s%s\n",
-                o.dataset_dir.c_str(), s.windows, s.chains,
-                s.insufficient_chains, s.checkpoints,
-                s.resumed ? ", resumed" : "",
-                s.stalled_streams > 0 ? ", stalled streams at end" : "");
-    std::printf("  report: %s\n  chains: %s\n", s.report_path.c_str(),
-                s.chains_path.c_str());
-  }
-  return failures == 0 ? 0 : 1;
-}
-
-int CmdCodegen(std::vector<std::string> args) {
-  auto out = TakeFlag(args, "-o");
-  if (args.size() != 1) return Usage();
-  std::ifstream f(args[0]);
-  if (!f) {
-    std::fprintf(stderr, "cannot open config '%s'\n", args[0].c_str());
-    return 2;
-  }
-  std::stringstream buf;
-  buf << f.rdbuf();
-  std::string python =
-      analysis::GeneratePython(analysis::ParseConfigText(buf.str()));
-  if (out) {
-    std::ofstream o(*out);
-    o << python;
-    std::printf("wrote %zu bytes of Python to %s\n", python.size(),
-                out->c_str());
-  } else {
-    std::cout << python;
-  }
-  return 0;
-}
-
-}  // namespace
+#include "domino_main.h"
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  std::string cmd = argv[1];
-  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
-    PrintUsage(stdout);
-    return 0;
-  }
-  if (cmd == "--version" || cmd == "version") {
-    std::printf("domino %s\n", DOMINO_VERSION);
-    return 0;
-  }
-  std::vector<std::string> args(argv + 2, argv + argc);
-  try {
-    if (cmd == "simulate") return CmdSimulate(std::move(args));
-    if (cmd == "ingest") return CmdIngest(std::move(args));
-    if (cmd == "analyze") return CmdAnalyze(std::move(args));
-    if (cmd == "live") return CmdLive(std::move(args));
-    if (cmd == "replay") return CmdReplay(std::move(args));
-    if (cmd == "codegen") return CmdCodegen(std::move(args));
-    if (cmd == "lint" || cmd == "--lint") return CmdLint(std::move(args));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
-  return Usage();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return domino::cli::DominoMain(std::move(args));
 }
