@@ -19,8 +19,7 @@ struct Recovery {
   double recovery_s;  ///< Time back to 90% of pre-drop rate (-1 = never).
 };
 
-std::vector<Recovery> FindRecoveries(
-    const std::vector<telemetry::WebRtcStatsRecord>& stats) {
+std::vector<Recovery> FindRecoveries(const telemetry::StatsColumns& stats) {
   std::vector<Recovery> out;
   for (std::size_t i = 1; i < stats.size(); ++i) {
     double prev = stats[i - 1].target_bitrate_bps;

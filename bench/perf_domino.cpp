@@ -15,6 +15,7 @@
 #include "domino/streaming.h"
 #include "domino/expr.h"
 #include "domino/runtime/live.h"
+#include "telemetry/binfmt.h"
 #include "telemetry/fault_inject.h"
 #include "telemetry/io.h"
 #include "telemetry/sanitize.h"
@@ -197,6 +198,64 @@ void BM_Sanitize(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Sanitize)->ArgName("fault_pct")->Arg(0)->Arg(5);
+
+/// On-disk copies of the shared 60 s session, written once: a CSV bundle
+/// and its binary (telemetry.dtb) image, for the loader benchmarks.
+struct LoadFixture {
+  std::string csv_dir;
+  std::string bin_dir;
+};
+const LoadFixture& SharedLoadFixture() {
+  static const LoadFixture fx = [] {
+    namespace fs = std::filesystem;
+    LoadFixture f;
+    f.csv_dir = (fs::temp_directory_path() / "domino_bench_load_csv").string();
+    f.bin_dir = (fs::temp_directory_path() / "domino_bench_load_bin").string();
+    telemetry::SessionDataset ds =
+        RunCall(sim::TMobileFdd15(), Seconds(60), 5);
+    telemetry::SaveDataset(ds, f.csv_dir);
+    telemetry::SaveDatasetBinary(ds, f.bin_dir);
+    return f;
+  }();
+  return fx;
+}
+
+void BM_LoadDatasetCsv(benchmark::State& state) {
+  const LoadFixture& fx = SharedLoadFixture();
+  for (auto _ : state) {
+    auto ds = telemetry::LoadDataset(fx.csv_dir);
+    benchmark::DoNotOptimize(ds);
+  }
+}
+BENCHMARK(BM_LoadDatasetCsv)->Unit(benchmark::kMillisecond);
+
+/// Same dataset through the binary fast path (mmap + column adoption);
+/// LoadDataset auto-detects the .dtb. The CSV/binary ratio is the payoff
+/// of the wire format.
+void BM_LoadDatasetBinary(benchmark::State& state) {
+  const LoadFixture& fx = SharedLoadFixture();
+  for (auto _ : state) {
+    auto ds = telemetry::LoadDataset(fx.bin_dir);
+    benchmark::DoNotOptimize(ds);
+  }
+}
+BENCHMARK(BM_LoadDatasetBinary);
+
+/// One-shot conversion cost (what `domino convert` does): tolerant CSV
+/// load plus serialize-and-write of the binary image.
+void BM_ConvertCsvToBinary(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const LoadFixture& fx = SharedLoadFixture();
+  const std::string out =
+      (fs::temp_directory_path() / "domino_bench_convert").string();
+  for (auto _ : state) {
+    auto ds = telemetry::LoadDataset(fx.csv_dir);
+    bool ok = telemetry::SaveDatasetBinary(ds, out);
+    benchmark::DoNotOptimize(ok);
+  }
+  fs::remove_all(out);
+}
+BENCHMARK(BM_ConvertCsvToBinary)->Unit(benchmark::kMillisecond);
 
 void BM_SimulateSecond(benchmark::State& state) {
   // Cost of generating one second of cross-layer telemetry.

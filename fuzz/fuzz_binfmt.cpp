@@ -1,0 +1,30 @@
+// Fuzz target: the strict binary telemetry reader (telemetry/binfmt.h).
+//
+// The input bytes are the whole .dtb image, parsed through the same entry
+// the mmap loader uses (null keepalive forces the copying column path, the
+// common case for hostile input that never round-trips through our writer).
+// Budgets are shrunk so the record-cap rejection path is reachable from
+// tiny inputs. The parsed dataset is re-serialized when accepted, which
+// exercises the writer against every mutation that survives validation.
+#include <cstddef>
+#include <cstdint>
+
+#include "common/parse.h"
+#include "telemetry/binfmt.h"
+#include "telemetry/io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace domino;
+  using namespace domino::telemetry;
+  InputLimits lim;
+  lim.max_records = 10'000;
+  SessionDataset ds;
+  ReadStats stats;
+  if (ParseDatasetBinary(reinterpret_cast<const std::byte*>(data), size,
+                         nullptr, ds, stats, lim)) {
+    // Accepted images must survive a lossless write-back.
+    (void)SerializeDatasetBinary(ds);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "common/crc32.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace domino {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+// Slice-by-8 tables: kTable[0] is the classic byte-at-a-time table;
+// kTable[k] advances a byte through k additional zero bytes, letting the
+// hot loop fold 8 input bytes per iteration with 8 independent lookups.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    t[0][i] = c;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+    }
+  }
+  return t;
+}
+
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kT = MakeTables();
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = kT[7][lo & 0xFFu] ^ kT[6][(lo >> 8) & 0xFFu] ^
+          kT[5][(lo >> 16) & 0xFFu] ^ kT[4][lo >> 24] ^ kT[3][hi & 0xFFu] ^
+          kT[2][(hi >> 8) & 0xFFu] ^ kT[1][(hi >> 16) & 0xFFu] ^
+          kT[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    c = kT[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace domino

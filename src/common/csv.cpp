@@ -60,6 +60,58 @@ bool ParseCsvLineTo(const std::string& line, std::vector<std::string>& cells,
   return true;
 }
 
+bool ParseCsvLineViews(std::string& line, std::vector<std::string_view>& cells,
+                       std::size_t max_fields) {
+  cells.clear();
+  if (line.find('"') == std::string::npos) {
+    // Fast path (every machine-written telemetry row): split on commas.
+    std::string_view rest(line);
+    for (;;) {
+      std::size_t comma = rest.find(',');
+      if (comma == std::string_view::npos) {
+        cells.push_back(rest);
+        return true;
+      }
+      if (cells.size() + 1 >= max_fields) return false;
+      cells.push_back(rest.substr(0, comma));
+      rest.remove_prefix(comma + 1);
+    }
+  }
+  // Quoted path: unescape into the line buffer itself. Content is only
+  // ever removed (quotes, escape doubling), so the write cursor w trails
+  // the read cursor i and never clobbers unread input.
+  char* buf = line.data();
+  std::size_t w = 0;
+  std::size_t cell_start = 0;
+  bool in_quote = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = buf[i];
+    if (in_quote) {
+      if (c == '"') {
+        if (i + 1 < line.size() && buf[i + 1] == '"') {
+          buf[w++] = '"';
+          ++i;
+        } else {
+          in_quote = false;
+        }
+      } else {
+        buf[w++] = c;
+      }
+    } else if (c == '"') {
+      in_quote = true;
+    } else if (c == ',') {
+      if (cells.size() + 1 >= max_fields) return false;
+      cells.emplace_back(buf + cell_start, w - cell_start);
+      cell_start = w;
+    } else {
+      buf[w++] = c;
+    }
+  }
+  if (in_quote) return false;
+  cells.emplace_back(buf + cell_start, w - cell_start);
+  return true;
+}
+
 std::vector<std::string> ParseCsvLine(const std::string& line) {
   std::vector<std::string> cells;
   if (!ParseCsvLineTo(line, cells,

@@ -4,6 +4,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/parse.h"
@@ -31,6 +32,16 @@ std::vector<std::string> ParseCsvLine(const std::string& line);
 /// `max_fields` cells; `cells` then holds the partial parse.
 bool ParseCsvLineTo(const std::string& line, std::vector<std::string>& cells,
                     std::size_t max_fields);
+
+/// Allocation-free tokenizer for hot readers: `cells` are string_views into
+/// `line`'s own buffer. Quoted cells are RFC 4180-unescaped *in place*
+/// (unescaping only ever shrinks, so the write cursor never overtakes the
+/// read cursor); lines without a quote character take a pure split path.
+/// The views are invalidated by the next modification of `line`. Same
+/// contract as ParseCsvLineTo otherwise: false on an unterminated quote or
+/// more than `max_fields` cells.
+bool ParseCsvLineViews(std::string& line, std::vector<std::string_view>& cells,
+                       std::size_t max_fields);
 
 /// Reads all rows from a stream. Empty lines are skipped.
 std::vector<std::vector<std::string>> ReadCsv(std::istream& is);

@@ -1,19 +1,31 @@
 // Time-series container used by both the simulator's telemetry emitters and
 // the Domino analysis pipeline.
 //
+// Storage is columnar (SoA): one contiguous Time column and one contiguous
+// value column, rather than an array of (time, value) structs. Every window
+// aggregate the 20 event conditions and the 36-dim feature extraction run —
+// Min/Max/Sum/CountIf/trend scans — iterates over the contiguous value
+// column only, which the compiler auto-vectorizes and which halves the
+// bytes touched versus interleaved pairs.
+//
 // A TimeSeries<T> is an append-only sequence of (Time, T) samples in
-// non-decreasing time order. WindowView is a cheap, non-owning slice of a
-// series restricted to a [begin, end) interval — the unit the Domino sliding
-// window operates on (paper §4.2: W = 5 s, Δt = 0.5 s).
+// non-decreasing time order. WindowView is a cheap, non-owning slice of
+// both columns restricted to a [begin, end) interval — the unit the Domino
+// sliding window operates on (paper §4.2: W = 5 s, Δt = 0.5 s). Views are
+// zero-copy: they alias the parent's columns and are invalidated by
+// appends.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <iterator>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "common/column.h"
 #include "common/time.h"
 
 namespace domino {
@@ -27,6 +39,56 @@ struct Sample {
 template <typename T>
 class WindowView;
 
+/// Random-access iterator over parallel (time, value) columns, yielding
+/// Sample<T> by value. Lets range-for and index loops written against the
+/// old row layout keep working unchanged.
+template <typename T>
+class SampleIterator {
+ public:
+  using iterator_category = std::random_access_iterator_tag;
+  using value_type = Sample<T>;
+  using difference_type = std::ptrdiff_t;
+  using pointer = const Sample<T>*;
+  using reference = Sample<T>;
+
+  SampleIterator() = default;
+  SampleIterator(const Time* t, const T* v) : t_(t), v_(v) {}
+
+  Sample<T> operator*() const { return Sample<T>{*t_, *v_}; }
+  Sample<T> operator[](difference_type i) const {
+    return Sample<T>{t_[i], v_[i]};
+  }
+
+  SampleIterator& operator++() { ++t_; ++v_; return *this; }
+  SampleIterator operator++(int) { auto c = *this; ++*this; return c; }
+  SampleIterator& operator--() { --t_; --v_; return *this; }
+  SampleIterator operator--(int) { auto c = *this; --*this; return c; }
+  SampleIterator& operator+=(difference_type n) { t_ += n; v_ += n; return *this; }
+  SampleIterator& operator-=(difference_type n) { t_ -= n; v_ -= n; return *this; }
+  friend SampleIterator operator+(SampleIterator it, difference_type n) {
+    return it += n;
+  }
+  friend SampleIterator operator+(difference_type n, SampleIterator it) {
+    return it += n;
+  }
+  friend SampleIterator operator-(SampleIterator it, difference_type n) {
+    return it -= n;
+  }
+  friend difference_type operator-(SampleIterator a, SampleIterator b) {
+    return a.t_ - b.t_;
+  }
+  friend bool operator==(SampleIterator a, SampleIterator b) {
+    return a.t_ == b.t_;
+  }
+  friend auto operator<=>(SampleIterator a, SampleIterator b) {
+    return a.t_ <=> b.t_;
+  }
+
+ private:
+  const Time* t_ = nullptr;
+  const T* v_ = nullptr;
+};
+
 template <typename T>
 class TimeSeries {
  public:
@@ -34,26 +96,91 @@ class TimeSeries {
 
   /// Appends a sample. Times must be non-decreasing.
   void Push(Time t, T value) {
-    if (!samples_.empty() && t < samples_.back().time) {
+    if (!times_.empty() && t < times_.back()) {
       throw std::invalid_argument("TimeSeries::Push: time went backwards");
     }
-    samples_.push_back({t, std::move(value)});
+    times_.push_back(t);
+    values_.push_back(std::move(value));
   }
 
-  [[nodiscard]] bool empty() const { return samples_.empty(); }
-  [[nodiscard]] std::size_t size() const { return samples_.size(); }
-  [[nodiscard]] const Sample<T>& operator[](std::size_t i) const {
-    return samples_[i];
+  /// Appends without the monotonicity check — for bulk builders that
+  /// guarantee order themselves (BuildDerivedTrace's column sweeps).
+  void AppendUnchecked(Time t, T value) {
+    times_.push_back(t);
+    values_.push_back(std::move(value));
   }
-  [[nodiscard]] const Sample<T>& front() const { return samples_.front(); }
-  [[nodiscard]] const Sample<T>& back() const { return samples_.back(); }
 
-  [[nodiscard]] auto begin() const { return samples_.begin(); }
-  [[nodiscard]] auto end() const { return samples_.end(); }
+  /// Pre-sizes both columns (exact-count reservation in bulk builders).
+  void Reserve(std::size_t n) {
+    times_.reserve(n);
+    values_.reserve(n);
+  }
+
+  /// Adopts whole columns at once. `times` must be non-decreasing (checked
+  /// only by assert: callers are bulk builders that guarantee it).
+  void AssignColumns(std::vector<Time> times, std::vector<T> values) {
+    assert(times.size() == values.size());
+    assert(std::is_sorted(times.begin(), times.end()));
+    times_.Assign(std::move(times));
+    values_.Assign(std::move(values));
+  }
+
+  /// Adopts a *shared* time axis plus an owned value column. Several sibling
+  /// series with identical timestamps (the per-DCI "ours" series, the nine
+  /// client stats series) alias one Time buffer instead of copying it per
+  /// series; the Column keepalive pins it. Copy-on-write on mutation.
+  void AdoptSharedTimes(std::shared_ptr<const std::vector<Time>> times,
+                        std::vector<T> values) {
+    assert(times && times->size() == values.size());
+    assert(std::is_sorted(times->begin(), times->end()));
+    values_.Assign(std::move(values));
+    times_.Adopt(std::move(times));
+  }
+
+  /// Zero-copy adoption of both columns from a pinned backing buffer — a
+  /// derived-trace arena or an mmap'd binary trace file. The series borrows
+  /// the ranges; `keepalive` owns them. Sibling series may pass the same
+  /// time pointer to share one axis. Copy-on-write on mutation.
+  void AdoptColumns(const std::shared_ptr<const void>& keepalive,
+                    const Time* t, const T* v, std::size_t n) {
+    assert(std::is_sorted(t, t + n));
+    times_.Adopt(keepalive, t, n);
+    values_.Adopt(keepalive, v, n);
+  }
+
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+  [[nodiscard]] std::size_t size() const { return times_.size(); }
+  [[nodiscard]] Sample<T> operator[](std::size_t i) const {
+    return Sample<T>{times_[i], values_[i]};
+  }
+  [[nodiscard]] Sample<T> front() const {
+    return Sample<T>{times_.front(), values_.front()};
+  }
+  [[nodiscard]] Sample<T> back() const {
+    return Sample<T>{times_.back(), values_.back()};
+  }
+  [[nodiscard]] Time TimeAt(std::size_t i) const { return times_[i]; }
+  [[nodiscard]] const T& ValueAtIndex(std::size_t i) const {
+    return values_[i];
+  }
+
+  /// Contiguous column access (zero-copy).
+  [[nodiscard]] std::span<const Time> times() const { return times_.span(); }
+  [[nodiscard]] std::span<const T> values() const { return values_.span(); }
+
+  [[nodiscard]] SampleIterator<T> begin() const {
+    return {times_.data(), values_.data()};
+  }
+  [[nodiscard]] SampleIterator<T> end() const {
+    return {times_.data() + times_.size(), values_.data() + values_.size()};
+  }
+
+  /// True when the time axis is borrowed from a shared buffer (mmap'd file
+  /// or a sibling series) rather than owned by this series.
+  [[nodiscard]] bool shares_times() const { return times_.borrowed(); }
 
   /// Returns the non-owning view of samples with time in [begin, end).
   [[nodiscard]] WindowView<T> Window(Time begin, Time end) const {
-    // vector::data() is valid even when empty, unlike &*begin().
     std::size_t lo = LowerBound(begin);
     std::size_t hi = LowerBound(end, lo);
     return ViewRange(lo, hi);
@@ -61,116 +188,145 @@ class TimeSeries {
 
   /// View of samples by index range [lo, hi); bounds must be valid.
   [[nodiscard]] WindowView<T> ViewRange(std::size_t lo, std::size_t hi) const {
-    return WindowView<T>(
-        std::span<const Sample<T>>(samples_.data(), samples_.size())
-            .subspan(lo, hi - lo));
+    // vector::data() is valid even when empty.
+    return WindowView<T>(times_.data() + lo, values_.data() + lo, hi - lo);
   }
 
   /// Index of the first sample with time >= t, searching from `from`.
   [[nodiscard]] std::size_t LowerBound(Time t, std::size_t from = 0) const {
-    auto it = std::lower_bound(
-        samples_.begin() + static_cast<std::ptrdiff_t>(from), samples_.end(),
-        t, [](const Sample<T>& s, Time tt) { return s.time < tt; });
-    return static_cast<std::size_t>(it - samples_.begin());
+    const Time* base = times_.data();
+    const Time* it = std::lower_bound(base + from, base + times_.size(), t);
+    return static_cast<std::size_t>(it - base);
   }
 
   /// Value of the last sample at or before `t`; `fallback` if none exists.
   [[nodiscard]] T ValueAt(Time t, T fallback = T{}) const {
-    auto it = std::upper_bound(
-        samples_.begin(), samples_.end(), t,
-        [](Time tt, const Sample<T>& s) { return tt < s.time; });
-    if (it == samples_.begin()) return fallback;
-    return std::prev(it)->value;
+    const Time* base = times_.data();
+    const Time* it = std::upper_bound(base, base + times_.size(), t);
+    if (it == base) return fallback;
+    return values_[static_cast<std::size_t>(it - base) - 1];
   }
 
-  void clear() { samples_.clear(); }
+  void clear() {
+    times_.clear();
+    values_.clear();
+  }
 
  private:
-  std::vector<Sample<T>> samples_;
+  Column<Time> times_;
+  Column<T> values_;
 };
 
-/// Non-owning slice of a TimeSeries. Invalidated by appends to the parent.
+/// Non-owning columnar slice of a TimeSeries. Invalidated by appends to the
+/// parent. Aggregates scan the contiguous value column.
 template <typename T>
 class WindowView {
  public:
   WindowView() = default;
-  explicit WindowView(std::span<const Sample<T>> span) : span_(span) {}
+  WindowView(const Time* times, const T* values, std::size_t n)
+      : times_(times), values_(values), n_(n) {}
 
-  [[nodiscard]] bool empty() const { return span_.empty(); }
-  [[nodiscard]] std::size_t size() const { return span_.size(); }
-  [[nodiscard]] const Sample<T>& operator[](std::size_t i) const {
-    return span_[i];
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] Sample<T> operator[](std::size_t i) const {
+    return Sample<T>{times_[i], values_[i]};
   }
-  [[nodiscard]] auto begin() const { return span_.begin(); }
-  [[nodiscard]] auto end() const { return span_.end(); }
+  [[nodiscard]] std::span<const Time> times() const { return {times_, n_}; }
+  [[nodiscard]] std::span<const T> values() const { return {values_, n_}; }
+  [[nodiscard]] SampleIterator<T> begin() const { return {times_, values_}; }
+  [[nodiscard]] SampleIterator<T> end() const {
+    return {times_ + n_, values_ + n_};
+  }
 
   /// Minimum / maximum sample value; requires a non-empty window.
   [[nodiscard]] T Min() const {
     assert(!empty());
-    return std::min_element(begin(), end(), ValueLess)->value;
+    T best = values_[0];
+    for (std::size_t i = 1; i < n_; ++i) {
+      if (values_[i] < best) best = values_[i];
+    }
+    return best;
   }
   [[nodiscard]] T Max() const {
     assert(!empty());
-    return std::max_element(begin(), end(), ValueLess)->value;
+    T best = values_[0];
+    for (std::size_t i = 1; i < n_; ++i) {
+      if (values_[i] > best) best = values_[i];
+    }
+    return best;
   }
   /// Time of the first minimal / maximal sample.
-  [[nodiscard]] Time ArgMin() const {
-    assert(!empty());
-    return std::min_element(begin(), end(), ValueLess)->time;
-  }
-  [[nodiscard]] Time ArgMax() const {
-    assert(!empty());
-    return std::max_element(begin(), end(), ValueLess)->time;
-  }
+  [[nodiscard]] Time ArgMin() const { return times_[MinIndex()]; }
+  [[nodiscard]] Time ArgMax() const { return times_[MaxIndex()]; }
 
   [[nodiscard]] double Mean() const {
     assert(!empty());
-    double sum = 0;
-    for (const auto& s : span_) sum += static_cast<double>(s.value);
-    return sum / static_cast<double>(span_.size());
+    return Sum() / static_cast<double>(n_);
   }
 
   [[nodiscard]] double Sum() const {
     double sum = 0;
-    for (const auto& s : span_) sum += static_cast<double>(s.value);
+    for (std::size_t i = 0; i < n_; ++i) {
+      sum += static_cast<double>(values_[i]);
+    }
     return sum;
   }
 
   /// True if any sample satisfies `pred(value)`.
   template <typename Pred>
   [[nodiscard]] bool Any(Pred pred) const {
-    return std::any_of(begin(), end(),
-                       [&](const Sample<T>& s) { return pred(s.value); });
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (pred(values_[i])) return true;
+    }
+    return false;
   }
 
   /// Number of samples satisfying `pred(value)`.
   template <typename Pred>
   [[nodiscard]] std::size_t CountIf(Pred pred) const {
-    return static_cast<std::size_t>(std::count_if(
-        begin(), end(), [&](const Sample<T>& s) { return pred(s.value); }));
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (pred(values_[i])) ++n;
+    }
+    return n;
   }
 
   /// True if there exist consecutive samples with s[i+1] < s[i] (a downtrend
   /// step), the primitive behind the paper's "there is a downtrend" events.
   [[nodiscard]] bool HasDecreasingStep() const {
-    for (std::size_t i = 0; i + 1 < span_.size(); ++i) {
-      if (span_[i + 1].value < span_[i].value) return true;
+    for (std::size_t i = 0; i + 1 < n_; ++i) {
+      if (values_[i + 1] < values_[i]) return true;
     }
     return false;
   }
   [[nodiscard]] bool HasIncreasingStep() const {
-    for (std::size_t i = 0; i + 1 < span_.size(); ++i) {
-      if (span_[i + 1].value > span_[i].value) return true;
+    for (std::size_t i = 0; i + 1 < n_; ++i) {
+      if (values_[i + 1] > values_[i]) return true;
     }
     return false;
   }
 
  private:
-  static bool ValueLess(const Sample<T>& a, const Sample<T>& b) {
-    return a.value < b.value;
+  [[nodiscard]] std::size_t MinIndex() const {
+    assert(!empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n_; ++i) {
+      if (values_[i] < values_[best]) best = i;
+    }
+    return best;
+  }
+  [[nodiscard]] std::size_t MaxIndex() const {
+    assert(!empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n_; ++i) {
+      if (values_[i] > values_[best]) best = i;
+    }
+    return best;
   }
 
-  std::span<const Sample<T>> span_;
+  const Time* times_ = nullptr;
+  const T* values_ = nullptr;
+  std::size_t n_ = 0;
 };
 
 /// Averages `view` into buckets of `bucket` samples each (the paper's
@@ -181,12 +337,13 @@ std::vector<double> BucketMeans(const WindowView<T>& view,
                                 std::size_t bucket) {
   std::vector<double> out;
   if (bucket == 0) return out;
-  std::size_t full = view.size() / bucket;
+  std::span<const T> v = view.values();
+  std::size_t full = v.size() / bucket;
   out.reserve(full);
   for (std::size_t k = 0; k < full; ++k) {
     double sum = 0;
     for (std::size_t i = k * bucket; i < (k + 1) * bucket; ++i) {
-      sum += static_cast<double>(view[i].value);
+      sum += static_cast<double>(v[i]);
     }
     out.push_back(sum / static_cast<double>(bucket));
   }
@@ -200,14 +357,16 @@ std::vector<double> TimeBucketMeans(const WindowView<T>& view, Time window_begin
                                     Duration width) {
   std::vector<double> out;
   if (view.empty() || width.micros() <= 0) return out;
+  std::span<const Time> t = view.times();
+  std::span<const T> v = view.values();
   std::size_t i = 0;
   Time edge = window_begin;
-  while (i < view.size()) {
+  while (i < v.size()) {
     Time next = edge + width;
     double sum = 0;
     std::size_t n = 0;
-    while (i < view.size() && view[i].time < next) {
-      sum += static_cast<double>(view[i].value);
+    while (i < v.size() && t[i] < next) {
+      sum += static_cast<double>(v[i]);
       ++n;
       ++i;
     }

@@ -12,10 +12,12 @@ namespace domino::analysis {
 
 void SeriesCursor::Advance(Time begin, Time end) {
   if (init_ && begin == begin_ && end == end_) return;
-  if (!init_ || begin < begin_ || end < end_) Reset(begin);
+  const std::size_t n = series_->size();
+  // hi_ > n means the series shrank under us (stale cursor): the indices are
+  // meaningless, so re-seat instead of walking out of bounds.
+  if (!init_ || begin < begin_ || end < end_ || hi_ > n) Reset(begin);
   begin_ = begin;
   end_ = end;
-  const std::size_t n = series_->size();
   while (hi_ < n && At(hi_).time < end) {
     Enter(hi_);
     ++hi_;

@@ -83,7 +83,7 @@ class SeriesCursor {
     std::size_t n = 0;
   };
 
-  [[nodiscard]] const Sample<double>& At(std::size_t i) const {
+  [[nodiscard]] Sample<double> At(std::size_t i) const {
     return (*series_)[i];
   }
   [[nodiscard]] double Value(std::size_t i) const { return At(i).value; }
@@ -141,10 +141,15 @@ class BucketGridCursor {
 class WindowStatsCache {
  public:
   explicit WindowStatsCache(const telemetry::DerivedTrace& trace)
-      : trace_(&trace) {}
+      : trace_(&trace), trace_build_id_(trace.build_id) {}
 
   [[nodiscard]] const telemetry::DerivedTrace& trace() const {
     return *trace_;
+  }
+  /// build_id of the trace this cache was constructed for, recorded at
+  /// construction (safe to read even if the trace object has since died).
+  [[nodiscard]] std::uint64_t trace_build_id() const {
+    return trace_build_id_;
   }
 
   /// Starts a new window; invalidates the per-window memo. Windows must be
@@ -189,6 +194,7 @@ class WindowStatsCache {
   SeriesCursor& Cursor(const TimeSeries<double>& s);
 
   const telemetry::DerivedTrace* trace_;
+  std::uint64_t trace_build_id_ = 0;
   Time begin_{0};
   Time end_{0};
   std::unordered_map<const TimeSeries<double>*, SeriesCursor> cursors_;

@@ -48,7 +48,11 @@ int StreamingDetector::Advance(const telemetry::DerivedTrace& trace,
   }
   const DominoConfig& cfg = detector_.config();
   if (cfg.incremental) {
-    if (cache_ == nullptr || &cache_->trace() != &trace) {
+    // Identity = (address, build stamp): the address alone is unsound — a
+    // caller rebuilding its trace in a stack local gets the same address
+    // every time, and stale index cursors would walk a shrunk series.
+    if (cache_ == nullptr || &cache_->trace() != &trace ||
+        cache_->trace_build_id() != trace.build_id) {
       // A different trace object invalidates every index-based cursor. The
       // window cursor (next_begin_) survives, so no history is reprocessed,
       // but the warm-up cost is re-paid — surface it so callers can tell.

@@ -1,6 +1,8 @@
 #include "telemetry/align.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
 
 namespace domino::telemetry {
 
@@ -32,11 +34,17 @@ double EstimateClockOffsetMs(const SessionDataset& ds,
 
 void AlignClocks(SessionDataset& ds, double offset_ms) {
   Duration offset = Seconds(offset_ms / 1e3);
-  for (auto& p : ds.packets) {
-    if (p.dir == Direction::kDownlink) {
-      p.sent = p.sent - offset;        // remote send stamp -> local clock
-    } else if (!p.lost()) {
-      p.received = p.received - offset;  // remote receive stamp
+  // Operates directly on the packet columns: dir selects which remote
+  // stamp (send for DL, receive for UL) shifts onto the local clock.
+  std::span<const std::uint8_t> dir = ds.packets.dir.span();
+  std::span<Time> sent = ds.packets.sent.mut();
+  std::span<Time> received = ds.packets.received.mut();
+  const auto kDl = static_cast<std::uint8_t>(Direction::kDownlink);
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    if (dir[i] == kDl) {
+      sent[i] = sent[i] - offset;        // remote send stamp -> local clock
+    } else if (received[i] != Time::max()) {
+      received[i] = received[i] - offset;  // remote receive stamp
     }
   }
 }

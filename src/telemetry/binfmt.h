@@ -1,0 +1,79 @@
+// Binary wire format for session datasets ("DTB": Domino Telemetry Binary).
+//
+// The CSV bundle (io.h) is the interchange format; DTB is the *fast path*.
+// A .dtb file is a single little-endian image of a SessionDataset laid out
+// so the reader can mmap it and adopt each column in place (Column::Adopt /
+// TimeSeries::AdoptColumns): a fixed header carrying the session meta
+// (range, cell, privacy flag, RNTI timeline), followed by one block per
+// column of each raw stream, every payload 8-byte aligned and CRC-32
+// checked. Loading is therefore O(header + checksums) with zero text
+// parsing and zero per-field materialization — the page cache keeps the
+// bulk data until a column is first mutated (copy-on-write).
+//
+// Unlike the tolerant CSV readers, the binary reader is *strict*: a .dtb
+// is machine-written, so any structural defect (bad magic, truncated
+// payload, CRC mismatch, over-budget row count) rejects the whole file
+// with a typed kCorruptBinary / kLimitExceeded diagnostic rather than
+// salvaging rows. Both readers sit behind the same InputLimits trust
+// boundary (common/parse.h).
+//
+// Layout (version 1, all integers little-endian):
+//
+//   FileHeader   48 B   magic "DOMTELB1", version, endian tag 0x0A0B0C0D,
+//                       begin/end (µs), flags (bit0 = private cell),
+//                       cell-name length, RNTI timeline length, block count
+//   cell name    zero-padded to a multiple of 8
+//   RNTI times   rnti_count × i64 (non-decreasing µs)
+//   RNTI values  rnti_count × f64
+//   header CRC   u32 CRC-32 of every byte above, + u32 zero pad
+//   blocks       block_count × [ BlockHeader 32 B | payload | zero pad ]
+//
+//   BlockHeader: stream id, column index, element type, element size,
+//                row count (u64), payload CRC-32, header CRC-32.
+//
+// Blocks appear in canonical order: for each stream in StreamId order, each
+// column in its ForEachColumn order. Version 1 fixes the schema, so the
+// reader demands exactly the canonical block sequence.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/parse.h"
+#include "telemetry/io.h"
+
+namespace domino::telemetry {
+
+/// File name of the binary dataset inside a dataset directory, alongside
+/// (or instead of) the CSV bundle. LoadDataset prefers it when present.
+inline constexpr const char* kBinaryDatasetFile = "telemetry.dtb";
+
+/// Serializes the dataset into one contiguous DTB image.
+[[nodiscard]] std::string SerializeDatasetBinary(const SessionDataset& ds);
+
+/// Writes the DTB image to `os`. Returns false when the stream errored.
+bool WriteDatasetBinary(std::ostream& os, const SessionDataset& ds);
+
+/// Writes `dir/telemetry.dtb` (the directory must exist or be creatable).
+bool SaveDatasetBinary(const SessionDataset& ds, const std::string& dir);
+
+/// Parses a DTB image from memory into `ds`. Strict: returns false and
+/// records one typed diagnostic in `stats` on the first structural defect
+/// (the dataset is left cleared). When `keepalive` is non-null it must pin
+/// `data`, and every suitably aligned column is adopted zero-copy; with a
+/// null keepalive (or a misaligned payload) columns are copied instead.
+/// This overload is the fuzzing entry point.
+bool ParseDatasetBinary(const std::byte* data, std::size_t size,
+                        std::shared_ptr<const void> keepalive,
+                        SessionDataset& ds, ReadStats& stats,
+                        const InputLimits& limits = {});
+
+/// Loads `path`, preferring mmap (the columns then borrow the page cache);
+/// falls back to a heap read where mmap is unavailable. Strict like
+/// ParseDatasetBinary; missing/unreadable files record kMissingFile.
+bool ReadDatasetBinary(const std::string& path, SessionDataset& ds,
+                       ReadStats& stats, const InputLimits& limits = {});
+
+}  // namespace domino::telemetry

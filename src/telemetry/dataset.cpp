@@ -1,9 +1,19 @@
 #include "telemetry/dataset.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <span>
 
 namespace domino::telemetry {
+
+std::uint64_t NextTraceBuildId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 const char* StreamName(StreamId id) {
   switch (id) {
@@ -32,32 +42,207 @@ double TraceQuality::WindowCoverage(StreamId id, Time begin, Time end) const {
 
 namespace {
 
-/// Accumulates per-bin byte counts and emits a bits/s series.
+/// Accumulates per-bin byte counts and emits a bits/s series. The bin width
+/// is a compile-time constant (50 ms, the paper's rate-binning grid), so the
+/// per-record bin index compiles to a multiply-shift instead of a 64-bit
+/// division — Add() sits inside the per-DCI and per-packet sweeps.
 class RateBinner {
  public:
-  RateBinner(Time begin, Duration bin) : begin_(begin), bin_(bin) {}
+  static constexpr std::int64_t kBinUs = 50'000;
+
+  /// `expected_end` pre-reserves the bin array so Add() almost never
+  /// reallocates (the emitted series still ends at the last added bin).
+  RateBinner(Time begin, Time expected_end) : begin_(begin) {
+    if (expected_end > begin_) {
+      bins_.reserve(
+          static_cast<std::size_t>((expected_end - begin_).micros() / kBinUs) +
+          1);
+    }
+  }
 
   void Add(Time t, double bytes) {
     if (t < begin_) return;
-    auto idx = static_cast<std::size_t>((t - begin_) / bin_);
+    auto idx = static_cast<std::size_t>((t - begin_).micros() / kBinUs);
     if (bins_.size() <= idx) bins_.resize(idx + 1, 0.0);
     bins_[idx] += bytes;
   }
 
   [[nodiscard]] TimeSeries<double> ToSeries() const {
+    const Duration bin = Micros(kBinUs);
     TimeSeries<double> out;
+    out.Reserve(bins_.size());
     for (std::size_t i = 0; i < bins_.size(); ++i) {
-      out.Push(begin_ + bin_ * static_cast<std::int64_t>(i),
-               bins_[i] * 8.0 / bin_.seconds());
+      out.AppendUnchecked(begin_ + bin * static_cast<std::int64_t>(i),
+                          bins_[i] * 8.0 / bin.seconds());
     }
     return out;
   }
 
  private:
   Time begin_;
-  Duration bin_;
   std::vector<double> bins_;
 };
+
+/// Converts a typed column to doubles (a contiguous, vectorizable loop).
+template <typename T>
+std::vector<double> ToDoubles(std::span<const T> values) {
+  std::vector<double> v(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    v[i] = static_cast<double>(values[i]);
+  }
+  return v;
+}
+
+constexpr std::uint8_t kDlU8 = static_cast<std::uint8_t>(Direction::kDownlink);
+
+/// Bump allocator carving typed regions out of one shared byte buffer. The
+/// derived series borrow these regions via TimeSeries::AdoptColumns, so the
+/// sweep's output is written exactly once and never copied out.
+class TraceArena {
+ public:
+  explicit TraceArena(std::size_t bytes)
+      : buf_(new std::byte[bytes]), size_(bytes) {}
+
+  template <typename T>
+  [[nodiscard]] T* Carve(std::size_t count) {
+    std::size_t off = (used_ + alignof(T) - 1) & ~(alignof(T) - 1);
+    used_ = off + count * sizeof(T);
+    assert(used_ <= size_);
+    return reinterpret_cast<T*>(buf_.get() + off);
+  }
+
+  [[nodiscard]] std::shared_ptr<const void> keepalive() const {
+    return {buf_, buf_.get()};
+  }
+
+ private:
+  std::shared_ptr<std::byte[]> buf_;
+  std::size_t size_;
+  std::size_t used_ = 0;
+};
+
+/// Arena-backed staging for one direction of the fused DCI sweep: the four
+/// "ours" series share the t_ours axis; prb_other has its own. Raw write
+/// cursors (no per-push capacity checks) — capacity is the direction's
+/// record count, an upper bound for both partitions.
+struct DciStage {
+  Time* t_ours = nullptr;
+  double* tbs = nullptr;
+  double* prb = nullptr;
+  double* mcs = nullptr;
+  double* rnti = nullptr;
+  Time* t_other = nullptr;
+  double* prb_other = nullptr;
+  std::size_t n_ours = 0;
+  std::size_t n_other = 0;
+
+  void CarveAll(TraceArena& arena, std::size_t capacity) {
+    t_ours = arena.Carve<Time>(capacity);
+    tbs = arena.Carve<double>(capacity);
+    prb = arena.Carve<double>(capacity);
+    mcs = arena.Carve<double>(capacity);
+    rnti = arena.Carve<double>(capacity);
+    t_other = arena.Carve<Time>(capacity);
+    prb_other = arena.Carve<double>(capacity);
+  }
+};
+
+/// Fast path over sorted DCI columns: one fused sweep classifies each record
+/// against the RNTI timeline (two-pointer cursor, no binary search),
+/// partitions into the arena regions, feeds the TBS rate binner, and
+/// verifies sortedness as it goes. Returns false (partial output discarded
+/// by the caller) on the first out-of-order timestamp.
+bool SweepDciSorted(const SessionDataset& ds, std::array<DciStage, 2>& stage,
+                    TraceArena& arena,
+                    std::array<TimeSeries<double>, 2>& harq,
+                    std::array<RateBinner, 2>& tbs_rate) {
+  const DciColumns& dci = ds.dci;
+  const std::size_t n = dci.size();
+  std::span<const Time> t = dci.time.span();
+  std::span<const std::uint32_t> rnti = dci.rnti.span();
+  std::span<const std::uint8_t> dir = dci.dir.span();
+  std::span<const std::int32_t> prbs = dci.prbs.span();
+  std::span<const std::int32_t> mcs = dci.mcs.span();
+  std::span<const std::int32_t> tbs = dci.tbs_bytes.span();
+  std::span<const std::uint8_t> retx = dci.is_retx.span();
+  std::span<const Time> rt = ds.ue_rnti.times();
+  std::span<const double> rv = ds.ue_rnti.values();
+
+  // Per-direction record counts size the arena regions exactly (a cheap
+  // vectorizable byte sweep; ours/other within a direction stays an upper
+  // bound).
+  std::size_t n_dl = 0;
+  for (std::size_t i = 0; i < n; ++i) n_dl += dir[i] == kDlU8;
+  const std::size_t cap[2] = {n - n_dl, n_dl};
+  stage[0].CarveAll(arena, cap[0]);
+  stage[1].CarveAll(arena, cap[1]);
+
+  Time prev{INT64_MIN};
+  std::uint32_t our = 0;
+  std::size_t j = 0;  // timeline cursor: first RNTI sample with time > t[i]
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time ti = t[i];
+    if (ti < prev) return false;  // unsorted: caller reruns the slow path
+    prev = ti;
+    while (j < rt.size() && rt[j] <= ti) {
+      our = static_cast<std::uint32_t>(rv[j]);
+      ++j;
+    }
+    const std::size_t di = dir[i] == kDlU8;
+    DciStage& s = stage[di];
+    if (rnti[i] == our) {
+      const std::size_t k = s.n_ours++;
+      ::new (s.t_ours + k) Time(ti);
+      ::new (s.tbs + k) double(tbs[i]);
+      ::new (s.prb + k) double(prbs[i]);
+      ::new (s.mcs + k) double(mcs[i]);
+      ::new (s.rnti + k) double(rnti[i]);
+      if (retx[i]) {
+        harq[di].AppendUnchecked(ti, 1.0);
+      } else {
+        tbs_rate[di].Add(ti, tbs[i]);
+      }
+    } else {
+      const std::size_t k = s.n_other++;
+      ::new (s.t_other + k) Time(ti);
+      ::new (s.prb_other + k) double(prbs[i]);
+    }
+  }
+  return true;
+}
+
+/// Slow path for unsorted DCI streams: per-record timeline lookup and
+/// checked Push (preserving the "time went backwards" diagnostic).
+void SweepDciUnsorted(const SessionDataset& ds, DerivedTrace& trace,
+                      std::array<RateBinner, 2>& tbs_rate) {
+  const DciColumns& dci = ds.dci;
+  std::span<const Time> t = dci.time.span();
+  std::span<const std::uint32_t> rnti = dci.rnti.span();
+  std::span<const std::uint8_t> dir = dci.dir.span();
+  std::span<const std::int32_t> prbs = dci.prbs.span();
+  std::span<const std::int32_t> mcs = dci.mcs.span();
+  std::span<const std::int32_t> tbs = dci.tbs_bytes.span();
+  std::span<const std::uint8_t> retx = dci.is_retx.span();
+
+  for (std::size_t i = 0; i < dci.size(); ++i) {
+    const auto our = static_cast<std::uint32_t>(ds.ue_rnti.ValueAt(t[i], 0.0));
+    const std::size_t di = dir[i] == kDlU8;
+    DirectionSeries& s = trace.dir[di];
+    if (rnti[i] == our) {
+      s.tbs_bytes.Push(t[i], tbs[i]);
+      s.prb_self.Push(t[i], prbs[i]);
+      s.mcs.Push(t[i], mcs[i]);
+      s.rnti.Push(t[i], rnti[i]);
+      if (retx[i]) {
+        s.harq_retx.Push(t[i], 1.0);
+      } else {
+        tbs_rate[di].Add(t[i], tbs[i]);
+      }
+    } else {
+      s.prb_other.Push(t[i], prbs[i]);
+    }
+  }
+}
 
 }  // namespace
 
@@ -67,65 +252,178 @@ DerivedTrace BuildDerivedTrace(const SessionDataset& ds) {
   trace.end = ds.end;
   trace.has_gnb_log = ds.is_private_cell;
 
-  const Duration kBin = Millis(50);
-  std::array<RateBinner, 2> app_rate = {RateBinner(ds.begin, kBin),
-                                        RateBinner(ds.begin, kBin)};
-  std::array<RateBinner, 2> tbs_rate = {RateBinner(ds.begin, kBin),
-                                        RateBinner(ds.begin, kBin)};
+  std::array<RateBinner, 2> app_rate = {RateBinner(ds.begin, ds.end),
+                                        RateBinner(ds.begin, ds.end)};
+  std::array<RateBinner, 2> tbs_rate = {RateBinner(ds.begin, ds.end),
+                                        RateBinner(ds.begin, ds.end)};
 
-  for (const DciRecord& d : ds.dci) {
-    auto di = static_cast<std::size_t>(d.dir == Direction::kDownlink);
-    DirectionSeries& s = trace.dir[di];
-    // NR-Scope knows the UE's RNTI trajectory; other RNTIs = cross traffic.
-    auto our_rnti =
-        static_cast<std::uint32_t>(ds.ue_rnti.ValueAt(d.time, 0.0));
-    if (d.rnti == our_rnti) {
-      s.tbs_bytes.Push(d.time, d.tbs_bytes);
-      s.prb_self.Push(d.time, d.prbs);
-      s.mcs.Push(d.time, d.mcs);
-      s.rnti.Push(d.time, d.rnti);
-      if (d.is_retx) s.harq_retx.Push(d.time, 1.0);
-      if (!d.is_retx) tbs_rate[di].Add(d.time, d.tbs_bytes);
+  // --- DCI streams -------------------------------------------------------
+  // NR-Scope knows the UE's RNTI trajectory; other RNTIs = cross traffic.
+  // One fused sweep partitions the stream into per-direction staging
+  // buffers, then the four "ours" series of each direction adopt a single
+  // shared time axis — the dominant output of the whole build (hundreds of
+  // thousands of per-slot rows) is written once, not four times.
+  {
+    std::array<DciStage, 2> stage;
+    // 7 regions of up to one direction's record count each (5 "ours"
+    // columns + 2 "other" columns), all 8-byte elements.
+    TraceArena arena(7 * sizeof(double) * (ds.dci.size() + 2));
+    std::array<TimeSeries<double>, 2> harq;
+    if (SweepDciSorted(ds, stage, arena, harq, tbs_rate)) {
+      const std::shared_ptr<const void> keep = arena.keepalive();
+      for (std::size_t di = 0; di < 2; ++di) {
+        DirectionSeries& s = trace.dir[di];
+        const DciStage& st = stage[di];
+        s.tbs_bytes.AdoptColumns(keep, st.t_ours, st.tbs, st.n_ours);
+        s.prb_self.AdoptColumns(keep, st.t_ours, st.prb, st.n_ours);
+        s.mcs.AdoptColumns(keep, st.t_ours, st.mcs, st.n_ours);
+        s.rnti.AdoptColumns(keep, st.t_ours, st.rnti, st.n_ours);
+        s.harq_retx = std::move(harq[di]);
+        s.prb_other.AdoptColumns(keep, st.t_other, st.prb_other, st.n_other);
+      }
     } else {
-      s.prb_other.Push(d.time, d.prbs);
+      // Out-of-order timestamps: rebuild the binners (the fast path already
+      // fed them) and fall back to the checked per-record path.
+      tbs_rate = {RateBinner(ds.begin, ds.end), RateBinner(ds.begin, ds.end)};
+      SweepDciUnsorted(ds, trace, tbs_rate);
     }
   }
 
-  for (const GnbLogRecord& g : ds.gnb_log) {
-    if (!g.rlc_retx) continue;
-    auto di = static_cast<std::size_t>(g.dir == Direction::kDownlink);
-    trace.dir[di].rlc_retx.Push(g.time, 1.0);
+  // --- gNB logs ----------------------------------------------------------
+  {
+    const GnbLogColumns& g = ds.gnb_log;
+    std::span<const Time> t = g.time.span();
+    std::span<const std::uint8_t> dir = g.dir.span();
+    std::span<const std::uint8_t> retx = g.rlc_retx.span();
+    std::size_t n_retx[2] = {0, 0};
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (retx[i]) ++n_retx[dir[i] == kDlU8];
+    }
+    trace.dir[0].rlc_retx.Reserve(n_retx[0]);
+    trace.dir[1].rlc_retx.Reserve(n_retx[1]);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (!retx[i]) continue;
+      trace.dir[dir[i] == kDlU8].rlc_retx.Push(t[i], 1.0);
+    }
   }
 
+  // --- Packets -----------------------------------------------------------
   // Packet records may be appended in arrival order; the one-way-delay
-  // series must be ordered by send time, so sort a copy.
-  std::vector<PacketRecord> packets = ds.packets;
-  std::sort(packets.begin(), packets.end(),
-            [](const PacketRecord& a, const PacketRecord& b) {
-              return a.sent < b.sent;
-            });
-  for (const PacketRecord& p : packets) {
-    auto di = static_cast<std::size_t>(p.dir == Direction::kDownlink);
-    if (!p.lost()) {
-      trace.dir[di].owd_ms.Push(p.sent, p.one_way_delay().millis());
+  // series must be ordered by send time. When the sent column is already
+  // sorted (the sanitized invariant) we sweep it directly; otherwise we
+  // argsort indices instead of copying and sorting whole records.
+  {
+    const PacketColumns& pk = ds.packets;
+    const std::size_t n = pk.size();
+    std::span<const Time> sent = pk.sent.span();
+    std::span<const Time> received = pk.received.span();
+    std::span<const std::uint8_t> dir = pk.dir.span();
+    std::span<const std::int32_t> size_bytes = pk.size_bytes.span();
+    std::span<const std::uint8_t> is_rtcp = pk.is_rtcp.span();
+
+    std::vector<std::uint32_t> perm;
+    const bool sorted = std::is_sorted(sent.begin(), sent.end());
+    if (!sorted) {
+      perm.resize(n);
+      // Stable argsort by send time. When (relative time, index) fits in 64
+      // bits, sort packed integer keys — contiguous, comparator-free, and
+      // stable via the index in the low bits — instead of indirecting into
+      // the sent column on every comparison.
+      constexpr unsigned kIdxBits = 17;  // up to 128k packets
+      const auto [lo, hi] = std::minmax_element(sent.begin(), sent.end());
+      const std::int64_t span_us =
+          n == 0 ? 0 : (*hi - *lo).micros();
+      if (n < (std::size_t{1} << kIdxBits) &&
+          span_us < (std::int64_t{1} << (63 - kIdxBits))) {
+        std::vector<std::uint64_t> keys(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          keys[i] = (static_cast<std::uint64_t>((sent[i] - *lo).micros())
+                     << kIdxBits) |
+                    i;
+        }
+        std::sort(keys.begin(), keys.end());
+        const std::uint64_t mask = (std::uint64_t{1} << kIdxBits) - 1;
+        for (std::size_t k = 0; k < n; ++k) {
+          perm[k] = static_cast<std::uint32_t>(keys[k] & mask);
+        }
+      } else {
+        std::iota(perm.begin(), perm.end(), 0u);
+        std::stable_sort(perm.begin(), perm.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                           return sent[a] < sent[b];
+                         });
+      }
     }
-    if (!p.is_rtcp) app_rate[di].Add(p.sent, p.size_bytes);
+
+    std::array<std::vector<Time>, 2> owd_t;
+    std::array<std::vector<double>, 2> owd_v;
+    owd_t[0].reserve(n);
+    owd_t[1].reserve(n);
+    owd_v[0].reserve(n);
+    owd_v[1].reserve(n);
+
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = sorted ? k : perm[k];
+      const std::size_t di = dir[i] == kDlU8;
+      if (received[i] != Time::max()) {
+        owd_t[di].push_back(sent[i]);
+        owd_v[di].push_back((received[i] - sent[i]).millis());
+      }
+      if (!is_rtcp[i]) app_rate[di].Add(sent[i], size_bytes[i]);
+    }
+    trace.dir[0].owd_ms.AssignColumns(std::move(owd_t[0]),
+                                      std::move(owd_v[0]));
+    trace.dir[1].owd_ms.AssignColumns(std::move(owd_t[1]),
+                                      std::move(owd_v[1]));
   }
 
+  // --- Application stats -------------------------------------------------
+  // Each client's nine series adopt one shared time axis; values are copied
+  // (or converted) column-to-column in contiguous loops.
   for (int c = 0; c < 2; ++c) {
+    const StatsColumns& st = ds.stats[static_cast<std::size_t>(c)];
     ClientSeries& cs = trace.client[static_cast<std::size_t>(c)];
-    for (const WebRtcStatsRecord& r :
-         ds.stats[static_cast<std::size_t>(c)]) {
-      cs.inbound_fps.Push(r.time, r.inbound_fps);
-      cs.outbound_fps.Push(r.time, r.outbound_fps);
-      cs.outbound_resolution.Push(r.time, r.outbound_resolution);
-      cs.jitter_buffer_ms.Push(r.time, r.jitter_buffer_ms);
-      cs.target_bitrate_bps.Push(r.time, r.target_bitrate_bps);
-      cs.pushback_bitrate_bps.Push(r.time, r.pushback_bitrate_bps);
-      cs.outstanding_bytes.Push(r.time, r.outstanding_bytes);
-      cs.cwnd_bytes.Push(r.time, r.cwnd_bytes);
-      cs.overuse.Push(r.time,
-                      r.gcc_state == NetworkState::kOveruse ? 1.0 : 0.0);
+    std::span<const Time> t = st.time.span();
+    if (!std::is_sorted(t.begin(), t.end())) {
+      // Preserve the row path's "time went backwards" diagnostic.
+      for (std::size_t i = 0; i < st.size(); ++i) {
+        WebRtcStatsRecord r = st.Get(i);
+        cs.inbound_fps.Push(r.time, r.inbound_fps);
+        cs.outbound_fps.Push(r.time, r.outbound_fps);
+        cs.outbound_resolution.Push(r.time, r.outbound_resolution);
+        cs.jitter_buffer_ms.Push(r.time, r.jitter_buffer_ms);
+        cs.target_bitrate_bps.Push(r.time, r.target_bitrate_bps);
+        cs.pushback_bitrate_bps.Push(r.time, r.pushback_bitrate_bps);
+        cs.outstanding_bytes.Push(r.time, r.outstanding_bytes);
+        cs.cwnd_bytes.Push(r.time, r.cwnd_bytes);
+        cs.overuse.Push(r.time,
+                        r.gcc_state == NetworkState::kOveruse ? 1.0 : 0.0);
+      }
+      continue;
+    }
+    auto times =
+        std::make_shared<const std::vector<Time>>(t.begin(), t.end());
+    cs.inbound_fps.AdoptSharedTimes(times, ToDoubles(st.inbound_fps.span()));
+    cs.outbound_fps.AdoptSharedTimes(times, ToDoubles(st.outbound_fps.span()));
+    cs.outbound_resolution.AdoptSharedTimes(
+        times, ToDoubles(st.outbound_resolution.span()));
+    cs.jitter_buffer_ms.AdoptSharedTimes(
+        times, ToDoubles(st.jitter_buffer_ms.span()));
+    cs.target_bitrate_bps.AdoptSharedTimes(
+        times, ToDoubles(st.target_bitrate_bps.span()));
+    cs.pushback_bitrate_bps.AdoptSharedTimes(
+        times, ToDoubles(st.pushback_bitrate_bps.span()));
+    cs.outstanding_bytes.AdoptSharedTimes(
+        times, ToDoubles(st.outstanding_bytes.span()));
+    cs.cwnd_bytes.AdoptSharedTimes(times, ToDoubles(st.cwnd_bytes.span()));
+    {
+      std::span<const std::uint8_t> gcc = st.gcc_state.span();
+      std::vector<double> overuse(gcc.size());
+      const auto kOveruse = static_cast<std::uint8_t>(NetworkState::kOveruse);
+      for (std::size_t i = 0; i < gcc.size(); ++i) {
+        overuse[i] = gcc[i] == kOveruse ? 1.0 : 0.0;
+      }
+      cs.overuse.AdoptSharedTimes(times, std::move(overuse));
     }
   }
 

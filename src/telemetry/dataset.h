@@ -9,6 +9,7 @@
 
 #include "common/time.h"
 #include "common/timeseries.h"
+#include "telemetry/columns.h"
 #include "telemetry/records.h"
 
 namespace domino::telemetry {
@@ -62,11 +63,15 @@ struct SessionDataset {
   Time begin{0};
   Time end{0};
 
-  std::vector<DciRecord> dci;
-  std::vector<GnbLogRecord> gnb_log;
-  std::vector<PacketRecord> packets;
+  // Raw streams are stored columnar (SoA, see telemetry/columns.h): the
+  // derived-trace builder and the binary wire format consume contiguous
+  // per-field arrays, while the row-record API (push_back / range-for /
+  // operator[]) is preserved for emitters and row-oriented passes.
+  DciColumns dci;
+  GnbLogColumns gnb_log;
+  PacketColumns packets;
   /// 50 ms application stats; [0] = UE client, [1] = remote client.
-  std::array<std::vector<WebRtcStatsRecord>, 2> stats;
+  std::array<StatsColumns, 2> stats;
   /// The UE's RNTI over time (changes at RRC re-establishment). NR-Scope
   /// knows this because it tracks the UE under test.
   TimeSeries<double> ue_rnti;
@@ -103,6 +108,9 @@ struct ClientSeries {
 };
 
 /// The time-aligned, vectorised view Domino's sliding window operates on.
+/// Process-unique stamp for freshly constructed DerivedTrace objects.
+std::uint64_t NextTraceBuildId();
+
 struct DerivedTrace {
   Time begin{0};
   Time end{0};
@@ -112,6 +120,11 @@ struct DerivedTrace {
   /// Per-stream coverage from the sanitizer; absent (present == false) for
   /// traces built without sanitizing, in which case nothing is degraded.
   TraceQuality quality;
+  /// Identity stamp: unique per construction, preserved by copy/move (a copy
+  /// is the same logical build). Incremental consumers that cache per-series
+  /// index cursors key on (address, build_id) — address alone is unsound,
+  /// because a trace rebuilt in a stack local lands at the same address.
+  std::uint64_t build_id = NextTraceBuildId();
 
   [[nodiscard]] const DirectionSeries& ul() const { return dir[0]; }
   [[nodiscard]] const DirectionSeries& dl() const { return dir[1]; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <span>
 
 #include "common/rng.h"
 
@@ -11,10 +13,13 @@ namespace {
 
 /// Applies the record-level fault classes to one stream. `time_of` reads
 /// the record's session timestamp; `set_time` rewrites it (for corruption).
-template <typename Rec, typename TimeFn, typename SetTimeFn>
-void InjectStream(std::vector<Rec>& recs, const FaultSpec& spec, Rng rng,
+/// The pass is row-oriented; the columnar stream round-trips through rows.
+template <typename Cols, typename TimeFn, typename SetTimeFn>
+void InjectStream(Cols& stream, const FaultSpec& spec, Rng rng,
                   FaultCounts& counts, Time begin, Time end, TimeFn time_of,
                   SetTimeFn set_time) {
+  using Rec = typename Cols::value_type;
+  std::vector<Rec> recs = stream.ToRows();
   Duration duration = end - begin;
   Time trunc_after =
       spec.truncate_tail > 0
@@ -89,7 +94,7 @@ void InjectStream(std::vector<Rec>& recs, const FaultSpec& spec, Rng rng,
     }
   }
   for (const Late& l : late) out.push_back(l.rec);
-  recs = std::move(out);
+  stream.AssignRows(out);
 }
 
 }  // namespace
@@ -148,11 +153,15 @@ FaultSummary InjectFaults(SessionDataset& ds, const FaultSpec& spec,
                   spec.drift_ppm * (t - begin).seconds();
       return Duration{static_cast<std::int64_t>(us)};
     };
-    for (auto& p : ds.packets) {
-      if (p.dir == Direction::kDownlink) {
-        p.sent = p.sent + skew_at(p.sent);
-      } else if (!p.lost()) {
-        p.received = p.received + skew_at(p.received);
+    std::span<const std::uint8_t> dir = ds.packets.dir.span();
+    std::span<Time> sent = ds.packets.sent.mut();
+    std::span<Time> received = ds.packets.received.mut();
+    const auto kDl = static_cast<std::uint8_t>(Direction::kDownlink);
+    for (std::size_t i = 0; i < dir.size(); ++i) {
+      if (dir[i] == kDl) {
+        sent[i] = sent[i] + skew_at(sent[i]);
+      } else if (received[i] != Time::max()) {
+        received[i] = received[i] + skew_at(received[i]);
       }
     }
   }

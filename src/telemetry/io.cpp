@@ -7,9 +7,11 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <string_view>
 #include <utility>
 
 #include "common/csv.h"
+#include "telemetry/binfmt.h"
 
 namespace domino::telemetry {
 
@@ -20,6 +22,7 @@ const char* ToString(TelemetryErrorKind kind) {
     case TelemetryErrorKind::kTruncatedRow: return "truncated_row";
     case TelemetryErrorKind::kBadField: return "bad_field";
     case TelemetryErrorKind::kLimitExceeded: return "limit_exceeded";
+    case TelemetryErrorKind::kCorruptBinary: return "corrupt_binary";
   }
   return "?";
 }
@@ -51,22 +54,23 @@ std::string D(double v) {
 }
 
 /// Full-consumption integer parse; false on garbage (no exceptions).
-bool ParseI(const std::string& s, std::int64_t* out) {
+bool ParseI(std::string_view s, std::int64_t* out) {
   return ParseInt64(s, *out);
 }
 
 /// ParseFinite also rejects "inf"/"nan" spellings and out-of-range
 /// magnitudes: a non-finite metric would silently poison every window
 /// statistic downstream.
-bool ParseD(const std::string& s, double* out) {
+bool ParseD(std::string_view s, double* out) {
   return ParseFinite(s, *out);
 }
 
 /// Cursor over one CSV row: typed field accessors that record the first
-/// defect and mark the row bad instead of throwing.
+/// defect and mark the row bad instead of throwing. Cells are views into
+/// the reader's reused line buffer — no per-row string allocations.
 class Row {
  public:
-  Row(const std::vector<std::string>& cells, std::size_t row_number)
+  Row(const std::vector<std::string_view>& cells, std::size_t row_number)
       : cells_(cells), row_(row_number) {}
 
   std::int64_t Int(std::size_t col) {
@@ -81,9 +85,8 @@ class Row {
     if (!ParseD(cells_[col], &v)) Bad(col, "not a number");
     return v;
   }
-  const std::string& Str(std::size_t col) {
-    static const std::string kEmpty;
-    if (!Have(col)) return kEmpty;
+  std::string_view Str(std::size_t col) {
+    if (!Have(col)) return {};
     return cells_[col];
   }
 
@@ -109,10 +112,10 @@ class Row {
     ok_ = false;
     kind_ = TelemetryErrorKind::kBadField;
     message_ = "column " + std::to_string(col + 1) + ": " + what + " ('" +
-               cells_[col] + "')";
+               std::string(cells_[col]) + "')";
   }
 
-  const std::vector<std::string>& cells_;
+  const std::vector<std::string_view>& cells_;
   std::size_t row_;
   bool ok_ = true;
   TelemetryErrorKind kind_ = TelemetryErrorKind::kBadField;
@@ -129,7 +132,7 @@ template <typename ParseFn>
 void ForEachRow(std::istream& is, const char* stream_name, ReadStats& stats,
                 const InputLimits& limits, ParseFn parse) {
   std::string line;
-  std::vector<std::string> cells;
+  std::vector<std::string_view> cells;
   std::size_t row_number = 0;  // 1-based; header is row 1.
   std::size_t records = 0;
   bool saw_header = false;
@@ -142,7 +145,7 @@ void ForEachRow(std::istream& is, const char* stream_name, ReadStats& stats,
     // A malformed row (over-long, broken quoting, too wide) counts toward
     // the totals but is dropped; even a broken header counts as "saw data".
     const bool bad_line =
-        lr.truncated || !ParseCsvLineTo(line, cells, limits.max_fields);
+        lr.truncated || !ParseCsvLineViews(line, cells, limits.max_fields);
     if (bad_line) {
       if (row_number == 1) saw_header = true;
       if (row_number > 1) {
@@ -188,13 +191,17 @@ void ForEachRow(std::istream& is, const char* stream_name, ReadStats& stats,
   }
 }
 
-Direction DirFromString(const std::string& s) {
+Direction DirFromString(std::string_view s) {
   return s == "UL" ? Direction::kUplink : Direction::kDownlink;
 }
 
-}  // namespace
+// --- Shared row formats ----------------------------------------------------
+// Each stream's schema lives in one Write*Rows/Parse*Rows pair; the public
+// row-vector and columnar entry points below are thin adapters over these
+// (a `sink` receives each good record).
 
-void WriteDciCsv(std::ostream& os, const std::vector<DciRecord>& records) {
+template <typename Range>
+void WriteDciRows(std::ostream& os, const Range& records) {
   CsvWriter w(os);
   w.WriteRow({"time_us", "rnti", "dir", "prbs", "mcs", "tbs_bytes", "is_retx",
               "harq_process", "attempt"});
@@ -206,11 +213,9 @@ void WriteDciCsv(std::ostream& os, const std::vector<DciRecord>& records) {
   }
 }
 
-std::vector<DciRecord> ReadDciCsv(std::istream& is, ReadStats* stats,
-                                  const InputLimits& limits) {
-  ReadStats local;
-  ReadStats& st = stats != nullptr ? *stats : local;
-  std::vector<DciRecord> out;
+template <typename Sink>
+void ParseDciRows(std::istream& is, ReadStats& st, const InputLimits& limits,
+                  Sink sink) {
   ForEachRow(is, "dci", st, limits, [&](Row& c) {
     DciRecord r;
     r.time = Time{c.Int(0)};
@@ -222,14 +227,13 @@ std::vector<DciRecord> ReadDciCsv(std::istream& is, ReadStats* stats,
     r.is_retx = c.Int(6) != 0;
     r.harq_process = static_cast<int>(c.Int(7));
     r.attempt = static_cast<int>(c.Int(8));
-    if (c.ok()) out.push_back(r);
+    if (c.ok()) sink(r);
     return c.ok();
   });
-  return out;
 }
 
-void WritePacketCsv(std::ostream& os,
-                    const std::vector<PacketRecord>& records) {
+template <typename Range>
+void WritePacketRows(std::ostream& os, const Range& records) {
   CsvWriter w(os);
   w.WriteRow({"id", "dir", "size_bytes", "sent_us", "recv_us", "is_rtcp",
               "is_audio", "frame_id"});
@@ -243,11 +247,9 @@ void WritePacketCsv(std::ostream& os,
   }
 }
 
-std::vector<PacketRecord> ReadPacketCsv(std::istream& is, ReadStats* stats,
-                                        const InputLimits& limits) {
-  ReadStats local;
-  ReadStats& st = stats != nullptr ? *stats : local;
-  std::vector<PacketRecord> out;
+template <typename Sink>
+void ParsePacketRows(std::istream& is, ReadStats& st,
+                     const InputLimits& limits, Sink sink) {
   ForEachRow(is, "packets", st, limits, [&](Row& c) {
     PacketRecord r;
     r.id = static_cast<std::uint64_t>(c.Int(0));
@@ -259,14 +261,13 @@ std::vector<PacketRecord> ReadPacketCsv(std::istream& is, ReadStats* stats,
     r.is_rtcp = c.Int(5) != 0;
     r.is_audio = c.Int(6) != 0;
     r.frame_id = static_cast<std::uint64_t>(c.Int(7));
-    if (c.ok()) out.push_back(r);
+    if (c.ok()) sink(r);
     return c.ok();
   });
-  return out;
 }
 
-void WriteStatsCsv(std::ostream& os,
-                   const std::vector<WebRtcStatsRecord>& records) {
+template <typename Range>
+void WriteStatsRows(std::ostream& os, const Range& records) {
   CsvWriter w(os);
   w.WriteRow({"time_us", "in_fps", "out_fps", "out_res", "jb_ms",
               "target_bps", "pushback_bps", "outstanding", "cwnd",
@@ -281,12 +282,9 @@ void WriteStatsCsv(std::ostream& os,
   }
 }
 
-std::vector<WebRtcStatsRecord> ReadStatsCsv(std::istream& is,
-                                            ReadStats* stats,
-                                            const InputLimits& limits) {
-  ReadStats local;
-  ReadStats& st = stats != nullptr ? *stats : local;
-  std::vector<WebRtcStatsRecord> out;
+template <typename Sink>
+void ParseStatsRows(std::istream& is, ReadStats& st,
+                    const InputLimits& limits, Sink sink) {
   ForEachRow(is, "stats", st, limits, [&](Row& c) {
     WebRtcStatsRecord r;
     r.time = Time{c.Int(0)};
@@ -308,14 +306,13 @@ std::vector<WebRtcStatsRecord> ReadStatsCsv(std::istream& is,
     r.delay_slope = c.Dbl(10);
     r.concealed_ratio = c.Dbl(11);
     r.frozen = c.Int(12) != 0;
-    if (c.ok()) out.push_back(r);
+    if (c.ok()) sink(r);
     return c.ok();
   });
-  return out;
 }
 
-void WriteGnbLogCsv(std::ostream& os,
-                    const std::vector<GnbLogRecord>& records) {
+template <typename Range>
+void WriteGnbLogRows(std::ostream& os, const Range& records) {
   CsvWriter w(os);
   w.WriteRow({"time_us", "rnti", "dir", "rlc_buffer", "rlc_retx",
               "rrc_state"});
@@ -327,11 +324,9 @@ void WriteGnbLogCsv(std::ostream& os,
   }
 }
 
-std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is, ReadStats* stats,
-                                        const InputLimits& limits) {
-  ReadStats local;
-  ReadStats& st = stats != nullptr ? *stats : local;
-  std::vector<GnbLogRecord> out;
+template <typename Sink>
+void ParseGnbLogRows(std::istream& is, ReadStats& st,
+                     const InputLimits& limits, Sink sink) {
   ForEachRow(is, "gnb_log", st, limits, [&](Row& c) {
     GnbLogRecord r;
     r.time = Time{c.Int(0)};
@@ -346,10 +341,121 @@ std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is, ReadStats* stats,
     } else {
       r.rrc_state = RrcState::kTransitioning;
     }
-    if (c.ok()) out.push_back(r);
+    if (c.ok()) sink(r);
     return c.ok();
   });
+}
+
+ReadStats& StatsOrLocal(ReadStats* stats, ReadStats& local) {
+  return stats != nullptr ? *stats : local;
+}
+
+/// Caps a file-size-derived reserve hint: never reserve beyond the record
+/// budget (the reader stops there anyway).
+std::size_t CapHint(std::size_t hint, const InputLimits& limits) {
+  return std::min(hint, limits.max_records);
+}
+
+}  // namespace
+
+void WriteDciCsv(std::ostream& os, const std::vector<DciRecord>& records) {
+  WriteDciRows(os, records);
+}
+void WriteDciCsv(std::ostream& os, const DciColumns& records) {
+  WriteDciRows(os, records);
+}
+
+std::vector<DciRecord> ReadDciCsv(std::istream& is, ReadStats* stats,
+                                  const InputLimits& limits) {
+  ReadStats local;
+  std::vector<DciRecord> out;
+  ParseDciRows(is, StatsOrLocal(stats, local), limits,
+               [&](const DciRecord& r) { out.push_back(r); });
   return out;
+}
+
+void ReadDciCsvInto(std::istream& is, DciColumns& out, ReadStats* stats,
+                    const InputLimits& limits, std::size_t reserve_hint) {
+  ReadStats local;
+  if (reserve_hint > 0) out.reserve(out.size() + CapHint(reserve_hint, limits));
+  ParseDciRows(is, StatsOrLocal(stats, local), limits,
+               [&](const DciRecord& r) { out.Append(r); });
+}
+
+void WritePacketCsv(std::ostream& os,
+                    const std::vector<PacketRecord>& records) {
+  WritePacketRows(os, records);
+}
+void WritePacketCsv(std::ostream& os, const PacketColumns& records) {
+  WritePacketRows(os, records);
+}
+
+std::vector<PacketRecord> ReadPacketCsv(std::istream& is, ReadStats* stats,
+                                        const InputLimits& limits) {
+  ReadStats local;
+  std::vector<PacketRecord> out;
+  ParsePacketRows(is, StatsOrLocal(stats, local), limits,
+                  [&](const PacketRecord& r) { out.push_back(r); });
+  return out;
+}
+
+void ReadPacketCsvInto(std::istream& is, PacketColumns& out, ReadStats* stats,
+                       const InputLimits& limits, std::size_t reserve_hint) {
+  ReadStats local;
+  if (reserve_hint > 0) out.reserve(out.size() + CapHint(reserve_hint, limits));
+  ParsePacketRows(is, StatsOrLocal(stats, local), limits,
+                  [&](const PacketRecord& r) { out.Append(r); });
+}
+
+void WriteStatsCsv(std::ostream& os,
+                   const std::vector<WebRtcStatsRecord>& records) {
+  WriteStatsRows(os, records);
+}
+void WriteStatsCsv(std::ostream& os, const StatsColumns& records) {
+  WriteStatsRows(os, records);
+}
+
+std::vector<WebRtcStatsRecord> ReadStatsCsv(std::istream& is,
+                                            ReadStats* stats,
+                                            const InputLimits& limits) {
+  ReadStats local;
+  std::vector<WebRtcStatsRecord> out;
+  ParseStatsRows(is, StatsOrLocal(stats, local), limits,
+                 [&](const WebRtcStatsRecord& r) { out.push_back(r); });
+  return out;
+}
+
+void ReadStatsCsvInto(std::istream& is, StatsColumns& out, ReadStats* stats,
+                      const InputLimits& limits, std::size_t reserve_hint) {
+  ReadStats local;
+  if (reserve_hint > 0) out.reserve(out.size() + CapHint(reserve_hint, limits));
+  ParseStatsRows(is, StatsOrLocal(stats, local), limits,
+                 [&](const WebRtcStatsRecord& r) { out.Append(r); });
+}
+
+void WriteGnbLogCsv(std::ostream& os,
+                    const std::vector<GnbLogRecord>& records) {
+  WriteGnbLogRows(os, records);
+}
+void WriteGnbLogCsv(std::ostream& os, const GnbLogColumns& records) {
+  WriteGnbLogRows(os, records);
+}
+
+std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is, ReadStats* stats,
+                                        const InputLimits& limits) {
+  ReadStats local;
+  std::vector<GnbLogRecord> out;
+  ParseGnbLogRows(is, StatsOrLocal(stats, local), limits,
+                  [&](const GnbLogRecord& r) { out.push_back(r); });
+  return out;
+}
+
+void ReadGnbLogCsvInto(std::istream& is, GnbLogColumns& out, ReadStats* stats,
+                       const InputLimits& limits, std::size_t reserve_hint) {
+  ReadStats local;
+  if (reserve_hint > 0) out.reserve(out.size() + CapHint(reserve_hint, limits));
+  ParseGnbLogRows(is, StatsOrLocal(stats, local), limits,
+                  [&](const GnbLogRecord& r) { out.Append(r); });
 }
 
 bool DatasetLoadReport::ok() const {
@@ -427,6 +533,16 @@ bool OpenStream(const std::string& path, std::ifstream& f, ReadStats& stats) {
   return false;
 }
 
+/// Row-count reserve hint from the on-disk file size: rows are at least
+/// `min_row_bytes` of CSV text, so this never over-reserves by more than
+/// the file's own size and usually lands within a few percent.
+std::size_t RowHint(const std::string& path, std::size_t min_row_bytes) {
+  std::error_code ec;
+  auto bytes = std::filesystem::file_size(path, ec);
+  if (ec) return 0;
+  return static_cast<std::size_t>(bytes) / min_row_bytes;
+}
+
 }  // namespace
 
 SessionDataset LoadDataset(const std::string& dir,
@@ -436,39 +552,70 @@ SessionDataset LoadDataset(const std::string& dir,
   DatasetLoadReport& rep = report != nullptr ? *report : local;
   SessionDataset ds;
   {
-    std::ifstream f;
-    if (OpenStream(dir + "/dci.csv", f, rep.stream(StreamId::kDci))) {
-      ds.dci = ReadDciCsv(f, &rep.stream(StreamId::kDci), limits);
+    // A binary image, when present, supersedes the CSV bundle: one strict,
+    // mmap-backed read instead of five text parses. A corrupt image leaves
+    // its diagnostics in `meta` and the loader falls back to the CSVs.
+    const std::string bin = dir + "/" + kBinaryDatasetFile;
+    std::error_code ec;
+    if (std::filesystem::exists(bin, ec)) {
+      ReadStats bstats;
+      if (ReadDatasetBinary(bin, ds, bstats, limits)) {
+        for (std::size_t i = 0; i < kStreamCount; ++i) {
+          const std::size_t n =
+              i == 0   ? ds.dci.size()
+              : i == 1 ? ds.gnb_log.size()
+              : i == 2 ? ds.packets.size()
+              : i == 3 ? ds.stats[kUeClient].size()
+                       : ds.stats[kRemoteClient].size();
+          rep.streams[i].rows_total = n;
+          rep.streams[i].rows_kept = n;
+        }
+        return ds;
+      }
+      rep.meta.Merge(bstats);
+      ds = SessionDataset{};
     }
   }
   {
     std::ifstream f;
-    if (OpenStream(dir + "/packets.csv", f,
-                   rep.stream(StreamId::kPackets))) {
-      ds.packets = ReadPacketCsv(f, &rep.stream(StreamId::kPackets), limits);
+    const std::string path = dir + "/dci.csv";
+    if (OpenStream(path, f, rep.stream(StreamId::kDci))) {
+      ReadDciCsvInto(f, ds.dci, &rep.stream(StreamId::kDci), limits,
+                     RowHint(path, 24));
     }
   }
   {
     std::ifstream f;
-    if (OpenStream(dir + "/stats_ue.csv", f,
-                   rep.stream(StreamId::kStatsUe))) {
-      ds.stats[kUeClient] =
-          ReadStatsCsv(f, &rep.stream(StreamId::kStatsUe), limits);
+    const std::string path = dir + "/packets.csv";
+    if (OpenStream(path, f, rep.stream(StreamId::kPackets))) {
+      ReadPacketCsvInto(f, ds.packets, &rep.stream(StreamId::kPackets),
+                        limits, RowHint(path, 24));
     }
   }
   {
     std::ifstream f;
-    if (OpenStream(dir + "/stats_remote.csv", f,
-                   rep.stream(StreamId::kStatsRemote))) {
-      ds.stats[kRemoteClient] =
-          ReadStatsCsv(f, &rep.stream(StreamId::kStatsRemote), limits);
+    const std::string path = dir + "/stats_ue.csv";
+    if (OpenStream(path, f, rep.stream(StreamId::kStatsUe))) {
+      ReadStatsCsvInto(f, ds.stats[kUeClient],
+                       &rep.stream(StreamId::kStatsUe), limits,
+                       RowHint(path, 40));
     }
   }
   {
     std::ifstream f;
-    if (OpenStream(dir + "/gnb_log.csv", f,
-                   rep.stream(StreamId::kGnbLog))) {
-      ds.gnb_log = ReadGnbLogCsv(f, &rep.stream(StreamId::kGnbLog), limits);
+    const std::string path = dir + "/stats_remote.csv";
+    if (OpenStream(path, f, rep.stream(StreamId::kStatsRemote))) {
+      ReadStatsCsvInto(f, ds.stats[kRemoteClient],
+                       &rep.stream(StreamId::kStatsRemote), limits,
+                       RowHint(path, 40));
+    }
+  }
+  {
+    std::ifstream f;
+    const std::string path = dir + "/gnb_log.csv";
+    if (OpenStream(path, f, rep.stream(StreamId::kGnbLog))) {
+      ReadGnbLogCsvInto(f, ds.gnb_log, &rep.stream(StreamId::kGnbLog),
+                        limits, RowHint(path, 20));
     }
   }
   {

@@ -31,6 +31,8 @@ enum class TelemetryErrorKind : std::uint8_t {
   kBadField,       ///< A cell failed numeric parsing (or a broken quote).
   kLimitExceeded,  ///< An InputLimits budget was hit (line bytes, fields,
                    ///< or the per-stream record budget).
+  kCorruptBinary,  ///< A binary (.dtb) image failed structural validation
+                   ///< (bad magic/version, truncation, CRC mismatch, ...).
 };
 
 const char* ToString(TelemetryErrorKind kind);
@@ -68,28 +70,55 @@ struct ReadStats {
 // and over-wide rows are dropped as kLimitExceeded, and ingestion of a
 // stream stops (with one kLimitExceeded diagnostic) once
 // limits.max_records data rows have been seen.
+//
+// Each writer has a row-vector overload (kept for callers that hold
+// individual rows, e.g. the live feed's single-row formatter) and a
+// columnar overload over the SessionDataset stream type. The `...Into`
+// readers append parsed rows straight into a columnar stream —
+// `reserve_hint` (rows, typically derived from the file size) pre-sizes
+// the columns so ingest does not reallocate.
 void WriteDciCsv(std::ostream& os, const std::vector<DciRecord>& records);
+void WriteDciCsv(std::ostream& os, const DciColumns& records);
 std::vector<DciRecord> ReadDciCsv(std::istream& is,
                                   ReadStats* stats = nullptr,
                                   const InputLimits& limits = {});
+void ReadDciCsvInto(std::istream& is, DciColumns& out,
+                    ReadStats* stats = nullptr,
+                    const InputLimits& limits = {},
+                    std::size_t reserve_hint = 0);
 
 void WritePacketCsv(std::ostream& os,
                     const std::vector<PacketRecord>& records);
+void WritePacketCsv(std::ostream& os, const PacketColumns& records);
 std::vector<PacketRecord> ReadPacketCsv(std::istream& is,
                                         ReadStats* stats = nullptr,
                                         const InputLimits& limits = {});
+void ReadPacketCsvInto(std::istream& is, PacketColumns& out,
+                       ReadStats* stats = nullptr,
+                       const InputLimits& limits = {},
+                       std::size_t reserve_hint = 0);
 
 void WriteStatsCsv(std::ostream& os,
                    const std::vector<WebRtcStatsRecord>& records);
+void WriteStatsCsv(std::ostream& os, const StatsColumns& records);
 std::vector<WebRtcStatsRecord> ReadStatsCsv(std::istream& is,
                                             ReadStats* stats = nullptr,
                                             const InputLimits& limits = {});
+void ReadStatsCsvInto(std::istream& is, StatsColumns& out,
+                      ReadStats* stats = nullptr,
+                      const InputLimits& limits = {},
+                      std::size_t reserve_hint = 0);
 
 void WriteGnbLogCsv(std::ostream& os,
                     const std::vector<GnbLogRecord>& records);
+void WriteGnbLogCsv(std::ostream& os, const GnbLogColumns& records);
 std::vector<GnbLogRecord> ReadGnbLogCsv(std::istream& is,
                                         ReadStats* stats = nullptr,
                                         const InputLimits& limits = {});
+void ReadGnbLogCsvInto(std::istream& is, GnbLogColumns& out,
+                       ReadStats* stats = nullptr,
+                       const InputLimits& limits = {},
+                       std::size_t reserve_hint = 0);
 
 /// Parses meta.csv (cell name, privacy flag, session range, RNTI timeline)
 /// into `ds`. Returns true when the session row was parseable; diagnostics

@@ -8,15 +8,6 @@ namespace {
 
 constexpr Duration kCutGrid = Seconds(1.0);
 
-template <typename Rec, typename TimeOf>
-std::size_t EraseOlder(std::vector<Rec>& recs, Time cut, TimeOf time_of) {
-  std::size_t before = recs.size();
-  recs.erase(std::remove_if(recs.begin(), recs.end(),
-                            [&](const Rec& r) { return time_of(r) < cut; }),
-             recs.end());
-  return before - recs.size();
-}
-
 }  // namespace
 
 Time QuantizeRetentionCut(Time anchor, Time t) {
@@ -32,15 +23,14 @@ std::size_t CountRecords(const SessionDataset& ds) {
 std::size_t ApplyRetention(SessionDataset& ds, Time cut,
                            RetentionStats& stats) {
   if (cut <= ds.begin) return 0;
+  // Columnar streams compact in place per column; the cut key is each
+  // stream's RowTime (send time for packets, sample time elsewhere).
   std::size_t evicted = 0;
-  evicted += EraseOlder(ds.dci, cut, [](const DciRecord& r) { return r.time; });
-  evicted += EraseOlder(ds.gnb_log, cut,
-                        [](const GnbLogRecord& r) { return r.time; });
-  evicted += EraseOlder(ds.packets, cut,
-                        [](const PacketRecord& r) { return r.sent; });
+  evicted += ds.dci.RemoveOlderThan(cut);
+  evicted += ds.gnb_log.RemoveOlderThan(cut);
+  evicted += ds.packets.RemoveOlderThan(cut);
   for (auto& stream : ds.stats) {
-    evicted += EraseOlder(stream, cut,
-                          [](const WebRtcStatsRecord& r) { return r.time; });
+    evicted += stream.RemoveOlderThan(cut);
   }
   // The RNTI timeline is a step function read via ValueAt: the value in
   // force at the cut must survive, re-anchored, or retained DCIs would be

@@ -10,59 +10,76 @@ namespace domino::telemetry {
 
 namespace {
 
-/// Shared sanitize pass over one record stream. `time_of` extracts the
-/// ordering timestamp. The pass is in-place and single-allocation:
-/// out-of-range and stale records are dropped, late-but-in-window records
-/// are reinserted by a stable sort, exact duplicates collapse.
+/// Shared sanitize pass over one record stream. The pass is columnar:
+/// filtering, stable reinsertion, and dedup are decided over the time
+/// column and an index list; record structs are materialized only inside
+/// equal-timestamp runs (dedup comparisons), and the stream is rewritten
+/// with one gather per column — or not at all when already clean, the
+/// common case for healthy captures and the binary load path.
 ///
 /// `time_ordered` says the stream's canonical on-disk order is its
 /// timestamp (DCIs, stats, gNB log): displaced records then count as
 /// reordered and stale ones (beyond the reorder window) are dropped.
 /// Packet records are canonically in *arrival* order — send-time
 /// displacement is normal there, so they are sorted without counting.
-template <typename Rec, typename TimeFn>
-void SanitizeStream(std::vector<Rec>& recs, TimeFn time_of, StreamHealth& h,
+/// The ordering timestamp is the stream's `RowTime` (send time for
+/// packets, record time elsewhere).
+template <typename Cols>
+void SanitizeStream(Cols& stream, StreamHealth& h,
                     const SanitizeOptions& opts, Time begin, Time end,
                     bool have_range, bool time_ordered) {
-  h.rows_in = recs.size();
-  std::vector<Rec> kept;
-  kept.reserve(recs.size());
+  const std::size_t n = stream.size();
+  h.rows_in = n;
+
+  // Range/staleness filter over the time column only.
+  std::vector<std::uint32_t> kept;
+  kept.reserve(n);
+  bool time_sorted = true;
   Time max_seen{0};
   bool any = false;
-  for (const Rec& r : recs) {
-    Time t = time_of(r);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time t = stream.RowTime(i);
     if (have_range &&
         (t < begin - opts.range_slack || t > end + opts.range_slack)) {
       ++h.out_of_range;
       continue;
     }
-    if (time_ordered && any && t < max_seen) {
-      if (max_seen - t > opts.reorder_window) {
-        ++h.late_dropped;
-        continue;
+    if (any && t < max_seen) {
+      if (time_ordered) {
+        if (max_seen - t > opts.reorder_window) {
+          ++h.late_dropped;
+          continue;
+        }
+        ++h.reordered;
       }
-      ++h.reordered;
+      time_sorted = false;
     }
     if (!any || t > max_seen) max_seen = t;
     any = true;
-    kept.push_back(r);
+    kept.push_back(static_cast<std::uint32_t>(i));
   }
-  std::stable_sort(kept.begin(), kept.end(),
-                   [&](const Rec& a, const Rec& b) {
-                     return time_of(a) < time_of(b);
-                   });
+
+  // Stable reinsertion of late-but-in-window records.
+  if (!time_sorted) {
+    std::stable_sort(kept.begin(), kept.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return stream.RowTime(a) < stream.RowTime(b);
+                     });
+  }
+
   // Exact duplicates now sit inside an equal-timestamp run; compare each
-  // record against the others in its run (runs are tiny in practice).
-  std::vector<Rec> unique;
+  // record against the others in its run (runs are tiny in practice, so
+  // materializing rows here is cheap).
+  std::vector<std::uint32_t> unique;
   unique.reserve(kept.size());
   std::size_t run_start = 0;
   for (std::size_t i = 0; i < kept.size(); ++i) {
-    if (i > 0 && time_of(kept[i]) != time_of(kept[i - 1])) {
+    if (i > 0 && stream.RowTime(kept[i]) != stream.RowTime(kept[i - 1])) {
       run_start = unique.size();
     }
     bool dup = false;
     for (std::size_t j = run_start; j < unique.size(); ++j) {
-      if (unique[j] == kept[i]) {
+      if (stream.Get(unique[j]) == stream.Get(kept[i])) {
         dup = true;
         break;
       }
@@ -73,8 +90,15 @@ void SanitizeStream(std::vector<Rec>& recs, TimeFn time_of, StreamHealth& h,
       unique.push_back(kept[i]);
     }
   }
-  recs = std::move(unique);
-  h.rows_kept = recs.size();
+
+  bool identity = unique.size() == n;
+  for (std::size_t i = 0; identity && i < n; ++i) {
+    identity = unique[i] == i;
+  }
+  if (!identity) {
+    stream.ForEachColumn([&](auto& c) { c.Gather(unique); });
+  }
+  h.rows_kept = unique.size();
 
   // Coverage: gaps above the threshold between consecutive records and at
   // both session edges.
@@ -93,7 +117,9 @@ void SanitizeStream(std::vector<Rec>& recs, TimeFn time_of, StreamHealth& h,
     }
     prev = std::max(prev, t);
   };
-  for (const Rec& r : recs) account(std::clamp(time_of(r), begin, end));
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    account(std::clamp(stream.RowTime(i), begin, end));
+  }
   account(end);
   h.coverage = 1.0 - std::min(1.0, static_cast<double>(uncovered) /
                                        static_cast<double>(duration.micros()));
@@ -182,28 +208,18 @@ SanitizeReport SanitizeDataset(SessionDataset& ds,
     return have_range && report.stream(id).expected;
   };
 
-  SanitizeStream(
-      ds.dci, [](const DciRecord& r) { return r.time; },
-      report.stream(StreamId::kDci), opts, begin, end,
-      range_for(StreamId::kDci), /*time_ordered=*/true);
-  SanitizeStream(
-      ds.gnb_log, [](const GnbLogRecord& r) { return r.time; },
-      report.stream(StreamId::kGnbLog), opts, begin, end,
-      range_for(StreamId::kGnbLog), /*time_ordered=*/true);
-  SanitizeStream(
-      ds.packets, [](const PacketRecord& r) { return r.sent; },
-      report.stream(StreamId::kPackets), opts, begin, end,
-      range_for(StreamId::kPackets), /*time_ordered=*/false);
-  SanitizeStream(
-      ds.stats[kUeClient],
-      [](const WebRtcStatsRecord& r) { return r.time; },
-      report.stream(StreamId::kStatsUe), opts, begin, end,
-      range_for(StreamId::kStatsUe), /*time_ordered=*/true);
-  SanitizeStream(
-      ds.stats[kRemoteClient],
-      [](const WebRtcStatsRecord& r) { return r.time; },
-      report.stream(StreamId::kStatsRemote), opts, begin, end,
-      range_for(StreamId::kStatsRemote), /*time_ordered=*/true);
+  SanitizeStream(ds.dci, report.stream(StreamId::kDci), opts, begin, end,
+                 range_for(StreamId::kDci), /*time_ordered=*/true);
+  SanitizeStream(ds.gnb_log, report.stream(StreamId::kGnbLog), opts, begin,
+                 end, range_for(StreamId::kGnbLog), /*time_ordered=*/true);
+  SanitizeStream(ds.packets, report.stream(StreamId::kPackets), opts, begin,
+                 end, range_for(StreamId::kPackets), /*time_ordered=*/false);
+  SanitizeStream(ds.stats[kUeClient], report.stream(StreamId::kStatsUe),
+                 opts, begin, end, range_for(StreamId::kStatsUe),
+                 /*time_ordered=*/true);
+  SanitizeStream(ds.stats[kRemoteClient],
+                 report.stream(StreamId::kStatsRemote), opts, begin, end,
+                 range_for(StreamId::kStatsRemote), /*time_ordered=*/true);
 
   report.skew_ms = EstimateClockOffsetMs(ds);
   if (std::fabs(report.skew_ms) > opts.skew_deadband_ms) {
@@ -211,11 +227,8 @@ SanitizeReport SanitizeDataset(SessionDataset& ds,
       AlignClocks(ds, report.skew_ms);
       report.skew_corrected = true;
       // The correction shifts remote-stamped send times; restore sort
-      // order.
-      std::stable_sort(ds.packets.begin(), ds.packets.end(),
-                       [](const PacketRecord& a, const PacketRecord& b) {
-                         return a.sent < b.sent;
-                       });
+      // order (stable, by send time — PacketColumns::RowTime).
+      ds.packets.StableSortByTime();
     } else {
       report.skew_suspect = true;
     }

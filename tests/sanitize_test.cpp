@@ -73,8 +73,8 @@ TEST(SanitizeTest, CleanDatasetIsClean) {
 
 TEST(SanitizeTest, ExactDuplicatesRemoved) {
   telemetry::SessionDataset ds = TinyDataset();
-  ds.dci.insert(ds.dci.begin() + 50, ds.dci[50]);
-  ds.dci.insert(ds.dci.begin() + 20, ds.dci[20]);
+  ds.dci.InsertAt(50, ds.dci[50]);
+  ds.dci.InsertAt(20, ds.dci[20]);
   telemetry::SanitizeReport rep = telemetry::SanitizeDataset(ds);
   EXPECT_EQ(rep.stream(StreamId::kDci).duplicates, 2u);
   EXPECT_EQ(ds.dci.size(), 100u);
@@ -84,7 +84,7 @@ TEST(SanitizeTest, ExactDuplicatesRemoved) {
 TEST(SanitizeTest, EqualTimestampDistinctRecordsKept) {
   telemetry::SessionDataset ds = TinyDataset();
   telemetry::DciRecord twin = Dci(5.0, /*rnti=*/99);  // same slot, other UE
-  ds.dci.insert(ds.dci.begin() + 51, twin);
+  ds.dci.InsertAt(51, twin);
   telemetry::SanitizeReport rep = telemetry::SanitizeDataset(ds);
   EXPECT_EQ(rep.stream(StreamId::kDci).duplicates, 0u);
   EXPECT_EQ(rep.stream(StreamId::kDci).late_dropped, 0u);
@@ -115,7 +115,7 @@ TEST(SanitizeTest, OutOfRangeTimestampDropped) {
   ds.dci.push_back(Dci(4000.0));
   telemetry::DciRecord past = Dci(0.0);
   past.time = Time{0} - Seconds(500);
-  ds.dci.insert(ds.dci.begin(), past);
+  ds.dci.InsertAt(0, past);
   telemetry::SanitizeReport rep = telemetry::SanitizeDataset(ds);
   EXPECT_EQ(rep.stream(StreamId::kDci).out_of_range, 2u);
   EXPECT_EQ(ds.dci.size(), 100u);
@@ -124,7 +124,7 @@ TEST(SanitizeTest, OutOfRangeTimestampDropped) {
 TEST(SanitizeTest, GapDetectedAndCoverageComputed) {
   telemetry::SessionDataset ds = TinyDataset();
   // Remove all DCIs in [3 s, 7 s): a 4 s hole in a 10 s session.
-  std::erase_if(ds.dci, [](const telemetry::DciRecord& r) {
+  ds.dci.EraseIf([](const telemetry::DciRecord& r) {
     return r.time >= Time{0} + Seconds(3) && r.time < Time{0} + Seconds(7);
   });
   telemetry::SanitizeReport rep = telemetry::SanitizeDataset(ds);
@@ -140,7 +140,7 @@ TEST(SanitizeTest, PacketsInArrivalOrderAreNotDefects) {
   telemetry::SessionDataset ds = TinyDataset();
   // Swap two packets so send order is violated (normal in a reconciled
   // two-host capture).
-  std::swap(ds.packets[10], ds.packets[11]);
+  ds.packets.SwapRows(10, 11);
   telemetry::SanitizeReport rep = telemetry::SanitizeDataset(ds);
   EXPECT_EQ(rep.stream(StreamId::kPackets).reordered, 0u);
   EXPECT_EQ(rep.stream(StreamId::kPackets).late_dropped, 0u);

@@ -89,7 +89,7 @@ TEST(DerivedTraceTest, OwdSeriesSortedBySendTime) {
   b.dir = Direction::kUplink;
   b.sent = Time{1'000'000};
   b.received = Time{2'100'000};  // arrived later but sent earlier
-  ds.packets = {a, b};  // appended in arrival order
+  ds.packets.AssignRows({a, b});  // appended in arrival order
   DerivedTrace t = BuildDerivedTrace(ds);
   ASSERT_EQ(t.ul().owd_ms.size(), 2u);
   EXPECT_LT(t.ul().owd_ms[0].time, t.ul().owd_ms[1].time);
@@ -103,7 +103,7 @@ TEST(DerivedTraceTest, LostPacketsExcludedFromOwd) {
   lost.id = 1;
   lost.dir = Direction::kDownlink;
   lost.sent = Time{1'000'000};
-  ds.packets = {lost};
+  ds.packets.AssignRows({lost});
   DerivedTrace t = BuildDerivedTrace(ds);
   EXPECT_TRUE(t.dl().owd_ms.empty());
 }

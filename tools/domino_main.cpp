@@ -28,6 +28,13 @@
 //       cover less than --min-coverage of a window are reported as
 //       "insufficient evidence" instead of asserted as root causes.
 //
+//   domino convert <in_dir> <out_dir> [--to bin|csv]
+//       Re-encode a dataset between the CSV bundle and the binary fast
+//       path (telemetry.dtb, see telemetry/binfmt.h). The input format is
+//       auto-detected (a .dtb in <in_dir> wins); --to picks the output
+//       (default bin). Analysis results are identical either way — the
+//       binary image just loads without text parsing, via mmap.
+//
 //   domino codegen <config_file> [-o FILE]
 //       Generate the standalone Python detector module for a configuration
 //       (Fig. 11); writes to stdout by default.
@@ -82,6 +89,7 @@
 #include "telemetry/align.h"
 #include "sim/call_session.h"
 #include "sim/cell_config.h"
+#include "telemetry/binfmt.h"
 #include "telemetry/fault_inject.h"
 #include "telemetry/io.h"
 #include "telemetry/sanitize.h"
@@ -122,6 +130,7 @@ void PrintUsage(std::FILE* to) {
                "  domino replay <dataset_dir> <out_dir> [--interval-ms N]"
                " [--chunk-ms N]\n"
                "               [--stall stream=SEC]\n"
+               "  domino convert <in_dir> <out_dir> [--to bin|csv]\n"
                "  domino codegen <config_file> [-o FILE]\n"
                "  domino lint <config_file> [--strict] [--format json]"
                " [--no-default-graph]\n"
@@ -739,6 +748,43 @@ int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
   return failures == 0 ? 0 : 1;
 }
 
+int CmdConvert(std::vector<std::string> args, const MainOptions& mo) {
+  std::string to = "bin";
+  if (auto t = TakeFlag(args, "--to")) to = *t;
+  if (to != "bin" && to != "csv") {
+    return BadFlag("--to", to, "'bin' or 'csv'");
+  }
+  if (args.size() != 2) return Usage();
+  const std::string& in_dir = args[0];
+  const std::string& out_dir = args[1];
+  if (mo.dry_run) return 0;
+
+  telemetry::DatasetLoadReport report;
+  telemetry::SessionDataset ds = telemetry::LoadDataset(in_dir, &report);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s: load problems:\n%s", in_dir.c_str(),
+                 report.Format().c_str());
+  }
+  std::string out_path;
+  if (to == "bin") {
+    if (!telemetry::SaveDatasetBinary(ds, out_dir)) {
+      std::fprintf(stderr, "cannot write %s/%s\n", out_dir.c_str(),
+                   telemetry::kBinaryDatasetFile);
+      return 1;
+    }
+    out_path = out_dir + "/" + telemetry::kBinaryDatasetFile;
+  } else {
+    telemetry::SaveDataset(ds, out_dir);
+    out_path = out_dir + "/ (CSV bundle)";
+  }
+  std::printf("converted %s -> %s: %zu DCIs, %zu packets, %zu gNB log rows, "
+              "%zu+%zu stats rows\n",
+              in_dir.c_str(), out_path.c_str(), ds.dci.size(),
+              ds.packets.size(), ds.gnb_log.size(), ds.stats[0].size(),
+              ds.stats[1].size());
+  return report.ok() ? 0 : 1;
+}
+
 int CmdCodegen(std::vector<std::string> args, const MainOptions& mo) {
   auto out = TakeFlag(args, "-o");
   if (args.size() != 1) return Usage();
@@ -784,6 +830,7 @@ int DominoMain(std::vector<std::string> args, const MainOptions& mo) {
     if (cmd == "live") return CmdLive(std::move(args), mo);
     if (cmd == "replay") return CmdReplay(std::move(args), mo);
     if (cmd == "codegen") return CmdCodegen(std::move(args), mo);
+    if (cmd == "convert") return CmdConvert(std::move(args), mo);
     if (cmd == "lint" || cmd == "--lint") return CmdLint(std::move(args), mo);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
