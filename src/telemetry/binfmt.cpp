@@ -230,6 +230,7 @@ bool ReadBlock(Cursor& cur, std::uint32_t stream_id, std::uint32_t column_id,
     return Fail(stats, TelemetryErrorKind::kCorruptBinary,
                 "columns of one stream disagree on the row count");
   }
+  const bool first_column = !stream_rows.has_value();
   stream_rows = b.row_count;
   const auto n = static_cast<std::size_t>(b.row_count);
   if (n > cur.remaining() / sizeof(T)) {  // Overflow-safe size check.
@@ -246,8 +247,12 @@ bool ReadBlock(Cursor& cur, std::uint32_t stream_id, std::uint32_t column_id,
                 "column payload CRC mismatch");
   }
   BindColumn(c, payload, n, keepalive);
-  stats.rows_total += n;
-  stats.rows_kept += n;
+  if (first_column) {
+    // Rows are a per-stream figure; all columns carry the same count
+    // (checked above), so only the first one accumulates it.
+    stats.rows_total += n;
+    stats.rows_kept += n;
+  }
   return true;
 }
 
@@ -269,6 +274,16 @@ bool ReadStreamBlocks(Cursor& cur, StreamId id, Cols& cols,
 }  // namespace
 
 std::string SerializeDatasetBinary(const SessionDataset& ds) {
+  // Enforce the reader's bounds at write time: a successful serialization
+  // must load back under default InputLimits, so an over-bounds dataset
+  // fails the save here instead of producing an unreadable .dtb.
+  const std::size_t row_cap = InputLimits{}.max_records;
+  if (ds.cell_name.size() > kMaxCellNameBytes || ds.ue_rnti.size() > row_cap ||
+      ds.dci.size() > row_cap || ds.gnb_log.size() > row_cap ||
+      ds.packets.size() > row_cap || ds.stats[kUeClient].size() > row_cap ||
+      ds.stats[kRemoteClient].size() > row_cap) {
+    return {};
+  }
   std::string out;
   FileHeader h{};
   std::memcpy(h.magic, kMagic, sizeof(kMagic));
@@ -301,17 +316,41 @@ std::string SerializeDatasetBinary(const SessionDataset& ds) {
 
 bool WriteDatasetBinary(std::ostream& os, const SessionDataset& ds) {
   const std::string image = SerializeDatasetBinary(ds);
+  if (image.empty()) return false;  // Dataset exceeds the wire-format bounds.
   os.write(image.data(), static_cast<std::streamsize>(image.size()));
   return os.good();
 }
 
 bool SaveDatasetBinary(const SessionDataset& ds, const std::string& dir) {
+  // Serialize before touching the destination: after ReadDatasetBinary the
+  // dataset's columns may zero-copy borrow the mmap of the very file this
+  // save replaces (an in-place re-encode), so truncating it first would
+  // SIGBUS mid-write and destroy the original. Staging through a temp file
+  // plus rename also makes the save atomic: a crash never leaves a
+  // half-written telemetry.dtb behind.
+  const std::string image = SerializeDatasetBinary(ds);
+  if (image.empty()) return false;  // Dataset exceeds the wire-format bounds.
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
-  std::ofstream os(std::filesystem::path(dir) / kBinaryDatasetFile,
-                   std::ios::binary | std::ios::trunc);
-  if (!os) return false;
-  return WriteDatasetBinary(os, ds);
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / kBinaryDatasetFile;
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os.write(image.data(), static_cast<std::streamsize>(image.size()));
+    os.flush();
+    if (!os) {
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
 }
 
 bool ParseDatasetBinary(const std::byte* data, std::size_t size,

@@ -50,13 +50,21 @@ namespace domino::telemetry {
 /// (or instead of) the CSV bundle. LoadDataset prefers it when present.
 inline constexpr const char* kBinaryDatasetFile = "telemetry.dtb";
 
-/// Serializes the dataset into one contiguous DTB image.
+/// Serializes the dataset into one contiguous DTB image. Returns an empty
+/// string (never a valid image) when the dataset exceeds the wire format's
+/// bounds — a cell name over 4096 bytes or a stream/RNTI timeline over the
+/// default InputLimits record budget — so a successful serialization is
+/// always loadable with default limits.
 [[nodiscard]] std::string SerializeDatasetBinary(const SessionDataset& ds);
 
-/// Writes the DTB image to `os`. Returns false when the stream errored.
+/// Writes the DTB image to `os`. Returns false when the stream errored or
+/// the dataset exceeds the wire-format bounds (nothing is written then).
 bool WriteDatasetBinary(std::ostream& os, const SessionDataset& ds);
 
 /// Writes `dir/telemetry.dtb` (the directory must exist or be creatable).
+/// The image is fully serialized in memory first and staged through a temp
+/// file + rename, so the save is atomic and safe even when `ds` zero-copy
+/// borrows the mmap of the file being replaced (in-place re-encode).
 bool SaveDatasetBinary(const SessionDataset& ds, const std::string& dir);
 
 /// Parses a DTB image from memory into `ds`. Strict: returns false and

@@ -49,20 +49,26 @@ namespace {
 class RateBinner {
  public:
   static constexpr std::int64_t kBinUs = 50'000;
+  /// Hard ceiling on the bin array. Record timestamps come from untrusted
+  /// files (a CRC-valid .dtb or a parseable CSV can carry any i64), so one
+  /// far-future timestamp must not drive a multi-terabyte resize. 2^22
+  /// bins is ~58 hours of 50 ms grid (32 MiB of doubles) — far beyond any
+  /// conferencing session; records past the ceiling are dropped.
+  static constexpr std::uint64_t kMaxBins = std::uint64_t{1} << 22;
 
   /// `expected_end` pre-reserves the bin array so Add() almost never
   /// reallocates (the emitted series still ends at the last added bin).
   RateBinner(Time begin, Time expected_end) : begin_(begin) {
     if (expected_end > begin_) {
-      bins_.reserve(
-          static_cast<std::size_t>((expected_end - begin_).micros() / kBinUs) +
-          1);
+      bins_.reserve(static_cast<std::size_t>(
+          std::min(BinIndex(expected_end) + 1, kMaxBins)));
     }
   }
 
   void Add(Time t, double bytes) {
     if (t < begin_) return;
-    auto idx = static_cast<std::size_t>((t - begin_).micros() / kBinUs);
+    const std::uint64_t idx = BinIndex(t);
+    if (idx >= kMaxBins) return;
     if (bins_.size() <= idx) bins_.resize(idx + 1, 0.0);
     bins_[idx] += bytes;
   }
@@ -79,6 +85,16 @@ class RateBinner {
   }
 
  private:
+  /// Bin index of `t` (requires t >= begin_). The difference is computed in
+  /// unsigned arithmetic: wild timestamps at either i64 extreme would make
+  /// the signed subtraction overflow, while the wrapped unsigned result is
+  /// exact for any non-negative distance.
+  [[nodiscard]] std::uint64_t BinIndex(Time t) const {
+    return (static_cast<std::uint64_t>(t.micros()) -
+            static_cast<std::uint64_t>(begin_.micros())) /
+           static_cast<std::uint64_t>(kBinUs);
+  }
+
   Time begin_;
   std::vector<double> bins_;
 };

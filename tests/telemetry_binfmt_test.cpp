@@ -198,6 +198,55 @@ TEST(BinFmt, MmapReadAdoptsColumnsZeroCopy) {
   EXPECT_TRUE(out.dci[ds.dci.size()] == extra);
 }
 
+TEST(BinFmt, InPlaceReencodeIsSafeAndAtomic) {
+  // After ReadDatasetBinary the columns zero-copy borrow the mmap of
+  // telemetry.dtb, so re-saving into the same directory serializes from the
+  // very pages the save replaces. The writer must build the image before
+  // touching the destination and stage through a temp + rename (regression:
+  // it used to truncate the mapped file first — SIGBUS mid-write and a
+  // destroyed original).
+  TempDir dir("inplace");
+  const SessionDataset ds = MakeDataset();
+  ASSERT_TRUE(SaveDatasetBinary(ds, dir.str()));
+  const std::string path = dir.str() + "/" + kBinaryDatasetFile;
+  SessionDataset loaded;
+  ReadStats stats;
+  ASSERT_TRUE(ReadDatasetBinary(path, loaded, stats));
+  ASSERT_TRUE(loaded.dci.time.borrowed());  // the mapping is live
+  ASSERT_TRUE(SaveDatasetBinary(loaded, dir.str()));
+  SessionDataset reread;
+  ReadStats stats2;
+  ASSERT_TRUE(ReadDatasetBinary(path, reread, stats2));
+  ExpectEqualDatasets(ds, reread);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));  // staging file renamed away
+}
+
+TEST(BinFmt, OverBoundsCellNameFailsTheSave) {
+  // The reader caps cell names at 4096 bytes; the writer must refuse such
+  // a dataset instead of silently producing an unloadable .dtb.
+  SessionDataset ds = MakeDataset();
+  ds.cell_name.assign(5000, 'x');
+  EXPECT_TRUE(SerializeDatasetBinary(ds).empty());
+  std::ostringstream os;
+  EXPECT_FALSE(WriteDatasetBinary(os, ds));
+  EXPECT_TRUE(os.str().empty());
+  TempDir dir("overbounds");
+  EXPECT_FALSE(SaveDatasetBinary(ds, dir.str()));
+  EXPECT_FALSE(fs::exists(dir.path / kBinaryDatasetFile));
+}
+
+TEST(BinFmt, ReadStatsCountRowsOncePerStream) {
+  // 9 DCI + 5 gNB + 7 packet + 4 + 4 stats rows. The wire carries one block
+  // per column; the row figures must not be multiplied by the column count.
+  const SessionDataset ds = MakeDataset();
+  const std::string img = SerializeDatasetBinary(ds);
+  SessionDataset out;
+  ReadStats stats;
+  ASSERT_TRUE(ParseImage(img, out, stats));
+  EXPECT_EQ(stats.rows_total, 29u);
+  EXPECT_EQ(stats.rows_kept, 29u);
+}
+
 TEST(BinFmt, CsvToBinaryToCsvIsByteExact) {
   TempDir dir("golden");
   const SessionDataset ds = MakeDataset();

@@ -1,6 +1,7 @@
 // Unit tests for the telemetry layer: derived-trace building and CSV I/O.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -130,6 +131,25 @@ TEST(DerivedTraceTest, AppBitrateBinsMediaOnly) {
   DerivedTrace t = BuildDerivedTrace(ds);
   ASSERT_FALSE(t.ul().app_bitrate_bps.empty());
   EXPECT_NEAR(t.ul().app_bitrate_bps[0].value, 2e6, 1e3);
+}
+
+TEST(DerivedTraceTest, FarFutureTimestampDoesNotExplodeRateBins) {
+  // Record timestamps are untrusted (a CRC-valid .dtb can carry any i64),
+  // and a degenerate session range (end <= begin) bypasses the sanitizer's
+  // range filter — the rate binner must drop such records instead of
+  // resizing a multi-terabyte bin array.
+  SessionDataset ds;
+  ds.begin = Time{0};
+  ds.end = Time{0};
+  PacketRecord p;
+  p.id = 1;
+  p.dir = Direction::kUplink;
+  p.size_bytes = 1200;
+  p.sent = Time{INT64_MAX - 1};
+  p.received = Time::max();  // lost: exercises only the rate-binner path
+  ds.packets.push_back(p);
+  DerivedTrace t = BuildDerivedTrace(ds);
+  EXPECT_TRUE(t.ul().app_bitrate_bps.empty());
 }
 
 TEST(DerivedTraceTest, RlcRetxAttributedByDirection) {
