@@ -4,6 +4,7 @@
 #include <cctype>
 #include <utility>
 
+#include "domino/lint/schema.h"
 #include "domino/lint/suggest.h"
 
 namespace domino::analysis {
@@ -67,16 +68,27 @@ class ConfigLineParser {
     name = line.substr(name_start, name_end - name_start);
     name_span = Span(name_start, name_end);
 
+    std::vector<std::string> required;
+    SourceSpan requires_span{};
     std::size_t extra = line.find_first_not_of(" \t\r", name_end);
     if (extra < colon) {
-      sink_.Error("DL201", Span(extra, colon),
-                  "unexpected text between the name and ':'");
-      return;
+      std::size_t req_end = TokenEnd(extra, colon);
+      bool is_requires =
+          keyword == "event" && line.compare(extra, req_end - extra,
+                                             "requires") == 0 &&
+          req_end - extra == 8;
+      if (!is_requires) {
+        sink_.Error("DL201", Span(extra, colon),
+                    "unexpected text between the name and ':'");
+        return;
+      }
+      if (!ParseRequires(req_end, colon, required, requires_span)) return;
     }
 
     std::size_t body_start = line.find_first_not_of(" \t\r", colon + 1);
     if (keyword == "event") {
-      ParseEvent(name, name_span, body_start, end);
+      ParseEvent(name, name_span, body_start, end, std::move(required),
+                 requires_span);
     } else if (keyword == "chain") {
       ParseChain(name, name_span, body_start, end);
     } else {
@@ -110,8 +122,45 @@ class ConfigLineParser {
     return end;
   }
 
+  /// Parses the stream list of `event name requires s1, s2: ...` between
+  /// the end of the `requires` keyword and the ':'. Name validity is the
+  /// verifier's job (DL406); this only splits and rejects empty entries.
+  bool ParseRequires(std::size_t req_end, std::size_t colon,
+                     std::vector<std::string>& out, SourceSpan& span) {
+    const std::string& line = *line_;
+    std::size_t list_start = line.find_first_not_of(" \t\r", req_end);
+    if (list_start >= colon) {
+      sink_.Error("DL201", Span(req_end - 8, req_end),
+                  "missing stream list after 'requires'");
+      return false;
+    }
+    std::size_t list_end = colon;
+    while (list_end > list_start &&
+           std::isspace(static_cast<unsigned char>(line[list_end - 1]))) {
+      --list_end;
+    }
+    span = Span(list_start, list_end);
+    std::size_t pos = list_start;
+    while (pos < list_end) {
+      std::size_t comma = line.find(',', pos);
+      if (comma == std::string::npos || comma > list_end) comma = list_end;
+      std::string tok = Trim(line.substr(pos, comma - pos));
+      if (tok.empty()) {
+        sink_.Error("DL201",
+                    Span(pos, comma < list_end ? comma + 1 : list_end),
+                    "empty stream name in 'requires' list");
+        return false;
+      }
+      out.push_back(std::move(tok));
+      pos = comma < list_end ? comma + 1 : list_end;
+    }
+    return true;
+  }
+
   void ParseEvent(const std::string& name, SourceSpan name_span,
-                  std::size_t body_start, std::size_t line_end) {
+                  std::size_t body_start, std::size_t line_end,
+                  std::vector<std::string> required,
+                  SourceSpan requires_span) {
     if (!ValidName(name, /*allow_at=*/false)) {
       std::string why = name.find('@') != std::string::npos
                             ? " ('@' is reserved for the @rev node suffix)"
@@ -137,6 +186,8 @@ class ConfigLineParser {
     def.name = name;
     def.name_span = name_span;
     def.line = lineno_;
+    def.required_streams = std::move(required);
+    def.requires_span = requires_span;
     def.expr_col = static_cast<int>(body_start) + 1;
     def.expr_text = line_->substr(body_start, line_end - body_start);
 
@@ -319,6 +370,21 @@ void ExtendGraphUnchecked(CausalGraph& graph, const DominoConfigFile& cfg,
         n.detect = [expr = def->expr](const WindowContext& ctx) {
           return EvalCondition(*expr, ctx);
         };
+        // Stream use for the detector's data-quality gating: the declared
+        // `requires` mask when present, else inferred from the condition.
+        StreamMask declared = 0;
+        for (const auto& stream : def->required_streams) {
+          if (auto id = lint::StreamIdFromName(stream)) {
+            declared = static_cast<StreamMask>(
+                declared | (1u << static_cast<unsigned>(*id)));
+          }
+        }
+        if (declared != 0) {
+          n.custom_streams = {declared, declared};
+        } else {
+          n.custom_streams = {lint::InferStreamUse(*def->expr, 0),
+                              lint::InferStreamUse(*def->expr, 1)};
+        }
         graph.AddNode(std::move(n));
       } else if (auto type = EventTypeFromName(base)) {
         graph.AddBuiltinNode(name, kind, EventRef{*type, leg}, th);

@@ -34,6 +34,11 @@ struct ConfigEventDef {
   int line = 0;             ///< 1-based definition line (0 = synthetic def).
   int expr_col = 0;         ///< 1-based column where the expression starts.
   lint::SourceSpan name_span;
+  /// Streams declared via `event name requires dci, packets: ...`. Empty =
+  /// no declaration; the verifier (DL406) checks declared against inferred
+  /// use, and the detector degrades confidence by the declared streams.
+  std::vector<std::string> required_streams;
+  lint::SourceSpan requires_span;  ///< The clause after `requires`.
 };
 
 struct ConfigChainDef {

@@ -61,16 +61,20 @@ WindowResult Detector::AnalyzeWindow(const telemetry::DerivedTrace& trace,
                       : node.detect(ctx);
     }
     // Per-node data-quality confidence for this window: min coverage over
-    // the streams the node's built-in condition reads. DSL-defined nodes
-    // carry no stream mapping and stay at 1 (conservative: no downgrade).
+    // the streams the node's condition reads — RequiredStreams for
+    // built-ins, the declared/inferred custom_streams mask for DSL nodes.
+    // A zero custom mask means "unknown" and stays at 1 (no downgrade).
     // Pure trace arithmetic — identical on the naive and incremental paths.
     std::vector<double> node_conf;
     if (trace.quality.present) {
       node_conf.resize(graph_.node_count(), 1.0);
       for (std::size_t n = 0; n < graph_.node_count(); ++n) {
         const Node& node = graph_.node(static_cast<int>(n));
-        if (!node.builtin.has_value()) continue;
-        StreamMask mask = RequiredStreams(*node.builtin, p);
+        StreamMask mask =
+            node.builtin.has_value()
+                ? RequiredStreams(*node.builtin, p)
+                : node.custom_streams[static_cast<std::size_t>(p)];
+        if (mask == 0) continue;
         double conf = 1.0;
         for (std::size_t s = 0; s < telemetry::kStreamCount; ++s) {
           if ((mask & (1u << s)) == 0) continue;

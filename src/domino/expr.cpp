@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/stats.h"
+#include "domino/lint/schema.h"
 #include "domino/lint/suggest.h"
 
 namespace domino::analysis {
@@ -224,6 +225,7 @@ class NumberNode : public ExprNode {
   explicit NumberNode(double v) : v_(v) {}
   double EvalScalar(const WindowContext&) const override { return v_; }
   std::string ToPython() const override { return FormatNum(v_); }
+  void Accept(ExprVisitor& v) const override { v.VisitNumber(*this, v_); }
 
  private:
   double v_;
@@ -253,6 +255,10 @@ class SeriesNode : public ExprNode {
 
   std::string ToPython() const override {
     return "w[\"" + scope_ + "." + name_ + "\"]";
+  }
+
+  void Accept(ExprVisitor& v) const override {
+    v.VisitSeries(*this, scope_, name_);
   }
 
  private:
@@ -414,6 +420,10 @@ class FuncNode : public ExprNode {
     return out + ")";
   }
 
+  void Accept(ExprVisitor& v) const override {
+    v.VisitCall(*this, info_.name, series_, scalars_);
+  }
+
  private:
   FuncInfo info_;
   std::vector<ExprPtr> series_;
@@ -432,6 +442,10 @@ class UnaryNode : public ExprNode {
   std::string ToPython() const override {
     return op_ == kNeg ? "(-" + inner_->ToPython() + ")"
                        : "(not " + inner_->ToPython() + ")";
+  }
+
+  void Accept(ExprVisitor& v) const override {
+    v.VisitUnary(*this, op_ == kNeg ? UnOp::kNeg : UnOp::kNot, *inner_);
   }
 
  private:
@@ -490,62 +504,41 @@ class BinaryNode : public ExprNode {
     return out;
   }
 
+  void Accept(ExprVisitor& v) const override {
+    v.VisitBinary(*this, ToBinOp(op_), *lhs_, *rhs_);
+  }
+
  private:
+  static BinOp ToBinOp(Tok op) {
+    switch (op) {
+      case Tok::kPlus: return BinOp::kAdd;
+      case Tok::kMinus: return BinOp::kSub;
+      case Tok::kStar: return BinOp::kMul;
+      case Tok::kSlash: return BinOp::kDiv;
+      case Tok::kLt: return BinOp::kLt;
+      case Tok::kGt: return BinOp::kGt;
+      case Tok::kLe: return BinOp::kLe;
+      case Tok::kGe: return BinOp::kGe;
+      case Tok::kEq: return BinOp::kEq;
+      case Tok::kNe: return BinOp::kNe;
+      case Tok::kAnd: return BinOp::kAnd;
+      default: return BinOp::kOr;
+    }
+  }
+
   Tok op_;
   ExprPtr lhs_;
   ExprPtr rhs_;
 };
 
 // ---------------------------------------------------------------------------
-// Series tables: name resolution + units (the unit-sanity heuristics)
+// Series name resolution. Units and ranges come from the declared telemetry
+// schema (lint/schema.h) — the single source of truth shared with the
+// domino-verify pass.
 // ---------------------------------------------------------------------------
 
-enum class Unit {
-  kUnknown, kMs, kBps, kFps, kBytes, kPrb, kMcs, kCount, kResolution, kBool,
-  kId,
-};
-
-const char* UnitName(Unit u) {
-  switch (u) {
-    case Unit::kUnknown: return "unknown";
-    case Unit::kMs: return "milliseconds";
-    case Unit::kBps: return "bits/s";
-    case Unit::kFps: return "frames/s";
-    case Unit::kBytes: return "bytes";
-    case Unit::kPrb: return "PRBs";
-    case Unit::kMcs: return "MCS index";
-    case Unit::kCount: return "a count";
-    case Unit::kResolution: return "pixels";
-    case Unit::kBool: return "a boolean";
-    case Unit::kId: return "an identifier";
-  }
-  return "unknown";
-}
-
-struct SeriesTableEntry {
-  const char* name;
-  Unit unit;
-};
-
-constexpr SeriesTableEntry kDirSeriesTable[] = {
-    {"tbs", Unit::kBytes},         {"prb_self", Unit::kPrb},
-    {"prb_other", Unit::kPrb},     {"mcs", Unit::kMcs},
-    {"harq_retx", Unit::kCount},   {"rlc_retx", Unit::kCount},
-    {"owd_ms", Unit::kMs},         {"app_bitrate", Unit::kBps},
-    {"tbs_bitrate", Unit::kBps},   {"rnti", Unit::kId},
-};
-
-constexpr SeriesTableEntry kClientSeriesTable[] = {
-    {"inbound_fps", Unit::kFps},
-    {"outbound_fps", Unit::kFps},
-    {"outbound_resolution", Unit::kResolution},
-    {"jitter_buffer_ms", Unit::kMs},
-    {"target_bitrate", Unit::kBps},
-    {"pushback_rate", Unit::kBps},
-    {"outstanding_bytes", Unit::kBytes},
-    {"cwnd_bytes", Unit::kBytes},
-    {"overuse", Unit::kBool},
-};
+using Unit = lint::Unit;
+using lint::UnitName;
 
 const TimeSeries<double>* ResolveDirSeries(const telemetry::DirectionSeries& d,
                                            const std::string& name) {
@@ -576,25 +569,14 @@ const TimeSeries<double>* ResolveClientSeries(
   return nullptr;
 }
 
-bool IsDirScope(const std::string& s) {
-  return s == "fwd" || s == "rev" || s == "ul" || s == "dl";
-}
+bool IsDirScope(const std::string& s) { return lint::IsDirScopeName(s); }
 bool IsClientScope(const std::string& s) {
-  return s == "sender" || s == "receiver" || s == "ue" || s == "remote";
+  return lint::IsClientScopeName(s);
 }
 
-const SeriesTableEntry* FindSeriesEntry(const std::string& scope,
-                                        const std::string& name) {
-  if (IsDirScope(scope)) {
-    for (const auto& e : kDirSeriesTable) {
-      if (name == e.name) return &e;
-    }
-  } else if (IsClientScope(scope)) {
-    for (const auto& e : kClientSeriesTable) {
-      if (name == e.name) return &e;
-    }
-  }
-  return nullptr;
+const lint::SeriesSchema* FindSeriesEntry(const std::string& scope,
+                                          const std::string& name) {
+  return lint::FindSeriesSchema(scope, name);
 }
 
 // ---------------------------------------------------------------------------
@@ -682,7 +664,9 @@ class Parser {
 
   static Ann Poisoned(std::size_t begin, std::size_t end, bool series) {
     Ann a;
-    a.expr = std::make_shared<NumberNode>(0.0);
+    auto node = std::make_shared<NumberNode>(0.0);
+    node->SetSrcRange(begin, end);
+    a.expr = node;
     a.series = series;
     a.poisoned = true;
     a.begin = begin;
@@ -796,7 +780,9 @@ class Parser {
       Ann inner = ParseUnary();
       RequireScalar(inner, "operand of unary '-'");
       Ann out;
-      out.expr = std::make_shared<UnaryNode>(UnaryNode::kNeg, inner.expr);
+      auto node = std::make_shared<UnaryNode>(UnaryNode::kNeg, inner.expr);
+      node->SetSrcRange(op.pos, inner.end);
+      out.expr = node;
       out.poisoned = inner.poisoned;
       if (inner.range.known) {
         out.range = KnownRange(-inner.range.hi, -inner.range.lo);
@@ -812,7 +798,9 @@ class Parser {
       Ann inner = ParseUnary();
       RequireScalar(inner, "operand of 'not'");
       Ann out;
-      out.expr = std::make_shared<UnaryNode>(UnaryNode::kNot, inner.expr);
+      auto node = std::make_shared<UnaryNode>(UnaryNode::kNot, inner.expr);
+      node->SetSrcRange(op.pos, inner.end);
+      out.expr = node;
       out.poisoned = inner.poisoned;
       out.boolean = true;
       out.range = KnownRange(0, 1);
@@ -830,7 +818,9 @@ class Parser {
         case Tok::kNumber: {
           lexer_.Take();
           Ann a;
-          a.expr = std::make_shared<NumberNode>(t.number);
+          auto node = std::make_shared<NumberNode>(t.number);
+          node->SetSrcRange(t.pos, t.pos + t.len);
+          a.expr = node;
           a.range = KnownRange(t.number, t.number);
           a.begin = t.pos;
           a.end = t.pos + t.len;
@@ -925,7 +915,7 @@ class Parser {
             hint);
       return Poisoned(begin, end, true);
     }
-    const SeriesTableEntry* entry = FindSeriesEntry(scope.text, name.text);
+    const lint::SeriesSchema* entry = FindSeriesEntry(scope.text, name.text);
     if (entry == nullptr) {
       const char* kind = dir ? "5G" : "client";
       std::vector<std::string> known =
@@ -946,7 +936,9 @@ class Parser {
       return Poisoned(begin, end, true);
     }
     Ann a;
-    a.expr = std::make_shared<SeriesNode>(scope.text, name.text);
+    auto node = std::make_shared<SeriesNode>(scope.text, name.text);
+    node->SetSrcRange(begin, end);
+    a.expr = node;
     a.series = true;
     a.unit = entry->unit;
     a.unit_src = scope.text + "." + name.text;
@@ -1007,8 +999,10 @@ class Parser {
           .push_back(args[static_cast<std::size_t>(i)].expr);
     }
     Ann out;
-    out.expr = std::make_shared<FuncNode>(fn, std::move(series),
-                                          std::move(scalars));
+    auto node = std::make_shared<FuncNode>(fn, std::move(series),
+                                           std::move(scalars));
+    node->SetSrcRange(ident.pos, end);
+    out.expr = node;
     out.begin = ident.pos;
     out.end = end;
     AnnotateCall(fn, args, ident, out);
@@ -1099,7 +1093,9 @@ class Parser {
     RequireScalar(lhs, std::string("operand of '") + opname + "'");
     RequireScalar(rhs, std::string("operand of '") + opname + "'");
     Ann out;
-    out.expr = std::make_shared<BinaryNode>(op, lhs.expr, rhs.expr);
+    auto node = std::make_shared<BinaryNode>(op, lhs.expr, rhs.expr);
+    node->SetSrcRange(lhs.begin, rhs.end);
+    out.expr = node;
     out.poisoned = lhs.poisoned || rhs.poisoned;
     out.begin = lhs.begin;
     out.end = rhs.end;
@@ -1308,12 +1304,16 @@ CheckedExpr ParseExpressionChecked(const std::string& text,
 
 std::vector<std::string> KnownDirSeries() {
   std::vector<std::string> out;
-  for (const auto& e : kDirSeriesTable) out.emplace_back(e.name);
+  for (const auto& e : lint::TelemetrySchema()) {
+    if (e.scope == lint::SchemaScope::kDirection) out.emplace_back(e.name);
+  }
   return out;
 }
 std::vector<std::string> KnownClientSeries() {
   std::vector<std::string> out;
-  for (const auto& e : kClientSeriesTable) out.emplace_back(e.name);
+  for (const auto& e : lint::TelemetrySchema()) {
+    if (e.scope == lint::SchemaScope::kClient) out.emplace_back(e.name);
+  }
   return out;
 }
 std::vector<std::string> KnownScopes() {

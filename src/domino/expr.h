@@ -47,6 +47,37 @@ class DslError : public std::runtime_error {
   explicit DslError(const std::string& what) : std::runtime_error(what) {}
 };
 
+class ExprNode;
+using ExprPtr = std::shared_ptr<const ExprNode>;
+
+/// Operators exposed through the visitor API (ExprVisitor). The parser's
+/// internal token kinds map onto these; consumers like the domino-verify
+/// abstract evaluator switch on them without seeing lexer details.
+enum class BinOp { kAdd, kSub, kMul, kDiv, kLt, kGt, kLe, kGe, kEq, kNe,
+                   kAnd, kOr };
+enum class UnOp { kNeg, kNot };
+
+/// Structural visitor over parsed expression ASTs. Each callback receives
+/// the node itself (for source-range lookups via src_begin()/src_end())
+/// plus its decomposed payload; recursion into children is the visitor's
+/// job, so analyses can prune or reorder traversal freely.
+class ExprVisitor {
+ public:
+  virtual ~ExprVisitor() = default;
+  virtual void VisitNumber(const ExprNode& node, double value) = 0;
+  virtual void VisitSeries(const ExprNode& node, const std::string& scope,
+                           const std::string& name) = 0;
+  /// `func` is the DSL function name ("max", "frac_gt", ...); series
+  /// arguments precede scalar arguments, as in the grammar.
+  virtual void VisitCall(const ExprNode& node, const std::string& func,
+                         const std::vector<ExprPtr>& series_args,
+                         const std::vector<ExprPtr>& scalar_args) = 0;
+  virtual void VisitUnary(const ExprNode& node, UnOp op,
+                          const ExprNode& operand) = 0;
+  virtual void VisitBinary(const ExprNode& node, BinOp op,
+                           const ExprNode& lhs, const ExprNode& rhs) = 0;
+};
+
 class ExprNode {
  public:
   virtual ~ExprNode() = default;
@@ -64,9 +95,23 @@ class ExprNode {
       const WindowContext& ctx) const;
   /// Emits equivalent Python source (see codegen.h).
   [[nodiscard]] virtual std::string ToPython() const = 0;
-};
+  /// Single dispatch into the matching ExprVisitor callback.
+  virtual void Accept(ExprVisitor& v) const = 0;
 
-using ExprPtr = std::shared_ptr<const ExprNode>;
+  /// 0-based half-open character range of this node in the expression
+  /// source it was parsed from; [0, 0) when unknown. The config layer
+  /// rebases these offsets onto file line:column coordinates.
+  [[nodiscard]] std::size_t src_begin() const { return src_begin_; }
+  [[nodiscard]] std::size_t src_end() const { return src_end_; }
+  void SetSrcRange(std::size_t begin, std::size_t end) {
+    src_begin_ = begin;
+    src_end_ = end;
+  }
+
+ private:
+  std::size_t src_begin_ = 0;
+  std::size_t src_end_ = 0;
+};
 
 /// Parses an expression. Throws DslError on syntax/semantic problems.
 ExprPtr ParseExpression(const std::string& text);

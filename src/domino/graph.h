@@ -8,6 +8,7 @@
 // making the graph user-extensible as the paper describes.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <optional>
 #include <string>
@@ -30,6 +31,13 @@ struct Node {
   /// detector share one per-window detection between nodes and the feature
   /// extractor when they agree on thresholds.
   std::optional<EventThresholds> builtin_thresholds;
+  /// Raw-stream use masks for DSL-defined nodes, one per perspective
+  /// (index = sender_client). Filled by ExtendGraph from the event's
+  /// declared `requires` streams, or inferred from the series its
+  /// condition reads (lint::InferStreamUse). 0 = unknown: the detector
+  /// then applies no data-quality degradation, the pre-declaration
+  /// behaviour. Built-in nodes use RequiredStreams() instead.
+  std::array<StreamMask, 2> custom_streams{};
 };
 
 /// A root->sink path through the graph, by node index.

@@ -24,18 +24,18 @@ void DiagnosticSink::Add(Diagnostic d) {
 void DiagnosticSink::Error(std::string code, SourceSpan span,
                            std::string message, std::string fixit) {
   Add({std::move(code), Severity::kError, span, std::move(message),
-       std::move(fixit)});
+       std::move(fixit), ""});
 }
 
 void DiagnosticSink::Warning(std::string code, SourceSpan span,
                              std::string message, std::string fixit) {
   Add({std::move(code), Severity::kWarning, span, std::move(message),
-       std::move(fixit)});
+       std::move(fixit), ""});
 }
 
 void DiagnosticSink::Note(std::string code, SourceSpan span,
                           std::string message) {
-  Add({std::move(code), Severity::kNote, span, std::move(message), ""});
+  Add({std::move(code), Severity::kNote, span, std::move(message), "", ""});
 }
 
 Severity DiagnosticSink::max_severity() const {
@@ -116,6 +116,9 @@ std::string RenderDiagnostic(const Diagnostic& d,
   if (!d.fixit.empty()) {
     out += "  fix-it: replace with '" + d.fixit + "'\n";
   }
+  if (!d.detail.empty()) {
+    out += "  note: " + d.detail + "\n";
+  }
   return out;
 }
 
@@ -175,7 +178,7 @@ std::string FormatDiagnosticsJson(const DiagnosticSink& sink) {
            std::to_string(d.span.col) + ",\"length\":" +
            std::to_string(d.span.length) + ",\"message\":\"" +
            JsonEscape(d.message) + "\",\"fixit\":\"" + JsonEscape(d.fixit) +
-           "\"}";
+           "\",\"detail\":\"" + JsonEscape(d.detail) + "\"}";
   }
   out += first ? "]" : "\n]";
   out += ",\"errors\":" + std::to_string(sink.error_count()) +

@@ -35,7 +35,8 @@ struct Diagnostic {
   Severity severity = Severity::kError;
   SourceSpan span;
   std::string message;
-  std::string fixit;  ///< Suggested replacement for the span; empty = none.
+  std::string fixit;   ///< Suggested replacement for the span; empty = none.
+  std::string detail;  ///< Secondary "note:" line (evidence); empty = none.
 };
 
 /// Collects diagnostics across a whole run. Front-ends emit into a sink and
@@ -95,7 +96,8 @@ std::string RenderDiagnostics(const DiagnosticSink& sink,
 
 /// Stable machine-readable form for CI:
 ///   {"diagnostics":[{"code":...,"severity":...,"line":...,"col":...,
-///    "length":...,"message":...,"fixit":...}],"errors":N,"warnings":M}
+///    "length":...,"message":...,"fixit":...,"detail":...}],
+///    "errors":N,"warnings":M}
 std::string FormatDiagnosticsJson(const DiagnosticSink& sink);
 
 std::vector<std::string> SplitLines(const std::string& text);

@@ -1,0 +1,86 @@
+// Interval abstract domain for the domino-verify pass (DESIGN.md §12).
+//
+// An Interval is a closed, possibly unbounded range [lo, hi] of doubles —
+// the abstraction of "every value this subexpression can take on any real
+// window". Three-valued truth (Tri) is the abstraction of booleans:
+// comparisons over intervals decide to kTrue/kFalse only when the ranges
+// force it, and stay kMaybe otherwise, so the verifier can never flag a
+// condition that real data could still satisfy (soundness = no false
+// positives). Constraint adds open/closed bounds for the chain-implication
+// check (DL405): `x > 200` implies `x > 100` iff the allowed set of the
+// former is contained in the latter's.
+#pragma once
+
+#include <string>
+
+namespace domino::analysis::lint {
+
+/// Closed interval over the extended reals. The default is top (-inf, inf).
+/// Empty intervals are never represented: operations keep lo <= hi.
+struct Interval {
+  double lo;
+  double hi;
+
+  Interval();                     ///< Top: (-inf, +inf).
+  Interval(double l, double h);   ///< [l, h]; swaps when l > h.
+  static Interval Exact(double v) { return {v, v}; }
+
+  [[nodiscard]] bool IsExact() const { return lo == hi; }
+  [[nodiscard]] bool Contains(double v) const { return lo <= v && v <= hi; }
+  /// Smallest interval containing this one and `v`.
+  [[nodiscard]] Interval HullWith(double v) const;
+  [[nodiscard]] bool operator==(const Interval&) const = default;
+};
+
+Interval Union(const Interval& a, const Interval& b);
+
+/// Interval arithmetic. Any bound arithmetic that produces NaN (inf - inf
+/// and the like) widens to top — always sound, never precise at any cost.
+Interval Add(const Interval& a, const Interval& b);
+Interval Sub(const Interval& a, const Interval& b);
+Interval Mul(const Interval& a, const Interval& b);
+Interval Neg(const Interval& a);
+/// Division by an exact nonzero constant; anything else returns top (the
+/// DSL's division is guarded — x / 0 evaluates to 0 — so a divisor range
+/// containing 0 cannot be inverted soundly).
+Interval Div(const Interval& a, const Interval& b);
+
+/// "[lo, hi]" with %g-formatted bounds, for diagnostics.
+std::string FormatInterval(const Interval& r);
+
+/// Three-valued truth: the abstraction of a boolean over all windows.
+enum class Tri { kFalse, kTrue, kMaybe };
+
+Tri TriNot(Tri a);
+Tri TriAnd(Tri a, Tri b);
+Tri TriOr(Tri a, Tri b);
+
+/// Truth of a scalar used as a condition (nonzero = true).
+Tri Truth(const Interval& r);
+
+enum class CmpOp { kLt, kGt, kLe, kGe, kEq, kNe };
+
+/// Abstract comparison: kTrue/kFalse only when every pair of values drawn
+/// from the two intervals agrees.
+Tri FoldCmp(CmpOp op, const Interval& a, const Interval& b);
+
+/// Solution set of `x OP c` with open/closed bounds, for implication
+/// reasoning. FromCmp builds it; Implies is set containment.
+struct Constraint {
+  double lo;
+  bool lo_strict = false;  ///< true: x > lo, false: x >= lo.
+  double hi;
+  bool hi_strict = false;  ///< true: x < hi, false: x <= hi.
+
+  Constraint();  ///< Unconstrained.
+  static Constraint FromCmp(CmpOp op, double c);
+
+  /// Every x satisfying this also satisfies `weaker` (containment).
+  [[nodiscard]] bool Implies(const Constraint& weaker) const;
+  /// Conjunction of two constraints on the same quantity. May produce an
+  /// empty set (lo > hi); IsEmpty then holds.
+  [[nodiscard]] Constraint Intersect(const Constraint& other) const;
+  [[nodiscard]] bool IsEmpty() const;
+};
+
+}  // namespace domino::analysis::lint

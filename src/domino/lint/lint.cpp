@@ -76,11 +76,39 @@ void PromoteWarnings(DiagnosticSink& sink) {
   sink = std::move(promoted);
 }
 
+namespace {
+
+/// Span of a node's declaration, or an empty span without a map entry.
+SourceSpan NodeDeclSpan(const GraphSpans* spans, const std::string& name) {
+  if (spans != nullptr) {
+    auto it = spans->nodes.find(name);
+    if (it != spans->nodes.end()) return it->second;
+  }
+  return {};
+}
+
+}  // namespace
+
 void LintGraph(const CausalGraph& graph, DiagnosticSink& sink,
-               bool check_kinds) {
+               bool check_kinds, const GraphSpans* spans) {
   std::vector<int> cycle = graph.FindCycle();
   if (!cycle.empty()) {
-    sink.Error("DL301", {},
+    // Attribute the cycle to the last declaration contributing one of its
+    // edges (the earlier chains were fine on their own).
+    SourceSpan span{};
+    if (spans != nullptr) {
+      for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+        auto it = spans->edges.find(
+            {graph.node(cycle[i]).name, graph.node(cycle[i + 1]).name});
+        if (it == spans->edges.end()) continue;
+        const SourceSpan& s = it->second;
+        if (s.line > span.line ||
+            (s.line == span.line && s.col > span.col)) {
+          span = s;
+        }
+      }
+    }
+    sink.Error("DL301", span,
                "causal graph has a cycle: " + FormatPath(graph, cycle));
     return;  // chains (and thus dead nodes) are undefined under a cycle
   }
@@ -90,13 +118,13 @@ void LintGraph(const CausalGraph& graph, DiagnosticSink& sink,
       for (int v : graph.adjacency()[u]) {
         const Node& to = graph.node(v);
         if (to.kind == NodeKind::kCause) {
-          sink.Warning("DL302", {},
+          sink.Warning("DL302", NodeDeclSpan(spans, to.name),
                        "'" + to.name + "' is a " + KindName(to.kind) +
                            " but has an incoming edge from '" + from.name +
                            "'");
         }
         if (from.kind == NodeKind::kConsequence) {
-          sink.Warning("DL302", {},
+          sink.Warning("DL302", NodeDeclSpan(spans, from.name),
                        "'" + from.name + "' is a " + KindName(from.kind) +
                            " but has an outgoing edge to '" + to.name +
                            "'; chain enumeration stops at the first "
@@ -110,12 +138,15 @@ void LintGraph(const CausalGraph& graph, DiagnosticSink& sink,
     for (int n : chain) on_chain[static_cast<std::size_t>(n)] = 1;
   }
   for (std::size_t i = 0; i < graph.node_count(); ++i) {
-    if (!on_chain[i]) {
-      sink.Warning("DL303", {},
-                   "node '" + graph.node(static_cast<int>(i)).name +
-                       "' is dead: it sits on no cause -> consequence "
-                       "chain");
-    }
+    if (on_chain[i]) continue;
+    const std::string& name = graph.node(static_cast<int>(i)).name;
+    // With declaration spans, report only declared nodes: dead base-graph
+    // nodes are the base's problem, not this config's.
+    if (spans != nullptr && !spans->nodes.count(name)) continue;
+    sink.Warning("DL303", NodeDeclSpan(spans, name),
+                 "node '" + name +
+                     "' is dead: it sits on no cause -> consequence "
+                     "chain");
   }
 }
 
@@ -222,48 +253,28 @@ LintResult LintConfigText(const std::string& text, const LintOptions& opts) {
     }
   }
 
+  if (opts.verify) {
+    VerifyConfig(cfg, sink, opts.verify_options);
+  }
+
   if (!sink.has_errors() && opts.check_graph && !cfg.chains.empty()) {
     CausalGraph g = base;
     ExtendGraphUnchecked(g, cfg, opts.thresholds);
-    std::vector<int> cycle = g.FindCycle();
-    if (!cycle.empty()) {
-      // Attribute the cycle to a chain that contributes one of its edges.
-      std::set<std::pair<int, int>> cycle_edges;
-      for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
-        cycle_edges.emplace(cycle[i], cycle[i + 1]);
-      }
-      SourceSpan span{};
-      for (const auto& chain : cfg.chains) {
-        for (std::size_t i = 0; i + 1 < chain.nodes.size(); ++i) {
-          int f = g.FindNode(chain.nodes[i]);
-          int t = g.FindNode(chain.nodes[i + 1]);
-          if (cycle_edges.count({f, t})) span = chain.name_span;
-        }
-      }
-      sink.Error("DL301", span,
-                 "chains form a cycle: " + FormatPath(g, cycle));
-    } else {
-      std::vector<char> on_chain(g.node_count(), 0);
-      for (const auto& path : g.EnumerateChains()) {
-        for (int n : path) on_chain[static_cast<std::size_t>(n)] = 1;
-      }
-      std::set<std::string> reported;
-      for (const auto& chain : cfg.chains) {
-        for (std::size_t i = 0; i < chain.nodes.size(); ++i) {
-          const std::string& node = chain.nodes[i];
-          int idx = g.FindNode(node);
-          if (idx < 0 || on_chain[static_cast<std::size_t>(idx)]) continue;
-          if (!reported.insert(node).second) continue;
-          SourceSpan span = i < chain.node_spans.size()
-                                ? chain.node_spans[i]
-                                : chain.name_span;
-          sink.Warning("DL303", span,
-                       "node '" + node +
-                           "' is dead: it sits on no cause -> consequence "
-                           "chain");
+    // Thread the chain declarations' source locations into the graph pass
+    // so DL301/DL303 point at real config lines.
+    GraphSpans spans;
+    for (const auto& chain : cfg.chains) {
+      for (std::size_t i = 0; i < chain.nodes.size(); ++i) {
+        SourceSpan span = i < chain.node_spans.size() ? chain.node_spans[i]
+                                                      : chain.name_span;
+        spans.nodes.emplace(chain.nodes[i], span);
+        if (i + 1 < chain.nodes.size()) {
+          spans.edges[{chain.nodes[i], chain.nodes[i + 1]}] =
+              chain.name_span;
         }
       }
     }
+    LintGraph(g, sink, /*check_kinds=*/false, &spans);
   }
 
   sink.SortByPosition();

@@ -91,6 +91,19 @@ constexpr FixtureCase kFixtures[] = {
     {"dl301_cycle.domino", "DL301", Severity::kError, 3, 7, ""},
     {"dl302_role_conflict.domino", "DL302", Severity::kWarning, 2, 22, ""},
     {"dl303_dead_node.domino", "DL303", Severity::kWarning, 3, 33, ""},
+    {"dl401_unsat_range.domino", "DL401", Severity::kError, 2, 25, ""},
+    {"dl401_unsat_conjunction.domino", "DL401", Severity::kError, 2, 22, ""},
+    {"dl402_tautology.domino", "DL402", Severity::kWarning, 2, 18, ""},
+    {"dl403_unit_mismatch.domino", "DL403", Severity::kWarning, 2, 14, ""},
+    {"dl404_dead_threshold.domino", "DL404", Severity::kWarning, 2, 18, ""},
+    {"dl404_negative_threshold.domino", "DL404", Severity::kWarning, 2, 20,
+     ""},
+    {"dl405_shadowed_chain.domino", "DL405", Severity::kWarning, 6, 7, ""},
+    {"dl406_stream_mismatch.domino", "DL406", Severity::kWarning, 2, 29,
+     "requires packets"},
+    {"dl406_unknown_stream.domino", "DL406", Severity::kError, 2, 28, "dci"},
+    {"dl407_window_too_narrow.domino", "DL407", Severity::kWarning, 3, 21,
+     ""},
 };
 
 TEST(LintFixtureTest, EveryCatalogCodeHasAFixtureThatTriggersIt) {
@@ -149,10 +162,10 @@ TEST(LintTest, JsonFormatIsStable) {
       "{\"diagnostics\":[\n"
       "  {\"code\":\"DL211\",\"severity\":\"warning\",\"line\":1,\"col\":7,"
       "\"length\":1,\"message\":\"event 'e' is defined but never used in a "
-      "chain\",\"fixit\":\"\"},\n"
+      "chain\",\"fixit\":\"\",\"detail\":\"\"},\n"
       "  {\"code\":\"DL102\",\"severity\":\"error\",\"line\":1,\"col\":18,"
       "\"length\":3,\"message\":\"unknown 5G series 'owd' in scope 'fwd'; "
-      "did you mean 'owd_ms'?\",\"fixit\":\"owd_ms\"}\n"
+      "did you mean 'owd_ms'?\",\"fixit\":\"owd_ms\",\"detail\":\"\"}\n"
       "],\"errors\":1,\"warnings\":1}\n";
   EXPECT_EQ(FormatDiagnosticsJson(res.sink), expected);
 }
@@ -321,6 +334,26 @@ TEST(SuggestTest, DidYouMeanFindsCloseAndPrefixMatches) {
   EXPECT_EQ(DidYouMean("owd", series), "owd_ms");      // prefix bonus
   EXPECT_EQ(DidYouMean("owd_mss", series), "owd_ms");  // 1 edit
   EXPECT_EQ(DidYouMean("zzzzzz", series), "");         // nothing close
+}
+
+TEST(SuggestTest, DidYouMeanHandlesDegenerateInputs) {
+  EXPECT_EQ(DidYouMean("anything", {}), "");  // empty candidate set
+  EXPECT_EQ(DidYouMean("", {"a", "b"}), "");  // empty word never matches
+  // A candidate equal to the word is excluded (no self-suggestions).
+  EXPECT_EQ(DidYouMean("mcs", {"mcs"}), "");
+  // One-character names: the minimum budget of 2 still admits close hits,
+  // and a 1-char prefix relationship counts.
+  EXPECT_EQ(DidYouMean("x", {"xy"}), "xy");
+  EXPECT_EQ(DidYouMean("q", {"abcdef"}), "");
+}
+
+TEST(SuggestTest, DidYouMeanTieBreakIsFirstCandidateWins) {
+  // "ax" and "ay" are both one substitution from "az"; the suggestion must
+  // be deterministic across runs — strictly-better-only keeps the first.
+  EXPECT_EQ(DidYouMean("az", {"ax", "ay"}), "ax");
+  EXPECT_EQ(DidYouMean("az", {"ay", "ax"}), "ay");
+  // A strictly closer later candidate still wins the earlier one.
+  EXPECT_EQ(DidYouMean("owd_m", {"app_bitrate", "owd_ms"}), "owd_ms");
 }
 
 }  // namespace

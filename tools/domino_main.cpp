@@ -40,11 +40,16 @@
 //       (Fig. 11); writes to stdout by default.
 //
 //   domino lint <config_file> [--strict] [--format json] [--no-default-graph]
+//               [--no-verify] [--window SEC]
 //       Statically analyse a config with domino-lint: reports every problem
 //       in one run (compiler-style, with source excerpts and fix-its), or as
-//       a stable JSON document for CI. Exit code is the highest severity
-//       found (0 clean, 1 warnings, 2 errors); --strict promotes warnings
-//       to errors. "domino --lint <file>" is an alias.
+//       a stable JSON document for CI. Includes the domino-verify semantic
+//       pass (DL401-DL407: satisfiability, units, ranges, shadowed chains,
+//       stream declarations, window budgets) unless --no-verify; --window
+//       sets the analysis window the DL407 sample budgets assume. Exit code
+//       is the highest severity found (0 clean, 1 warnings, 2 errors);
+//       --strict promotes warnings to errors. "domino --lint <file>" is an
+//       alias.
 //   domino live <dataset_dir>... [--state DIR] [--follow] [--naive]
 //               [--chunk-s SEC] [--horizon-s SEC] [--stall-deadline-s SEC]
 //               [--max-backlog N] [--checkpoint-every N] [--sequential]
@@ -70,6 +75,7 @@
 #include <chrono>
 #include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -134,6 +140,7 @@ void PrintUsage(std::FILE* to) {
                "  domino codegen <config_file> [-o FILE]\n"
                "  domino lint <config_file> [--strict] [--format json]"
                " [--no-default-graph]\n"
+               "              [--no-verify] [--window SEC]\n"
                "  domino --help | --version\n"
                "cells: tmobile-fdd15 tmobile-tdd100 amarisoft mosolabs"
                " wired\n");
@@ -273,13 +280,27 @@ int CmdLint(std::vector<std::string> args, const MainOptions& mo) {
   bool strict = false;
   bool json = false;
   bool no_default_graph = false;
+  bool no_verify = false;
+  double window_s = 0;
   if (auto fmt = TakeFlag(args, "--format")) json = (*fmt == "json");
+  if (auto win = TakeFlag(args, "--window")) {
+    char* rest = nullptr;
+    window_s = std::strtod(win->c_str(), &rest);
+    if (rest == win->c_str() || *rest != '\0' || window_s <= 0) {
+      std::fprintf(stderr, "bad --window '%s' (want seconds > 0)\n",
+                   win->c_str());
+      return 2;
+    }
+  }
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--strict") {
       strict = true;
       it = args.erase(it);
     } else if (*it == "--no-default-graph") {
       no_default_graph = true;
+      it = args.erase(it);
+    } else if (*it == "--no-verify") {
+      no_verify = true;
       it = args.erase(it);
     } else {
       ++it;
@@ -292,6 +313,8 @@ int CmdLint(std::vector<std::string> args, const MainOptions& mo) {
 
   analysis::lint::LintOptions opts;
   opts.use_default_graph = !no_default_graph;
+  opts.verify = !no_verify;
+  if (window_s > 0) opts.verify_options.window_ms = window_s * 1000.0;
   analysis::lint::LintResult res =
       analysis::lint::LintConfigText(*text, opts);
   if (strict) analysis::lint::PromoteWarnings(res.sink);
@@ -505,6 +528,8 @@ int CmdAnalyze(std::vector<std::string> args, const MainOptions& mo) {
     } else {
       analysis::lint::LintOptions lopts;
       lopts.thresholds = cfg.thresholds;
+      // DL407 sample budgets should reflect the window actually analysed.
+      lopts.verify_options.window_ms = cfg.window.millis();
       analysis::lint::LintResult lres =
           analysis::lint::LintConfigText(*text, lopts);
       if (cfg.lint == LintMode::kStrict) {

@@ -6,7 +6,10 @@
 #
 # 1. domino-lint: every shipped example config must lint clean under
 #    --strict (exit 0), and every fixture in examples/configs/bad/ must be
-#    flagged (non-zero exit) — the bad corpus is the catalog's living spec.
+#    flagged with the DLNNN code its filename is prefixed with (checked in
+#    the --format json output) — the bad corpus is the catalog's living
+#    spec, covering the parser (DL0xx/DL1xx), config structure (DL2xx),
+#    graph (DL3xx), and the domino-verify pass (DL4xx).
 # 2. clang-tidy over src/ and tools/ when a compile database and the tool
 #    are available; skipped with a note otherwise (the container used for
 #    the tier-1 gate does not ship clang-tidy).
@@ -36,14 +39,27 @@ for cfg in "$repo_root"/examples/configs/*.domino; do
   fi
 done
 
-echo "== domino-lint: bad fixtures must be flagged =="
+echo "== domino-lint: bad fixtures must be flagged with their own code =="
 for cfg in "$repo_root"/examples/configs/bad/*.domino; do
   [ -e "$cfg" ] || continue
   if "$domino" lint "$cfg" --strict > /dev/null 2>&1; then
     echo "  FAIL  $cfg (linted clean; fixture should trigger its code)"
     fail=1
+    continue
+  fi
+  # Fixtures are named dlNNN_<slug>.domino after the diagnostic they exist
+  # to trigger; failing for some *other* reason must not count, so assert
+  # the code itself appears in the machine-readable output.
+  code=$(basename "$cfg" | sed -n 's/^\(dl[0-9][0-9]*\)_.*/\1/p' |
+         tr '[:lower:]' '[:upper:]')
+  if [ -z "$code" ]; then
+    echo "  OK    $cfg (unprefixed fixture; any diagnostic accepted)"
+  elif "$domino" lint "$cfg" --format json 2> /dev/null |
+       grep -q "\"code\":\"$code\""; then
+    echo "  OK    $cfg ($code)"
   else
-    echo "  OK    $cfg"
+    echo "  FAIL  $cfg (no $code diagnostic in --format json output)"
+    fail=1
   fi
 done
 
