@@ -14,6 +14,7 @@
 #include "domino/report.h"
 #include "domino/streaming.h"
 #include "domino/expr.h"
+#include "domino/runtime/fleet.h"
 #include "domino/runtime/live.h"
 #include "telemetry/binfmt.h"
 #include "telemetry/fault_inject.h"
@@ -297,6 +298,53 @@ void BM_LivePipeline(benchmark::State& state) {
       benchmark::Counter(trace_seconds, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_LivePipeline)->Unit(benchmark::kMillisecond);
+
+/// Fleet supervision overhead: 4 sessions over a 2-worker pool, as `domino
+/// serve` runs them (admission control, outcome collection, report
+/// aggregation — no faults injected). sessions_per_s is fleet throughput;
+/// p99_latency_s is the slowest session's end-to-end supervised latency.
+void BM_FleetThroughput(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  constexpr int kSessions = 4;
+  const std::string root =
+      (fs::temp_directory_path() / "domino_bench_fleet").string();
+  std::vector<runtime::SessionSpec> specs(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    const std::string dir = root + "/d" + std::to_string(i);
+    telemetry::SaveDataset(
+        RunCall(sim::Amarisoft(), Seconds(10), 40 + i), dir);
+    specs[static_cast<std::size_t>(i)].dataset_dir = dir;
+  }
+  runtime::LiveOptions opts;
+  opts.quiet = true;
+  opts.detector.extract_features = false;
+  runtime::FleetOptions fopts;
+  fopts.workers = 2;
+  fopts.global_backlog_windows = 256;
+  double sessions = 0;
+  double p99 = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kSessions; ++i) {
+      specs[static_cast<std::size_t>(i)].state_dir =
+          root + "/s" + std::to_string(i);
+      fs::remove_all(specs[static_cast<std::size_t>(i)].state_dir);
+    }
+    runtime::FleetSupervisor sup(
+        specs, analysis::CausalGraph::Default(opts.detector.thresholds),
+        opts, fopts);
+    runtime::FleetReport report = sup.Run();
+    benchmark::DoNotOptimize(report);
+    sessions += static_cast<double>(report.completed);
+    p99 = runtime::LatencyPercentile(report.session_latency_s, 99);
+  }
+  fs::remove_all(root);
+  state.counters["sessions_per_s"] =
+      benchmark::Counter(sessions, benchmark::Counter::kIsRate);
+  state.counters["p99_latency_s"] = benchmark::Counter(p99);
+}
+// Real time, not CPU time: the sessions run on pool workers, so the main
+// thread's CPU clock sees almost none of the work.
+BENCHMARK(BM_FleetThroughput)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -4,6 +4,12 @@
 #include <fstream>
 #include <sstream>
 
+#if !defined(_WIN32)
+#include <cerrno>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace domino::runtime {
 
 namespace {
@@ -233,15 +239,59 @@ bool ParseCheckpoint(const std::string& text,
 }
 
 bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path) {
+  // Durability, not just atomicity: temp + rename alone survives SIGKILL
+  // but not power loss — the rename can hit the journal before the data
+  // blocks do, leaving a correctly-named empty/torn file after the crash.
+  // So: write temp, fsync the temp *file*, rename, then fsync the
+  // *directory* so the rename itself is durable. Any failure before the
+  // rename leaves the previous checkpoint untouched (the API contract).
   const std::string tmp = path + ".tmp";
+  const std::string body = FormatCheckpoint(cp);
+#if defined(_WIN32)
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (!f) return false;
-    f << FormatCheckpoint(cp);
+    f << body;
     f.flush();
     if (!f) return false;
   }
   return std::rename(tmp.c_str(), path.c_str()) == 0;
+#else
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < body.size()) {
+    const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Directory fsync makes the rename durable. Best-effort: some
+  // filesystems refuse O_DIRECTORY fsync, and by this point the new
+  // checkpoint is already valid-or-previous under SIGKILL either way.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+#endif
 }
 
 bool LoadCheckpoint(const std::string& path,

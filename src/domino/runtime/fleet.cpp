@@ -1,0 +1,666 @@
+#include "domino/runtime/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "domino/report.h"
+#include "domino/runtime/live.h"
+
+#if !defined(_WIN32)
+#include <cerrno>
+#include <csignal>
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace domino::runtime {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+long BackoffDelayMs(int next_attempt, long base_ms, long cap_ms) {
+  if (next_attempt <= 1 || base_ms <= 0) return 0;
+  long delay = base_ms;
+  // next_attempt == 2 is the first retry: base * 2^0.
+  for (int i = 2; i < next_attempt; ++i) {
+    if (cap_ms > 0 && delay >= cap_ms) break;
+    if (delay > std::numeric_limits<long>::max() / 2) {
+      delay = std::numeric_limits<long>::max();
+      break;
+    }
+    delay *= 2;
+  }
+  if (cap_ms > 0) delay = std::min(delay, cap_ms);
+  return delay;
+}
+
+long EffectiveBacklogWindows(long session_budget, long global_budget,
+                             int workers, long tenant_budget,
+                             int tenant_sessions) {
+  // The shares are fixed at session setup (K workers, the tenant's session
+  // count in the spec list) — never derived from runtime concurrency — so
+  // the budget a session runs with, and therefore what it sheds, is a pure
+  // function of the fleet configuration.
+  long best = 0;
+  auto consider = [&best](long budget) {
+    if (budget <= 0) return;
+    if (best == 0 || budget < best) best = budget;
+  };
+  consider(session_budget);
+  if (global_budget > 0) {
+    consider(std::max(1L, global_budget / std::max(1, workers)));
+  }
+  if (tenant_budget > 0) {
+    consider(std::max(1L, tenant_budget / std::max(1, tenant_sessions)));
+  }
+  return best;
+}
+
+double LatencyPercentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const auto n = static_cast<double>(samples.size());
+  auto rank = static_cast<std::size_t>(std::ceil(clamped / 100.0 * n));
+  if (rank > 0) --rank;
+  if (rank >= samples.size()) rank = samples.size() - 1;
+  return samples[rank];
+}
+
+namespace {
+
+const char* IsolateName(IsolationMode m) {
+  return m == IsolationMode::kProcess ? "process" : "thread";
+}
+
+/// What one attempt of one session produced.
+struct AttemptResult {
+  bool ok = false;
+  bool cancelled = false;  ///< The wall-clock deadline fired.
+  std::string error;
+  LiveSummary summary;  ///< Valid when ok (thread isolation only; process
+                        ///< isolation reconstructs from the checkpoint).
+  int exit_code = -1;
+  int term_signal = 0;
+};
+
+}  // namespace
+
+struct FleetSupervisor::Impl {
+  std::vector<SessionSpec> specs;  ///< state_dir resolved, never empty.
+  analysis::CausalGraph graph;
+  FleetOptions fleet;
+  std::vector<LiveOptions> session_opts;
+  std::vector<int> session_max_attempts;
+  int workers = 0;
+  bool ran = false;
+
+  struct SessionState {
+    int attempts = 0;
+    bool deadline_exceeded = false;
+    bool admitted = false;
+    Clock::time_point admitted_at{};
+    double latency_s = 0;
+    SessionOutcome outcome;
+  };
+  std::vector<SessionState> state;
+
+  struct Task {
+    std::size_t idx = 0;
+    Clock::time_point not_before{};
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Task> queue;
+  std::size_t open_sessions = 0;  ///< Sessions not yet terminal.
+  bool done = false;
+
+  /// Per-worker deadline slot, armed around each thread-isolation attempt
+  /// and polled by the monitor thread. One attempt per worker at a time,
+  /// so the worker's cancel token can be handed to the runner directly.
+  struct WorkerSlot {
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> armed{false};
+    std::atomic<long long> deadline_ms{0};  ///< Clock epoch, milliseconds.
+  };
+  std::vector<std::unique_ptr<WorkerSlot>> slots;
+  std::atomic<bool> monitor_stop{false};
+
+  void WorkerLoop(int worker_id);
+  AttemptResult RunAttemptThread(std::size_t idx, WorkerSlot& slot);
+  AttemptResult RunAttemptProcess(std::size_t idx);
+  void MonitorLoop();
+  void Note(const char* fmt, const std::string& dataset,
+            const std::string& detail) const;
+};
+
+void FleetSupervisor::Impl::Note(const char* fmt, const std::string& dataset,
+                                 const std::string& detail) const {
+  if (fleet.quiet) return;
+  std::fprintf(stderr, fmt, dataset.c_str(), detail.c_str());
+}
+
+FleetSupervisor::FleetSupervisor(std::vector<SessionSpec> specs,
+                                 analysis::CausalGraph graph,
+                                 LiveOptions live, FleetOptions fleet)
+    : impl_(new Impl) {
+  if (fleet.max_attempts < 1) {
+    delete impl_;
+    throw std::invalid_argument("fleet: max_attempts must be >= 1");
+  }
+  if (fleet.isolate == IsolationMode::kProcess && fleet.exec_path.empty()) {
+    delete impl_;
+    throw std::invalid_argument(
+        "fleet: process isolation needs an exec path");
+  }
+#if defined(_WIN32)
+  if (fleet.isolate == IsolationMode::kProcess) {
+    delete impl_;
+    throw std::invalid_argument(
+        "fleet: process isolation is not supported on this platform");
+  }
+#endif
+  for (SessionSpec& s : specs) {
+    if (s.state_dir.empty()) s.state_dir = DefaultStateDir(s.dataset_dir);
+  }
+  const auto hw = std::thread::hardware_concurrency();
+  int workers = fleet.workers > 0
+                    ? fleet.workers
+                    : static_cast<int>(std::max(1u, hw));
+  workers = std::max(
+      1, std::min<int>(workers, static_cast<int>(
+                                    std::max<std::size_t>(1, specs.size()))));
+  workers_ = workers;
+
+  // Tenant session counts, for the per-tenant budget shares.
+  std::map<std::string, int> tenant_sessions;
+  for (const SessionSpec& s : specs) ++tenant_sessions[s.tenant];
+
+  impl_->graph = std::move(graph);
+  impl_->workers = workers;
+  impl_->session_opts.reserve(specs.size());
+  impl_->session_max_attempts.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    LiveOptions o = live;
+    const TenantBudget* tb = nullptr;
+    if (auto it = fleet.tenants.find(specs[i].tenant);
+        it != fleet.tenants.end()) {
+      tb = &it->second;
+    }
+    o.max_backlog_windows = EffectiveBacklogWindows(
+        live.max_backlog_windows, fleet.global_backlog_windows, workers,
+        tb != nullptr ? tb->backlog_windows : 0,
+        tenant_sessions[specs[i].tenant]);
+    if (tb != nullptr && tb->has_input) o.input = tb->input;
+    if (i < fleet.chaos.size()) {
+      const SessionChaos& c = fleet.chaos[i];
+      o.chaos_crash_after = c.crash_after;
+      o.chaos_fail_after = c.fail_after;
+      o.chaos_wedge_after = c.wedge_after;
+      if (fleet.isolate == IsolationMode::kThread &&
+          o.chaos_crash_after > 0) {
+        // A real _Exit would take the whole fleet down with it, which is
+        // the documented thread-isolation tradeoff — so in thread mode the
+        // crash hook degrades to the fail hook and one --chaos spec drives
+        // both isolation modes. The degrade applies only to fleet-scheduled
+        // chaos: crash hooks already baked into the shared LiveOptions are
+        // caller-owned (`domino live --chaos-crash` in a process-isolation
+        // child IS the fault domain and must really _Exit).
+        o.chaos_fail_after = o.chaos_fail_after > 0
+                                 ? std::min(o.chaos_fail_after,
+                                            o.chaos_crash_after)
+                                 : o.chaos_crash_after;
+        o.chaos_crash_after = 0;
+      }
+    }
+    impl_->session_opts.push_back(std::move(o));
+    impl_->session_max_attempts.push_back(
+        tb != nullptr && tb->max_attempts > 0 ? tb->max_attempts
+                                              : fleet.max_attempts);
+  }
+  impl_->specs = std::move(specs);
+  impl_->fleet = std::move(fleet);
+}
+
+FleetSupervisor::~FleetSupervisor() { delete impl_; }
+
+const LiveOptions& FleetSupervisor::session_options(std::size_t idx) const {
+  return impl_->session_opts.at(idx);
+}
+
+AttemptResult FleetSupervisor::Impl::RunAttemptThread(std::size_t idx,
+                                                      WorkerSlot& slot) {
+  AttemptResult res;
+  slot.cancel.store(false, std::memory_order_relaxed);
+  if (fleet.session_deadline_s > 0) {
+    const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Clock::now().time_since_epoch())
+                            .count();
+    slot.deadline_ms.store(
+        now_ms + static_cast<long long>(fleet.session_deadline_s * 1000.0),
+        std::memory_order_relaxed);
+    slot.armed.store(true, std::memory_order_release);
+  }
+  LiveOptions o = session_opts[idx];
+  o.cancel = &slot.cancel;
+  try {
+    LiveRunner runner(specs[idx].dataset_dir, specs[idx].state_dir, graph, o);
+    res.summary = runner.Run();
+    res.ok = true;
+  } catch (const std::exception& e) {
+    res.error = e.what();
+  } catch (...) {
+    res.error = "unknown error";
+  }
+  slot.armed.store(false, std::memory_order_release);
+  res.cancelled = slot.cancel.load(std::memory_order_relaxed);
+  return res;
+}
+
+AttemptResult FleetSupervisor::Impl::RunAttemptProcess(std::size_t idx) {
+  AttemptResult res;
+#if defined(_WIN32)
+  res.error = "process isolation unsupported";
+  return res;
+#else
+  const SessionSpec& spec = specs[idx];
+  const LiveOptions& o = session_opts[idx];
+  std::error_code ec;
+  fs::create_directories(spec.state_dir, ec);
+
+  // Child argv and the log path are fully materialised before fork():
+  // between fork and exec in a multithreaded parent only async-signal-safe
+  // calls are allowed (open/dup2/execv/_exit — no allocation).
+  std::vector<std::string> args;
+  args.push_back(fleet.exec_path);
+  args.push_back("live");
+  args.push_back(spec.dataset_dir);
+  args.push_back("--state");
+  args.push_back(spec.state_dir);
+  args.push_back("--quiet");
+  if (o.max_backlog_windows > 0) {
+    args.push_back("--max-backlog");
+    args.push_back(std::to_string(o.max_backlog_windows));
+  }
+  if (o.chaos_crash_after > 0) {
+    args.push_back("--chaos-crash");
+    args.push_back(std::to_string(o.chaos_crash_after));
+  }
+  if (o.chaos_fail_after > 0) {
+    args.push_back("--chaos-fail");
+    args.push_back(std::to_string(o.chaos_fail_after));
+  }
+  if (o.chaos_wedge_after > 0) {
+    args.push_back("--chaos-wedge");
+    args.push_back(std::to_string(o.chaos_wedge_after));
+  }
+  args.push_back("--max-records");
+  args.push_back(std::to_string(o.input.max_records));
+  for (const std::string& a : fleet.child_args) args.push_back(a);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  const std::string log_path = spec.state_dir + "/child.log";
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    res.error = "fork failed";
+    return res;
+  }
+  if (pid == 0) {
+    // Child: stdout/stderr to the per-session log, then become `domino
+    // live`. Async-signal-safe calls only until execv.
+    const int log_fd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (log_fd >= 0) {
+      ::dup2(log_fd, 1);
+      ::dup2(log_fd, 2);
+      if (log_fd > 2) ::close(log_fd);
+    }
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+
+  const bool have_deadline = fleet.session_deadline_s > 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(static_cast<long long>(
+                         fleet.session_deadline_s * 1000.0));
+  int status = 0;
+  bool killed = false;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) break;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      res.error = "waitpid failed";
+      return res;
+    }
+    if (!killed && have_deadline && Clock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      killed = true;
+      res.cancelled = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  if (WIFEXITED(status)) {
+    res.exit_code = WEXITSTATUS(status);
+    if (res.exit_code == 0) {
+      res.ok = true;
+    } else {
+      res.error = "child exited with code " + std::to_string(res.exit_code);
+    }
+  } else if (WIFSIGNALED(status)) {
+    res.term_signal = WTERMSIG(status);
+    res.error = killed ? "live: cancelled (session deadline exceeded)"
+                       : "child killed by signal " +
+                             std::to_string(res.term_signal);
+  } else {
+    res.error = "child ended abnormally";
+  }
+  return res;
+#endif
+}
+
+void FleetSupervisor::Impl::WorkerLoop(int worker_id) {
+  WorkerSlot& slot = *slots[static_cast<std::size_t>(worker_id)];
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      for (;;) {
+        if (done) return;
+        const auto now = Clock::now();
+        std::size_t best = queue.size();
+        auto earliest = Clock::time_point::max();
+        for (std::size_t q = 0; q < queue.size(); ++q) {
+          if (queue[q].not_before <= now) {
+            // Lowest session index wins among the eligible: the admission
+            // order (and with it which sessions a scarce worker pool gets
+            // to first) is spec order, not wake-up luck.
+            if (best == queue.size() ||
+                queue[q].idx < queue[best].idx) {
+              best = q;
+            }
+          } else {
+            earliest = std::min(earliest, queue[q].not_before);
+          }
+        }
+        if (best < queue.size()) {
+          task = queue[best];
+          queue.erase(queue.begin() + static_cast<long>(best));
+          break;
+        }
+        if (earliest == Clock::time_point::max()) {
+          cv.wait(lk);
+        } else {
+          cv.wait_until(lk, earliest);
+        }
+      }
+      SessionState& st = state[task.idx];
+      if (!st.admitted) {
+        st.admitted = true;
+        st.admitted_at = Clock::now();
+      }
+      ++st.attempts;
+    }
+
+    const AttemptResult res =
+        fleet.isolate == IsolationMode::kProcess
+            ? RunAttemptProcess(task.idx)
+            : RunAttemptThread(task.idx, slot);
+
+    std::unique_lock<std::mutex> lk(mu);
+    SessionState& st = state[task.idx];
+    SessionOutcome& out = st.outcome;
+    out.attempts = st.attempts;
+    if (res.cancelled) st.deadline_exceeded = true;
+    out.deadline_exceeded = st.deadline_exceeded;
+    out.exit_code = res.exit_code;
+    out.term_signal = res.term_signal;
+
+    bool terminal = false;
+    if (res.ok) {
+      out.ok = true;
+      out.error.clear();
+      if (fleet.isolate == IsolationMode::kProcess) {
+        // The child's summary died with the child; its final checkpoint
+        // (written by FinishRun) carries the same progress counters.
+        LiveSummary sum;
+        std::int64_t to_us = 0;
+        if (LoadProgressFromState(specs[task.idx].state_dir, &sum, &to_us)) {
+          out.summary = sum;
+          out.checkpointed_to_us = to_us;
+        }
+        out.summary.dataset_dir = specs[task.idx].dataset_dir;
+        out.summary.resumed = st.attempts > 1;
+        out.summary.report_path =
+            specs[task.idx].state_dir + "/live_report.json";
+      } else {
+        out.summary = res.summary;
+      }
+      terminal = true;
+    } else {
+      out.error = res.error;
+      const int budget = session_max_attempts[task.idx];
+      if (st.attempts < budget) {
+        const long delay = BackoffDelayMs(st.attempts + 1, fleet.backoff_ms,
+                                          fleet.backoff_cap_ms);
+        queue.push_back(Task{task.idx,
+                             Clock::now() + std::chrono::milliseconds(delay)});
+        Note("serve[%s]: attempt failed, retrying: %s\n",
+             specs[task.idx].dataset_dir, res.error);
+      } else {
+        out.ok = false;
+        out.quarantined = true;
+        terminal = true;
+        Note("serve[%s]: QUARANTINED: %s\n", specs[task.idx].dataset_dir,
+             res.error);
+      }
+    }
+
+    if (terminal) {
+      st.latency_s =
+          std::chrono::duration<double>(Clock::now() - st.admitted_at)
+              .count();
+      if (!out.ok || out.summary.checkpoints > 0) {
+        // Best-effort partial/final progress from the last checkpoint (for
+        // a failed session this is what the operator gets instead of
+        // nothing — ISSUE 8 satellite 2).
+        if (!out.ok) {
+          LiveSummary sum;
+          std::int64_t to_us = 0;
+          if (LoadProgressFromState(specs[task.idx].state_dir, &sum,
+                                    &to_us)) {
+            sum.dataset_dir = specs[task.idx].dataset_dir;
+            out.summary = sum;
+            out.has_partial = true;
+            out.checkpointed_to_us = to_us;
+          }
+        }
+      }
+      --open_sessions;
+      if (open_sessions == 0) done = true;
+    }
+    cv.notify_all();
+  }
+}
+
+void FleetSupervisor::Impl::MonitorLoop() {
+  // Thread-isolation deadlines: poll every armed worker slot and flip its
+  // cancel token once the wall-clock budget is spent. The runner notices
+  // at its next poll boundary (or inside its wedge/sleep loops) and aborts
+  // the attempt with a "cancelled" error, which escalates into the normal
+  // retry/quarantine path.
+  while (!monitor_stop.load(std::memory_order_acquire)) {
+    const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Clock::now().time_since_epoch())
+                            .count();
+    for (auto& slot : slots) {
+      if (slot->armed.load(std::memory_order_acquire) &&
+          now_ms >= slot->deadline_ms.load(std::memory_order_relaxed)) {
+        slot->cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+FleetReport FleetSupervisor::Run() {
+  Impl& im = *impl_;
+  if (im.ran) throw std::logic_error("fleet: Run() already called");
+  im.ran = true;
+
+  FleetReport report;
+  report.workers = im.workers;
+  report.max_attempts = im.fleet.max_attempts;
+  report.global_backlog_windows = im.fleet.global_backlog_windows;
+  report.isolate = im.fleet.isolate;
+  if (im.specs.empty()) return report;
+
+  im.state.resize(im.specs.size());
+  for (std::size_t i = 0; i < im.specs.size(); ++i) {
+    im.state[i].outcome.dataset_dir = im.specs[i].dataset_dir;
+    im.state[i].outcome.tenant = im.specs[i].tenant;
+    im.queue.push_back(Impl::Task{i, Clock::now()});
+  }
+  im.open_sessions = im.specs.size();
+
+  im.slots.clear();
+  for (int w = 0; w < im.workers; ++w) {
+    im.slots.push_back(std::make_unique<Impl::WorkerSlot>());
+  }
+  std::thread monitor;
+  if (im.fleet.isolate == IsolationMode::kThread &&
+      im.fleet.session_deadline_s > 0) {
+    monitor = std::thread([&im] { im.MonitorLoop(); });
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(im.workers));
+  for (int w = 0; w < im.workers; ++w) {
+    pool.emplace_back([&im, w] { im.WorkerLoop(w); });
+  }
+  for (std::thread& t : pool) t.join();
+  im.monitor_stop.store(true, std::memory_order_release);
+  if (monitor.joinable()) monitor.join();
+
+  for (Impl::SessionState& st : im.state) {
+    report.outcomes.push_back(std::move(st.outcome));
+    report.session_latency_s.push_back(st.latency_s);
+  }
+  for (const SessionOutcome& o : report.outcomes) {
+    report.total_attempts += o.attempts;
+    if (o.ok) {
+      ++report.completed;
+      if (o.attempts > 1) ++report.recovered;
+    }
+    if (o.quarantined) ++report.quarantined;
+    report.total_windows += o.summary.windows;
+    report.total_chains += o.summary.chains;
+    report.total_shed_windows += o.summary.shed_windows;
+  }
+  return report;
+}
+
+std::string FormatFleetReportText(const FleetReport& report) {
+  std::ostringstream os;
+  os << "fleet: " << report.outcomes.size() << " sessions over "
+     << report.workers << " workers (" << IsolateName(report.isolate)
+     << " isolation, max " << report.max_attempts << " attempts";
+  if (report.global_backlog_windows > 0) {
+    os << ", global backlog " << report.global_backlog_windows;
+  }
+  os << ")\n";
+  os << "  completed " << report.completed << " (" << report.recovered
+     << " recovered), quarantined " << report.quarantined << ", "
+     << report.total_attempts << " attempts total\n";
+  os << "  windows " << report.total_windows << ", chains "
+     << report.total_chains << ", shed " << report.total_shed_windows
+     << "\n";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "  session latency p50 %.3fs p99 %.3fs\n",
+                LatencyPercentile(report.session_latency_s, 50),
+                LatencyPercentile(report.session_latency_s, 99));
+  os << buf;
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    const SessionOutcome& o = report.outcomes[i];
+    os << "  [" << i << "] "
+       << (o.ok ? "ok         " : o.quarantined ? "QUARANTINED" : "failed   ")
+       << " " << o.dataset_dir;
+    if (!o.tenant.empty()) os << " tenant=" << o.tenant;
+    os << " attempts=" << o.attempts;
+    if (o.ok || o.has_partial) {
+      os << " windows=" << o.summary.windows
+         << " chains=" << o.summary.chains;
+      if (o.summary.shed_windows > 0) os << " shed=" << o.summary.shed_windows;
+      if (o.has_partial) os << " (partial, up to checkpoint)";
+    }
+    if (o.deadline_exceeded) os << " [deadline exceeded]";
+    if (o.term_signal != 0) os << " [signal " << o.term_signal << "]";
+    if (!o.error.empty()) os << "\n        error: " << o.error;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string BuildFleetReportJson(const FleetReport& report) {
+  using analysis::JsonEscape;
+  // Only wall-clock-free, schedule-invariant quantities: this document is
+  // byte-compared between two runs of the same fleet command, whatever the
+  // worker interleaving. (Notably absent: session latencies — those are
+  // text-report only.)
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"fleet\": {\"sessions\": " << report.outcomes.size()
+     << ", \"workers\": " << report.workers
+     << ", \"max_attempts\": " << report.max_attempts
+     << ", \"global_backlog_windows\": " << report.global_backlog_windows
+     << ", \"isolate\": \"" << IsolateName(report.isolate) << "\"},\n";
+  os << "  \"counts\": {\"completed\": " << report.completed
+     << ", \"recovered\": " << report.recovered
+     << ", \"quarantined\": " << report.quarantined
+     << ", \"total_attempts\": " << report.total_attempts << "},\n";
+  os << "  \"progress\": {\"windows\": " << report.total_windows
+     << ", \"chains\": " << report.total_chains
+     << ", \"shed_windows\": " << report.total_shed_windows << "},\n";
+  os << "  \"sessions\": [";
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    const SessionOutcome& o = report.outcomes[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"dataset\": \""
+       << JsonEscape(o.dataset_dir) << "\", \"tenant\": \""
+       << JsonEscape(o.tenant) << "\", \"ok\": " << (o.ok ? "true" : "false")
+       << ", \"quarantined\": " << (o.quarantined ? "true" : "false")
+       << ", \"deadline_exceeded\": "
+       << (o.deadline_exceeded ? "true" : "false")
+       << ", \"attempts\": " << o.attempts
+       << ", \"exit_code\": " << o.exit_code
+       << ", \"term_signal\": " << o.term_signal
+       << ", \"partial\": " << (o.has_partial ? "true" : "false")
+       << ", \"windows\": " << o.summary.windows
+       << ", \"chains\": " << o.summary.chains
+       << ", \"insufficient_chains\": " << o.summary.insufficient_chains
+       << ", \"shed_windows\": " << o.summary.shed_windows
+       << ", \"checkpoints\": " << o.summary.checkpoints
+       << ", \"checkpointed_to_us\": " << o.checkpointed_to_us
+       << ", \"error\": \"" << JsonEscape(o.error) << "\"}";
+  }
+  os << (report.outcomes.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace domino::runtime

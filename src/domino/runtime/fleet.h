@@ -1,0 +1,193 @@
+// Fault-domain fleet supervision — the `domino serve` runtime.
+//
+// One analysis box watches a fleet of cells: M session directories, far
+// more than the machine has cores or memory for all at once. The
+// FleetSupervisor runs them over a bounded pool of K shared-nothing
+// workers, treating every session as an isolated *fault domain*:
+//
+//  * Retry from checkpoint. A failed session is re-queued with a
+//    deterministic capped exponential backoff and resumes from its last
+//    good checkpoint (the PR-4 kill/resume guarantee: the retried run's
+//    chains.jsonl is byte-identical to an undisturbed one). After
+//    `max_attempts` failures the session is quarantined — recorded with
+//    its attempt count and partial progress, never retried again, never
+//    allowed to wedge a worker forever.
+//
+//  * Wall-clock deadlines. The per-stream watchdog (watchdog.h) works in
+//    trace time and cannot see a session that stops consuming wall time
+//    productively (a wedged filesystem, a live feed that never ends). A
+//    fleet-level `session_deadline` cancels such an attempt — cooperative
+//    cancel token in thread isolation, SIGKILL in process isolation — and
+//    the cancel escalates into the same retry/backoff/quarantine path.
+//
+//  * Admission control & backpressure. `global_backlog_windows` is a
+//    fleet-wide in-flight window budget, divided over the K workers and
+//    intersected with per-tenant and per-session budgets; each admitted
+//    session runs with the resulting `max_backlog_windows`, so overload
+//    sheds windows as explicit "degraded" ranges (live.h backpressure)
+//    instead of OOMing the box. Per-tenant InputLimits bound what any one
+//    tenant's hostile or bloated dataset may allocate.
+//
+//  * Crash containment. In `kProcess` isolation each attempt runs in a
+//    forked child executing `<exec_path> live <dir> ...`; a SIGSEGV or
+//    SIGKILL is recorded (exit status / signal in SessionOutcome) and
+//    retried from the checkpoint without taking down the fleet. Thread
+//    isolation is cheaper but shares one address space — a real crash
+//    there kills everything, which is exactly the tradeoff documented in
+//    DESIGN.md §13.
+//
+// Determinism: outcomes are reported in spec order whatever the worker
+// interleaving, all analysis outputs are pure functions of file content
+// (live.h), and BuildFleetReportJson contains only wall-clock-free fields
+// — two runs over the same datasets and fault schedule are byte-identical.
+// Wall-clock session latency (p50/p99) appears in the *text* report only.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/parse.h"
+#include "domino/graph.h"
+#include "domino/runtime/supervisor.h"
+
+namespace domino::runtime {
+
+/// How a session attempt is executed.
+enum class IsolationMode {
+  kThread,   ///< Attempt runs on the worker thread (shared address space).
+  kProcess,  ///< Attempt runs in a forked+exec'd child (crash containment).
+};
+
+/// Resource budget for one tenant (SessionSpec::tenant). Zero/unset fields
+/// inherit the fleet-wide defaults.
+struct TenantBudget {
+  /// In-flight window budget shared by this tenant's sessions (divided
+  /// evenly across them). 0 = no tenant cap.
+  long backlog_windows = 0;
+  /// Attempt budget override for this tenant's sessions. 0 = inherit.
+  int max_attempts = 0;
+  /// Parse/ingest resource budgets for this tenant's datasets.
+  InputLimits input{};
+  /// Whether `input` above overrides the fleet-wide InputLimits.
+  bool has_input = false;
+};
+
+/// Deterministic chaos hooks for one session (testing / run_fleet.sh).
+/// All fire on a *fresh* (non-resumed) run only, so a retried attempt
+/// resumes from the checkpoint and completes — see LiveOptions.
+struct SessionChaos {
+  long crash_after = 0;  ///< _Exit(137) after Nth checkpoint (process
+                         ///< isolation; degrades to fail_after in threads).
+  long fail_after = 0;   ///< Throw after Nth checkpoint.
+  long wedge_after = 0;  ///< Stop progressing after Nth checkpoint.
+};
+
+struct FleetOptions {
+  /// Worker pool size. 0 = min(#sessions, hardware concurrency).
+  int workers = 0;
+  /// Per-session attempt budget; quarantine after exhaustion. Must be >=1.
+  int max_attempts = 3;
+  /// Retry backoff: attempt n+1 starts backoff_ms * 2^(n-1) ms after
+  /// attempt n failed, capped at backoff_cap_ms.
+  long backoff_ms = 200;
+  long backoff_cap_ms = 5'000;
+  /// Wall-clock budget per attempt; exceeded = cancel-and-retry. 0 = off.
+  double session_deadline_s = 0;
+  /// Fleet-wide in-flight window-backlog budget, divided over the workers
+  /// and intersected with per-session / per-tenant budgets. 0 = off.
+  long global_backlog_windows = 0;
+  IsolationMode isolate = IsolationMode::kThread;
+  /// Binary executed for process isolation (the `domino` CLI). Required
+  /// when isolate == kProcess.
+  std::string exec_path;
+  /// Extra argv appended to every process-isolation child command (the CLI
+  /// forwards its own detector/live flags here so child fingerprints match
+  /// across attempts). The supervisor itself appends the per-session flags:
+  /// --state, --max-backlog, --max-records and the chaos hooks.
+  std::vector<std::string> child_args;
+  /// Per-tenant budgets, keyed by SessionSpec::tenant ("" = untenanted).
+  std::map<std::string, TenantBudget> tenants;
+  /// Per-session chaos hooks, parallel to the spec vector (may be shorter
+  /// or empty = no chaos).
+  std::vector<SessionChaos> chaos;
+  /// Suppress per-attempt progress lines on stderr.
+  bool quiet = true;
+};
+
+struct FleetReport {
+  std::vector<SessionOutcome> outcomes;  ///< Spec order, always complete.
+  int workers = 0;
+  int max_attempts = 0;
+  long global_backlog_windows = 0;
+  IsolationMode isolate = IsolationMode::kThread;
+
+  // Aggregates (derived from outcomes; wall-clock-free).
+  long completed = 0;    ///< ok sessions.
+  long recovered = 0;    ///< ok after >1 attempt.
+  long quarantined = 0;  ///< attempt budget exhausted.
+  long total_attempts = 0;
+  long total_windows = 0;
+  long total_chains = 0;
+  long total_shed_windows = 0;
+
+  /// End-to-end wall-clock latency per session (first admission to final
+  /// outcome, backoff included), spec order. Text report only — never part
+  /// of the byte-compared JSON.
+  std::vector<double> session_latency_s;
+};
+
+/// Deterministic backoff schedule: delay before attempt `next_attempt`
+/// (2-based; the first retry). base * 2^(next_attempt-2), capped.
+long BackoffDelayMs(int next_attempt, long base_ms, long cap_ms);
+
+/// The admission-control budget for one session: the smallest non-zero of
+/// the session's own budget, the global budget's per-worker share, and the
+/// tenant budget's per-session share. 0 = unlimited (all inputs 0).
+long EffectiveBacklogWindows(long session_budget, long global_budget,
+                             int workers, long tenant_budget,
+                             int tenant_sessions);
+
+/// Nearest-rank percentile (p in [0,100]) of a latency sample; 0 on empty.
+double LatencyPercentile(std::vector<double> samples, double p);
+
+/// Human-readable fleet summary, wall-clock latencies included.
+std::string FormatFleetReportText(const FleetReport& report);
+
+/// Stable machine-readable report. Contains only wall-clock-free fields:
+/// byte-identical across reruns over the same datasets + fault schedule.
+std::string BuildFleetReportJson(const FleetReport& report);
+
+class FleetSupervisor {
+ public:
+  /// `graph` and `live` are the shared per-session configuration; every
+  /// attempt gets its own copies (shared-nothing). Throws std::invalid_-
+  /// argument on an unusable FleetOptions (process isolation without an
+  /// exec path, max_attempts < 1).
+  FleetSupervisor(std::vector<SessionSpec> specs,
+                  analysis::CausalGraph graph, LiveOptions live,
+                  FleetOptions fleet);
+  ~FleetSupervisor();
+
+  FleetSupervisor(const FleetSupervisor&) = delete;
+  FleetSupervisor& operator=(const FleetSupervisor&) = delete;
+
+  /// Runs every session to a terminal state (completed or quarantined)
+  /// and returns the report. Never throws for per-session failures; runs
+  /// once per supervisor instance.
+  FleetReport Run();
+
+  /// Resolved pool size (after the 0 = auto default).
+  [[nodiscard]] int workers() const { return workers_; }
+
+  /// The effective LiveOptions session `idx` runs with (admission budgets
+  /// and chaos hooks applied) — exposed for tests.
+  [[nodiscard]] const LiveOptions& session_options(std::size_t idx) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int workers_ = 0;
+};
+
+}  // namespace domino::runtime

@@ -302,13 +302,38 @@ bool LiveRunner::AwaitMeta() {
     // Static datasets either have a meta.csv or never will — fail fast.
     // Only follow mode waits for a writer to produce one.
     if (!opts_.follow) return false;
+    CheckCancel();
     std::this_thread::sleep_for(
         std::chrono::milliseconds(opts_.poll_sleep_ms));
   }
   return false;
 }
 
+void LiveRunner::CheckCancel() const {
+  if (opts_.cancel != nullptr &&
+      opts_.cancel->load(std::memory_order_relaxed)) {
+    throw std::runtime_error("live: cancelled (session deadline exceeded)");
+  }
+}
+
+void LiveRunner::MaybeChaosWedge() {
+  if (resumed_ || opts_.chaos_wedge_after <= 0 ||
+      process_checkpoints_ < opts_.chaos_wedge_after) {
+    return;
+  }
+  // Simulate a session that stops making progress without failing: a dead
+  // live feed, a wedged filesystem. Only the supervisor's wall-clock
+  // deadline (cancel token in thread isolation, SIGKILL in process
+  // isolation) can get a worker back from here.
+  for (;;) {
+    CheckCancel();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
 bool LiveRunner::PollOnce() {
+  CheckCancel();
+  MaybeChaosWedge();
   ++poll_count_;
   limit_ = anchor_ + opts_.chunk * poll_count_;
 
@@ -512,6 +537,19 @@ void LiveRunner::WriteCheckpoint() {
     // would, with no destructors and no flushes beyond what a real crash
     // guarantees.
     std::_Exit(137);
+  }
+  // Fleet chaos hooks: unlike crash_after_checkpoints they fire only on a
+  // fresh (non-resumed) run, so the supervisor's retry — which resumes
+  // from the checkpoint just written — runs clean. That makes these
+  // faults *recoverable* by construction.
+  if (!resumed_ && opts_.chaos_crash_after > 0 &&
+      process_checkpoints_ >= opts_.chaos_crash_after) {
+    std::_Exit(137);
+  }
+  if (!resumed_ && opts_.chaos_fail_after > 0 &&
+      process_checkpoints_ >= opts_.chaos_fail_after) {
+    throw std::runtime_error("live: chaos fault injected after checkpoint " +
+                             std::to_string(process_checkpoints_));
   }
 }
 

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <map>
@@ -88,6 +89,22 @@ struct LiveOptions {
   /// its N-th checkpoint — simulates SIGKILL exactly at a checkpoint
   /// boundary. 0 = off.
   long crash_after_checkpoints = 0;
+  /// Cooperative cancellation: when non-null and set, the runner aborts the
+  /// current attempt with a "cancelled" error at the next poll boundary
+  /// (used by the fleet supervisor's wall-clock session deadlines). The
+  /// pointee must outlive the runner. Not part of the config fingerprint.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Deterministic chaos hooks (fleet chaos harness). Each fires once, on a
+  /// *fresh* run only (`resumed_ == false`), so a retried attempt resumes
+  /// from the checkpoint and runs clean — this is what makes a chaos fault
+  /// "recoverable". Not part of the config fingerprint. 0 = off.
+  long chaos_crash_after = 0;  ///< _Exit(137) after Nth checkpoint of a
+                               ///< fresh run (unlike crash_after_checkpoints
+                               ///< which also fires after a resume).
+  long chaos_fail_after = 0;   ///< Throw after Nth checkpoint of a fresh run.
+  long chaos_wedge_after = 0;  ///< Stop progressing (sleep loop honouring
+                               ///< `cancel`) after Nth checkpoint of a
+                               ///< fresh run.
   /// Suppress per-poll stderr status lines.
   bool quiet = false;
 };
@@ -140,6 +157,11 @@ class LiveRunner {
 
  private:
   bool AwaitMeta();
+  /// Throws "cancelled" when the supervisor's cancel token is set.
+  void CheckCancel() const;
+  /// Chaos hook: after the configured checkpoint count of a fresh run,
+  /// stop progressing (sleep loop honouring the cancel token).
+  void MaybeChaosWedge();
   /// One poll step; returns false when the session is finished.
   bool PollOnce();
   void AdvanceAnalysis(Time advance_to, bool final_poll);

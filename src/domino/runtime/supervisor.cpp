@@ -1,56 +1,54 @@
 #include "domino/runtime/supervisor.h"
 
-#include <exception>
-#include <thread>
+#include "domino/runtime/checkpoint.h"
+#include "domino/runtime/fleet.h"
 
 namespace domino::runtime {
 
-namespace {
-
-SessionOutcome RunOne(const SessionSpec& spec,
-                      const analysis::CausalGraph& graph,
-                      const LiveOptions& opts) {
-  SessionOutcome out;
-  out.dataset_dir = spec.dataset_dir;
-  try {
-    LiveRunner runner(spec.dataset_dir,
-                      spec.state_dir.empty()
-                          ? DefaultStateDir(spec.dataset_dir)
-                          : spec.state_dir,
-                      graph, opts);
-    out.summary = runner.Run();
-    out.ok = true;
-  } catch (const std::exception& e) {
-    out.error = e.what();
-  } catch (...) {
-    out.error = "unknown error";
+bool LoadProgressFromState(const std::string& state_dir, LiveSummary* out,
+                           std::int64_t* checkpointed_to_us) {
+  // An empty expected fingerprint accepts any config's checkpoint: this is
+  // a read-only progress probe, not a resume, so mixing schedules is not a
+  // risk. The checksum still rejects torn/corrupt files.
+  LiveCheckpoint cp;
+  std::string error;
+  CheckpointFailure failure = CheckpointFailure::kNone;
+  if (!LoadCheckpoint(state_dir + "/live.ckpt", /*expected_fingerprint=*/"",
+                      &cp, &error, &failure, InputLimits{})) {
+    return false;
   }
-  return out;
+  LiveSummary sum;
+  sum.polls = cp.poll_count;
+  sum.windows = cp.windows;
+  sum.chains = cp.chains;
+  sum.insufficient_chains = cp.insufficient;
+  sum.resets = cp.resets;
+  sum.checkpoints = cp.checkpoints_written;
+  for (const ShedRange& s : cp.shed) sum.shed_windows += s.windows;
+  for (const StallState& s : cp.stalls) {
+    if (s.stalled) ++sum.stalled_streams;
+  }
+  sum.chains_path = state_dir + "/chains.jsonl";
+  *out = sum;
+  if (checkpointed_to_us != nullptr) {
+    *checkpointed_to_us = cp.next_begin.micros();
+  }
+  return true;
 }
-
-}  // namespace
 
 std::vector<SessionOutcome> RunSessions(const std::vector<SessionSpec>& specs,
                                         const analysis::CausalGraph& graph,
                                         const LiveOptions& opts,
                                         bool parallel) {
-  std::vector<SessionOutcome> outcomes(specs.size());
-  if (!parallel || specs.size() <= 1) {
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      outcomes[i] = RunOne(specs[i], graph, opts);
-    }
-    return outcomes;
-  }
-  // Thread-per-session: each thread owns its outcome slot exclusively;
-  // graph and opts are read-only (every runner copies them at
-  // construction), so there is no cross-session synchronisation at all.
-  std::vector<std::thread> threads;
-  threads.reserve(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    threads.emplace_back([&, i] { outcomes[i] = RunOne(specs[i], graph, opts); });
-  }
-  for (std::thread& t : threads) t.join();
-  return outcomes;
+  // Compatibility shim over the fleet supervisor: one attempt per session
+  // (the historical `domino live` contract — no retries, no deadlines, no
+  // fleet-level budgets), N workers in parallel mode, 1 otherwise.
+  FleetOptions fleet;
+  fleet.workers = parallel ? static_cast<int>(specs.size()) : 1;
+  fleet.max_attempts = 1;
+  fleet.isolate = IsolationMode::kThread;
+  FleetSupervisor sup(specs, graph, opts, fleet);
+  return sup.Run().outcomes;
 }
 
 }  // namespace domino::runtime

@@ -14,6 +14,7 @@
 // N threads' memory.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,14 +26,37 @@ namespace domino::runtime {
 struct SessionSpec {
   std::string dataset_dir;
   std::string state_dir;  ///< Empty = DefaultStateDir(dataset_dir).
+  std::string tenant;     ///< Budget group for fleet mode ("" = untenanted).
 };
 
 struct SessionOutcome {
   std::string dataset_dir;
+  std::string tenant;
   bool ok = false;
   std::string error;    ///< Why the session failed (ok == false).
-  LiveSummary summary;  ///< Valid when ok.
+  LiveSummary summary;  ///< Full summary when ok; best-effort partial
+                        ///< progress reconstructed from the last good
+                        ///< checkpoint when not (see has_partial).
+
+  // Fleet-mode supervision record (FleetSupervisor; RunSessions leaves the
+  // defaults except attempts = 1).
+  int attempts = 0;        ///< Attempts consumed, including the final one.
+  bool quarantined = false;       ///< Attempt budget exhausted.
+  bool deadline_exceeded = false;  ///< Any attempt hit the wall-clock deadline.
+  int exit_code = -1;      ///< Process isolation: child exit code (-1 = n/a).
+  int term_signal = 0;     ///< Process isolation: signal that killed the child.
+  bool has_partial = false;  ///< `summary` carries checkpoint-derived partial
+                             ///< progress for a failed session.
+  /// Trace time the last good checkpoint covers (µs since epoch; 0 = none).
+  std::int64_t checkpointed_to_us = 0;
 };
+
+/// Best-effort partial progress for a failed session: reconstructs a
+/// LiveSummary (windows, chains, shed, checkpoints, ...) from the last good
+/// checkpoint in `state_dir`, if any. Returns false (and leaves `out`
+/// untouched) when no readable checkpoint exists.
+bool LoadProgressFromState(const std::string& state_dir, LiveSummary* out,
+                           std::int64_t* checkpointed_to_us);
 
 /// Runs every session to completion and returns one outcome per spec, in
 /// spec order. Never throws: per-session failures are captured in the

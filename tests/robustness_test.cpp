@@ -6,6 +6,8 @@
 // derive -> detect) and asserts determinism plus naive/incremental parity.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "common/rng.h"
@@ -13,6 +15,7 @@
 #include "domino/detector.h"
 #include "domino/expr.h"
 #include "domino/report.h"
+#include "domino/runtime/fleet.h"
 #include "domino/streaming.h"
 #include "sim/call_session.h"
 #include "sim/cell_config.h"
@@ -443,6 +446,378 @@ TEST(FaultPipelineTest, CleanTraceReportsAreByteIdenticalWithHealth) {
     EXPECT_DOUBLE_EQ(ci.confidence, 1.0);
   }
 }
+
+// --- Fleet-supervisor fault matrix -----------------------------------------------
+//
+// The fault matrix extended to the supervision layer: N sessions where one
+// is poisoned (unreadable meta), one fails mid-run, one wedges, one sits
+// behind a corrupt checkpoint or a truncated CSV. The healthy majority must
+// always finish, recoverable faults must be retried to byte-identical
+// success from their checkpoints, the unrecoverable one must be quarantined
+// with the right attempt count — and all of it deterministically across
+// runs (asserted via the wall-clock-free JSON FleetReport).
+
+namespace fs = std::filesystem;
+
+std::string FleetTempDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("fleet_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string FleetSlurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// One shared 10 s private-cell dataset on disk; sessions share it
+/// read-only and differ only in state dirs and fault schedule.
+const std::string& FleetDatasetDir() {
+  static const std::string dir = [] {
+    sim::SessionConfig cfg;
+    cfg.profile = sim::Amarisoft();
+    cfg.duration = Seconds(10);
+    cfg.seed = 13;
+    std::string d = FleetTempDir("shared_ds");
+    telemetry::SaveDataset(sim::CallSession(cfg).Run(), d);
+    return d;
+  }();
+  return dir;
+}
+
+std::string MakePoisonDir(const std::string& scratch) {
+  const std::string dir = scratch + "/poison";
+  fs::create_directories(dir);
+  std::ofstream(dir + "/meta.csv") << "cell_name,is_private,begin_us,end_us\n";
+  return dir;
+}
+
+runtime::LiveOptions FleetLiveOpts() {
+  runtime::LiveOptions opts;
+  opts.quiet = true;
+  opts.checkpoint_every_windows = 2;  // checkpoints early enough to resume
+  return opts;
+}
+
+runtime::FleetOptions QuietFleet() {
+  runtime::FleetOptions fopts;
+  fopts.quiet = true;
+  fopts.backoff_ms = 5;
+  fopts.backoff_cap_ms = 20;
+  return fopts;
+}
+
+runtime::FleetReport RunFleet(const std::vector<runtime::SessionSpec>& specs,
+                              const runtime::LiveOptions& live,
+                              const runtime::FleetOptions& fopts) {
+  runtime::FleetSupervisor sup(
+      specs, analysis::CausalGraph::Default(live.detector.thresholds), live,
+      fopts);
+  return sup.Run();
+}
+
+TEST(FleetSupervisorTest, BackoffDelayIsCappedExponential) {
+  EXPECT_EQ(runtime::BackoffDelayMs(1, 200, 5000), 0);  // first attempt
+  EXPECT_EQ(runtime::BackoffDelayMs(2, 200, 5000), 200);
+  EXPECT_EQ(runtime::BackoffDelayMs(3, 200, 5000), 400);
+  EXPECT_EQ(runtime::BackoffDelayMs(4, 200, 5000), 800);
+  EXPECT_EQ(runtime::BackoffDelayMs(7, 200, 5000), 5000);  // capped
+  EXPECT_EQ(runtime::BackoffDelayMs(60, 200, 5000), 5000);
+  EXPECT_EQ(runtime::BackoffDelayMs(3, 0, 5000), 0);  // backoff disabled
+  // No overflow however deep the attempt count goes uncapped.
+  EXPECT_GT(runtime::BackoffDelayMs(500, 1000, 0), 0);
+}
+
+TEST(FleetSupervisorTest, EffectiveBacklogPicksSmallestShare) {
+  // Session budget alone.
+  EXPECT_EQ(runtime::EffectiveBacklogWindows(64, 0, 4, 0, 1), 64);
+  // Global budget divided over the workers.
+  EXPECT_EQ(runtime::EffectiveBacklogWindows(0, 64, 4, 0, 1), 16);
+  // Tenant budget divided over the tenant's sessions.
+  EXPECT_EQ(runtime::EffectiveBacklogWindows(0, 0, 4, 30, 3), 10);
+  // Smallest non-zero share wins.
+  EXPECT_EQ(runtime::EffectiveBacklogWindows(64, 40, 4, 30, 3), 10);
+  EXPECT_EQ(runtime::EffectiveBacklogWindows(8, 40, 4, 30, 3), 8);
+  // All unlimited -> unlimited; shares never round down to zero.
+  EXPECT_EQ(runtime::EffectiveBacklogWindows(0, 0, 4, 0, 1), 0);
+  EXPECT_EQ(runtime::EffectiveBacklogWindows(0, 3, 8, 0, 1), 1);
+}
+
+TEST(FleetSupervisorTest, LatencyPercentileUsesNearestRank) {
+  EXPECT_DOUBLE_EQ(runtime::LatencyPercentile({}, 99), 0.0);
+  EXPECT_DOUBLE_EQ(runtime::LatencyPercentile({5.0}, 50), 5.0);
+  std::vector<double> s = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(runtime::LatencyPercentile(s, 50), 2.0);
+  EXPECT_DOUBLE_EQ(runtime::LatencyPercentile(s, 99), 4.0);
+  EXPECT_DOUBLE_EQ(runtime::LatencyPercentile(s, 0), 1.0);
+}
+
+TEST(FleetSupervisorTest, BudgetsThreadThroughSessionOptions) {
+  const std::string scratch = FleetTempDir("budgets");
+  std::vector<runtime::SessionSpec> specs(3);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].dataset_dir = FleetDatasetDir();
+    specs[i].state_dir = scratch + "/s" + std::to_string(i);
+  }
+  specs[0].tenant = "a";
+  specs[1].tenant = "a";
+  specs[2].tenant = "b";
+
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 2;
+  fopts.global_backlog_windows = 100;
+  fopts.tenants["a"].backlog_windows = 20;
+  fopts.tenants["b"].input.max_records = 777;
+  fopts.tenants["b"].has_input = true;
+  fopts.chaos.resize(3);
+  fopts.chaos[2].crash_after = 1;  // thread mode: must degrade to fail
+
+  runtime::FleetSupervisor sup(
+      specs, analysis::CausalGraph::Default({}), FleetLiveOpts(), fopts);
+  // Tenant "a": min(global 100/2 workers = 50, tenant 20/2 sessions = 10).
+  EXPECT_EQ(sup.session_options(0).max_backlog_windows, 10);
+  EXPECT_EQ(sup.session_options(1).max_backlog_windows, 10);
+  // Tenant "b": only the global share applies; InputLimits overridden.
+  EXPECT_EQ(sup.session_options(2).max_backlog_windows, 50);
+  EXPECT_EQ(sup.session_options(2).input.max_records, 777u);
+  EXPECT_EQ(sup.session_options(0).input.max_records,
+            InputLimits{}.max_records);
+  // Thread isolation rewrites the crash hook into the fail hook.
+  EXPECT_EQ(sup.session_options(2).chaos_crash_after, 0);
+  EXPECT_EQ(sup.session_options(2).chaos_fail_after, 1);
+}
+
+TEST(FleetSupervisorTest, PoisonedSessionQuarantinedOthersFinish) {
+  const std::string scratch = FleetTempDir("poison_quarantine");
+  const std::string poison = MakePoisonDir(scratch);
+
+  auto build_specs = [&](const std::string& round) {
+    std::vector<runtime::SessionSpec> specs(4);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      specs[i].dataset_dir = i == 2 ? poison : FleetDatasetDir();
+      specs[i].state_dir =
+          scratch + "/" + round + "_s" + std::to_string(i);
+    }
+    return specs;
+  };
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 2;
+  fopts.max_attempts = 3;
+
+  runtime::FleetReport a = RunFleet(build_specs("a"), FleetLiveOpts(), fopts);
+  runtime::FleetReport b = RunFleet(build_specs("b"), FleetLiveOpts(), fopts);
+
+  ASSERT_EQ(a.outcomes.size(), 4u);
+  EXPECT_EQ(a.completed, 3);
+  EXPECT_EQ(a.quarantined, 1);
+  EXPECT_EQ(a.recovered, 0);
+  for (std::size_t i : {0u, 1u, 3u}) {
+    EXPECT_TRUE(a.outcomes[i].ok) << i << ": " << a.outcomes[i].error;
+    EXPECT_EQ(a.outcomes[i].attempts, 1);
+    EXPECT_GT(a.outcomes[i].summary.windows, 0);
+  }
+  const runtime::SessionOutcome& q = a.outcomes[2];
+  EXPECT_FALSE(q.ok);
+  EXPECT_TRUE(q.quarantined);
+  EXPECT_EQ(q.attempts, 3);  // the full budget, recorded
+  EXPECT_NE(q.error.find("meta.csv"), std::string::npos) << q.error;
+  EXPECT_FALSE(q.has_partial);  // never reached a checkpoint
+
+  // Outcome determinism across runs: the wall-clock-free JSON reports
+  // differ only in the state-scoped dataset paths (none here: sessions
+  // share the dataset dirs), so they must match byte for byte.
+  EXPECT_EQ(runtime::BuildFleetReportJson(a),
+            runtime::BuildFleetReportJson(b));
+}
+
+TEST(FleetSupervisorTest, InjectedFailureRetriedToByteIdenticalSuccess) {
+  const std::string scratch = FleetTempDir("retry_recovers");
+  std::vector<runtime::SessionSpec> specs(2);
+  specs[0].dataset_dir = FleetDatasetDir();
+  specs[0].state_dir = scratch + "/victim";
+  specs[1].dataset_dir = FleetDatasetDir();
+  specs[1].state_dir = scratch + "/twin";
+
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 2;
+  fopts.max_attempts = 3;
+  fopts.chaos.resize(2);
+  fopts.chaos[0].fail_after = 1;  // die right after the first checkpoint
+
+  runtime::FleetReport r = RunFleet(specs, FleetLiveOpts(), fopts);
+  ASSERT_EQ(r.outcomes.size(), 2u);
+  EXPECT_TRUE(r.outcomes[0].ok) << r.outcomes[0].error;
+  EXPECT_EQ(r.outcomes[0].attempts, 2);  // one failure, one clean resume
+  EXPECT_TRUE(r.outcomes[0].summary.resumed);
+  EXPECT_TRUE(r.outcomes[1].ok);
+  EXPECT_EQ(r.outcomes[1].attempts, 1);
+  EXPECT_EQ(r.recovered, 1);
+
+  // The PR-4 guarantee carried up the stack: a retried session's output is
+  // byte-identical to an undisturbed session over the same data.
+  EXPECT_EQ(FleetSlurp(scratch + "/victim/chains.jsonl"),
+            FleetSlurp(scratch + "/twin/chains.jsonl"));
+  EXPECT_EQ(FleetSlurp(scratch + "/victim/live_report.json"),
+            FleetSlurp(scratch + "/twin/live_report.json"));
+}
+
+TEST(FleetSupervisorTest, WedgedSessionCancelledByDeadlineThenRecovers) {
+  const std::string scratch = FleetTempDir("wedge_deadline");
+  std::vector<runtime::SessionSpec> specs(2);
+  specs[0].dataset_dir = FleetDatasetDir();
+  specs[0].state_dir = scratch + "/wedged";
+  specs[1].dataset_dir = FleetDatasetDir();
+  specs[1].state_dir = scratch + "/healthy";
+
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 2;
+  fopts.max_attempts = 3;
+  fopts.session_deadline_s = 1.5;  // trace-time watchdog can't see a wedge
+  fopts.chaos.resize(2);
+  fopts.chaos[0].wedge_after = 1;
+
+  runtime::FleetReport r = RunFleet(specs, FleetLiveOpts(), fopts);
+  ASSERT_EQ(r.outcomes.size(), 2u);
+  const runtime::SessionOutcome& w = r.outcomes[0];
+  EXPECT_TRUE(w.ok) << w.error;
+  EXPECT_EQ(w.attempts, 2);
+  EXPECT_TRUE(w.deadline_exceeded);
+  EXPECT_TRUE(r.outcomes[1].ok);
+  EXPECT_FALSE(r.outcomes[1].deadline_exceeded);
+
+  EXPECT_EQ(FleetSlurp(scratch + "/wedged/chains.jsonl"),
+            FleetSlurp(scratch + "/healthy/chains.jsonl"));
+}
+
+TEST(FleetSupervisorTest, QuarantinedSessionCarriesPartialProgress) {
+  const std::string scratch = FleetTempDir("partial_progress");
+  std::vector<runtime::SessionSpec> specs(1);
+  specs[0].dataset_dir = FleetDatasetDir();
+  specs[0].state_dir = scratch + "/s0";
+
+  // One attempt only: the first post-checkpoint failure is terminal, so the
+  // outcome must surface how far the session got before dying.
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 1;
+  fopts.max_attempts = 1;
+  fopts.chaos.resize(1);
+  fopts.chaos[0].fail_after = 2;
+
+  runtime::FleetReport r = RunFleet(specs, FleetLiveOpts(), fopts);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  const runtime::SessionOutcome& o = r.outcomes[0];
+  EXPECT_FALSE(o.ok);
+  EXPECT_TRUE(o.quarantined);
+  EXPECT_EQ(o.attempts, 1);
+  EXPECT_FALSE(o.error.empty());
+  ASSERT_TRUE(o.has_partial);
+  EXPECT_GT(o.summary.windows, 0);
+  EXPECT_EQ(o.summary.checkpoints, 2);
+  EXPECT_GT(o.checkpointed_to_us, 0);
+}
+
+TEST(FleetSupervisorTest, CorruptCheckpointAndTruncatedCsvDegradeGracefully) {
+  const std::string scratch = FleetTempDir("tolerated_poisons");
+
+  // Session 0 resumes over a corrupt checkpoint: the runner must warn and
+  // start fresh, not fail. Session 1 reads a CSV truncated mid-row: the
+  // tolerant tail reader keeps the good prefix.
+  const std::string trunc_ds = scratch + "/trunc_ds";
+  fs::copy(FleetDatasetDir(), trunc_ds, fs::copy_options::recursive);
+  {
+    const std::string dci = trunc_ds + "/dci.csv";
+    std::string body = FleetSlurp(dci);
+    std::ofstream(dci, std::ios::binary | std::ios::trunc)
+        << body.substr(0, body.size() / 2);
+  }
+  std::vector<runtime::SessionSpec> specs(2);
+  specs[0].dataset_dir = FleetDatasetDir();
+  specs[0].state_dir = scratch + "/s0";
+  specs[1].dataset_dir = trunc_ds;
+  specs[1].state_dir = scratch + "/s1";
+  fs::create_directories(specs[0].state_dir);
+  std::ofstream(specs[0].state_dir + "/live.ckpt")
+      << "domino-live-checkpoint v1\ngarbage\n";
+
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 2;
+  fopts.max_attempts = 2;
+
+  runtime::FleetReport r = RunFleet(specs, FleetLiveOpts(), fopts);
+  ASSERT_EQ(r.outcomes.size(), 2u);
+  EXPECT_TRUE(r.outcomes[0].ok) << r.outcomes[0].error;
+  EXPECT_EQ(r.outcomes[0].attempts, 1);
+  EXPECT_TRUE(r.outcomes[1].ok) << r.outcomes[1].error;
+  EXPECT_GT(r.outcomes[1].summary.windows, 0);
+}
+
+#ifdef DOMINO_BINARY
+TEST(FleetSupervisorTest, ProcessIsolationRecordsExitStatusAndRetries) {
+  const std::string scratch = FleetTempDir("process_isolation");
+  const std::string poison = MakePoisonDir(scratch);
+
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.isolate = runtime::IsolationMode::kProcess;
+  fopts.exec_path = DOMINO_BINARY;
+  fopts.child_args = {"--checkpoint-every", "2"};
+  fopts.workers = 2;
+  fopts.session_deadline_s = 2.0;
+
+  // Round 1, single attempts: the exit status / signal of every fault mode
+  // must land in the outcome. crash -> _Exit(137); wedge -> SIGKILL at the
+  // deadline; poison -> child exit code 1.
+  {
+    std::vector<runtime::SessionSpec> specs(3);
+    specs[0].dataset_dir = FleetDatasetDir();
+    specs[0].state_dir = scratch + "/a_crash";
+    specs[1].dataset_dir = FleetDatasetDir();
+    specs[1].state_dir = scratch + "/a_wedge";
+    specs[2].dataset_dir = poison;
+    specs[2].state_dir = scratch + "/a_poison";
+    fopts.max_attempts = 1;
+    fopts.chaos.assign(3, runtime::SessionChaos{});
+    fopts.chaos[0].crash_after = 1;
+    fopts.chaos[1].wedge_after = 1;
+
+    runtime::FleetReport r = RunFleet(specs, FleetLiveOpts(), fopts);
+    ASSERT_EQ(r.outcomes.size(), 3u);
+    EXPECT_TRUE(r.outcomes[0].quarantined);
+    EXPECT_EQ(r.outcomes[0].exit_code, 137);
+    EXPECT_TRUE(r.outcomes[0].has_partial);  // checkpoint before the crash
+    EXPECT_GT(r.outcomes[0].summary.windows, 0);
+    EXPECT_TRUE(r.outcomes[1].quarantined);
+    EXPECT_EQ(r.outcomes[1].term_signal, SIGKILL);
+    EXPECT_TRUE(r.outcomes[1].deadline_exceeded);
+    EXPECT_TRUE(r.outcomes[2].quarantined);
+    EXPECT_EQ(r.outcomes[2].exit_code, 1);
+    EXPECT_FALSE(r.outcomes[2].has_partial);
+  }
+
+  // Round 2: with an attempt budget, the crashed session resumes from its
+  // checkpoint and completes — the fleet outlives the SIGSEGV-class fault.
+  {
+    std::vector<runtime::SessionSpec> specs(2);
+    specs[0].dataset_dir = FleetDatasetDir();
+    specs[0].state_dir = scratch + "/b_crash";
+    specs[1].dataset_dir = FleetDatasetDir();
+    specs[1].state_dir = scratch + "/b_twin";
+    fopts.max_attempts = 3;
+    fopts.chaos.assign(2, runtime::SessionChaos{});
+    fopts.chaos[0].crash_after = 1;
+
+    runtime::FleetReport r = RunFleet(specs, FleetLiveOpts(), fopts);
+    ASSERT_EQ(r.outcomes.size(), 2u);
+    EXPECT_TRUE(r.outcomes[0].ok) << r.outcomes[0].error;
+    EXPECT_EQ(r.outcomes[0].attempts, 2);
+    EXPECT_EQ(r.recovered, 1);
+    EXPECT_EQ(FleetSlurp(scratch + "/b_crash/chains.jsonl"),
+              FleetSlurp(scratch + "/b_twin/chains.jsonl"));
+  }
+}
+#endif  // DOMINO_BINARY
 
 }  // namespace
 }  // namespace domino

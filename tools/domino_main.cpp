@@ -60,6 +60,18 @@
 //       directories run as isolated sessions (thread each); a poisoned one
 //       fails alone. Exit code 1 when any session failed.
 //
+//   domino serve <dir | tenant=dir>... [--workers N] [--max-attempts N]
+//                [--backoff-ms N] [--global-backlog N]
+//                [--session-deadline-s SEC] [--isolate thread|process]
+//                [--state-root DIR] [--report FILE] [--chaos idx:kind:N,...]
+//       Fleet mode: run every dataset as an isolated fault domain over a
+//       bounded worker pool, retrying failed sessions from their last good
+//       checkpoint with capped exponential backoff and quarantining them
+//       after the attempt budget. --isolate process forks one child per
+//       attempt so even a SIGSEGV/SIGKILL is recorded and retried without
+//       taking down the fleet. Prints the text FleetReport; --report also
+//       writes the deterministic JSON one. Exit 1 when any session failed.
+//
 //   domino replay <dataset_dir> <out_dir> [--interval-ms N] [--chunk-ms N]
 //                 [--stall stream=SEC]
 //       Replay a saved dataset into <out_dir> as a growing capture (meta
@@ -90,6 +102,7 @@
 #include "domino/config_parser.h"
 #include "domino/lint/lint.h"
 #include "domino/report.h"
+#include "domino/runtime/fleet.h"
 #include "domino/runtime/supervisor.h"
 #include "sim/live_feed.h"
 #include "telemetry/align.h"
@@ -133,6 +146,18 @@ void PrintUsage(std::FILE* to) {
                "              [--max-backlog N] [--checkpoint-every N]"
                " [--max-idle N]\n"
                "              [--sequential] [--crash-after N]\n"
+               "  domino serve <dir | tenant=dir>... [--workers N]"
+               " [--max-attempts N]\n"
+               "              [--backoff-ms N] [--backoff-cap-ms N]"
+               " [--global-backlog N]\n"
+               "              [--session-deadline-s SEC]"
+               " [--isolate thread|process]\n"
+               "              [--state-root DIR] [--report FILE]"
+               " [--chaos idx:kind:N,...]\n"
+               "              [--tenant-backlog t=N]"
+               " [--tenant-max-records t=N]\n"
+               "              [--window SEC] [--step SEC] [--chunk-s SEC]"
+               " [--max-backlog N]\n"
                "  domino replay <dataset_dir> <out_dir> [--interval-ms N]"
                " [--chunk-ms N]\n"
                "               [--stall stream=SEC]\n"
@@ -661,7 +686,8 @@ int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
   std::optional<double> window_s, step_s, min_coverage, chunk_s, horizon_s,
       stall_deadline_s;
   std::optional<std::int64_t> threads, max_backlog, checkpoint_every,
-      max_idle, poll_sleep_ms, crash_after;
+      max_idle, poll_sleep_ms, crash_after, chaos_crash, chaos_fail,
+      chaos_wedge, max_records;
   if (int rc = TakeD(args, "--window", &window_s)) return rc;
   if (int rc = TakeD(args, "--step", &step_s)) return rc;
   if (int rc = TakeD(args, "--min-coverage", &min_coverage)) return rc;
@@ -684,6 +710,20 @@ int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
     return rc;
   }
   if (int rc = TakeI(args, "--crash-after", 0, INT64_MAX, &crash_after)) {
+    return rc;
+  }
+  // Fleet chaos hooks (fire on fresh runs only; see LiveOptions). Exposed
+  // on `live` so a process-isolation `serve` child can carry them.
+  if (int rc = TakeI(args, "--chaos-crash", 0, INT64_MAX, &chaos_crash)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--chaos-fail", 0, INT64_MAX, &chaos_fail)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--chaos-wedge", 0, INT64_MAX, &chaos_wedge)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--max-records", 1, INT64_MAX, &max_records)) {
     return rc;
   }
   bool naive = false;
@@ -735,6 +775,12 @@ int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
   if (crash_after) {
     opts.crash_after_checkpoints = static_cast<long>(*crash_after);
   }
+  if (chaos_crash) opts.chaos_crash_after = static_cast<long>(*chaos_crash);
+  if (chaos_fail) opts.chaos_fail_after = static_cast<long>(*chaos_fail);
+  if (chaos_wedge) opts.chaos_wedge_after = static_cast<long>(*chaos_wedge);
+  if (max_records) {
+    opts.input.max_records = static_cast<std::size_t>(*max_records);
+  }
   opts.follow = follow;
   opts.quiet = quiet;
 
@@ -771,6 +817,269 @@ int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
                 s.chains_path.c_str());
   }
   return failures == 0 ? 0 : 1;
+}
+
+/// Parses the `--chaos idx:kind:N,...` fault schedule for `domino serve`
+/// (kinds: crash fail wedge). Returns false with a message on stderr.
+bool ParseChaosSpec(const std::string& spec, std::size_t sessions,
+                    std::vector<runtime::SessionChaos>* out) {
+  out->assign(sessions, runtime::SessionChaos{});
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const auto c1 = item.find(':');
+    const auto c2 = c1 == std::string::npos ? c1 : item.find(':', c1 + 1);
+    std::int64_t idx = 0, n = 0;
+    if (c1 == std::string::npos || c2 == std::string::npos ||
+        !ParseInt64In(item.substr(0, c1), 0,
+                      static_cast<std::int64_t>(sessions) - 1, idx) ||
+        !ParseInt64In(item.substr(c2 + 1), 1, INT64_MAX, n)) {
+      std::fprintf(stderr,
+                   "bad chaos spec '%s' (want idx:kind:N with idx < %zu, "
+                   "kind crash|fail|wedge, N >= 1)\n",
+                   item.c_str(), sessions);
+      return false;
+    }
+    const std::string kind = item.substr(c1 + 1, c2 - c1 - 1);
+    runtime::SessionChaos& c = (*out)[static_cast<std::size_t>(idx)];
+    if (kind == "crash") {
+      c.crash_after = static_cast<long>(n);
+    } else if (kind == "fail") {
+      c.fail_after = static_cast<long>(n);
+    } else if (kind == "wedge") {
+      c.wedge_after = static_cast<long>(n);
+    } else {
+      std::fprintf(stderr,
+                   "unknown chaos kind '%s' (known: crash fail wedge)\n",
+                   kind.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses a `--tenant-* name=N,name=N` budget list; false on bad syntax.
+bool ParseTenantBudgets(const std::string& spec, const char* flag,
+                        std::int64_t lo,
+                        std::map<std::string, std::int64_t>* out) {
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    std::int64_t v = 0;
+    if (eq == std::string::npos || eq == 0 ||
+        !ParseInt64In(item.substr(eq + 1), lo, INT64_MAX, v)) {
+      std::fprintf(stderr, "bad %s entry '%s' (want tenant=N)\n", flag,
+                   item.c_str());
+      return false;
+    }
+    (*out)[item.substr(0, eq)] = v;
+  }
+  return true;
+}
+
+int CmdServe(std::vector<std::string> args, const MainOptions& mo) {
+  auto state_root = TakeFlag(args, "--state-root");
+  auto report_path = TakeFlag(args, "--report");
+  auto isolate_s = TakeFlag(args, "--isolate");
+  auto exec_path = TakeFlag(args, "--exec");
+  auto chaos_spec = TakeFlag(args, "--chaos");
+  auto tenant_backlog_s = TakeFlag(args, "--tenant-backlog");
+  auto tenant_records_s = TakeFlag(args, "--tenant-max-records");
+  std::optional<double> window_s, step_s, min_coverage, chunk_s, horizon_s,
+      stall_deadline_s, session_deadline_s;
+  std::optional<std::int64_t> workers, max_attempts, backoff_ms,
+      backoff_cap_ms, global_backlog, max_backlog, checkpoint_every,
+      max_idle;
+  if (int rc = TakeD(args, "--window", &window_s)) return rc;
+  if (int rc = TakeD(args, "--step", &step_s)) return rc;
+  if (int rc = TakeD(args, "--min-coverage", &min_coverage)) return rc;
+  if (int rc = TakeD(args, "--chunk-s", &chunk_s)) return rc;
+  if (int rc = TakeD(args, "--horizon-s", &horizon_s)) return rc;
+  if (int rc = TakeD(args, "--stall-deadline-s", &stall_deadline_s)) {
+    return rc;
+  }
+  if (int rc = TakeD(args, "--session-deadline-s", &session_deadline_s)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--workers", 0, 4096, &workers)) return rc;
+  if (int rc = TakeI(args, "--max-attempts", 1, 1000, &max_attempts)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--backoff-ms", 0, 3'600'000, &backoff_ms)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--backoff-cap-ms", 0, 3'600'000,
+                     &backoff_cap_ms)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--global-backlog", 0, INT64_MAX,
+                     &global_backlog)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--max-backlog", 0, INT64_MAX, &max_backlog)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--checkpoint-every", 0, INT64_MAX,
+                     &checkpoint_every)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--max-idle", 0, INT_MAX, &max_idle)) return rc;
+  bool naive = false;
+  bool quiet = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--naive") {
+      naive = true;
+      it = args.erase(it);
+    } else if (*it == "--quiet") {
+      quiet = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (args.empty()) return Usage();
+
+  runtime::FleetOptions fopts;
+  if (isolate_s) {
+    if (*isolate_s == "thread") {
+      fopts.isolate = runtime::IsolationMode::kThread;
+    } else if (*isolate_s == "process") {
+      fopts.isolate = runtime::IsolationMode::kProcess;
+    } else {
+      return BadFlag("--isolate", *isolate_s, "'thread' or 'process'");
+    }
+  }
+  if (workers) fopts.workers = static_cast<int>(*workers);
+  if (max_attempts) fopts.max_attempts = static_cast<int>(*max_attempts);
+  if (backoff_ms) fopts.backoff_ms = static_cast<long>(*backoff_ms);
+  if (backoff_cap_ms) {
+    fopts.backoff_cap_ms = static_cast<long>(*backoff_cap_ms);
+  }
+  if (global_backlog) {
+    fopts.global_backlog_windows = static_cast<long>(*global_backlog);
+  }
+  if (session_deadline_s) fopts.session_deadline_s = *session_deadline_s;
+  fopts.quiet = quiet;
+
+  // Operands are <dir> or <tenant>=<dir>; --state-root gives session i the
+  // state directory <root>/s<i> (default: <dataset>/live_state).
+  std::vector<runtime::SessionSpec> specs;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    runtime::SessionSpec spec;
+    const auto eq = args[i].find('=');
+    if (eq != std::string::npos && eq > 0) {
+      spec.tenant = args[i].substr(0, eq);
+      spec.dataset_dir = args[i].substr(eq + 1);
+    } else {
+      spec.dataset_dir = args[i];
+    }
+    if (spec.dataset_dir.empty()) {
+      std::fprintf(stderr, "serve: empty dataset dir in '%s'\n",
+                   args[i].c_str());
+      return 2;
+    }
+    if (state_root) spec.state_dir = *state_root + "/s" + std::to_string(i);
+    specs.push_back(std::move(spec));
+  }
+
+  if (chaos_spec &&
+      !ParseChaosSpec(*chaos_spec, specs.size(), &fopts.chaos)) {
+    return 2;
+  }
+  std::map<std::string, std::int64_t> tenant_backlog, tenant_records;
+  if (tenant_backlog_s && !ParseTenantBudgets(*tenant_backlog_s,
+                                              "--tenant-backlog", 1,
+                                              &tenant_backlog)) {
+    return 2;
+  }
+  if (tenant_records_s && !ParseTenantBudgets(*tenant_records_s,
+                                              "--tenant-max-records", 1,
+                                              &tenant_records)) {
+    return 2;
+  }
+  for (const auto& [tenant, v] : tenant_backlog) {
+    fopts.tenants[tenant].backlog_windows = static_cast<long>(v);
+  }
+  for (const auto& [tenant, v] : tenant_records) {
+    runtime::TenantBudget& tb = fopts.tenants[tenant];
+    tb.input.max_records = static_cast<std::size_t>(v);
+    tb.has_input = true;
+  }
+
+  runtime::LiveOptions opts;
+  if (window_s) opts.detector.window = Seconds(*window_s);
+  if (step_s) opts.detector.step = Seconds(*step_s);
+  if (min_coverage) opts.detector.min_coverage = *min_coverage;
+  opts.detector.incremental = !naive;
+  if (chunk_s) opts.chunk = Seconds(*chunk_s);
+  if (horizon_s) opts.horizon = Seconds(*horizon_s);
+  if (stall_deadline_s) opts.stall_deadline = Seconds(*stall_deadline_s);
+  if (max_backlog) opts.max_backlog_windows = static_cast<long>(*max_backlog);
+  if (checkpoint_every) {
+    opts.checkpoint_every_windows = static_cast<long>(*checkpoint_every);
+  }
+  if (max_idle) opts.max_idle_polls = static_cast<int>(*max_idle);
+  opts.quiet = true;  // Per-poll chatter from N sessions is noise.
+
+  if (fopts.isolate == runtime::IsolationMode::kProcess) {
+#if defined(__linux__)
+    fopts.exec_path = exec_path.value_or("/proc/self/exe");
+#else
+    if (!exec_path) {
+      std::fprintf(stderr,
+                   "serve: --isolate process needs --exec <domino binary> "
+                   "on this platform\n");
+      return 2;
+    }
+    fopts.exec_path = *exec_path;
+#endif
+    // Children must analyse with the exact same configuration, or their
+    // checkpoints would be fingerprint-incompatible across attempts.
+    auto fwd_d = [&fopts](const char* flag, std::optional<double> v) {
+      if (!v) return;
+      std::ostringstream os;
+      os << *v;
+      fopts.child_args.push_back(flag);
+      fopts.child_args.push_back(os.str());
+    };
+    auto fwd_i = [&fopts](const char* flag, std::optional<std::int64_t> v) {
+      if (!v) return;
+      fopts.child_args.push_back(flag);
+      fopts.child_args.push_back(std::to_string(*v));
+    };
+    fwd_d("--window", window_s);
+    fwd_d("--step", step_s);
+    fwd_d("--min-coverage", min_coverage);
+    fwd_d("--chunk-s", chunk_s);
+    fwd_d("--horizon-s", horizon_s);
+    fwd_d("--stall-deadline-s", stall_deadline_s);
+    fwd_i("--checkpoint-every", checkpoint_every);
+    fwd_i("--max-idle", max_idle);
+    if (naive) fopts.child_args.push_back("--naive");
+  }
+  if (mo.dry_run) return 0;
+
+  analysis::CausalGraph graph =
+      analysis::CausalGraph::Default(opts.detector.thresholds);
+  runtime::FleetSupervisor sup(std::move(specs), std::move(graph),
+                               std::move(opts), std::move(fopts));
+  runtime::FleetReport report = sup.Run();
+
+  std::fputs(runtime::FormatFleetReportText(report).c_str(), stdout);
+  if (report_path) {
+    std::ofstream f(*report_path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "serve: cannot write %s\n", report_path->c_str());
+      return 2;
+    }
+    f << runtime::BuildFleetReportJson(report);
+    std::printf("JSON report written to %s\n", report_path->c_str());
+  }
+  return report.completed == static_cast<long>(report.outcomes.size()) ? 0
+                                                                       : 1;
 }
 
 int CmdConvert(std::vector<std::string> args, const MainOptions& mo) {
@@ -853,6 +1162,7 @@ int DominoMain(std::vector<std::string> args, const MainOptions& mo) {
     if (cmd == "ingest") return CmdIngest(std::move(args), mo);
     if (cmd == "analyze") return CmdAnalyze(std::move(args), mo);
     if (cmd == "live") return CmdLive(std::move(args), mo);
+    if (cmd == "serve") return CmdServe(std::move(args), mo);
     if (cmd == "replay") return CmdReplay(std::move(args), mo);
     if (cmd == "codegen") return CmdCodegen(std::move(args), mo);
     if (cmd == "convert") return CmdConvert(std::move(args), mo);

@@ -19,11 +19,28 @@ if [ ! -x "$bench" ]; then
   exit 1
 fi
 
-# shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split.
-"$bench" \
-  --benchmark_format=json \
-  --benchmark_out="$out" \
-  --benchmark_out_format=json \
-  ${BENCH_ARGS:-}
+# Stage through a temp file and publish atomically: a benchmark run that
+# crashes or is interrupted midway must never replace (or half-overwrite)
+# the committed BENCH_domino.json with a partial result.
+tmp=$(mktemp "$out.XXXXXX")
+trap 'rm -f "$tmp"' EXIT
 
+# shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split.
+if ! "$bench" \
+  --benchmark_format=json \
+  --benchmark_out="$tmp" \
+  --benchmark_out_format=json \
+  ${BENCH_ARGS:-}; then
+  echo "error: benchmark run failed; $out left untouched." >&2
+  exit 1
+fi
+
+# A truncated or malformed report is as useless as a missing one.
+if ! python3 -m json.tool "$tmp" > /dev/null 2>&1; then
+  echo "error: benchmark output is not valid JSON; $out left untouched." >&2
+  exit 1
+fi
+
+mv "$tmp" "$out"
+trap - EXIT
 echo "wrote $out"

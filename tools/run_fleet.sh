@@ -1,0 +1,124 @@
+#!/usr/bin/env sh
+# Fleet-supervisor chaos gate, run by CI (.github/workflows/ci.yml, under
+# ASan) and locally before sending a runtime/supervision change:
+#
+#   tools/run_fleet.sh [build_dir]
+#
+# A deterministic fault schedule degrades 3 of 8 sessions — one crashes
+# after its first checkpoint (SIGKILL via _Exit in process isolation, an
+# injected failure in thread isolation), one wedges (stops progressing
+# until the wall-clock session deadline cancels it), one is unrecoverably
+# poisoned (header-only meta.csv). For BOTH isolation modes the gate
+# asserts:
+#
+# 1. Every healthy session completes; the fleet exit code is 1 (the
+#    poisoned session can never succeed).
+# 2. The crash and wedge sessions are retried to success from their last
+#    good checkpoint: their chains.jsonl is byte-identical to that of an
+#    undisturbed seed-twin session.
+# 3. The poisoned session is quarantined with the full attempt budget
+#    consumed.
+# 4. The JSON FleetReport is byte-identical across two runs of the same
+#    command (outcome determinism does not depend on worker interleaving).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+domino="$build_dir/tools/domino"
+
+if [ ! -x "$domino" ]; then
+  echo "error: $domino not found or not executable." >&2
+  echo "Build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# 8 sessions. d0 (crash victim) and d6 share seed 21; d3 (wedge victim)
+# and d7 share seed 24 — the undisturbed twins pin the byte-identical
+# recovery assertion. d5 is the unrecoverable poison.
+"$domino" simulate amarisoft 12 "$work/d0" --seed 21 > /dev/null
+"$domino" simulate amarisoft 12 "$work/d1" --seed 22 > /dev/null
+"$domino" simulate amarisoft 12 "$work/d2" --seed 23 > /dev/null
+"$domino" simulate amarisoft 12 "$work/d3" --seed 24 > /dev/null
+"$domino" simulate amarisoft 12 "$work/d4" --seed 25 > /dev/null
+mkdir -p "$work/d5"
+printf 'cell_name,is_private,begin_us,end_us\n' > "$work/d5/meta.csv"
+"$domino" simulate amarisoft 12 "$work/d6" --seed 21 > /dev/null
+"$domino" simulate amarisoft 12 "$work/d7" --seed 24 > /dev/null
+
+# run_fleet <isolate> <state_root> <report>
+run_fleet() {
+  rf_iso=$1; rf_st=$2; rf_report=$3
+  rc=0
+  "$domino" serve \
+    "$work/d0" "$work/d1" "$work/d2" "$work/d3" \
+    "$work/d4" "$work/d5" "$work/d6" "$work/d7" \
+    --workers 3 --max-attempts 3 --backoff-ms 10 --backoff-cap-ms 100 \
+    --session-deadline-s 5 --global-backlog 300 \
+    --isolate "$rf_iso" --exec "$domino" \
+    --chaos 0:crash:1,3:wedge:1 \
+    --state-root "$rf_st" --report "$rf_report" --quiet \
+    > "$rf_st.txt" 2>&1 || rc=$?
+  if [ "$rc" != 1 ]; then
+    echo "  FAIL: $rf_iso isolation: expected exit 1 (poisoned session)," \
+         "got $rc" >&2
+    cat "$rf_st.txt" >&2
+    exit 1
+  fi
+}
+
+for iso in thread process; do
+  echo "== $iso isolation =="
+  run_fleet "$iso" "$work/${iso}_a" "$work/${iso}_a.json"
+  run_fleet "$iso" "$work/${iso}_b" "$work/${iso}_b.json"
+
+  if ! cmp -s "$work/${iso}_a.json" "$work/${iso}_b.json"; then
+    echo "  FAIL: $iso isolation: JSON FleetReport differs between two" \
+         "runs of the same command" >&2
+    diff "$work/${iso}_a.json" "$work/${iso}_b.json" >&2 || true
+    exit 1
+  fi
+  echo "  ok: JSON report byte-identical across runs"
+
+  python3 - "$work/${iso}_a.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+s = r["sessions"]
+assert len(s) == 8, f"expected 8 sessions, got {len(s)}"
+c = r["counts"]
+assert c["completed"] == 7, f"completed {c['completed']} != 7"
+assert c["quarantined"] == 1, f"quarantined {c['quarantined']} != 1"
+assert c["recovered"] == 2, f"recovered {c['recovered']} != 2"
+# Crash victim: one failed fresh attempt, one clean resumed attempt.
+assert s[0]["ok"] and s[0]["attempts"] == 2, s[0]
+# Wedge victim: cancelled by the wall-clock deadline, then recovered.
+assert s[3]["ok"] and s[3]["attempts"] == 2, s[3]
+assert s[3]["deadline_exceeded"], s[3]
+# Poison: quarantined with the full attempt budget recorded.
+assert s[5]["quarantined"] and s[5]["attempts"] == 3, s[5]
+assert not s[5]["ok"] and s[5]["error"], s[5]
+# Healthy sessions: first-attempt completions with real progress.
+for i in (1, 2, 4, 6, 7):
+    assert s[i]["ok"] and s[i]["attempts"] == 1, s[i]
+    assert s[i]["windows"] > 0, s[i]
+print("  ok: 7 completed (2 recovered), poison quarantined at 3 attempts")
+EOF
+
+  # The recovered sessions' outputs must be byte-identical to their
+  # undisturbed twins': recovery resumed the checkpoint, it did not
+  # re-analyse differently or drop chains.
+  for pair in "s0 s6" "s3 s7"; do
+    a=${pair% *}; b=${pair#* }
+    if ! cmp -s "$work/${iso}_a/$a/chains.jsonl" \
+                "$work/${iso}_a/$b/chains.jsonl"; then
+      echo "  FAIL: $iso isolation: recovered $a chains.jsonl differs" \
+           "from undisturbed twin $b" >&2
+      exit 1
+    fi
+  done
+  echo "  ok: recovered sessions byte-identical to undisturbed twins"
+done
+
+echo "fleet chaos gate passed"
