@@ -14,6 +14,7 @@
 #include "domino/report.h"
 #include "domino/streaming.h"
 #include "domino/expr.h"
+#include "domino/runtime/daemon.h"
 #include "domino/runtime/fleet.h"
 #include "domino/runtime/live.h"
 #include "telemetry/binfmt.h"
@@ -345,6 +346,54 @@ void BM_FleetThroughput(benchmark::State& state) {
 // Real time, not CPU time: the sessions run on pool workers, so the main
 // thread's CPU clock sees almost none of the work.
 BENCHMARK(BM_FleetThroughput)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Fleet-manifest serialisation cost: format + checksum + parse of a
+/// manifest at the given fleet size. The daemon writes this document on
+/// every drain and reads it on every restart, so it must stay cheap even
+/// for large fleets; sessions_per_s is the roundtrip rate.
+void BM_ManifestRoundtrip(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  runtime::FleetManifest m;
+  m.workers = 8;
+  m.max_attempts = 3;
+  m.global_backlog_windows = 4096;
+  m.isolate = runtime::IsolationMode::kProcess;
+  m.sessions.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    runtime::ManifestEntry& e = m.sessions[static_cast<std::size_t>(i)];
+    e.spec.dataset_dir = "/var/telemetry/cell " + std::to_string(i);
+    e.spec.state_dir = "/var/fleet/state/s" + std::to_string(i);
+    e.spec.tenant = "tenant " + std::to_string(i % 7);
+    e.seed.attempts = 1 + i % 3;
+    e.seed.terminal = i % 4 != 0;
+    if (e.seed.terminal) {
+      e.seed.outcome.ok = i % 8 != 3;
+      e.seed.outcome.attempts = e.seed.attempts;
+      e.seed.outcome.quarantined = !e.seed.outcome.ok;
+      if (!e.seed.outcome.ok)
+        e.seed.outcome.error = "live: checkpoint write failed (injected EIO)";
+      e.seed.outcome.summary.windows = 40 + i;
+      e.seed.outcome.summary.chains = i % 5;
+      e.seed.outcome.checkpointed_to_us = 1'000'000LL * i;
+    }
+  }
+  double sessions = 0;
+  for (auto _ : state) {
+    std::string doc = runtime::FormatFleetManifest(m);
+    runtime::FleetManifest back;
+    std::string error;
+    if (!runtime::ParseFleetManifest(doc, &back, &error)) {
+      state.SkipWithError(("manifest roundtrip failed: " + error).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(back);
+    sessions += static_cast<double>(n);
+  }
+  state.counters["sessions_per_s"] =
+      benchmark::Counter(sessions, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ManifestRoundtrip)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -1,0 +1,140 @@
+#include "common/diskfault.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace domino {
+
+bool ParseDiskFaultSpec(const std::string& text, DiskFaultSpec* spec) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos || colon + 1 >= text.size()) return false;
+  const std::string kind = text.substr(0, colon);
+  const std::string num = text.substr(colon + 1);
+  DiskFaultSpec out;
+  if (kind == "enospc") {
+    out.kind = DiskFaultSpec::Kind::kEnospc;
+  } else if (kind == "eio") {
+    out.kind = DiskFaultSpec::Kind::kEio;
+  } else if (kind == "short") {
+    out.kind = DiskFaultSpec::Kind::kShortWrite;
+  } else {
+    return false;
+  }
+  long n = 0;
+  for (char c : num) {
+    if (c < '0' || c > '9') return false;
+    if (n > 1000000) return false;
+    n = n * 10 + (c - '0');
+  }
+  if (n < 1) return false;
+  out.at_write = n;
+  *spec = out;
+  return true;
+}
+
+int DiskFaultInjector::OnWrite(std::size_t payload_bytes,
+                               std::size_t* short_cap) {
+  ++writes_seen_;
+  if (spec_.kind == DiskFaultSpec::Kind::kNone || fired_ ||
+      writes_seen_ != spec_.at_write) {
+    return 0;
+  }
+  fired_ = true;
+  ++faults_injected_;
+  switch (spec_.kind) {
+    case DiskFaultSpec::Kind::kEnospc:
+      last_fault_name_ = "ENOSPC";
+      return ENOSPC;
+    case DiskFaultSpec::Kind::kEio:
+      last_fault_name_ = "EIO";
+      return EIO;
+    case DiskFaultSpec::Kind::kShortWrite:
+      last_fault_name_ = "short write";
+      if (short_cap != nullptr) *short_cap = payload_bytes / 2;
+      return EIO;
+    case DiskFaultSpec::Kind::kNone:
+      break;
+  }
+  return 0;
+}
+
+bool AtomicWriteFile(const std::string& path, const std::string& body,
+                     bool fsync_file, DiskFaultInjector* fault,
+                     std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  const std::string tmp = path + ".tmp";
+  std::size_t cap = body.size();
+  int injected = 0;
+  if (fault != nullptr) injected = fault->OnWrite(body.size(), &cap);
+  if (injected != 0 && cap == body.size()) {
+    // Full-write fault: fail before touching the filesystem, like a
+    // write() that returned -1 immediately.
+    return fail("write '" + path + "' failed (injected " +
+                fault->last_fault_name() + ")");
+  }
+#if defined(_WIN32)
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return fail("cannot open '" + tmp + "' for writing");
+    f.write(body.data(), static_cast<std::streamsize>(cap));
+    f.flush();
+    if (!f) return fail("write to '" + tmp + "' failed");
+  }
+  if (injected != 0) {
+    // Short write: the torn temp file stays behind, the target does not
+    // change — exactly what a mid-write device error leaves on disk.
+    return fail("write '" + path + "' failed (injected " +
+                fault->last_fault_name() + ")");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  return true;
+#else
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("cannot open '" + tmp + "' for writing");
+  std::size_t off = 0;
+  while (off < cap) {
+    const ssize_t n = ::write(fd, body.data() + off, cap - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return fail("write to '" + tmp + "' failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (injected != 0) {
+    // Short write: leave the torn temp file behind for postmortems; the
+    // target file is untouched because the rename never happens.
+    ::close(fd);
+    return fail("write '" + path + "' failed (injected " +
+                fault->last_fault_name() + ")");
+  }
+  if (fsync_file && ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail("fsync of '" + tmp + "' failed");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return fail("close of '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return fail("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  return true;
+#endif
+}
+
+}  // namespace domino

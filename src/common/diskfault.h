@@ -1,0 +1,84 @@
+// Deterministic disk-fault injection for durability-critical writes.
+//
+// The live runtime and the fleet daemon persist three kinds of state —
+// per-session checkpoints, the fleet manifest, and JSON reports/status
+// files. Environmental faults (full disk, dying device) hit exactly those
+// writes, and "what happens when the checkpoint write fails" must be a
+// tested code path, not a hope. This shim makes such faults reproducible:
+// an injector counts the guarded writes it sees and fails the Nth one with
+// a chosen errno (ENOSPC, EIO) or a short write, deterministically, so a
+// test or chaos gate can assert the exact degradation path (retry, backoff,
+// quarantine — never a daemon abort).
+//
+// The injector is plumbed explicitly (a pointer parameter, nullptr = no
+// faults) rather than through a global so concurrent sessions in one fleet
+// process stay independently deterministic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace domino {
+
+/// What to inject, and when. `at_write` is 1-based: the Nth guarded write
+/// observed by the injector fails; all earlier and later writes succeed.
+/// Like the process crash/fail/wedge chaos kinds, a spec fires at most
+/// once per injector lifetime.
+struct DiskFaultSpec {
+  enum class Kind {
+    kNone,
+    kEnospc,     ///< write() fails with ENOSPC (device full).
+    kEio,        ///< write() fails with EIO (device error).
+    kShortWrite  ///< write() persists only half the payload, then EIO.
+  };
+  Kind kind = Kind::kNone;
+  long at_write = 0;
+};
+
+/// Parses "enospc:N" / "eio:N" / "short:N" (N >= 1). Returns false on any
+/// other input.
+bool ParseDiskFaultSpec(const std::string& text, DiskFaultSpec* spec);
+
+/// Counts guarded writes and decides which one fails. Thread-compatible,
+/// not thread-safe: each session owns its injector.
+class DiskFaultInjector {
+ public:
+  DiskFaultInjector() = default;
+  explicit DiskFaultInjector(const DiskFaultSpec& spec) : spec_(spec) {}
+
+  /// Called once per guarded write. Returns 0 to let the write proceed, or
+  /// the errno to fail it with. For a short-write fault, `*short_cap` (if
+  /// non-null) is set to the number of bytes the caller should actually
+  /// persist before failing; the fault still returns a nonzero errno.
+  int OnWrite(std::size_t payload_bytes, std::size_t* short_cap);
+
+  [[nodiscard]] bool armed() const {
+    return spec_.kind != DiskFaultSpec::Kind::kNone && !fired_;
+  }
+  [[nodiscard]] long writes_seen() const { return writes_seen_; }
+  [[nodiscard]] long faults_injected() const { return faults_injected_; }
+  /// Human-readable name of the last injected fault ("ENOSPC", "EIO",
+  /// "short write"); empty if none fired yet. Deterministic across runs,
+  /// unlike strerror() text.
+  [[nodiscard]] const std::string& last_fault_name() const {
+    return last_fault_name_;
+  }
+
+ private:
+  DiskFaultSpec spec_;
+  bool fired_ = false;
+  long writes_seen_ = 0;
+  long faults_injected_ = 0;
+  std::string last_fault_name_;
+};
+
+/// Atomic text-file write (temp + rename) with optional fault injection
+/// and optional fsync durability. Used for the fleet manifest (fsync) and
+/// the fleet_status.json liveness file (no fsync: advisory, refreshed
+/// every tick). Returns false on failure — injected or real — with
+/// `*error` describing it; the previous file, if any, is left untouched.
+bool AtomicWriteFile(const std::string& path, const std::string& body,
+                     bool fsync_file, DiskFaultInjector* fault,
+                     std::string* error);
+
+}  // namespace domino

@@ -67,6 +67,13 @@ std::string FormatCheckpoint(const LiveCheckpoint& cp) {
   os << "counters " << cp.windows << " " << cp.chains << " "
      << cp.insufficient << " " << cp.resets << " " << cp.checkpoints_written
      << " " << cp.chainlog_bytes << "\n";
+  // Cadence origin for periodic checkpointing; writers always emit it with
+  // the real value (>= 0), the -1 default only survives in files written
+  // before the field existed.
+  os << "cadence "
+     << (cp.last_checkpoint_windows < 0 ? cp.windows
+                                        : cp.last_checkpoint_windows)
+     << "\n";
   os << "retention " << cp.retention_cuts << " " << cp.evicted_records << " "
      << cp.peak_retained_records << " " << cp.peak_retained_span.micros()
      << "\n";
@@ -171,6 +178,9 @@ bool ParseCheckpoint(const std::string& text,
       out.checkpoints_written = r.I();
       out.chainlog_bytes = r.U();
       ok = ok && r.ok();
+    } else if (key == "cadence") {
+      out.last_checkpoint_windows = r.I();
+      ok = ok && r.ok() && out.last_checkpoint_windows >= 0;
     } else if (key == "retention") {
       out.retention_cuts = r.I();
       out.evicted_records = r.U();
@@ -238,7 +248,8 @@ bool ParseCheckpoint(const std::string& text,
   return true;
 }
 
-bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path) {
+bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path,
+                    DiskFaultInjector* fault) {
   // Durability, not just atomicity: temp + rename alone survives SIGKILL
   // but not power loss — the rename can hit the journal before the data
   // blocks do, leaving a correctly-named empty/torn file after the crash.
@@ -247,21 +258,31 @@ bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path) {
   // rename leaves the previous checkpoint untouched (the API contract).
   const std::string tmp = path + ".tmp";
   const std::string body = FormatCheckpoint(cp);
+  // Deterministic environmental-fault injection: ENOSPC/EIO fail the save
+  // before any bytes land; a short write persists half the temp file and
+  // leaves it torn on disk (the rename never happens, so the previous
+  // checkpoint survives — and a later load of the torn temp, were it ever
+  // renamed, would fail its checksum).
+  std::size_t cap = body.size();
+  int injected = 0;
+  if (fault != nullptr) injected = fault->OnWrite(body.size(), &cap);
+  if (injected != 0 && cap == body.size()) return false;
 #if defined(_WIN32)
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (!f) return false;
-    f << body;
+    f.write(body.data(), static_cast<std::streamsize>(cap));
     f.flush();
     if (!f) return false;
   }
+  if (injected != 0) return false;
   return std::rename(tmp.c_str(), path.c_str()) == 0;
 #else
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return false;
   std::size_t off = 0;
-  while (off < body.size()) {
-    const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+  while (off < cap) {
+    const ssize_t n = ::write(fd, body.data() + off, cap - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
@@ -269,6 +290,11 @@ bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path) {
       return false;
     }
     off += static_cast<std::size_t>(n);
+  }
+  if (injected != 0) {
+    // Injected short write: keep the torn temp file for postmortems.
+    ::close(fd);
+    return false;
   }
   if (::fsync(fd) != 0 || ::close(fd) != 0) {
     ::unlink(tmp.c_str());

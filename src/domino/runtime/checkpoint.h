@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/diskfault.h"
 #include "common/parse.h"
 #include "common/time.h"
 #include "telemetry/dataset.h"
@@ -62,6 +63,14 @@ struct LiveCheckpoint {
   long resets = 0;
   long checkpoints_written = 0;
   std::uint64_t chainlog_bytes = 0;  ///< Truncate chains.jsonl to this.
+  /// Windows processed at the last *cadence-counted* checkpoint. A drain
+  /// checkpoint (graceful shutdown) persists progress without consuming a
+  /// cadence slot; recording the cadence origin separately lets the
+  /// resumed run place its periodic checkpoints exactly where an
+  /// undisturbed run would, keeping `checkpoints` counts byte-identical.
+  /// -1 in a parsed checkpoint means the writer predates the field; the
+  /// reader falls back to `windows`.
+  long last_checkpoint_windows = -1;
 
   long retention_cuts = 0;
   std::uint64_t evicted_records = 0;
@@ -107,8 +116,13 @@ bool ParseCheckpoint(const std::string& text,
                      const InputLimits& limits = {});
 
 /// Atomic write-to-temp-then-rename save. Returns false on I/O failure
-/// (the previous checkpoint, if any, is left untouched).
-bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path);
+/// (the previous checkpoint, if any, is left untouched). `fault`, if
+/// non-null, is consulted once per save: an injected ENOSPC/EIO fails the
+/// write before any bytes land, and an injected short write leaves a torn
+/// `<path>.tmp` behind (the checkpoint itself stays previous-or-valid
+/// either way — the crash-safety contract holds under injection too).
+bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path,
+                    DiskFaultInjector* fault = nullptr);
 
 /// Loads and validates a checkpoint file. Missing file returns false with
 /// an empty error (a fresh start, not a failure). Files larger than

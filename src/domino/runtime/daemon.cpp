@@ -1,0 +1,646 @@
+#include "domino/runtime/daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "domino/runtime/live.h"
+
+namespace domino::runtime {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr const char* kManifestHeader = "domino-fleet-manifest v1";
+/// Manifests are a few hundred bytes per session; anything bigger than
+/// this at the manifest path is garbage and must not be slurped.
+constexpr std::uintmax_t kMaxManifestBytes = 64ull << 20;
+
+std::uint64_t Fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string Hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Tokenising line parser with typed accessors; any failure poisons the
+/// parse (checked per line). Mirrors the checkpoint reader.
+class Reader {
+ public:
+  explicit Reader(std::istringstream& is) : is_(is) {}
+  std::int64_t I() {
+    std::int64_t v = 0;
+    if (!(is_ >> v)) ok_ = false;
+    return v;
+  }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  std::istringstream& is_;
+  bool ok_ = true;
+};
+
+/// The rest of the line after the key, minus the single separator space.
+std::string RestOfLine(std::istringstream& ls) {
+  std::string rest;
+  std::getline(ls, rest);
+  if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+  return rest;
+}
+
+int ManifestStatus(const SessionOutcome& o) {
+  if (o.ok) return 1;
+  if (o.quarantined) return 2;
+  return 0;  // Suspended (or never started): open, resume from checkpoint.
+}
+
+}  // namespace
+
+std::string FormatFleetManifest(const FleetManifest& m) {
+  std::ostringstream os;
+  os << kManifestHeader << "\n";
+  os << "config " << m.workers << " " << m.max_attempts << " "
+     << m.global_backlog_windows << " "
+     << (m.isolate == IsolationMode::kProcess ? 1 : 0) << "\n";
+  for (const ManifestEntry& e : m.sessions) {
+    const SessionOutcome& o = e.seed.outcome;
+    const int status = e.seed.terminal ? ManifestStatus(o) : 0;
+    const int attempts = e.seed.terminal ? o.attempts : e.seed.attempts;
+    os << "session " << status << " " << attempts << "\n";
+    // Paths and tenants may contain spaces: each is the rest of its line.
+    os << "dataset " << e.spec.dataset_dir << "\n";
+    os << "state " << e.spec.state_dir << "\n";
+    os << "tenant " << e.spec.tenant << "\n";
+    if (e.seed.terminal) {
+      const LiveSummary& s = o.summary;
+      os << "outcome " << (o.deadline_exceeded ? 1 : 0) << " " << o.exit_code
+         << " " << o.term_signal << " " << (o.has_partial ? 1 : 0) << " "
+         << o.checkpointed_to_us << "\n";
+      os << "summary " << s.polls << " " << s.windows << " " << s.chains
+         << " " << s.insufficient_chains << " " << s.resets << " "
+         << s.checkpoints << " " << s.shed_windows << " "
+         << s.stalled_streams << " " << (s.resumed ? 1 : 0) << "\n";
+      if (!o.error.empty()) os << "error " << o.error << "\n";
+    }
+  }
+  std::string body = os.str();
+  return body + "checksum " + Hex64(Fnv1a(body)) + "\n";
+}
+
+bool ParseFleetManifest(const std::string& text, FleetManifest* out,
+                        std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = "manifest: " + why;
+    return false;
+  };
+  // Checksum first: a torn manifest must be rejected before any field is
+  // trusted (same protocol as checkpoints).
+  std::size_t mark = text.rfind("checksum ");
+  if (mark == std::string::npos || (mark != 0 && text[mark - 1] != '\n')) {
+    return fail("missing checksum line");
+  }
+  std::string body = text.substr(0, mark);
+  std::istringstream tail(text.substr(mark));
+  std::string word, digest;
+  tail >> word >> digest;
+  if (digest != Hex64(Fnv1a(body))) {
+    return fail("checksum mismatch (torn or corrupted write)");
+  }
+  if (text.substr(mark) != "checksum " + digest + "\n") {
+    return fail("trailing bytes after checksum line");
+  }
+
+  FleetManifest m;
+  std::istringstream is(body);
+  std::string line;
+  if (!std::getline(is, line) || line != kManifestHeader) {
+    return fail("bad or unsupported version header");
+  }
+  bool have_config = false;
+  ManifestEntry* cur = nullptr;
+  bool cur_outcome = false, cur_summary = false;
+  auto finish_entry = [&]() -> bool {
+    if (cur == nullptr) return true;
+    if (cur->spec.dataset_dir.empty()) return false;
+    if (cur->spec.state_dir.empty()) return false;
+    if (cur->seed.terminal && !(cur_outcome && cur_summary)) return false;
+    cur->seed.outcome.dataset_dir = cur->spec.dataset_dir;
+    cur->seed.outcome.tenant = cur->spec.tenant;
+    cur->seed.outcome.summary.dataset_dir = cur->spec.dataset_dir;
+    return true;
+  };
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    Reader r(ls);
+    if (key == "config") {
+      m.workers = static_cast<int>(r.I());
+      m.max_attempts = static_cast<int>(r.I());
+      m.global_backlog_windows = static_cast<long>(r.I());
+      const std::int64_t iso = r.I();
+      if (!r.ok() || (iso != 0 && iso != 1) || m.workers < 1 ||
+          m.max_attempts < 1 || m.global_backlog_windows < 0) {
+        return fail("malformed config line");
+      }
+      m.isolate =
+          iso == 1 ? IsolationMode::kProcess : IsolationMode::kThread;
+      have_config = true;
+    } else if (key == "session") {
+      if (!finish_entry()) return fail("incomplete session entry");
+      const std::int64_t status = r.I();
+      const std::int64_t attempts = r.I();
+      if (!r.ok() || status < 0 || status > 2 || attempts < 0 ||
+          attempts > 1'000'000) {
+        return fail("malformed session line");
+      }
+      m.sessions.emplace_back();
+      cur = &m.sessions.back();
+      cur_outcome = cur_summary = false;
+      cur->seed.terminal = status != 0;
+      cur->seed.attempts = static_cast<int>(attempts);
+      cur->seed.outcome.attempts = static_cast<int>(attempts);
+      cur->seed.outcome.ok = status == 1;
+      cur->seed.outcome.quarantined = status == 2;
+    } else if (key == "dataset") {
+      if (cur == nullptr) return fail("dataset line outside a session");
+      cur->spec.dataset_dir = RestOfLine(ls);
+    } else if (key == "state") {
+      if (cur == nullptr) return fail("state line outside a session");
+      cur->spec.state_dir = RestOfLine(ls);
+    } else if (key == "tenant") {
+      if (cur == nullptr) return fail("tenant line outside a session");
+      cur->spec.tenant = RestOfLine(ls);
+    } else if (key == "outcome") {
+      if (cur == nullptr) return fail("outcome line outside a session");
+      SessionOutcome& o = cur->seed.outcome;
+      o.deadline_exceeded = r.I() != 0;
+      o.exit_code = static_cast<int>(r.I());
+      o.term_signal = static_cast<int>(r.I());
+      o.has_partial = r.I() != 0;
+      o.checkpointed_to_us = r.I();
+      if (!r.ok()) return fail("malformed outcome line");
+      cur_outcome = true;
+    } else if (key == "summary") {
+      if (cur == nullptr) return fail("summary line outside a session");
+      LiveSummary& s = cur->seed.outcome.summary;
+      s.polls = static_cast<long>(r.I());
+      s.windows = static_cast<long>(r.I());
+      s.chains = static_cast<long>(r.I());
+      s.insufficient_chains = static_cast<long>(r.I());
+      s.resets = static_cast<long>(r.I());
+      s.checkpoints = static_cast<long>(r.I());
+      s.shed_windows = static_cast<long>(r.I());
+      s.stalled_streams = static_cast<long>(r.I());
+      s.resumed = r.I() != 0;
+      if (!r.ok()) return fail("malformed summary line");
+      cur_summary = true;
+    } else if (key == "error") {
+      if (cur == nullptr) return fail("error line outside a session");
+      cur->seed.outcome.error = RestOfLine(ls);
+    } else {
+      // The checksum already proved these bytes are exactly what a writer
+      // produced, so an unknown key is version skew — refuse rather than
+      // resume with half the state.
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  if (!finish_entry()) return fail("incomplete session entry");
+  if (!have_config) return fail("missing config line");
+  *out = std::move(m);
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+bool SaveFleetManifest(const FleetManifest& m, const std::string& path,
+                       DiskFaultInjector* fault, std::string* error) {
+  return AtomicWriteFile(path, FormatFleetManifest(m), /*fsync_file=*/true,
+                         fault, error);
+}
+
+bool LoadFleetManifest(const std::string& path, FleetManifest* out,
+                       std::string* error) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    if (error != nullptr) error->clear();
+    return false;
+  }
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  if (size < 0 || static_cast<std::uintmax_t>(size) > kMaxManifestBytes) {
+    if (error != nullptr) {
+      *error = "manifest: implausible size " + std::to_string(size) +
+               " bytes at " + path;
+    }
+    return false;
+  }
+  f.seekg(0);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseFleetManifest(buf.str(), out, error);
+}
+
+FleetManifest BuildFleetManifest(const FleetReport& report,
+                                 const std::vector<SessionSpec>& specs) {
+  FleetManifest m;
+  m.workers = report.workers;
+  m.max_attempts = report.max_attempts;
+  m.global_backlog_windows = report.global_backlog_windows;
+  m.isolate = report.isolate;
+  const std::size_t n = std::min(specs.size(), report.outcomes.size());
+  m.sessions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ManifestEntry e;
+    e.spec = specs[i];
+    const SessionOutcome& o = report.outcomes[i];
+    if (o.ok || o.quarantined) {
+      e.seed.terminal = true;
+      e.seed.outcome = o;
+    } else {
+      // Suspended (or otherwise open): the restarted daemon re-queues it
+      // with the preserved attempt counter and resumes from the session's
+      // own checkpoint.
+      e.seed.terminal = false;
+      e.seed.attempts = o.attempts;
+    }
+    m.sessions.push_back(std::move(e));
+  }
+  return m;
+}
+
+bool SessionDirReady(const std::string& dir) {
+  try {
+    telemetry::TailingDatasetReader reader(dir);
+    telemetry::SessionDataset ds;
+    return reader.PollMeta(ds);
+  } catch (...) {
+    return false;
+  }
+}
+
+std::vector<std::string> ScanForSessions(
+    const std::vector<std::string>& roots,
+    const std::set<std::string>& known, const std::string& skip_prefix) {
+  std::vector<std::string> found;
+  for (std::string root : roots) {
+    while (root.size() > 1 && root.back() == '/') root.pop_back();
+    std::error_code ec;
+    fs::directory_iterator it(root, ec);
+    if (ec) continue;  // A missing/unreadable root this sweep is not fatal.
+    for (const fs::directory_entry& entry : it) {
+      std::error_code dec;
+      if (!entry.is_directory(dec) || dec) continue;
+      const std::string path = entry.path().string();
+      const std::string name = entry.path().filename().string();
+      if (name.empty() || name.front() == '.') continue;
+      if (!skip_prefix.empty() &&
+          (path == skip_prefix ||
+           path.compare(0, skip_prefix.size() + 1, skip_prefix + "/") ==
+               0)) {
+        continue;
+      }
+      if (known.count(path) != 0) continue;
+      if (!SessionDirReady(path)) continue;
+      found.push_back(path);
+    }
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+std::string SessionStateDirFor(const std::string& state_root,
+                               const std::string& dataset_dir) {
+  std::string base = fs::path(dataset_dir).filename().string();
+  if (base.empty()) base = fs::path(dataset_dir).parent_path().filename().string();
+  std::string safe;
+  for (char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    safe.push_back(ok ? c : '_');
+  }
+  if (safe.empty()) safe = "session";
+  // The path hash disambiguates same-named sessions under different roots
+  // and keeps the mapping stable across daemon restarts.
+  return state_root + "/" + safe + "_" + Hex64(Fnv1a(dataset_dir));
+}
+
+bool ParseTunablesFile(const std::string& path, DaemonTunables* out,
+                       std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = "tunables: " + why;
+    return false;
+  };
+  std::ifstream f(path);
+  if (!f) return fail("cannot read " + path);
+  DaemonTunables t;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // Blank / comment-only line.
+    const std::string at = " at line " + std::to_string(lineno);
+    if (key == "session_deadline_s") {
+      double v = 0;
+      if (!(ls >> v) || v < 0) return fail("bad value for " + key + at);
+      t.session_deadline_s = v;
+    } else {
+      long v = 0;
+      if (!(ls >> v) || v < 0) return fail("bad value for " + key + at);
+      if (key == "max_attempts") {
+        if (v > 1000) return fail("max_attempts > 1000" + at);
+        t.max_attempts = static_cast<int>(v);
+      } else if (key == "backoff_ms") {
+        t.backoff_ms = v;
+      } else if (key == "backoff_cap_ms") {
+        t.backoff_cap_ms = v;
+      } else if (key == "scan_interval_ms") {
+        t.scan_interval_ms = v;
+      } else if (key == "status_interval_ms") {
+        t.status_interval_ms = v;
+      } else if (key == "drain_grace_ms") {
+        t.drain_grace_ms = v;
+      } else {
+        return fail("unknown key '" + key + "'" + at);
+      }
+    }
+    std::string extra;
+    if (ls >> extra) return fail("trailing token '" + extra + "'" + at);
+  }
+  *out = t;
+  return true;
+}
+
+namespace {
+
+/// Age in seconds of the newest live.ckpt among the open sessions, or -1
+/// when none exists yet. Wall-clock, liveness-only — never byte-compared.
+double NewestCheckpointAgeS(const std::vector<std::string>& state_dirs) {
+  const auto now = fs::file_time_type::clock::now();
+  double best = -1;
+  for (const std::string& dir : state_dirs) {
+    std::error_code ec;
+    const auto t = fs::last_write_time(dir + "/live.ckpt", ec);
+    if (ec) continue;
+    const double age = std::chrono::duration<double>(now - t).count();
+    if (best < 0 || age < best) best = age;
+  }
+  return best;
+}
+
+std::string BuildStatusJson(const char* state,
+                            const FleetSupervisor::Status& s,
+                            double uptime_s) {
+  std::ostringstream os;
+  char buf[64];
+  os << "{\n";
+  os << "  \"state\": \"" << state << "\",\n";
+  std::snprintf(buf, sizeof(buf), "%.3f", uptime_s);
+  os << "  \"uptime_s\": " << buf << ",\n";
+  os << "  \"sessions\": {\"known\": " << s.known
+     << ", \"active\": " << s.active << ", \"pending\": " << s.pending
+     << ", \"retrying\": " << s.retrying
+     << ", \"completed\": " << s.completed
+     << ", \"quarantined\": " << s.quarantined
+     << ", \"suspended\": " << s.suspended << "},\n";
+  os << "  \"failed_attempts\": " << s.failed_attempts << ",\n";
+  os << "  \"progress\": {\"windows\": " << s.total_windows
+     << ", \"chains\": " << s.total_chains
+     << ", \"shed_windows\": " << s.total_shed_windows << "},\n";
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                NewestCheckpointAgeS(s.open_state_dirs));
+  os << "  \"last_checkpoint_age_s\": " << buf << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+void WriteStatusFile(const std::string& path, const char* state,
+                     const FleetSupervisor::Status& s, double uptime_s,
+                     bool quiet) {
+  std::string err;
+  if (!AtomicWriteFile(path, BuildStatusJson(state, s, uptime_s),
+                       /*fsync_file=*/false, nullptr, &err) &&
+      !quiet) {
+    // Liveness reporting must never take the daemon down; a monitor that
+    // sees a stale file draws the right conclusion anyway.
+    std::fprintf(stderr, "serve: status write failed: %s\n", err.c_str());
+  }
+}
+
+}  // namespace
+
+ServeDaemonResult RunServeDaemon(std::vector<SessionSpec> specs,
+                                 analysis::CausalGraph graph,
+                                 LiveOptions live, FleetOptions fleet,
+                                 const ServeDaemonOptions& dopts) {
+  ServeDaemonResult res;
+  // The manifest records resolved state dirs, so resolve before merging.
+  for (SessionSpec& s : specs) {
+    if (s.state_dir.empty()) s.state_dir = DefaultStateDir(s.dataset_dir);
+  }
+  fleet.dynamic = dopts.watch;
+  fleet.drain_grace_ms = dopts.drain_grace_ms;
+
+  if (!dopts.manifest_path.empty()) {
+    FleetManifest m;
+    std::string merr;
+    if (LoadFleetManifest(dopts.manifest_path, &m, &merr)) {
+      // Resuming under a different admission-budget configuration would
+      // change the backlog shares — and with them what a resumed session
+      // sheds — silently breaking the byte-identity promise. Refuse.
+      if (fleet.workers == 0) fleet.workers = m.workers;
+      if (fleet.workers != m.workers ||
+          fleet.max_attempts != m.max_attempts ||
+          fleet.global_backlog_windows != m.global_backlog_windows ||
+          fleet.isolate != m.isolate) {
+        res.fatal = true;
+        res.error =
+            "serve: manifest " + dopts.manifest_path +
+            " was written under a different fleet configuration "
+            "(workers/max-attempts/global-backlog/isolate); rerun with the "
+            "original flags or delete the manifest to start over";
+        return res;
+      }
+      res.resumed = true;
+      std::set<std::string> have;
+      std::vector<SessionSpec> merged;
+      std::vector<SessionSeed> seeds;
+      merged.reserve(m.sessions.size() + specs.size());
+      for (ManifestEntry& e : m.sessions) {
+        have.insert(e.spec.dataset_dir);
+        merged.push_back(std::move(e.spec));
+        seeds.push_back(std::move(e.seed));
+      }
+      for (SessionSpec& s : specs) {
+        if (have.count(s.dataset_dir) != 0) continue;
+        merged.push_back(std::move(s));
+        seeds.emplace_back();
+      }
+      specs = std::move(merged);
+      fleet.seeds = std::move(seeds);
+      // The chaos schedule indexes the *fresh* run's admission order; the
+      // resumed run replays faults through the fresh-run-only hooks of the
+      // sessions it re-runs, not through a re-indexed schedule.
+      fleet.chaos.clear();
+    } else if (!merr.empty()) {
+      res.fatal = true;
+      res.error = "serve: refusing to start over a corrupt manifest: " +
+                  merr + " (delete " + dopts.manifest_path +
+                  " to discard it)";
+      return res;
+    }
+  }
+
+  // Admission-ordered ledger for the shutdown manifest. Only the helper
+  // thread appends after construction, and the final read happens after
+  // it is joined.
+  std::vector<SessionSpec> all_specs = specs;
+  FleetSupervisor sup(std::move(specs), std::move(graph), std::move(live),
+                      fleet);
+
+  std::atomic<bool> stop{false};
+  const auto start = Clock::now();
+  std::thread helper([&] {
+    std::set<std::string> known;
+    for (const SessionSpec& s : all_specs) known.insert(s.dataset_dir);
+    long scan_ms = std::max(1L, dopts.scan_interval_ms);
+    long status_ms = std::max(1L, dopts.status_interval_ms);
+    long grace_ms = std::max(0L, dopts.drain_grace_ms);
+    auto next_scan = start;
+    auto next_status = start;
+    bool draining = false, escalated = false, no_more_sent = !dopts.watch;
+    Clock::time_point escalate_at{};
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto now = Clock::now();
+      if (!draining && dopts.term_signals != nullptr &&
+          dopts.term_signals->load(std::memory_order_relaxed) > 0) {
+        draining = true;
+        escalate_at = now + std::chrono::milliseconds(grace_ms);
+        sup.RequestDrain();
+        if (!fleet.quiet) {
+          std::fprintf(stderr, "serve: drain requested, checkpointing "
+                               "in-flight sessions\n");
+        }
+      }
+      if (draining && !escalated &&
+          (now >= escalate_at ||
+           (dopts.term_signals != nullptr &&
+            dopts.term_signals->load(std::memory_order_relaxed) > 1))) {
+        sup.CancelInFlight();
+        escalated = true;
+      }
+      if (dopts.hup_signals != nullptr &&
+          dopts.hup_signals->exchange(0, std::memory_order_relaxed) > 0) {
+        if (!dopts.tunables_path.empty()) {
+          DaemonTunables t;
+          std::string terr;
+          if (ParseTunablesFile(dopts.tunables_path, &t, &terr)) {
+            sup.UpdateTunables(t.max_attempts, t.backoff_ms,
+                               t.backoff_cap_ms, t.session_deadline_s);
+            if (t.scan_interval_ms > 0) scan_ms = t.scan_interval_ms;
+            if (t.status_interval_ms > 0) status_ms = t.status_interval_ms;
+            if (t.drain_grace_ms > 0) grace_ms = t.drain_grace_ms;
+            if (!fleet.quiet) {
+              std::fprintf(stderr, "serve: reloaded tunables from %s\n",
+                           dopts.tunables_path.c_str());
+            }
+          } else {
+            std::fprintf(stderr, "serve: SIGHUP reload failed: %s\n",
+                         terr.c_str());
+          }
+        }
+        next_scan = now;  // SIGHUP always forces an immediate re-scan.
+      }
+      bool swept_nothing = false;
+      if (dopts.watch && !draining && now >= next_scan) {
+        const std::vector<std::string> fresh =
+            ScanForSessions(dopts.watch_roots, known, dopts.state_root);
+        if (fresh.empty()) {
+          swept_nothing = true;
+        } else {
+          std::vector<SessionSpec> batch;
+          batch.reserve(fresh.size());
+          for (const std::string& dir : fresh) {
+            known.insert(dir);
+            SessionSpec s;
+            s.dataset_dir = dir;
+            s.state_dir = dopts.state_root.empty()
+                              ? DefaultStateDir(dir)
+                              : SessionStateDirFor(dopts.state_root, dir);
+            batch.push_back(s);
+          }
+          all_specs.insert(all_specs.end(), batch.begin(), batch.end());
+          if (!fleet.quiet) {
+            std::fprintf(stderr, "serve: admitted %zu new session%s\n",
+                         batch.size(), batch.size() == 1 ? "" : "s");
+          }
+          sup.AddSessions(std::move(batch));
+        }
+        next_scan = Clock::now() + std::chrono::milliseconds(scan_ms);
+      }
+      if (!dopts.status_path.empty() && now >= next_status) {
+        WriteStatusFile(dopts.status_path,
+                        draining ? "draining" : "running", sup.Snapshot(),
+                        std::chrono::duration<double>(now - start).count(),
+                        fleet.quiet);
+        next_status = Clock::now() + std::chrono::milliseconds(status_ms);
+      }
+      if (dopts.watch && dopts.exit_when_idle && !no_more_sent &&
+          swept_nothing) {
+        const FleetSupervisor::Status s = sup.Snapshot();
+        if (s.active == 0 && s.pending == 0) {
+          sup.NoMoreSessions();
+          no_more_sent = true;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  res.report = sup.Run();
+  stop.store(true, std::memory_order_release);
+  helper.join();
+
+  if (!dopts.manifest_path.empty()) {
+    // Best-effort: a lost manifest costs resume efficiency (open sessions
+    // re-run from their checkpoints, terminal ones re-complete), never
+    // correctness — so a full disk here must not turn a clean drain into
+    // a crash.
+    std::string serr;
+    if (!SaveFleetManifest(BuildFleetManifest(res.report, all_specs),
+                           dopts.manifest_path, nullptr, &serr)) {
+      std::fprintf(stderr, "serve: manifest write failed: %s\n",
+                   serr.c_str());
+    }
+  }
+  if (!dopts.status_path.empty()) {
+    WriteStatusFile(
+        dopts.status_path, "stopped", sup.Snapshot(),
+        std::chrono::duration<double>(Clock::now() - start).count(),
+        fleet.quiet);
+  }
+  return res;
+}
+
+}  // namespace domino::runtime

@@ -89,6 +89,7 @@ const char* IsolateName(IsolationMode m) {
 struct AttemptResult {
   bool ok = false;
   bool cancelled = false;  ///< The wall-clock deadline fired.
+  bool drained = false;    ///< The drain stopped this attempt (resumable).
   std::string error;
   LiveSummary summary;  ///< Valid when ok (thread isolation only; process
                         ///< isolation reconstructs from the checkpoint).
@@ -99,11 +100,18 @@ struct AttemptResult {
 }  // namespace
 
 struct FleetSupervisor::Impl {
-  std::vector<SessionSpec> specs;  ///< state_dir resolved, never empty.
+  std::vector<SessionSpec> specs;  ///< state_dir resolved.
   analysis::CausalGraph graph;
   FleetOptions fleet;
+  LiveOptions live_base;  ///< Shared per-session config before budgets.
   std::vector<LiveOptions> session_opts;
   std::vector<int> session_max_attempts;
+  /// Whether session i's attempt budget came from a tenant override (a
+  /// SIGHUP tunables reload must not clobber those).
+  std::vector<char> has_tenant_attempts;
+  /// Tenant -> sessions admitted so far; the tenant backlog share of a
+  /// dynamically admitted session uses the count at its admission time.
+  std::map<std::string, int> tenant_sessions;
   int workers = 0;
   bool ran = false;
 
@@ -111,6 +119,7 @@ struct FleetSupervisor::Impl {
     int attempts = 0;
     bool deadline_exceeded = false;
     bool admitted = false;
+    bool terminal = false;
     Clock::time_point admitted_at{};
     double latency_s = 0;
     SessionOutcome outcome;
@@ -126,6 +135,16 @@ struct FleetSupervisor::Impl {
   std::vector<Task> queue;
   std::size_t open_sessions = 0;  ///< Sessions not yet terminal.
   bool done = false;
+  bool no_more = false;  ///< No further AddSessions() will come.
+  long failed_attempts = 0;  ///< Attempt failures observed (all causes).
+
+  /// Drain request: polled by the dequeue loop (stop starting attempts),
+  /// the process-isolation waitpid loop (SIGTERM the child), and handed to
+  /// thread-isolation runners as LiveOptions::drain.
+  std::atomic<bool> drain{false};
+  /// Tunables that attempt runners read without the mutex (SIGHUP reload).
+  std::atomic<double> deadline_s{0};
+  std::atomic<long> grace_ms{5'000};
 
   /// Per-worker deadline slot, armed around each thread-isolation attempt
   /// and polled by the monitor thread. One attempt per worker at a time,
@@ -142,6 +161,11 @@ struct FleetSupervisor::Impl {
   AttemptResult RunAttemptThread(std::size_t idx, WorkerSlot& slot);
   AttemptResult RunAttemptProcess(std::size_t idx);
   void MonitorLoop();
+  /// Appends one session (options, budgets, state slot, queue entry).
+  /// Caller holds `mu` (or is the constructor). `tenant_sessions` must
+  /// already count the batch this spec belongs to.
+  void SetupSession(SessionSpec spec, const SessionChaos* chaos,
+                    const SessionSeed* seed);
   void Note(const char* fmt, const std::string& dataset,
             const std::string& detail) const;
 };
@@ -172,6 +196,10 @@ FleetSupervisor::FleetSupervisor(std::vector<SessionSpec> specs,
         "fleet: process isolation is not supported on this platform");
   }
 #endif
+  if (fleet.seeds.size() > specs.size()) {
+    delete impl_;
+    throw std::invalid_argument("fleet: more seeds than sessions");
+  }
   for (SessionSpec& s : specs) {
     if (s.state_dir.empty()) s.state_dir = DefaultStateDir(s.dataset_dir);
   }
@@ -179,59 +207,107 @@ FleetSupervisor::FleetSupervisor(std::vector<SessionSpec> specs,
   int workers = fleet.workers > 0
                     ? fleet.workers
                     : static_cast<int>(std::max(1u, hw));
-  workers = std::max(
-      1, std::min<int>(workers, static_cast<int>(
-                                    std::max<std::size_t>(1, specs.size()))));
+  if (!fleet.dynamic) {
+    // Batch mode: no point in more workers than sessions. A dynamic fleet
+    // keeps the requested pool — sessions it has not discovered yet will
+    // need the extra workers.
+    workers = std::max(
+        1, std::min<int>(workers,
+                         static_cast<int>(
+                             std::max<std::size_t>(1, specs.size()))));
+  }
+  workers = std::max(1, workers);
   workers_ = workers;
-
-  // Tenant session counts, for the per-tenant budget shares.
-  std::map<std::string, int> tenant_sessions;
-  for (const SessionSpec& s : specs) ++tenant_sessions[s.tenant];
 
   impl_->graph = std::move(graph);
   impl_->workers = workers;
+  impl_->live_base = std::move(live);
+  impl_->no_more = !fleet.dynamic;
+  impl_->deadline_s.store(fleet.session_deadline_s,
+                          std::memory_order_relaxed);
+  impl_->grace_ms.store(std::max(0L, fleet.drain_grace_ms),
+                        std::memory_order_relaxed);
+  impl_->fleet = std::move(fleet);
+
+  // Slots exist for the life of the supervisor (not just Run()) so
+  // CancelInFlight() is safe whenever a daemon thread calls it.
+  for (int w = 0; w < workers; ++w) {
+    impl_->slots.push_back(std::make_unique<Impl::WorkerSlot>());
+  }
+
+  // Tenant session counts, for the per-tenant budget shares: the whole
+  // initial batch counts before any session is set up (matching the
+  // pre-daemon behaviour for static fleets).
+  for (const SessionSpec& s : specs) ++impl_->tenant_sessions[s.tenant];
   impl_->session_opts.reserve(specs.size());
   impl_->session_max_attempts.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    LiveOptions o = live;
-    const TenantBudget* tb = nullptr;
-    if (auto it = fleet.tenants.find(specs[i].tenant);
-        it != fleet.tenants.end()) {
-      tb = &it->second;
-    }
-    o.max_backlog_windows = EffectiveBacklogWindows(
-        live.max_backlog_windows, fleet.global_backlog_windows, workers,
-        tb != nullptr ? tb->backlog_windows : 0,
-        tenant_sessions[specs[i].tenant]);
-    if (tb != nullptr && tb->has_input) o.input = tb->input;
-    if (i < fleet.chaos.size()) {
-      const SessionChaos& c = fleet.chaos[i];
-      o.chaos_crash_after = c.crash_after;
-      o.chaos_fail_after = c.fail_after;
-      o.chaos_wedge_after = c.wedge_after;
-      if (fleet.isolate == IsolationMode::kThread &&
-          o.chaos_crash_after > 0) {
-        // A real _Exit would take the whole fleet down with it, which is
-        // the documented thread-isolation tradeoff — so in thread mode the
-        // crash hook degrades to the fail hook and one --chaos spec drives
-        // both isolation modes. The degrade applies only to fleet-scheduled
-        // chaos: crash hooks already baked into the shared LiveOptions are
-        // caller-owned (`domino live --chaos-crash` in a process-isolation
-        // child IS the fault domain and must really _Exit).
-        o.chaos_fail_after = o.chaos_fail_after > 0
-                                 ? std::min(o.chaos_fail_after,
-                                            o.chaos_crash_after)
-                                 : o.chaos_crash_after;
-        o.chaos_crash_after = 0;
-      }
-    }
-    impl_->session_opts.push_back(std::move(o));
-    impl_->session_max_attempts.push_back(
-        tb != nullptr && tb->max_attempts > 0 ? tb->max_attempts
-                                              : fleet.max_attempts);
+    const SessionChaos* c =
+        i < impl_->fleet.chaos.size() ? &impl_->fleet.chaos[i] : nullptr;
+    const SessionSeed* seed =
+        i < impl_->fleet.seeds.size() ? &impl_->fleet.seeds[i] : nullptr;
+    impl_->SetupSession(std::move(specs[i]), c, seed);
   }
-  impl_->specs = std::move(specs);
-  impl_->fleet = std::move(fleet);
+}
+
+void FleetSupervisor::Impl::SetupSession(SessionSpec spec,
+                                         const SessionChaos* chaos,
+                                         const SessionSeed* seed) {
+  LiveOptions o = live_base;
+  const TenantBudget* tb = nullptr;
+  if (auto it = fleet.tenants.find(spec.tenant); it != fleet.tenants.end()) {
+    tb = &it->second;
+  }
+  o.max_backlog_windows = EffectiveBacklogWindows(
+      live_base.max_backlog_windows, fleet.global_backlog_windows, workers,
+      tb != nullptr ? tb->backlog_windows : 0, tenant_sessions[spec.tenant]);
+  if (tb != nullptr && tb->has_input) o.input = tb->input;
+  if (chaos != nullptr) {
+    o.chaos_crash_after = chaos->crash_after;
+    o.chaos_fail_after = chaos->fail_after;
+    o.chaos_wedge_after = chaos->wedge_after;
+    o.disk_fault = chaos->disk;
+    if (fleet.isolate == IsolationMode::kThread && o.chaos_crash_after > 0) {
+      // A real _Exit would take the whole fleet down with it, which is
+      // the documented thread-isolation tradeoff — so in thread mode the
+      // crash hook degrades to the fail hook and one --chaos spec drives
+      // both isolation modes. The degrade applies only to fleet-scheduled
+      // chaos: crash hooks already baked into the shared LiveOptions are
+      // caller-owned (`domino live --chaos-crash` in a process-isolation
+      // child IS the fault domain and must really _Exit).
+      o.chaos_fail_after =
+          o.chaos_fail_after > 0
+              ? std::min(o.chaos_fail_after, o.chaos_crash_after)
+              : o.chaos_crash_after;
+      o.chaos_crash_after = 0;
+    }
+  }
+  session_opts.push_back(std::move(o));
+  session_max_attempts.push_back(tb != nullptr && tb->max_attempts > 0
+                                     ? tb->max_attempts
+                                     : fleet.max_attempts);
+  has_tenant_attempts.push_back(
+      tb != nullptr && tb->max_attempts > 0 ? 1 : 0);
+
+  const std::size_t idx = state.size();
+  state.emplace_back();
+  SessionState& st = state.back();
+  if (seed != nullptr && seed->terminal) {
+    // Manifest-restored terminal outcome: reported verbatim, never re-run
+    // — this is what makes the restarted daemon's final report
+    // byte-identical to an undisturbed run's.
+    st.terminal = true;
+    st.outcome = seed->outcome;
+    st.attempts = seed->outcome.attempts;
+    st.deadline_exceeded = seed->outcome.deadline_exceeded;
+  } else {
+    if (seed != nullptr) st.attempts = seed->attempts;
+    queue.push_back(Task{idx, Clock::now()});
+    ++open_sessions;
+  }
+  st.outcome.dataset_dir = spec.dataset_dir;
+  st.outcome.tenant = spec.tenant;
+  specs.push_back(std::move(spec));
 }
 
 FleetSupervisor::~FleetSupervisor() { delete impl_; }
@@ -244,21 +320,26 @@ AttemptResult FleetSupervisor::Impl::RunAttemptThread(std::size_t idx,
                                                       WorkerSlot& slot) {
   AttemptResult res;
   slot.cancel.store(false, std::memory_order_relaxed);
-  if (fleet.session_deadline_s > 0) {
+  const double dl_s = deadline_s.load(std::memory_order_relaxed);
+  if (dl_s > 0) {
     const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                             Clock::now().time_since_epoch())
                             .count();
-    slot.deadline_ms.store(
-        now_ms + static_cast<long long>(fleet.session_deadline_s * 1000.0),
-        std::memory_order_relaxed);
+    slot.deadline_ms.store(now_ms + static_cast<long long>(dl_s * 1000.0),
+                           std::memory_order_relaxed);
     slot.armed.store(true, std::memory_order_release);
   }
   LiveOptions o = session_opts[idx];
   o.cancel = &slot.cancel;
+  o.drain = &drain;
   try {
     LiveRunner runner(specs[idx].dataset_dir, specs[idx].state_dir, graph, o);
     res.summary = runner.Run();
-    res.ok = true;
+    if (res.summary.drained) {
+      res.drained = true;
+    } else {
+      res.ok = true;
+    }
   } catch (const std::exception& e) {
     res.error = e.what();
   } catch (...) {
@@ -306,6 +387,15 @@ AttemptResult FleetSupervisor::Impl::RunAttemptProcess(std::size_t idx) {
     args.push_back("--chaos-wedge");
     args.push_back(std::to_string(o.chaos_wedge_after));
   }
+  if (o.disk_fault.kind != DiskFaultSpec::Kind::kNone) {
+    const char* kind =
+        o.disk_fault.kind == DiskFaultSpec::Kind::kEnospc ? "enospc"
+        : o.disk_fault.kind == DiskFaultSpec::Kind::kEio  ? "eio"
+                                                          : "short";
+    args.push_back("--chaos-disk");
+    args.push_back(std::string(kind) + ":" +
+                   std::to_string(o.disk_fault.at_write));
+  }
   args.push_back("--max-records");
   args.push_back(std::to_string(o.input.max_records));
   for (const std::string& a : fleet.child_args) args.push_back(a);
@@ -334,12 +424,15 @@ AttemptResult FleetSupervisor::Impl::RunAttemptProcess(std::size_t idx) {
     ::_exit(127);
   }
 
-  const bool have_deadline = fleet.session_deadline_s > 0;
+  const double dl_s = deadline_s.load(std::memory_order_relaxed);
+  const bool have_deadline = dl_s > 0;
   const auto deadline =
-      Clock::now() + std::chrono::milliseconds(static_cast<long long>(
-                         fleet.session_deadline_s * 1000.0));
+      Clock::now() +
+      std::chrono::milliseconds(static_cast<long long>(dl_s * 1000.0));
   int status = 0;
   bool killed = false;
+  bool termed = false;  ///< We SIGTERMed the child for a graceful drain.
+  auto drain_kill_at = Clock::time_point::max();
   for (;;) {
     const pid_t r = ::waitpid(pid, &status, WNOHANG);
     if (r == pid) break;
@@ -348,7 +441,22 @@ AttemptResult FleetSupervisor::Impl::RunAttemptProcess(std::size_t idx) {
       res.error = "waitpid failed";
       return res;
     }
-    if (!killed && have_deadline && Clock::now() >= deadline) {
+    const auto now = Clock::now();
+    if (!termed && !killed && drain.load(std::memory_order_relaxed)) {
+      // Graceful drain: SIGTERM asks the child to write a drain checkpoint
+      // and exit 75 (EX_TEMPFAIL = resumable); SIGKILL after the grace
+      // period covers wedged children — they resume from their last
+      // periodic checkpoint instead.
+      ::kill(pid, SIGTERM);
+      termed = true;
+      drain_kill_at = now + std::chrono::milliseconds(
+                                grace_ms.load(std::memory_order_relaxed));
+    }
+    if (termed && !killed && now >= drain_kill_at) {
+      ::kill(pid, SIGKILL);
+      killed = true;
+    }
+    if (!termed && !killed && have_deadline && now >= deadline) {
       ::kill(pid, SIGKILL);
       killed = true;
       res.cancelled = true;
@@ -360,14 +468,22 @@ AttemptResult FleetSupervisor::Impl::RunAttemptProcess(std::size_t idx) {
     res.exit_code = WEXITSTATUS(status);
     if (res.exit_code == 0) {
       res.ok = true;
+    } else if (res.exit_code == 75) {
+      // EX_TEMPFAIL: the child drained (whether we SIGTERMed it or the
+      // operator's terminal delivered the signal to the whole group).
+      res.drained = true;
     } else {
       res.error = "child exited with code " + std::to_string(res.exit_code);
     }
   } else if (WIFSIGNALED(status)) {
     res.term_signal = WTERMSIG(status);
-    res.error = killed ? "live: cancelled (session deadline exceeded)"
-                       : "child killed by signal " +
-                             std::to_string(res.term_signal);
+    if (termed) {
+      res.drained = true;
+    } else {
+      res.error = res.cancelled ? "live: cancelled (session deadline exceeded)"
+                                : "child killed by signal " +
+                                      std::to_string(res.term_signal);
+    }
   } else {
     res.error = "child ended abnormally";
   }
@@ -383,6 +499,29 @@ void FleetSupervisor::Impl::WorkerLoop(int worker_id) {
       std::unique_lock<std::mutex> lk(mu);
       for (;;) {
         if (done) return;
+        if (drain.load(std::memory_order_relaxed)) {
+          // Drain: nothing queued gets another attempt. Suspend it all and
+          // wait for the in-flight attempts (draining on other workers) to
+          // settle. A queued suspension costs no attempt: the session never
+          // started, so the restarted daemon re-queues it with the same
+          // counter an undisturbed run would have had.
+          for (const Task& t : queue) {
+            SessionState& st = state[t.idx];
+            if (st.terminal) continue;
+            st.terminal = true;
+            st.outcome.suspended = true;
+            st.outcome.attempts = st.attempts;
+            --open_sessions;
+          }
+          queue.clear();
+          if (open_sessions == 0) {
+            done = true;
+            cv.notify_all();
+            return;
+          }
+          cv.wait(lk);
+          continue;
+        }
         const auto now = Clock::now();
         std::size_t best = queue.size();
         auto earliest = Clock::time_point::max();
@@ -424,10 +563,11 @@ void FleetSupervisor::Impl::WorkerLoop(int worker_id) {
             : RunAttemptThread(task.idx, slot);
 
     std::unique_lock<std::mutex> lk(mu);
+    const bool draining = drain.load(std::memory_order_relaxed);
     SessionState& st = state[task.idx];
     SessionOutcome& out = st.outcome;
     out.attempts = st.attempts;
-    if (res.cancelled) st.deadline_exceeded = true;
+    if (res.cancelled && !draining) st.deadline_exceeded = true;
     out.deadline_exceeded = st.deadline_exceeded;
     out.exit_code = res.exit_code;
     out.term_signal = res.term_signal;
@@ -453,10 +593,32 @@ void FleetSupervisor::Impl::WorkerLoop(int worker_id) {
         out.summary = res.summary;
       }
       terminal = true;
+    } else if (res.drained || (res.cancelled && draining)) {
+      // The drain stopped this attempt (either the runner saw the drain
+      // token and checkpointed, or the post-grace cancel/SIGKILL cut a
+      // wedged one short). It was never a *failed* attempt: hand the
+      // counter back so the restarted daemon's re-run consumes the attempt
+      // number an undisturbed run would have used. (Chaos hooks fire on
+      // fresh runs only, so the replayed attempt reproduces any fault the
+      // interrupted one would have hit.)
+      --st.attempts;
+      out.attempts = st.attempts;
+      out.suspended = true;
+      out.error.clear();
+      terminal = true;
     } else {
       out.error = res.error;
+      ++failed_attempts;
       const int budget = session_max_attempts[task.idx];
-      if (st.attempts < budget) {
+      if (draining) {
+        // A real failure racing the drain: keep the consumed attempt (the
+        // chaos schedule will reproduce it on replay) and suspend instead
+        // of re-queueing — no new attempts start during a drain.
+        out.suspended = true;
+        terminal = true;
+        Note("serve[%s]: suspended by drain after failed attempt: %s\n",
+             specs[task.idx].dataset_dir, res.error);
+      } else if (st.attempts < budget) {
         const long delay = BackoffDelayMs(st.attempts + 1, fleet.backoff_ms,
                                           fleet.backoff_cap_ms);
         queue.push_back(Task{task.idx,
@@ -473,6 +635,7 @@ void FleetSupervisor::Impl::WorkerLoop(int worker_id) {
     }
 
     if (terminal) {
+      st.terminal = true;
       st.latency_s =
           std::chrono::duration<double>(Clock::now() - st.admitted_at)
               .count();
@@ -492,8 +655,19 @@ void FleetSupervisor::Impl::WorkerLoop(int worker_id) {
           }
         }
       }
+      if (out.ok && fleet.gc_checkpoints) {
+        // Bounded state: a completed session's checkpoint has served its
+        // purpose (report + chain log remain). Quarantined and suspended
+        // sessions keep theirs — postmortem and resume respectively.
+        std::error_code gc_ec;
+        fs::remove(specs[task.idx].state_dir + "/live.ckpt", gc_ec);
+        fs::remove(specs[task.idx].state_dir + "/live.ckpt.tmp", gc_ec);
+      }
       --open_sessions;
-      if (open_sessions == 0) done = true;
+      if (open_sessions == 0 &&
+          (no_more || drain.load(std::memory_order_relaxed))) {
+        done = true;
+      }
     }
     cv.notify_all();
   }
@@ -524,39 +698,40 @@ FleetReport FleetSupervisor::Run() {
   if (im.ran) throw std::logic_error("fleet: Run() already called");
   im.ran = true;
 
+  bool skip_pool = false;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    // Session state and the queue were built by the constructor (and any
+    // pre-Run AddSessions). All-terminal seeds leave nothing open.
+    if (im.open_sessions == 0 && im.no_more) im.done = true;
+    skip_pool = im.state.empty() && im.no_more;
+  }
+
+  if (!skip_pool) {
+    std::thread monitor;
+    if (im.fleet.isolate == IsolationMode::kThread &&
+        (im.fleet.session_deadline_s > 0 || im.fleet.dynamic)) {
+      // Dynamic fleets always run the monitor: a SIGHUP tunables reload
+      // may introduce a deadline after startup.
+      monitor = std::thread([&im] { im.MonitorLoop(); });
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(im.workers));
+    for (int w = 0; w < im.workers; ++w) {
+      pool.emplace_back([&im, w] { im.WorkerLoop(w); });
+    }
+    for (std::thread& t : pool) t.join();
+    im.monitor_stop.store(true, std::memory_order_release);
+    if (monitor.joinable()) monitor.join();
+  }
+
   FleetReport report;
+  std::lock_guard<std::mutex> lk(im.mu);
   report.workers = im.workers;
   report.max_attempts = im.fleet.max_attempts;
   report.global_backlog_windows = im.fleet.global_backlog_windows;
   report.isolate = im.fleet.isolate;
-  if (im.specs.empty()) return report;
-
-  im.state.resize(im.specs.size());
-  for (std::size_t i = 0; i < im.specs.size(); ++i) {
-    im.state[i].outcome.dataset_dir = im.specs[i].dataset_dir;
-    im.state[i].outcome.tenant = im.specs[i].tenant;
-    im.queue.push_back(Impl::Task{i, Clock::now()});
-  }
-  im.open_sessions = im.specs.size();
-
-  im.slots.clear();
-  for (int w = 0; w < im.workers; ++w) {
-    im.slots.push_back(std::make_unique<Impl::WorkerSlot>());
-  }
-  std::thread monitor;
-  if (im.fleet.isolate == IsolationMode::kThread &&
-      im.fleet.session_deadline_s > 0) {
-    monitor = std::thread([&im] { im.MonitorLoop(); });
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(im.workers));
-  for (int w = 0; w < im.workers; ++w) {
-    pool.emplace_back([&im, w] { im.WorkerLoop(w); });
-  }
-  for (std::thread& t : pool) t.join();
-  im.monitor_stop.store(true, std::memory_order_release);
-  if (monitor.joinable()) monitor.join();
-
+  report.drained = im.drain.load(std::memory_order_relaxed);
   for (Impl::SessionState& st : im.state) {
     report.outcomes.push_back(std::move(st.outcome));
     report.session_latency_s.push_back(st.latency_s);
@@ -568,11 +743,103 @@ FleetReport FleetSupervisor::Run() {
       if (o.attempts > 1) ++report.recovered;
     }
     if (o.quarantined) ++report.quarantined;
+    if (o.suspended) ++report.suspended;
     report.total_windows += o.summary.windows;
     report.total_chains += o.summary.chains;
     report.total_shed_windows += o.summary.shed_windows;
   }
   return report;
+}
+
+void FleetSupervisor::AddSessions(std::vector<SessionSpec> specs,
+                                  std::vector<SessionChaos> chaos) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  if (im.done || im.no_more || im.drain.load(std::memory_order_relaxed)) {
+    return;
+  }
+  for (SessionSpec& s : specs) {
+    if (s.state_dir.empty()) s.state_dir = DefaultStateDir(s.dataset_dir);
+  }
+  // The whole batch counts towards the tenant shares before any of it is
+  // set up, mirroring the constructor's treatment of the initial batch.
+  for (const SessionSpec& s : specs) ++im.tenant_sessions[s.tenant];
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const SessionChaos* c = i < chaos.size() ? &chaos[i] : nullptr;
+    im.SetupSession(std::move(specs[i]), c, nullptr);
+  }
+  im.cv.notify_all();
+}
+
+void FleetSupervisor::NoMoreSessions() {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.no_more = true;
+  if (im.open_sessions == 0) im.done = true;
+  im.cv.notify_all();
+}
+
+void FleetSupervisor::RequestDrain() {
+  Impl& im = *impl_;
+  im.drain.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.cv.notify_all();
+}
+
+void FleetSupervisor::CancelInFlight() {
+  for (auto& slot : impl_->slots) {
+    slot->cancel.store(true, std::memory_order_relaxed);
+  }
+}
+
+void FleetSupervisor::UpdateTunables(int max_attempts, long backoff_ms,
+                                     long backoff_cap_ms,
+                                     double session_deadline_s) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  if (max_attempts >= 1) {
+    im.fleet.max_attempts = max_attempts;
+    for (std::size_t i = 0; i < im.session_max_attempts.size(); ++i) {
+      if (im.has_tenant_attempts[i] == 0) {
+        im.session_max_attempts[i] = max_attempts;
+      }
+    }
+  }
+  if (backoff_ms > 0) im.fleet.backoff_ms = backoff_ms;
+  if (backoff_cap_ms > 0) im.fleet.backoff_cap_ms = backoff_cap_ms;
+  if (session_deadline_s > 0) {
+    im.fleet.session_deadline_s = session_deadline_s;
+    im.deadline_s.store(session_deadline_s, std::memory_order_relaxed);
+  }
+}
+
+FleetSupervisor::Status FleetSupervisor::Snapshot() const {
+  Impl& im = *impl_;
+  Status s;
+  std::lock_guard<std::mutex> lk(im.mu);
+  s.known = static_cast<long>(im.state.size());
+  for (const Impl::Task& t : im.queue) {
+    ++s.pending;
+    if (im.state[t.idx].attempts > 0) ++s.retrying;
+  }
+  for (std::size_t i = 0; i < im.state.size(); ++i) {
+    const Impl::SessionState& st = im.state[i];
+    if (st.terminal) {
+      const SessionOutcome& o = st.outcome;
+      if (o.ok) ++s.completed;
+      if (o.quarantined) ++s.quarantined;
+      if (o.suspended) ++s.suspended;
+      s.total_windows += o.summary.windows;
+      s.total_chains += o.summary.chains;
+      s.total_shed_windows += o.summary.shed_windows;
+    } else if (st.admitted) {
+      s.open_state_dirs.push_back(im.specs[i].state_dir);
+    }
+  }
+  s.active = static_cast<long>(im.open_sessions) - s.pending;
+  s.failed_attempts = im.failed_attempts;
+  s.draining = im.drain.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::string FormatFleetReportText(const FleetReport& report) {
@@ -585,8 +852,11 @@ std::string FormatFleetReportText(const FleetReport& report) {
   }
   os << ")\n";
   os << "  completed " << report.completed << " (" << report.recovered
-     << " recovered), quarantined " << report.quarantined << ", "
-     << report.total_attempts << " attempts total\n";
+     << " recovered), quarantined " << report.quarantined;
+  if (report.suspended > 0) os << ", suspended " << report.suspended;
+  os << ", " << report.total_attempts << " attempts total";
+  if (report.drained) os << " [drained]";
+  os << "\n";
   os << "  windows " << report.total_windows << ", chains "
      << report.total_chains << ", shed " << report.total_shed_windows
      << "\n";
@@ -599,7 +869,10 @@ std::string FormatFleetReportText(const FleetReport& report) {
   for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
     const SessionOutcome& o = report.outcomes[i];
     os << "  [" << i << "] "
-       << (o.ok ? "ok         " : o.quarantined ? "QUARANTINED" : "failed   ")
+       << (o.ok            ? "ok         "
+           : o.quarantined ? "QUARANTINED"
+           : o.suspended   ? "suspended  "
+                           : "failed   ")
        << " " << o.dataset_dir;
     if (!o.tenant.empty()) os << " tenant=" << o.tenant;
     os << " attempts=" << o.attempts;
@@ -633,6 +906,7 @@ std::string BuildFleetReportJson(const FleetReport& report) {
   os << "  \"counts\": {\"completed\": " << report.completed
      << ", \"recovered\": " << report.recovered
      << ", \"quarantined\": " << report.quarantined
+     << ", \"suspended\": " << report.suspended
      << ", \"total_attempts\": " << report.total_attempts << "},\n";
   os << "  \"progress\": {\"windows\": " << report.total_windows
      << ", \"chains\": " << report.total_chains
@@ -644,6 +918,7 @@ std::string BuildFleetReportJson(const FleetReport& report) {
        << JsonEscape(o.dataset_dir) << "\", \"tenant\": \""
        << JsonEscape(o.tenant) << "\", \"ok\": " << (o.ok ? "true" : "false")
        << ", \"quarantined\": " << (o.quarantined ? "true" : "false")
+       << ", \"suspended\": " << (o.suspended ? "true" : "false")
        << ", \"deadline_exceeded\": "
        << (o.deadline_exceeded ? "true" : "false")
        << ", \"attempts\": " << o.attempts

@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "common/diskfault.h"
 #include "common/parse.h"
 #include "domino/graph.h"
 #include "domino/runtime/supervisor.h"
@@ -81,6 +82,21 @@ struct SessionChaos {
                          ///< isolation; degrades to fail_after in threads).
   long fail_after = 0;   ///< Throw after Nth checkpoint.
   long wedge_after = 0;  ///< Stop progressing after Nth checkpoint.
+  /// Environmental fault: fail the session's Nth guarded durability write
+  /// (checkpoint/report) with ENOSPC/EIO/a short write (diskfault.h). The
+  /// failed write escalates to an attempt failure — retry/quarantine path.
+  DiskFaultSpec disk{};
+};
+
+/// Pre-recorded state for one session, used when a restarted daemon seeds
+/// its supervisor from a fleet manifest (daemon.h). Parallel to the spec
+/// vector. A terminal seed's outcome is reported verbatim without re-running
+/// the session; a non-terminal seed pre-loads the attempt counter so the
+/// resumed run's final attempt counts match an undisturbed run's.
+struct SessionSeed {
+  bool terminal = false;
+  int attempts = 0;
+  SessionOutcome outcome;  ///< Meaningful when terminal.
 };
 
 struct FleetOptions {
@@ -111,6 +127,22 @@ struct FleetOptions {
   /// Per-session chaos hooks, parallel to the spec vector (may be shorter
   /// or empty = no chaos).
   std::vector<SessionChaos> chaos;
+  /// Manifest seeds, parallel to the spec vector (may be shorter or empty
+  /// = every session starts cold). See SessionSeed.
+  std::vector<SessionSeed> seeds;
+  /// Daemon mode: Run() keeps the pool alive for sessions admitted later
+  /// via AddSessions() and terminates only after NoMoreSessions() (or a
+  /// drain). Also uncaps the worker count from the *initial* session count,
+  /// since more sessions may arrive.
+  bool dynamic = false;
+  /// Delete a session's checkpoint once it completes successfully (its
+  /// report and chain log remain). Quarantined sessions always keep theirs
+  /// for postmortem. Off by default: standalone `domino live` documents
+  /// resume-across-dataset-growth, which needs the final checkpoint.
+  bool gc_checkpoints = false;
+  /// Grace period between SIGTERM and SIGKILL for process-isolation
+  /// children during a drain.
+  long drain_grace_ms = 5'000;
   /// Suppress per-attempt progress lines on stderr.
   bool quiet = true;
 };
@@ -126,6 +158,8 @@ struct FleetReport {
   long completed = 0;    ///< ok sessions.
   long recovered = 0;    ///< ok after >1 attempt.
   long quarantined = 0;  ///< attempt budget exhausted.
+  long suspended = 0;    ///< drained mid-run (resumable via manifest).
+  bool drained = false;  ///< The run ended because of a drain request.
   long total_attempts = 0;
   long total_windows = 0;
   long total_chains = 0;
@@ -172,10 +206,62 @@ class FleetSupervisor {
   FleetSupervisor(const FleetSupervisor&) = delete;
   FleetSupervisor& operator=(const FleetSupervisor&) = delete;
 
-  /// Runs every session to a terminal state (completed or quarantined)
-  /// and returns the report. Never throws for per-session failures; runs
-  /// once per supervisor instance.
+  /// Runs every session to a terminal state (completed, quarantined, or —
+  /// under a drain — suspended) and returns the report. Never throws for
+  /// per-session failures; runs once per supervisor instance. With
+  /// FleetOptions::dynamic the pool stays alive for AddSessions() arrivals
+  /// until NoMoreSessions() or RequestDrain().
   FleetReport Run();
+
+  /// Admit more sessions through the normal budget path while Run() is in
+  /// flight (or before it starts). `chaos` is parallel to `specs` (may be
+  /// shorter/empty). Ignored after a drain has begun. Thread-safe.
+  void AddSessions(std::vector<SessionSpec> specs,
+                   std::vector<SessionChaos> chaos = {});
+
+  /// Declares that no further AddSessions() calls will come; a dynamic
+  /// Run() may then terminate once every known session is terminal.
+  /// Thread-safe.
+  void NoMoreSessions();
+
+  /// Graceful drain: stop starting attempts, ask in-flight attempts to
+  /// checkpoint and stop (drain token in thread isolation, SIGTERM to
+  /// process-isolation children), and mark everything still open as
+  /// suspended. Run() then returns. Thread-safe, idempotent.
+  void RequestDrain();
+
+  /// Escalation for a drain that outlives its grace period: flips every
+  /// worker's cancel token so wedged thread-isolation attempts abort (the
+  /// session still resumes from its last periodic checkpoint). Process
+  /// children are SIGKILLed by their own grace timer. Thread-safe.
+  void CancelInFlight();
+
+  /// Reload retry/deadline tunables (SIGHUP path). Zero/negative fields
+  /// keep their current value. Sessions whose tenant overrides
+  /// max_attempts keep the override. Thread-safe.
+  void UpdateTunables(int max_attempts, long backoff_ms, long backoff_cap_ms,
+                      double session_deadline_s);
+
+  /// Point-in-time health counters for the fleet_status.json liveness
+  /// file. Thread-safe.
+  struct Status {
+    long known = 0;        ///< Sessions ever admitted (incl. seeded ones).
+    long active = 0;       ///< Attempts running right now.
+    long pending = 0;      ///< Queued (first attempt or backoff).
+    long retrying = 0;     ///< Queued sessions with >= 1 failed attempt.
+    long completed = 0;
+    long quarantined = 0;
+    long suspended = 0;
+    long failed_attempts = 0;  ///< Attempt failures observed (all causes).
+    long total_windows = 0;    ///< Windows analysed by terminal sessions.
+    long total_chains = 0;
+    long total_shed_windows = 0;
+    bool draining = false;
+    /// State dirs of sessions currently open and admitted — the liveness
+    /// writer stats their checkpoints for a last-checkpoint age.
+    std::vector<std::string> open_state_dirs;
+  };
+  [[nodiscard]] Status Snapshot() const;
 
   /// Resolved pool size (after the 0 = auto default).
   [[nodiscard]] int workers() const { return workers_; }

@@ -131,6 +131,9 @@ LiveRunner::LiveRunner(std::string dataset_dir, std::string state_dir,
      << " gap=" << opts_.sanitize.gap_threshold.micros()
      << " slack=" << opts_.sanitize.range_slack.micros();
   fingerprint_ = fp.str();
+  // Disk chaos is per-attempt state, like the crash/fail/wedge hooks: the
+  // injector counts this attempt's guarded writes from zero.
+  diskfault_ = DiskFaultInjector(opts_.disk_fault);
 }
 
 LiveSummary LiveRunner::Run() {
@@ -153,7 +156,13 @@ LiveSummary LiveRunner::Run() {
     limit_ = cp.ingest_limit;
     poll_count_ = cp.poll_count;
     checkpoints_written_ = cp.checkpoints_written;
-    last_checkpoint_windows_ = cp.windows;
+    // A drain checkpoint carries progress past the cadence origin; restore
+    // the origin itself so periodic checkpoints land exactly where an
+    // undisturbed run would put them (pre-cadence files fall back to the
+    // old behaviour: the checkpoint was the origin).
+    last_checkpoint_windows_ = cp.last_checkpoint_windows >= 0
+                                   ? cp.last_checkpoint_windows
+                                   : cp.windows;
     last_resets_ = cp.resets;
     analyzed_to_ = cp.next_begin;
     retention_.cuts = cp.retention_cuts;
@@ -228,11 +237,15 @@ LiveSummary LiveRunner::Run() {
   };
 
   if (!AwaitMeta()) {
-    throw std::runtime_error("live: " + dataset_dir_ +
-                             "/meta.csv never became readable");
+    if (!drained_) {
+      throw std::runtime_error("live: " + dataset_dir_ +
+                               "/meta.csv never became readable");
+    }
+    // Drained before the session even became readable: nothing to
+    // checkpoint, nothing analysed — the next run simply starts fresh.
   }
 
-  while (!finished_) {
+  while (!finished_ && !drained_) {
     if (!PollOnce()) break;
   }
 
@@ -251,6 +264,7 @@ LiveSummary LiveRunner::Run() {
     }
   }
   sum.resumed = resumed_;
+  sum.drained = drained_;
   sum.report_path = state_dir_ + "/" + kReportFile;
   sum.chains_path = chains_path;
   return sum;
@@ -302,11 +316,20 @@ bool LiveRunner::AwaitMeta() {
     // Static datasets either have a meta.csv or never will — fail fast.
     // Only follow mode waits for a writer to produce one.
     if (!opts_.follow) return false;
+    if (DrainRequested()) {
+      drained_ = true;
+      return false;
+    }
     CheckCancel();
     std::this_thread::sleep_for(
         std::chrono::milliseconds(opts_.poll_sleep_ms));
   }
   return false;
+}
+
+bool LiveRunner::DrainRequested() const {
+  return opts_.drain != nullptr &&
+         opts_.drain->load(std::memory_order_relaxed);
 }
 
 void LiveRunner::CheckCancel() const {
@@ -332,6 +355,14 @@ void LiveRunner::MaybeChaosWedge() {
 }
 
 bool LiveRunner::PollOnce() {
+  if (DrainRequested()) {
+    // Graceful drain: persist progress at this poll boundary and stop
+    // without finishing. The next run resumes here and produces output
+    // byte-identical to a run that was never interrupted.
+    WriteDrainCheckpoint();
+    drained_ = true;
+    return false;
+  }
   CheckCancel();
   MaybeChaosWedge();
   ++poll_count_;
@@ -490,8 +521,7 @@ void LiveRunner::ApplyBackpressure(Time advance_to) {
   }
 }
 
-void LiveRunner::WriteCheckpoint() {
-  chain_log_.flush();
+LiveCheckpoint LiveRunner::BuildCheckpoint() const {
   LiveCheckpoint cp;
   cp.fingerprint = fingerprint_;
   cp.next_begin = streaming_.next_window_begin();
@@ -503,7 +533,6 @@ void LiveRunner::WriteCheckpoint() {
   cp.chains = streaming_.chains_detected();
   cp.insufficient = streaming_.insufficient_chains();
   cp.resets = streaming_.resets();
-  cp.checkpoints_written = checkpoints_written_ + 1;
   cp.chainlog_bytes = chainlog_bytes_;
   cp.retention_cuts = retention_.cuts;
   cp.evicted_records = retention_.evicted_records;
@@ -519,14 +548,54 @@ void LiveRunner::WriteCheckpoint() {
   for (StreamId id : AllStreams()) {
     cp.tails[static_cast<std::size_t>(id)] = reader_.cursor(id);
   }
+  return cp;
+}
+
+void LiveRunner::WriteDrainCheckpoint() {
+  chain_log_.flush();
+  LiveCheckpoint cp = BuildCheckpoint();
+  // Progress is saved, but no cadence slot is consumed: the resumed run
+  // must count and place its periodic checkpoints exactly like a run that
+  // was never drained, or the final report stops being byte-identical.
+  cp.checkpoints_written = checkpoints_written_;
+  cp.last_checkpoint_windows = last_checkpoint_windows_;
+  const std::string path = state_dir_ + "/" + kCheckpointFile;
+  // Best-effort, never injected (drain is not an attempt making progress):
+  // if the disk is failing, the previous periodic checkpoint still resumes
+  // correctly, just replaying more.
+  if (!SaveCheckpoint(cp, path)) {
+    std::fprintf(stderr,
+                 "live[%s]: warning: failed to write drain checkpoint %s; "
+                 "resume will replay from the previous checkpoint\n",
+                 dataset_dir_.c_str(), path.c_str());
+  }
+}
+
+void LiveRunner::WriteCheckpoint() {
+  chain_log_.flush();
+  LiveCheckpoint cp = BuildCheckpoint();
+  cp.checkpoints_written = checkpoints_written_ + 1;
+  cp.last_checkpoint_windows = streaming_.windows_processed();
 
   const std::string path = state_dir_ + "/" + kCheckpointFile;
-  if (!SaveCheckpoint(cp, path)) {
-    // Non-fatal: the previous checkpoint is intact; resuming just replays
-    // a little more. Degrade gracefully rather than killing the session.
-    std::fprintf(stderr, "live[%s]: warning: failed to write %s\n",
-                 dataset_dir_.c_str(), path.c_str());
-    return;
+  const long faults_before = diskfault_.faults_injected();
+  // Disk chaos follows the fresh-run-only convention of the other chaos
+  // hooks: a retried attempt resumes from the previous checkpoint and
+  // writes clean, which is what makes the fault recoverable.
+  if (!SaveCheckpoint(cp, path, resumed_ ? nullptr : &diskfault_)) {
+    // A session that cannot persist its progress must not keep running as
+    // if it had: escalate to an attempt failure so the fleet supervisor
+    // takes the retry/backoff/quarantine path (the previous checkpoint is
+    // intact, so the retry resumes and replays only the uncheckpointed
+    // tail). A standalone `domino live` run exits nonzero for the same
+    // reason — silent non-durability is worse than a loud failure.
+    if (diskfault_.faults_injected() > faults_before) {
+      throw std::runtime_error("live: checkpoint write failed (injected " +
+                               diskfault_.last_fault_name() + " at write " +
+                               std::to_string(diskfault_.writes_seen()) +
+                               ")");
+    }
+    throw std::runtime_error("live: checkpoint write failed: " + path);
   }
   ++checkpoints_written_;
   ++process_checkpoints_;
@@ -564,9 +633,15 @@ void LiveRunner::FinishRun() {
       telemetry::SanitizeDataset(copy, opts_.sanitize);
 
   const std::string report_path = state_dir_ + "/" + kReportFile;
-  {
-    std::ofstream f(report_path, std::ios::binary | std::ios::trunc);
-    f << BuildLiveReportJson(health);
+  // The report is a guarded durability write like the checkpoint: atomic
+  // (temp + rename, so readers never see a torn report), faultable under
+  // disk chaos, and loud on failure — an attempt whose output cannot be
+  // persisted has not completed.
+  std::string werr;
+  if (!AtomicWriteFile(report_path, BuildLiveReportJson(health),
+                       /*fsync_file=*/false,
+                       resumed_ ? nullptr : &diskfault_, &werr)) {
+    throw std::runtime_error("live: report " + werr);
   }
   chain_log_.flush();
   WriteCheckpoint();

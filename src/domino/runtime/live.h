@@ -94,6 +94,14 @@ struct LiveOptions {
   /// (used by the fleet supervisor's wall-clock session deadlines). The
   /// pointee must outlive the runner. Not part of the config fingerprint.
   const std::atomic<bool>* cancel = nullptr;
+  /// Graceful drain: when non-null and set, the runner stops at the next
+  /// poll boundary, persists a *drain checkpoint* (progress saved, but no
+  /// cadence slot consumed — see LiveCheckpoint::last_checkpoint_windows),
+  /// and returns with LiveSummary::drained set instead of finishing. A
+  /// later run resumes from the drain checkpoint and produces output
+  /// byte-identical to an undisturbed run. The pointee must outlive the
+  /// runner. Not part of the config fingerprint.
+  const std::atomic<bool>* drain = nullptr;
   /// Deterministic chaos hooks (fleet chaos harness). Each fires once, on a
   /// *fresh* run only (`resumed_ == false`), so a retried attempt resumes
   /// from the checkpoint and runs clean — this is what makes a chaos fault
@@ -105,6 +113,12 @@ struct LiveOptions {
   long chaos_wedge_after = 0;  ///< Stop progressing (sleep loop honouring
                                ///< `cancel`) after Nth checkpoint of a
                                ///< fresh run.
+  /// Deterministic disk-fault chaos (common/diskfault.h): fails the Nth
+  /// guarded durability write (checkpoint save or report write) of a
+  /// *fresh* run with ENOSPC/EIO/a short write. The failed write escalates
+  /// to an attempt failure, so under a fleet the session takes the
+  /// retry/quarantine path; the retried attempt resumes clean. kNone = off.
+  DiskFaultSpec disk_fault{};
   /// Suppress per-poll stderr status lines.
   bool quiet = false;
 };
@@ -121,6 +135,7 @@ struct LiveSummary {
   long shed_windows = 0;
   long stalled_streams = 0;  ///< Streams stalled at end of run.
   bool resumed = false;      ///< Run continued from a checkpoint.
+  bool drained = false;      ///< Run stopped by a drain request (resumable).
   std::string report_path;
   std::string chains_path;
 };
@@ -164,9 +179,15 @@ class LiveRunner {
   void MaybeChaosWedge();
   /// One poll step; returns false when the session is finished.
   bool PollOnce();
+  [[nodiscard]] bool DrainRequested() const;
   void AdvanceAnalysis(Time advance_to, bool final_poll);
   void ApplyBackpressure(Time advance_to);
+  [[nodiscard]] LiveCheckpoint BuildCheckpoint() const;
   void WriteCheckpoint();
+  /// Persist progress for a graceful drain without consuming a cadence
+  /// slot. Best-effort: on write failure the previous periodic checkpoint
+  /// still resumes correctly, just replaying more.
+  void WriteDrainCheckpoint();
   void FinishRun();
   [[nodiscard]] std::string BuildLiveReportJson(
       const telemetry::SanitizeReport& final_health) const;
@@ -198,6 +219,8 @@ class LiveRunner {
   int idle_polls_ = 0;
   bool resumed_ = false;
   bool finished_ = false;
+  bool drained_ = false;
+  DiskFaultInjector diskfault_;
 
   std::ofstream chain_log_;
   std::uint64_t chainlog_bytes_ = 0;

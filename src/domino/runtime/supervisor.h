@@ -47,6 +47,10 @@ struct SessionOutcome {
   int term_signal = 0;     ///< Process isolation: signal that killed the child.
   bool has_partial = false;  ///< `summary` carries checkpoint-derived partial
                              ///< progress for a failed session.
+  /// Graceful drain stopped this session mid-run (fleet daemon mode). Not
+  /// a failure: the checkpoint is intact and a restarted fleet resumes it
+  /// to the same final outcome an undisturbed run would have produced.
+  bool suspended = false;
   /// Trace time the last good checkpoint covers (µs since epoch; 0 = none).
   std::int64_t checkpointed_to_us = 0;
 };

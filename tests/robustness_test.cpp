@@ -6,15 +6,26 @@
 // derive -> detect) and asserts determinism plus naive/incremental parity.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <thread>
 
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#endif
+
+#include "common/diskfault.h"
 #include "common/rng.h"
 #include "domino/config_parser.h"
 #include "domino/detector.h"
 #include "domino/expr.h"
 #include "domino/report.h"
+#include "domino/runtime/daemon.h"
 #include "domino/runtime/fleet.h"
 #include "domino/streaming.h"
 #include "sim/call_session.h"
@@ -754,6 +765,587 @@ TEST(FleetSupervisorTest, CorruptCheckpointAndTruncatedCsvDegradeGracefully) {
   EXPECT_GT(r.outcomes[1].summary.windows, 0);
 }
 
+// --- Disk-fault injection --------------------------------------------------------
+//
+// Environmental faults (full disk, dying device) hit exactly the writes the
+// runtime depends on for crash recovery. The injector makes the Nth guarded
+// write fail deterministically, so "checkpoint write got ENOSPC" is a tested
+// degradation path: the attempt fails, the supervisor retries from the last
+// good checkpoint, and the daemon never goes down with the session.
+
+TEST(DiskFaultTest, SpecParsesAndInjectorFiresExactlyOnce) {
+  DiskFaultSpec spec;
+  ASSERT_TRUE(ParseDiskFaultSpec("enospc:2", &spec));
+  EXPECT_EQ(spec.kind, DiskFaultSpec::Kind::kEnospc);
+  EXPECT_EQ(spec.at_write, 2);
+  ASSERT_TRUE(ParseDiskFaultSpec("eio:1", &spec));
+  EXPECT_EQ(spec.kind, DiskFaultSpec::Kind::kEio);
+  ASSERT_TRUE(ParseDiskFaultSpec("short:3", &spec));
+  EXPECT_EQ(spec.kind, DiskFaultSpec::Kind::kShortWrite);
+  for (const char* bad : {"", "enospc", "enospc:", "enospc:0", "flood:2",
+                          "enospc:2x", "enospc:2:3", "ENOSPC:2"}) {
+    EXPECT_FALSE(ParseDiskFaultSpec(bad, &spec)) << bad;
+  }
+
+  DiskFaultInjector inj(DiskFaultSpec{DiskFaultSpec::Kind::kEnospc, 2});
+  EXPECT_EQ(inj.OnWrite(100, nullptr), 0);
+  EXPECT_EQ(inj.OnWrite(100, nullptr), ENOSPC);
+  EXPECT_EQ(inj.OnWrite(100, nullptr), 0);  // a spec fires at most once
+  EXPECT_EQ(inj.faults_injected(), 1);
+  EXPECT_EQ(inj.writes_seen(), 3);
+  EXPECT_EQ(inj.last_fault_name(), "ENOSPC");
+
+  DiskFaultInjector torn(DiskFaultSpec{DiskFaultSpec::Kind::kShortWrite, 1});
+  std::size_t cap = 100;
+  EXPECT_EQ(torn.OnWrite(100, &cap), EIO);
+  EXPECT_EQ(cap, 50u);  // only half the payload reaches the device
+}
+
+TEST(DiskFaultTest, FailedAtomicWriteLeavesTargetUntouched) {
+  const std::string scratch = FleetTempDir("atomic_write");
+  const std::string path = scratch + "/target.json";
+  std::string err;
+  ASSERT_TRUE(AtomicWriteFile(path, "good\n", false, nullptr, &err));
+
+  for (const char* kind : {"enospc:1", "eio:1", "short:1"}) {
+    SCOPED_TRACE(kind);
+    DiskFaultSpec spec;
+    ASSERT_TRUE(ParseDiskFaultSpec(kind, &spec));
+    DiskFaultInjector inj(spec);
+    err.clear();
+    EXPECT_FALSE(AtomicWriteFile(path, "replacement\n", false, &inj, &err));
+    EXPECT_NE(err.find("injected"), std::string::npos) << err;
+    // The previous file survives every failure mode: the rename that would
+    // expose the new content never happens.
+    EXPECT_EQ(FleetSlurp(path), "good\n");
+  }
+}
+
+TEST(FleetSupervisorTest, DiskFaultFailsAttemptThenRecovers) {
+  const std::string scratch = FleetTempDir("disk_recovers");
+  std::vector<runtime::SessionSpec> specs(2);
+  specs[0].dataset_dir = FleetDatasetDir();
+  specs[0].state_dir = scratch + "/victim";
+  specs[1].dataset_dir = FleetDatasetDir();
+  specs[1].state_dir = scratch + "/twin";
+
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 2;
+  fopts.max_attempts = 3;
+  fopts.chaos.resize(2);
+  // The second guarded durability write of the first attempt gets ENOSPC:
+  // checkpoint 1 is on disk, checkpoint 2 fails, the attempt dies. The
+  // retry resumes from checkpoint 1 and writes clean (disk chaos follows
+  // the fresh-run-only convention of the other hooks).
+  fopts.chaos[0].disk = {DiskFaultSpec::Kind::kEnospc, 2};
+
+  runtime::FleetReport r = RunFleet(specs, FleetLiveOpts(), fopts);
+  ASSERT_EQ(r.outcomes.size(), 2u);
+  EXPECT_TRUE(r.outcomes[0].ok) << r.outcomes[0].error;
+  EXPECT_EQ(r.outcomes[0].attempts, 2);
+  EXPECT_TRUE(r.outcomes[0].summary.resumed);
+  EXPECT_EQ(r.recovered, 1);
+  EXPECT_EQ(FleetSlurp(scratch + "/victim/chains.jsonl"),
+            FleetSlurp(scratch + "/twin/chains.jsonl"));
+  EXPECT_EQ(FleetSlurp(scratch + "/victim/live_report.json"),
+            FleetSlurp(scratch + "/twin/live_report.json"));
+}
+
+TEST(FleetSupervisorTest, PersistentDiskFaultQuarantinesNeverAborts) {
+  const std::string scratch = FleetTempDir("disk_quarantine");
+  std::vector<runtime::SessionSpec> specs(2);
+  specs[0].dataset_dir = FleetDatasetDir();
+  specs[0].state_dir = scratch + "/victim";
+  specs[1].dataset_dir = FleetDatasetDir();
+  specs[1].state_dir = scratch + "/healthy";
+
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 2;
+  fopts.max_attempts = 2;
+  fopts.chaos.resize(2);
+  // The *first* guarded write fails, so no checkpoint ever lands: every
+  // retry is a fresh run and re-arms the injector — the EIO is persistent,
+  // like a truly full disk. The session must exhaust its budget and be
+  // quarantined; the healthy session and the supervisor must be untouched.
+  fopts.chaos[0].disk = {DiskFaultSpec::Kind::kEio, 1};
+
+  runtime::FleetReport r = RunFleet(specs, FleetLiveOpts(), fopts);
+  ASSERT_EQ(r.outcomes.size(), 2u);
+  const runtime::SessionOutcome& o = r.outcomes[0];
+  EXPECT_FALSE(o.ok);
+  EXPECT_TRUE(o.quarantined);
+  EXPECT_EQ(o.attempts, 2);
+  EXPECT_NE(o.error.find("checkpoint write failed"), std::string::npos)
+      << o.error;
+  EXPECT_NE(o.error.find("EIO"), std::string::npos) << o.error;
+  EXPECT_FALSE(o.has_partial);  // nothing durable was ever written
+  EXPECT_TRUE(r.outcomes[1].ok) << r.outcomes[1].error;
+}
+
+TEST(FleetSupervisorTest, GcRemovesCheckpointsOfCompletedSessionsOnly) {
+  const std::string scratch = FleetTempDir("gc_checkpoints");
+  std::vector<runtime::SessionSpec> specs(2);
+  specs[0].dataset_dir = FleetDatasetDir();
+  specs[0].state_dir = scratch + "/done";
+  specs[1].dataset_dir = FleetDatasetDir();
+  specs[1].state_dir = scratch + "/quar";
+
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 1;
+  fopts.max_attempts = 1;
+  fopts.gc_checkpoints = true;  // the `domino serve` default
+  fopts.chaos.resize(2);
+  fopts.chaos[1].fail_after = 2;  // quarantined with a real checkpoint
+
+  runtime::FleetReport r = RunFleet(specs, FleetLiveOpts(), fopts);
+  ASSERT_EQ(r.outcomes.size(), 2u);
+  ASSERT_TRUE(r.outcomes[0].ok);
+  ASSERT_TRUE(r.outcomes[1].quarantined);
+  // Completed: outputs kept, checkpoint (now dead weight) gone.
+  EXPECT_TRUE(fs::exists(scratch + "/done/chains.jsonl"));
+  EXPECT_TRUE(fs::exists(scratch + "/done/live_report.json"));
+  EXPECT_FALSE(fs::exists(scratch + "/done/live.ckpt"));
+  // Quarantined: the checkpoint is the partial progress an operator (or a
+  // later retry with a bigger budget) resumes from — kept.
+  EXPECT_TRUE(fs::exists(scratch + "/quar/live.ckpt"));
+}
+
+// --- Daemon: manifest, discovery, tunables ---------------------------------------
+
+namespace {
+
+std::uint64_t TestFnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Recomputes the trailing checksum line so structural tampering (as
+/// opposed to torn writes) can be tested separately.
+std::string ResealManifest(const std::string& body) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(TestFnv1a(body)));
+  return body + "checksum " + buf + "\n";
+}
+
+runtime::FleetManifest SampleManifest() {
+  runtime::FleetManifest m;
+  m.workers = 3;
+  m.max_attempts = 4;
+  m.global_backlog_windows = 64;
+  m.isolate = runtime::IsolationMode::kProcess;
+  m.sessions.resize(3);
+
+  runtime::ManifestEntry& done = m.sessions[0];
+  done.spec = {"/data/cell a", "/state/s0", "tenant a"};
+  done.seed.terminal = true;
+  done.seed.outcome.ok = true;
+  done.seed.outcome.attempts = 2;
+  done.seed.outcome.checkpointed_to_us = 1'234'567;
+  done.seed.outcome.has_partial = true;
+  done.seed.outcome.summary.polls = 7;
+  done.seed.outcome.summary.windows = 19;
+  done.seed.outcome.summary.chains = 57;
+  done.seed.outcome.summary.checkpoints = 9;
+  done.seed.outcome.summary.resumed = true;
+
+  runtime::ManifestEntry& quar = m.sessions[1];
+  quar.spec = {"/data/cell_b", "/state/s1", ""};
+  quar.seed.terminal = true;
+  quar.seed.outcome.quarantined = true;
+  quar.seed.outcome.attempts = 4;
+  quar.seed.outcome.exit_code = 137;
+  quar.seed.outcome.deadline_exceeded = true;
+  quar.seed.outcome.error = "live: chaos fault injected after checkpoint 1";
+
+  runtime::ManifestEntry& open = m.sessions[2];
+  open.spec = {"/data/cell_c", "/state/s2", ""};
+  open.seed.terminal = false;
+  open.seed.attempts = 1;  // one failed attempt before the drain
+  return m;
+}
+
+}  // namespace
+
+TEST(DaemonTest, ManifestRoundtripPreservesEverySeed) {
+  const runtime::FleetManifest m = SampleManifest();
+  const std::string text = runtime::FormatFleetManifest(m);
+
+  runtime::FleetManifest back;
+  std::string err;
+  ASSERT_TRUE(runtime::ParseFleetManifest(text, &back, &err)) << err;
+  EXPECT_EQ(back.workers, 3);
+  EXPECT_EQ(back.max_attempts, 4);
+  EXPECT_EQ(back.global_backlog_windows, 64);
+  EXPECT_EQ(back.isolate, runtime::IsolationMode::kProcess);
+  ASSERT_EQ(back.sessions.size(), 3u);
+
+  const runtime::ManifestEntry& done = back.sessions[0];
+  EXPECT_EQ(done.spec.dataset_dir, "/data/cell a");  // spaces survive
+  EXPECT_EQ(done.spec.state_dir, "/state/s0");
+  EXPECT_EQ(done.spec.tenant, "tenant a");
+  EXPECT_TRUE(done.seed.terminal);
+  EXPECT_TRUE(done.seed.outcome.ok);
+  EXPECT_EQ(done.seed.outcome.attempts, 2);
+  EXPECT_EQ(done.seed.outcome.checkpointed_to_us, 1'234'567);
+  EXPECT_TRUE(done.seed.outcome.has_partial);
+  EXPECT_EQ(done.seed.outcome.summary.windows, 19);
+  EXPECT_EQ(done.seed.outcome.summary.chains, 57);
+  EXPECT_EQ(done.seed.outcome.summary.checkpoints, 9);
+  EXPECT_TRUE(done.seed.outcome.summary.resumed);
+  // The parser re-stamps the identity fields the formatter elides.
+  EXPECT_EQ(done.seed.outcome.dataset_dir, "/data/cell a");
+  EXPECT_EQ(done.seed.outcome.tenant, "tenant a");
+
+  const runtime::ManifestEntry& quar = back.sessions[1];
+  EXPECT_TRUE(quar.seed.outcome.quarantined);
+  EXPECT_EQ(quar.seed.outcome.attempts, 4);
+  EXPECT_EQ(quar.seed.outcome.exit_code, 137);
+  EXPECT_TRUE(quar.seed.outcome.deadline_exceeded);
+  EXPECT_EQ(quar.seed.outcome.error,
+            "live: chaos fault injected after checkpoint 1");
+
+  const runtime::ManifestEntry& open = back.sessions[2];
+  EXPECT_FALSE(open.seed.terminal);
+  EXPECT_EQ(open.seed.attempts, 1);
+
+  // Round-trip fixpoint: format(parse(format(m))) == format(m).
+  EXPECT_EQ(runtime::FormatFleetManifest(back), text);
+}
+
+TEST(DaemonTest, ManifestRejectsTornAndTamperedDocuments) {
+  const std::string good = runtime::FormatFleetManifest(SampleManifest());
+  const std::size_t mark = good.rfind("checksum ");
+  ASSERT_NE(mark, std::string::npos);
+  const std::string body = good.substr(0, mark);
+
+  std::string flipped = good;
+  const std::size_t digit = flipped.find_first_of("0123456789");
+  ASSERT_NE(digit, std::string::npos);
+  flipped[digit] = static_cast<char>(flipped[digit] ^ 0x01);
+
+  const struct {
+    const char* name;
+    std::string text;
+    const char* why;  // substring the diagnostic must contain
+  } kMatrix[] = {
+      {"empty", "", "checksum"},
+      {"truncated", good.substr(0, good.size() / 2), "checksum"},
+      {"bit_flipped", flipped, "checksum"},
+      {"no_checksum", body, "checksum"},
+      {"trailing_garbage", good + "x", "checksum"},
+      // Valid checksum over version-skewed content: unknown keys must be
+      // refused, not skipped — resuming with half the state is worse than
+      // not resuming.
+      {"unknown_key", ResealManifest(body + "shard 7\n"), "unknown key"},
+      {"bad_header",
+       ResealManifest("domino-fleet-manifest v9\nconfig 1 1 0 0\n"),
+       "version"},
+      {"no_config", ResealManifest("domino-fleet-manifest v1\n"), "config"},
+      {"negative_workers",
+       ResealManifest("domino-fleet-manifest v1\nconfig -1 1 0 0\n"),
+       "config"},
+      {"terminal_without_outcome",
+       ResealManifest("domino-fleet-manifest v1\nconfig 1 1 0 0\n"
+                      "session 1 1\ndataset /d\nstate /s\ntenant \n"),
+       "incomplete"},
+  };
+  for (const auto& c : kMatrix) {
+    SCOPED_TRACE(c.name);
+    runtime::FleetManifest out;
+    std::string err;
+    EXPECT_FALSE(runtime::ParseFleetManifest(c.text, &out, &err));
+    EXPECT_NE(err.find(c.why), std::string::npos) << err;
+  }
+
+  // Save/Load carry the same guarantees through the filesystem, and a
+  // missing file is "fresh start" (false, empty error), never a diagnostic.
+  const std::string scratch = FleetTempDir("manifest_io");
+  runtime::FleetManifest out;
+  std::string err = "poison";
+  EXPECT_FALSE(
+      runtime::LoadFleetManifest(scratch + "/absent", &out, &err));
+  EXPECT_TRUE(err.empty());
+  ASSERT_TRUE(
+      runtime::SaveFleetManifest(SampleManifest(), scratch + "/m", nullptr,
+                                 &err));
+  ASSERT_TRUE(runtime::LoadFleetManifest(scratch + "/m", &out, &err)) << err;
+  EXPECT_EQ(runtime::FormatFleetManifest(out), good);
+}
+
+TEST(DaemonTest, ScanAdmitsOnlyReadySessionDirs) {
+  const std::string root = FleetTempDir("scan_root");
+  const std::string state_root = root + "/state";
+  fs::create_directories(state_root + "/old_session_state");
+
+  // Ready: a real dataset directory (meta.csv parses).
+  const std::string ready = root + "/cell_a";
+  fs::copy(FleetDatasetDir(), ready, fs::copy_options::recursive);
+  // Not ready: header-only meta.csv — still being rsync'd in, say.
+  MakePoisonDir(root);
+  // Not ready: no meta at all.
+  fs::create_directories(root + "/incoming");
+  // Never a session: dotdirs, plain files, and the state root's subtree.
+  fs::create_directories(root + "/.tmp_upload");
+  std::ofstream(root + "/notes.txt") << "not a directory\n";
+
+  std::set<std::string> known;
+  std::vector<std::string> found =
+      runtime::ScanForSessions({root}, known, state_root);
+  ASSERT_EQ(found.size(), 1u) << (found.empty() ? "" : found[0]);
+  EXPECT_EQ(found[0], ready);
+
+  // Already-known dirs are not re-admitted; a vanished root is a quiet
+  // empty sweep, not an error.
+  known.insert(ready);
+  EXPECT_TRUE(runtime::ScanForSessions({root}, known, state_root).empty());
+  EXPECT_TRUE(
+      runtime::ScanForSessions({root + "/gone"}, known, state_root).empty());
+
+  // The poisoned directory becomes admissible the moment its session row
+  // lands — the readiness rule is "meta parses", not "dir exists".
+  std::ofstream(root + "/poison/meta.csv", std::ios::trunc)
+      << FleetSlurp(FleetDatasetDir() + "/meta.csv");
+  found = runtime::ScanForSessions({root}, known, state_root);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], root + "/poison");
+}
+
+TEST(DaemonTest, StateDirMappingIsStableAndSanitised) {
+  const std::string a =
+      runtime::SessionStateDirFor("/var/fleet", "/data/roots/cell_a");
+  EXPECT_EQ(a, runtime::SessionStateDirFor("/var/fleet",
+                                           "/data/roots/cell_a"));
+  EXPECT_EQ(a.rfind("/var/fleet/cell_a_", 0), 0u) << a;
+  // Same basename under different roots must not collide (the path hash
+  // disambiguates), and hostile basenames are sanitised.
+  EXPECT_NE(a, runtime::SessionStateDirFor("/var/fleet",
+                                           "/other/roots/cell_a"));
+  const std::string weird =
+      runtime::SessionStateDirFor("/var/fleet", "/data/a b/../c;rm -rf");
+  EXPECT_EQ(weird.find(' '), std::string::npos) << weird;
+  EXPECT_EQ(weird.find(';'), std::string::npos) << weird;
+}
+
+TEST(DaemonTest, TunablesFileParsesAndRejectsAtomically) {
+  const std::string scratch = FleetTempDir("tunables");
+  const std::string path = scratch + "/tunables.conf";
+  std::ofstream(path) << "# fleet knobs\n"
+                      << "max_attempts 5\n"
+                      << "backoff_ms 250   # inline comment\n"
+                      << "\n"
+                      << "session_deadline_s 12.5\n"
+                      << "drain_grace_ms 900\n";
+  runtime::DaemonTunables t;
+  std::string err;
+  ASSERT_TRUE(runtime::ParseTunablesFile(path, &t, &err)) << err;
+  EXPECT_EQ(t.max_attempts, 5);
+  EXPECT_EQ(t.backoff_ms, 250);
+  EXPECT_DOUBLE_EQ(t.session_deadline_s, 12.5);
+  EXPECT_EQ(t.drain_grace_ms, 900);
+  EXPECT_EQ(t.backoff_cap_ms, 0);  // absent = keep current, never reset
+
+  // One bad line fails the whole reload: half-applied tunables are worse
+  // than stale ones.
+  const struct {
+    const char* name;
+    const char* text;
+  } kBad[] = {
+      {"unknown_key", "max_attempts 5\nworker_count 9\n"},
+      {"bad_value", "backoff_ms fast\n"},
+      {"negative", "max_attempts -2\n"},
+      {"trailing_token", "backoff_ms 250 500\n"},
+  };
+  for (const auto& c : kBad) {
+    SCOPED_TRACE(c.name);
+    std::ofstream(path, std::ios::trunc) << c.text;
+    EXPECT_FALSE(runtime::ParseTunablesFile(path, &t, &err));
+    EXPECT_FALSE(err.empty());
+  }
+  EXPECT_FALSE(runtime::ParseTunablesFile(scratch + "/absent", &t, &err));
+}
+
+// --- Daemon: drain, manifest resume, fault tolerance -----------------------------
+
+TEST(FleetSupervisorTest, DrainSuspendsOpenSessionsAndManifestResumesByteIdentical) {
+  const std::string scratch = FleetTempDir("drain_resume");
+  constexpr int kSessions = 48;
+  auto build_specs = [&](const std::string& round) {
+    std::vector<runtime::SessionSpec> specs(kSessions);
+    for (int i = 0; i < kSessions; ++i) {
+      specs[static_cast<std::size_t>(i)].dataset_dir = FleetDatasetDir();
+      specs[static_cast<std::size_t>(i)].state_dir =
+          scratch + "/" + round + "_s" + std::to_string(i);
+    }
+    return specs;
+  };
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 1;  // serialised, so the drain catches a long queue
+
+  // Round 1: drain lands mid-fleet. Everything not yet terminal must come
+  // back suspended — with attempt counters that pretend the interrupted
+  // attempt never happened — and the run must end with exitable state.
+  const std::vector<runtime::SessionSpec> specs = build_specs("a");
+  runtime::FleetSupervisor sup(
+      specs, analysis::CausalGraph::Default({}), FleetLiveOpts(), fopts);
+  std::thread drainer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    sup.RequestDrain();
+  });
+  const runtime::FleetReport r1 = sup.Run();
+  drainer.join();
+  EXPECT_TRUE(r1.drained);
+  EXPECT_EQ(r1.completed + r1.suspended,
+            static_cast<long>(r1.outcomes.size()));
+  ASSERT_GT(r1.suspended, 0) << "fleet finished before the drain landed";
+  for (const runtime::SessionOutcome& o : r1.outcomes) {
+    if (!o.suspended) continue;
+    EXPECT_FALSE(o.ok);
+    EXPECT_FALSE(o.quarantined);
+    EXPECT_EQ(o.attempts, 0);  // the drained attempt is not an attempt
+  }
+
+  // The drain ledger round-trips through disk like the daemon writes it.
+  const std::string mpath = scratch + "/fleet.manifest";
+  std::string err;
+  ASSERT_TRUE(runtime::SaveFleetManifest(
+      runtime::BuildFleetManifest(r1, specs), mpath, nullptr, &err))
+      << err;
+  runtime::FleetManifest m;
+  ASSERT_TRUE(runtime::LoadFleetManifest(mpath, &m, &err)) << err;
+  ASSERT_EQ(m.sessions.size(), specs.size());
+
+  // Round 2: a "restarted daemon" seeds from the manifest. Terminal
+  // sessions are reported verbatim, suspended ones resume from their drain
+  // checkpoints.
+  runtime::FleetOptions fopts2 = fopts;
+  std::vector<runtime::SessionSpec> specs2;
+  for (runtime::ManifestEntry& e : m.sessions) {
+    specs2.push_back(e.spec);
+    fopts2.seeds.push_back(e.seed);
+  }
+  const runtime::FleetReport r2 = RunFleet(specs2, FleetLiveOpts(), fopts2);
+  EXPECT_FALSE(r2.drained);
+  EXPECT_EQ(r2.completed, static_cast<long>(specs.size()));
+  EXPECT_EQ(r2.suspended, 0);
+
+  // The promise that makes a rolling restart invisible: the resumed run's
+  // report and every per-session output are byte-identical to a run that
+  // was never disturbed.
+  const runtime::FleetReport rt =
+      RunFleet(build_specs("twin"), FleetLiveOpts(), fopts);
+  EXPECT_EQ(runtime::BuildFleetReportJson(r2),
+            runtime::BuildFleetReportJson(rt));
+  for (int i = 0; i < kSessions; ++i) {
+    const std::string drained = scratch + "/a_s" + std::to_string(i);
+    const std::string twin = scratch + "/twin_s" + std::to_string(i);
+    EXPECT_EQ(FleetSlurp(drained + "/chains.jsonl"),
+              FleetSlurp(twin + "/chains.jsonl"))
+        << i;
+    EXPECT_EQ(FleetSlurp(drained + "/live_report.json"),
+              FleetSlurp(twin + "/live_report.json"))
+        << i;
+  }
+}
+
+TEST(FleetSupervisorTest, DrainBeforeRunSuspendsEverythingAtAttemptZero) {
+  const std::string scratch = FleetTempDir("drain_immediate");
+  std::vector<runtime::SessionSpec> specs(4);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].dataset_dir = FleetDatasetDir();
+    specs[i].state_dir = scratch + "/s" + std::to_string(i);
+  }
+  runtime::FleetSupervisor sup(
+      specs, analysis::CausalGraph::Default({}), FleetLiveOpts(),
+      QuietFleet());
+  sup.RequestDrain();  // SIGTERM before the first attempt even starts
+  const runtime::FleetReport r = sup.Run();
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.suspended, 4);
+  EXPECT_EQ(r.total_attempts, 0);
+  for (const runtime::SessionOutcome& o : r.outcomes) {
+    EXPECT_TRUE(o.suspended);
+    EXPECT_EQ(o.attempts, 0);
+  }
+}
+
+TEST(DaemonTest, ResumeRefusesMismatchedConfigAndCorruptManifest) {
+  const std::string scratch = FleetTempDir("resume_refuse");
+  const std::string mpath = scratch + "/fleet.manifest";
+
+  runtime::FleetManifest m;
+  m.workers = 1;
+  m.max_attempts = 3;
+  m.global_backlog_windows = 0;
+  m.isolate = runtime::IsolationMode::kThread;
+  m.sessions.resize(1);
+  m.sessions[0].spec = {FleetDatasetDir(), scratch + "/s0", ""};
+  m.sessions[0].seed.terminal = false;
+  std::string err;
+  ASSERT_TRUE(runtime::SaveFleetManifest(m, mpath, nullptr, &err)) << err;
+
+  runtime::ServeDaemonOptions dopts;
+  dopts.manifest_path = mpath;
+
+  // A different admission-budget configuration would change what the
+  // resumed sessions shed — refusing beats silently breaking byte-identity.
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 1;
+  fopts.global_backlog_windows = 8;  // manifest says 0
+  runtime::ServeDaemonResult res = runtime::RunServeDaemon(
+      {}, analysis::CausalGraph::Default({}), FleetLiveOpts(), fopts, dopts);
+  EXPECT_TRUE(res.fatal);
+  EXPECT_NE(res.error.find("different fleet configuration"),
+            std::string::npos)
+      << res.error;
+
+  // A corrupt manifest is never guessed around either.
+  std::ofstream(mpath, std::ios::trunc) << "domino-fleet-manifest v1\njunk";
+  fopts.global_backlog_windows = 0;
+  res = runtime::RunServeDaemon({}, analysis::CausalGraph::Default({}),
+                                FleetLiveOpts(), fopts, dopts);
+  EXPECT_TRUE(res.fatal);
+  EXPECT_NE(res.error.find("corrupt manifest"), std::string::npos)
+      << res.error;
+}
+
+TEST(DaemonTest, DiskFaultDegradesSessionStatusFileTellsTheStory) {
+  const std::string scratch = FleetTempDir("daemon_diskfault");
+  std::vector<runtime::SessionSpec> specs(2);
+  specs[0].dataset_dir = FleetDatasetDir();
+  specs[0].state_dir = scratch + "/healthy";
+  specs[1].dataset_dir = FleetDatasetDir();
+  specs[1].state_dir = scratch + "/victim";
+
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 1;
+  fopts.max_attempts = 1;
+  fopts.chaos.resize(2);
+  fopts.chaos[1].disk = {DiskFaultSpec::Kind::kEnospc, 1};
+
+  runtime::ServeDaemonOptions dopts;
+  dopts.status_path = scratch + "/fleet_status.json";
+  dopts.status_interval_ms = 1;
+
+  runtime::ServeDaemonResult res = runtime::RunServeDaemon(
+      std::move(specs), analysis::CausalGraph::Default({}), FleetLiveOpts(),
+      fopts, dopts);
+  // The injected ENOSPC cost the session, never the daemon.
+  ASSERT_FALSE(res.fatal) << res.error;
+  EXPECT_EQ(res.report.completed, 1);
+  EXPECT_EQ(res.report.quarantined, 1);
+
+  const std::string status = FleetSlurp(dopts.status_path);
+  EXPECT_NE(status.find("\"state\": \"stopped\""), std::string::npos)
+      << status;
+  EXPECT_NE(status.find("\"quarantined\": 1"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"completed\": 1"), std::string::npos) << status;
+}
+
 #ifdef DOMINO_BINARY
 TEST(FleetSupervisorTest, ProcessIsolationRecordsExitStatusAndRetries) {
   const std::string scratch = FleetTempDir("process_isolation");
@@ -817,6 +1409,125 @@ TEST(FleetSupervisorTest, ProcessIsolationRecordsExitStatusAndRetries) {
               FleetSlurp(scratch + "/b_twin/chains.jsonl"));
   }
 }
+
+// --- Daemon CLI: SIGTERM drain, rolling restart, exit codes ----------------------
+
+namespace {
+
+/// Runs a shell command with all output discarded; returns its exit code,
+/// or -1 if the shell itself died to a signal.
+int RunShell(const std::string& cmd) {
+  const int status =
+      std::system(("( " + cmd + " ) >/dev/null 2>&1").c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+}  // namespace
+
+TEST(ServeDaemonCliTest, SigtermDrainThenRestartIsByteIdentical) {
+  // The rolling-restart contract, end to end against the real binary and
+  // real signals, in both isolation modes: SIGTERM mid-fleet exits 0 with
+  // a manifest; the restarted daemon resumes from it; the final outputs
+  // are byte-identical to a daemon that was never restarted.
+  for (const char* iso : {"thread", "process"}) {
+    SCOPED_TRACE(iso);
+    const std::string scratch =
+        FleetTempDir(std::string("daemon_drain_") + iso);
+    constexpr int kSessions = 24;
+    std::string operands;
+    for (int i = 0; i < kSessions; ++i) operands += " " + FleetDatasetDir();
+    const auto base = [&](const std::string& state_root,
+                          const std::string& manifest) {
+      return std::string(DOMINO_BINARY) + " serve" + operands +
+             " --isolate " + iso + " --workers 1 --checkpoint-every 2" +
+             " --state-root " + state_root + " --manifest " + manifest +
+             " --quiet";
+    };
+
+    const std::string run = scratch + "/run";
+    const std::string twin = scratch + "/twin";
+    const std::string manifest = scratch + "/fleet.manifest";
+    EXPECT_EQ(RunShell(base(run, manifest) + " --report " + scratch +
+                       "/r1.json & pid=$!; sleep 0.15; "
+                       "kill -TERM $pid 2>/dev/null; wait $pid"),
+              0);
+    ASSERT_TRUE(fs::exists(manifest));
+
+    EXPECT_EQ(RunShell(base(run, manifest) + " --report " + scratch +
+                       "/r2.json"),
+              0);
+    EXPECT_EQ(RunShell(base(twin, scratch + "/twin.manifest") +
+                       " --report " + scratch + "/rt.json"),
+              0);
+
+    EXPECT_EQ(FleetSlurp(scratch + "/r2.json"),
+              FleetSlurp(scratch + "/rt.json"));
+    for (int i = 0; i < kSessions; ++i) {
+      const std::string s = "/s" + std::to_string(i);
+      EXPECT_EQ(FleetSlurp(run + s + "/chains.jsonl"),
+                FleetSlurp(twin + s + "/chains.jsonl"))
+          << s;
+      EXPECT_EQ(FleetSlurp(run + s + "/live_report.json"),
+                FleetSlurp(twin + s + "/live_report.json"))
+          << s;
+    }
+  }
+}
+
+TEST(ServeDaemonCliTest, ExitCodesDistinguishDegradations) {
+  const std::string scratch = FleetTempDir("daemon_exit_codes");
+  const std::string serve = std::string(DOMINO_BINARY) + " serve ";
+
+  // 0: everything completed cleanly.
+  EXPECT_EQ(RunShell(serve + FleetDatasetDir() + " --state-root " +
+                     scratch + "/ok --quiet"),
+            0);
+  // 3: completed, but admission control shed windows (degraded output).
+  EXPECT_EQ(RunShell(serve + FleetDatasetDir() + " --state-root " +
+                     scratch + "/shed --global-backlog 1 --quiet"),
+            3);
+  // 4: a session failed terminally (quarantined poison beats shed).
+  EXPECT_EQ(RunShell(serve + MakePoisonDir(scratch) + " " +
+                     FleetDatasetDir() + " --state-root " + scratch +
+                     "/quar --max-attempts 1 --global-backlog 1 --quiet"),
+            4);
+  // 2: usage errors stay distinct from runtime degradation.
+  EXPECT_EQ(RunShell(serve + FleetDatasetDir() + " --isolate carrier"), 2);
+}
+
+#if !defined(_WIN32)
+TEST(ServeDaemonCliTest, WatchAdmitsLateSessionsAndSurvivesSighup) {
+  const std::string scratch = FleetTempDir("daemon_watch");
+  const std::string root = scratch + "/root";
+  const std::string state = scratch + "/state";
+  fs::create_directories(root);
+  fs::copy(FleetDatasetDir(), root + "/sess_a",
+           fs::copy_options::recursive);
+
+  // One session present at startup; a second appears mid-run and must be
+  // admitted by the watch loop without a restart. SIGHUP (re-scan +
+  // tunables reload) must be survived, SIGTERM must drain to exit 0.
+  std::ofstream(scratch + "/tunables.conf") << "backoff_ms 5\n";
+  const std::string cmd =
+      std::string(DOMINO_BINARY) + " serve --watch " + root +
+      " --state-root " + state + " --scan-interval-ms 25" +
+      " --status-file " + scratch + "/status.json --status-interval-ms 25" +
+      " --tunables " + scratch + "/tunables.conf" +
+      " --report " + scratch + "/rep.json --quiet & pid=$!; " +
+      "sleep 0.5; cp -r " + FleetDatasetDir() + " " + root + "/sess_b; " +
+      "sleep 1.2; kill -HUP $pid; sleep 0.4; " +
+      "kill -TERM $pid; wait $pid";
+  EXPECT_EQ(RunShell(cmd), 0);
+
+  const std::string rep = FleetSlurp(scratch + "/rep.json");
+  EXPECT_NE(rep.find("\"completed\": 2"), std::string::npos) << rep;
+  const std::string status = FleetSlurp(scratch + "/status.json");
+  EXPECT_NE(status.find("\"state\": \"stopped\""), std::string::npos)
+      << status;
+  // Watch mode defaults the drain ledger to <state-root>/fleet.manifest.
+  EXPECT_TRUE(fs::exists(state + "/fleet.manifest"));
+}
+#endif  // !_WIN32
 #endif  // DOMINO_BINARY
 
 }  // namespace

@@ -84,6 +84,7 @@
 // usage error (exit 2) with a one-line diagnostic, never an exception.
 #include "domino_main.h"
 
+#include <atomic>
 #include <chrono>
 #include <climits>
 #include <cstdio>
@@ -97,11 +98,17 @@
 #include <thread>
 #include <vector>
 
+#if !defined(_WIN32)
+#include <csignal>
+#endif
+
+#include "common/diskfault.h"
 #include "common/parse.h"
 #include "domino/codegen.h"
 #include "domino/config_parser.h"
 #include "domino/lint/lint.h"
 #include "domino/report.h"
+#include "domino/runtime/daemon.h"
 #include "domino/runtime/fleet.h"
 #include "domino/runtime/supervisor.h"
 #include "sim/live_feed.h"
@@ -158,6 +165,24 @@ void PrintUsage(std::FILE* to) {
                " [--tenant-max-records t=N]\n"
                "              [--window SEC] [--step SEC] [--chunk-s SEC]"
                " [--max-backlog N]\n"
+               "              [--watch] [--exit-when-idle]"
+               " [--scan-interval-ms N]\n"
+               "              [--manifest FILE] [--status-file FILE]"
+               " [--status-interval-ms N]\n"
+               "              [--tunables FILE] [--drain-grace-ms N]\n"
+               "    With --watch the operands are *roots*: subdirectories"
+               " are admitted as\n"
+               "    sessions once their meta.csv parses. SIGTERM/SIGINT"
+               " drain gracefully\n"
+               "    (checkpoint + manifest, exit 0); SIGHUP re-scans roots"
+               " and reloads\n"
+               "    --tunables. Chaos kinds: crash fail wedge disk-enospc"
+               " disk-eio disk-short.\n"
+               "    serve exit codes: 0 all sessions completed (or clean"
+               " drain), 2 usage\n"
+               "    error, 3 completed but windows were shed (degraded), 4"
+               " some session\n"
+               "    failed or was quarantined.\n"
                "  domino replay <dataset_dir> <out_dir> [--interval-ms N]"
                " [--chunk-ms N]\n"
                "               [--stall stream=SEC]\n"
@@ -681,8 +706,39 @@ int CmdReplay(std::vector<std::string> args, const MainOptions& mo) {
   return 0;
 }
 
+// Graceful-shutdown mailboxes. The handlers only bump atomics; the serve
+// daemon's helper thread and the live runner's drain token poll them.
+std::atomic<int> g_term_signals{0};
+std::atomic<int> g_hup_signals{0};
+std::atomic<bool> g_live_drain{false};
+
+#if !defined(_WIN32)
+void OnServeSignal(int sig) {
+  if (sig == SIGHUP) {
+    g_hup_signals.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_term_signals.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void OnLiveSignal(int) {
+  g_live_drain.store(true, std::memory_order_relaxed);
+}
+
+void InstallSignalHandlers(void (*handler)(int), bool with_hup) {
+  struct sigaction sa {};
+  sa.sa_handler = handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  if (with_hup) ::sigaction(SIGHUP, &sa, nullptr);
+}
+#endif
+
 int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
   auto state_dir = TakeFlag(args, "--state");
+  auto chaos_disk = TakeFlag(args, "--chaos-disk");
   std::optional<double> window_s, step_s, min_coverage, chunk_s, horizon_s,
       stall_deadline_s;
   std::optional<std::int64_t> threads, max_backlog, checkpoint_every,
@@ -778,11 +834,22 @@ int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
   if (chaos_crash) opts.chaos_crash_after = static_cast<long>(*chaos_crash);
   if (chaos_fail) opts.chaos_fail_after = static_cast<long>(*chaos_fail);
   if (chaos_wedge) opts.chaos_wedge_after = static_cast<long>(*chaos_wedge);
+  if (chaos_disk && !ParseDiskFaultSpec(*chaos_disk, &opts.disk_fault)) {
+    return BadFlag("--chaos-disk", *chaos_disk,
+                   "enospc:N, eio:N or short:N with N >= 1");
+  }
   if (max_records) {
     opts.input.max_records = static_cast<std::size_t>(*max_records);
   }
   opts.follow = follow;
   opts.quiet = quiet;
+#if !defined(_WIN32)
+  // SIGTERM/SIGINT drain: stop at the next poll boundary, write a drain
+  // checkpoint, and exit 75 (EX_TEMPFAIL) so a supervisor — the fleet's
+  // process isolation, or systemd — knows the run is resumable.
+  InstallSignalHandlers(OnLiveSignal, /*with_hup=*/false);
+  opts.drain = &g_live_drain;
+#endif
 
   std::vector<runtime::SessionSpec> specs;
   for (const std::string& dir : args) {
@@ -799,6 +866,7 @@ int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
       runtime::RunSessions(specs, graph, opts, parallel);
 
   int failures = 0;
+  bool drained = false;
   for (const auto& o : outcomes) {
     if (!o.ok) {
       ++failures;
@@ -807,16 +875,21 @@ int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
       continue;
     }
     const auto& s = o.summary;
+    if (s.drained) drained = true;
     std::printf("live %s: %ld windows, %ld chains (%ld insufficient), "
-                "%ld checkpoints%s%s\n",
+                "%ld checkpoints%s%s%s\n",
                 o.dataset_dir.c_str(), s.windows, s.chains,
                 s.insufficient_chains, s.checkpoints,
                 s.resumed ? ", resumed" : "",
+                s.drained ? ", DRAINED (resumable)" : "",
                 s.stalled_streams > 0 ? ", stalled streams at end" : "");
     std::printf("  report: %s\n  chains: %s\n", s.report_path.c_str(),
                 s.chains_path.c_str());
   }
-  return failures == 0 ? 0 : 1;
+  if (failures != 0) return 1;
+  // EX_TEMPFAIL: everything checkpointed cleanly but the run was stopped
+  // by a signal — rerunning the same command resumes byte-identically.
+  return drained ? 75 : 0;
 }
 
 /// Parses the `--chaos idx:kind:N,...` fault schedule for `domino serve`
@@ -849,9 +922,16 @@ bool ParseChaosSpec(const std::string& spec, std::size_t sessions,
       c.fail_after = static_cast<long>(n);
     } else if (kind == "wedge") {
       c.wedge_after = static_cast<long>(n);
+    } else if (kind == "disk-enospc") {
+      c.disk = {DiskFaultSpec::Kind::kEnospc, static_cast<long>(n)};
+    } else if (kind == "disk-eio") {
+      c.disk = {DiskFaultSpec::Kind::kEio, static_cast<long>(n)};
+    } else if (kind == "disk-short") {
+      c.disk = {DiskFaultSpec::Kind::kShortWrite, static_cast<long>(n)};
     } else {
       std::fprintf(stderr,
-                   "unknown chaos kind '%s' (known: crash fail wedge)\n",
+                   "unknown chaos kind '%s' (known: crash fail wedge "
+                   "disk-enospc disk-eio disk-short)\n",
                    kind.c_str());
       return false;
     }
@@ -888,11 +968,26 @@ int CmdServe(std::vector<std::string> args, const MainOptions& mo) {
   auto chaos_spec = TakeFlag(args, "--chaos");
   auto tenant_backlog_s = TakeFlag(args, "--tenant-backlog");
   auto tenant_records_s = TakeFlag(args, "--tenant-max-records");
+  auto manifest_path = TakeFlag(args, "--manifest");
+  auto status_file = TakeFlag(args, "--status-file");
+  auto tunables_file = TakeFlag(args, "--tunables");
   std::optional<double> window_s, step_s, min_coverage, chunk_s, horizon_s,
       stall_deadline_s, session_deadline_s;
   std::optional<std::int64_t> workers, max_attempts, backoff_ms,
       backoff_cap_ms, global_backlog, max_backlog, checkpoint_every,
-      max_idle;
+      max_idle, scan_interval_ms, status_interval_ms, drain_grace_ms;
+  if (int rc = TakeI(args, "--scan-interval-ms", 1, 3'600'000,
+                     &scan_interval_ms)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--status-interval-ms", 1, 3'600'000,
+                     &status_interval_ms)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--drain-grace-ms", 0, 3'600'000,
+                     &drain_grace_ms)) {
+    return rc;
+  }
   if (int rc = TakeD(args, "--window", &window_s)) return rc;
   if (int rc = TakeD(args, "--step", &step_s)) return rc;
   if (int rc = TakeD(args, "--min-coverage", &min_coverage)) return rc;
@@ -929,6 +1024,8 @@ int CmdServe(std::vector<std::string> args, const MainOptions& mo) {
   if (int rc = TakeI(args, "--max-idle", 0, INT_MAX, &max_idle)) return rc;
   bool naive = false;
   bool quiet = false;
+  bool watch = false;
+  bool exit_when_idle = false;
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--naive") {
       naive = true;
@@ -936,11 +1033,23 @@ int CmdServe(std::vector<std::string> args, const MainOptions& mo) {
     } else if (*it == "--quiet") {
       quiet = true;
       it = args.erase(it);
+    } else if (*it == "--watch") {
+      watch = true;
+      it = args.erase(it);
+    } else if (*it == "--exit-when-idle") {
+      exit_when_idle = true;
+      it = args.erase(it);
     } else {
       ++it;
     }
   }
   if (args.empty()) return Usage();
+#if defined(_WIN32)
+  if (watch) {
+    std::fprintf(stderr, "serve: --watch needs POSIX signals\n");
+    return 2;
+  }
+#endif
 
   runtime::FleetOptions fopts;
   if (isolate_s) {
@@ -965,24 +1074,40 @@ int CmdServe(std::vector<std::string> args, const MainOptions& mo) {
   fopts.quiet = quiet;
 
   // Operands are <dir> or <tenant>=<dir>; --state-root gives session i the
-  // state directory <root>/s<i> (default: <dataset>/live_state).
+  // state directory <root>/s<i> (default: <dataset>/live_state). With
+  // --watch the operands are roots instead: sessions are discovered under
+  // them at runtime (untenanted, state dir derived from the dataset path).
   std::vector<runtime::SessionSpec> specs;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    runtime::SessionSpec spec;
-    const auto eq = args[i].find('=');
-    if (eq != std::string::npos && eq > 0) {
-      spec.tenant = args[i].substr(0, eq);
-      spec.dataset_dir = args[i].substr(eq + 1);
-    } else {
-      spec.dataset_dir = args[i];
-    }
-    if (spec.dataset_dir.empty()) {
-      std::fprintf(stderr, "serve: empty dataset dir in '%s'\n",
-                   args[i].c_str());
+  std::vector<std::string> watch_roots;
+  if (watch) {
+    if (chaos_spec) {
+      std::fprintf(stderr,
+                   "serve: --chaos needs a fixed session list; it cannot "
+                   "index runtime-discovered sessions (drop --watch or "
+                   "--chaos)\n");
       return 2;
     }
-    if (state_root) spec.state_dir = *state_root + "/s" + std::to_string(i);
-    specs.push_back(std::move(spec));
+    watch_roots.assign(args.begin(), args.end());
+  } else {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      runtime::SessionSpec spec;
+      const auto eq = args[i].find('=');
+      if (eq != std::string::npos && eq > 0) {
+        spec.tenant = args[i].substr(0, eq);
+        spec.dataset_dir = args[i].substr(eq + 1);
+      } else {
+        spec.dataset_dir = args[i];
+      }
+      if (spec.dataset_dir.empty()) {
+        std::fprintf(stderr, "serve: empty dataset dir in '%s'\n",
+                     args[i].c_str());
+        return 2;
+      }
+      if (state_root) {
+        spec.state_dir = *state_root + "/s" + std::to_string(i);
+      }
+      specs.push_back(std::move(spec));
+    }
   }
 
   if (chaos_spec &&
@@ -1062,11 +1187,50 @@ int CmdServe(std::vector<std::string> args, const MainOptions& mo) {
   }
   if (mo.dry_run) return 0;
 
+  // Serve owns its sessions end to end, so successful ones do not need
+  // their checkpoints after the run (standalone `domino live` keeps them
+  // for resume-across-growth).
+  fopts.gc_checkpoints = true;
+
+  runtime::ServeDaemonOptions dopts;
+  dopts.watch = watch;
+  dopts.exit_when_idle = exit_when_idle;
+  if (scan_interval_ms) {
+    dopts.scan_interval_ms = static_cast<long>(*scan_interval_ms);
+  }
+  if (status_interval_ms) {
+    dopts.status_interval_ms = static_cast<long>(*status_interval_ms);
+  }
+  if (drain_grace_ms) {
+    dopts.drain_grace_ms = static_cast<long>(*drain_grace_ms);
+  }
+  dopts.state_root = state_root.value_or("");
+  if (manifest_path) {
+    dopts.manifest_path = *manifest_path;
+  } else if (watch && state_root) {
+    // Only watch mode defaults to a manifest: a plain batch serve must not
+    // silently resume from an earlier run's ledger.
+    dopts.manifest_path = *state_root + "/fleet.manifest";
+  }
+  dopts.status_path = status_file.value_or("");
+  dopts.tunables_path = tunables_file.value_or("");
+  dopts.watch_roots = std::move(watch_roots);
+#if !defined(_WIN32)
+  InstallSignalHandlers(OnServeSignal, /*with_hup=*/true);
+  dopts.term_signals = &g_term_signals;
+  dopts.hup_signals = &g_hup_signals;
+#endif
+
   analysis::CausalGraph graph =
       analysis::CausalGraph::Default(opts.detector.thresholds);
-  runtime::FleetSupervisor sup(std::move(specs), std::move(graph),
-                               std::move(opts), std::move(fopts));
-  runtime::FleetReport report = sup.Run();
+  runtime::ServeDaemonResult dres =
+      runtime::RunServeDaemon(std::move(specs), std::move(graph),
+                              std::move(opts), std::move(fopts), dopts);
+  if (dres.fatal) {
+    std::fprintf(stderr, "serve: %s\n", dres.error.c_str());
+    return 1;
+  }
+  const runtime::FleetReport& report = dres.report;
 
   std::fputs(runtime::FormatFleetReportText(report).c_str(), stdout);
   if (report_path) {
@@ -1078,8 +1242,14 @@ int CmdServe(std::vector<std::string> args, const MainOptions& mo) {
     f << runtime::BuildFleetReportJson(report);
     std::printf("JSON report written to %s\n", report_path->c_str());
   }
-  return report.completed == static_cast<long>(report.outcomes.size()) ? 0
-                                                                       : 1;
+  // Exit codes (documented in --help): a drain is a clean stop — the
+  // manifest carries the rest; otherwise quarantines trump shedding.
+  if (report.drained) return 0;
+  for (const auto& o : report.outcomes) {
+    if (!o.ok) return 4;
+  }
+  if (report.total_shed_windows > 0) return 3;
+  return 0;
 }
 
 int CmdConvert(std::vector<std::string> args, const MainOptions& mo) {

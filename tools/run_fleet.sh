@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
-# Fleet-supervisor chaos gate, run by CI (.github/workflows/ci.yml, under
-# ASan) and locally before sending a runtime/supervision change:
+# Fleet-supervisor gates, run by CI (.github/workflows/ci.yml, under ASan)
+# and locally before sending a runtime/supervision change:
 #
-#   tools/run_fleet.sh [build_dir]
+#   tools/run_fleet.sh [build_dir] [chaos|daemon]
+#
+# == chaos gate (default) ==
 #
 # A deterministic fault schedule degrades 3 of 8 sessions — one crashes
 # after its first checkpoint (SIGKILL via _Exit in process isolation, an
@@ -11,8 +13,8 @@
 # poisoned (header-only meta.csv). For BOTH isolation modes the gate
 # asserts:
 #
-# 1. Every healthy session completes; the fleet exit code is 1 (the
-#    poisoned session can never succeed).
+# 1. Every healthy session completes; the fleet exit code is 4 (a session
+#    was quarantined — the poisoned one can never succeed).
 # 2. The crash and wedge sessions are retried to success from their last
 #    good checkpoint: their chains.jsonl is byte-identical to that of an
 #    undisturbed seed-twin session.
@@ -20,10 +22,24 @@
 #    consumed.
 # 4. The JSON FleetReport is byte-identical across two runs of the same
 #    command (outcome determinism does not depend on worker interleaving).
+#
+# == daemon gate ==
+#
+# The long-lived `domino serve --watch` lifecycle against real signals,
+# for BOTH isolation modes:
+#
+# 1. Runtime discovery: session directories moved into the watch root
+#    while the daemon is running are admitted without a restart.
+# 2. Graceful drain: SIGTERM mid-fleet exits 0 and leaves a fleet
+#    manifest; the status file ends in state "stopped".
+# 3. Rolling restart: a second daemon resumes from the manifest and its
+#    JSON report — and every per-session output — is byte-identical to a
+#    daemon that saw all sessions from the start and was never disturbed.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
+gate=${2:-chaos}
 domino="$build_dir/tools/domino"
 
 if [ ! -x "$domino" ]; then
@@ -35,54 +51,57 @@ fi
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 
-# 8 sessions. d0 (crash victim) and d6 share seed 21; d3 (wedge victim)
-# and d7 share seed 24 — the undisturbed twins pin the byte-identical
-# recovery assertion. d5 is the unrecoverable poison.
-"$domino" simulate amarisoft 12 "$work/d0" --seed 21 > /dev/null
-"$domino" simulate amarisoft 12 "$work/d1" --seed 22 > /dev/null
-"$domino" simulate amarisoft 12 "$work/d2" --seed 23 > /dev/null
-"$domino" simulate amarisoft 12 "$work/d3" --seed 24 > /dev/null
-"$domino" simulate amarisoft 12 "$work/d4" --seed 25 > /dev/null
-mkdir -p "$work/d5"
-printf 'cell_name,is_private,begin_us,end_us\n' > "$work/d5/meta.csv"
-"$domino" simulate amarisoft 12 "$work/d6" --seed 21 > /dev/null
-"$domino" simulate amarisoft 12 "$work/d7" --seed 24 > /dev/null
+# ---------------------------------------------------------------- chaos --
 
-# run_fleet <isolate> <state_root> <report>
-run_fleet() {
-  rf_iso=$1; rf_st=$2; rf_report=$3
-  rc=0
-  "$domino" serve \
-    "$work/d0" "$work/d1" "$work/d2" "$work/d3" \
-    "$work/d4" "$work/d5" "$work/d6" "$work/d7" \
-    --workers 3 --max-attempts 3 --backoff-ms 10 --backoff-cap-ms 100 \
-    --session-deadline-s 5 --global-backlog 300 \
-    --isolate "$rf_iso" --exec "$domino" \
-    --chaos 0:crash:1,3:wedge:1 \
-    --state-root "$rf_st" --report "$rf_report" --quiet \
-    > "$rf_st.txt" 2>&1 || rc=$?
-  if [ "$rc" != 1 ]; then
-    echo "  FAIL: $rf_iso isolation: expected exit 1 (poisoned session)," \
-         "got $rc" >&2
-    cat "$rf_st.txt" >&2
-    exit 1
-  fi
-}
+run_chaos_gate() {
+  # 8 sessions. d0 (crash victim) and d6 share seed 21; d3 (wedge victim)
+  # and d7 share seed 24 — the undisturbed twins pin the byte-identical
+  # recovery assertion. d5 is the unrecoverable poison.
+  "$domino" simulate amarisoft 12 "$work/d0" --seed 21 > /dev/null
+  "$domino" simulate amarisoft 12 "$work/d1" --seed 22 > /dev/null
+  "$domino" simulate amarisoft 12 "$work/d2" --seed 23 > /dev/null
+  "$domino" simulate amarisoft 12 "$work/d3" --seed 24 > /dev/null
+  "$domino" simulate amarisoft 12 "$work/d4" --seed 25 > /dev/null
+  mkdir -p "$work/d5"
+  printf 'cell_name,is_private,begin_us,end_us\n' > "$work/d5/meta.csv"
+  "$domino" simulate amarisoft 12 "$work/d6" --seed 21 > /dev/null
+  "$domino" simulate amarisoft 12 "$work/d7" --seed 24 > /dev/null
 
-for iso in thread process; do
-  echo "== $iso isolation =="
-  run_fleet "$iso" "$work/${iso}_a" "$work/${iso}_a.json"
-  run_fleet "$iso" "$work/${iso}_b" "$work/${iso}_b.json"
+  # run_fleet <isolate> <state_root> <report>
+  run_fleet() {
+    rf_iso=$1; rf_st=$2; rf_report=$3
+    rc=0
+    "$domino" serve \
+      "$work/d0" "$work/d1" "$work/d2" "$work/d3" \
+      "$work/d4" "$work/d5" "$work/d6" "$work/d7" \
+      --workers 3 --max-attempts 3 --backoff-ms 10 --backoff-cap-ms 100 \
+      --session-deadline-s 5 --global-backlog 300 \
+      --isolate "$rf_iso" --exec "$domino" \
+      --chaos 0:crash:1,3:wedge:1,4:disk-enospc:2 \
+      --state-root "$rf_st" --report "$rf_report" --quiet \
+      > "$rf_st.txt" 2>&1 || rc=$?
+    if [ "$rc" != 4 ]; then
+      echo "  FAIL: $rf_iso isolation: expected exit 4 (quarantined" \
+           "poison), got $rc" >&2
+      cat "$rf_st.txt" >&2
+      exit 1
+    fi
+  }
 
-  if ! cmp -s "$work/${iso}_a.json" "$work/${iso}_b.json"; then
-    echo "  FAIL: $iso isolation: JSON FleetReport differs between two" \
-         "runs of the same command" >&2
-    diff "$work/${iso}_a.json" "$work/${iso}_b.json" >&2 || true
-    exit 1
-  fi
-  echo "  ok: JSON report byte-identical across runs"
+  for iso in thread process; do
+    echo "== $iso isolation =="
+    run_fleet "$iso" "$work/${iso}_a" "$work/${iso}_a.json"
+    run_fleet "$iso" "$work/${iso}_b" "$work/${iso}_b.json"
 
-  python3 - "$work/${iso}_a.json" <<'EOF'
+    if ! cmp -s "$work/${iso}_a.json" "$work/${iso}_b.json"; then
+      echo "  FAIL: $iso isolation: JSON FleetReport differs between two" \
+           "runs of the same command" >&2
+      diff "$work/${iso}_a.json" "$work/${iso}_b.json" >&2 || true
+      exit 1
+    fi
+    echo "  ok: JSON report byte-identical across runs"
+
+    python3 - "$work/${iso}_a.json" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
 s = r["sessions"]
@@ -90,35 +109,150 @@ assert len(s) == 8, f"expected 8 sessions, got {len(s)}"
 c = r["counts"]
 assert c["completed"] == 7, f"completed {c['completed']} != 7"
 assert c["quarantined"] == 1, f"quarantined {c['quarantined']} != 1"
-assert c["recovered"] == 2, f"recovered {c['recovered']} != 2"
+assert c["recovered"] == 3, f"recovered {c['recovered']} != 3"
 # Crash victim: one failed fresh attempt, one clean resumed attempt.
 assert s[0]["ok"] and s[0]["attempts"] == 2, s[0]
 # Wedge victim: cancelled by the wall-clock deadline, then recovered.
 assert s[3]["ok"] and s[3]["attempts"] == 2, s[3]
 assert s[3]["deadline_exceeded"], s[3]
+# Disk victim: its 2nd checkpoint write got an injected ENOSPC; the
+# attempt failed and the retry resumed from checkpoint 1.
+assert s[4]["ok"] and s[4]["attempts"] == 2, s[4]
 # Poison: quarantined with the full attempt budget recorded.
 assert s[5]["quarantined"] and s[5]["attempts"] == 3, s[5]
 assert not s[5]["ok"] and s[5]["error"], s[5]
 # Healthy sessions: first-attempt completions with real progress.
-for i in (1, 2, 4, 6, 7):
+for i in (1, 2, 6, 7):
     assert s[i]["ok"] and s[i]["attempts"] == 1, s[i]
     assert s[i]["windows"] > 0, s[i]
-print("  ok: 7 completed (2 recovered), poison quarantined at 3 attempts")
+print("  ok: 7 completed (3 recovered), poison quarantined at 3 attempts")
 EOF
 
-  # The recovered sessions' outputs must be byte-identical to their
-  # undisturbed twins': recovery resumed the checkpoint, it did not
-  # re-analyse differently or drop chains.
-  for pair in "s0 s6" "s3 s7"; do
-    a=${pair% *}; b=${pair#* }
-    if ! cmp -s "$work/${iso}_a/$a/chains.jsonl" \
-                "$work/${iso}_a/$b/chains.jsonl"; then
-      echo "  FAIL: $iso isolation: recovered $a chains.jsonl differs" \
-           "from undisturbed twin $b" >&2
+    # The recovered sessions' outputs must be byte-identical to their
+    # undisturbed twins': recovery resumed the checkpoint, it did not
+    # re-analyse differently or drop chains.
+    for pair in "s0 s6" "s3 s7"; do
+      a=${pair% *}; b=${pair#* }
+      if ! cmp -s "$work/${iso}_a/$a/chains.jsonl" \
+                  "$work/${iso}_a/$b/chains.jsonl"; then
+        echo "  FAIL: $iso isolation: recovered $a chains.jsonl differs" \
+             "from undisturbed twin $b" >&2
+        exit 1
+      fi
+    done
+    echo "  ok: recovered sessions byte-identical to undisturbed twins"
+  done
+
+  echo "fleet chaos gate passed"
+}
+
+# --------------------------------------------------------------- daemon --
+
+run_daemon_gate() {
+  # 6 sessions: 4 present at daemon startup, 2 arriving while it runs.
+  for i in 1 2 3 4 5 6; do
+    "$domino" simulate amarisoft 12 "$work/stage/sess$i" --seed "3$i" \
+      > /dev/null
+  done
+
+  for iso in thread process; do
+    echo "== $iso isolation =="
+    root="$work/${iso}_root"; late="$work/${iso}_late"
+    st="$work/${iso}_st"; twin_st="$work/${iso}_twin"
+    mkdir -p "$root" "$late" "$st" "$twin_st"
+    for i in 1 2 3 4; do cp -r "$work/stage/sess$i" "$root/"; done
+    for i in 5 6; do cp -r "$work/stage/sess$i" "$late/"; done
+
+    # serve_watch <state_root> <report> [extra flags...]
+    #
+    # `exec` so a backgrounded invocation's $! is the daemon itself, not a
+    # wrapper subshell (SIGTERM must reach the daemon) — therefore always
+    # call this inside an explicit ( ... ) subshell.
+    serve_watch() {
+      sw_st=$1; sw_report=$2; shift 2
+      exec "$domino" serve --watch "$root" \
+        --workers 2 --max-attempts 3 --backoff-ms 10 --backoff-cap-ms 100 \
+        --global-backlog 300 --isolate "$iso" --exec "$domino" \
+        --scan-interval-ms 25 --drain-grace-ms 2000 \
+        --state-root "$sw_st" --status-file "$sw_st/status.json" \
+        --status-interval-ms 25 --report "$sw_report" --quiet "$@"
+    }
+
+    # Phase 1: daemon up, two sessions appear at runtime, SIGTERM drains.
+    rc=0
+    ( serve_watch "$st" "$work/${iso}_r1.json" ) > "$st.txt" 2>&1 &
+    pid=$!
+    sleep 1
+    mv "$late/sess5" "$late/sess6" "$root/"
+    sleep 1
+    kill -TERM "$pid" 2>/dev/null || true
+    wait "$pid" || rc=$?
+    if [ "$rc" != 0 ]; then
+      echo "  FAIL: $iso isolation: drained daemon exited $rc, not 0" >&2
+      cat "$st.txt" >&2
       exit 1
     fi
-  done
-  echo "  ok: recovered sessions byte-identical to undisturbed twins"
-done
+    if [ ! -f "$st/fleet.manifest" ]; then
+      echo "  FAIL: $iso isolation: drain left no fleet manifest" >&2
+      exit 1
+    fi
+    if ! grep -q '"state": "stopped"' "$st/status.json"; then
+      echo "  FAIL: $iso isolation: status file never reached 'stopped'" >&2
+      cat "$st/status.json" >&2
+      exit 1
+    fi
+    echo "  ok: SIGTERM drained to exit 0 with manifest + status file"
 
-echo "fleet chaos gate passed"
+    # Phase 2: rolling restart resumes from the manifest; the twin daemon
+    # sees all 6 sessions from the start and is never disturbed.
+    ( serve_watch "$st" "$work/${iso}_r2.json" --exit-when-idle ) \
+      > "$st.resume.txt" 2>&1 || {
+      echo "  FAIL: $iso isolation: resumed daemon failed" >&2
+      cat "$st.resume.txt" >&2
+      exit 1
+    }
+    ( serve_watch "$twin_st" "$work/${iso}_rt.json" --exit-when-idle ) \
+      > "$twin_st.txt" 2>&1 || {
+      echo "  FAIL: $iso isolation: twin daemon failed" >&2
+      cat "$twin_st.txt" >&2
+      exit 1
+    }
+
+    if ! cmp -s "$work/${iso}_r2.json" "$work/${iso}_rt.json"; then
+      echo "  FAIL: $iso isolation: resumed JSON report differs from the" \
+           "undisturbed twin's" >&2
+      diff "$work/${iso}_r2.json" "$work/${iso}_rt.json" >&2 || true
+      exit 1
+    fi
+    python3 - "$work/${iso}_r2.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+c = r["counts"]
+assert len(r["sessions"]) == 6, r["sessions"]
+assert c["completed"] == 6 and c["quarantined"] == 0, c
+assert c["suspended"] == 0, c
+EOF
+    for d in "$st"/sess*_*/; do
+      name=$(basename "$d")
+      for f in chains.jsonl live_report.json; do
+        if ! cmp -s "$st/$name/$f" "$twin_st/$name/$f"; then
+          echo "  FAIL: $iso isolation: $name/$f differs from the" \
+               "undisturbed twin's" >&2
+          exit 1
+        fi
+      done
+    done
+    echo "  ok: resumed run byte-identical to undisturbed twin (6 sessions)"
+  done
+
+  echo "fleet daemon gate passed"
+}
+
+case "$gate" in
+  chaos) run_chaos_gate ;;
+  daemon) run_daemon_gate ;;
+  *)
+    echo "usage: tools/run_fleet.sh [build_dir] [chaos|daemon]" >&2
+    exit 2
+    ;;
+esac
