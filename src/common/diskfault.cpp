@@ -1,6 +1,7 @@
 #include "common/diskfault.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 
@@ -8,8 +9,37 @@
 #include <fcntl.h>
 #include <unistd.h>
 #endif
+#if defined(_WIN32)
+#include <process.h>
+#endif
 
 namespace domino {
+
+const std::string& AtomicTempSuffix() {
+  // pid alone can collide across boxes on a shared filesystem, so mix in
+  // the process start instant. Computed once: one process writes its temp
+  // files sequentially, so a single per-process name suffices.
+  static const std::string suffix = [] {
+#if defined(_WIN32)
+    const unsigned long long pid = static_cast<unsigned long long>(_getpid());
+#else
+    const unsigned long long pid = static_cast<unsigned long long>(::getpid());
+#endif
+    unsigned long long h = 1469598103934665603ULL;
+    const unsigned long long boot = static_cast<unsigned long long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    for (unsigned long long v : {pid, boot}) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 1099511628211ULL;
+      }
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ".tmp.%08llx", h & 0xffffffffULL);
+    return std::string(buf);
+  }();
+  return suffix;
+}
 
 bool ParseDiskFaultSpec(const std::string& text, DiskFaultSpec* spec) {
   const std::size_t colon = text.find(':');
@@ -23,6 +53,10 @@ bool ParseDiskFaultSpec(const std::string& text, DiskFaultSpec* spec) {
     out.kind = DiskFaultSpec::Kind::kEio;
   } else if (kind == "short") {
     out.kind = DiskFaultSpec::Kind::kShortWrite;
+  } else if (kind == "rename") {
+    out.kind = DiskFaultSpec::Kind::kRename;
+  } else if (kind == "fsync") {
+    out.kind = DiskFaultSpec::Kind::kFsync;
   } else {
     return false;
   }
@@ -47,6 +81,7 @@ int DiskFaultInjector::OnWrite(std::size_t payload_bytes,
   }
   fired_ = true;
   ++faults_injected_;
+  last_fault_kind_ = spec_.kind;
   switch (spec_.kind) {
     case DiskFaultSpec::Kind::kEnospc:
       last_fault_name_ = "ENOSPC";
@@ -57,6 +92,12 @@ int DiskFaultInjector::OnWrite(std::size_t payload_bytes,
     case DiskFaultSpec::Kind::kShortWrite:
       last_fault_name_ = "short write";
       if (short_cap != nullptr) *short_cap = payload_bytes / 2;
+      return EIO;
+    case DiskFaultSpec::Kind::kRename:
+      last_fault_name_ = "rename failure";
+      return EIO;
+    case DiskFaultSpec::Kind::kFsync:
+      last_fault_name_ = "fsync failure";
       return EIO;
     case DiskFaultSpec::Kind::kNone:
       break;
@@ -71,11 +112,27 @@ bool AtomicWriteFile(const std::string& path, const std::string& body,
     if (error != nullptr) *error = why;
     return false;
   };
-  const std::string tmp = path + ".tmp";
+  const std::string tmp = path + AtomicTempSuffix();
   std::size_t cap = body.size();
   int injected = 0;
-  if (fault != nullptr) injected = fault->OnWrite(body.size(), &cap);
-  if (injected != 0 && cap == body.size()) {
+  DiskFaultSpec::Kind inj_kind = DiskFaultSpec::Kind::kNone;
+  if (fault != nullptr) {
+    injected = fault->OnWrite(body.size(), &cap);
+    if (injected != 0) inj_kind = fault->last_fault_kind();
+  }
+  // A fault is injected at the protocol stage its kind names, so each stage
+  // of the atomic write (write, fsync, rename) is separately provable: the
+  // target file never changes on any failure, whatever the stage.
+  const bool inj_write = injected != 0 &&
+                         (inj_kind == DiskFaultSpec::Kind::kEnospc ||
+                          inj_kind == DiskFaultSpec::Kind::kEio);
+  const bool inj_short =
+      injected != 0 && inj_kind == DiskFaultSpec::Kind::kShortWrite;
+  const bool inj_fsync =
+      injected != 0 && inj_kind == DiskFaultSpec::Kind::kFsync;
+  const bool inj_rename =
+      injected != 0 && inj_kind == DiskFaultSpec::Kind::kRename;
+  if (inj_write) {
     // Full-write fault: fail before touching the filesystem, like a
     // write() that returned -1 immediately.
     return fail("write '" + path + "' failed (injected " +
@@ -89,10 +146,14 @@ bool AtomicWriteFile(const std::string& path, const std::string& body,
     f.flush();
     if (!f) return fail("write to '" + tmp + "' failed");
   }
-  if (injected != 0) {
+  if (inj_short || inj_fsync) {
     // Short write: the torn temp file stays behind, the target does not
     // change — exactly what a mid-write device error leaves on disk.
     return fail("write '" + path + "' failed (injected " +
+                fault->last_fault_name() + ")");
+  }
+  if (inj_rename) {
+    return fail("rename '" + tmp + "' -> '" + path + "' failed (injected " +
                 fault->last_fault_name() + ")");
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -113,21 +174,34 @@ bool AtomicWriteFile(const std::string& path, const std::string& body,
     }
     off += static_cast<std::size_t>(n);
   }
-  if (injected != 0) {
+  if (inj_short) {
     // Short write: leave the torn temp file behind for postmortems; the
     // target file is untouched because the rename never happens.
     ::close(fd);
     return fail("write '" + path + "' failed (injected " +
                 fault->last_fault_name() + ")");
   }
-  if (fsync_file && ::fsync(fd) != 0) {
+  if (inj_fsync || (fsync_file && ::fsync(fd) != 0)) {
+    // Durability refused: data may sit in the page cache, but the protocol
+    // cannot promise it survives a power cut — the write must fail and the
+    // previous target content stays the published truth.
     ::close(fd);
     ::unlink(tmp.c_str());
+    if (inj_fsync) {
+      return fail("fsync of '" + tmp + "' failed (injected " +
+                  fault->last_fault_name() + ")");
+    }
     return fail("fsync of '" + tmp + "' failed");
   }
   if (::close(fd) != 0) {
     ::unlink(tmp.c_str());
     return fail("close of '" + tmp + "' failed");
+  }
+  if (inj_rename) {
+    // The fully written, fsynced temp file exists but was never published:
+    // the one crash window the atomic protocol leaves, now reproducible.
+    return fail("rename '" + tmp + "' -> '" + path + "' failed (injected " +
+                fault->last_fault_name() + ")");
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     ::unlink(tmp.c_str());

@@ -27,16 +27,22 @@ namespace domino {
 struct DiskFaultSpec {
   enum class Kind {
     kNone,
-    kEnospc,     ///< write() fails with ENOSPC (device full).
-    kEio,        ///< write() fails with EIO (device error).
-    kShortWrite  ///< write() persists only half the payload, then EIO.
+    kEnospc,      ///< write() fails with ENOSPC (device full).
+    kEio,         ///< write() fails with EIO (device error).
+    kShortWrite,  ///< write() persists only half the payload, then EIO.
+    kRename,      ///< write+fsync succeed; the publishing rename/link fails
+                  ///< with EIO, leaving the temp file and an untouched
+                  ///< target (the dangerous last step of the atomic
+                  ///< protocol).
+    kFsync        ///< write succeeds; fsync fails with EIO — data may be in
+                  ///< the page cache but durability was refused.
   };
   Kind kind = Kind::kNone;
   long at_write = 0;
 };
 
-/// Parses "enospc:N" / "eio:N" / "short:N" (N >= 1). Returns false on any
-/// other input.
+/// Parses "enospc:N" / "eio:N" / "short:N" / "rename:N" / "fsync:N"
+/// (N >= 1). Returns false on any other input.
 bool ParseDiskFaultSpec(const std::string& text, DiskFaultSpec* spec);
 
 /// Counts guarded writes and decides which one fails. Thread-compatible,
@@ -58,10 +64,17 @@ class DiskFaultInjector {
   [[nodiscard]] long writes_seen() const { return writes_seen_; }
   [[nodiscard]] long faults_injected() const { return faults_injected_; }
   /// Human-readable name of the last injected fault ("ENOSPC", "EIO",
-  /// "short write"); empty if none fired yet. Deterministic across runs,
-  /// unlike strerror() text.
+  /// "short write", "rename failure", "fsync failure"); empty if none fired
+  /// yet. Deterministic across runs, unlike strerror() text.
   [[nodiscard]] const std::string& last_fault_name() const {
     return last_fault_name_;
+  }
+  /// Which stage the last injected fault targets. A caller performing a
+  /// multi-stage durable write (write, fsync, rename) consults this after a
+  /// nonzero OnWrite() to fail at the right stage: kRename faults let the
+  /// write and fsync succeed and break only the publishing rename/link.
+  [[nodiscard]] DiskFaultSpec::Kind last_fault_kind() const {
+    return last_fault_kind_;
   }
 
  private:
@@ -70,13 +83,23 @@ class DiskFaultInjector {
   long writes_seen_ = 0;
   long faults_injected_ = 0;
   std::string last_fault_name_;
+  DiskFaultSpec::Kind last_fault_kind_ = DiskFaultSpec::Kind::kNone;
 };
+
+/// Process-unique staging suffix (".tmp.<hex>") for temp+rename writers.
+/// Two processes racing to publish the same path — a fenced zombie and the
+/// box that stole its lease, in the sharded fleet's bounded TOCTOU window —
+/// must never write the SAME staging file, or an interleaved write could be
+/// renamed into place as a torn document. With unique staging names the
+/// loser's publish either fully replaces the winner's or never lands.
+const std::string& AtomicTempSuffix();
 
 /// Atomic text-file write (temp + rename) with optional fault injection
 /// and optional fsync durability. Used for the fleet manifest (fsync) and
 /// the fleet_status.json liveness file (no fsync: advisory, refreshed
 /// every tick). Returns false on failure — injected or real — with
 /// `*error` describing it; the previous file, if any, is left untouched.
+/// The staging file is `path + AtomicTempSuffix()`.
 bool AtomicWriteFile(const std::string& path, const std::string& body,
                      bool fsync_file, DiskFaultInjector* fault,
                      std::string* error);

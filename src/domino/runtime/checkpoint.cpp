@@ -256,7 +256,10 @@ bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path,
   // So: write temp, fsync the temp *file*, rename, then fsync the
   // *directory* so the rename itself is durable. Any failure before the
   // rename leaves the previous checkpoint untouched (the API contract).
-  const std::string tmp = path + ".tmp";
+  // The staging name carries a process-unique suffix so a fenced zombie and
+  // the box that stole its lease can never tear each other's temp file while
+  // racing to publish the same path (diskfault.h, AtomicTempSuffix).
+  const std::string tmp = path + AtomicTempSuffix();
   const std::string body = FormatCheckpoint(cp);
   // Deterministic environmental-fault injection: ENOSPC/EIO fail the save
   // before any bytes land; a short write persists half the temp file and

@@ -8,9 +8,10 @@
 // (chains past the offset were emitted after the checkpoint and will be
 // re-emitted deterministically).
 //
-// Durability protocol: serialise to `<path>.tmp`, flush, then
-// std::rename() over `<path>` — on POSIX the rename is atomic, so a crash
-// mid-write leaves the previous checkpoint intact. The file is a
+// Durability protocol: serialise to `<path><AtomicTempSuffix()>` (a
+// process-unique `.tmp.<hex>` staging name), flush, then std::rename()
+// over `<path>` — on POSIX the rename is atomic, so a crash mid-write
+// leaves the previous checkpoint intact. The file is a
 // line-oriented `key values...` text format with a version header and a
 // trailing FNV-1a checksum over everything above it; Load rejects torn or
 // hand-edited files and a fingerprint mismatch (different config/engine
@@ -119,7 +120,7 @@ bool ParseCheckpoint(const std::string& text,
 /// (the previous checkpoint, if any, is left untouched). `fault`, if
 /// non-null, is consulted once per save: an injected ENOSPC/EIO fails the
 /// write before any bytes land, and an injected short write leaves a torn
-/// `<path>.tmp` behind (the checkpoint itself stays previous-or-valid
+/// staging file behind (the checkpoint itself stays previous-or-valid
 /// either way — the crash-safety contract holds under injection too).
 bool SaveCheckpoint(const LiveCheckpoint& cp, const std::string& path,
                     DiskFaultInjector* fault = nullptr);

@@ -6,10 +6,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <thread>
 
 #include "domino/runtime/live.h"
+#include "domino/runtime/shard.h"
 
 namespace domino::runtime {
 
@@ -67,6 +69,7 @@ std::string RestOfLine(std::istringstream& ls) {
 int ManifestStatus(const SessionOutcome& o) {
   if (o.ok) return 1;
   if (o.quarantined) return 2;
+  if (o.fenced) return 3;
   return 0;  // Suspended (or never started): open, resume from checkpoint.
 }
 
@@ -78,6 +81,7 @@ std::string FormatFleetManifest(const FleetManifest& m) {
   os << "config " << m.workers << " " << m.max_attempts << " "
      << m.global_backlog_windows << " "
      << (m.isolate == IsolationMode::kProcess ? 1 : 0) << "\n";
+  if (!m.owner.empty()) os << "owner " << m.owner << "\n";
   for (const ManifestEntry& e : m.sessions) {
     const SessionOutcome& o = e.seed.outcome;
     const int status = e.seed.terminal ? ManifestStatus(o) : 0;
@@ -167,7 +171,7 @@ bool ParseFleetManifest(const std::string& text, FleetManifest* out,
       if (!finish_entry()) return fail("incomplete session entry");
       const std::int64_t status = r.I();
       const std::int64_t attempts = r.I();
-      if (!r.ok() || status < 0 || status > 2 || attempts < 0 ||
+      if (!r.ok() || status < 0 || status > 3 || attempts < 0 ||
           attempts > 1'000'000) {
         return fail("malformed session line");
       }
@@ -179,6 +183,10 @@ bool ParseFleetManifest(const std::string& text, FleetManifest* out,
       cur->seed.outcome.attempts = static_cast<int>(attempts);
       cur->seed.outcome.ok = status == 1;
       cur->seed.outcome.quarantined = status == 2;
+      cur->seed.outcome.fenced = status == 3;
+    } else if (key == "owner") {
+      if (cur != nullptr) return fail("owner line inside a session");
+      m.owner = RestOfLine(ls);
     } else if (key == "dataset") {
       if (cur == nullptr) return fail("dataset line outside a session");
       cur->spec.dataset_dir = RestOfLine(ls);
@@ -270,7 +278,9 @@ FleetManifest BuildFleetManifest(const FleetReport& report,
     ManifestEntry e;
     e.spec = specs[i];
     const SessionOutcome& o = report.outcomes[i];
-    if (o.ok || o.quarantined) {
+    if (o.ok || o.quarantined || o.fenced) {
+      // Fenced is terminal *for this box* — the stealing box owns the
+      // session now and its manifest/done marker carries the real outcome.
       e.seed.terminal = true;
       e.seed.outcome = o;
     } else {
@@ -411,7 +421,8 @@ double NewestCheckpointAgeS(const std::vector<std::string>& state_dirs) {
 
 std::string BuildStatusJson(const char* state,
                             const FleetSupervisor::Status& s,
-                            double uptime_s) {
+                            double uptime_s, const std::string& shard_owner,
+                            long leases_held, std::size_t remote_sessions) {
   std::ostringstream os;
   char buf[64];
   os << "{\n";
@@ -423,7 +434,15 @@ std::string BuildStatusJson(const char* state,
      << ", \"retrying\": " << s.retrying
      << ", \"completed\": " << s.completed
      << ", \"quarantined\": " << s.quarantined
-     << ", \"suspended\": " << s.suspended << "},\n";
+     << ", \"suspended\": " << s.suspended
+     << ", \"fenced\": " << s.fenced << "},\n";
+  if (!shard_owner.empty()) {
+    // Per-box shard view: what this box holds vs. what it is watching for
+    // a takeover. The merged cross-box view is `domino fleet-status`.
+    os << "  \"shard\": {\"owner\": \"" << shard_owner
+       << "\", \"leases_held\": " << leases_held
+       << ", \"claimed_elsewhere\": " << remote_sessions << "},\n";
+  }
   os << "  \"failed_attempts\": " << s.failed_attempts << ",\n";
   os << "  \"progress\": {\"windows\": " << s.total_windows
      << ", \"chains\": " << s.total_chains
@@ -437,9 +456,12 @@ std::string BuildStatusJson(const char* state,
 
 void WriteStatusFile(const std::string& path, const char* state,
                      const FleetSupervisor::Status& s, double uptime_s,
-                     bool quiet) {
+                     bool quiet, const std::string& shard_owner = "",
+                     long leases_held = 0, std::size_t remote_sessions = 0) {
   std::string err;
-  if (!AtomicWriteFile(path, BuildStatusJson(state, s, uptime_s),
+  if (!AtomicWriteFile(path,
+                       BuildStatusJson(state, s, uptime_s, shard_owner,
+                                       leases_held, remote_sessions),
                        /*fsync_file=*/false, nullptr, &err) &&
       !quiet) {
     // Liveness reporting must never take the daemon down; a monitor that
@@ -459,7 +481,30 @@ ServeDaemonResult RunServeDaemon(std::vector<SessionSpec> specs,
   for (SessionSpec& s : specs) {
     if (s.state_dir.empty()) s.state_dir = DefaultStateDir(s.dataset_dir);
   }
-  fleet.dynamic = dopts.watch;
+  const bool sharded = !dopts.owner.empty();
+  std::unique_ptr<ShardCoordinator> shard;
+  if (sharded) {
+    if (dopts.state_root.empty()) {
+      res.fatal = true;
+      res.error = "serve: --owner (sharded mode) requires --state-root";
+      return res;
+    }
+    ShardOptions so;
+    so.state_root = dopts.state_root;
+    so.owner = dopts.owner;
+    so.lease_ttl_ms = dopts.lease_ttl_ms;
+    so.heartbeat_ms = dopts.heartbeat_ms;
+    try {
+      shard = std::make_unique<ShardCoordinator>(std::move(so));
+    } catch (const std::exception& e) {
+      res.fatal = true;
+      res.error = std::string("serve: ") + e.what();
+      return res;
+    }
+  }
+  // Sharded pools stay dynamic even without --watch: sessions claimed by
+  // another box are admitted later, when their owner finishes or dies.
+  fleet.dynamic = dopts.watch || sharded;
   fleet.drain_grace_ms = dopts.drain_grace_ms;
 
   if (!dopts.manifest_path.empty()) {
@@ -512,6 +557,96 @@ ServeDaemonResult RunServeDaemon(std::vector<SessionSpec> specs,
     }
   }
 
+  // Sessions a live box elsewhere currently holds. Re-tried every sweep:
+  // when the owner finishes, the done marker drops them; when the owner
+  // dies, the stale heartbeat lets this box steal the lease and finish the
+  // work from the shared checkpoint. Only the helper thread touches this
+  // after construction.
+  std::vector<SessionSpec> remote;
+  if (shard != nullptr) {
+    std::vector<SessionSpec> mine;
+    std::vector<SessionSeed> mine_seeds;
+    std::vector<SessionChaos> mine_chaos;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const bool terminal = i < fleet.seeds.size() && fleet.seeds[i].terminal;
+      bool keep = terminal;  // Terminal on this box: reported verbatim,
+                             // no lease needed.
+      if (!terminal) {
+        std::string claim_err;
+        switch (shard->TryClaim(specs[i].dataset_dir, &claim_err)) {
+          case ClaimResult::kClaimed:
+            keep = true;
+            break;
+          case ClaimResult::kDone:
+            // Finished somewhere already; the done marker carries the
+            // outcome for `domino fleet-status`.
+            if (!fleet.quiet) {
+              std::fprintf(stderr,
+                           "serve: %s already finished elsewhere, skipping\n",
+                           specs[i].dataset_dir.c_str());
+            }
+            break;
+          case ClaimResult::kHeldElsewhere:
+            remote.push_back(specs[i]);
+            break;
+          case ClaimResult::kError:
+            std::fprintf(stderr, "serve: claim failed (will retry): %s\n",
+                         claim_err.c_str());
+            remote.push_back(specs[i]);
+            break;
+        }
+      }
+      if (keep) {
+        mine.push_back(std::move(specs[i]));
+        if (i < fleet.seeds.size()) mine_seeds.push_back(fleet.seeds[i]);
+        if (i < fleet.chaos.size()) mine_chaos.push_back(fleet.chaos[i]);
+      }
+    }
+    specs = std::move(mine);
+    fleet.seeds = std::move(mine_seeds);
+    // The chaos schedule follows each session to whichever box claims it
+    // first; sessions taken over later resume from their checkpoints, so
+    // the fresh-run-only hooks stay spent (same rule as manifest resume).
+    fleet.chaos = std::move(mine_chaos);
+
+    ShardCoordinator* sc = shard.get();
+    const bool quiet = fleet.quiet;
+    // Per-attempt lease binding: LiveRunner proves this token before every
+    // checkpoint/report write (live.h fencing).
+    fleet.shard_binding = [sc](const std::string& dataset, std::string* dir,
+                               std::uint64_t* token) {
+      if (!sc->Held(dataset)) return false;
+      *dir = sc->LeaseDirFor(dataset);
+      *token = sc->TokenFor(dataset);
+      return *token != 0;
+    };
+    // Checkpoint GC on a shared state root additionally requires a current
+    // lease — a box whose lease was stolen must not delete the new owner's
+    // checkpoint.
+    fleet.gc_guard = [sc](const SessionSpec& s) {
+      return sc->SafeToGc(s.dataset_dir);
+    };
+    fleet.on_terminal = [sc, quiet](const SessionSpec& s,
+                                    const SessionOutcome& o) {
+      if (o.fenced) {
+        sc->Forget(s.dataset_dir);  // The thief owns the lease now.
+        return;
+      }
+      if (o.suspended) return;  // Drain releases leases in the shutdown path.
+      if (!o.ok && !o.quarantined) return;
+      ShardDoneRecord rec;
+      rec.status = o.ok ? 1 : 2;
+      rec.attempts = o.attempts;
+      rec.windows = o.summary.windows;
+      rec.chains = o.summary.chains;
+      std::string derr;
+      if (!sc->MarkDone(s.dataset_dir, rec, &derr) && !quiet) {
+        std::fprintf(stderr, "serve: done marker for %s failed: %s\n",
+                     s.dataset_dir.c_str(), derr.c_str());
+      }
+    };
+  }
+
   // Admission-ordered ledger for the shutdown manifest. Only the helper
   // thread appends after construction, and the final read happens after
   // it is joined.
@@ -524,12 +659,19 @@ ServeDaemonResult RunServeDaemon(std::vector<SessionSpec> specs,
   std::thread helper([&] {
     std::set<std::string> known;
     for (const SessionSpec& s : all_specs) known.insert(s.dataset_dir);
+    // Claimed-elsewhere sessions are known too: a watch root containing
+    // them must not re-admit them without a lease (takeover readmits via
+    // the reclaim sweep instead).
+    for (const SessionSpec& s : remote) known.insert(s.dataset_dir);
     long scan_ms = std::max(1L, dopts.scan_interval_ms);
     long status_ms = std::max(1L, dopts.status_interval_ms);
     long grace_ms = std::max(0L, dopts.drain_grace_ms);
     auto next_scan = start;
     auto next_status = start;
-    bool draining = false, escalated = false, no_more_sent = !dopts.watch;
+    auto next_hb = start;
+    auto next_reclaim = start;
+    bool draining = false, escalated = false;
+    bool no_more_sent = !dopts.watch && !sharded;
     Clock::time_point escalate_at{};
     while (!stop.load(std::memory_order_acquire)) {
       const auto now = Clock::now();
@@ -572,6 +714,56 @@ ServeDaemonResult RunServeDaemon(std::vector<SessionSpec> specs,
         }
         next_scan = now;  // SIGHUP always forces an immediate re-scan.
       }
+      if (shard != nullptr && now >= next_hb) {
+        // Heartbeat every held lease. A lease that comes back stolen needs
+        // no action here: ownership is already forgotten, and the running
+        // attempt fences itself at its next poll/checkpoint boundary.
+        const std::vector<std::string> lost = shard->RenewHeld();
+        if (!fleet.quiet) {
+          for (const std::string& d : lost) {
+            std::fprintf(stderr,
+                         "serve: lease for %s was stolen; fencing the "
+                         "running attempt\n",
+                         d.c_str());
+          }
+        }
+        next_hb = Clock::now() +
+                  std::chrono::milliseconds(shard->effective_heartbeat_ms());
+      }
+      bool reclaimed_none = false;
+      if (shard != nullptr && !draining && now >= next_reclaim) {
+        reclaimed_none = true;
+        if (!remote.empty()) {
+          std::vector<SessionSpec> taken;
+          std::vector<SessionSpec> still;
+          for (SessionSpec& s : remote) {
+            std::string claim_err;
+            switch (shard->TryClaim(s.dataset_dir, &claim_err)) {
+              case ClaimResult::kClaimed:
+                taken.push_back(std::move(s));
+                break;
+              case ClaimResult::kDone:
+                break;  // Finished elsewhere; nothing left to do.
+              default:
+                still.push_back(std::move(s));
+                break;
+            }
+          }
+          remote = std::move(still);
+          if (!taken.empty()) {
+            reclaimed_none = false;
+            if (!fleet.quiet) {
+              for (const SessionSpec& s : taken) {
+                std::fprintf(stderr, "serve: took over %s\n",
+                             s.dataset_dir.c_str());
+              }
+            }
+            all_specs.insert(all_specs.end(), taken.begin(), taken.end());
+            sup.AddSessions(std::move(taken));
+          }
+        }
+        next_reclaim = Clock::now() + std::chrono::milliseconds(scan_ms);
+      }
       bool swept_nothing = false;
       if (dopts.watch && !draining && now >= next_scan) {
         const std::vector<std::string> fresh =
@@ -588,14 +780,30 @@ ServeDaemonResult RunServeDaemon(std::vector<SessionSpec> specs,
             s.state_dir = dopts.state_root.empty()
                               ? DefaultStateDir(dir)
                               : SessionStateDirFor(dopts.state_root, dir);
+            if (shard != nullptr) {
+              // Discovered sessions go through the same claim gate as
+              // operands: only the box that wins the lease admits it.
+              std::string claim_err;
+              switch (shard->TryClaim(dir, &claim_err)) {
+                case ClaimResult::kClaimed:
+                  break;
+                case ClaimResult::kDone:
+                  continue;  // Finished elsewhere already.
+                default:
+                  remote.push_back(std::move(s));
+                  continue;
+              }
+            }
             batch.push_back(s);
           }
-          all_specs.insert(all_specs.end(), batch.begin(), batch.end());
-          if (!fleet.quiet) {
-            std::fprintf(stderr, "serve: admitted %zu new session%s\n",
-                         batch.size(), batch.size() == 1 ? "" : "s");
+          if (!batch.empty()) {
+            all_specs.insert(all_specs.end(), batch.begin(), batch.end());
+            if (!fleet.quiet) {
+              std::fprintf(stderr, "serve: admitted %zu new session%s\n",
+                           batch.size(), batch.size() == 1 ? "" : "s");
+            }
+            sup.AddSessions(std::move(batch));
           }
-          sup.AddSessions(std::move(batch));
         }
         next_scan = Clock::now() + std::chrono::milliseconds(scan_ms);
       }
@@ -603,11 +811,19 @@ ServeDaemonResult RunServeDaemon(std::vector<SessionSpec> specs,
         WriteStatusFile(dopts.status_path,
                         draining ? "draining" : "running", sup.Snapshot(),
                         std::chrono::duration<double>(now - start).count(),
-                        fleet.quiet);
+                        fleet.quiet, dopts.owner,
+                        shard != nullptr ? shard->held_count() : 0,
+                        remote.size());
         next_status = Clock::now() + std::chrono::milliseconds(status_ms);
       }
-      if (dopts.watch && dopts.exit_when_idle && !no_more_sent &&
-          swept_nothing) {
+      // Idle exit: everything this box knows about is terminal, the last
+      // sweep found nothing new, and — sharded — no session is still open
+      // on another box (a crash there would hand this box the work).
+      const bool watch_idle = !dopts.watch || swept_nothing;
+      const bool shard_idle =
+          shard == nullptr || (reclaimed_none && remote.empty());
+      if (dopts.exit_when_idle && (dopts.watch || sharded) &&
+          !no_more_sent && watch_idle && shard_idle) {
         const FleetSupervisor::Status s = sup.Snapshot();
         if (s.active == 0 && s.pending == 0) {
           sup.NoMoreSessions();
@@ -628,17 +844,27 @@ ServeDaemonResult RunServeDaemon(std::vector<SessionSpec> specs,
     // correctness — so a full disk here must not turn a clean drain into
     // a crash.
     std::string serr;
-    if (!SaveFleetManifest(BuildFleetManifest(res.report, all_specs),
-                           dopts.manifest_path, nullptr, &serr)) {
+    FleetManifest m = BuildFleetManifest(res.report, all_specs);
+    m.owner = dopts.owner;
+    if (!SaveFleetManifest(m, dopts.manifest_path, nullptr, &serr)) {
       std::fprintf(stderr, "serve: manifest write failed: %s\n",
                    serr.c_str());
     }
+  }
+  if (shard != nullptr) {
+    // Leases still held here belong to suspended (drained) sessions —
+    // terminal ones were released by MarkDone, fenced ones forgotten.
+    // Releasing them lets a surviving box claim and finish the work
+    // immediately instead of waiting out the TTL. After the manifest
+    // write, so this box's own resume ledger is already durable.
+    shard->ReleaseAll();
   }
   if (!dopts.status_path.empty()) {
     WriteStatusFile(
         dopts.status_path, "stopped", sup.Snapshot(),
         std::chrono::duration<double>(Clock::now() - start).count(),
-        fleet.quiet);
+        fleet.quiet, dopts.owner,
+        shard != nullptr ? shard->held_count() : 0, remote.size());
   }
   return res;
 }

@@ -69,6 +69,10 @@ struct FleetManifest {
   int max_attempts = 0;
   long global_backlog_windows = 0;
   IsolationMode isolate = IsolationMode::kThread;
+  /// Sharded fleets: the box id that wrote this manifest ("" = unsharded).
+  /// Not config — two boxes' manifests over one state root merge in
+  /// `domino fleet-status`, and a resume only needs the same box id.
+  std::string owner;
   std::vector<ManifestEntry> sessions;  ///< Admission order.
 };
 
@@ -152,6 +156,15 @@ struct ServeDaemonOptions {
   std::string manifest_path;  ///< "" = no manifest (no resume).
   std::string status_path;    ///< "" = no liveness file.
   std::string tunables_path;  ///< "" = SIGHUP only rescans the roots.
+  /// Sharded fleet (shard.h): this box's id. Non-empty = sessions are
+  /// claimed through per-session leases under <state_root>/shard before
+  /// they are admitted, heartbeats are renewed while they run, and
+  /// sessions claimed by a live box elsewhere are skipped (and re-tried
+  /// each sweep, so a crashed box's work is taken over once its
+  /// heartbeat goes stale). Requires state_root.
+  std::string owner;
+  long lease_ttl_ms = 15'000;  ///< Heartbeat staler than this = dead box.
+  long heartbeat_ms = 0;       ///< Renew cadence; 0 = lease_ttl_ms / 4.
   std::vector<std::string> watch_roots;
   /// Signal mailboxes, incremented by the CLI's handlers. A second
   /// SIGTERM escalates the drain immediately (skip the grace period).

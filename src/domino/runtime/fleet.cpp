@@ -90,6 +90,7 @@ struct AttemptResult {
   bool ok = false;
   bool cancelled = false;  ///< The wall-clock deadline fired.
   bool drained = false;    ///< The drain stopped this attempt (resumable).
+  bool fenced = false;     ///< The session lease was stolen mid-attempt.
   std::string error;
   LiveSummary summary;  ///< Valid when ok (thread isolation only; process
                         ///< isolation reconstructs from the checkpoint).
@@ -332,6 +333,16 @@ AttemptResult FleetSupervisor::Impl::RunAttemptThread(std::size_t idx,
   LiveOptions o = session_opts[idx];
   o.cancel = &slot.cancel;
   o.drain = &drain;
+  if (fleet.shard_binding) {
+    // Fencing is bound per attempt, not per session: a lease re-claimed
+    // after a takeover carries a fresh token.
+    std::string lease_dir;
+    std::uint64_t token = 0;
+    if (fleet.shard_binding(specs[idx].dataset_dir, &lease_dir, &token)) {
+      o.fence_lease_dir = lease_dir;
+      o.fence_token = token;
+    }
+  }
   try {
     LiveRunner runner(specs[idx].dataset_dir, specs[idx].state_dir, graph, o);
     res.summary = runner.Run();
@@ -342,6 +353,7 @@ AttemptResult FleetSupervisor::Impl::RunAttemptThread(std::size_t idx,
     }
   } catch (const std::exception& e) {
     res.error = e.what();
+    res.fenced = res.error.rfind("fenced", 0) == 0;
   } catch (...) {
     res.error = "unknown error";
   }
@@ -389,12 +401,24 @@ AttemptResult FleetSupervisor::Impl::RunAttemptProcess(std::size_t idx) {
   }
   if (o.disk_fault.kind != DiskFaultSpec::Kind::kNone) {
     const char* kind =
-        o.disk_fault.kind == DiskFaultSpec::Kind::kEnospc ? "enospc"
-        : o.disk_fault.kind == DiskFaultSpec::Kind::kEio  ? "eio"
-                                                          : "short";
+        o.disk_fault.kind == DiskFaultSpec::Kind::kEnospc   ? "enospc"
+        : o.disk_fault.kind == DiskFaultSpec::Kind::kEio    ? "eio"
+        : o.disk_fault.kind == DiskFaultSpec::Kind::kRename ? "rename"
+        : o.disk_fault.kind == DiskFaultSpec::Kind::kFsync  ? "fsync"
+                                                            : "short";
     args.push_back("--chaos-disk");
     args.push_back(std::string(kind) + ":" +
                    std::to_string(o.disk_fault.at_write));
+  }
+  if (fleet.shard_binding) {
+    std::string lease_dir;
+    std::uint64_t token = 0;
+    if (fleet.shard_binding(spec.dataset_dir, &lease_dir, &token)) {
+      args.push_back("--fence-lease");
+      args.push_back(lease_dir);
+      args.push_back("--fence-token");
+      args.push_back(std::to_string(token));
+    }
   }
   args.push_back("--max-records");
   args.push_back(std::to_string(o.input.max_records));
@@ -472,6 +496,11 @@ AttemptResult FleetSupervisor::Impl::RunAttemptProcess(std::size_t idx) {
       // EX_TEMPFAIL: the child drained (whether we SIGTERMed it or the
       // operator's terminal delivered the signal to the whole group).
       res.drained = true;
+    } else if (res.exit_code == 76) {
+      // The child's fencing check fired: its lease was stolen and it
+      // stopped without touching state (see CmdLive's exit contract).
+      res.fenced = true;
+      res.error = "fenced: session lease was stolen (child exit 76)";
     } else {
       res.error = "child exited with code " + std::to_string(res.exit_code);
     }
@@ -606,6 +635,18 @@ void FleetSupervisor::Impl::WorkerLoop(int worker_id) {
       out.suspended = true;
       out.error.clear();
       terminal = true;
+    } else if (res.fenced) {
+      // The session's lease was stolen mid-attempt: another box presumed
+      // us dead and took over from our last checkpoint. Terminal here —
+      // never retried (the work is finishing elsewhere), never counted as
+      // a fleet failure, and the fencing check guarantees this attempt
+      // published nothing after the loss.
+      out.fenced = true;
+      out.ok = false;
+      out.error = res.error;
+      terminal = true;
+      Note("serve[%s]: FENCED (taken over by another box): %s\n",
+           specs[task.idx].dataset_dir, res.error);
     } else {
       out.error = res.error;
       ++failed_attempts;
@@ -655,13 +696,22 @@ void FleetSupervisor::Impl::WorkerLoop(int worker_id) {
           }
         }
       }
-      if (out.ok && fleet.gc_checkpoints) {
+      if (out.ok && fleet.gc_checkpoints &&
+          (!fleet.gc_guard || fleet.gc_guard(specs[task.idx]))) {
         // Bounded state: a completed session's checkpoint has served its
         // purpose (report + chain log remain). Quarantined and suspended
-        // sessions keep theirs — postmortem and resume respectively.
+        // sessions keep theirs — postmortem and resume respectively. In
+        // shard mode the gc_guard additionally requires a current lease,
+        // so a takeover box can never race this deletion.
         std::error_code gc_ec;
         fs::remove(specs[task.idx].state_dir + "/live.ckpt", gc_ec);
-        fs::remove(specs[task.idx].state_dir + "/live.ckpt.tmp", gc_ec);
+        // Staging files carry process-unique suffixes (AtomicTempSuffix),
+        // so sweep by prefix rather than one fixed name.
+        for (const auto& e :
+             fs::directory_iterator(specs[task.idx].state_dir, gc_ec)) {
+          const std::string name = e.path().filename().string();
+          if (name.rfind("live.ckpt.tmp", 0) == 0) fs::remove(e.path(), gc_ec);
+        }
       }
       --open_sessions;
       if (open_sessions == 0 &&
@@ -669,7 +719,18 @@ void FleetSupervisor::Impl::WorkerLoop(int worker_id) {
         done = true;
       }
     }
+    // The terminal hook runs outside the supervisor lock: it does disk I/O
+    // (done marker + lease release) and must not stall the other workers.
+    const bool call_terminal = terminal && static_cast<bool>(fleet.on_terminal);
+    SessionSpec terminal_spec;
+    SessionOutcome terminal_out;
+    if (call_terminal) {
+      terminal_spec = specs[task.idx];
+      terminal_out = st.outcome;
+    }
     cv.notify_all();
+    lk.unlock();
+    if (call_terminal) fleet.on_terminal(terminal_spec, terminal_out);
   }
 }
 
@@ -744,6 +805,7 @@ FleetReport FleetSupervisor::Run() {
     }
     if (o.quarantined) ++report.quarantined;
     if (o.suspended) ++report.suspended;
+    if (o.fenced) ++report.fenced;
     report.total_windows += o.summary.windows;
     report.total_chains += o.summary.chains;
     report.total_shed_windows += o.summary.shed_windows;
@@ -829,6 +891,7 @@ FleetSupervisor::Status FleetSupervisor::Snapshot() const {
       if (o.ok) ++s.completed;
       if (o.quarantined) ++s.quarantined;
       if (o.suspended) ++s.suspended;
+      if (o.fenced) ++s.fenced;
       s.total_windows += o.summary.windows;
       s.total_chains += o.summary.chains;
       s.total_shed_windows += o.summary.shed_windows;
@@ -854,6 +917,7 @@ std::string FormatFleetReportText(const FleetReport& report) {
   os << "  completed " << report.completed << " (" << report.recovered
      << " recovered), quarantined " << report.quarantined;
   if (report.suspended > 0) os << ", suspended " << report.suspended;
+  if (report.fenced > 0) os << ", fenced " << report.fenced;
   os << ", " << report.total_attempts << " attempts total";
   if (report.drained) os << " [drained]";
   os << "\n";
@@ -872,6 +936,7 @@ std::string FormatFleetReportText(const FleetReport& report) {
        << (o.ok            ? "ok         "
            : o.quarantined ? "QUARANTINED"
            : o.suspended   ? "suspended  "
+           : o.fenced      ? "fenced     "
                            : "failed   ")
        << " " << o.dataset_dir;
     if (!o.tenant.empty()) os << " tenant=" << o.tenant;
@@ -907,6 +972,7 @@ std::string BuildFleetReportJson(const FleetReport& report) {
      << ", \"recovered\": " << report.recovered
      << ", \"quarantined\": " << report.quarantined
      << ", \"suspended\": " << report.suspended
+     << ", \"fenced\": " << report.fenced
      << ", \"total_attempts\": " << report.total_attempts << "},\n";
   os << "  \"progress\": {\"windows\": " << report.total_windows
      << ", \"chains\": " << report.total_chains
@@ -919,6 +985,7 @@ std::string BuildFleetReportJson(const FleetReport& report) {
        << JsonEscape(o.tenant) << "\", \"ok\": " << (o.ok ? "true" : "false")
        << ", \"quarantined\": " << (o.quarantined ? "true" : "false")
        << ", \"suspended\": " << (o.suspended ? "true" : "false")
+       << ", \"fenced\": " << (o.fenced ? "true" : "false")
        << ", \"deadline_exceeded\": "
        << (o.deadline_exceeded ? "true" : "false")
        << ", \"attempts\": " << o.attempts

@@ -43,6 +43,8 @@
 // Wall-clock session latency (p50/p99) appears in the *text* report only.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -145,6 +147,26 @@ struct FleetOptions {
   long drain_grace_ms = 5'000;
   /// Suppress per-attempt progress lines on stderr.
   bool quiet = true;
+
+  // -- Sharded fleet hooks (shard.h; all optional) --------------------------
+
+  /// Maps a dataset to its lease binding for attempt fencing. Returning
+  /// true fills the lease dir + fencing token the attempt must prove before
+  /// every durable write (LiveOptions::fence_lease_dir / fence_token, or
+  /// --fence-lease/--fence-token on a process-isolation child). Returning
+  /// false runs the attempt unfenced. Called per attempt, so a re-claimed
+  /// session carries its fresh token.
+  std::function<bool(const std::string& dataset_dir, std::string* lease_dir,
+                     std::uint64_t* token)>
+      shard_binding;
+  /// Invoked (outside all supervisor locks) right after a session reaches a
+  /// terminal state — the daemon publishes the shard done marker and
+  /// releases the lease here.
+  std::function<void(const SessionSpec&, const SessionOutcome&)> on_terminal;
+  /// Extra gate on checkpoint GC: deletion happens only if this returns
+  /// true (shard mode: we still hold an unfenced lease on the session).
+  /// Null = GC ungated.
+  std::function<bool(const SessionSpec&)> gc_guard;
 };
 
 struct FleetReport {
@@ -159,6 +181,7 @@ struct FleetReport {
   long recovered = 0;    ///< ok after >1 attempt.
   long quarantined = 0;  ///< attempt budget exhausted.
   long suspended = 0;    ///< drained mid-run (resumable via manifest).
+  long fenced = 0;       ///< lease stolen mid-attempt (finished elsewhere).
   bool drained = false;  ///< The run ended because of a drain request.
   long total_attempts = 0;
   long total_windows = 0;
@@ -252,6 +275,7 @@ class FleetSupervisor {
     long completed = 0;
     long quarantined = 0;
     long suspended = 0;
+    long fenced = 0;           ///< Sessions fenced off to another box.
     long failed_attempts = 0;  ///< Attempt failures observed (all causes).
     long total_windows = 0;    ///< Windows analysed by terminal sessions.
     long total_chains = 0;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/lease.h"
 #include "domino/ranking.h"
 #include "domino/report.h"
 
@@ -137,6 +138,10 @@ LiveRunner::LiveRunner(std::string dataset_dir, std::string state_dir,
 }
 
 LiveSummary LiveRunner::Run() {
+  // Fence before touching any state: both resume and fresh-start truncate
+  // the chain log below, and a zombie attempt carrying a stolen token must
+  // not truncate the new owner's output.
+  CheckFence();
   fs::create_directories(state_dir_);
   const std::string ckpt_path = state_dir_ + "/" + kCheckpointFile;
   const std::string chains_path = state_dir_ + "/" + kChainsFile;
@@ -339,6 +344,16 @@ void LiveRunner::CheckCancel() const {
   }
 }
 
+void LiveRunner::CheckFence() const {
+  if (opts_.fence_lease_dir.empty()) return;
+  if (!LeaseTokenCurrent(opts_.fence_lease_dir, opts_.fence_token)) {
+    throw std::runtime_error(
+        "fenced: session lease no longer carries token " +
+        std::to_string(opts_.fence_token) +
+        " (stolen by another box; stopping without touching state)");
+  }
+}
+
 void LiveRunner::MaybeChaosWedge() {
   if (resumed_ || opts_.chaos_wedge_after <= 0 ||
       process_checkpoints_ < opts_.chaos_wedge_after) {
@@ -355,6 +370,10 @@ void LiveRunner::MaybeChaosWedge() {
 }
 
 bool LiveRunner::PollOnce() {
+  // Fence before the drain check: a zombie daemon draining after its lease
+  // was stolen must not publish even a drain checkpoint over the new
+  // owner's state.
+  CheckFence();
   if (DrainRequested()) {
     // Graceful drain: persist progress at this poll boundary and stop
     // without finishing. The next run resumes here and produces output
@@ -572,6 +591,9 @@ void LiveRunner::WriteDrainCheckpoint() {
 }
 
 void LiveRunner::WriteCheckpoint() {
+  // Prove ownership immediately before the durable write: a fenced zombie
+  // must fail here, not overwrite the new owner's checkpoint.
+  CheckFence();
   chain_log_.flush();
   LiveCheckpoint cp = BuildCheckpoint();
   cp.checkpoints_written = checkpoints_written_ + 1;
@@ -623,6 +645,7 @@ void LiveRunner::WriteCheckpoint() {
 }
 
 void LiveRunner::FinishRun() {
+  CheckFence();
   finished_ = true;
   const Time end = meta_end_ > Time{0} ? meta_end_ : analyzed_to_;
 

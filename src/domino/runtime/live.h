@@ -119,6 +119,16 @@ struct LiveOptions {
   /// to an attempt failure, so under a fleet the session takes the
   /// retry/quarantine path; the retried attempt resumes clean. kNone = off.
   DiskFaultSpec disk_fault{};
+  /// Sharded fleet fencing (shard.h): when `fence_lease_dir` is non-empty,
+  /// the runner proves — before every checkpoint save, the report write,
+  /// and at every poll boundary — that the session lease at that directory
+  /// still carries `fence_token`. A mismatch means the lease was stolen
+  /// (this box was presumed dead): the attempt throws a "fenced: ..."
+  /// runtime_error without touching another file, so a zombie daemon can
+  /// never clobber the new owner's state. Not part of the config
+  /// fingerprint (ownership is per-attempt, not per-analysis).
+  std::string fence_lease_dir;
+  std::uint64_t fence_token = 0;
   /// Suppress per-poll stderr status lines.
   bool quiet = false;
 };
@@ -174,6 +184,10 @@ class LiveRunner {
   bool AwaitMeta();
   /// Throws "cancelled" when the supervisor's cancel token is set.
   void CheckCancel() const;
+  /// Sharded fencing: throws "fenced: ..." when the session lease no
+  /// longer carries our token (see LiveOptions::fence_lease_dir). No-op
+  /// when fencing is off.
+  void CheckFence() const;
   /// Chaos hook: after the configured checkpoint count of a fresh run,
   /// stop progressing (sleep loop honouring the cancel token).
   void MaybeChaosWedge();

@@ -51,6 +51,11 @@ struct SessionOutcome {
   /// a failure: the checkpoint is intact and a restarted fleet resumes it
   /// to the same final outcome an undisturbed run would have produced.
   bool suspended = false;
+  /// Sharded fleet mode: the session's lease was stolen mid-attempt (this
+  /// box was presumed dead) and the fencing check stopped every further
+  /// write. Terminal here but not a fleet failure — the new owner finishes
+  /// the work; no published file was touched by the fenced attempt.
+  bool fenced = false;
   /// Trace time the last good checkpoint covers (µs since epoch; 0 = none).
   std::int64_t checkpointed_to_us = 0;
 };

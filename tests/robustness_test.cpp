@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -20,6 +21,7 @@
 #endif
 
 #include "common/diskfault.h"
+#include "common/lease.h"
 #include "common/rng.h"
 #include "domino/config_parser.h"
 #include "domino/detector.h"
@@ -27,6 +29,8 @@
 #include "domino/report.h"
 #include "domino/runtime/daemon.h"
 #include "domino/runtime/fleet.h"
+#include "domino/runtime/live.h"
+#include "domino/runtime/shard.h"
 #include "domino/streaming.h"
 #include "sim/call_session.h"
 #include "sim/cell_config.h"
@@ -1346,6 +1350,498 @@ TEST(DaemonTest, DiskFaultDegradesSessionStatusFileTellsTheStory) {
   EXPECT_NE(status.find("\"completed\": 1"), std::string::npos) << status;
 }
 
+// --- Sharded fleet: leases, fencing, cross-box takeover --------------------------
+
+TEST(DiskFaultTest, RenameAndFsyncFaultsFailAtTheirStage) {
+  DiskFaultSpec spec;
+  ASSERT_TRUE(ParseDiskFaultSpec("rename:2", &spec));
+  EXPECT_EQ(spec.kind, DiskFaultSpec::Kind::kRename);
+  EXPECT_EQ(spec.at_write, 2);
+  ASSERT_TRUE(ParseDiskFaultSpec("fsync:1", &spec));
+  EXPECT_EQ(spec.kind, DiskFaultSpec::Kind::kFsync);
+
+  const auto staging_files = [](const std::string& dir) {
+    std::vector<std::string> out;
+    for (const auto& e : fs::directory_iterator(dir)) {
+      const std::string name = e.path().filename().string();
+      if (name.find(".tmp") != std::string::npos) {
+        out.push_back(e.path().string());
+      }
+    }
+    return out;
+  };
+
+  // fsync fault: the bytes were all written but durability was refused —
+  // the staging file is discarded and the target never changes.
+  {
+    const std::string scratch = FleetTempDir("fault_fsync");
+    const std::string path = scratch + "/target.json";
+    std::string err;
+    ASSERT_TRUE(AtomicWriteFile(path, "good\n", true, nullptr, &err)) << err;
+    DiskFaultInjector inj(DiskFaultSpec{DiskFaultSpec::Kind::kFsync, 1});
+    EXPECT_FALSE(AtomicWriteFile(path, "replacement\n", true, &inj, &err));
+    EXPECT_NE(err.find("fsync"), std::string::npos) << err;
+    EXPECT_NE(err.find("injected"), std::string::npos) << err;
+    EXPECT_EQ(FleetSlurp(path), "good\n");
+#if !defined(_WIN32)
+    EXPECT_TRUE(staging_files(scratch).empty());
+#endif
+  }
+
+  // rename fault: write and fsync both succeeded; only the publishing
+  // rename failed. The fully-written staging file stays behind for
+  // postmortems, and the target still never changes — the one crash window
+  // the atomic protocol leaves, now reproducible.
+  {
+    const std::string scratch = FleetTempDir("fault_rename");
+    const std::string path = scratch + "/target.json";
+    std::string err;
+    ASSERT_TRUE(AtomicWriteFile(path, "good\n", true, nullptr, &err)) << err;
+    DiskFaultInjector inj(DiskFaultSpec{DiskFaultSpec::Kind::kRename, 1});
+    EXPECT_FALSE(AtomicWriteFile(path, "replacement\n", true, &inj, &err));
+    EXPECT_NE(err.find("rename"), std::string::npos) << err;
+    EXPECT_NE(err.find("injected"), std::string::npos) << err;
+    EXPECT_EQ(FleetSlurp(path), "good\n");
+    const std::vector<std::string> left = staging_files(scratch);
+    ASSERT_EQ(left.size(), 1u);
+    EXPECT_EQ(FleetSlurp(left[0]), "replacement\n");
+  }
+}
+
+TEST(LeaseTest, FormatParseRoundtripRejectsTampering) {
+  LeaseInfo in;
+  in.owner = "box-a.rack1";
+  in.token = 7;
+  in.seq = 3;
+  in.renewed_unix_ms = 1'723'000'000'123;
+  const std::string text = FormatLease(in);
+  LeaseInfo out;
+  std::string err;
+  ASSERT_TRUE(ParseLease(text, &out, &err)) << err;
+  EXPECT_EQ(out.owner, in.owner);
+  EXPECT_EQ(out.token, in.token);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.renewed_unix_ms, in.renewed_unix_ms);
+
+  // A flipped field, a torn tail, and trailing garbage all fail the
+  // checksum before any field is trusted.
+  std::string tampered = text;
+  const std::size_t at = tampered.find("token 7");
+  ASSERT_NE(at, std::string::npos);
+  tampered[at + 6] = '8';
+  EXPECT_FALSE(ParseLease(tampered, &out, &err));
+  EXPECT_FALSE(ParseLease(text.substr(0, text.size() / 2), &out, &err));
+  EXPECT_FALSE(ParseLease(text + "x", &out, &err));
+  // Unknown keys are refused even under a recomputed (valid) checksum:
+  // version skew must not be silently half-applied.
+  const std::string body = text.substr(0, text.rfind("checksum "));
+  EXPECT_FALSE(ParseLease(ResealManifest(body + "color blue\n"), &out, &err));
+}
+
+TEST(LeaseTest, AcquireHeldStealRenewLifecycle) {
+  const std::string dir = FleetTempDir("lease_lifecycle") + "/s";
+  LeaseFile a(dir, "boxa");
+  LeaseFile b(dir, "boxb");
+  std::string err;
+  constexpr std::int64_t kTtl = 1'000;
+
+  ASSERT_EQ(a.TryAcquire(1'000, kTtl, nullptr, &err), LeaseAcquire::kAcquired)
+      << err;
+  EXPECT_TRUE(a.held());
+  const std::uint64_t a_token = a.info().token;
+  EXPECT_GE(a_token, 1u);
+  // Idempotent while held: no new token, still the owner.
+  EXPECT_EQ(a.TryAcquire(1'200, kTtl, nullptr, &err), LeaseAcquire::kAcquired);
+  EXPECT_EQ(a.info().token, a_token);
+
+  // A live owner's lease cannot be taken...
+  EXPECT_EQ(b.TryAcquire(1'500, kTtl, nullptr, &err), LeaseAcquire::kHeld);
+  // ...and a heartbeat resets the staleness clock.
+  EXPECT_EQ(a.Renew(1'800, nullptr, &err), LeaseRenew::kRenewed) << err;
+  EXPECT_EQ(b.TryAcquire(2'500, kTtl, nullptr, &err), LeaseAcquire::kHeld);
+
+  // Past the TTL the owner is presumed dead; the steal carries a strictly
+  // higher fencing token, so every stale-token writer can be told apart.
+  EXPECT_EQ(b.TryAcquire(3'000, kTtl, nullptr, &err), LeaseAcquire::kAcquired)
+      << err;
+  EXPECT_GT(b.info().token, a_token);
+  // The zombie discovers the loss on its next heartbeat, and its token no
+  // longer passes the fence.
+  EXPECT_EQ(a.Renew(3'100, nullptr, &err), LeaseRenew::kLost);
+  EXPECT_FALSE(a.held());
+  EXPECT_FALSE(LeaseTokenCurrent(dir, a_token));
+  EXPECT_TRUE(LeaseTokenCurrent(dir, b.info().token));
+
+  // Release removes the lease; tokens stay monotonic across re-acquire.
+  const std::uint64_t b_token = b.info().token;
+  EXPECT_TRUE(b.Release(&err)) << err;
+  LeaseInfo peek;
+  EXPECT_FALSE(InspectLease(dir, &peek));
+  EXPECT_EQ(a.TryAcquire(4'000, kTtl, nullptr, &err), LeaseAcquire::kAcquired)
+      << err;
+  EXPECT_GT(a.info().token, b_token);
+}
+
+TEST(LeaseTest, InjectedFaultsFailAcquireAtomically) {
+  const char* kinds[] = {"enospc:1", "eio:1", "short:1", "fsync:1",
+                         "rename:1"};
+  for (std::size_t i = 0; i < 5; ++i) {
+    SCOPED_TRACE(kinds[i]);
+    const std::string dir =
+        FleetTempDir("lease_fault_" + std::to_string(i)) + "/s";
+    DiskFaultSpec spec;
+    ASSERT_TRUE(ParseDiskFaultSpec(kinds[i], &spec));
+    DiskFaultInjector inj(spec);
+    LeaseFile lf(dir, "boxa");
+    std::string err;
+    // Whatever stage the publish dies at, no half-published lease may be
+    // left behind — another box reading the directory sees "free".
+    EXPECT_EQ(lf.TryAcquire(1'000, 1'000, &inj, &err),
+              LeaseAcquire::kIoError);
+    EXPECT_FALSE(lf.held());
+    LeaseInfo peek;
+    EXPECT_FALSE(InspectLease(dir, &peek));
+    // The injector fires once; the retry goes through cleanly.
+    EXPECT_EQ(lf.TryAcquire(2'000, 1'000, &inj, &err),
+              LeaseAcquire::kAcquired)
+        << err;
+    EXPECT_TRUE(LeaseTokenCurrent(dir, lf.info().token));
+  }
+}
+
+TEST(ShardTest, DoneRecordRoundtripRejectsCorruption) {
+  runtime::ShardDoneRecord in;
+  in.dataset_dir = "/data/cell a";
+  in.owner = "box-a";
+  in.token = 12;
+  in.status = 2;
+  in.attempts = 3;
+  in.windows = 41;
+  in.chains = 7;
+  const std::string text = runtime::FormatShardDone(in);
+  runtime::ShardDoneRecord out;
+  std::string err;
+  ASSERT_TRUE(runtime::ParseShardDone(text, &out, &err)) << err;
+  EXPECT_EQ(out.dataset_dir, in.dataset_dir);
+  EXPECT_EQ(out.owner, in.owner);
+  EXPECT_EQ(out.token, in.token);
+  EXPECT_EQ(out.status, in.status);
+  EXPECT_EQ(out.attempts, in.attempts);
+  EXPECT_EQ(out.windows, in.windows);
+  EXPECT_EQ(out.chains, in.chains);
+
+  std::string tampered = text;
+  const std::size_t at = tampered.find("windows 41");
+  ASSERT_NE(at, std::string::npos);
+  tampered[at + 8] = '9';
+  EXPECT_FALSE(runtime::ParseShardDone(tampered, &out, &err));
+  EXPECT_FALSE(
+      runtime::ParseShardDone(text.substr(0, text.size() / 2), &out, &err));
+  EXPECT_FALSE(runtime::ParseShardDone(text + "x", &out, &err));
+  // Semantically wrong documents are refused even under a valid checksum:
+  // fenced (3) is a per-box manifest status, never a done marker — the box
+  // that was fenced explicitly did NOT finish the work.
+  runtime::ShardDoneRecord fenced = in;
+  fenced.status = 3;
+  EXPECT_FALSE(
+      runtime::ParseShardDone(runtime::FormatShardDone(fenced), &out, &err));
+  EXPECT_NE(err.find("status"), std::string::npos) << err;
+  const std::string body = text.substr(0, text.rfind("checksum "));
+  EXPECT_FALSE(
+      runtime::ParseShardDone(ResealManifest(body + "color blue\n"), &out,
+                              &err));
+}
+
+TEST(ShardTest, ClaimsAreExactlyOnceAcrossCoordinators) {
+  const std::string scratch = FleetTempDir("shard_exactly_once");
+  constexpr int kBoxes = 4;
+  constexpr int kSessions = 6;
+  std::vector<std::string> datasets;
+  for (int i = 0; i < kSessions; ++i) {
+    datasets.push_back("/data/capture_" + std::to_string(i));
+  }
+  std::vector<std::unique_ptr<runtime::ShardCoordinator>> boxes;
+  for (int b = 0; b < kBoxes; ++b) {
+    runtime::ShardOptions so;
+    so.state_root = scratch;
+    so.owner = "box" + std::to_string(b);
+    so.lease_ttl_ms = 60'000;
+    boxes.push_back(std::make_unique<runtime::ShardCoordinator>(so));
+  }
+
+  // Every box races to claim every session over the shared filesystem; the
+  // link(2) publish admits exactly one winner per session.
+  std::atomic<int> claims[kSessions] = {};
+  std::vector<std::thread> threads;
+  for (int b = 0; b < kBoxes; ++b) {
+    threads.emplace_back([&, b] {
+      for (int i = 0; i < kSessions; ++i) {
+        std::string err;
+        if (boxes[static_cast<std::size_t>(b)]->TryClaim(
+                datasets[static_cast<std::size_t>(i)], &err) ==
+            runtime::ClaimResult::kClaimed) {
+          claims[i].fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  long held = 0;
+  for (auto& box : boxes) held += box->held_count();
+  EXPECT_EQ(held, kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(claims[i].load(), 1) << datasets[static_cast<std::size_t>(i)];
+  }
+
+  // Finish every claim; afterwards every box (winner or not) agrees the
+  // work is done and never re-claims it.
+  for (auto& box : boxes) {
+    for (const std::string& ds : datasets) {
+      if (!box->Held(ds)) continue;
+      runtime::ShardDoneRecord rec;
+      rec.status = 1;
+      rec.windows = 10;
+      rec.chains = 2;
+      std::string err;
+      EXPECT_TRUE(box->MarkDone(ds, rec, &err)) << err;
+    }
+  }
+  for (auto& box : boxes) {
+    for (const std::string& ds : datasets) {
+      std::string err;
+      EXPECT_EQ(box->TryClaim(ds, &err), runtime::ClaimResult::kDone);
+    }
+  }
+}
+
+TEST(ShardTest, GcGuardRequiresACurrentLease) {
+  const std::string scratch = FleetTempDir("shard_gc_guard");
+  const std::string ds = "/data/capture_gc";
+  std::int64_t now = 5'000;
+  runtime::ShardOptions sa;
+  sa.state_root = scratch;
+  sa.owner = "boxa";
+  sa.lease_ttl_ms = 1'000;
+  sa.clock = [&now] { return now; };
+  runtime::ShardCoordinator boxa(sa);
+  runtime::ShardOptions sb = sa;
+  sb.owner = "boxb";
+  runtime::ShardCoordinator boxb(sb);
+
+  EXPECT_FALSE(boxa.SafeToGc(ds));  // never claimed
+  std::string err;
+  ASSERT_EQ(boxa.TryClaim(ds, &err), runtime::ClaimResult::kClaimed) << err;
+  EXPECT_TRUE(boxa.SafeToGc(ds));
+
+  // After a steal, GC on the old owner must refuse even though that box
+  // has not yet noticed the loss — a takeover can never race deletion.
+  now += sa.lease_ttl_ms + 1;
+  ASSERT_EQ(boxb.TryClaim(ds, &err), runtime::ClaimResult::kClaimed) << err;
+  EXPECT_FALSE(boxa.SafeToGc(ds));
+  EXPECT_TRUE(boxb.SafeToGc(ds));
+}
+
+TEST(ShardTest, StaleTakeoverResumesByteIdenticalAndFencesZombie) {
+  const std::string scratch = FleetTempDir("shard_takeover");
+  const std::string ds = FleetDatasetDir();
+  std::int64_t now = 1'000'000;  // injected clock shared by both boxes
+
+  runtime::ShardOptions sa;
+  sa.state_root = scratch;
+  sa.owner = "boxa";
+  sa.lease_ttl_ms = 1'000;
+  sa.clock = [&now] { return now; };
+  runtime::ShardCoordinator boxa(sa);
+  runtime::ShardOptions sb = sa;
+  sb.owner = "boxb";
+  runtime::ShardCoordinator boxb(sb);
+
+  std::string err;
+  ASSERT_EQ(boxa.TryClaim(ds, &err), runtime::ClaimResult::kClaimed) << err;
+  ASSERT_EQ(boxb.TryClaim(ds, &err), runtime::ClaimResult::kHeldElsewhere);
+
+  const std::string state = runtime::SessionStateDirFor(scratch, ds);
+  const std::string lease_dir = boxa.LeaseDirFor(ds);
+
+  // boxa runs the session fenced and "crashes" right after checkpoint 1.
+  runtime::LiveOptions live = FleetLiveOpts();
+  live.fence_lease_dir = lease_dir;
+  live.fence_token = boxa.TokenFor(ds);
+  live.chaos_fail_after = 1;
+  const analysis::CausalGraph graph =
+      analysis::CausalGraph::Default(live.detector.thresholds);
+  EXPECT_THROW(runtime::LiveRunner(ds, state, graph, live).Run(),
+               std::runtime_error);
+  ASSERT_TRUE(fs::exists(state + "/live.ckpt"));
+  const std::string partial_chains = FleetSlurp(state + "/chains.jsonl");
+  const std::string partial_ckpt = FleetSlurp(state + "/live.ckpt");
+
+  // boxa's box is dead: past the TTL boxb steals the lease with a strictly
+  // higher fencing token.
+  now += sa.lease_ttl_ms + 1;
+  ASSERT_EQ(boxb.TryClaim(ds, &err), runtime::ClaimResult::kClaimed) << err;
+  EXPECT_GT(boxb.TokenFor(ds), live.fence_token);
+
+  // A zombie retry on boxa still carries the stale token: it must be
+  // fenced before it can truncate the chain log or touch the checkpoint.
+  runtime::LiveOptions zombie = live;
+  zombie.chaos_fail_after = 0;
+  try {
+    runtime::LiveRunner(ds, state, graph, zombie).Run();
+    FAIL() << "zombie attempt ran unfenced";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("fenced", 0), 0u) << e.what();
+  }
+  EXPECT_EQ(FleetSlurp(state + "/chains.jsonl"), partial_chains);
+  EXPECT_EQ(FleetSlurp(state + "/live.ckpt"), partial_ckpt);
+
+  // boxa's own bookkeeping discovers the loss: the heartbeat reports the
+  // steal and a terminal publish is refused.
+  const std::vector<std::string> lost = boxa.RenewHeld();
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0], ds);
+  runtime::ShardDoneRecord rec;
+  rec.status = 1;
+  EXPECT_FALSE(boxa.MarkDone(ds, rec, &err));
+
+  // boxb resumes the victim's checkpoint and the final output is
+  // byte-identical to a twin session that was never disturbed.
+  runtime::LiveOptions bl = FleetLiveOpts();
+  bl.fence_lease_dir = lease_dir;
+  bl.fence_token = boxb.TokenFor(ds);
+  const runtime::LiveSummary bs =
+      runtime::LiveRunner(ds, state, graph, bl).Run();
+  EXPECT_TRUE(bs.resumed);
+
+  const std::string twin = scratch + "/twin";
+  const runtime::LiveSummary ts =
+      runtime::LiveRunner(ds, twin, graph, FleetLiveOpts()).Run();
+  EXPECT_EQ(bs.windows, ts.windows);
+  EXPECT_EQ(FleetSlurp(state + "/chains.jsonl"),
+            FleetSlurp(twin + "/chains.jsonl"));
+  EXPECT_EQ(FleetSlurp(state + "/live_report.json"),
+            FleetSlurp(twin + "/live_report.json"));
+
+  rec.windows = bs.windows;
+  rec.chains = bs.chains;
+  EXPECT_TRUE(boxb.MarkDone(ds, rec, &err)) << err;
+  EXPECT_EQ(boxa.TryClaim(ds, &err), runtime::ClaimResult::kDone);
+}
+
+TEST(ShardTest, FleetStatusMergesManifestsAndDoneMarkers) {
+  const std::string scratch = FleetTempDir("shard_status_merge");
+  // boxa's manifest: ds0 done, ds1 open (boxa was draining). boxb's: ds1
+  // fenced (boxb lost it mid-attempt), ds2 quarantined.
+  runtime::FleetManifest ma;
+  ma.workers = 1;
+  ma.max_attempts = 1;
+  ma.owner = "boxa";
+  ma.sessions.resize(2);
+  ma.sessions[0].spec = {"/data/ds0", scratch + "/s0", ""};
+  ma.sessions[0].seed.terminal = true;
+  ma.sessions[0].seed.outcome.ok = true;
+  ma.sessions[0].seed.outcome.summary.windows = 10;
+  ma.sessions[0].seed.outcome.summary.chains = 3;
+  ma.sessions[1].spec = {"/data/ds1", scratch + "/s1", ""};
+  ma.sessions[1].seed.terminal = false;
+  runtime::FleetManifest mb;
+  mb.workers = 1;
+  mb.max_attempts = 1;
+  mb.owner = "boxb";
+  mb.sessions.resize(2);
+  mb.sessions[0].spec = {"/data/ds1", scratch + "/s1", ""};
+  mb.sessions[0].seed.terminal = true;
+  mb.sessions[0].seed.outcome.fenced = true;
+  mb.sessions[1].spec = {"/data/ds2", scratch + "/s2", ""};
+  mb.sessions[1].seed.terminal = true;
+  mb.sessions[1].seed.outcome.quarantined = true;
+  mb.sessions[1].seed.outcome.summary.windows = 4;
+  ASSERT_TRUE(
+      runtime::SaveFleetManifest(ma, scratch + "/fleet-boxa.manifest"));
+  ASSERT_TRUE(
+      runtime::SaveFleetManifest(mb, scratch + "/fleet-boxb.manifest"));
+  // A corrupt manifest (the SIGKILLed box) is skipped, never fatal.
+  std::ofstream(scratch + "/fleet-boxc.manifest") << "garbage\n";
+
+  // boxa finished ds1 after taking it over: the done marker must beat both
+  // the open entry and boxb's fenced entry.
+  {
+    runtime::ShardOptions so;
+    so.state_root = scratch;
+    so.owner = "boxa";
+    runtime::ShardCoordinator coord(so);
+    std::string err;
+    ASSERT_EQ(coord.TryClaim("/data/ds1", &err),
+              runtime::ClaimResult::kClaimed)
+        << err;
+    runtime::ShardDoneRecord rec;
+    rec.status = 1;
+    rec.windows = 10;
+    rec.chains = 3;
+    ASSERT_TRUE(coord.MarkDone("/data/ds1", rec, &err)) << err;
+  }
+
+  runtime::FleetStatusView view;
+  std::string err;
+  ASSERT_TRUE(runtime::CollectFleetStatus(scratch, &view, &err)) << err;
+  ASSERT_EQ(view.sessions.size(), 3u);
+  EXPECT_EQ(view.sessions[0].dataset_dir, "/data/ds0");
+  EXPECT_EQ(view.sessions[0].status, 1);
+  EXPECT_EQ(view.sessions[1].dataset_dir, "/data/ds1");
+  EXPECT_EQ(view.sessions[1].status, 1);  // done marker wins
+  EXPECT_EQ(view.sessions[1].owner, "boxa");
+  EXPECT_EQ(view.sessions[2].dataset_dir, "/data/ds2");
+  EXPECT_EQ(view.sessions[2].status, 2);
+
+  // The default JSON is owner-free — it is byte-compared across takeovers,
+  // and ownership legitimately changes. --owners is the opt-in.
+  const std::string plain = runtime::BuildFleetStatusJson(view, false);
+  EXPECT_EQ(plain.find("boxa"), std::string::npos) << plain;
+  EXPECT_NE(plain.find("\"done\": 2"), std::string::npos) << plain;
+  EXPECT_NE(plain.find("\"quarantined\": 1"), std::string::npos) << plain;
+  const std::string owners = runtime::BuildFleetStatusJson(view, true);
+  EXPECT_NE(owners.find("\"owner\": \"boxa\""), std::string::npos) << owners;
+}
+
+TEST(FleetSupervisorTest, FencedAttemptIsTerminalNotRetriedNotFailed) {
+  const std::string scratch = FleetTempDir("fleet_fenced");
+  std::vector<runtime::SessionSpec> specs(1);
+  specs[0].dataset_dir = FleetDatasetDir();
+  specs[0].state_dir = scratch + "/victim";
+
+  runtime::FleetOptions fopts = QuietFleet();
+  fopts.workers = 1;
+  fopts.max_attempts = 3;  // fenced must NOT consume the retry budget
+  // An empty lease directory means every fence check fails: the lease was
+  // "stolen" before the attempt even started.
+  const std::string lease_dir = scratch + "/lease";
+  fs::create_directories(lease_dir);
+  fopts.shard_binding = [&](const std::string&, std::string* dir,
+                            std::uint64_t* token) {
+    *dir = lease_dir;
+    *token = 1;
+    return true;
+  };
+  std::atomic<int> terminal_fenced{0};
+  fopts.on_terminal = [&](const runtime::SessionSpec&,
+                          const runtime::SessionOutcome& o) {
+    if (o.fenced) terminal_fenced.fetch_add(1);
+  };
+
+  runtime::FleetReport r = RunFleet(specs, FleetLiveOpts(), fopts);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  const runtime::SessionOutcome& o = r.outcomes[0];
+  EXPECT_TRUE(o.fenced);
+  EXPECT_FALSE(o.ok);
+  EXPECT_FALSE(o.quarantined);  // another box owns it — not a failure here
+  EXPECT_EQ(o.attempts, 1);     // terminal immediately, never retried
+  EXPECT_EQ(r.fenced, 1);
+  EXPECT_EQ(terminal_fenced.load(), 1);
+  const std::string json = runtime::BuildFleetReportJson(r);
+  EXPECT_NE(json.find("\"fenced\": true"), std::string::npos) << json;
+}
+
 #ifdef DOMINO_BINARY
 TEST(FleetSupervisorTest, ProcessIsolationRecordsExitStatusAndRetries) {
   const std::string scratch = FleetTempDir("process_isolation");
@@ -1526,6 +2022,65 @@ TEST(ServeDaemonCliTest, WatchAdmitsLateSessionsAndSurvivesSighup) {
       << status;
   // Watch mode defaults the drain ledger to <state-root>/fleet.manifest.
   EXPECT_TRUE(fs::exists(state + "/fleet.manifest"));
+}
+TEST(ShardCliTest, TwoDaemonsSigkillTakeoverIsByteIdentical) {
+  // The tentpole contract end to end, against the real binary and a real
+  // SIGKILL, in both isolation modes: two sharded daemons split one fleet
+  // over a shared state root; one box dies mid-run; the survivor steals
+  // the stale leases, resumes the victim's checkpoints, and the merged
+  // fleet view plus every per-session output is byte-identical to a
+  // single box that was never disturbed.
+  for (const char* iso : {"thread", "process"}) {
+    SCOPED_TRACE(iso);
+    const std::string scratch =
+        FleetTempDir(std::string("shard_cli_") + iso);
+    constexpr int kSessions = 4;
+    // Sharded identity is the dataset path, so each session needs its own
+    // dataset copy (the same operand twice would be one unit of work).
+    std::string operands;
+    for (int i = 0; i < kSessions; ++i) {
+      const std::string copy = scratch + "/ds" + std::to_string(i);
+      fs::copy(FleetDatasetDir(), copy, fs::copy_options::recursive);
+      operands += " " + copy;
+    }
+    const std::string shared = scratch + "/shared";
+    const std::string solo = scratch + "/solo";
+    const auto daemon = [&](const std::string& owner,
+                            const std::string& root) {
+      return std::string(DOMINO_BINARY) + " serve" + operands +
+             " --isolate " + iso + " --workers 1 --checkpoint-every 2" +
+             " --state-root " + root + " --owner " + owner +
+             " --lease-ttl-ms 1000 --heartbeat-ms 100" +
+             " --scan-interval-ms 50 --exit-when-idle --quiet";
+    };
+
+    EXPECT_EQ(RunShell(daemon("boxb", shared) + " & victim=$!; " +
+                       daemon("boxa", shared) + " & survivor=$!; " +
+                       "sleep 0.4; kill -KILL $victim 2>/dev/null; " +
+                       "wait $survivor"),
+              0);
+    EXPECT_EQ(RunShell(daemon("boxa", solo)), 0);
+
+    const std::string status = std::string(DOMINO_BINARY) + " fleet-status ";
+    EXPECT_EQ(
+        RunShell(status + shared + " --out " + scratch + "/merged.json"), 0);
+    EXPECT_EQ(RunShell(status + solo + " --out " + scratch + "/solo.json"),
+              0);
+    const std::string merged = FleetSlurp(scratch + "/merged.json");
+    EXPECT_EQ(merged, FleetSlurp(scratch + "/solo.json"));
+    EXPECT_NE(merged.find("\"done\": " + std::to_string(kSessions)),
+              std::string::npos)
+        << merged;
+
+    for (int i = 0; i < kSessions; ++i) {
+      const std::string ds = scratch + "/ds" + std::to_string(i);
+      EXPECT_EQ(
+          FleetSlurp(runtime::SessionStateDirFor(shared, ds) +
+                     "/chains.jsonl"),
+          FleetSlurp(runtime::SessionStateDirFor(solo, ds) + "/chains.jsonl"))
+          << ds;
+    }
+  }
 }
 #endif  // !_WIN32
 #endif  // DOMINO_BINARY

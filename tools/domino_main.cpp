@@ -110,6 +110,7 @@
 #include "domino/report.h"
 #include "domino/runtime/daemon.h"
 #include "domino/runtime/fleet.h"
+#include "domino/runtime/shard.h"
 #include "domino/runtime/supervisor.h"
 #include "sim/live_feed.h"
 #include "telemetry/align.h"
@@ -170,6 +171,8 @@ void PrintUsage(std::FILE* to) {
                "              [--manifest FILE] [--status-file FILE]"
                " [--status-interval-ms N]\n"
                "              [--tunables FILE] [--drain-grace-ms N]\n"
+               "              [--owner ID] [--lease-ttl-ms N]"
+               " [--heartbeat-ms N]\n"
                "    With --watch the operands are *roots*: subdirectories"
                " are admitted as\n"
                "    sessions once their meta.csv parses. SIGTERM/SIGINT"
@@ -177,12 +180,33 @@ void PrintUsage(std::FILE* to) {
                "    (checkpoint + manifest, exit 0); SIGHUP re-scans roots"
                " and reloads\n"
                "    --tunables. Chaos kinds: crash fail wedge disk-enospc"
-               " disk-eio disk-short.\n"
+               " disk-eio\n"
+               "    disk-short disk-rename disk-fsync.\n"
+               "    With --owner, N daemons on N boxes sharing one"
+               " --state-root run ONE\n"
+               "    fleet: sessions are claimed via fencing-token leases,"
+               " heartbeats\n"
+               "    renewed every --heartbeat-ms (default ttl/4), and a"
+               " box whose\n"
+               "    heartbeat goes staler than --lease-ttl-ms has its"
+               " sessions stolen\n"
+               "    and resumed from their shared checkpoints. A session"
+               " whose lease\n"
+               "    was stolen mid-run ends 'fenced' (not a failure; the"
+               " thief owns it).\n"
                "    serve exit codes: 0 all sessions completed (or clean"
                " drain), 2 usage\n"
                "    error, 3 completed but windows were shed (degraded), 4"
                " some session\n"
-               "    failed or was quarantined.\n"
+               "    failed or was quarantined. (`domino live` exits 76"
+               " when fenced.)\n"
+               "  domino fleet-status <state_root> [--owners] [--out FILE]\n"
+               "    Merge every box's manifest + done markers under a"
+               " shared state root\n"
+               "    into one deterministic JSON fleet view (exit 0 all"
+               " terminal, 3 some\n"
+               "    open, 4 some quarantined). --owners adds per-box"
+               " attribution.\n"
                "  domino replay <dataset_dir> <out_dir> [--interval-ms N]"
                " [--chunk-ms N]\n"
                "               [--stall stream=SEC]\n"
@@ -739,6 +763,11 @@ void InstallSignalHandlers(void (*handler)(int), bool with_hup) {
 int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
   auto state_dir = TakeFlag(args, "--state");
   auto chaos_disk = TakeFlag(args, "--chaos-disk");
+  // Sharded fencing (shard.h): a process-isolation serve child proves this
+  // lease token before every durable write; a stolen lease exits 76.
+  auto fence_lease = TakeFlag(args, "--fence-lease");
+  std::optional<std::uint64_t> fence_token;
+  if (int rc = TakeU64(args, "--fence-token", &fence_token)) return rc;
   std::optional<double> window_s, step_s, min_coverage, chunk_s, horizon_s,
       stall_deadline_s;
   std::optional<std::int64_t> threads, max_backlog, checkpoint_every,
@@ -811,6 +840,17 @@ int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
                  args.size());
     return 2;
   }
+  if (fence_lease.has_value() != (fence_token.has_value() && *fence_token > 0)) {
+    std::fprintf(stderr,
+                 "--fence-lease and --fence-token (>= 1) go together\n");
+    return 2;
+  }
+  if (fence_lease && args.size() > 1) {
+    std::fprintf(stderr,
+                 "--fence-lease covers a single session (got %zu datasets)\n",
+                 args.size());
+    return 2;
+  }
   if (mo.dry_run) return 0;
 
   runtime::LiveOptions opts;
@@ -836,7 +876,12 @@ int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
   if (chaos_wedge) opts.chaos_wedge_after = static_cast<long>(*chaos_wedge);
   if (chaos_disk && !ParseDiskFaultSpec(*chaos_disk, &opts.disk_fault)) {
     return BadFlag("--chaos-disk", *chaos_disk,
-                   "enospc:N, eio:N or short:N with N >= 1");
+                   "enospc:N, eio:N, short:N, rename:N or fsync:N "
+                   "with N >= 1");
+  }
+  if (fence_lease) {
+    opts.fence_lease_dir = *fence_lease;
+    opts.fence_token = *fence_token;
   }
   if (max_records) {
     opts.input.max_records = static_cast<std::size_t>(*max_records);
@@ -866,10 +911,12 @@ int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
       runtime::RunSessions(specs, graph, opts, parallel);
 
   int failures = 0;
+  int fenced = 0;
   bool drained = false;
   for (const auto& o : outcomes) {
     if (!o.ok) {
       ++failures;
+      if (o.error.rfind("fenced", 0) == 0) ++fenced;
       std::printf("live %s: FAILED: %s\n", o.dataset_dir.c_str(),
                   o.error.c_str());
       continue;
@@ -886,7 +933,10 @@ int CmdLive(std::vector<std::string> args, const MainOptions& mo) {
     std::printf("  report: %s\n  chains: %s\n", s.report_path.c_str(),
                 s.chains_path.c_str());
   }
-  if (failures != 0) return 1;
+  // 76: every failure was a fencing stop — the session lease was stolen
+  // and this process wrote nothing further. The parent supervisor records
+  // the session as fenced (terminal here, finished by the new owner).
+  if (failures != 0) return failures == fenced ? 76 : 1;
   // EX_TEMPFAIL: everything checkpointed cleanly but the run was stopped
   // by a signal — rerunning the same command resumes byte-identically.
   return drained ? 75 : 0;
@@ -928,10 +978,15 @@ bool ParseChaosSpec(const std::string& spec, std::size_t sessions,
       c.disk = {DiskFaultSpec::Kind::kEio, static_cast<long>(n)};
     } else if (kind == "disk-short") {
       c.disk = {DiskFaultSpec::Kind::kShortWrite, static_cast<long>(n)};
+    } else if (kind == "disk-rename") {
+      c.disk = {DiskFaultSpec::Kind::kRename, static_cast<long>(n)};
+    } else if (kind == "disk-fsync") {
+      c.disk = {DiskFaultSpec::Kind::kFsync, static_cast<long>(n)};
     } else {
       std::fprintf(stderr,
                    "unknown chaos kind '%s' (known: crash fail wedge "
-                   "disk-enospc disk-eio disk-short)\n",
+                   "disk-enospc disk-eio disk-short disk-rename "
+                   "disk-fsync)\n",
                    kind.c_str());
       return false;
     }
@@ -971,11 +1026,21 @@ int CmdServe(std::vector<std::string> args, const MainOptions& mo) {
   auto manifest_path = TakeFlag(args, "--manifest");
   auto status_file = TakeFlag(args, "--status-file");
   auto tunables_file = TakeFlag(args, "--tunables");
+  // Sharded fleet: --owner names this box; sessions are then claimed via
+  // leases under <state-root>/shard (shard.h) before admission.
+  auto owner = TakeFlag(args, "--owner");
   std::optional<double> window_s, step_s, min_coverage, chunk_s, horizon_s,
       stall_deadline_s, session_deadline_s;
   std::optional<std::int64_t> workers, max_attempts, backoff_ms,
       backoff_cap_ms, global_backlog, max_backlog, checkpoint_every,
-      max_idle, scan_interval_ms, status_interval_ms, drain_grace_ms;
+      max_idle, scan_interval_ms, status_interval_ms, drain_grace_ms,
+      lease_ttl_ms, heartbeat_ms;
+  if (int rc = TakeI(args, "--lease-ttl-ms", 1, 3'600'000, &lease_ttl_ms)) {
+    return rc;
+  }
+  if (int rc = TakeI(args, "--heartbeat-ms", 1, 3'600'000, &heartbeat_ms)) {
+    return rc;
+  }
   if (int rc = TakeI(args, "--scan-interval-ms", 1, 3'600'000,
                      &scan_interval_ms)) {
     return rc;
@@ -1050,6 +1115,31 @@ int CmdServe(std::vector<std::string> args, const MainOptions& mo) {
     return 2;
   }
 #endif
+  if (owner && (owner->empty() || !state_root)) {
+    std::fprintf(stderr,
+                 "serve: --owner needs a non-empty box id and "
+                 "--state-root (the shared filesystem root)\n");
+    return 2;
+  }
+  if (owner) {
+    // The owner id lands in file names (fleet-<owner>.manifest) and in
+    // checksummed single-line records; keep it to a safe charset.
+    for (char c : *owner) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+      if (!ok) {
+        return BadFlag("--owner", *owner,
+                       "letters, digits, '.', '_' or '-' only");
+      }
+    }
+  }
+  if ((lease_ttl_ms || heartbeat_ms) && !owner) {
+    std::fprintf(stderr,
+                 "serve: --lease-ttl-ms/--heartbeat-ms only apply with "
+                 "--owner (sharded mode)\n");
+    return 2;
+  }
 
   runtime::FleetOptions fopts;
   if (isolate_s) {
@@ -1104,7 +1194,13 @@ int CmdServe(std::vector<std::string> args, const MainOptions& mo) {
         return 2;
       }
       if (state_root) {
-        spec.state_dir = *state_root + "/s" + std::to_string(i);
+        // Sharded boxes must agree on the dataset->state mapping whatever
+        // order (or subset) of operands each was started with, so they use
+        // the stable path-hash mapping instead of the positional s<i>.
+        spec.state_dir =
+            owner ? runtime::SessionStateDirFor(*state_root,
+                                                spec.dataset_dir)
+                  : *state_root + "/s" + std::to_string(i);
       }
       specs.push_back(std::move(spec));
     }
@@ -1205,8 +1301,18 @@ int CmdServe(std::vector<std::string> args, const MainOptions& mo) {
     dopts.drain_grace_ms = static_cast<long>(*drain_grace_ms);
   }
   dopts.state_root = state_root.value_or("");
+  if (owner) {
+    dopts.owner = *owner;
+    if (lease_ttl_ms) dopts.lease_ttl_ms = static_cast<long>(*lease_ttl_ms);
+    if (heartbeat_ms) dopts.heartbeat_ms = static_cast<long>(*heartbeat_ms);
+  }
   if (manifest_path) {
     dopts.manifest_path = *manifest_path;
+  } else if (owner) {
+    // Sharded boxes write per-owner manifests on the shared root — they
+    // must not clobber each other's, and `domino fleet-status` merges all
+    // of them.
+    dopts.manifest_path = *state_root + "/fleet-" + *owner + ".manifest";
   } else if (watch && state_root) {
     // Only watch mode defaults to a manifest: a plain batch serve must not
     // silently resume from an earlier run's ledger.
@@ -1244,12 +1350,56 @@ int CmdServe(std::vector<std::string> args, const MainOptions& mo) {
   }
   // Exit codes (documented in --help): a drain is a clean stop — the
   // manifest carries the rest; otherwise quarantines trump shedding.
+  // Fenced sessions are not failures either: another box finished them.
   if (report.drained) return 0;
   for (const auto& o : report.outcomes) {
-    if (!o.ok) return 4;
+    if (!o.ok && !o.fenced) return 4;
   }
   if (report.total_shed_windows > 0) return 3;
   return 0;
+}
+
+int CmdFleetStatus(std::vector<std::string> args, const MainOptions& mo) {
+  auto out_path = TakeFlag(args, "--out");
+  bool with_owners = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--owners") {
+      with_owners = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (args.size() != 1) return Usage();
+  if (mo.dry_run) return 0;
+
+  runtime::FleetStatusView view;
+  std::string err;
+  if (!runtime::CollectFleetStatus(args[0], &view, &err)) {
+    std::fprintf(stderr, "fleet-status: %s\n", err.c_str());
+    return 1;
+  }
+  const std::string json = runtime::BuildFleetStatusJson(view, with_owners);
+  if (out_path) {
+    std::ofstream f(*out_path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "fleet-status: cannot write %s\n",
+                   out_path->c_str());
+      return 2;
+    }
+    f << json;
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  // 0 = everything terminal and clean, 3 = some session still open,
+  // 4 = some session quarantined (mirrors serve's degraded/failed codes).
+  bool open = false, quarantined = false;
+  for (const auto& s : view.sessions) {
+    if (s.status == 0 || s.status == 3) open = true;
+    if (s.status == 2) quarantined = true;
+  }
+  if (quarantined) return 4;
+  return open ? 3 : 0;
 }
 
 int CmdConvert(std::vector<std::string> args, const MainOptions& mo) {
@@ -1333,6 +1483,7 @@ int DominoMain(std::vector<std::string> args, const MainOptions& mo) {
     if (cmd == "analyze") return CmdAnalyze(std::move(args), mo);
     if (cmd == "live") return CmdLive(std::move(args), mo);
     if (cmd == "serve") return CmdServe(std::move(args), mo);
+    if (cmd == "fleet-status") return CmdFleetStatus(std::move(args), mo);
     if (cmd == "replay") return CmdReplay(std::move(args), mo);
     if (cmd == "codegen") return CmdCodegen(std::move(args), mo);
     if (cmd == "convert") return CmdConvert(std::move(args), mo);

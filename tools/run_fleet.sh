@@ -2,7 +2,7 @@
 # Fleet-supervisor gates, run by CI (.github/workflows/ci.yml, under ASan)
 # and locally before sending a runtime/supervision change:
 #
-#   tools/run_fleet.sh [build_dir] [chaos|daemon]
+#   tools/run_fleet.sh [build_dir] [chaos|daemon|shard]
 #
 # == chaos gate (default) ==
 #
@@ -35,6 +35,20 @@
 # 3. Rolling restart: a second daemon resumes from the manifest and its
 #    JSON report — and every per-session output — is byte-identical to a
 #    daemon that saw all sessions from the start and was never disturbed.
+#
+# == shard gate ==
+#
+# The cross-box sharded fleet, for BOTH isolation modes: two `domino
+# serve --owner` daemons split one fleet over a shared --state-root, with
+# injected disk-rename/disk-fsync faults on two sessions. One box is
+# SIGKILLed mid-run:
+#
+# 1. The survivor steals the dead box's stale leases, resumes its
+#    checkpoints, and exits 0 with every session completed.
+# 2. `domino fleet-status` over the shared root is byte-identical to the
+#    merged view of an undisturbed single-box run — the takeover (and the
+#    killed box's zombie writers) left no trace in any published file.
+# 3. Every per-session chains.jsonl matches the single-box run's.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -248,11 +262,109 @@ EOF
   echo "fleet daemon gate passed"
 }
 
+# ---------------------------------------------------------------- shard --
+
+run_shard_gate() {
+  # 6 sessions, each its own dataset copy: sharded identity is the dataset
+  # path, so the same operand twice would be one unit of work.
+  for i in 0 1 2 3 4 5; do
+    "$domino" simulate amarisoft 12 "$work/ds$i" --seed "4$i" > /dev/null
+  done
+
+  for iso in thread process; do
+    echo "== $iso isolation =="
+    shared="$work/${iso}_shared"; solo="$work/${iso}_solo"
+    mkdir -p "$shared" "$solo"
+
+    # serve_shard <owner> <state_root>
+    #
+    # `exec` so a backgrounded invocation's $! is the daemon itself (the
+    # SIGKILL must hit the daemon) — always call inside ( ... ).
+    serve_shard() {
+      sh_owner=$1; sh_root=$2; shift 2
+      exec "$domino" serve \
+        "$work/ds0" "$work/ds1" "$work/ds2" \
+        "$work/ds3" "$work/ds4" "$work/ds5" \
+        --workers 1 --max-attempts 3 --backoff-ms 10 --backoff-cap-ms 100 \
+        --checkpoint-every 2 --global-backlog 300 \
+        --isolate "$iso" --exec "$domino" \
+        --chaos 1:disk-rename:2,2:disk-fsync:2 \
+        --owner "$sh_owner" --lease-ttl-ms 1000 --heartbeat-ms 100 \
+        --scan-interval-ms 50 --exit-when-idle \
+        --state-root "$sh_root" --quiet "$@"
+    }
+
+    # Two boxes split one fleet; boxb dies to SIGKILL mid-run. No drain, no
+    # manifest — the survivor must steal the stale leases and finish.
+    ( serve_shard boxb "$shared" ) > "$shared.victim.txt" 2>&1 &
+    victim=$!
+    ( serve_shard boxa "$shared" ) > "$shared.survivor.txt" 2>&1 &
+    survivor=$!
+    sleep 0.6
+    kill -KILL "$victim" 2>/dev/null || true
+    rc=0; wait "$survivor" || rc=$?
+    wait "$victim" 2>/dev/null || true
+    if [ "$rc" != 0 ]; then
+      echo "  FAIL: $iso isolation: surviving daemon exited $rc, not 0" >&2
+      cat "$shared.survivor.txt" >&2
+      exit 1
+    fi
+    echo "  ok: survivor took over the killed box's sessions and exited 0"
+
+    # Undisturbed single-box twin on its own state root.
+    rc=0
+    ( serve_shard boxa "$solo" ) > "$solo.txt" 2>&1 || rc=$?
+    if [ "$rc" != 0 ]; then
+      echo "  FAIL: $iso isolation: single-box twin exited $rc, not 0" >&2
+      cat "$solo.txt" >&2
+      exit 1
+    fi
+
+    # The merged fleet view must be byte-identical: same sessions, same
+    # terminal statuses, same windows/chains — ownership and attempt counts
+    # (which a takeover legitimately changes) are excluded by design.
+    "$domino" fleet-status "$shared" --out "$work/${iso}_merged.json"
+    "$domino" fleet-status "$solo" --out "$work/${iso}_solo.json"
+    if ! cmp -s "$work/${iso}_merged.json" "$work/${iso}_solo.json"; then
+      echo "  FAIL: $iso isolation: merged fleet-status differs from the" \
+           "undisturbed single-box run's" >&2
+      diff "$work/${iso}_merged.json" "$work/${iso}_solo.json" >&2 || true
+      exit 1
+    fi
+    python3 - "$work/${iso}_merged.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+c = r["counts"]
+assert c["sessions"] == 6, c
+assert c["done"] == 6 and c["open"] == 0, c
+assert c["quarantined"] == 0 and c["fenced"] == 0, c
+assert r["progress"]["windows"] > 0, r["progress"]
+print("  ok: merged view byte-identical, all 6 sessions done")
+EOF
+
+    # Per-session outputs: whatever box (or succession of boxes) ran a
+    # session, its chain log matches the undisturbed run's bytes.
+    for d in "$shared"/ds*_*/; do
+      name=$(basename "$d")
+      if ! cmp -s "$shared/$name/chains.jsonl" \
+                  "$solo/$name/chains.jsonl"; then
+        echo "  FAIL: $iso isolation: $name/chains.jsonl differs from the" \
+             "undisturbed twin's" >&2
+        exit 1
+      fi
+    done
+    echo "  ok: per-session chain logs byte-identical to single-box run"
+  done
+
+  echo "fleet shard gate passed"
+}
+
 case "$gate" in
   chaos) run_chaos_gate ;;
   daemon) run_daemon_gate ;;
+  shard) run_shard_gate ;;
   *)
-    echo "usage: tools/run_fleet.sh [build_dir] [chaos|daemon]" >&2
+    echo "usage: tools/run_fleet.sh [build_dir] [chaos|daemon|shard]" >&2
     exit 2
     ;;
 esac
